@@ -1,0 +1,571 @@
+//! Backward (preimage) interval analysis.
+//!
+//! The paper's concluding remarks flag "symbolic reasoning using both
+//! forward and backward propagation in a continuous verification setup" as
+//! future work; this module implements the backward half and
+//! [`prove_containment_bidirectional`] combines the two:
+//!
+//! * [`activation_preimage`] inverts an activation over an output interval
+//!   (soundly over-approximating, detecting emptiness);
+//! * [`affine_contract`] is an HC4-style interval contractor for
+//!   `W·x + b ∈ Z` given a prior box on `x`;
+//! * [`layer_backward_contract`] composes the two through one layer;
+//! * [`network_backward_contract`] walks the whole network backward, using
+//!   the forward reach boxes as priors;
+//! * [`prove_containment_bidirectional`] eliminates each output-violation
+//!   face by backward contraction and runs forward bisection only on
+//!   whatever input region survives — often orders of magnitude fewer
+//!   splits than forward-only refinement.
+//!
+//! All contractions are *sound for the violation search*: the contracted
+//! box contains every input of the prior whose image meets the target.
+
+use crate::box_domain::BoxDomain;
+use crate::error::AbsintError;
+use crate::interval::Interval;
+use crate::reach::reach_boxes;
+use crate::refine::{prove_forward_containment_counting, Outcome};
+use crate::transformer::DomainKind;
+use covern_nn::{Activation, DenseLayer, Network};
+
+/// Work statistics of a bidirectional proof attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BidirectionalStats {
+    /// Output-violation faces examined.
+    pub faces_total: usize,
+    /// Faces eliminated outright by backward contraction (zero splits).
+    pub faces_eliminated: usize,
+    /// Total forward bisections spent on the surviving faces.
+    pub splits_used: usize,
+}
+
+/// Sound preimage of `target` under the activation: an interval containing
+/// every `z` with `act(z) ∈ target`, or `None` when no such `z` exists.
+pub fn activation_preimage(act: Activation, target: &Interval) -> Option<Interval> {
+    let (range_lo, range_hi) = act.range();
+    // If the target misses the activation's range entirely, it's empty.
+    let reachable = Interval::from_unordered(range_lo, range_hi);
+    let target = target.intersect(&reachable)?;
+    match act {
+        Activation::Identity => Some(target),
+        Activation::Relu => {
+            // relu(z) ∈ [lo, hi]: z ≤ hi always; z unbounded below iff 0 ∈ target.
+            let hi = target.hi();
+            let lo = if target.lo() <= 0.0 { f64::NEG_INFINITY } else { target.lo() };
+            Some(Interval::from_unordered(lo, hi))
+        }
+        Activation::LeakyRelu(a) => {
+            if a > 0.0 {
+                // Strictly increasing piecewise-linear: exact inverse per bound.
+                let inv = |y: f64| if y >= 0.0 { y } else { y / a };
+                Some(Interval::from_unordered(inv(target.lo()), inv(target.hi())))
+            } else {
+                // Degenerates to ReLU.
+                activation_preimage(Activation::Relu, &target)
+            }
+        }
+        Activation::Sigmoid | Activation::Tanh => {
+            let lo = if target.lo() <= range_lo {
+                f64::NEG_INFINITY
+            } else {
+                act.inverse(target.lo()).expect("inside open range")
+            };
+            let hi = if target.hi() >= range_hi {
+                f64::INFINITY
+            } else {
+                act.inverse(target.hi()).expect("inside open range")
+            };
+            Some(Interval::from_unordered(lo, hi))
+        }
+    }
+}
+
+/// HC4-style contraction of the prior box `x` under the constraints
+/// `(W·x + b)_i ∈ z_i` for all rows `i`. Returns the tightened box, or
+/// `None` if some constraint is proven unsatisfiable over the prior.
+///
+/// `sweeps` bounds the number of full forward/backward passes (the
+/// contractor is monotone, so more sweeps only tighten).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn affine_contract(
+    layer: &DenseLayer,
+    x_prior: &BoxDomain,
+    z_target: &[Interval],
+    sweeps: usize,
+) -> Option<BoxDomain> {
+    assert_eq!(x_prior.dim(), layer.in_dim(), "prior arity mismatch");
+    assert_eq!(z_target.len(), layer.out_dim(), "target arity mismatch");
+    let w = layer.weights();
+    let mut x: Vec<Interval> = x_prior.intervals().to_vec();
+    for _ in 0..sweeps.max(1) {
+        let mut changed = false;
+        for i in 0..layer.out_dim() {
+            // Forward evaluation of row i over the current box.
+            let row = w.row(i);
+            let mut total = Interval::point(layer.bias()[i]);
+            for (j, xj) in x.iter().enumerate() {
+                total = total.add(&xj.scale(row[j]));
+            }
+            // The row value must also lie in the target.
+            let feasible = total.intersect(&z_target[i])?;
+            // Backward: re-solve for each variable with nonzero coefficient:
+            // w_j x_j ∈ feasible − (total − w_j x_j).
+            for (j, _) in row.iter().enumerate() {
+                let wj = row[j];
+                if wj == 0.0 {
+                    continue;
+                }
+                // Sum of the other terms (recomputed; rows are short).
+                let mut others = Interval::point(layer.bias()[i]);
+                for (k, xk) in x.iter().enumerate() {
+                    if k != j {
+                        others = others.add(&xk.scale(row[k]));
+                    }
+                }
+                // w_j x_j ∈ feasible − others  ⇒  x_j ∈ (feasible − others)/w_j.
+                let residual = feasible.add(&others.scale(-1.0));
+                let candidate = residual.scale(1.0 / wj);
+                match x[j].intersect(&candidate) {
+                    Some(tightened) => {
+                        if tightened.width() < x[j].width() - 1e-15 {
+                            changed = true;
+                        }
+                        x[j] = tightened;
+                    }
+                    None => return None,
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Some(BoxDomain::new(x))
+}
+
+/// Backward contraction through one full layer: given a prior on the
+/// layer's *input* and a target on its *output*, returns a tightened input
+/// box containing every input whose image lies in the target (`None` if
+/// provably empty).
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn layer_backward_contract(
+    layer: &DenseLayer,
+    x_prior: &BoxDomain,
+    y_target: &BoxDomain,
+    sweeps: usize,
+) -> Option<BoxDomain> {
+    assert_eq!(y_target.dim(), layer.out_dim(), "target arity mismatch");
+    let mut z = Vec::with_capacity(layer.out_dim());
+    for i in 0..layer.out_dim() {
+        z.push(activation_preimage(layer.activation(), &y_target.interval(i))?);
+    }
+    affine_contract(layer, x_prior, &z, sweeps)
+}
+
+/// Walks the network backward from an output target, contracting the input
+/// box. The forward reach boxes over `din` serve as priors for the
+/// intermediate layers — this is the "forward + backward" combination the
+/// paper's future work calls for.
+///
+/// Returns the contracted input region, or `None` if no input of `din`
+/// maps into `target`.
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] on arity mismatches.
+pub fn network_backward_contract(
+    net: &Network,
+    din: &BoxDomain,
+    target: &BoxDomain,
+    sweeps: usize,
+) -> Result<Option<BoxDomain>, AbsintError> {
+    if target.dim() != net.output_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "network_backward_contract (target)",
+            expected: net.output_dim(),
+            actual: target.dim(),
+        });
+    }
+    // Forward priors (cheap single box pass).
+    let fwd = reach_boxes(net, din, DomainKind::Box)?;
+    let n = net.num_layers();
+    // Current necessary set on the output of layer k.
+    let mut current = match target.intersect_box(fwd.layer_box(n)?) {
+        Some(t) => t,
+        None => return Ok(None),
+    };
+    for k in (1..=n).rev() {
+        let prior = if k == 1 { din.clone() } else { fwd.layer_box(k - 1)?.clone() };
+        match layer_backward_contract(&net.layers()[k - 1], &prior, &current, sweeps) {
+            Some(contracted) => current = contracted,
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(current))
+}
+
+/// Forward+backward containment proof: for every output face of the
+/// complement of `target` (e.g. `y_d > hi_d`), backward-contract `din`
+/// against that violation region; faces that contract to empty are proven
+/// safe outright, the remainder is handed to forward bisection restricted
+/// to the (much smaller) contracted box.
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] on arity mismatches.
+pub fn prove_containment_bidirectional(
+    net: &Network,
+    din: &BoxDomain,
+    target: &BoxDomain,
+    domain: DomainKind,
+    max_splits_per_face: usize,
+) -> Result<Outcome, AbsintError> {
+    prove_containment_bidirectional_with_stats(net, din, target, domain, max_splits_per_face)
+        .map(|(o, _)| o)
+}
+
+/// [`prove_containment_bidirectional`] additionally reporting the work
+/// statistics (faces eliminated by pure contraction, splits spent).
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] on arity mismatches.
+pub fn prove_containment_bidirectional_with_stats(
+    net: &Network,
+    din: &BoxDomain,
+    target: &BoxDomain,
+    domain: DomainKind,
+    max_splits_per_face: usize,
+) -> Result<(Outcome, BidirectionalStats), AbsintError> {
+    if target.dim() != net.output_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "prove_containment_bidirectional (target)",
+            expected: net.output_dim(),
+            actual: target.dim(),
+        });
+    }
+    let mut stats = BidirectionalStats::default();
+    for d in 0..net.output_dim() {
+        for upper in [true, false] {
+            let t = target.interval(d);
+            let bound = if upper { t.hi() } else { t.lo() };
+            if bound.is_infinite() {
+                continue; // half-open target: this face cannot be violated
+            }
+            stats.faces_total += 1;
+            // The violation face: output d beyond the bound, others free.
+            let mut face = Vec::with_capacity(net.output_dim());
+            for j in 0..net.output_dim() {
+                face.push(if j == d {
+                    if upper {
+                        Interval::from_unordered(bound, f64::INFINITY)
+                    } else {
+                        Interval::from_unordered(f64::NEG_INFINITY, bound)
+                    }
+                } else {
+                    Interval::from_unordered(f64::NEG_INFINITY, f64::INFINITY)
+                });
+            }
+            let face = BoxDomain::new(face);
+            let region = network_backward_contract(net, din, &face, 3)?;
+            let Some(region) = region else {
+                stats.faces_eliminated += 1;
+                continue; // face eliminated outright
+            };
+            // Forward bisection restricted to the surviving region, against
+            // a relaxed target that only constrains this face.
+            let mut face_target = Vec::with_capacity(net.output_dim());
+            for j in 0..net.output_dim() {
+                face_target.push(if j == d {
+                    if upper {
+                        Interval::from_unordered(f64::NEG_INFINITY, bound)
+                    } else {
+                        Interval::from_unordered(bound, f64::INFINITY)
+                    }
+                } else {
+                    Interval::from_unordered(f64::NEG_INFINITY, f64::INFINITY)
+                });
+            }
+            let face_target = BoxDomain::new(face_target);
+            let (outcome, splits) =
+                prove_forward_containment_counting(net, &region, &face_target, domain, max_splits_per_face)?;
+            stats.splits_used += splits;
+            match outcome {
+                Outcome::Proved => continue,
+                other => return Ok((other, stats)),
+            }
+        }
+    }
+    Ok((Outcome::Proved, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Network, NetworkBuilder};
+    use covern_tensor::Rng;
+
+    #[test]
+    fn relu_preimage_cases() {
+        // Target straddling zero: unbounded below.
+        let t = Interval::new(0.0, 2.0).unwrap();
+        let p = activation_preimage(Activation::Relu, &t).unwrap();
+        assert_eq!(p.lo(), f64::NEG_INFINITY);
+        assert_eq!(p.hi(), 2.0);
+        // Strictly positive target: exact inverse.
+        let t = Interval::new(1.0, 2.0).unwrap();
+        let p = activation_preimage(Activation::Relu, &t).unwrap();
+        assert_eq!((p.lo(), p.hi()), (1.0, 2.0));
+        // Strictly negative target: empty.
+        let t = Interval::new(-2.0, -1.0).unwrap();
+        assert!(activation_preimage(Activation::Relu, &t).is_none());
+    }
+
+    #[test]
+    fn sigmoid_preimage_saturates_to_infinity() {
+        let t = Interval::new(0.0, 0.5).unwrap();
+        let p = activation_preimage(Activation::Sigmoid, &t).unwrap();
+        assert_eq!(p.lo(), f64::NEG_INFINITY);
+        assert!((p.hi() - 0.0).abs() < 1e-12); // sigmoid⁻¹(0.5) = 0
+        // Target beyond the range is empty.
+        let t = Interval::new(1.5, 2.0).unwrap();
+        assert!(activation_preimage(Activation::Sigmoid, &t).is_none());
+    }
+
+    #[test]
+    fn preimage_is_sound_for_all_activations() {
+        let mut rng = Rng::seeded(61);
+        for act in [
+            Activation::Identity,
+            Activation::Relu,
+            Activation::LeakyRelu(0.2),
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            for _ in 0..200 {
+                let z = rng.uniform(-4.0, 4.0);
+                let y = act.apply(z);
+                let lo = y - rng.uniform(0.0, 0.5);
+                let hi = y + rng.uniform(0.0, 0.5);
+                let target = Interval::new(lo, hi).unwrap();
+                let pre = activation_preimage(act, &target)
+                    .unwrap_or_else(|| panic!("{act}: nonempty preimage expected"));
+                assert!(pre.contains(z), "{act}: preimage lost the witness {z}");
+            }
+        }
+    }
+
+    #[test]
+    fn affine_contract_solves_simple_system() {
+        // x + y ∈ [3, 3], x ∈ [0, 10], y ∈ [0, 1] ⇒ x ∈ [2, 3].
+        let layer = DenseLayer::from_rows(&[&[1.0, 1.0]], &[0.0], Activation::Identity);
+        let prior = BoxDomain::from_bounds(&[(0.0, 10.0), (0.0, 1.0)]).unwrap();
+        let z = [Interval::new(3.0, 3.0).unwrap()];
+        let out = affine_contract(&layer, &prior, &z, 3).unwrap();
+        assert!((out.interval(0).lo() - 2.0).abs() < 1e-9);
+        assert!((out.interval(0).hi() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn affine_contract_detects_emptiness() {
+        // x + y = 30 impossible for x, y ∈ [0, 10] × [0, 1].
+        let layer = DenseLayer::from_rows(&[&[1.0, 1.0]], &[0.0], Activation::Identity);
+        let prior = BoxDomain::from_bounds(&[(0.0, 10.0), (0.0, 1.0)]).unwrap();
+        let z = [Interval::new(30.0, 31.0).unwrap()];
+        assert!(affine_contract(&layer, &prior, &z, 3).is_none());
+    }
+
+    #[test]
+    fn affine_contract_is_sound() {
+        // Every prior point satisfying the constraint stays in the result.
+        let mut rng = Rng::seeded(62);
+        for seed in 0..20u64 {
+            let mut r = Rng::seeded(seed);
+            let layer = DenseLayer::random(3, 2, Activation::Identity, &mut r);
+            let prior = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+            // Pick a random feasible point, build a target around its image.
+            let x: Vec<f64> = (0..3).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let y = layer.forward(&x);
+            let z: Vec<Interval> = y
+                .iter()
+                .map(|&v| Interval::new(v - 0.1, v + 0.1).unwrap())
+                .collect();
+            let out = affine_contract(&layer, &prior, &z, 4).expect("feasible by construction");
+            assert!(out.contains(&x), "seed {seed}: witness lost");
+        }
+    }
+
+    fn fig2_net() -> Network {
+        NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+            .build()
+            .expect("fig2 network")
+    }
+
+    #[test]
+    fn network_backward_eliminates_unreachable_outputs() {
+        // n4 > 12.4 is unreachable even by interval analysis.
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let impossible = BoxDomain::from_bounds(&[(13.0, f64::INFINITY)]).unwrap();
+        let region = network_backward_contract(&net, &din, &impossible, 3).unwrap();
+        assert!(region.is_none(), "unreachable target must contract to empty");
+    }
+
+    #[test]
+    fn network_backward_keeps_witnesses() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        // (1, -1) maps to 4; the region for outputs ≥ 3 must contain it.
+        let target = BoxDomain::from_bounds(&[(3.0, f64::INFINITY)]).unwrap();
+        let region = network_backward_contract(&net, &din, &target, 3)
+            .unwrap()
+            .expect("outputs ≥ 3 are reachable");
+        assert!(region.contains(&[1.0, -1.0]), "witness input lost by contraction");
+        // And the contraction is a genuine subset of Din.
+        assert!(din.contains_box(&region));
+    }
+
+    #[test]
+    fn bidirectional_proof_matches_forward_on_fig2() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap();
+        let o = prove_containment_bidirectional(&net, &din, &dout, DomainKind::Symbolic, 100).unwrap();
+        assert!(matches!(o, Outcome::Proved), "{o:?}");
+    }
+
+    #[test]
+    fn bidirectional_refutes_with_witness() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let tight = BoxDomain::from_bounds(&[(0.0, 3.0)]).unwrap();
+        match prove_containment_bidirectional(&net, &din, &tight, DomainKind::Symbolic, 3000).unwrap() {
+            Outcome::Refuted(x) => {
+                let y = net.forward(&x).unwrap();
+                assert!(y[0] > 3.0, "witness output {}", y[0]);
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bidirectional_does_strictly_less_work() {
+        // Tight-but-true property: the lower face (outputs < -0.5) is
+        // impossible for a ReLU output and must be eliminated by pure
+        // backward contraction; the upper face's bisection starts from the
+        // contracted corner region. Total splits must be strictly below
+        // forward-only refinement over the full domain.
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 6.5)]).unwrap(); // true max is 6
+        let (fwd, fwd_splits) =
+            prove_forward_containment_counting(&net, &din, &dout, DomainKind::Symbolic, 10_000)
+                .unwrap();
+        assert_eq!(fwd, Outcome::Proved);
+        let (bi, stats) = crate::backward::prove_containment_bidirectional_with_stats(
+            &net,
+            &din,
+            &dout,
+            DomainKind::Symbolic,
+            10_000,
+        )
+        .unwrap();
+        assert!(matches!(bi, Outcome::Proved), "bidirectional got {bi:?}");
+        assert_eq!(stats.faces_total, 2);
+        assert!(stats.faces_eliminated >= 1, "ReLU lower face must contract to empty");
+        assert!(
+            stats.splits_used < fwd_splits,
+            "bidirectional {} splits vs forward-only {fwd_splits}",
+            stats.splits_used
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use covern_nn::Activation;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// Backward contraction never loses a genuine witness: pick a
+            /// random input, build a target around its output, contract —
+            /// the input must remain in the contracted region.
+            #[test]
+            fn prop_backward_keeps_witnesses(
+                seed in 0u64..10_000,
+                t in proptest::collection::vec(0.0f64..1.0, 3),
+                slack in 0.01f64..0.5,
+            ) {
+                let mut rng = covern_tensor::Rng::seeded(seed);
+                let net = Network::random(&[3, 5, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+                let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+                let x: Vec<f64> = din
+                    .intervals()
+                    .iter()
+                    .zip(t.iter())
+                    .map(|(iv, &ti)| iv.lo() + ti * iv.width())
+                    .collect();
+                let y = net.forward(&x).unwrap()[0];
+                let target = BoxDomain::from_bounds(&[(y - slack, y + slack)]).unwrap();
+                let region = network_backward_contract(&net, &din, &target, 3)
+                    .unwrap()
+                    .expect("the witness proves the target reachable");
+                prop_assert!(region.contains(&x), "witness lost by contraction");
+                prop_assert!(din.contains_box(&region), "contraction escaped the prior");
+            }
+
+            /// The bidirectional prover agrees with the forward prover
+            /// whenever both reach a verdict (soundness cross-check).
+            #[test]
+            fn prop_bidirectional_agrees_with_forward(
+                seed in 0u64..10_000,
+                hi_slack in 0.0f64..2.0,
+            ) {
+                let mut rng = covern_tensor::Rng::seeded(seed.wrapping_add(99));
+                let net = Network::random(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+                let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+                // A target around the box bound: sometimes true, sometimes not.
+                let bound = crate::refine::refined_output_box(&net, &din, DomainKind::Box, 1)
+                    .unwrap()
+                    .interval(0);
+                let dout = BoxDomain::from_bounds(&[(
+                    bound.lo() - 0.1,
+                    bound.center() + hi_slack,
+                )])
+                .unwrap();
+                let f = crate::refine::prove_forward_containment(
+                    &net, &din, &dout, DomainKind::Symbolic, 2000).unwrap();
+                let b = prove_containment_bidirectional(
+                    &net, &din, &dout, DomainKind::Symbolic, 2000).unwrap();
+                match (&f, &b) {
+                    (Outcome::Proved, Outcome::Refuted(_)) | (Outcome::Refuted(_), Outcome::Proved) => {
+                        prop_assert!(false, "provers contradict: {f:?} vs {b:?}");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_open_targets_skip_faces() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let half_open = BoxDomain::from_bounds(&[(f64::NEG_INFINITY, 12.0)]).unwrap();
+        let o = prove_containment_bidirectional(&net, &din, &half_open, DomainKind::Box, 10).unwrap();
+        assert!(matches!(o, Outcome::Proved));
+    }
+}

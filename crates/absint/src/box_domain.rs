@@ -1,0 +1,477 @@
+//! The box (interval vector) abstract domain.
+
+use crate::error::AbsintError;
+use crate::interval::Interval;
+use covern_nn::{Activation, DenseLayer};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An axis-aligned box: one [`Interval`] per dimension.
+///
+/// This is both the input-domain representation (`Din`, `Din ∪ Δin`) and the
+/// stored per-layer state abstraction `Si` in the reproduction — exactly
+/// what the paper's evaluation stores ("the state abstraction of a neuron is
+/// bounded by its lower and upper valuations").
+///
+/// # Example
+///
+/// ```
+/// use covern_absint::BoxDomain;
+///
+/// let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)])?;
+/// let enlarged = din.enlarged_to(&[(-1.0, 1.1), (-1.0, 1.1)])?;
+/// assert!(enlarged.contains_box(&din));
+/// # Ok::<(), covern_absint::AbsintError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxDomain {
+    dims: Vec<Interval>,
+}
+
+impl BoxDomain {
+    /// Creates a box from per-dimension intervals.
+    pub fn new(dims: Vec<Interval>) -> Self {
+        Self { dims }
+    }
+
+    /// Creates a box from `(lo, hi)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::EmptyInterval`] if any pair has `lo > hi`.
+    pub fn from_bounds(bounds: &[(f64, f64)]) -> Result<Self, AbsintError> {
+        let dims = bounds
+            .iter()
+            .map(|&(lo, hi)| Interval::new(lo, hi))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { dims })
+    }
+
+    /// The degenerate box containing exactly `point`.
+    pub fn from_point(point: &[f64]) -> Self {
+        Self { dims: point.iter().map(|&v| Interval::point(v)).collect() }
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension intervals.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.dims
+    }
+
+    /// The interval of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn interval(&self, i: usize) -> Interval {
+        self.dims[i]
+    }
+
+    /// Lower-bound corner.
+    pub fn lower(&self) -> Vec<f64> {
+        self.dims.iter().map(Interval::lo).collect()
+    }
+
+    /// Upper-bound corner.
+    pub fn upper(&self) -> Vec<f64> {
+        self.dims.iter().map(Interval::hi).collect()
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec<f64> {
+        self.dims.iter().map(Interval::center).collect()
+    }
+
+    /// Whether `point` lies in the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != self.dim()`.
+    pub fn contains(&self, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dim(), "point dimension mismatch");
+        self.dims.iter().zip(point.iter()).all(|(i, &v)| i.contains(v))
+    }
+
+    /// Whether `other` is contained in `self` (set inclusion, dimension-wise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn contains_box(&self, other: &BoxDomain) -> bool {
+        assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
+        self.dims
+            .iter()
+            .zip(other.dims.iter())
+            .all(|(s, o)| s.contains_interval(o))
+    }
+
+    /// Dimension-wise intersection, or `None` when the boxes are disjoint
+    /// in some dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn intersect_box(&self, other: &BoxDomain) -> Option<BoxDomain> {
+        assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
+        let mut dims = Vec::with_capacity(self.dim());
+        for (a, b) in self.dims.iter().zip(other.dims.iter()) {
+            dims.push(a.intersect(b)?);
+        }
+        Some(BoxDomain::new(dims))
+    }
+
+    /// Like [`contains_box`](Self::contains_box) but with the outer bounds
+    /// relaxed by `tol` on each side.
+    ///
+    /// The incremental verifier uses a small `tol` when re-checking
+    /// containment of a computation against its own recorded abstraction, so
+    /// that round-off amplified through layer weights cannot produce a
+    /// spurious failure (see the crate-level soundness convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ or `tol < 0`.
+    pub fn contains_box_with_tol(&self, other: &BoxDomain, tol: f64) -> bool {
+        assert!(tol >= 0.0, "tolerance must be non-negative");
+        self.dilate(tol).contains_box(other)
+    }
+
+    /// Convex hull (dimension-wise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn hull(&self, other: &BoxDomain) -> BoxDomain {
+        assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
+        BoxDomain {
+            dims: self
+                .dims
+                .iter()
+                .zip(other.dims.iter())
+                .map(|(a, b)| a.hull(b))
+                .collect(),
+        }
+    }
+
+    /// Outward dilation of every dimension by `eps`.
+    pub fn dilate(&self, eps: f64) -> BoxDomain {
+        BoxDomain { dims: self.dims.iter().map(|i| i.dilate(eps)).collect() }
+    }
+
+    /// Returns the enlarged box and validates that it actually contains
+    /// `self` (the paper's `Din ∪ Δin ⊇ Din`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::DimensionMismatch`] if `bounds` has the wrong
+    /// arity and [`AbsintError::EmptyInterval`] if any pair is inverted or
+    /// the result does not contain `self`.
+    pub fn enlarged_to(&self, bounds: &[(f64, f64)]) -> Result<BoxDomain, AbsintError> {
+        if bounds.len() != self.dim() {
+            return Err(AbsintError::DimensionMismatch {
+                context: "BoxDomain::enlarged_to",
+                expected: self.dim(),
+                actual: bounds.len(),
+            });
+        }
+        let candidate = BoxDomain::from_bounds(bounds)?;
+        if !candidate.contains_box(self) {
+            return Err(AbsintError::EmptyInterval {
+                lo: candidate.dims[0].lo(),
+                hi: candidate.dims[0].hi(),
+            });
+        }
+        Ok(candidate)
+    }
+
+    /// Maximum dimension width.
+    pub fn max_width(&self) -> f64 {
+        self.dims.iter().map(Interval::width).fold(0.0, f64::max)
+    }
+
+    /// Index of the widest dimension (`0` if the box is 0-dimensional).
+    pub fn widest_dim(&self) -> usize {
+        let mut best = 0;
+        let mut best_w = f64::NEG_INFINITY;
+        for (i, iv) in self.dims.iter().enumerate() {
+            if iv.width() > best_w {
+                best_w = iv.width();
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Bisects the widest dimension, returning two half-boxes.
+    pub fn bisect_widest(&self) -> (BoxDomain, BoxDomain) {
+        let d = self.widest_dim();
+        let (l, r) = self.dims[d].bisect();
+        let mut left = self.clone();
+        let mut right = self.clone();
+        left.dims[d] = l;
+        right.dims[d] = r;
+        (left, right)
+    }
+
+    /// The Hausdorff-style enlargement distance κ: the largest L2 distance
+    /// from a point of `self` to the nearest point of `inner`.
+    ///
+    /// This is the constant κ of Proposition 3 when `self = Din ∪ Δin` and
+    /// `inner = Din`: for boxes the farthest point is a corner, and the
+    /// nearest point of the inner box is its per-dimension clamp, so the
+    /// distance decomposes dimension-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn enlargement_kappa(&self, inner: &BoxDomain) -> f64 {
+        assert_eq!(self.dim(), inner.dim(), "box dimension mismatch");
+        let mut sq = 0.0;
+        for (o, i) in self.dims.iter().zip(inner.dims.iter()) {
+            let below = (i.lo() - o.lo()).max(0.0);
+            let above = (o.hi() - i.hi()).max(0.0);
+            let d = below.max(above);
+            sq += d * d;
+        }
+        sq.sqrt()
+    }
+
+    /// Image of the box under one dense layer (interval matvec + monotone
+    /// activation image).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::DimensionMismatch`] if the box does not match
+    /// the layer's input dimension.
+    pub fn through_layer(&self, layer: &DenseLayer) -> Result<BoxDomain, AbsintError> {
+        if self.dim() != layer.in_dim() {
+            return Err(AbsintError::DimensionMismatch {
+                context: "BoxDomain::through_layer",
+                expected: layer.in_dim(),
+                actual: self.dim(),
+            });
+        }
+        let pre = self.through_affine(layer)?;
+        Ok(pre.through_activation(layer.activation()))
+    }
+
+    /// Image under only the affine part `W x + b` of a layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::DimensionMismatch`] on arity mismatch.
+    pub fn through_affine(&self, layer: &DenseLayer) -> Result<BoxDomain, AbsintError> {
+        if self.dim() != layer.in_dim() {
+            return Err(AbsintError::DimensionMismatch {
+                context: "BoxDomain::through_affine",
+                expected: layer.in_dim(),
+                actual: self.dim(),
+            });
+        }
+        let w = layer.weights();
+        let mut out = Vec::with_capacity(layer.out_dim());
+        for i in 0..layer.out_dim() {
+            let mut acc = Interval::point(layer.bias()[i]);
+            for (j, iv) in self.dims.iter().enumerate() {
+                acc = acc.add(&iv.scale(w.get(i, j)));
+            }
+            out.push(acc);
+        }
+        Ok(BoxDomain { dims: out })
+    }
+
+    /// Image under a component-wise monotone activation.
+    pub fn through_activation(&self, act: Activation) -> BoxDomain {
+        BoxDomain {
+            dims: self
+                .dims
+                .iter()
+                .map(|iv| iv.monotone_image(|x| act.apply(x)))
+                .collect(),
+        }
+    }
+
+    /// Deterministic grid of sample points: center plus all corners (up to
+    /// `limit` corners to avoid 2^d blow-ups).
+    pub fn sample_points(&self, limit: usize) -> Vec<Vec<f64>> {
+        let mut pts = vec![self.center()];
+        let d = self.dim();
+        let corners = 1usize << d.min(20);
+        for c in 0..corners.min(limit) {
+            let p: Vec<f64> = (0..d)
+                .map(|i| {
+                    if (c >> i.min(63)) & 1 == 1 {
+                        self.dims[i].hi()
+                    } else {
+                        self.dims[i].lo()
+                    }
+                })
+                .collect();
+            pts.push(p);
+        }
+        pts
+    }
+}
+
+impl fmt::Display for BoxDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Box{{")?;
+        for (i, iv) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " × ")?;
+            }
+            write!(f, "{iv}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unit_box(d: usize) -> BoxDomain {
+        BoxDomain::from_bounds(&vec![(-1.0, 1.0); d]).expect("unit box")
+    }
+
+    #[test]
+    fn containment_point_and_box() {
+        let b = unit_box(2);
+        assert!(b.contains(&[0.0, 1.0]));
+        assert!(!b.contains(&[0.0, 1.1]));
+        let inner = BoxDomain::from_bounds(&[(-0.5, 0.5), (0.0, 1.0)]).unwrap();
+        assert!(b.contains_box(&inner));
+        assert!(!inner.contains_box(&b));
+    }
+
+    #[test]
+    fn enlarged_to_validates_containment() {
+        let b = unit_box(2);
+        assert!(b.enlarged_to(&[(-1.0, 1.1), (-1.0, 1.1)]).is_ok());
+        assert!(b.enlarged_to(&[(-0.5, 1.1), (-1.0, 1.1)]).is_err());
+        assert!(b.enlarged_to(&[(-1.0, 1.1)]).is_err());
+    }
+
+    #[test]
+    fn kappa_matches_paper_example() {
+        // Paper, Prop 3 example: Din = [1,2]^2, enlarged by 0.01 on each side
+        // -> smallest κ is sqrt(0.01² + 0.01²).
+        let din = BoxDomain::from_bounds(&[(1.0, 2.0), (1.0, 2.0)]).unwrap();
+        let enlarged = BoxDomain::from_bounds(&[(0.99, 2.01), (0.99, 2.01)]).unwrap();
+        let kappa = enlarged.enlargement_kappa(&din);
+        let expected = (0.01f64 * 0.01 + 0.01 * 0.01).sqrt();
+        assert!((kappa - expected).abs() < 1e-12, "kappa {kappa}");
+    }
+
+    #[test]
+    fn kappa_zero_when_equal() {
+        let b = unit_box(3);
+        assert_eq!(b.enlargement_kappa(&b), 0.0);
+    }
+
+    #[test]
+    fn through_layer_matches_fig2_black_intervals() {
+        // Figure 2 of the paper, original domain [-1,1]²: n1..n3 ∈ [0,3],[0,3],[0,2].
+        let layer = covern_nn::DenseLayer::from_rows(
+            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+            &[0.0; 3],
+            covern_nn::Activation::Relu,
+        );
+        let b = unit_box(2);
+        let out = b.through_layer(&layer).unwrap();
+        assert_eq!(out.lower(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(out.upper(), vec![3.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn through_layer_matches_fig2_red_intervals() {
+        // Enlarged domain [-1,1.1]²: n1,n2 ∈ [0,3.1], n3 ∈ [0,2.1].
+        let layer = covern_nn::DenseLayer::from_rows(
+            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+            &[0.0; 3],
+            covern_nn::Activation::Relu,
+        );
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let out = b.through_layer(&layer).unwrap();
+        let hi = out.upper();
+        assert!((hi[0] - 3.1).abs() < 1e-12);
+        assert!((hi[1] - 3.1).abs() < 1e-12);
+        assert!((hi[2] - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_widest_splits_correct_dim() {
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 10.0)]).unwrap();
+        let (l, r) = b.bisect_widest();
+        assert_eq!(l.interval(0), b.interval(0));
+        assert_eq!(l.interval(1).hi(), 5.0);
+        assert_eq!(r.interval(1).lo(), 5.0);
+    }
+
+    #[test]
+    fn sample_points_stay_inside() {
+        let b = unit_box(3);
+        for p in b.sample_points(16) {
+            assert!(b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn through_layer_rejects_dim_mismatch() {
+        let layer = covern_nn::DenseLayer::from_rows(&[&[1.0, 1.0]], &[0.0], covern_nn::Activation::Relu);
+        assert!(unit_box(3).through_layer(&layer).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_through_layer_sound(
+            seed in 0u64..200,
+            t in proptest::collection::vec(0.0f64..1.0, 3),
+        ) {
+            // A random point of the box maps into the box image.
+            let mut rng = covern_tensor::Rng::seeded(seed);
+            let layer = covern_nn::DenseLayer::random(3, 4, covern_nn::Activation::Relu, &mut rng);
+            let b = BoxDomain::from_bounds(&[(-2.0, 1.0), (0.0, 3.0), (-1.0, -0.5)]).unwrap();
+            let x: Vec<f64> = b
+                .intervals()
+                .iter()
+                .zip(t.iter())
+                .map(|(iv, &ti)| iv.lo() + ti * iv.width())
+                .collect();
+            let y = layer.forward(&x);
+            let img = b.through_layer(&layer).unwrap().dilate(1e-9);
+            prop_assert!(img.contains(&y));
+        }
+
+        #[test]
+        fn prop_hull_contains_both(
+            lo1 in -5.0f64..0.0, w1 in 0.0f64..3.0,
+            lo2 in -5.0f64..0.0, w2 in 0.0f64..3.0,
+        ) {
+            let a = BoxDomain::from_bounds(&[(lo1, lo1 + w1)]).unwrap();
+            let b = BoxDomain::from_bounds(&[(lo2, lo2 + w2)]).unwrap();
+            let h = a.hull(&b);
+            prop_assert!(h.contains_box(&a) && h.contains_box(&b));
+        }
+
+        #[test]
+        fn prop_kappa_bounds_corner_distance(
+            grow in proptest::collection::vec(0.0f64..0.5, 2),
+        ) {
+            let din = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+            let enlarged = BoxDomain::from_bounds(&[
+                (-grow[0], 1.0 + grow[0]),
+                (-grow[1], 1.0 + grow[1]),
+            ]).unwrap();
+            let kappa = enlarged.enlargement_kappa(&din);
+            // The worst corner of the enlarged box is exactly sqrt(sum grow²) away.
+            let expected = (grow[0] * grow[0] + grow[1] * grow[1]).sqrt();
+            prop_assert!((kappa - expected).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for the abstract interpreters.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by abstract interpretation runs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AbsintError {
+    /// An abstract value's dimension did not match the layer it was pushed
+    /// through.
+    DimensionMismatch {
+        /// Operation in which the mismatch occurred.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// An interval with `lo > hi` was constructed.
+    EmptyInterval {
+        /// Offending lower bound.
+        lo: f64,
+        /// Offending upper bound.
+        hi: f64,
+    },
+    /// The requested layer index is out of range.
+    LayerOutOfRange {
+        /// Requested 1-based layer index.
+        requested: usize,
+        /// Number of layers available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for AbsintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbsintError::DimensionMismatch { context, expected, actual } => {
+                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            }
+            AbsintError::EmptyInterval { lo, hi } => {
+                write!(f, "empty interval: lo {lo} exceeds hi {hi}")
+            }
+            AbsintError::LayerOutOfRange { requested, available } => {
+                write!(f, "layer {requested} out of range: network has {available} layers")
+            }
+        }
+    }
+}
+
+impl Error for AbsintError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_payload() {
+        let e = AbsintError::LayerOutOfRange { requested: 9, available: 3 };
+        assert!(e.to_string().contains('9'));
+        let e = AbsintError::EmptyInterval { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<AbsintError>();
+    }
+}

@@ -1,0 +1,271 @@
+//! Closed real intervals `[lo, hi]` with sound arithmetic.
+
+use crate::error::AbsintError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A closed, non-empty interval `[lo, hi]`.
+///
+/// The basic abstract value: a neuron's state abstraction "is bounded by its
+/// lower and upper valuations" (paper, Section V).
+///
+/// # Example
+///
+/// ```
+/// use covern_absint::Interval;
+///
+/// let a = Interval::new(-1.0, 2.0)?;
+/// let b = a.affine(2.0, 1.0); // 2x + 1 over [-1, 2]
+/// assert_eq!((b.lo(), b.hi()), (-1.0, 5.0));
+/// # Ok::<(), covern_absint::AbsintError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    lo: f64,
+    hi: f64,
+}
+
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::EmptyInterval`] if `lo > hi` or either bound is
+    /// NaN.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, AbsintError> {
+        if lo.is_nan() || hi.is_nan() || lo > hi {
+            return Err(AbsintError::EmptyInterval { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Smallest interval containing both `a` and `b` given as unordered pair.
+    pub fn from_unordered(a: f64, b: f64) -> Self {
+        Self { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Midpoint.
+    pub fn center(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Whether the point `v` lies in the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Whether `other` is contained in `self` (set inclusion).
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Interval sum.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo + other.lo, hi: self.hi + other.hi }
+    }
+
+    /// Adds a scalar.
+    pub fn add_scalar(&self, c: f64) -> Interval {
+        Interval { lo: self.lo + c, hi: self.hi + c }
+    }
+
+    /// Image under the affine map `x ↦ a·x + b`.
+    pub fn affine(&self, a: f64, b: f64) -> Interval {
+        if a >= 0.0 {
+            Interval { lo: a * self.lo + b, hi: a * self.hi + b }
+        } else {
+            Interval { lo: a * self.hi + b, hi: a * self.lo + b }
+        }
+    }
+
+    /// Scales by a scalar (sign-aware).
+    pub fn scale(&self, a: f64) -> Interval {
+        self.affine(a, 0.0)
+    }
+
+    /// Interval product (all four corner products).
+    pub fn mul(&self, other: &Interval) -> Interval {
+        let c = [
+            self.lo * other.lo,
+            self.lo * other.hi,
+            self.hi * other.lo,
+            self.hi * other.hi,
+        ];
+        Interval {
+            lo: c.iter().cloned().fold(f64::INFINITY, f64::min),
+            hi: c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+
+    /// Convex hull of two intervals.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Intersection, or `None` if disjoint.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo <= hi {
+            Some(Interval { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Outward dilation by `eps ≥ 0` on both sides.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `eps < 0`.
+    pub fn dilate(&self, eps: f64) -> Interval {
+        debug_assert!(eps >= 0.0, "dilation must be outward");
+        Interval { lo: self.lo - eps, hi: self.hi + eps }
+    }
+
+    /// Image under a monotone non-decreasing function.
+    ///
+    /// Sound for every activation in `covern-nn` because they are all
+    /// monotone.
+    pub fn monotone_image(&self, f: impl Fn(f64) -> f64) -> Interval {
+        Interval { lo: f(self.lo), hi: f(self.hi) }
+    }
+
+    /// Splits at the midpoint into `(left, right)`.
+    pub fn bisect(&self) -> (Interval, Interval) {
+        let m = self.center();
+        (Interval { lo: self.lo, hi: m }, Interval { lo: m, hi: self.hi })
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_rejects_inverted_and_nan() {
+        assert!(Interval::new(1.0, 0.0).is_err());
+        assert!(Interval::new(f64::NAN, 1.0).is_err());
+        assert!(Interval::new(0.0, f64::NAN).is_err());
+        assert!(Interval::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn affine_flips_on_negative_slope() {
+        let i = Interval::new(-1.0, 2.0).unwrap();
+        let j = i.affine(-3.0, 1.0);
+        assert_eq!((j.lo(), j.hi()), (-5.0, 4.0));
+    }
+
+    #[test]
+    fn mul_handles_sign_mix() {
+        let a = Interval::new(-2.0, 3.0).unwrap();
+        let b = Interval::new(-1.0, 4.0).unwrap();
+        let p = a.mul(&b);
+        assert_eq!((p.lo(), p.hi()), (-8.0, 12.0));
+    }
+
+    #[test]
+    fn hull_and_intersect() {
+        let a = Interval::new(0.0, 2.0).unwrap();
+        let b = Interval::new(1.0, 3.0).unwrap();
+        assert_eq!(a.hull(&b), Interval::new(0.0, 3.0).unwrap());
+        assert_eq!(a.intersect(&b), Some(Interval::new(1.0, 2.0).unwrap()));
+        let c = Interval::new(5.0, 6.0).unwrap();
+        assert_eq!(a.intersect(&c), None);
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_ordered() {
+        let a = Interval::new(0.0, 2.0).unwrap();
+        let b = Interval::new(0.5, 1.5).unwrap();
+        assert!(a.contains_interval(&a));
+        assert!(a.contains_interval(&b));
+        assert!(!b.contains_interval(&a));
+    }
+
+    #[test]
+    fn bisect_covers_original() {
+        let a = Interval::new(-1.0, 3.0).unwrap();
+        let (l, r) = a.bisect();
+        assert_eq!(l.hull(&r), a);
+        assert_eq!(l.hi(), r.lo());
+    }
+
+    #[test]
+    fn dilate_grows_both_sides() {
+        let a = Interval::new(0.0, 1.0).unwrap().dilate(0.5);
+        assert_eq!((a.lo(), a.hi()), (-0.5, 1.5));
+    }
+
+    fn any_interval() -> impl Strategy<Value = Interval> {
+        (-100.0f64..100.0, 0.0f64..50.0).prop_map(|(lo, w)| Interval::new(lo, lo + w).unwrap())
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_is_sound(a in any_interval(), b in any_interval(), ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+            // Any concrete pair of members sums into the abstract sum.
+            let x = a.lo() + ta * a.width();
+            let y = b.lo() + tb * b.width();
+            prop_assert!(a.add(&b).contains(x + y));
+        }
+
+        #[test]
+        fn prop_mul_is_sound(a in any_interval(), b in any_interval(), ta in 0.0f64..1.0, tb in 0.0f64..1.0) {
+            let x = a.lo() + ta * a.width();
+            let y = b.lo() + tb * b.width();
+            // Tiny tolerance for round-off in the corner products.
+            let p = a.mul(&b).dilate(1e-9);
+            prop_assert!(p.contains(x * y));
+        }
+
+        #[test]
+        fn prop_affine_is_sound(a in any_interval(), s in -5.0f64..5.0, c in -5.0f64..5.0, t in 0.0f64..1.0) {
+            let x = a.lo() + t * a.width();
+            prop_assert!(a.affine(s, c).dilate(1e-9).contains(s * x + c));
+        }
+
+        #[test]
+        fn prop_hull_contains_both(a in any_interval(), b in any_interval()) {
+            let h = a.hull(&b);
+            prop_assert!(h.contains_interval(&a));
+            prop_assert!(h.contains_interval(&b));
+        }
+
+        #[test]
+        fn prop_intersection_within_both(a in any_interval(), b in any_interval()) {
+            if let Some(i) = a.intersect(&b) {
+                prop_assert!(a.contains_interval(&i));
+                prop_assert!(b.contains_interval(&i));
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Abstract interpretation for neural networks.
+//!
+//! This crate is the reproduction's stand-in for **ReluVal** (symbolic
+//! interval analysis, Wang et al. 2018) and its relatives: it computes sound
+//! over-approximations of every layer's reachable values — the **state
+//! abstractions** `S1, …, Sn` that the DATE 2021 paper stores as proof
+//! artifacts and later reuses in Propositions 1–5.
+//!
+//! Three abstract domains are provided, in increasing precision:
+//!
+//! * [`box_domain`] — plain interval arithmetic per neuron,
+//! * [`symbolic`] — symbolic (affine-in-input) lower/upper bounds with
+//!   concretisation at unstable ReLUs, the ReluVal approach,
+//! * [`zonotope`] — affine forms with shared noise symbols.
+//!
+//! [`reach`] runs any of them layer-by-layer and records the per-layer
+//! boxes; [`refine`] adds input bisection, which makes interval-based
+//! verification *complete in the limit* for strict properties and serves as
+//! the "more precise transformation" of the paper's Figure 1(c).
+//!
+//! # Floating-point soundness convention
+//!
+//! We do not use directed rounding; instead every *recorded* abstraction is
+//! dilated outward by [`SOUND_EPS`] (absolute) so that containment checks of
+//! the form "image ⊆ stored abstraction" retain a safety margin against
+//! round-off. Containment itself is evaluated with plain comparisons. Tests
+//! assert the conservative direction throughout.
+
+pub mod backward;
+pub mod box_domain;
+pub mod error;
+pub mod interval;
+pub mod reach;
+pub mod refine;
+pub mod symbolic;
+pub mod transformer;
+pub mod zonotope;
+
+pub use box_domain::BoxDomain;
+pub use error::AbsintError;
+pub use interval::Interval;
+pub use reach::{reach_boxes, LayerAbstraction};
+pub use transformer::DomainKind;
+
+/// Absolute outward dilation applied to recorded abstractions to absorb
+/// round-off (see the crate-level soundness convention).
+pub const SOUND_EPS: f64 = 1e-9;

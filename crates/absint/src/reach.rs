@@ -1,0 +1,245 @@
+//! Layer-wise reachability: computing and recording `S1, …, Sn`.
+//!
+//! This is the artifact-producing half of the original (expensive)
+//! verification run: push the input box through the network in the chosen
+//! domain, concretising after every layer into a per-layer box. The
+//! resulting [`LayerAbstraction`] is exactly the proof artifact the paper
+//! stores and reuses:
+//!
+//! * `∀x ∈ Din : g1(x) ∈ S1`,
+//! * `∀i, ∀xi ∈ Si : g_{i+1}(xi) ∈ S_{i+1}`,
+//! * safety follows when `Sn ⊆ Dout`.
+
+use crate::box_domain::BoxDomain;
+use crate::error::AbsintError;
+use crate::transformer::{AbstractState, DomainKind};
+use crate::SOUND_EPS;
+use covern_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// The stored state abstraction `S1, …, Sn` for a verified network.
+///
+/// Recorded boxes are dilated outward by [`SOUND_EPS`](crate::SOUND_EPS) so
+/// that re-checking containment of the *same* computation cannot fail due
+/// to round-off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerAbstraction {
+    input: BoxDomain,
+    boxes: Vec<BoxDomain>,
+    domain: DomainKind,
+}
+
+impl LayerAbstraction {
+    /// Creates an abstraction from explicit parts (used by the incremental
+    /// fixer when splicing replacement layers).
+    pub fn from_parts(input: BoxDomain, boxes: Vec<BoxDomain>, domain: DomainKind) -> Self {
+        Self { input, boxes, domain }
+    }
+
+    /// The input box `Din` the abstraction was computed over.
+    pub fn input(&self) -> &BoxDomain {
+        &self.input
+    }
+
+    /// Number of layers `n`.
+    pub fn num_layers(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// The domain used to compute the abstraction.
+    pub fn domain(&self) -> DomainKind {
+        self.domain
+    }
+
+    /// The abstraction `Sk` of layer `k` (1-based, matching the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::LayerOutOfRange`] if `k` is not in `1..=n`.
+    pub fn layer_box(&self, k: usize) -> Result<&BoxDomain, AbsintError> {
+        if k == 0 || k > self.boxes.len() {
+            return Err(AbsintError::LayerOutOfRange { requested: k, available: self.boxes.len() });
+        }
+        Ok(&self.boxes[k - 1])
+    }
+
+    /// The output abstraction `Sn`.
+    pub fn output(&self) -> &BoxDomain {
+        self.boxes.last().expect("abstractions have at least one layer")
+    }
+
+    /// All recorded boxes, `S1` first.
+    pub fn boxes(&self) -> &[BoxDomain] {
+        &self.boxes
+    }
+
+    /// Replaces `Sk` (used by Section IV-C incremental fixing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::LayerOutOfRange`] if `k` is not in `1..=n` and
+    /// [`AbsintError::DimensionMismatch`] if the replacement has the wrong
+    /// width.
+    pub fn replace_layer_box(&mut self, k: usize, replacement: BoxDomain) -> Result<(), AbsintError> {
+        if k == 0 || k > self.boxes.len() {
+            return Err(AbsintError::LayerOutOfRange { requested: k, available: self.boxes.len() });
+        }
+        if replacement.dim() != self.boxes[k - 1].dim() {
+            return Err(AbsintError::DimensionMismatch {
+                context: "LayerAbstraction::replace_layer_box",
+                expected: self.boxes[k - 1].dim(),
+                actual: replacement.dim(),
+            });
+        }
+        self.boxes[k - 1] = replacement;
+        Ok(())
+    }
+}
+
+/// Runs the chosen abstract domain through `net` over `input`, recording
+/// the concretised per-layer boxes (each dilated by `SOUND_EPS`).
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] if `input` does not match the
+/// network's input dimension.
+pub fn reach_boxes(
+    net: &Network,
+    input: &BoxDomain,
+    domain: DomainKind,
+) -> Result<LayerAbstraction, AbsintError> {
+    if input.dim() != net.input_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "reach_boxes (input box)",
+            expected: net.input_dim(),
+            actual: input.dim(),
+        });
+    }
+    let mut state = AbstractState::from_box(domain, input);
+    let mut boxes = Vec::with_capacity(net.num_layers());
+    for layer in net.layers() {
+        state = state.through_layer(layer)?;
+        boxes.push(state.to_box().dilate(SOUND_EPS));
+    }
+    Ok(LayerAbstraction { input: input.clone(), boxes, domain })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, DenseLayer, Network};
+    use covern_tensor::Rng;
+
+    fn fig2_net() -> Network {
+        Network::new(vec![
+            DenseLayer::from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            ),
+            DenseLayer::from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu),
+        ])
+        .expect("fig2 network")
+    }
+
+    #[test]
+    fn records_one_box_per_layer() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let abs = reach_boxes(&net, &din, DomainKind::Box).unwrap();
+        assert_eq!(abs.num_layers(), 2);
+        assert_eq!(abs.layer_box(1).unwrap().dim(), 3);
+        assert_eq!(abs.layer_box(2).unwrap().dim(), 1);
+        assert!(abs.layer_box(0).is_err());
+        assert!(abs.layer_box(3).is_err());
+    }
+
+    #[test]
+    fn box_domain_matches_paper_n4_bound() {
+        // Paper Figure 2: box abstraction bounds n4 by [0, 12] on [-1,1]².
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let abs = reach_boxes(&net, &din, DomainKind::Box).unwrap();
+        let n4 = abs.output().interval(0);
+        assert!(n4.lo() >= -1e-6 && n4.lo() <= 1e-6);
+        assert!((n4.hi() - 12.0).abs() < 1e-6, "n4 hi = {}", n4.hi());
+    }
+
+    #[test]
+    fn enlarged_box_domain_matches_paper_overshoot() {
+        // Paper Figure 2: on the enlarged domain the box bound grows to 12.4.
+        let net = fig2_net();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let abs = reach_boxes(&net, &enlarged, DomainKind::Box).unwrap();
+        assert!((abs.output().interval(0).hi() - 12.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recorded_boxes_satisfy_chain_property() {
+        // ∀i: image of Si under layer i+1 ⊆ S_{i+1} — by construction for
+        // the box domain, and testable via the transformer itself.
+        let mut rng = Rng::seeded(2);
+        let net = Network::random(&[3, 5, 4, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let abs = reach_boxes(&net, &din, DomainKind::Box).unwrap();
+        // S1 contains image of Din.
+        let img1 = din.through_layer(&net.layers()[0]).unwrap();
+        assert!(abs.layer_box(1).unwrap().contains_box(&img1));
+        for i in 1..net.num_layers() {
+            let img = abs
+                .layer_box(i)
+                .unwrap()
+                .through_layer(&net.layers()[i])
+                .unwrap();
+            // Note: this chain property holds for the *box* domain because
+            // each Si was computed by the same interval transformer. The
+            // tolerance absorbs the SOUND_EPS dilation of Si amplified by
+            // the layer weights.
+            assert!(
+                abs.layer_box(i + 1).unwrap().dilate(1e-6).contains_box(&img),
+                "chain broken at layer {}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn concrete_traces_stay_within_all_domains() {
+        let mut rng = Rng::seeded(3);
+        let net = Network::random(&[2, 6, 3, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        for kind in DomainKind::ALL {
+            let abs = reach_boxes(&net, &din, kind).unwrap();
+            for _ in 0..100 {
+                let x = [rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)];
+                let trace = net.forward_trace(&x).unwrap();
+                for (k, layer_vals) in trace.iter().enumerate() {
+                    assert!(
+                        abs.layer_box(k + 1).unwrap().contains(layer_vals),
+                        "{kind}: trace escaped S{}",
+                        k + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replace_layer_box_validates() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let mut abs = reach_boxes(&net, &din, DomainKind::Box).unwrap();
+        let wrong = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(abs.replace_layer_box(1, wrong.clone()).is_err());
+        assert!(abs.replace_layer_box(9, wrong).is_err());
+        let right = BoxDomain::from_bounds(&[(0.0, 5.0); 3]).unwrap();
+        assert!(abs.replace_layer_box(1, right).is_ok());
+    }
+
+    #[test]
+    fn input_dim_mismatch_rejected() {
+        let net = fig2_net();
+        let bad = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(reach_boxes(&net, &bad, DomainKind::Box).is_err());
+    }
+}

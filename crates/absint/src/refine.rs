@@ -1,0 +1,306 @@
+//! Input bisection refinement.
+//!
+//! Splitting the input box and re-running the abstract transformer on each
+//! half is the classical abstraction-refinement loop of ReluVal: for strict
+//! properties it converges to the exact answer. In the paper's terms this is
+//! the "more precise transformation" of Figure 1(c) and one of the two
+//! "exact methods or abstraction-refinement techniques" admitted for the
+//! local checks of Propositions 1 and 2 (the other being MILP, in
+//! `covern-milp`).
+
+use crate::box_domain::BoxDomain;
+use crate::error::AbsintError;
+use crate::transformer::{AbstractState, DomainKind};
+use covern_nn::Network;
+use std::collections::VecDeque;
+
+/// Three-valued verification outcome.
+///
+/// Sufficient conditions that fail yield [`Outcome::Unknown`] — never
+/// `Refuted` — unless a concrete counterexample witness was found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The property holds (sound proof).
+    Proved,
+    /// A concrete input violating the property was found.
+    Refuted(Vec<f64>),
+    /// The budget was exhausted before a proof or counterexample was found.
+    Unknown,
+}
+
+impl Outcome {
+    /// Whether the outcome is a proof.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Outcome::Proved)
+    }
+}
+
+fn output_box(net: &Network, input: &BoxDomain, domain: DomainKind) -> Result<BoxDomain, AbsintError> {
+    let mut state = AbstractState::from_box(domain, input);
+    for layer in net.layers() {
+        state = state.through_layer(layer)?;
+    }
+    Ok(state.to_box())
+}
+
+/// Sound over-approximation of the network's output box, tightened by up to
+/// `max_leaves` input bisections.
+///
+/// With `max_leaves == 1` this is a single abstract pass; more leaves give a
+/// monotonically tighter (but still sound) hull.
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] if `input` has the wrong arity.
+pub fn refined_output_box(
+    net: &Network,
+    input: &BoxDomain,
+    domain: DomainKind,
+    max_leaves: usize,
+) -> Result<BoxDomain, AbsintError> {
+    if input.dim() != net.input_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "refined_output_box (input box)",
+            expected: net.input_dim(),
+            actual: input.dim(),
+        });
+    }
+    let budget = max_leaves.max(1);
+    let mut queue = VecDeque::from([input.clone()]);
+    // Split the widest leaf until the budget is reached.
+    while queue.len() < budget {
+        // Find the widest box in the queue to split next.
+        let widest = queue
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.max_width()
+                    .partial_cmp(&b.1.max_width())
+                    .expect("widths are finite")
+            })
+            .map(|(i, _)| i)
+            .expect("queue non-empty");
+        let b = queue.remove(widest).expect("index valid");
+        if b.max_width() <= 0.0 {
+            queue.push_back(b);
+            break;
+        }
+        let (l, r) = b.bisect_widest();
+        queue.push_back(l);
+        queue.push_back(r);
+    }
+    let mut hull: Option<BoxDomain> = None;
+    for leaf in queue {
+        let out = output_box(net, &leaf, domain)?;
+        hull = Some(match hull {
+            None => out,
+            Some(h) => h.hull(&out),
+        });
+    }
+    Ok(hull.expect("at least one leaf"))
+}
+
+/// Attempts to prove `∀x ∈ input : net(x) ∈ target` by abstract
+/// interpretation with input bisection.
+///
+/// The worklist splits any sub-box whose abstract output is not contained in
+/// `target`; before splitting, the box center is evaluated concretely and a
+/// violation is reported as [`Outcome::Refuted`]. The search stops after
+/// `max_splits` bisections with [`Outcome::Unknown`].
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] if dimensions disagree.
+pub fn prove_forward_containment(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    domain: DomainKind,
+    max_splits: usize,
+) -> Result<Outcome, AbsintError> {
+    prove_forward_containment_counting(net, input, target, domain, max_splits).map(|(o, _)| o)
+}
+
+/// [`prove_forward_containment`] additionally reporting how many input
+/// bisections were performed — the work metric the bidirectional prover
+/// ([`crate::backward`]) is compared against.
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] if dimensions disagree.
+pub fn prove_forward_containment_counting(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    domain: DomainKind,
+    max_splits: usize,
+) -> Result<(Outcome, usize), AbsintError> {
+    if input.dim() != net.input_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "prove_forward_containment (input box)",
+            expected: net.input_dim(),
+            actual: input.dim(),
+        });
+    }
+    if target.dim() != net.output_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "prove_forward_containment (target box)",
+            expected: net.output_dim(),
+            actual: target.dim(),
+        });
+    }
+    let mut queue = VecDeque::from([input.clone()]);
+    let mut splits = 0usize;
+    while let Some(b) = queue.pop_front() {
+        let out = output_box(net, &b, domain)?;
+        if target.contains_box(&out) {
+            continue;
+        }
+        // Concrete probe: the center (and a corner) may already witness a
+        // violation, which makes the answer definitive.
+        for probe in [b.center(), b.lower()] {
+            let y = net.forward(&probe).expect("dimension checked above");
+            if !target.contains(&y) {
+                return Ok((Outcome::Refuted(probe), splits));
+            }
+        }
+        if splits >= max_splits || b.max_width() <= f64::EPSILON {
+            return Ok((Outcome::Unknown, splits));
+        }
+        splits += 1;
+        let (l, r) = b.bisect_widest();
+        queue.push_back(l);
+        queue.push_back(r);
+    }
+    Ok((Outcome::Proved, splits))
+}
+
+/// Sound upper bound on output neuron `neuron` over `input`, tightened by
+/// bisection. Converges to the true maximum for PWL networks as
+/// `max_leaves → ∞`.
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] on arity mismatch or if
+/// `neuron` is out of range.
+pub fn refined_neuron_upper_bound(
+    net: &Network,
+    input: &BoxDomain,
+    neuron: usize,
+    domain: DomainKind,
+    max_leaves: usize,
+) -> Result<f64, AbsintError> {
+    if neuron >= net.output_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "refined_neuron_upper_bound (neuron index)",
+            expected: net.output_dim(),
+            actual: neuron,
+        });
+    }
+    let hull = refined_output_box(net, input, domain, max_leaves)?;
+    Ok(hull.interval(neuron).hi())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, DenseLayer, Network};
+    use covern_tensor::Rng;
+
+    fn fig2_net() -> Network {
+        Network::new(vec![
+            DenseLayer::from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            ),
+            DenseLayer::from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu),
+        ])
+        .expect("fig2 network")
+    }
+
+    #[test]
+    fn refinement_tightens_monotonically() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let mut prev = f64::INFINITY;
+        for leaves in [1, 4, 16, 64, 256] {
+            let ub = refined_neuron_upper_bound(&net, &din, 0, DomainKind::Box, leaves).unwrap();
+            assert!(ub <= prev + 1e-9, "bound got looser at {leaves} leaves");
+            prev = ub;
+        }
+    }
+
+    #[test]
+    fn refinement_approaches_exact_fig2_maximum() {
+        // The paper's exact method gives max n4 = 6.2 on the enlarged domain.
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let ub = refined_neuron_upper_bound(&net, &din, 0, DomainKind::Symbolic, 512).unwrap();
+        assert!(ub >= 6.2 - 1e-6, "sound bound cannot drop below the true max, got {ub}");
+        assert!(ub <= 6.5, "with 512 leaves the bound should be near 6.2, got {ub}");
+    }
+
+    #[test]
+    fn containment_proof_on_loose_target() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let target = BoxDomain::from_bounds(&[(-1.0, 100.0)]).unwrap();
+        let o = prove_forward_containment(&net, &din, &target, DomainKind::Box, 10).unwrap();
+        assert!(o.is_proved());
+    }
+
+    #[test]
+    fn containment_refuted_with_witness() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        // n4 reaches 6 at (1,-1); a target capped at 1 must be refuted.
+        let target = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let o = prove_forward_containment(&net, &din, &target, DomainKind::Symbolic, 2000).unwrap();
+        match o {
+            Outcome::Refuted(x) => {
+                let y = net.forward(&x).unwrap();
+                assert!(!target.contains(&y), "witness must actually violate");
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tight_but_true_property_needs_refinement() {
+        // Target [0, 6.5] on the original domain: true max is 6, single-pass
+        // box analysis says 12 (fails), refinement proves it.
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let target = BoxDomain::from_bounds(&[(-0.1, 6.5)]).unwrap();
+        let single = prove_forward_containment(&net, &din, &target, DomainKind::Box, 0).unwrap();
+        assert_eq!(single, Outcome::Unknown);
+        let refined = prove_forward_containment(&net, &din, &target, DomainKind::Symbolic, 5000).unwrap();
+        assert!(refined.is_proved(), "got {refined:?}");
+    }
+
+    #[test]
+    fn refined_output_box_stays_sound() {
+        let mut rng = Rng::seeded(51);
+        let net = Network::random(&[2, 5, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let hull = refined_output_box(&net, &din, DomainKind::Symbolic, 64)
+            .unwrap()
+            .dilate(1e-9);
+        for _ in 0..300 {
+            let x = [rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)];
+            assert!(hull.contains(&net.forward(&x).unwrap()));
+        }
+    }
+
+    #[test]
+    fn dimension_errors_are_reported() {
+        let net = fig2_net();
+        let bad = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(refined_output_box(&net, &bad, DomainKind::Box, 4).is_err());
+        let din = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let bad_target = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        assert!(prove_forward_containment(&net, &din, &bad_target, DomainKind::Box, 4).is_err());
+        assert!(refined_neuron_upper_bound(&net, &din, 5, DomainKind::Box, 4).is_err());
+    }
+}

@@ -1,0 +1,409 @@
+//! Symbolic interval analysis (the ReluVal approach).
+//!
+//! Every neuron carries a pair of affine functions of the *network inputs*
+//! `lo(x) ≤ z ≤ hi(x)` plus a concrete clamp interval; affine layers
+//! transform the coefficients exactly (splitting weights by sign), and
+//! unstable ReLUs apply a sound linear relaxation. Keeping the input
+//! dependency is what makes this domain strictly tighter than plain interval
+//! arithmetic — the effect the paper's Figure 1 exploits ("methods with
+//! higher precision"); the concrete clamp keeps post-activation floors tight
+//! (e.g. `ReLU ≥ 0`) even when the relational lower bound dips negative.
+
+use crate::box_domain::BoxDomain;
+use crate::error::AbsintError;
+use crate::interval::Interval;
+use covern_nn::{Activation, DenseLayer};
+use covern_tensor::Matrix;
+
+/// Symbolic bounds for a vector of neurons over a fixed input box.
+///
+/// Invariant: for every input `x` in `input`, and every neuron `i`,
+/// `value_i(x) ∈ [lo_i(x), hi_i(x)] ∩ clamp_i` where
+/// `lo_i(x) = lo_coef[i]·x + lo_const[i]` (resp. `hi`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicState {
+    input: BoxDomain,
+    lo_coef: Matrix,
+    lo_const: Vec<f64>,
+    hi_coef: Matrix,
+    hi_const: Vec<f64>,
+    /// Concrete interval bound per neuron, intersected at concretisation.
+    clamp: Vec<Interval>,
+}
+
+impl SymbolicState {
+    /// The identity state over `input`: every input dimension bounds itself.
+    pub fn from_box(input: BoxDomain) -> Self {
+        let d = input.dim();
+        let clamp = input.intervals().to_vec();
+        Self {
+            input,
+            lo_coef: Matrix::identity(d),
+            lo_const: vec![0.0; d],
+            hi_coef: Matrix::identity(d),
+            hi_const: vec![0.0; d],
+            clamp,
+        }
+    }
+
+    /// Number of neurons currently bounded.
+    pub fn dim(&self) -> usize {
+        self.lo_const.len()
+    }
+
+    /// The input box the bounds are valid over.
+    pub fn input(&self) -> &BoxDomain {
+        &self.input
+    }
+
+    /// Concrete interval of affine function `coef·x + cst` over the input box.
+    fn eval_affine(&self, coef: &[f64], cst: f64) -> Interval {
+        let mut lo = cst;
+        let mut hi = cst;
+        for (c, iv) in coef.iter().zip(self.input.intervals().iter()) {
+            if *c >= 0.0 {
+                lo += c * iv.lo();
+                hi += c * iv.hi();
+            } else {
+                lo += c * iv.hi();
+                hi += c * iv.lo();
+            }
+        }
+        Interval::from_unordered(lo, hi)
+    }
+
+    /// Concretisation of the purely symbolic part (no clamp).
+    fn symbolic_interval(&self, i: usize) -> Interval {
+        let lo = self.eval_affine(self.lo_coef.row(i), self.lo_const[i]).lo();
+        let hi = self.eval_affine(self.hi_coef.row(i), self.hi_const[i]).hi();
+        if lo <= hi {
+            Interval::from_unordered(lo, hi)
+        } else {
+            // Round-off on near-degenerate bounds; widen conservatively.
+            Interval::from_unordered(hi, lo)
+        }
+    }
+
+    /// Concretises neuron `i` to an interval (symbolic bounds ∩ clamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn concretize_neuron(&self, i: usize) -> Interval {
+        let sym = self.symbolic_interval(i);
+        sym.intersect(&self.clamp[i]).unwrap_or_else(|| {
+            // Disjointness can only arise from round-off at the boundary;
+            // fall back to the hull (sound).
+            sym.hull(&self.clamp[i])
+        })
+    }
+
+    /// Concretises every neuron to a box.
+    pub fn to_box(&self) -> BoxDomain {
+        BoxDomain::new((0..self.dim()).map(|i| self.concretize_neuron(i)).collect())
+    }
+
+    /// Pushes the state through the affine part of a layer (exact on the
+    /// coefficients).
+    fn through_affine(&self, layer: &DenseLayer) -> Result<SymbolicState, AbsintError> {
+        if self.dim() != layer.in_dim() {
+            return Err(AbsintError::DimensionMismatch {
+                context: "SymbolicState::through_affine",
+                expected: layer.in_dim(),
+                actual: self.dim(),
+            });
+        }
+        let w = layer.weights();
+        let (out_dim, d) = (layer.out_dim(), self.input.dim());
+        let mut lo_coef = Matrix::zeros(out_dim, d);
+        let mut hi_coef = Matrix::zeros(out_dim, d);
+        let mut lo_const = vec![0.0; out_dim];
+        let mut hi_const = vec![0.0; out_dim];
+        // Interval evaluation of W·clamp + b for the affine clamp.
+        let mut clamp = Vec::with_capacity(out_dim);
+        for i in 0..out_dim {
+            lo_const[i] = layer.bias()[i];
+            hi_const[i] = layer.bias()[i];
+            let mut clamp_acc = Interval::point(layer.bias()[i]);
+            for j in 0..layer.in_dim() {
+                let wij = w.get(i, j);
+                clamp_acc = clamp_acc.add(&self.clamp[j].scale(wij));
+                if wij == 0.0 {
+                    continue;
+                }
+                // Positive weight keeps bound roles, negative swaps them.
+                let (src_lo_coef, src_lo_const, src_hi_coef, src_hi_const) = if wij >= 0.0 {
+                    (self.lo_coef.row(j), self.lo_const[j], self.hi_coef.row(j), self.hi_const[j])
+                } else {
+                    (self.hi_coef.row(j), self.hi_const[j], self.lo_coef.row(j), self.lo_const[j])
+                };
+                for k in 0..d {
+                    let lv = lo_coef.get(i, k) + wij * src_lo_coef[k];
+                    lo_coef.set(i, k, lv);
+                    let hv = hi_coef.get(i, k) + wij * src_hi_coef[k];
+                    hi_coef.set(i, k, hv);
+                }
+                lo_const[i] += wij * src_lo_const;
+                hi_const[i] += wij * src_hi_const;
+            }
+            clamp.push(clamp_acc);
+        }
+        Ok(SymbolicState { input: self.input.clone(), lo_coef, lo_const, hi_coef, hi_const, clamp })
+    }
+
+    /// Applies a sound relaxation of the activation, neuron by neuron.
+    fn through_activation(&self, act: Activation) -> SymbolicState {
+        match act {
+            Activation::Identity => self.clone(),
+            Activation::Relu => self.relaxed_pwl(0.0),
+            Activation::LeakyRelu(alpha) => self.relaxed_pwl(alpha),
+            Activation::Sigmoid | Activation::Tanh => self.concretized_monotone(act),
+        }
+    }
+
+    /// Sound relaxation for `max(alpha·z, z)`-shaped activations
+    /// (`alpha = 0` gives ReLU).
+    fn relaxed_pwl(&self, alpha: f64) -> SymbolicState {
+        let mut out = self.clone();
+        for i in 0..self.dim() {
+            let iv = self.concretize_neuron(i);
+            let (l, u) = (iv.lo(), iv.hi());
+            // The concrete clamp is always the exact monotone image of the
+            // pre-activation interval.
+            out.clamp[i] = iv.monotone_image(|z| if z >= 0.0 { z } else { alpha * z });
+            if l >= 0.0 {
+                // Stable active: identity on the symbolic part.
+                continue;
+            }
+            if u <= 0.0 {
+                // Stable inactive: exact linear map z ↦ alpha z.
+                for k in 0..out.lo_coef.cols() {
+                    out.lo_coef.set(i, k, alpha * self.lo_coef.get(i, k));
+                    out.hi_coef.set(i, k, alpha * self.hi_coef.get(i, k));
+                }
+                out.lo_const[i] = alpha * self.lo_const[i];
+                out.hi_const[i] = alpha * self.hi_const[i];
+                continue;
+            }
+            // Unstable neuron: chord upper bound, slope-λ lower bound.
+            // Upper: act(z) ≤ s·(z - l) + act(l), s = (act(u) - act(l)) / (u - l),
+            // evaluated on the symbolic upper bound (sound: s ≥ 0).
+            let act_l = alpha * l;
+            let act_u = u;
+            let s = (act_u - act_l) / (u - l);
+            for k in 0..out.hi_coef.cols() {
+                out.hi_coef.set(i, k, s * self.hi_coef.get(i, k));
+            }
+            out.hi_const[i] = s * (self.hi_const[i] - l) + act_l;
+            // Lower: act(z) ≥ λ·z with λ ∈ {alpha, 1}; pick the slope of the
+            // dominant side (DeepPoly's area heuristic specialised to boxes).
+            // The concrete clamp keeps the floor at act(l) regardless.
+            let lambda = if u >= -l { 1.0 } else { alpha };
+            for k in 0..out.lo_coef.cols() {
+                out.lo_coef.set(i, k, lambda * self.lo_coef.get(i, k));
+            }
+            out.lo_const[i] = lambda * self.lo_const[i];
+            // λ·z ≥ λ·lo(x) requires λ ≥ 0 — holds for alpha ∈ [0,1).
+        }
+        out
+    }
+
+    /// Sound but coefficient-free handling of monotone smooth activations:
+    /// each neuron is concretised to the monotone image of its interval.
+    fn concretized_monotone(&self, act: Activation) -> SymbolicState {
+        let d = self.input.dim();
+        let n = self.dim();
+        let lo_coef = Matrix::zeros(n, d);
+        let hi_coef = Matrix::zeros(n, d);
+        let mut lo_const = vec![0.0; n];
+        let mut hi_const = vec![0.0; n];
+        let mut clamp = Vec::with_capacity(n);
+        for i in 0..n {
+            let iv = self.concretize_neuron(i).monotone_image(|x| act.apply(x));
+            lo_const[i] = iv.lo();
+            hi_const[i] = iv.hi();
+            clamp.push(iv);
+        }
+        SymbolicState { input: self.input.clone(), lo_coef, lo_const, hi_coef, hi_const, clamp }
+    }
+
+    /// Pushes the state through a full layer (affine + activation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::DimensionMismatch`] if the state arity does not
+    /// match the layer input.
+    pub fn through_layer(&self, layer: &DenseLayer) -> Result<SymbolicState, AbsintError> {
+        Ok(self.through_affine(layer)?.through_activation(layer.activation()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, DenseLayer, Network};
+    use covern_tensor::Rng;
+
+    fn fig2_first_layer() -> DenseLayer {
+        DenseLayer::from_rows(
+            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+            &[0.0; 3],
+            Activation::Relu,
+        )
+    }
+
+    fn fig2_second_layer() -> DenseLayer {
+        DenseLayer::from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+    }
+
+    #[test]
+    fn identity_state_concretizes_to_input() {
+        let b = BoxDomain::from_bounds(&[(-1.0, 2.0), (0.5, 0.75)]).unwrap();
+        let s = SymbolicState::from_box(b.clone());
+        assert_eq!(s.to_box(), b);
+    }
+
+    #[test]
+    fn affine_layer_is_exact_for_identity_activation() {
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let s = SymbolicState::from_box(b);
+        let layer = DenseLayer::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]], &[0.0, 0.0], Activation::Identity);
+        let out = s.through_layer(&layer).unwrap().to_box();
+        // x1 + x2 ∈ [-2,2], x1 - x2 ∈ [-2,2] — symbolic equals interval here.
+        assert_eq!(out.lower(), vec![-2.0, -2.0]);
+        assert_eq!(out.upper(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn symbolic_beats_interval_on_cancellation() {
+        // y = (x) - (x) is exactly 0 symbolically; intervals give [-2, 2].
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let s = SymbolicState::from_box(b.clone());
+        let split = DenseLayer::from_rows(&[&[1.0], &[1.0]], &[0.0, 0.0], Activation::Identity);
+        let diff = DenseLayer::from_rows(&[&[1.0, -1.0]], &[0.0], Activation::Identity);
+        let sym_out = s
+            .through_layer(&split)
+            .unwrap()
+            .through_layer(&diff)
+            .unwrap()
+            .to_box();
+        assert_eq!(sym_out.lower(), vec![0.0]);
+        assert_eq!(sym_out.upper(), vec![0.0]);
+
+        let box_out = b
+            .through_layer(&split)
+            .unwrap()
+            .through_layer(&diff)
+            .unwrap();
+        assert_eq!(box_out.lower(), vec![-2.0]);
+        assert_eq!(box_out.upper(), vec![2.0]);
+    }
+
+    #[test]
+    fn fig2_layer1_bounds_match_paper() {
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let out = SymbolicState::from_box(b)
+            .through_layer(&fig2_first_layer())
+            .unwrap()
+            .to_box();
+        assert_eq!(out.lower(), vec![0.0, 0.0, 0.0]);
+        assert_eq!(out.upper(), vec![3.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn fig2_n4_bound_at_most_box_bound() {
+        // The paper's box abstraction gives n4 ≤ 12 on [-1,1]²; symbolic must
+        // not be looser.
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let out = SymbolicState::from_box(b)
+            .through_layer(&fig2_first_layer())
+            .unwrap()
+            .through_layer(&fig2_second_layer())
+            .unwrap()
+            .to_box();
+        assert!(out.upper()[0] <= 12.0 + 1e-9, "got {}", out.upper()[0]);
+        assert!(out.lower()[0] >= 0.0);
+    }
+
+    #[test]
+    fn stable_inactive_leaky_relu_scales() {
+        let b = BoxDomain::from_bounds(&[(-3.0, -1.0)]).unwrap();
+        let layer = DenseLayer::from_rows(&[&[1.0]], &[0.0], Activation::LeakyRelu(0.5));
+        let out = SymbolicState::from_box(b).through_layer(&layer).unwrap().to_box();
+        assert!((out.lower()[0] + 1.5).abs() < 1e-12);
+        assert!((out.upper()[0] + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigmoid_concretization_is_sound_and_tight_on_endpoints() {
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let layer = DenseLayer::from_rows(&[&[1.0]], &[0.0], Activation::Sigmoid);
+        let out = SymbolicState::from_box(b).through_layer(&layer).unwrap().to_box();
+        let sig = |x: f64| 1.0 / (1.0 + (-x).exp());
+        assert!((out.lower()[0] - sig(-1.0)).abs() < 1e-12);
+        assert!((out.upper()[0] - sig(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unstable_relu_floor_is_clamped_at_zero() {
+        // Pre-activation in [-1, 1]: relational lower bound would dip to -1,
+        // the clamp keeps the floor at 0.
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let layer = DenseLayer::from_rows(&[&[1.0]], &[0.0], Activation::Relu);
+        let out = SymbolicState::from_box(b).through_layer(&layer).unwrap().to_box();
+        assert_eq!(out.lower(), vec![0.0]);
+        assert_eq!(out.upper(), vec![1.0]);
+    }
+
+    #[test]
+    fn random_network_symbolic_contains_samples() {
+        let mut rng = Rng::seeded(17);
+        let net = Network::random(&[3, 6, 4, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (0.0, 2.0), (-0.5, 0.5)]).unwrap();
+        let mut s = SymbolicState::from_box(b.clone());
+        for layer in net.layers() {
+            s = s.through_layer(layer).unwrap();
+        }
+        let out_box = s.to_box().dilate(1e-9);
+        for _ in 0..200 {
+            let x: Vec<f64> = b
+                .intervals()
+                .iter()
+                .map(|iv| rng.uniform(iv.lo(), iv.hi()))
+                .collect();
+            let y = net.forward(&x).unwrap();
+            assert!(out_box.contains(&y), "sample escaped symbolic bounds");
+        }
+    }
+
+    #[test]
+    fn symbolic_never_looser_than_box_on_random_relu_nets() {
+        for seed in 0..10u64 {
+            let mut r = Rng::seeded(seed + 100);
+            let net = Network::random(&[2, 5, 3, 1], Activation::Relu, Activation::Identity, &mut r);
+            let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+            let mut s = SymbolicState::from_box(b.clone());
+            let mut bx = b.clone();
+            for layer in net.layers() {
+                s = s.through_layer(layer).unwrap();
+                bx = bx.through_layer(layer).unwrap();
+            }
+            let sym = s.to_box();
+            for i in 0..sym.dim() {
+                assert!(
+                    sym.interval(i).lo() >= bx.interval(i).lo() - 1e-9
+                        && sym.interval(i).hi() <= bx.interval(i).hi() + 1e-9,
+                    "symbolic looser than box on seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn through_layer_rejects_dim_mismatch() {
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let s = SymbolicState::from_box(b);
+        let layer = DenseLayer::from_rows(&[&[1.0, 2.0]], &[0.0], Activation::Relu);
+        assert!(s.through_layer(&layer).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! The zonotope abstract domain (affine forms with shared noise symbols).
+//!
+//! A zonotope is the image of a hypercube `[-1,1]^g` under an affine map:
+//! `{ c + G·e : ‖e‖_∞ ≤ 1 }`. Affine layers act exactly on `(c, G)`;
+//! unstable ReLUs introduce one fresh noise symbol each (the AI² / DeepZ
+//! relaxation). The paper cites zonotopes as one of the sound layered
+//! abstraction methods whose results can be stored as `S1..Sn`.
+
+use crate::box_domain::BoxDomain;
+use crate::error::AbsintError;
+use crate::interval::Interval;
+use covern_nn::{Activation, DenseLayer};
+use covern_tensor::Matrix;
+
+/// A zonotope `{ c + G·e : e ∈ [-1,1]^g }` over `n` neurons, intersected
+/// with a per-neuron concrete clamp interval.
+///
+/// The clamp keeps post-activation floors tight (e.g. `ReLU ≥ 0`) where the
+/// pure affine-form relaxation would dip below them — the same hybrid that
+/// production analysers use (zonotope ∩ interval analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zonotope {
+    center: Vec<f64>,
+    /// `n × g` generator matrix.
+    generators: Matrix,
+    /// Concrete interval bound per neuron, intersected at concretisation.
+    clamp: Vec<Interval>,
+}
+
+impl Zonotope {
+    /// The zonotope exactly representing a box (one generator per dimension).
+    pub fn from_box(b: &BoxDomain) -> Self {
+        let n = b.dim();
+        let center = b.center();
+        let mut generators = Matrix::zeros(n, n);
+        for (i, iv) in b.intervals().iter().enumerate() {
+            generators.set(i, i, iv.width() * 0.5);
+        }
+        Self { center, generators, clamp: b.intervals().to_vec() }
+    }
+
+    /// Number of neurons bounded.
+    pub fn dim(&self) -> usize {
+        self.center.len()
+    }
+
+    /// Number of noise symbols.
+    pub fn num_generators(&self) -> usize {
+        self.generators.cols()
+    }
+
+    /// Radius (sum of absolute generator entries) of neuron `i`.
+    fn radius(&self, i: usize) -> f64 {
+        self.generators.row(i).iter().map(|v| v.abs()).sum()
+    }
+
+    /// Concrete interval of neuron `i` (affine-form bounds ∩ clamp).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn concretize_neuron(&self, i: usize) -> Interval {
+        let r = self.radius(i);
+        let affine = Interval::from_unordered(self.center[i] - r, self.center[i] + r);
+        affine
+            .intersect(&self.clamp[i])
+            // Disjointness can only arise from round-off at the boundary;
+            // fall back to the hull (sound).
+            .unwrap_or_else(|| affine.hull(&self.clamp[i]))
+    }
+
+    /// Concretises every neuron to a box.
+    pub fn to_box(&self) -> BoxDomain {
+        BoxDomain::new((0..self.dim()).map(|i| self.concretize_neuron(i)).collect())
+    }
+
+    /// Exact image under the affine part of a layer.
+    fn through_affine(&self, layer: &DenseLayer) -> Result<Zonotope, AbsintError> {
+        if self.dim() != layer.in_dim() {
+            return Err(AbsintError::DimensionMismatch {
+                context: "Zonotope::through_affine",
+                expected: layer.in_dim(),
+                actual: self.dim(),
+            });
+        }
+        let mut center = layer.weights().matvec(&self.center);
+        for (c, b) in center.iter_mut().zip(layer.bias().iter()) {
+            *c += b;
+        }
+        let generators = layer.weights().matmul(&self.generators);
+        // Interval evaluation of W·clamp + b for the affine clamp.
+        let mut clamp = Vec::with_capacity(layer.out_dim());
+        for i in 0..layer.out_dim() {
+            let mut acc = Interval::point(layer.bias()[i]);
+            for (j, c) in self.clamp.iter().enumerate() {
+                acc = acc.add(&c.scale(layer.weights().get(i, j)));
+            }
+            clamp.push(acc);
+        }
+        Ok(Zonotope { center, generators, clamp })
+    }
+
+    /// Sound image under the activation; unstable PWL neurons add one fresh
+    /// noise symbol each, smooth activations are concretised per neuron.
+    fn through_activation(&self, act: Activation) -> Zonotope {
+        match act {
+            Activation::Identity => self.clone(),
+            Activation::Relu => self.relaxed_pwl(0.0),
+            Activation::LeakyRelu(alpha) => self.relaxed_pwl(alpha),
+            Activation::Sigmoid | Activation::Tanh => self.concretized_monotone(act),
+        }
+    }
+
+    fn relaxed_pwl(&self, alpha: f64) -> Zonotope {
+        let n = self.dim();
+        let g = self.num_generators();
+        // First pass: find unstable neurons (each needs a fresh symbol).
+        let mut unstable = Vec::new();
+        for i in 0..n {
+            let iv = self.concretize_neuron(i);
+            if iv.lo() < 0.0 && iv.hi() > 0.0 {
+                unstable.push(i);
+            }
+        }
+        let mut center = self.center.clone();
+        let mut generators = Matrix::zeros(n, g + unstable.len());
+        let mut clamp = Vec::with_capacity(n);
+        for i in 0..n {
+            let iv = self.concretize_neuron(i);
+            let (l, u) = (iv.lo(), iv.hi());
+            clamp.push(iv.monotone_image(|z| if z >= 0.0 { z } else { alpha * z }));
+            if l >= 0.0 {
+                // Stable active: copy row unchanged.
+                for k in 0..g {
+                    generators.set(i, k, self.generators.get(i, k));
+                }
+            } else if u <= 0.0 {
+                // Stable inactive: exact scaling by alpha.
+                center[i] *= alpha;
+                for k in 0..g {
+                    generators.set(i, k, alpha * self.generators.get(i, k));
+                }
+            } else {
+                // Unstable: DeepZ relaxation for act(z) = max(alpha·z, z).
+                // Chord slope s and symmetric error term of radius mu.
+                let s = (u - alpha * l) / (u - l);
+                let mu = 0.5 * (s - alpha) * (-l);
+                center[i] = s * center[i] + mu;
+                for k in 0..g {
+                    generators.set(i, k, s * self.generators.get(i, k));
+                }
+                let fresh = g + unstable.iter().position(|&j| j == i).expect("indexed above");
+                generators.set(i, fresh, mu);
+            }
+        }
+        Zonotope { center, generators, clamp }
+    }
+
+    fn concretized_monotone(&self, act: Activation) -> Zonotope {
+        let n = self.dim();
+        let mut center = vec![0.0; n];
+        let mut generators = Matrix::zeros(n, n);
+        let mut clamp = Vec::with_capacity(n);
+        for i in 0..n {
+            let iv = self.concretize_neuron(i).monotone_image(|x| act.apply(x));
+            center[i] = iv.center();
+            generators.set(i, i, iv.width() * 0.5);
+            clamp.push(iv);
+        }
+        Zonotope { center, generators, clamp }
+    }
+
+    /// Pushes the zonotope through a full layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::DimensionMismatch`] on arity mismatch.
+    pub fn through_layer(&self, layer: &DenseLayer) -> Result<Zonotope, AbsintError> {
+        Ok(self.through_affine(layer)?.through_activation(layer.activation()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::Network;
+    use covern_tensor::Rng;
+
+    #[test]
+    fn from_box_roundtrips() {
+        let b = BoxDomain::from_bounds(&[(-1.0, 3.0), (0.0, 0.5)]).unwrap();
+        let z = Zonotope::from_box(&b);
+        let back = z.to_box();
+        for i in 0..2 {
+            assert!((back.interval(i).lo() - b.interval(i).lo()).abs() < 1e-12);
+            assert!((back.interval(i).hi() - b.interval(i).hi()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn affine_tracks_correlations() {
+        // y1 = x, y2 = -x: zonotope knows y1 + y2 = 0.
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let z = Zonotope::from_box(&b);
+        let split = DenseLayer::from_rows(&[&[1.0], &[-1.0]], &[0.0, 0.0], Activation::Identity);
+        let sum = DenseLayer::from_rows(&[&[1.0, 1.0]], &[0.0], Activation::Identity);
+        let out = z.through_layer(&split).unwrap().through_layer(&sum).unwrap().to_box();
+        assert!(out.interval(0).lo().abs() < 1e-12);
+        assert!(out.interval(0).hi().abs() < 1e-12);
+    }
+
+    #[test]
+    fn stable_relu_is_exact() {
+        let b = BoxDomain::from_bounds(&[(1.0, 2.0)]).unwrap();
+        let z = Zonotope::from_box(&b);
+        let layer = DenseLayer::from_rows(&[&[1.0]], &[0.0], Activation::Relu);
+        let out = z.through_layer(&layer).unwrap().to_box();
+        assert!((out.interval(0).lo() - 1.0).abs() < 1e-12);
+        assert!((out.interval(0).hi() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inactive_relu_collapses_to_zero() {
+        let b = BoxDomain::from_bounds(&[(-2.0, -1.0)]).unwrap();
+        let z = Zonotope::from_box(&b);
+        let layer = DenseLayer::from_rows(&[&[1.0]], &[0.0], Activation::Relu);
+        let out = z.through_layer(&layer).unwrap().to_box();
+        assert_eq!(out.interval(0).lo(), 0.0);
+        assert_eq!(out.interval(0).hi(), 0.0);
+    }
+
+    #[test]
+    fn unstable_relu_is_sound() {
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let z = Zonotope::from_box(&b);
+        let layer = DenseLayer::from_rows(&[&[1.0]], &[0.0], Activation::Relu);
+        let out = z.through_layer(&layer).unwrap().to_box();
+        // Must contain the true range [0, 1].
+        assert!(out.interval(0).lo() <= 0.0 + 1e-12);
+        assert!(out.interval(0).hi() >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn random_network_zonotope_contains_samples() {
+        let mut rng = Rng::seeded(31);
+        let net = Network::random(&[3, 5, 4, 2], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-0.5, 1.5), (0.0, 1.0)]).unwrap();
+        let mut z = Zonotope::from_box(&b);
+        for layer in net.layers() {
+            z = z.through_layer(layer).unwrap();
+        }
+        let out_box = z.to_box().dilate(1e-9);
+        for _ in 0..200 {
+            let x: Vec<f64> = b
+                .intervals()
+                .iter()
+                .map(|iv| rng.uniform(iv.lo(), iv.hi()))
+                .collect();
+            let y = net.forward(&x).unwrap();
+            assert!(out_box.contains(&y), "sample escaped zonotope bounds");
+        }
+    }
+
+    #[test]
+    fn zonotope_not_looser_than_box_on_affine_chain() {
+        let mut rng = Rng::seeded(37);
+        let net = Network::random(&[2, 6, 1], Activation::Identity, Activation::Identity, &mut rng);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let mut z = Zonotope::from_box(&b);
+        let mut bx = b.clone();
+        for layer in net.layers() {
+            z = z.through_layer(layer).unwrap();
+            bx = bx.through_layer(layer).unwrap();
+        }
+        let zb = z.to_box();
+        assert!(bx.dilate(1e-9).contains_box(&zb));
+    }
+
+    #[test]
+    fn unstable_relu_adds_generators() {
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let z = Zonotope::from_box(&b);
+        let layer = DenseLayer::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]], &[0.0, 0.0], Activation::Relu);
+        let out = z.through_layer(&layer).unwrap();
+        assert_eq!(out.num_generators(), 4); // 2 original + 2 fresh
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let b = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let z = Zonotope::from_box(&b);
+        let layer = DenseLayer::from_rows(&[&[1.0, 2.0]], &[0.0], Activation::Relu);
+        assert!(z.through_layer(&layer).is_err());
+    }
+}

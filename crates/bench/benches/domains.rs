@@ -1,0 +1,43 @@
+//! Ablation B (DESIGN.md §5): the abstract domain used to record the
+//! state abstraction — box vs symbolic vs zonotope — and the cost of the
+//! buffered-chain artifact construction at several margins.
+
+use covern_absint::{reach_boxes, DomainKind};
+use covern_bench::build_platform_case;
+use covern_core::artifact::{Margin, StateAbstractionArtifact};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_domains(c: &mut Criterion) {
+    let case = build_platform_case(0).expect("platform case builds");
+
+    let mut group = c.benchmark_group("domains");
+    group.sample_size(10);
+
+    for kind in DomainKind::ALL {
+        group.bench_function(format!("reach_{kind}"), |b| {
+            b.iter(|| reach_boxes(&case.head, &case.din, kind).expect("reach runs"))
+        });
+    }
+    for (label, margin) in [
+        ("artifact_margin_none", Margin::NONE),
+        ("artifact_margin_standard", Margin::standard()),
+        ("artifact_margin_wide", Margin { rel: 0.2, abs: 1e-6 }),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                StateAbstractionArtifact::build_with_margin(
+                    &case.head,
+                    &case.din,
+                    &case.dout,
+                    DomainKind::Box,
+                    margin,
+                )
+                .expect("artifact builds")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_domains);
+criterion_main!(benches);

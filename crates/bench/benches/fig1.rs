@@ -1,0 +1,35 @@
+//! Criterion bench behind **Figure 1**: cost of the abstract transformer
+//! image vs the exact (MILP) reachable bound on the two-layer prefix —
+//! the trade Proposition 1 exploits.
+
+use covern_absint::transformer::{AbstractState, DomainKind};
+use covern_bench::{fig2_enlarged, fig2_network};
+use covern_milp::query::max_output_neuron;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    let net = fig2_network();
+    let enlarged = fig2_enlarged();
+
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+
+    for kind in DomainKind::ALL {
+        group.bench_function(format!("abstract_{kind}"), |b| {
+            b.iter(|| {
+                let mut s = AbstractState::from_box(kind, &enlarged);
+                for layer in net.layers() {
+                    s = s.through_layer(layer).expect("dims fit");
+                }
+                s.to_box()
+            })
+        });
+    }
+    group.bench_function("exact_milp", |b| {
+        b.iter(|| max_output_neuron(&net, &enlarged, 0).expect("milp solves"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

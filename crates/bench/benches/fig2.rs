@@ -1,0 +1,38 @@
+//! Criterion bench behind **Figure 2**: the components of the worked
+//! example — box reachability, the big-M encoding, and the exact solve.
+
+use covern_absint::{reach_boxes, DomainKind};
+use covern_bench::{fig2_din, fig2_enlarged, fig2_network};
+use covern_milp::encode::encode_network;
+use covern_milp::query::max_output_neuron;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    let net = fig2_network();
+    let din = fig2_din();
+    let enlarged = fig2_enlarged();
+
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(30);
+
+    group.bench_function("box_reach_original", |b| {
+        b.iter(|| reach_boxes(&net, &din, DomainKind::Box).expect("reach runs"))
+    });
+    group.bench_function("box_reach_enlarged", |b| {
+        b.iter(|| reach_boxes(&net, &enlarged, DomainKind::Box).expect("reach runs"))
+    });
+    group.bench_function("bigm_encoding", |b| {
+        b.iter(|| encode_network(&net, &enlarged).expect("encoding builds"))
+    });
+    group.bench_function("equation2_exact_max", |b| {
+        b.iter(|| {
+            let max = max_output_neuron(&net, &enlarged, 0).expect("milp solves");
+            assert!((max - 6.2).abs() < 1e-6);
+            max
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

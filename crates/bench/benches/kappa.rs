@@ -1,0 +1,44 @@
+//! Ablation D (DESIGN.md §5): Proposition 3's cost is O(1) in the network
+//! — pure box arithmetic — regardless of κ; and the Lipschitz estimator
+//! choice (global product vs box-local) only changes *applicability*, not
+//! cost. Both claims are measured here.
+
+use covern_absint::DomainKind;
+use covern_bench::build_platform_case;
+use covern_core::artifact::StateAbstractionArtifact;
+use covern_core::prop_domain::prop3;
+use covern_lipschitz::{global_lipschitz, local_lipschitz, NormKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_kappa(c: &mut Criterion) {
+    let case = build_platform_case(0).expect("platform case builds");
+    let artifact = StateAbstractionArtifact::build_with_margin(
+        &case.head,
+        &case.din,
+        &case.dout,
+        DomainKind::Box,
+        case.margin,
+    )
+    .expect("artifact builds");
+    let ell = global_lipschitz(&case.head, NormKind::L2);
+
+    let mut group = c.benchmark_group("kappa");
+    group.sample_size(20);
+
+    for grow in [1e-6, 1e-4, 1e-2] {
+        let enlarged = case.din.dilate(grow);
+        group.bench_function(format!("prop3_kappa_{grow:e}"), |b| {
+            b.iter(|| prop3(&artifact, &ell, &enlarged, &case.dout).expect("prop3 runs"))
+        });
+    }
+    group.bench_function("lipschitz_global_product", |b| {
+        b.iter(|| global_lipschitz(&case.head, NormKind::L2))
+    });
+    group.bench_function("lipschitz_box_local", |b| {
+        b.iter(|| local_lipschitz(&case.head, &case.din, NormKind::L2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kappa);
+criterion_main!(benches);

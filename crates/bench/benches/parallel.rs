@@ -1,0 +1,37 @@
+//! Ablation C (DESIGN.md §5): thread count for Proposition 4's
+//! independent per-layer checks (the paper: "the checking [is] highly
+//! parallelizable"). On small heads the per-subproblem cost is tiny, so
+//! this also exposes the scheduling overhead floor.
+
+use covern_absint::DomainKind;
+use covern_bench::build_platform_case;
+use covern_core::artifact::StateAbstractionArtifact;
+use covern_core::method::LocalMethod;
+use covern_core::prop_model::prop4;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_parallel(c: &mut Criterion) {
+    let case = build_platform_case(1).expect("platform case builds");
+    let artifact = StateAbstractionArtifact::build_with_margin(
+        &case.head,
+        &case.din,
+        &case.dout,
+        DomainKind::Box,
+        case.margin,
+    )
+    .expect("artifact builds");
+    let tuned = case.models[0].clone();
+    let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 8 };
+
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("prop4_threads_{threads}"), |b| {
+            b.iter(|| prop4(&tuned, &artifact, &case.din, &method, threads).expect("prop4 runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation A (DESIGN.md §5): the three SVuDC reuse strategies against
+//! full re-verification, on the same enlargement instance.
+//!
+//! Also covers the paper's footnote-1 design choice: Prop 1 solves *two*
+//! layers exactly; the one-layer variant is measured for comparison.
+
+use covern_absint::DomainKind;
+use covern_bench::{build_platform_case, full_verification, BASELINE_LEAVES};
+use covern_core::artifact::StateAbstractionArtifact;
+use covern_core::method::{check_local_containment, LocalMethod};
+use covern_core::prop_domain::{prop1, prop2, prop3};
+use covern_lipschitz::{global_lipschitz, NormKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_props(c: &mut Criterion) {
+    let case = build_platform_case(0).expect("platform case builds");
+    let artifact = StateAbstractionArtifact::build_with_margin(
+        &case.head,
+        &case.din,
+        &case.dout,
+        DomainKind::Box,
+        case.margin,
+    )
+    .expect("artifact builds");
+    let ell = global_lipschitz(&case.head, NormKind::L2);
+    let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 8 };
+    let enlarged = case.enlargements[0].clone();
+
+    let mut group = c.benchmark_group("props");
+    group.sample_size(10);
+
+    group.bench_function("prop1_two_layer_exact", |b| {
+        b.iter(|| prop1(&case.head, &artifact, &enlarged, &method).expect("prop1 runs"))
+    });
+    group.bench_function("prop1_one_layer_variant", |b| {
+        // Footnote-1 ablation: the same check with only the first layer.
+        b.iter(|| {
+            let prefix = case.head.slice(1, 1);
+            let s1 = artifact.layers().layer_box(1).expect("S1 exists");
+            check_local_containment(&prefix, &enlarged, s1, &method).expect("check runs")
+        })
+    });
+    group.bench_function("prop1_bidirectional_method", |b| {
+        // The forward+backward local method (paper future work) on the same
+        // Prop 1 subproblem.
+        let bi = LocalMethod::Bidirectional {
+            domain: DomainKind::Symbolic,
+            max_splits_per_face: 8,
+        };
+        b.iter(|| prop1(&case.head, &artifact, &enlarged, &bi).expect("prop1 runs"))
+    });
+    group.bench_function("prop2_layerwise_reentry", |b| {
+        b.iter(|| prop2(&case.head, &artifact, &enlarged, &method).expect("prop2 runs"))
+    });
+    group.bench_function("prop3_lipschitz", |b| {
+        b.iter(|| prop3(&artifact, &ell, &enlarged, &case.dout).expect("prop3 runs"))
+    });
+    group.bench_function("full_reverification", |b| {
+        b.iter(|| full_verification(&case.head, &enlarged, &case.dout, BASELINE_LEAVES))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_props);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench behind **Table I**: incremental verification (SVuDC via
+//! Proposition 1, SVbTV via Proposition 4) vs the certification-grade full
+//! verification baseline, on the platform's trained head.
+
+use covern_absint::DomainKind;
+use covern_bench::{build_platform_case, full_verification, PlatformCase, BASELINE_LEAVES};
+use covern_core::artifact::StateAbstractionArtifact;
+use covern_core::method::LocalMethod;
+use covern_core::prop_domain::prop1;
+use covern_core::prop_model::prop4;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn setup() -> (PlatformCase, StateAbstractionArtifact) {
+    let case = build_platform_case(0).expect("platform case builds");
+    let artifact = StateAbstractionArtifact::build_with_margin(
+        &case.head,
+        &case.din,
+        &case.dout,
+        DomainKind::Box,
+        case.margin,
+    )
+    .expect("artifact builds");
+    assert!(artifact.proof_established(), "Table I assumes the original proof holds");
+    (case, artifact)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let (case, artifact) = setup();
+    let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 8 };
+    let enlarged = case.enlargements[0].clone();
+    let tuned = case.models[0].clone();
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("full_verification_baseline", |b| {
+        b.iter(|| full_verification(&case.head, &enlarged, &case.dout, BASELINE_LEAVES))
+    });
+    group.bench_function("svudc_prop1_incremental", |b| {
+        b.iter(|| prop1(&case.head, &artifact, &enlarged, &method).expect("prop1 runs"))
+    });
+    group.bench_function("svbtv_prop4_incremental", |b| {
+        b.iter(|| prop4(&tuned, &artifact, &case.din, &method, 4).expect("prop4 runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

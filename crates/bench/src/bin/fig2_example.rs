@@ -1,0 +1,57 @@
+//! Regenerates **Figure 2** of the paper: the worked example showing why
+//! proof reuse needs an exact local method.
+//!
+//! * Box abstraction on `[-1,1]²`: `n1,n2 ∈ [0,3]`, `n3 ∈ [0,2]`,
+//!   `n4 ∈ [0,12]` (the black intervals);
+//! * after enlarging to `[-1,1.1]²`: `n1,n2 ∈ [0,3.1]`, `n3 ∈ [0,2.1]`,
+//!   `n4 ∈ [0,12.4]` (the red intervals) — the abstract bound escapes the
+//!   stored `S2 = [0,12]`;
+//! * the exact method (Equation 2, big-M MILP) finds `max n4 = 6.2 < 12`,
+//!   so Proposition 1 reuses the proof.
+//!
+//! Run with: `cargo run --release -p covern-bench --bin fig2_example`
+
+use covern_absint::{reach_boxes, DomainKind};
+use covern_bench::{fig2_din, fig2_dout, fig2_enlarged, fig2_network};
+use covern_core::artifact::StateAbstractionArtifact;
+use covern_core::method::LocalMethod;
+use covern_core::prop_domain::prop1;
+use covern_milp::encode::encode_network;
+use covern_milp::query::max_output_neuron;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = fig2_network();
+    println!("FIGURE 2 — the paper's worked example\n");
+    println!("network: {net}  (n1 = ReLU(x1 − 2x2), n2 = ReLU(−2x1 + x2),");
+    println!("                 n3 = ReLU(x1 − x2), n4 = ReLU(2n1 + 2n2 − n3))\n");
+
+    let din = fig2_din();
+    let abs = reach_boxes(&net, &din, DomainKind::Box)?;
+    println!("box abstraction over Din = [-1,1]² (black intervals):");
+    println!("  S1 = {}", abs.layer_box(1)?);
+    println!("  S2 (n4) = {}\n", abs.layer_box(2)?);
+
+    let enlarged = fig2_enlarged();
+    let abs_e = reach_boxes(&net, &enlarged, DomainKind::Box)?;
+    println!("box abstraction over Din ∪ Δin = [-1,1.1]² (red intervals):");
+    println!("  S1' = {}", abs_e.layer_box(1)?);
+    println!("  n4 bound = {} — exceeds the stored S2 = [0, 12]!\n", abs_e.layer_box(2)?);
+
+    println!("Equation 2 — the big-M MILP encoding of the condition n4 ≥ 12:");
+    let enc = encode_network(&net, &enlarged)?;
+    println!(
+        "  {} variables, {} constraints, {} unstable ReLUs (binaries)",
+        enc.model.num_vars(),
+        enc.model.num_constraints(),
+        enc.num_unstable
+    );
+    let exact_max = max_output_neuron(&net, &enlarged, 0)?;
+    println!("  exact maximum of n4 over the enlarged domain: {exact_max:.6}");
+    println!("  paper: \"the maximum possible value for n4 equals 6.2\"\n");
+
+    let artifact = StateAbstractionArtifact::build(&net, &din, &fig2_dout(), DomainKind::Box)?;
+    let report = prop1(&net, &artifact, &enlarged, &LocalMethod::default())?;
+    println!("Proposition 1 verdict: {report}");
+    println!("→ as 6.2 < 12, the safety property also holds in the enlarged domain.");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Regenerates **Figure 3** of the paper: the DNN's waypoint output
+//! visualised on the race track.
+//!
+//! Drives the simulated vehicle around the course, queries the trained
+//! perception stack per frame, and renders (a) an ASCII map of the track
+//! with the vehicle trace and (b) a CSV of `vout` / waypoint-x per frame —
+//! the reproduction of the red-circle overlays in the paper's photos.
+//!
+//! Run with: `cargo run --release -p covern-bench --bin fig3_track`
+
+use covern_vehicle::camera::Conditions;
+use covern_vehicle::control::{PurePursuit, VehicleState};
+use covern_vehicle::experiment::{Scenario, ScenarioConfig};
+use covern_tensor::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("building platform and training the perception head …\n");
+    // Closed-loop driving needs a sharper regressor than the verification
+    // experiments: more data and epochs.
+    let scenario = Scenario::build(ScenarioConfig {
+        train_samples: 360,
+        train_epochs: 40,
+        ..ScenarioConfig::default()
+    })?;
+    let track = scenario.track().clone();
+    let cam = scenario.camera().clone();
+    let pp = PurePursuit::for_dnn();
+    let mut rng = Rng::seeded(33);
+
+    // Closed-loop drive steered by the DNN's waypoint.
+    let mut state = VehicleState { x: 0.0, y: 0.0, theta: 0.0, v: 1.0 };
+    let dt = 0.05;
+    let steps = (track.length() / (state.v * dt) * 1.05) as usize;
+    let mut trace = Vec::with_capacity(steps);
+    println!("frame,x,y,vout,waypoint_x,waypoint_y,lateral_offset");
+    for i in 0..steps {
+        let img = cam.render(&track, &state, &Conditions::nominal(), &mut rng);
+        let vout = scenario.perception().vout(&img)?;
+        let (wx, wy) = scenario.perception().waypoint(&img)?;
+        let off = track.lateral_offset((state.x, state.y));
+        if i % 5 == 0 {
+            println!("{i},{:.3},{:.3},{vout:.4},{wx},{wy},{off:.4}", state.x, state.y);
+        }
+        trace.push((state.x, state.y, off));
+        state = state.step(pp.steering(vout), pp.wheelbase, dt);
+    }
+
+    // ASCII map: track borders (·), centerline (–), vehicle trace (o/X).
+    let (w, h) = (72usize, 26usize);
+    let (min_x, max_x) = (-2.2, 6.2);
+    let (min_y, max_y) = (-1.2, 4.2);
+    let mut canvas = vec![vec![' '; w]; h];
+    let to_px = |x: f64, y: f64| -> (usize, usize) {
+        let u = ((x - min_x) / (max_x - min_x) * (w as f64 - 1.0)).round() as isize;
+        let v = ((max_y - y) / (max_y - min_y) * (h as f64 - 1.0)).round() as isize;
+        (u.clamp(0, w as i64 as isize - 1) as usize, v.clamp(0, h as isize - 1) as usize)
+    };
+    let n = 600;
+    for i in 0..n {
+        let s = track.length() * i as f64 / n as f64;
+        let (cx, cy) = track.centerline(s);
+        let hd = track.heading(s);
+        let (un, vn) = to_px(cx, cy);
+        canvas[vn][un] = '-';
+        for side in [-1.0, 1.0] {
+            let bx = cx - side * track.half_width() * hd.sin();
+            let by = cy + side * track.half_width() * hd.cos();
+            let (ub, vb) = to_px(bx, by);
+            if canvas[vb][ub] == ' ' {
+                canvas[vb][ub] = '.';
+            }
+        }
+    }
+    let mut max_off: f64 = 0.0;
+    for &(x, y, off) in &trace {
+        let (u, v) = to_px(x, y);
+        canvas[v][u] = if off.abs() > track.half_width() { 'X' } else { 'o' };
+        max_off = max_off.max(off.abs());
+    }
+
+    println!("\nFIGURE 3 — DNN waypoints driving the vehicle on the race track");
+    println!("(.: lane borders, -: centerline, o: DNN-driven trace, X: off-lane)\n");
+    for row in canvas {
+        println!("{}", row.into_iter().collect::<String>());
+    }
+    println!(
+        "\nmax |lateral offset| = {:.3} m (lane half-width {:.3} m) — {}",
+        max_off,
+        track.half_width(),
+        if max_off <= track.half_width() { "stayed in lane" } else { "left the lane" }
+    );
+    Ok(())
+}

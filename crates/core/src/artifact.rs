@@ -1,0 +1,411 @@
+//! Proof artifacts stored from the original verification run.
+//!
+//! The paper assumes the original proof of `φ(f, Din, Dout)` is available
+//! in one or more of three forms (Section IV): layer-wise **state
+//! abstractions**, a **Lipschitz constant**, and a structural **network
+//! abstraction**. [`ProofArtifacts`] bundles them; each is optional because
+//! real verification runs produce different subsets.
+
+use crate::error::CoreError;
+use crate::method::CONTAIN_TOL;
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::reach::{reach_boxes, LayerAbstraction};
+use covern_absint::transformer::AbstractState;
+use covern_absint::DomainKind;
+use covern_lipschitz::bound::LipschitzCertificate;
+use covern_netabs::merge::AbstractionDirection;
+use covern_nn::Network;
+
+/// The "additional buffers" of the paper's evaluation: every recorded
+/// `Si` is dilated outward by `abs + rel · width/2` per dimension.
+///
+/// A zero margin records the tightest sound boxes, which makes the
+/// artifact maximally precise but brittle under fine-tuning: *any* weight
+/// drift breaks the layer-wise containment checks of Propositions 4/5. A
+/// few percent of relative margin buys robust reuse at the price of a
+/// slightly looser proof (the suffix guarantees are re-verified on the
+/// dilated boxes, so soundness is unaffected). Ablation bench `domains`
+/// sweeps this trade-off.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Margin {
+    /// Relative dilation: fraction of each interval's half-width.
+    pub rel: f64,
+    /// Absolute dilation per dimension.
+    pub abs: f64,
+}
+
+impl Margin {
+    /// No buffering (tightest artifact).
+    pub const NONE: Margin = Margin { rel: 0.0, abs: 0.0 };
+
+    /// The buffering used by the platform experiments: 5% relative plus a
+    /// small absolute floor.
+    pub fn standard() -> Margin {
+        Margin { rel: 0.05, abs: 1e-6 }
+    }
+
+    fn dilate(&self, b: &BoxDomain) -> BoxDomain {
+        if self.rel == 0.0 && self.abs == 0.0 {
+            return b.clone();
+        }
+        let dims = b
+            .intervals()
+            .iter()
+            .map(|iv| iv.dilate(self.abs + self.rel * iv.width() * 0.5))
+            .collect();
+        BoxDomain::new(dims)
+    }
+}
+
+/// State abstractions `S1..Sn` plus, per layer, whether the *suffix
+/// guarantee* holds: starting from `Sk` and running the abstract
+/// transformer through layers `k+1..n` lands inside `Dout`.
+///
+/// The suffix flags make reuse honest: Proposition 1's proof needs "any
+/// state in `S2`, after passing the rest of the DNN, leads to an output in
+/// `Dout`". For the plain box domain that is the chain property by
+/// construction; for relational domains (symbolic, zonotope) the recorded
+/// per-layer boxes are *tighter* than the chain property guarantees, so we
+/// verify each suffix once, during artifact creation, and store the result.
+///
+/// Artifacts serialize (JSON via the pipeline's save/resume); the float
+/// roundtrip may perturb bounds at the final ULP, which is ten orders of
+/// magnitude inside the [`CONTAIN_TOL`](crate::method::CONTAIN_TOL) every
+/// containment check allows.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StateAbstractionArtifact {
+    layers: LayerAbstraction,
+    suffix_ok: Vec<bool>,
+    dout: BoxDomain,
+}
+
+impl StateAbstractionArtifact {
+    /// Builds the artifact with no buffering margin; see
+    /// [`build_with_margin`](Self::build_with_margin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn build(
+        net: &Network,
+        din: &BoxDomain,
+        dout: &BoxDomain,
+        domain: DomainKind,
+    ) -> Result<Self, CoreError> {
+        Self::build_with_margin(net, din, dout, domain, Margin::NONE)
+    }
+
+    /// Builds the artifact over `din`, recording per-layer boxes, and
+    /// checking every suffix guarantee.
+    ///
+    /// With [`Margin::NONE`] the boxes come from one relational pass of the
+    /// chosen domain — maximally tight, but any fine-tuning drift breaks
+    /// the layer-wise containment checks (the relational `S_{i+1}` is
+    /// *tighter* than the image of the box `S_i`).
+    ///
+    /// With a non-zero margin the boxes are built as a **buffered chain**:
+    /// `S_{k} = dilate(image(S_{k-1}))`, each step restarting the chosen
+    /// domain from the previous *stored* box. By construction every stored
+    /// box then over-approximates the image of its predecessor with slack
+    /// `margin` — exactly the paper's "approximation … usually larger than
+    /// the reachable states" that makes Propositions 4/5 succeed after
+    /// fine-tuning. Suffix guarantees are verified on the stored boxes, so
+    /// soundness is unaffected either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn build_with_margin(
+        net: &Network,
+        din: &BoxDomain,
+        dout: &BoxDomain,
+        domain: DomainKind,
+        margin: Margin,
+    ) -> Result<Self, CoreError> {
+        if dout.dim() != net.output_dim() {
+            return Err(CoreError::DimensionMismatch {
+                context: "StateAbstractionArtifact::build (dout)",
+                expected: net.output_dim(),
+                actual: dout.dim(),
+            });
+        }
+        let layers = if margin == Margin::NONE {
+            reach_boxes(net, din, domain)?
+        } else {
+            let n = net.num_layers();
+            let mut boxes = Vec::with_capacity(n);
+            let mut current = din.clone();
+            for (k, layer) in net.layers().iter().enumerate() {
+                let mut state = AbstractState::from_box(domain, &current);
+                state = state.through_layer(layer)?;
+                // The final box Sn is exempt from buffering: its only job is
+                // the containment in Dout, and inflating it can sink the
+                // proof of a tight property without buying any reuse (the
+                // Prop 4/5 final checks target Dout directly).
+                current = if k + 1 < n {
+                    margin.dilate(&state.to_box()).dilate(covern_absint::SOUND_EPS)
+                } else {
+                    state.to_box().dilate(covern_absint::SOUND_EPS)
+                };
+                boxes.push(current.clone());
+            }
+            LayerAbstraction::from_parts(din.clone(), boxes, domain)
+        };
+        let n = net.num_layers();
+        let mut suffix_ok = vec![false; n];
+        // suffix_ok[n-1]: Sn ⊆ Dout directly.
+        suffix_ok[n - 1] = dout
+            .dilate(CONTAIN_TOL)
+            .contains_box(layers.layer_box(n)?);
+        // suffix_ok[k-1] for k < n: run the domain from box Sk through the
+        // remaining layers.
+        for k in (1..n).rev() {
+            let mut state = AbstractState::from_box(domain, layers.layer_box(k)?);
+            for layer in &net.layers()[k..] {
+                state = state.through_layer(layer)?;
+            }
+            suffix_ok[k - 1] = dout.dilate(CONTAIN_TOL).contains_box(&state.to_box());
+        }
+        Ok(Self { layers, suffix_ok, dout: dout.clone() })
+    }
+
+    /// The recorded per-layer boxes.
+    pub fn layers(&self) -> &LayerAbstraction {
+        &self.layers
+    }
+
+    /// The safety set the artifact was built against.
+    pub fn dout(&self) -> &BoxDomain {
+        &self.dout
+    }
+
+    /// Whether the proof itself was established: the suffix guarantee from
+    /// `S1` (equivalently, the full abstract run lands in `Dout`).
+    pub fn proof_established(&self) -> bool {
+        self.suffix_ok[0]
+    }
+
+    /// Whether the suffix guarantee holds from `Sk` (1-based `k`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `k` is out of range.
+    pub fn suffix_ok(&self, k: usize) -> Result<bool, CoreError> {
+        if k == 0 || k > self.suffix_ok.len() {
+            return Err(CoreError::DimensionMismatch {
+                context: "suffix_ok (layer index)",
+                expected: self.suffix_ok.len(),
+                actual: k,
+            });
+        }
+        Ok(self.suffix_ok[k - 1])
+    }
+
+    /// Number of layers `n`.
+    pub fn num_layers(&self) -> usize {
+        self.suffix_ok.len()
+    }
+
+    /// Re-targets the artifact at a different safety set, recomputing every
+    /// suffix flag against `new_dout` — without re-running the reachability
+    /// analysis. This is the artifact-reuse path for *specification
+    /// evolution* (the paper's §VI future-work item on evolving quantitative
+    /// specifications): the boxes `S1..Sn` are property-independent, only
+    /// the suffix guarantees change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `new_dout` has the wrong
+    /// arity.
+    pub fn retarget(&self, net: &Network, new_dout: &BoxDomain) -> Result<Self, CoreError> {
+        if new_dout.dim() != self.dout.dim() {
+            return Err(CoreError::DimensionMismatch {
+                context: "StateAbstractionArtifact::retarget",
+                expected: self.dout.dim(),
+                actual: new_dout.dim(),
+            });
+        }
+        let domain = self.layers.domain();
+        let n = self.num_layers();
+        let mut suffix_ok = vec![false; n];
+        suffix_ok[n - 1] = new_dout
+            .dilate(CONTAIN_TOL)
+            .contains_box(self.layers.layer_box(n)?);
+        for k in (1..n).rev() {
+            let mut state = AbstractState::from_box(domain, self.layers.layer_box(k)?);
+            for layer in &net.layers()[k..] {
+                state = state.through_layer(layer)?;
+            }
+            suffix_ok[k - 1] = new_dout.dilate(CONTAIN_TOL).contains_box(&state.to_box());
+        }
+        Ok(Self { layers: self.layers.clone(), suffix_ok, dout: new_dout.clone() })
+    }
+
+    /// Replaces the stored abstraction of layer `k` and re-evaluates the
+    /// affected suffix flag (used by Section IV-C fixing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on invalid indices or dimensions.
+    pub fn replace_layer_box(
+        &mut self,
+        net: &Network,
+        k: usize,
+        replacement: BoxDomain,
+    ) -> Result<(), CoreError> {
+        self.layers.replace_layer_box(k, replacement)?;
+        // Recompute the suffix flag of the replaced layer.
+        let domain = self.layers.domain();
+        let n = self.num_layers();
+        if k == n {
+            self.suffix_ok[n - 1] = self
+                .dout
+                .dilate(CONTAIN_TOL)
+                .contains_box(self.layers.layer_box(n)?);
+        } else {
+            let mut state = AbstractState::from_box(domain, self.layers.layer_box(k)?);
+            for layer in &net.layers()[k..] {
+                state = state.through_layer(layer)?;
+            }
+            self.suffix_ok[k - 1] = self.dout.dilate(CONTAIN_TOL).contains_box(&state.to_box());
+        }
+        Ok(())
+    }
+}
+
+/// A verified structural network abstraction (the Proposition 6 artifact).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct NetworkAbstractionArtifact {
+    /// The abstraction `f̂` (over direction: `f̂ ≥ f` on `Din`).
+    pub abstraction: Network,
+    /// The direction of dominance.
+    pub direction: AbstractionDirection,
+    /// Whether `∀x ∈ Din : f̂(x) ∈ Dout` was verified (the premise of
+    /// Proposition 6's proof).
+    pub verified_on: Option<BoxDomain>,
+}
+
+/// The bundle of artifacts from the original verification run.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct ProofArtifacts {
+    /// Layer-wise state abstractions with suffix guarantees.
+    pub state: Option<StateAbstractionArtifact>,
+    /// A certified Lipschitz constant of the verified network.
+    pub lipschitz: Option<LipschitzCertificate>,
+    /// A verified structural abstraction.
+    pub network_abstraction: Option<NetworkAbstractionArtifact>,
+}
+
+impl ProofArtifacts {
+    /// No artifacts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The state abstraction, or a [`CoreError::MissingArtifact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingArtifact`] when absent.
+    pub fn state(&self) -> Result<&StateAbstractionArtifact, CoreError> {
+        self.state.as_ref().ok_or(CoreError::MissingArtifact("state abstraction"))
+    }
+
+    /// The Lipschitz certificate, or a [`CoreError::MissingArtifact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingArtifact`] when absent.
+    pub fn lipschitz(&self) -> Result<&LipschitzCertificate, CoreError> {
+        self.lipschitz.as_ref().ok_or(CoreError::MissingArtifact("lipschitz constant"))
+    }
+
+    /// The network abstraction, or a [`CoreError::MissingArtifact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingArtifact`] when absent.
+    pub fn network_abstraction(&self) -> Result<&NetworkAbstractionArtifact, CoreError> {
+        self.network_abstraction
+            .as_ref()
+            .ok_or(CoreError::MissingArtifact("network abstraction"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, NetworkBuilder};
+
+    fn fig2_net() -> Network {
+        NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+            .build()
+            .expect("fig2 network")
+    }
+
+    #[test]
+    fn artifact_establishes_proof_for_loose_property() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap();
+        let art = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box).unwrap();
+        assert!(art.proof_established());
+        assert!(art.suffix_ok(1).unwrap());
+        assert!(art.suffix_ok(2).unwrap());
+        assert_eq!(art.num_layers(), 2);
+    }
+
+    #[test]
+    fn artifact_fails_for_tight_property() {
+        // Box analysis says n4 ≤ 12; property capped at 7 is not provable
+        // with the single-pass artifact even though the true max is 6.
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 7.0)]).unwrap();
+        let art = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box).unwrap();
+        assert!(!art.proof_established());
+    }
+
+    #[test]
+    fn suffix_flags_are_layerwise_honest() {
+        // Build a net where the first layer's box is loose but the last
+        // layer's suffix is fine: suffix_ok(n) can hold while suffix_ok(1)
+        // fails.
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 7.0)]).unwrap();
+        let art = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Symbolic).unwrap();
+        // S2 itself (symbolic, ≤ 12-ish but > 7) breaks the final containment.
+        assert!(!art.suffix_ok(2).unwrap() || art.suffix_ok(2).unwrap() == art.proof_established());
+        assert!(art.suffix_ok(1).is_ok());
+        assert!(art.suffix_ok(0).is_err());
+        assert!(art.suffix_ok(3).is_err());
+    }
+
+    #[test]
+    fn replace_layer_box_updates_suffix() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap();
+        let mut art = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box).unwrap();
+        assert!(art.suffix_ok(2).unwrap());
+        // Replace Sn with something escaping Dout.
+        let bad = BoxDomain::from_bounds(&[(0.0, 100.0)]).unwrap();
+        art.replace_layer_box(&net, 2, bad).unwrap();
+        assert!(!art.suffix_ok(2).unwrap());
+    }
+
+    #[test]
+    fn missing_artifacts_are_reported() {
+        let a = ProofArtifacts::new();
+        assert!(matches!(a.state(), Err(CoreError::MissingArtifact(_))));
+        assert!(matches!(a.lipschitz(), Err(CoreError::MissingArtifact(_))));
+        assert!(matches!(a.network_abstraction(), Err(CoreError::MissingArtifact(_))));
+    }
+}

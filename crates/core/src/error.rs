@@ -1,0 +1,104 @@
+//! Error type for the continuous verifier.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the continuous-verification layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A problem component has mismatched dimensions.
+    DimensionMismatch {
+        /// Operation in which the mismatch occurred.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+    /// The requested reuse needs an artifact that was not stored.
+    MissingArtifact(&'static str),
+    /// The enlarged domain does not contain the original one.
+    NotAnEnlargement,
+    /// The new network's architecture differs from the verified one.
+    ArchitectureChanged(String),
+    /// An underlying substrate failed.
+    Substrate(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::DimensionMismatch { context, expected, actual } => {
+                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            }
+            CoreError::MissingArtifact(which) => {
+                write!(f, "required proof artifact is missing: {which}")
+            }
+            CoreError::NotAnEnlargement => {
+                write!(f, "the new domain does not contain the previously verified one")
+            }
+            CoreError::ArchitectureChanged(d) => {
+                write!(f, "network architecture changed: {d}")
+            }
+            CoreError::Substrate(msg) => write!(f, "substrate error: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+impl From<covern_absint::AbsintError> for CoreError {
+    fn from(e: covern_absint::AbsintError) -> Self {
+        CoreError::Substrate(e.to_string())
+    }
+}
+
+impl From<covern_nn::NnError> for CoreError {
+    fn from(e: covern_nn::NnError) -> Self {
+        CoreError::Substrate(e.to_string())
+    }
+}
+
+impl From<covern_milp::MilpError> for CoreError {
+    fn from(e: covern_milp::MilpError) -> Self {
+        CoreError::Substrate(e.to_string())
+    }
+}
+
+impl From<covern_netabs::NetabsError> for CoreError {
+    fn from(e: covern_netabs::NetabsError) -> Self {
+        CoreError::Substrate(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        for e in [
+            CoreError::MissingArtifact("lipschitz"),
+            CoreError::NotAnEnlargement,
+            CoreError::ArchitectureChanged("depth".into()),
+            CoreError::Substrate("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_from_substrates() {
+        let e: CoreError = covern_nn::NnError::EmptyNetwork.into();
+        assert!(matches!(e, CoreError::Substrate(_)));
+        let e: CoreError = covern_milp::MilpError::Infeasible.into();
+        assert!(matches!(e, CoreError::Substrate(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<CoreError>();
+    }
+}

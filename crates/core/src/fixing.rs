@@ -1,0 +1,310 @@
+//! Incremental abstraction fixing (paper Section IV-C).
+//!
+//! When Proposition 4's per-layer conditions fail at a *single* layer, the
+//! stored abstraction is patched instead of discarded: a replacement
+//! `S′_{i+1}` is computed for the failing layer, propagated forward, and
+//! the propagation stops as soon as it is re-absorbed by a later stored
+//! abstraction ("the propagation from enlarged approximation in earlier
+//! layers is again covered by the approximation of later layers in the
+//! previous proof"). Only if the propagation escapes all the way through
+//! the output does the problem fall back to full re-verification.
+
+use crate::artifact::StateAbstractionArtifact;
+use crate::error::CoreError;
+use crate::method::{check_local_containment, LocalMethod, CONTAIN_TOL};
+use crate::report::{Strategy, SubproblemTiming, VerifyOutcome, VerifyReport};
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::transformer::AbstractState;
+use covern_absint::SOUND_EPS;
+use covern_nn::Network;
+use std::time::Instant;
+
+/// Result of an incremental-fixing attempt.
+#[derive(Debug, Clone)]
+pub struct FixReport {
+    /// Verdict and timing.
+    pub report: VerifyReport,
+    /// The patched artifact, present when fixing succeeded. The caller
+    /// should store it in place of the old one.
+    pub patched: Option<StateAbstractionArtifact>,
+    /// 1-based indices of the layers whose containment check failed.
+    pub failing_layers: Vec<usize>,
+}
+
+/// Attempts Section IV-C incremental fixing for `f′` against the stored
+/// artifact on (possibly enlarged) `new_din`.
+///
+/// Procedure:
+/// 1. run the Proposition-4 per-layer checks, collecting failures;
+/// 2. zero failures → `Proved` (this is plain Prop 4);
+/// 3. exactly one failing layer `i+1` (not the output): recompute
+///    `S′_{i+1}` as the abstract image of `S_i` under `g′_{i+1}` (hulled
+///    with the old box so later reuse stays monotone), then propagate
+///    forward, checking with the exact method at each later layer whether
+///    the propagation re-enters the stored abstraction; on re-entry the
+///    artifact is patched and the property is `Proved`;
+/// 4. if the propagation reaches the output, the final box is compared
+///    against `Dout` directly — containment still yields `Proved` (with a
+///    fully re-derived tail), otherwise `Unknown`;
+/// 5. two or more failing layers → `Unknown` (full re-verification).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on architecture mismatches or substrate failures.
+pub fn incremental_fix(
+    f_prime: &Network,
+    artifact: &StateAbstractionArtifact,
+    new_din: &BoxDomain,
+    method: &LocalMethod,
+) -> Result<FixReport, CoreError> {
+    let t0 = Instant::now();
+    let n = f_prime.num_layers();
+    if artifact.num_layers() != n {
+        return Err(CoreError::ArchitectureChanged(format!(
+            "artifact has {} layers, network has {n}",
+            artifact.num_layers()
+        )));
+    }
+    let domain = artifact.layers().domain();
+    let mut subproblems = Vec::new();
+
+    // Step 1: per-layer checks (sequential here; the parallel variant lives
+    // in prop4 — fixing needs the identities of the failures anyway).
+    let mut failing = Vec::new();
+    for k in 1..=n {
+        let tk = Instant::now();
+        let layer_net = f_prime.slice(k, k);
+        let input = if k == 1 {
+            new_din.clone()
+        } else {
+            artifact.layers().layer_box(k - 1)?.clone()
+        };
+        let target = if k == n {
+            artifact.dout().clone()
+        } else {
+            artifact.layers().layer_box(k)?.clone()
+        };
+        let ok = check_local_containment(&layer_net, &input, &target, method)?.is_proved();
+        subproblems.push(SubproblemTiming {
+            label: format!("check layer {k}{}", if ok { "" } else { " (failed)" }),
+            duration: tk.elapsed(),
+        });
+        if !ok {
+            failing.push(k);
+        }
+    }
+
+    if failing.is_empty() {
+        return Ok(FixReport {
+            report: VerifyReport {
+                outcome: VerifyOutcome::Proved,
+                strategy: Strategy::Fixing,
+                wall: t0.elapsed(),
+                subproblems,
+            },
+            patched: None,
+            failing_layers: failing,
+        });
+    }
+    if failing.len() > 1 {
+        // "In the worst case … nothing can be reused; this implies that we
+        // may need to re-verify the whole network."
+        return Ok(FixReport {
+            report: VerifyReport {
+                outcome: VerifyOutcome::Unknown,
+                strategy: Strategy::Fixing,
+                wall: t0.elapsed(),
+                subproblems,
+            },
+            patched: None,
+            failing_layers: failing,
+        });
+    }
+
+    let broken = failing[0];
+    let mut patched = artifact.clone();
+
+    if broken == n {
+        // The failing check was the final, exact one (image of S_{n-1}
+        // under g′_n vs Dout). Any abstract recomputation only widens that
+        // image, so there is nothing to fix — full re-verification (with a
+        // tighter domain or refinement) is the only recourse.
+        return Ok(FixReport {
+            report: VerifyReport {
+                outcome: VerifyOutcome::Unknown,
+                strategy: Strategy::Fixing,
+                wall: t0.elapsed(),
+                subproblems,
+            },
+            patched: None,
+            failing_layers: failing,
+        });
+    }
+
+    // Step 3: recompute S′ at the broken layer from the (intact) previous
+    // abstraction, and propagate forward.
+    let start_input = if broken == 1 {
+        new_din.clone()
+    } else {
+        artifact.layers().layer_box(broken - 1)?.clone()
+    };
+    let mut state = AbstractState::from_box(domain, &start_input);
+    state = state.through_layer(&f_prime.layers()[broken - 1])?;
+    let mut current = state
+        .to_box()
+        .hull(artifact.layers().layer_box(broken)?)
+        .dilate(SOUND_EPS);
+
+    patched.replace_layer_box(f_prime, broken, current.clone())?;
+    for k in broken + 1..=n {
+        // Re-entry test: does g′_k map the enlarged S′_{k-1} into the OLD
+        // S_k (or Dout for the final layer)?
+        let tk = Instant::now();
+        let layer_net = f_prime.slice(k, k);
+        let target = if k == n {
+            artifact.dout().clone()
+        } else {
+            artifact.layers().layer_box(k)?.clone()
+        };
+        let reentered = check_local_containment(&layer_net, &current, &target, method)?.is_proved();
+        subproblems.push(SubproblemTiming {
+            label: format!("re-entry at layer {k}{}", if reentered { " (hit)" } else { "" }),
+            duration: tk.elapsed(),
+        });
+        if reentered {
+            return Ok(FixReport {
+                report: VerifyReport {
+                    outcome: VerifyOutcome::Proved,
+                    strategy: Strategy::Fixing,
+                    wall: t0.elapsed(),
+                    subproblems,
+                },
+                patched: Some(patched),
+                failing_layers: failing,
+            });
+        }
+        // No re-entry: push the abstraction one layer forward and patch.
+        let mut st = AbstractState::from_box(domain, &current);
+        st = st.through_layer(&f_prime.layers()[k - 1])?;
+        current = st.to_box().dilate(SOUND_EPS);
+        if k < n {
+            current = current.hull(artifact.layers().layer_box(k)?).dilate(SOUND_EPS);
+            patched.replace_layer_box(f_prime, k, current.clone())?;
+        } else {
+            // Reached the output without re-entry: direct Dout containment.
+            let ok = artifact.dout().dilate(CONTAIN_TOL).contains_box(&current);
+            let outcome = if ok { VerifyOutcome::Proved } else { VerifyOutcome::Unknown };
+            if ok {
+                patched.replace_layer_box(f_prime, n, current.clone())?;
+            }
+            return Ok(FixReport {
+                report: VerifyReport {
+                    outcome: outcome.clone(),
+                    strategy: Strategy::Fixing,
+                    wall: t0.elapsed(),
+                    subproblems,
+                },
+                patched: outcome.is_proved().then_some(patched),
+                failing_layers: failing,
+            });
+        }
+    }
+    unreachable!("the loop always returns at k = n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_absint::DomainKind;
+    use covern_nn::Activation;
+    use covern_tensor::Rng;
+
+    fn setup(seed: u64, dout_slack: f64) -> (Network, StateAbstractionArtifact, BoxDomain) {
+        let mut rng = Rng::seeded(seed);
+        let net = Network::random(&[3, 8, 6, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let out = covern_absint::reach::reach_boxes(&net, &din, DomainKind::Box)
+            .unwrap()
+            .output()
+            .dilate(dout_slack);
+        let artifact = StateAbstractionArtifact::build(&net, &din, &out, DomainKind::Box).unwrap();
+        assert!(artifact.proof_established());
+        (net, artifact, din)
+    }
+
+    #[test]
+    fn unchanged_network_needs_no_fix() {
+        let (net, artifact, din) = setup(401, 1.0);
+        let fix = incremental_fix(&net, &artifact, &din, &LocalMethod::default()).unwrap();
+        assert!(fix.report.outcome.is_proved());
+        assert!(fix.failing_layers.is_empty());
+        assert!(fix.patched.is_none());
+    }
+
+    #[test]
+    fn single_layer_bump_is_fixed_by_reentry() {
+        // Bump ONE middle layer's bias just enough to break its containment
+        // but keep the network safe: fixing should patch and re-enter.
+        let (net, artifact, din) = setup(402, 5.0);
+        let mut tuned = net.clone();
+        // A bias bump larger than CONTAIN_TOL but small against Dout slack.
+        tuned.layers_mut()[1].bias_mut()[0] += 0.05;
+        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
+        assert_eq!(fix.failing_layers, vec![2]);
+        assert!(fix.report.outcome.is_proved(), "{}", fix.report);
+        let patched = fix.patched.expect("patched artifact");
+        // The patched box at layer 2 must contain the new image.
+        let img = artifact
+            .layers()
+            .layer_box(1)
+            .unwrap()
+            .through_layer(&tuned.layers()[1])
+            .unwrap();
+        assert!(patched.layers().layer_box(2).unwrap().dilate(1e-6).contains_box(&img));
+    }
+
+    #[test]
+    fn output_layer_failure_cannot_be_fixed() {
+        // A break at the final (exact, into-Dout) check has nothing to
+        // re-enter; fixing must answer Unknown, never a fabricated proof.
+        let (net, artifact, din) = setup(403, 5.0);
+        let mut tuned = net.clone();
+        let last = tuned.num_layers() - 1;
+        tuned.layers_mut()[last].bias_mut()[0] += 6.0; // beyond the Dout slack
+        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
+        assert_eq!(fix.failing_layers, vec![tuned.num_layers()]);
+        assert_eq!(fix.report.outcome, VerifyOutcome::Unknown);
+        assert!(fix.patched.is_none());
+    }
+
+    #[test]
+    fn multiple_failures_defer_to_full_reverification() {
+        let (net, artifact, din) = setup(404, 5.0);
+        let mut tuned = net.clone();
+        tuned.layers_mut()[1].bias_mut()[0] += 0.05;
+        tuned.layers_mut()[2].bias_mut()[0] += 0.05;
+        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
+        assert!(fix.failing_layers.len() >= 2);
+        assert_eq!(fix.report.outcome, VerifyOutcome::Unknown);
+        assert!(fix.patched.is_none());
+    }
+
+    #[test]
+    fn unsafe_change_stays_unknown_never_proved() {
+        // A huge bump that genuinely breaks the property must not be
+        // "fixed" into a proof.
+        let (net, artifact, din) = setup(405, 0.5);
+        let mut tuned = net.clone();
+        tuned.layers_mut()[1].bias_mut()[0] += 100.0;
+        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
+        assert!(!fix.report.outcome.is_proved());
+    }
+
+    #[test]
+    fn architecture_mismatch_rejected() {
+        let (_, artifact, din) = setup(406, 1.0);
+        let mut rng = Rng::seeded(1);
+        let other = Network::random(&[3, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        assert!(incremental_fix(&other, &artifact, &din, &LocalMethod::default()).is_err());
+    }
+}

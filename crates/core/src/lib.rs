@@ -1,0 +1,74 @@
+//! Continuous safety verification of neural networks.
+//!
+//! This crate implements the contribution of *"Continuous Safety
+//! Verification of Neural Networks"* (Cheng & Yan, DATE 2021): when a
+//! previously verified DNN's input domain is enlarged (**SVuDC**,
+//! Problem 2) or its parameters are fine-tuned (**SVbTV**, Problem 1),
+//! stored *proof artifacts* — state abstractions `S1..Sn`, Lipschitz
+//! constants, and structural network abstractions — let the new problem be
+//! discharged by small local checks instead of full re-verification:
+//!
+//! | Module | Paper result |
+//! |--------|--------------|
+//! | [`prop_domain::prop1`] | Proposition 1 — proof reuse at layers 1–2 |
+//! | [`prop_domain::prop2`] | Proposition 2 — proof reuse at layer `j+1` |
+//! | [`prop_domain::prop3`] | Proposition 3 — Lipschitz-based reuse |
+//! | [`prop_model::prop4`] | Proposition 4 — per-layer abstraction reuse |
+//! | [`prop_model::prop5`] | Proposition 5 — multi-layer segment reuse |
+//! | [`prop_model::prop6`] | Proposition 6 — network-abstraction reuse |
+//! | [`fixing`] | Section IV-C — incremental abstraction fixing |
+//! | [`pipeline`] | the full continuous-engineering loop |
+//!
+//! All sufficient-condition checkers are *sound*: `Proved` is a real proof
+//! (modulo the documented float conventions), a failed condition yields
+//! `Unknown` — never a spurious `Refuted`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use covern_absint::{BoxDomain, DomainKind};
+//! use covern_core::method::LocalMethod;
+//! use covern_core::pipeline::ContinuousVerifier;
+//! use covern_core::problem::VerificationProblem;
+//! use covern_nn::{Activation, NetworkBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Figure 2 network and safety property n4 ∈ [0, 12].
+//! let net = NetworkBuilder::new(2)
+//!     .dense_from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3],
+//!                      Activation::Relu)
+//!     .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+//!     .build()?;
+//! let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)])?;
+//! let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)])?;
+//! let problem = VerificationProblem::new(net, din, dout)?;
+//!
+//! // Original verification, keeping artifacts.
+//! let mut verifier = ContinuousVerifier::new(problem, DomainKind::Box)?;
+//! assert!(verifier.initial_report().outcome.is_proved());
+//!
+//! // Domain enlargement: the monitor saw inputs up to 1.1.
+//! let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)])?;
+//! let report = verifier.on_domain_enlarged(&enlarged, &LocalMethod::default())?;
+//! assert!(report.outcome.is_proved()); // via Prop 1: exact max 6.2 ≤ 12
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod artifact;
+pub mod error;
+pub mod fixing;
+pub mod method;
+pub mod parallel;
+pub mod pipeline;
+pub mod problem;
+pub mod prop_domain;
+pub mod prop_model;
+pub mod report;
+
+pub use artifact::{Margin, ProofArtifacts, StateAbstractionArtifact};
+pub use error::CoreError;
+pub use method::LocalMethod;
+pub use pipeline::ContinuousVerifier;
+pub use problem::VerificationProblem;
+pub use report::{Strategy, VerifyOutcome, VerifyReport};

@@ -1,0 +1,291 @@
+//! The local exact/precise method used to discharge sufficient conditions.
+//!
+//! The paper admits both "exact verification methods that encode … as
+//! constraints" (MILP, Equation 2) and "abstraction-refinement techniques"
+//! (ReluVal-style bisection) for the local subproblems. [`LocalMethod`]
+//! selects between them; [`check_local_containment`] is the single entry
+//! point every proposition uses.
+
+use crate::error::CoreError;
+use crate::report::VerifyOutcome;
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::refine::prove_forward_containment;
+use covern_absint::DomainKind;
+use covern_milp::query::{check_containment_with_limit, Containment};
+use covern_nn::{Activation, DenseLayer, Network};
+
+/// Absolute tolerance for re-checking containment of a computation against
+/// its own recorded abstraction (absorbs round-off amplified by weights).
+pub const CONTAIN_TOL: f64 = 1e-6;
+
+/// How to solve a local subproblem `∀x ∈ input : net(x) ∈ target`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LocalMethod {
+    /// Exact big-M MILP (sound and complete for PWL activations; non-PWL
+    /// output activations are handled by pulling the target back through
+    /// the activation's inverse).
+    Milp {
+        /// Branch-and-bound node budget.
+        node_limit: usize,
+    },
+    /// Bisection-refined abstract interpretation (sound; complete in the
+    /// limit for strict properties).
+    Refine {
+        /// Abstract domain to run.
+        domain: DomainKind,
+        /// Maximum number of input bisections.
+        max_splits: usize,
+    },
+    /// Forward *and* backward interval reasoning (the paper's future-work
+    /// direction): each output-violation face is first attacked by
+    /// backward contraction, and only the surviving input region is
+    /// bisected forward. Often does far less work than [`Self::Refine`]
+    /// on the same budget.
+    Bidirectional {
+        /// Abstract domain for the forward half.
+        domain: DomainKind,
+        /// Bisection budget per violation face.
+        max_splits_per_face: usize,
+    },
+}
+
+impl Default for LocalMethod {
+    /// MILP with the default node budget — the paper's Equation-2 method.
+    fn default() -> Self {
+        LocalMethod::Milp { node_limit: covern_milp::query::DEFAULT_NODE_LIMIT }
+    }
+}
+
+/// Pulls a target box back through the final activation of `net` when that
+/// activation is strictly increasing but not PWL (sigmoid/tanh), so exact
+/// MILP methods can operate on the pre-activation network.
+///
+/// Returns the rewritten network and target; a no-op for PWL outputs.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Substrate`] if the target cannot be pulled back
+/// (bound outside the activation's open range is widened to ±∞ instead, so
+/// this only fails on internal inconsistencies).
+pub fn pull_back_output_activation(
+    net: &Network,
+    target: &BoxDomain,
+) -> Result<(Network, BoxDomain), CoreError> {
+    let last = net.layers().last().expect("networks are non-empty");
+    let act = last.activation();
+    if act.is_piecewise_linear() {
+        return Ok((net.clone(), target.clone()));
+    }
+    if !act.is_strictly_increasing() {
+        return Err(CoreError::Substrate(format!(
+            "cannot pull target back through non-invertible activation {act}"
+        )));
+    }
+    let (range_lo, range_hi) = act.range();
+    let mut bounds = Vec::with_capacity(target.dim());
+    for i in 0..target.dim() {
+        let iv = target.interval(i);
+        let lo = if iv.lo() <= range_lo {
+            f64::NEG_INFINITY
+        } else {
+            act.inverse(iv.lo()).ok_or_else(|| {
+                CoreError::Substrate(format!("target lower bound {} not invertible", iv.lo()))
+            })?
+        };
+        let hi = if iv.hi() >= range_hi {
+            f64::INFINITY
+        } else {
+            act.inverse(iv.hi()).ok_or_else(|| {
+                CoreError::Substrate(format!("target upper bound {} not invertible", iv.hi()))
+            })?
+        };
+        bounds.push((lo, hi));
+    }
+    let mut layers = net.layers().to_vec();
+    let k = layers.len() - 1;
+    let mut rewritten = DenseLayer::new(
+        layers[k].weights().clone(),
+        layers[k].bias().to_vec(),
+        Activation::Identity,
+    )
+    .expect("same shapes");
+    std::mem::swap(&mut layers[k], &mut rewritten);
+    let net = Network::new(layers)?;
+    let target = BoxDomain::from_bounds(&bounds).map_err(|e| CoreError::Substrate(e.to_string()))?;
+    Ok((net, target))
+}
+
+/// Discharges `∀x ∈ input : net(x) ∈ target` with the chosen method.
+///
+/// The target is dilated by [`CONTAIN_TOL`] so that re-checking a
+/// computation against its own recorded abstraction cannot fail by
+/// round-off. Returns `Unknown` when the method's budget is exhausted.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on dimension mismatches or substrate failures.
+pub fn check_local_containment(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    method: &LocalMethod,
+) -> Result<VerifyOutcome, CoreError> {
+    if input.dim() != net.input_dim() {
+        return Err(CoreError::DimensionMismatch {
+            context: "check_local_containment (input)",
+            expected: net.input_dim(),
+            actual: input.dim(),
+        });
+    }
+    if target.dim() != net.output_dim() {
+        return Err(CoreError::DimensionMismatch {
+            context: "check_local_containment (target)",
+            expected: net.output_dim(),
+            actual: target.dim(),
+        });
+    }
+    let target = target.dilate(CONTAIN_TOL);
+    match method {
+        LocalMethod::Milp { node_limit } => {
+            let (net, target) = pull_back_output_activation(net, &target)?;
+            match check_containment_with_limit(&net, input, &target, *node_limit) {
+                Ok(Containment::Proved) => Ok(VerifyOutcome::Proved),
+                Ok(Containment::Refuted { input_witness, .. }) => {
+                    Ok(VerifyOutcome::Refuted(input_witness))
+                }
+                Err(covern_milp::MilpError::NodeLimit { .. }) => Ok(VerifyOutcome::Unknown),
+                Err(e) => Err(e.into()),
+            }
+        }
+        LocalMethod::Refine { domain, max_splits } => {
+            let o = prove_forward_containment(net, input, &target, *domain, *max_splits)?;
+            Ok(o.into())
+        }
+        LocalMethod::Bidirectional { domain, max_splits_per_face } => {
+            let o = covern_absint::backward::prove_containment_bidirectional(
+                net,
+                input,
+                &target,
+                *domain,
+                *max_splits_per_face,
+            )?;
+            Ok(o.into())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::NetworkBuilder;
+
+    fn fig2_net() -> Network {
+        NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+            .build()
+            .expect("fig2 network")
+    }
+
+    #[test]
+    fn all_methods_prove_fig2_enlargement() {
+        let net = fig2_net();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let s2 = BoxDomain::from_bounds(&[(0.0, 12.0)]).unwrap();
+        for method in [
+            LocalMethod::default(),
+            LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 3000 },
+            LocalMethod::Bidirectional { domain: DomainKind::Symbolic, max_splits_per_face: 3000 },
+        ] {
+            let o = check_local_containment(&net, &enlarged, &s2, &method).unwrap();
+            assert!(o.is_proved(), "{method:?} failed: {o:?}");
+        }
+    }
+
+    #[test]
+    fn bidirectional_method_refutes_with_witness() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let tight = BoxDomain::from_bounds(&[(0.0, 4.0)]).unwrap();
+        let method = LocalMethod::Bidirectional { domain: DomainKind::Symbolic, max_splits_per_face: 5000 };
+        match check_local_containment(&net, &din, &tight, &method).unwrap() {
+            VerifyOutcome::Refuted(w) => {
+                let y = net.forward(&w).unwrap();
+                assert!(y[0] > 4.0, "witness output {}", y[0]);
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn milp_refutes_with_witness() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let tight = BoxDomain::from_bounds(&[(0.0, 4.0)]).unwrap();
+        match check_local_containment(&net, &din, &tight, &LocalMethod::default()).unwrap() {
+            VerifyOutcome::Refuted(w) => {
+                let y = net.forward(&w).unwrap();
+                assert!(y[0] > 4.0, "witness output {}", y[0]);
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sigmoid_output_pulled_back_for_milp() {
+        // net(x) = sigmoid(2x); property: output ∈ [0.2, 0.9] over x ∈ [-0.5, 0.5].
+        // True range: sigmoid(∓1) = [0.2689, 0.7311] ⊆ [0.2, 0.9] → proved.
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.0]], &[0.0], Activation::Sigmoid)
+            .build()
+            .unwrap();
+        let din = BoxDomain::from_bounds(&[(-0.5, 0.5)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(0.2, 0.9)]).unwrap();
+        let o = check_local_containment(&net, &din, &dout, &LocalMethod::default()).unwrap();
+        assert!(o.is_proved(), "{o:?}");
+        // And a target the range escapes is refuted.
+        let tight = BoxDomain::from_bounds(&[(0.3, 0.7)]).unwrap();
+        let o = check_local_containment(&net, &din, &tight, &LocalMethod::default()).unwrap();
+        assert!(matches!(o, VerifyOutcome::Refuted(_)), "{o:?}");
+    }
+
+    #[test]
+    fn pull_back_saturated_bounds_become_infinite() {
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[1.0]], &[0.0], Activation::Sigmoid)
+            .build()
+            .unwrap();
+        let dout = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let (pwl, pulled) = pull_back_output_activation(&net, &dout).unwrap();
+        assert_eq!(pwl.layers()[0].activation(), Activation::Identity);
+        assert_eq!(pulled.interval(0).lo(), f64::NEG_INFINITY);
+        assert_eq!(pulled.interval(0).hi(), f64::INFINITY);
+    }
+
+    #[test]
+    fn self_containment_with_tolerance() {
+        // Image of a box through a layer must fit its own recorded image —
+        // the CONTAIN_TOL convention at work.
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let slice = net.slice(1, 1);
+        let image = din.through_layer(&net.layers()[0]).unwrap();
+        let o = check_local_containment(&slice, &din, &image, &LocalMethod::default()).unwrap();
+        assert!(o.is_proved(), "{o:?}");
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let net = fig2_net();
+        let bad = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let target = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(check_local_containment(&net, &bad, &target, &LocalMethod::default()).is_err());
+        let din = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let bad_target = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        assert!(check_local_containment(&net, &din, &bad_target, &LocalMethod::default()).is_err());
+    }
+}

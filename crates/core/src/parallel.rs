@@ -1,0 +1,136 @@
+//! Parallel execution of independent local subproblems.
+//!
+//! Propositions 4 and 5 decompose re-verification into `n` independent
+//! checks; "this makes the checking highly parallelizable and the worst
+//! case (under parallelization) is bounded by the maximum number of
+//! neurons in one layer" (paper, Section IV-B). The runner executes the
+//! jobs on a bounded thread pool and records per-job wall time so reports
+//! can state both the parallel (max) and sequential (sum) accounting of
+//! footnote 3.
+
+use crate::report::SubproblemTiming;
+use crossbeam::channel;
+use std::time::{Duration, Instant};
+
+/// A labelled unit of work.
+pub struct Job<R> {
+    /// Human-readable label, e.g. `"layer 3"`.
+    pub label: String,
+    /// The work itself.
+    pub run: Box<dyn FnOnce() -> R + Send>,
+}
+
+impl<R> Job<R> {
+    /// Creates a job.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> R + Send + 'static) -> Self {
+        Self { label: label.into(), run: Box::new(run) }
+    }
+}
+
+/// Runs the jobs on up to `threads` workers; returns `(label, result,
+/// duration)` triples in the original job order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or a job panics.
+pub fn run_jobs<R: Send + 'static>(jobs: Vec<Job<R>>, threads: usize) -> Vec<(String, R, Duration)> {
+    assert!(threads > 0, "need at least one worker");
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<(usize, Job<R>)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, String, R, Duration)>();
+    for item in jobs.into_iter().enumerate() {
+        task_tx.send(item).expect("queue open");
+    }
+    drop(task_tx);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            let task_rx = task_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok((idx, job)) = task_rx.recv() {
+                    let t0 = Instant::now();
+                    let r = (job.run)();
+                    result_tx
+                        .send((idx, job.label, r, t0.elapsed()))
+                        .expect("result channel open");
+                }
+            });
+        }
+        drop(result_tx);
+    });
+
+    let mut out: Vec<Option<(String, R, Duration)>> = (0..n).map(|_| None).collect();
+    while let Ok((idx, label, r, d)) = result_rx.recv() {
+        out[idx] = Some((label, r, d));
+    }
+    out.into_iter().map(|o| o.expect("all jobs completed")).collect()
+}
+
+/// Extracts the [`SubproblemTiming`]s from runner output.
+pub fn timings<R>(results: &[(String, R, Duration)]) -> Vec<SubproblemTiming> {
+    results
+        .iter()
+        .map(|(label, _, d)| SubproblemTiming { label: label.clone(), duration: *d })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_preserve_order() {
+        let jobs: Vec<Job<usize>> = (0..20)
+            .map(|i| Job::new(format!("job {i}"), move || i * i))
+            .collect();
+        let results = run_jobs(jobs, 4);
+        for (i, (label, r, _)) in results.iter().enumerate() {
+            assert_eq!(*r, i * i);
+            assert_eq!(label, &format!("job {i}"));
+        }
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let jobs = vec![Job::new("a", || 1), Job::new("b", || 2)];
+        let results = run_jobs(jobs, 1);
+        assert_eq!(results[0].1, 1);
+        assert_eq!(results[1].1, 2);
+    }
+
+    #[test]
+    fn empty_jobs_return_empty() {
+        let results: Vec<(String, u32, Duration)> = run_jobs(Vec::new(), 4);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn parallel_execution_is_actually_concurrent() {
+        // 4 jobs of ~30 ms on 4 threads should finish well under 4 × 30 ms.
+        let jobs: Vec<Job<()>> = (0..4)
+            .map(|i| {
+                Job::new(format!("sleep {i}"), move || {
+                    std::thread::sleep(Duration::from_millis(30));
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        let results = run_jobs(jobs, 4);
+        let elapsed = t0.elapsed();
+        assert_eq!(results.len(), 4);
+        assert!(elapsed < Duration::from_millis(100), "no speedup: {elapsed:?}");
+    }
+
+    #[test]
+    fn timings_are_extracted() {
+        let jobs = vec![Job::new("x", || 0u8)];
+        let results = run_jobs(jobs, 2);
+        let t = timings(&results);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].label, "x");
+    }
+}

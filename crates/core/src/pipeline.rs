@@ -1,0 +1,709 @@
+//! The continuous-engineering verification loop.
+//!
+//! [`ContinuousVerifier`] owns the current problem and the proof artifacts
+//! and reacts to the two continuous-engineering events of the paper:
+//!
+//! * [`on_domain_enlarged`](ContinuousVerifier::on_domain_enlarged)
+//!   (SVuDC) — tries Proposition 1, then 3, then 2, then falls back to
+//!   full re-verification;
+//! * [`on_model_updated`](ContinuousVerifier::on_model_updated)
+//!   (SVbTV) — tries Proposition 4, then Section IV-C fixing, then
+//!   Proposition 6 (when a network abstraction is stored), then full
+//!   re-verification.
+//!
+//! Every event returns the [`VerifyReport`] of the *successful* strategy
+//! (or of the full fallback), so callers can compute the paper's
+//! incremental-vs-original time ratios directly.
+
+use crate::artifact::{NetworkAbstractionArtifact, ProofArtifacts};
+use crate::error::CoreError;
+use crate::fixing::incremental_fix;
+use crate::method::LocalMethod;
+use crate::problem::VerificationProblem;
+use crate::prop_domain::{prop1, prop2, prop3};
+use crate::prop_model::{prop4, prop6, validate_architecture};
+use crate::report::VerifyReport;
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::DomainKind;
+use covern_netabs::classify::preprocess;
+use covern_netabs::merge::{apply_plan, AbstractionDirection, MergePlan};
+use covern_nn::Network;
+
+/// Default bisection budget for full-verification fallbacks.
+pub const DEFAULT_REFINE_SPLITS: usize = 2_000;
+
+/// Format tag of the persisted verifier state.
+const SAVE_FORMAT: &str = "covern-verifier-v1";
+
+/// On-disk form of a [`ContinuousVerifier`].
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SavedVerifier {
+    format: String,
+    problem: VerificationProblem,
+    domain: DomainKind,
+    margin: crate::artifact::Margin,
+    artifacts: ProofArtifacts,
+    /// The latest proof status (initial verification or last event). Kept
+    /// separately from the artifacts: a refinement-only proof is a real
+    /// proof even though it yields no reusable `S1..Sn`.
+    status: crate::report::VerifyOutcome,
+}
+
+/// Stateful continuous verifier (see module docs).
+#[derive(Debug, Clone)]
+pub struct ContinuousVerifier {
+    problem: VerificationProblem,
+    domain: DomainKind,
+    margin: crate::artifact::Margin,
+    artifacts: ProofArtifacts,
+    initial_report: VerifyReport,
+    threads: usize,
+    history: Vec<VerifyReport>,
+}
+
+impl ContinuousVerifier {
+    /// Runs the original (full) verification with unbuffered artifacts and
+    /// stores them; see [`with_margin`](Self::with_margin) for the buffered
+    /// variant used by the platform experiments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn new(problem: VerificationProblem, domain: DomainKind) -> Result<Self, CoreError> {
+        Self::with_margin(problem, domain, crate::artifact::Margin::NONE)
+    }
+
+    /// Runs the original (full) verification, recording artifacts buffered
+    /// by `margin` (the paper's "additional buffers" — what makes
+    /// Proposition 4 robust against fine-tuning drift).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn with_margin(
+        problem: VerificationProblem,
+        domain: DomainKind,
+        margin: crate::artifact::Margin,
+    ) -> Result<Self, CoreError> {
+        let (initial_report, artifacts) =
+            problem.verify_full_with_margin(domain, DEFAULT_REFINE_SPLITS, margin)?;
+        Ok(Self {
+            problem,
+            domain,
+            margin,
+            artifacts,
+            initial_report,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            history: Vec::new(),
+        })
+    }
+
+    /// Sets the worker count for parallel subproblem checking.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The report of the original verification run.
+    pub fn initial_report(&self) -> &VerifyReport {
+        &self.initial_report
+    }
+
+    /// The current problem (kept up to date across events).
+    pub fn problem(&self) -> &VerificationProblem {
+        &self.problem
+    }
+
+    /// The stored proof artifacts.
+    pub fn artifacts(&self) -> &ProofArtifacts {
+        &self.artifacts
+    }
+
+    /// Reports of all incremental events so far, oldest first.
+    pub fn history(&self) -> &[VerifyReport] {
+        &self.history
+    }
+
+    /// Additionally builds and verifies a structural network abstraction
+    /// (the Proposition 6 artifact) for the current network.
+    ///
+    /// `target_width` bounds the merged layer widths. The abstraction is
+    /// verified against `Dout` on `Din` with the chosen method; on success
+    /// it is stored in the artifact bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the network cannot be abstracted (non-PWL
+    /// hidden activations) or the verification of `f̂` errors out.
+    pub fn build_network_abstraction(
+        &mut self,
+        target_width: usize,
+        method: &LocalMethod,
+    ) -> Result<bool, CoreError> {
+        // Strip a sigmoid/tanh output before structural abstraction (the
+        // merge rules need PWL; dominance commutes with monotone outputs).
+        let net = self.problem.network().clone();
+        let (pwl_net, pwl_dout) =
+            crate::method::pull_back_output_activation(&net, self.problem.dout())?;
+        let pre = preprocess(&pwl_net)?;
+        let plan = MergePlan::greedy(&pre, target_width);
+        let abstraction = apply_plan(&pre, &plan, AbstractionDirection::Over)?;
+        // Verify f̂ against Dout on Din.
+        let verified = crate::method::check_local_containment(
+            &abstraction,
+            self.problem.din(),
+            &pwl_dout,
+            method,
+        )?;
+        if !verified.is_proved() {
+            return Ok(false);
+        }
+        self.artifacts.network_abstraction = Some(NetworkAbstractionArtifact {
+            abstraction,
+            direction: AbstractionDirection::Over,
+            verified_on: Some(self.problem.din().clone()),
+        });
+        Ok(true)
+    }
+
+    /// SVuDC event: the monitored domain grew to `new_din`.
+    ///
+    /// Tries Prop 1 → Prop 3 → Prop 2; on failure re-verifies from scratch
+    /// (rebuilding artifacts). The report of the deciding strategy is
+    /// returned and recorded in the history.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NotAnEnlargement`] if `new_din` does not
+    /// contain the current domain, or substrate errors.
+    pub fn on_domain_enlarged(
+        &mut self,
+        new_din: &BoxDomain,
+        method: &LocalMethod,
+    ) -> Result<VerifyReport, CoreError> {
+        let mut report = self.try_domain_strategies(new_din, method)?;
+        if report.outcome.is_proved() {
+            self.problem.set_din(new_din.clone());
+            // Artifact maintenance: a reuse proof (Prop 1/2/3) leaves the
+            // stored prefix boxes stale for the *new* domain (S1 no longer
+            // covers g1(Din ∪ Δin)), which degrades later SVbTV events.
+            // Rebuild the abstraction over the new domain — one abstract
+            // pass, the same cost class as the checks — and adopt it only
+            // when it re-establishes the proof (otherwise the old artifact
+            // stays, still valid for suffix-based reuse). The maintenance
+            // time is charged to the event's wall time.
+            let t = std::time::Instant::now();
+            if report.strategy != crate::report::Strategy::Full {
+                if let Ok(rebuilt) = crate::artifact::StateAbstractionArtifact::build_with_margin(
+                    self.problem.network(),
+                    new_din,
+                    self.problem.dout(),
+                    self.domain,
+                    self.margin,
+                ) {
+                    if rebuilt.proof_established() {
+                        self.artifacts.state = Some(rebuilt);
+                    }
+                }
+            }
+            report.wall += t.elapsed();
+        }
+        self.history.push(report.clone());
+        Ok(report)
+    }
+
+    fn try_domain_strategies(
+        &mut self,
+        new_din: &BoxDomain,
+        method: &LocalMethod,
+    ) -> Result<VerifyReport, CoreError> {
+        if let Ok(state) = self.artifacts.state() {
+            // Prop 1: local exact check on the two-layer prefix.
+            let r = prop1(self.problem.network(), state, new_din, method)?;
+            if r.outcome.is_proved() {
+                return Ok(r);
+            }
+            // Prop 3: pure box arithmetic with the Lipschitz certificate.
+            if let Ok(ell) = self.artifacts.lipschitz() {
+                let r = prop3(state, ell, new_din, self.problem.dout())?;
+                if r.outcome.is_proved() {
+                    return Ok(r);
+                }
+            }
+            // Prop 2: rebuild prefix abstractions, re-enter later.
+            let r = prop2(self.problem.network(), state, new_din, method)?;
+            if r.outcome.is_proved() {
+                return Ok(r);
+            }
+        }
+        // Fallback: full re-verification on the enlarged domain.
+        let mut full_problem = self.problem.clone();
+        full_problem.set_din(new_din.clone());
+        let (report, artifacts) =
+            full_problem.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        if report.outcome.is_proved() {
+            self.artifacts.state = artifacts.state;
+            self.artifacts.lipschitz = artifacts.lipschitz;
+        }
+        Ok(report)
+    }
+
+    /// SVbTV event: the model was fine-tuned to `f_prime` (the domain may
+    /// simultaneously be enlarged by passing `new_din`).
+    ///
+    /// Tries Prop 4 → Section IV-C fixing → Prop 6 (if stored) → full
+    /// re-verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArchitectureChanged`] if `f_prime` has a
+    /// different shape, or substrate errors.
+    pub fn on_model_updated(
+        &mut self,
+        f_prime: &Network,
+        new_din: Option<&BoxDomain>,
+        method: &LocalMethod,
+    ) -> Result<VerifyReport, CoreError> {
+        validate_architecture(&self.problem.network().dims(), f_prime)?;
+        let din = new_din.unwrap_or(self.problem.din()).clone();
+        let report = self.try_model_strategies(f_prime, &din, method)?;
+        if report.outcome.is_proved() {
+            self.problem.set_network(f_prime.clone());
+            self.problem.set_din(din);
+        }
+        self.history.push(report.clone());
+        Ok(report)
+    }
+
+    fn try_model_strategies(
+        &mut self,
+        f_prime: &Network,
+        din: &BoxDomain,
+        method: &LocalMethod,
+    ) -> Result<VerifyReport, CoreError> {
+        if let Ok(state) = self.artifacts.state() {
+            // Prop 4: n independent one-layer checks, in parallel.
+            let r = prop4(f_prime, state, din, method, self.threads)?;
+            if r.outcome.is_proved() {
+                return Ok(r);
+            }
+            // Prop 5 with a suggested cut: multi-layer segments keep the
+            // intra-segment correlations that the single-layer checks lose.
+            let cuts = crate::prop_model::suggest_cuts(f_prime, 1);
+            if !cuts.is_empty() {
+                let r = crate::prop_model::prop5(f_prime, state, din, &cuts, method, self.threads)?;
+                if r.outcome.is_proved() {
+                    return Ok(r);
+                }
+            }
+            // Section IV-C: patch a single broken layer.
+            let fix = incremental_fix(f_prime, state, din, method)?;
+            if fix.report.outcome.is_proved() {
+                if let Some(patched) = fix.patched {
+                    self.artifacts.state = Some(patched);
+                }
+                return Ok(fix.report);
+            }
+        }
+        // Prop 6: structural-abstraction cover (only valid on the domain the
+        // abstraction was verified on).
+        if let Ok(na) = self.artifacts.network_abstraction() {
+            let r = prop6(f_prime, na, din, method)?;
+            if r.outcome.is_proved() {
+                return Ok(r);
+            }
+        }
+        // Fallback: full re-verification of the tuned network.
+        let mut full_problem = self.problem.clone();
+        full_problem.set_network(f_prime.clone());
+        full_problem.set_din(din.clone());
+        let (report, artifacts) =
+            full_problem.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        if report.outcome.is_proved() {
+            self.artifacts.state = artifacts.state;
+            self.artifacts.lipschitz = artifacts.lipschitz;
+            // A stored network abstraction no longer covers an arbitrary
+            // new model; drop it (it can be rebuilt on demand).
+            self.artifacts.network_abstraction = None;
+        }
+        Ok(report)
+    }
+
+    /// Specification-evolution event (the paper's §VI future-work item):
+    /// the safety set changed to `new_dout`.
+    ///
+    /// * loosened (`new_dout ⊇ old`): trivially still proved — O(1);
+    /// * otherwise: the stored `S1..Sn` are property-independent, so the
+    ///   artifact is *re-targeted* (suffix flags recomputed, no
+    ///   reachability re-run); `Sn ⊆ new_dout` re-establishes the proof;
+    /// * failing that, full re-verification against the new property.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `new_dout` has the wrong
+    /// arity.
+    pub fn on_property_changed(
+        &mut self,
+        new_dout: &BoxDomain,
+        _method: &LocalMethod,
+    ) -> Result<VerifyReport, CoreError> {
+        use crate::report::{Strategy, VerifyOutcome};
+        let t0 = std::time::Instant::now();
+        if new_dout.dim() != self.problem.dout().dim() {
+            return Err(CoreError::DimensionMismatch {
+                context: "on_property_changed",
+                expected: self.problem.dout().dim(),
+                actual: new_dout.dim(),
+            });
+        }
+        // Loosened specification: monotone, nothing to check.
+        let currently_proved = self
+            .history
+            .last()
+            .map_or(&self.initial_report.outcome, |r| &r.outcome)
+            .is_proved();
+        if currently_proved
+            && new_dout
+                .dilate(crate::method::CONTAIN_TOL)
+                .contains_box(self.problem.dout())
+        {
+            self.problem.set_dout(new_dout.clone());
+            if let Some(state) = self.artifacts.state.take() {
+                self.artifacts.state = Some(state.retarget(self.problem.network(), new_dout)?);
+            }
+            let report = VerifyReport::monolithic(VerifyOutcome::Proved, Strategy::Prop3, t0.elapsed());
+            self.history.push(report.clone());
+            return Ok(report);
+        }
+        // Tightened: re-target the stored abstraction.
+        if let Some(state) = self.artifacts.state.clone() {
+            let retargeted = state.retarget(self.problem.network(), new_dout)?;
+            if retargeted.proof_established() {
+                self.artifacts.state = Some(retargeted);
+                self.problem.set_dout(new_dout.clone());
+                let report =
+                    VerifyReport::monolithic(VerifyOutcome::Proved, Strategy::Prop3, t0.elapsed());
+                self.history.push(report.clone());
+                return Ok(report);
+            }
+        }
+        // Full fallback against the new property.
+        let mut full_problem = self.problem.clone();
+        full_problem.set_dout(new_dout.clone());
+        let (report, artifacts) =
+            full_problem.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        if report.outcome.is_proved() {
+            self.problem.set_dout(new_dout.clone());
+            self.artifacts.state = artifacts.state;
+            self.artifacts.lipschitz = artifacts.lipschitz;
+        }
+        self.history.push(report.clone());
+        Ok(report)
+    }
+
+    /// Persists the verifier state (problem, domain, margin, artifacts) as
+    /// JSON — continuous engineering survives process restarts: verify
+    /// today, resume next week when the monitor flags the next black swan.
+    ///
+    /// The event history and the initial report's timing are session-local
+    /// and are not persisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Substrate`] on encoding or I/O failure.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        let status = self
+            .history
+            .last()
+            .map_or(&self.initial_report.outcome, |r| &r.outcome)
+            .clone();
+        let saved = SavedVerifier {
+            format: SAVE_FORMAT.to_owned(),
+            problem: self.problem.clone(),
+            domain: self.domain,
+            margin: self.margin,
+            artifacts: self.artifacts.clone(),
+            status,
+        };
+        let json = serde_json::to_string(&saved).map_err(|e| CoreError::Substrate(e.to_string()))?;
+        std::fs::write(path, json).map_err(|e| CoreError::Substrate(e.to_string()))
+    }
+
+    /// Restores a verifier saved with [`save_to`](Self::save_to) *without*
+    /// re-running the original verification — the whole point of artifact
+    /// persistence.
+    ///
+    /// The restored initial report reflects the stored artifact: `Proved`
+    /// when a state abstraction (which implies the established proof) is
+    /// present, `Unknown` otherwise; its timing is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Substrate`] on I/O, decoding, or format-tag
+    /// failure.
+    pub fn resume_from(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| CoreError::Substrate(e.to_string()))?;
+        let saved: SavedVerifier =
+            serde_json::from_str(&json).map_err(|e| CoreError::Substrate(e.to_string()))?;
+        if saved.format != SAVE_FORMAT {
+            return Err(CoreError::Substrate(format!("unknown save format {:?}", saved.format)));
+        }
+        let initial_report = VerifyReport::monolithic(
+            saved.status,
+            crate::report::Strategy::Full,
+            std::time::Duration::ZERO,
+        );
+        Ok(Self {
+            problem: saved.problem,
+            domain: saved.domain,
+            margin: saved.margin,
+            artifacts: saved.artifacts,
+            initial_report,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            history: Vec::new(),
+        })
+    }
+
+    /// Measures what a full from-scratch verification of the *current*
+    /// problem (optionally with a different domain/network) costs — the
+    /// denominator of Table I's ratios. Does not mutate state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn measure_full_baseline(
+        &self,
+        new_din: Option<&BoxDomain>,
+        new_net: Option<&Network>,
+    ) -> Result<VerifyReport, CoreError> {
+        let mut p = self.problem.clone();
+        if let Some(d) = new_din {
+            p.set_din(d.clone());
+        }
+        if let Some(n) = new_net {
+            p.set_network(n.clone());
+        }
+        let (report, _) = p.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Strategy;
+    use covern_nn::{Activation, NetworkBuilder};
+    use covern_tensor::Rng;
+
+    fn fig2_verifier() -> ContinuousVerifier {
+        let net = NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap();
+        let problem = VerificationProblem::new(net, din, dout).unwrap();
+        ContinuousVerifier::new(problem, DomainKind::Box).unwrap()
+    }
+
+    #[test]
+    fn paper_walkthrough_prop1_succeeds() {
+        let mut v = fig2_verifier();
+        assert!(v.initial_report().outcome.is_proved());
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let report = v.on_domain_enlarged(&enlarged, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved());
+        assert_eq!(report.strategy, Strategy::Prop1);
+        // The problem state advanced.
+        assert!(v.problem().din().contains(&[1.05, 1.05]));
+        assert_eq!(v.history().len(), 1);
+    }
+
+    #[test]
+    fn successive_enlargements_keep_reusing() {
+        let mut v = fig2_verifier();
+        for (i, hi) in [1.02, 1.05, 1.08, 1.1].iter().enumerate() {
+            let enlarged = BoxDomain::from_bounds(&[(-1.0, *hi), (-1.0, *hi)]).unwrap();
+            let report = v.on_domain_enlarged(&enlarged, &LocalMethod::default()).unwrap();
+            assert!(report.outcome.is_proved(), "event {i} failed: {report}");
+            assert_ne!(report.strategy, Strategy::Full, "event {i} fell back to full");
+        }
+        assert_eq!(v.history().len(), 4);
+    }
+
+    #[test]
+    fn model_update_uses_prop4() {
+        let mut rng = Rng::seeded(501);
+        let net = Network::random(&[3, 8, 6, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let dout = covern_absint::reach::reach_boxes(&net, &din, DomainKind::Box)
+            .unwrap()
+            .output()
+            .dilate(1.0);
+        let problem = VerificationProblem::new(net.clone(), din, dout).unwrap();
+        let mut v = ContinuousVerifier::with_margin(
+            problem,
+            DomainKind::Box,
+            crate::artifact::Margin::standard(),
+        )
+        .unwrap();
+        assert!(v.initial_report().outcome.is_proved());
+
+        let tuned = net.perturbed(1e-4, &mut rng);
+        let report = v.on_model_updated(&tuned, None, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert_eq!(report.strategy, Strategy::Prop4);
+    }
+
+    #[test]
+    fn model_update_falls_back_to_fixing_on_single_layer_break() {
+        let mut rng = Rng::seeded(502);
+        let net = Network::random(&[3, 8, 6, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let dout = covern_absint::reach::reach_boxes(&net, &din, DomainKind::Box)
+            .unwrap()
+            .output()
+            .dilate(5.0);
+        let problem = VerificationProblem::new(net.clone(), din, dout).unwrap();
+        let mut v = ContinuousVerifier::new(problem, DomainKind::Box).unwrap();
+
+        let mut tuned = net.clone();
+        tuned.layers_mut()[1].bias_mut()[0] += 0.05;
+        let report = v.on_model_updated(&tuned, None, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        // Prop 4's single-layer check breaks on the bump; the escalation
+        // chain recovers via the multi-layer segments of Prop 5 (which keep
+        // intra-segment correlations) or, failing that, §IV-C fixing —
+        // never the full fallback.
+        assert!(
+            matches!(report.strategy, Strategy::Prop5 | Strategy::Fixing),
+            "escalated too far: {}",
+            report.strategy
+        );
+    }
+
+    #[test]
+    fn architecture_change_is_rejected() {
+        let mut v = fig2_verifier();
+        let mut rng = Rng::seeded(503);
+        let other = Network::random(&[2, 5, 1], Activation::Relu, Activation::Relu, &mut rng);
+        assert!(matches!(
+            v.on_model_updated(&other, None, &LocalMethod::default()),
+            Err(CoreError::ArchitectureChanged(_))
+        ));
+    }
+
+    #[test]
+    fn network_abstraction_can_be_built_and_used() {
+        let mut rng = Rng::seeded(504);
+        let net = Network::random(&[3, 8, 8, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        // Over-abstraction raises the output; Dout must be generous upward.
+        let dout = covern_absint::reach::reach_boxes(&net, &din, DomainKind::Box)
+            .unwrap()
+            .output()
+            .dilate(50.0);
+        let problem = VerificationProblem::new(net.clone(), din, dout).unwrap();
+        let mut v = ContinuousVerifier::new(problem, DomainKind::Box).unwrap();
+        let built = v.build_network_abstraction(4, &LocalMethod::default()).unwrap();
+        assert!(built, "abstraction should verify against the generous Dout");
+        assert!(v.artifacts().network_abstraction().is_ok());
+    }
+
+    #[test]
+    fn property_loosening_is_instant() {
+        let mut v = fig2_verifier();
+        let looser = BoxDomain::from_bounds(&[(-1.0, 20.0)]).unwrap();
+        let report = v.on_property_changed(&looser, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved());
+        assert!((v.problem().dout().interval(0).hi() - 20.0).abs() < 1e-12);
+        // Artifacts were re-targeted and remain usable for the next event.
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let r = v.on_domain_enlarged(&enlarged, &LocalMethod::default()).unwrap();
+        assert!(r.outcome.is_proved());
+        assert_ne!(r.strategy, Strategy::Full);
+    }
+
+    #[test]
+    fn property_tightening_reuses_artifact_when_sn_fits() {
+        let mut v = fig2_verifier();
+        // Sn = [0, 12]; tightening Dout to [-0.4, 12.0] still contains Sn.
+        let tighter = BoxDomain::from_bounds(&[(-0.4, 12.0)]).unwrap();
+        let report = v.on_property_changed(&tighter, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert_ne!(report.strategy, Strategy::Full, "retargeting should suffice");
+    }
+
+    #[test]
+    fn property_tightening_beyond_artifact_falls_back() {
+        let mut v = fig2_verifier();
+        // True max is 6; box artifact says 12: [−0.5, 6.5] needs refinement.
+        let tight = BoxDomain::from_bounds(&[(-0.5, 6.5)]).unwrap();
+        let report = v.on_property_changed(&tight, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert_eq!(report.strategy, Strategy::Full);
+        // An impossible property is not papered over.
+        let impossible = BoxDomain::from_bounds(&[(0.0, 3.0)]).unwrap();
+        let report = v.on_property_changed(&impossible, &LocalMethod::default()).unwrap();
+        assert!(!report.outcome.is_proved());
+        // The problem keeps the last *proved* property.
+        assert!((v.problem().dout().interval(0).hi() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn save_and_resume_roundtrip_continues_verifying() {
+        let mut v = fig2_verifier();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.05), (-1.0, 1.05)]).unwrap();
+        v.on_domain_enlarged(&enlarged, &LocalMethod::default()).unwrap();
+
+        let dir = std::env::temp_dir().join("covern_pipeline_save_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("verifier.json");
+        v.save_to(&path).unwrap();
+
+        let mut resumed = ContinuousVerifier::resume_from(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // The restored proof status reflects the stored artifact.
+        assert!(resumed.initial_report().outcome.is_proved());
+        // The advanced domain survived.
+        assert!(resumed.problem().din().contains(&[1.04, 1.04]));
+        // And the resumed verifier keeps working incrementally.
+        let larger = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let report = resumed.on_domain_enlarged(&larger, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert_ne!(report.strategy, Strategy::Full);
+    }
+
+    #[test]
+    fn resume_rejects_garbage_and_wrong_format() {
+        let dir = std::env::temp_dir().join("covern_pipeline_save_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(ContinuousVerifier::resume_from(&path).is_err());
+
+        let v = fig2_verifier();
+        v.save_to(&path).unwrap();
+        let tampered = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("covern-verifier-v1", "other-format");
+        std::fs::write(&path, tampered).unwrap();
+        assert!(ContinuousVerifier::resume_from(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn full_baseline_measures_without_mutation() {
+        let v = fig2_verifier();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let baseline = v.measure_full_baseline(Some(&enlarged), None).unwrap();
+        assert_eq!(baseline.strategy, Strategy::Full);
+        // State untouched.
+        assert!(!v.problem().din().contains(&[1.05, 1.05]));
+    }
+}

@@ -1,0 +1,208 @@
+//! The safety-verification problem and full (from-scratch) verification.
+
+use crate::artifact::{ProofArtifacts, StateAbstractionArtifact};
+use crate::error::CoreError;
+use crate::report::{Strategy, VerifyOutcome, VerifyReport};
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::refine::prove_forward_containment;
+use covern_absint::DomainKind;
+use covern_lipschitz::bound::{global_lipschitz, NormKind};
+use covern_nn::Network;
+use std::time::Instant;
+
+/// A DNN safety-verification problem `φ(f, Din, Dout)`:
+/// `∀x ∈ Din : f(x) ∈ Dout` (paper, Section III-A).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct VerificationProblem {
+    net: Network,
+    din: BoxDomain,
+    dout: BoxDomain,
+}
+
+impl VerificationProblem {
+    /// Creates a problem, validating dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `din`/`dout` do not
+    /// match the network.
+    pub fn new(net: Network, din: BoxDomain, dout: BoxDomain) -> Result<Self, CoreError> {
+        if din.dim() != net.input_dim() {
+            return Err(CoreError::DimensionMismatch {
+                context: "VerificationProblem::new (din)",
+                expected: net.input_dim(),
+                actual: din.dim(),
+            });
+        }
+        if dout.dim() != net.output_dim() {
+            return Err(CoreError::DimensionMismatch {
+                context: "VerificationProblem::new (dout)",
+                expected: net.output_dim(),
+                actual: dout.dim(),
+            });
+        }
+        Ok(Self { net, din, dout })
+    }
+
+    /// The network under verification.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The verified input domain `Din`.
+    pub fn din(&self) -> &BoxDomain {
+        &self.din
+    }
+
+    /// The safe output set `Dout`.
+    pub fn dout(&self) -> &BoxDomain {
+        &self.dout
+    }
+
+    /// Replaces the input domain (after a successful SVuDC step).
+    pub(crate) fn set_din(&mut self, din: BoxDomain) {
+        debug_assert_eq!(din.dim(), self.net.input_dim());
+        self.din = din;
+    }
+
+    /// Replaces the network (after a successful SVbTV step).
+    pub(crate) fn set_network(&mut self, net: Network) {
+        debug_assert_eq!(net.input_dim(), self.net.input_dim());
+        self.net = net;
+    }
+
+    /// Replaces the safety set (after a specification-evolution step).
+    pub(crate) fn set_dout(&mut self, dout: BoxDomain) {
+        debug_assert_eq!(dout.dim(), self.net.output_dim());
+        self.dout = dout;
+    }
+
+    /// Full verification with no artifact buffering; see
+    /// [`verify_full_with_margin`](Self::verify_full_with_margin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn verify_full(
+        &self,
+        domain: DomainKind,
+        refine_splits: usize,
+    ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
+        self.verify_full_with_margin(domain, refine_splits, crate::artifact::Margin::NONE)
+    }
+
+    /// Full verification from scratch: builds the state abstraction in the
+    /// chosen domain (recording every `Si` — dilated by `margin` — and
+    /// every suffix guarantee), falls back to bisection refinement when the
+    /// single-pass abstraction is too coarse, and computes a Lipschitz
+    /// certificate.
+    ///
+    /// The returned artifacts carry the state abstraction **only when the
+    /// single-pass abstraction itself establishes the proof** — a
+    /// refinement-only proof does not yield reusable `S1..Sn` (the paper's
+    /// premise is that the stored abstractions prove safety).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn verify_full_with_margin(
+        &self,
+        domain: DomainKind,
+        refine_splits: usize,
+        margin: crate::artifact::Margin,
+    ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
+        let t0 = Instant::now();
+        let state =
+            StateAbstractionArtifact::build_with_margin(&self.net, &self.din, &self.dout, domain, margin)?;
+        let lipschitz = global_lipschitz(&self.net, NormKind::L2);
+        let mut artifacts = ProofArtifacts {
+            state: None,
+            lipschitz: Some(lipschitz),
+            network_abstraction: None,
+        };
+        let outcome = if state.proof_established() {
+            artifacts.state = Some(state);
+            VerifyOutcome::Proved
+        } else {
+            // The single pass failed; pay for refinement to still answer.
+            let o = prove_forward_containment(&self.net, &self.din, &self.dout, domain, refine_splits)?;
+            match o {
+                covern_absint::refine::Outcome::Proved => VerifyOutcome::Proved,
+                covern_absint::refine::Outcome::Refuted(w) => VerifyOutcome::Refuted(w),
+                covern_absint::refine::Outcome::Unknown => VerifyOutcome::Unknown,
+            }
+        };
+        let report = VerifyReport::monolithic(outcome, Strategy::Full, t0.elapsed());
+        Ok((report, artifacts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, NetworkBuilder};
+
+    fn fig2_net() -> Network {
+        NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+            .build()
+            .expect("fig2 network")
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let net = fig2_net();
+        let din1 = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        assert!(VerificationProblem::new(net.clone(), din1, dout.clone()).is_err());
+        let din = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let dout2 = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        assert!(VerificationProblem::new(net, din, dout2).is_err());
+    }
+
+    #[test]
+    fn loose_property_proved_with_artifacts() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 12.5)]).unwrap();
+        let p = VerificationProblem::new(net, din, dout).unwrap();
+        let (report, artifacts) = p.verify_full(DomainKind::Box, 100).unwrap();
+        assert!(report.outcome.is_proved());
+        assert!(artifacts.state.is_some(), "artifacts must be reusable");
+        assert!(artifacts.lipschitz.is_some());
+    }
+
+    #[test]
+    fn tight_but_true_property_proved_without_state_artifact() {
+        // True max is 6 but box analysis says 12: refinement proves it, and
+        // the state artifact is (correctly) withheld.
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 6.5)]).unwrap();
+        let p = VerificationProblem::new(net, din, dout).unwrap();
+        let (report, artifacts) = p.verify_full(DomainKind::Symbolic, 5000).unwrap();
+        assert!(report.outcome.is_proved(), "{:?}", report.outcome);
+        assert!(artifacts.state.is_none(), "refinement-only proof must not yield S1..Sn");
+    }
+
+    #[test]
+    fn false_property_refuted_with_witness() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(0.0, 3.0)]).unwrap();
+        let p = VerificationProblem::new(net.clone(), din, dout.clone()).unwrap();
+        let (report, _) = p.verify_full(DomainKind::Symbolic, 5000).unwrap();
+        match report.outcome {
+            VerifyOutcome::Refuted(w) => {
+                let y = net.forward(&w).unwrap();
+                assert!(!dout.contains(&y), "witness must violate");
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+}

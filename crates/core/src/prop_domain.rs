@@ -1,0 +1,322 @@
+//! Propositions 1–3: solving SVuDC (same network, enlarged domain).
+
+use crate::artifact::StateAbstractionArtifact;
+use crate::error::CoreError;
+use crate::method::{check_local_containment, LocalMethod, CONTAIN_TOL};
+use crate::report::{Strategy, SubproblemTiming, VerifyOutcome, VerifyReport};
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::transformer::AbstractState;
+use covern_lipschitz::bound::{LipschitzCertificate, NormKind};
+use covern_nn::Network;
+use std::time::Instant;
+
+fn validate_enlargement(old: &BoxDomain, new: &BoxDomain) -> Result<(), CoreError> {
+    if old.dim() != new.dim() {
+        return Err(CoreError::DimensionMismatch {
+            context: "domain enlargement",
+            expected: old.dim(),
+            actual: new.dim(),
+        });
+    }
+    if !new.dilate(CONTAIN_TOL).contains_box(old) {
+        return Err(CoreError::NotAnEnlargement);
+    }
+    Ok(())
+}
+
+/// **Proposition 1** (proof reuse at layers 1 and 2): if
+/// `∀x ∈ Din ∪ Δin : g2(g1(x)) ∈ S2`, the property holds on the enlarged
+/// domain.
+///
+/// The local check runs the chosen exact method on the two-layer prefix
+/// only (paper footnote 1 explains why *two* layers: single-pass abstract
+/// transformers lose precision after two nonlinear layers, which is the
+/// slack the exact method can reclaim — see Figure 1).
+///
+/// Applicability requires the stored suffix guarantee from `S2`; without
+/// it the stored boxes do not promise that `S2` leads into `Dout`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on dimension errors or when the network has fewer
+/// than two layers.
+pub fn prop1(
+    net: &Network,
+    artifact: &StateAbstractionArtifact,
+    new_din: &BoxDomain,
+    method: &LocalMethod,
+) -> Result<VerifyReport, CoreError> {
+    let t0 = Instant::now();
+    validate_enlargement(artifact.layers().input(), new_din)?;
+    if net.num_layers() < 2 {
+        return Err(CoreError::DimensionMismatch {
+            context: "prop1 (needs at least 2 layers)",
+            expected: 2,
+            actual: net.num_layers(),
+        });
+    }
+    if !artifact.suffix_ok(2)? {
+        // S2 does not provably lead into Dout: the sufficient condition
+        // cannot be concluded from the stored artifact.
+        return Ok(VerifyReport::monolithic(VerifyOutcome::Unknown, Strategy::Prop1, t0.elapsed()));
+    }
+    let prefix = net.slice(1, 2);
+    let s2 = artifact.layers().layer_box(2)?;
+    let outcome = match check_local_containment(&prefix, new_din, s2, method)? {
+        VerifyOutcome::Proved => VerifyOutcome::Proved,
+        // A violation of the *abstraction* is not a violation of the
+        // property — the sufficient condition is simply not met.
+        _ => VerifyOutcome::Unknown,
+    };
+    Ok(VerifyReport::monolithic(outcome, Strategy::Prop1, t0.elapsed()))
+}
+
+/// **Proposition 2** (proof reuse at layer `j+1`): rebuild abstractions
+/// `S′1..S′j` over the enlarged domain layer by layer; as soon as the
+/// image of `S′j` under `g_{j+1}` fits the *old* `S_{j+1}` (checked with
+/// the exact method), safety follows from the stored suffix guarantee.
+///
+/// Each candidate `j ∈ {2..n−1}` is recorded as a subproblem; the paper
+/// notes these can run in parallel — here the `S′` construction is shared
+/// incrementally, so candidates are tried in ascending order and the
+/// search stops at the first success.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on dimension errors.
+pub fn prop2(
+    net: &Network,
+    artifact: &StateAbstractionArtifact,
+    new_din: &BoxDomain,
+    method: &LocalMethod,
+) -> Result<VerifyReport, CoreError> {
+    let t0 = Instant::now();
+    validate_enlargement(artifact.layers().input(), new_din)?;
+    let n = net.num_layers();
+    let domain = artifact.layers().domain();
+    let mut subproblems = Vec::new();
+    let mut state = AbstractState::from_box(domain, new_din);
+    // Build S'_1 .. S'_{n-2} incrementally; at j, test re-entry into S_{j+1}.
+    let mut outcome = VerifyOutcome::Unknown;
+    for j in 1..n {
+        state = state.through_layer(&net.layers()[j - 1])?;
+        if j < 2 {
+            continue; // Prop 2 starts at j = 2 (j = 1 would be Prop 1's turf).
+        }
+        if j > n - 1 {
+            break;
+        }
+        let tj = Instant::now();
+        let applicable = artifact.suffix_ok(j + 1).unwrap_or(false);
+        let mut proved = false;
+        if applicable {
+            let s_prime_j = state.to_box();
+            let layer_net = net.slice(j + 1, j + 1);
+            let target = artifact.layers().layer_box(j + 1)?;
+            proved = check_local_containment(&layer_net, &s_prime_j, target, method)?.is_proved();
+        }
+        subproblems.push(SubproblemTiming {
+            label: format!("j={j}{}", if proved { " (re-entered)" } else { "" }),
+            duration: tj.elapsed(),
+        });
+        if proved {
+            outcome = VerifyOutcome::Proved;
+            break;
+        }
+    }
+    Ok(VerifyReport { outcome, strategy: Strategy::Prop2, wall: t0.elapsed(), subproblems })
+}
+
+/// The enlargement distance κ under the certificate's norm: the largest
+/// distance from a point of `outer` to the nearest point of `inner`.
+pub fn enlargement_kappa(outer: &BoxDomain, inner: &BoxDomain, norm: NormKind) -> f64 {
+    assert_eq!(outer.dim(), inner.dim(), "box dimension mismatch");
+    let growth: Vec<f64> = outer
+        .intervals()
+        .iter()
+        .zip(inner.intervals().iter())
+        .map(|(o, i)| {
+            let below = (i.lo() - o.lo()).max(0.0);
+            let above = (o.hi() - i.hi()).max(0.0);
+            below.max(above)
+        })
+        .collect();
+    match norm {
+        NormKind::L1 => growth.iter().sum(),
+        NormKind::L2 => growth.iter().map(|g| g * g).sum::<f64>().sqrt(),
+        NormKind::Linf => growth.iter().fold(0.0, |m, g| m.max(*g)),
+    }
+}
+
+/// **Proposition 3** (Lipschitz-based proof reuse): dilate the stored
+/// output abstraction `Sn` by `ℓ·κ` and check the dilated set still fits
+/// `Dout`. Pure box arithmetic — no network analysis at all.
+///
+/// Per-dimension dilation by `ℓκ` is conservative for every norm
+/// (`|ŝ − s| ≤ ℓκ` implies each coordinate moves at most `ℓκ`).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on dimension errors.
+pub fn prop3(
+    artifact: &StateAbstractionArtifact,
+    lipschitz: &LipschitzCertificate,
+    new_din: &BoxDomain,
+    method_dout: &BoxDomain,
+) -> Result<VerifyReport, CoreError> {
+    let t0 = Instant::now();
+    validate_enlargement(artifact.layers().input(), new_din)?;
+    // The stored artifact must itself establish the original proof.
+    if !artifact.proof_established() {
+        return Ok(VerifyReport::monolithic(VerifyOutcome::Unknown, Strategy::Prop3, t0.elapsed()));
+    }
+    let kappa = enlargement_kappa(new_din, artifact.layers().input(), lipschitz.norm);
+    let sn = artifact.layers().layer_box(artifact.num_layers())?;
+    let dilated = sn.dilate(lipschitz.value * kappa);
+    let outcome = if method_dout.dilate(CONTAIN_TOL).contains_box(&dilated) {
+        VerifyOutcome::Proved
+    } else {
+        VerifyOutcome::Unknown
+    };
+    Ok(VerifyReport::monolithic(outcome, Strategy::Prop3, t0.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_absint::DomainKind;
+    use covern_nn::{Activation, NetworkBuilder};
+
+    fn fig2_net() -> Network {
+        NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+            .build()
+            .expect("fig2 network")
+    }
+
+    fn fig2_setup() -> (Network, StateAbstractionArtifact, BoxDomain, BoxDomain) {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap();
+        let artifact = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box).unwrap();
+        assert!(artifact.proof_established());
+        (net, artifact, din, dout)
+    }
+
+    #[test]
+    fn prop1_proves_the_papers_enlargement() {
+        // The paper's worked example: enlarge to [-1, 1.1]²; the box bound
+        // overshoots (12.4 > 12) but the exact method finds max 6.2 ≤ 12.
+        let (net, artifact, _, _) = fig2_setup();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let report = prop1(&net, &artifact, &enlarged, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn prop1_unknown_for_hopeless_enlargement() {
+        // Blow the domain up so far that even the exact max escapes S2.
+        let (net, artifact, _, _) = fig2_setup();
+        let huge = BoxDomain::from_bounds(&[(-10.0, 10.0), (-10.0, 10.0)]).unwrap();
+        let report = prop1(&net, &artifact, &huge, &LocalMethod::default()).unwrap();
+        assert_eq!(report.outcome, VerifyOutcome::Unknown);
+    }
+
+    #[test]
+    fn prop1_rejects_shrunken_domain() {
+        let (net, artifact, _, _) = fig2_setup();
+        let smaller = BoxDomain::from_bounds(&[(-0.5, 0.5), (-0.5, 0.5)]).unwrap();
+        assert!(matches!(
+            prop1(&net, &artifact, &smaller, &LocalMethod::default()),
+            Err(CoreError::NotAnEnlargement)
+        ));
+    }
+
+    #[test]
+    fn prop2_reenters_on_saturating_network() {
+        // A 3-layer net whose middle layer *saturates*: its neurons are
+        // relu(0.2 − n) with n ≥ 0, so their maximum (0.2, at n = 0) does
+        // not grow when the input domain is enlarged. The rebuilt S′₂
+        // therefore re-enters the old S₂ and Prop 2 succeeds even though
+        // the first layer's abstraction is broken by the enlargement.
+        let net = NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(
+                &[&[-1.0, 0.0, 0.0], &[0.0, -1.0, 0.0]],
+                &[0.2, 0.2],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[1.0, 1.0]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 10.0)]).unwrap();
+        let artifact = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box).unwrap();
+        assert!(artifact.proof_established());
+        let enlarged = BoxDomain::from_bounds(&[(-1.05, 1.05), (-1.05, 1.05)]).unwrap();
+        let report = prop2(&net, &artifact, &enlarged, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert!(!report.subproblems.is_empty());
+    }
+
+    #[test]
+    fn kappa_norms_are_ordered() {
+        let inner = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        let outer = BoxDomain::from_bounds(&[(-0.1, 1.2), (-0.3, 1.0)]).unwrap();
+        let k1 = enlargement_kappa(&outer, &inner, NormKind::L1);
+        let k2 = enlargement_kappa(&outer, &inner, NormKind::L2);
+        let ki = enlargement_kappa(&outer, &inner, NormKind::Linf);
+        assert!(ki <= k2 && k2 <= k1, "{ki} {k2} {k1}");
+        assert!((ki - 0.3).abs() < 1e-12);
+        assert!((k1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prop3_follows_the_papers_arithmetic() {
+        // Paper example: Sn = [1,8], Dout = [-10,10], ℓ = 100, κ = 0.02 →
+        // Ŝn = [-1, 10] ⊆ Dout.
+        // We reproduce the arithmetic through the public API with a 1-layer
+        // identity network whose Sn is [1, 8].
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[3.5]], &[4.5], Activation::Identity)
+            .build()
+            .unwrap();
+        // Din = [-1, 1] → Sn = [1, 8].
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-10.0, 10.0)]).unwrap();
+        let artifact = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box).unwrap();
+        let sn = artifact.layers().layer_box(1).unwrap();
+        assert!((sn.interval(0).lo() - 1.0).abs() < 1e-6);
+        assert!((sn.interval(0).hi() - 8.0).abs() < 1e-6);
+        // Enlarge by 0.02 on one side → κ_Linf = 0.02; pretend ℓ = 100.
+        let enlarged = BoxDomain::from_bounds(&[(-1.02, 1.0)]).unwrap();
+        let ell = LipschitzCertificate { value: 100.0, norm: NormKind::Linf };
+        let report = prop3(&artifact, &ell, &enlarged, &dout).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        // With Dout = [-0.5, 9.5] the dilated set [-1, 10] escapes → Unknown.
+        let tight = BoxDomain::from_bounds(&[(-0.5, 9.5)]).unwrap();
+        let report = prop3(&artifact, &ell, &enlarged, &tight).unwrap();
+        assert_eq!(report.outcome, VerifyOutcome::Unknown);
+    }
+
+    #[test]
+    fn prop3_fast_compared_to_prop1() {
+        let (net, artifact, _, dout) = fig2_setup();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.001), (-1.0, 1.001)]).unwrap();
+        let ell = covern_lipschitz::global_lipschitz(&net, NormKind::L2);
+        let r3 = prop3(&artifact, &ell, &enlarged, &dout).unwrap();
+        let r1 = prop1(&net, &artifact, &enlarged, &LocalMethod::default()).unwrap();
+        // Prop 3 does no network analysis; it must not be slower than the
+        // MILP-backed Prop 1 (allow generous slack for timer noise).
+        assert!(r3.wall <= r1.wall * 10, "prop3 {:?} vs prop1 {:?}", r3.wall, r1.wall);
+    }
+}

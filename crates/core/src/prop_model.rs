@@ -1,0 +1,498 @@
+//! Propositions 4–6: solving SVbTV (fine-tuned network, possibly enlarged
+//! domain).
+
+use crate::artifact::{NetworkAbstractionArtifact, StateAbstractionArtifact};
+use crate::error::CoreError;
+use crate::method::{check_local_containment, LocalMethod, CONTAIN_TOL};
+use crate::parallel::{run_jobs, timings, Job};
+use crate::report::{Strategy, VerifyOutcome, VerifyReport};
+use covern_absint::box_domain::BoxDomain;
+use covern_netabs::cover::{check_cover, CoverMethod};
+use covern_nn::{Activation, DenseLayer, Network};
+use std::time::Instant;
+
+/// Validates that `f′` shares the verified network's architecture (the
+/// paper's fine-tuning changes parameters, never structure).
+pub fn validate_architecture(old_dims: &[usize], new: &Network) -> Result<(), CoreError> {
+    if old_dims != new.dims().as_slice() {
+        return Err(CoreError::ArchitectureChanged(format!(
+            "expected dims {:?}, got {:?}",
+            old_dims,
+            new.dims()
+        )));
+    }
+    Ok(())
+}
+
+/// **Proposition 4** (reusing state abstractions, single layer): the
+/// property transfers to `f′` on `Din ∪ Δin` when
+///
+/// 1. `∀x ∈ Din ∪ Δin : g′1(x) ∈ S1`,
+/// 2. `∀i ∈ 1..n−2 : g′_{i+1}(Si) ⊆ S_{i+1}`,
+/// 3. `g′n(S_{n−1}) ⊆ Dout`.
+///
+/// Every condition is an independent one-layer exact check; they run on a
+/// thread pool and the report records per-subproblem times so callers can
+/// apply the paper's footnote-3 "max over subproblems" accounting.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on architecture or dimension mismatches.
+pub fn prop4(
+    f_prime: &Network,
+    artifact: &StateAbstractionArtifact,
+    new_din: &BoxDomain,
+    method: &LocalMethod,
+    threads: usize,
+) -> Result<VerifyReport, CoreError> {
+    let t0 = Instant::now();
+    let n = f_prime.num_layers();
+    if artifact.num_layers() != n {
+        return Err(CoreError::ArchitectureChanged(format!(
+            "artifact has {} layers, network has {n}",
+            artifact.num_layers()
+        )));
+    }
+    let mut jobs: Vec<Job<Result<VerifyOutcome, CoreError>>> = Vec::with_capacity(n);
+    // Condition 1: input layer over the (possibly enlarged) domain.
+    {
+        let layer_net = f_prime.slice(1, 1);
+        let input = new_din.clone();
+        let target = artifact.layers().layer_box(1)?.clone();
+        let method = *method;
+        jobs.push(Job::new("layer 1", move || {
+            check_local_containment(&layer_net, &input, &target, &method)
+        }));
+    }
+    // Condition 2: middle layers between stored abstractions.
+    for i in 1..=n.saturating_sub(2) {
+        let layer_net = f_prime.slice(i + 1, i + 1);
+        let input = artifact.layers().layer_box(i)?.clone();
+        let target = artifact.layers().layer_box(i + 1)?.clone();
+        let method = *method;
+        jobs.push(Job::new(format!("layer {}", i + 1), move || {
+            check_local_containment(&layer_net, &input, &target, &method)
+        }));
+    }
+    // Condition 3: final layer into Dout.
+    if n >= 2 {
+        let layer_net = f_prime.slice(n, n);
+        let input = artifact.layers().layer_box(n - 1)?.clone();
+        let target = artifact.dout().clone();
+        let method = *method;
+        jobs.push(Job::new(format!("layer {n} -> Dout"), move || {
+            check_local_containment(&layer_net, &input, &target, &method)
+        }));
+    }
+
+    let results = run_jobs(jobs, threads.max(1));
+    let subproblems = timings(&results);
+    let mut all_proved = true;
+    for (_, r, _) in results {
+        match r? {
+            VerifyOutcome::Proved => {}
+            // Failure of a sufficient condition is not a refutation.
+            _ => all_proved = false,
+        }
+    }
+    let outcome = if all_proved { VerifyOutcome::Proved } else { VerifyOutcome::Unknown };
+    Ok(VerifyReport { outcome, strategy: Strategy::Prop4, wall: t0.elapsed(), subproblems })
+}
+
+/// **Proposition 5** (reusing state abstractions, multiple layers): only
+/// the abstractions at the cut points `⟨α1⟩ < … < ⟨αl⟩` are reused; each
+/// segment between consecutive cut points is one independent multi-layer
+/// exact check.
+///
+/// `cuts` uses the paper's 1-based layer numbering and must satisfy
+/// `1 < α1 < … < αl < n`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on invalid cut points or mismatched architecture.
+pub fn prop5(
+    f_prime: &Network,
+    artifact: &StateAbstractionArtifact,
+    new_din: &BoxDomain,
+    cuts: &[usize],
+    method: &LocalMethod,
+    threads: usize,
+) -> Result<VerifyReport, CoreError> {
+    let t0 = Instant::now();
+    let n = f_prime.num_layers();
+    if artifact.num_layers() != n {
+        return Err(CoreError::ArchitectureChanged(format!(
+            "artifact has {} layers, network has {n}",
+            artifact.num_layers()
+        )));
+    }
+    if cuts.is_empty() {
+        return Err(CoreError::DimensionMismatch {
+            context: "prop5 (cuts empty)",
+            expected: 1,
+            actual: 0,
+        });
+    }
+    for w in cuts.windows(2) {
+        if w[0] >= w[1] {
+            return Err(CoreError::DimensionMismatch {
+                context: "prop5 (cuts must be strictly increasing)",
+                expected: w[0] + 1,
+                actual: w[1],
+            });
+        }
+    }
+    if cuts[0] <= 1 || *cuts.last().expect("non-empty") >= n {
+        return Err(CoreError::DimensionMismatch {
+            context: "prop5 (cuts must satisfy 1 < α < n)",
+            expected: n - 1,
+            actual: *cuts.last().expect("non-empty"),
+        });
+    }
+
+    let mut jobs: Vec<Job<Result<VerifyOutcome, CoreError>>> = Vec::new();
+    // First segment: layers 1..=α1 over the enlarged domain into S_{α1}.
+    {
+        let seg = f_prime.slice(1, cuts[0]);
+        let input = new_din.clone();
+        let target = artifact.layers().layer_box(cuts[0])?.clone();
+        let method = *method;
+        jobs.push(Job::new(format!("layers 1..={}", cuts[0]), move || {
+            check_local_containment(&seg, &input, &target, &method)
+        }));
+    }
+    // Middle segments.
+    for w in cuts.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        let seg = f_prime.slice(from + 1, to);
+        let input = artifact.layers().layer_box(from)?.clone();
+        let target = artifact.layers().layer_box(to)?.clone();
+        let method = *method;
+        jobs.push(Job::new(format!("layers {}..={}", from + 1, to), move || {
+            check_local_containment(&seg, &input, &target, &method)
+        }));
+    }
+    // Final segment into Dout.
+    {
+        let from = *cuts.last().expect("non-empty");
+        let seg = f_prime.slice(from + 1, n);
+        let input = artifact.layers().layer_box(from)?.clone();
+        let target = artifact.dout().clone();
+        let method = *method;
+        jobs.push(Job::new(format!("layers {}..={} -> Dout", from + 1, n), move || {
+            check_local_containment(&seg, &input, &target, &method)
+        }));
+    }
+
+    let results = run_jobs(jobs, threads.max(1));
+    let subproblems = timings(&results);
+    let mut all_proved = true;
+    for (_, r, _) in results {
+        if !r?.is_proved() {
+            all_proved = false;
+        }
+    }
+    let outcome = if all_proved { VerifyOutcome::Proved } else { VerifyOutcome::Unknown };
+    Ok(VerifyReport { outcome, strategy: Strategy::Prop5, wall: t0.elapsed(), subproblems })
+}
+
+/// Strips a shared, strictly increasing non-PWL output activation
+/// (sigmoid/tanh) from both networks: dominance before the activation is
+/// equivalent to dominance after it.
+fn strip_shared_monotone_output(a: &Network, b: &Network) -> Result<(Network, Network), CoreError> {
+    let act_a = a.layers().last().expect("non-empty").activation();
+    let act_b = b.layers().last().expect("non-empty").activation();
+    if act_a.is_piecewise_linear() && act_b.is_piecewise_linear() {
+        return Ok((a.clone(), b.clone()));
+    }
+    if act_a != act_b || !act_a.is_strictly_increasing() {
+        return Err(CoreError::Substrate(format!(
+            "cannot compare networks with output activations {act_a} vs {act_b}"
+        )));
+    }
+    let strip = |net: &Network| -> Result<Network, CoreError> {
+        let mut layers = net.layers().to_vec();
+        let k = layers.len() - 1;
+        layers[k] = DenseLayer::new(
+            layers[k].weights().clone(),
+            layers[k].bias().to_vec(),
+            Activation::Identity,
+        )
+        .expect("same shapes");
+        Ok(Network::new(layers)?)
+    };
+    Ok((strip(a)?, strip(b)?))
+}
+
+/// Suggests `l` cut points for Proposition 5.
+///
+/// Heuristic: reuse the abstractions of the *narrowest* eligible layers —
+/// the interface a subproblem must re-enter is smallest there, so the
+/// segments get the strongest targets while the segment interiors (the
+/// wide layers) are handled by the exact method, which is exactly where
+/// single-layer checks (Prop 4) are most brittle.
+///
+/// Returns at most `l` strictly increasing indices in `2..net.num_layers()`
+/// (the paper's `1 < α < n`); fewer when the network is too shallow.
+pub fn suggest_cuts(net: &Network, l: usize) -> Vec<usize> {
+    let n = net.num_layers();
+    if n < 3 || l == 0 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<usize> = (2..n).collect();
+    candidates.sort_by_key(|&k| (net.layer(k).out_dim(), k));
+    let mut cuts: Vec<usize> = candidates.into_iter().take(l).collect();
+    cuts.sort_unstable();
+    cuts
+}
+
+/// **Proposition 6** (reusing network abstractions): if the fine-tuned
+/// `f′` is still covered by the stored abstraction `f̂`
+/// (`f′ --Din--> f̂`), and `f̂` was verified against `Dout` on `Din`, then
+/// `φ(f′, Din, Dout)` holds.
+///
+/// The cover check bounds `f′ − f̂` over `Din`; a shared sigmoid/tanh
+/// output is stripped first (dominance commutes with strictly increasing
+/// activations).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the artifact was not verified on a domain
+/// containing `din`, or on structural mismatches.
+pub fn prop6(
+    f_prime: &Network,
+    artifact: &NetworkAbstractionArtifact,
+    din: &BoxDomain,
+    method: &LocalMethod,
+) -> Result<VerifyReport, CoreError> {
+    let t0 = Instant::now();
+    let verified_on = artifact
+        .verified_on
+        .as_ref()
+        .ok_or(CoreError::MissingArtifact("network abstraction was never verified against Dout"))?;
+    if !verified_on.dilate(CONTAIN_TOL).contains_box(din) {
+        return Ok(VerifyReport::monolithic(VerifyOutcome::Unknown, Strategy::Prop6, t0.elapsed()));
+    }
+    let (abstraction, candidate) = strip_shared_monotone_output(&artifact.abstraction, f_prime)?;
+    let cover_method = match method {
+        LocalMethod::Milp { node_limit } => CoverMethod::Milp { node_limit: *node_limit },
+        LocalMethod::Refine { max_splits, .. } => CoverMethod::Refinement { max_splits: *max_splits },
+        // The cover target is a half-space; the backward pass adds nothing
+        // there, so fall back to plain refinement with the same budget.
+        LocalMethod::Bidirectional { max_splits_per_face, .. } => {
+            CoverMethod::Refinement { max_splits: *max_splits_per_face }
+        }
+    };
+    let outcome = match check_cover(&abstraction, &candidate, din, cover_method)? {
+        covern_absint::refine::Outcome::Proved => VerifyOutcome::Proved,
+        // Failing the cover is not refuting the property.
+        _ => VerifyOutcome::Unknown,
+    };
+    Ok(VerifyReport::monolithic(outcome, Strategy::Prop6, t0.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_absint::DomainKind;
+    use covern_netabs::classify::preprocess;
+    use covern_netabs::merge::{apply_plan, AbstractionDirection, MergePlan};
+    use covern_tensor::Rng;
+
+    fn trained_like_net(seed: u64) -> Network {
+        let mut rng = Rng::seeded(seed);
+        Network::random(&[3, 8, 6, 1], Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    fn setup(seed: u64) -> (Network, StateAbstractionArtifact, BoxDomain) {
+        let net = trained_like_net(seed);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        // A generous Dout derived from the network's own reachable box.
+        let out = covern_absint::reach::reach_boxes(&net, &din, DomainKind::Box)
+            .unwrap()
+            .output()
+            .dilate(1.0);
+        // The buffered artifact ("additional buffers", paper §V) is what
+        // makes the layer-wise checks robust against fine-tuning drift.
+        let artifact = StateAbstractionArtifact::build_with_margin(
+            &net,
+            &din,
+            &out,
+            DomainKind::Box,
+            crate::artifact::Margin::standard(),
+        )
+        .unwrap();
+        assert!(artifact.proof_established());
+        (net, artifact, din)
+    }
+
+    #[test]
+    fn prop4_accepts_unchanged_network() {
+        let (net, artifact, din) = setup(301);
+        let report = prop4(&net, &artifact, &din, &LocalMethod::default(), 4).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert_eq!(report.subproblems.len(), net.num_layers());
+    }
+
+    #[test]
+    fn prop4_accepts_fine_tuning_scale_perturbation() {
+        let (net, artifact, din) = setup(302);
+        let mut rng = Rng::seeded(99);
+        // Drift comparable to a real small-learning-rate fine-tune.
+        let tuned = net.perturbed(1e-4, &mut rng);
+        let report = prop4(&tuned, &artifact, &din, &LocalMethod::default(), 4).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn prop4_unknown_for_large_change() {
+        let (net, artifact, din) = setup(303);
+        let mut rng = Rng::seeded(98);
+        let mangled = net.perturbed(2.0, &mut rng);
+        let report = prop4(&mangled, &artifact, &din, &LocalMethod::default(), 4).unwrap();
+        assert_eq!(report.outcome, VerifyOutcome::Unknown);
+    }
+
+    #[test]
+    fn prop4_rejects_architecture_change() {
+        let (_, artifact, din) = setup(304);
+        let other = trained_like_net(999);
+        let mut rng = Rng::seeded(1);
+        let deeper = Network::random(&[3, 8, 6, 2, 1], Activation::Relu, Activation::Identity, &mut rng);
+        assert!(prop4(&deeper, &artifact, &din, &LocalMethod::default(), 2).is_err());
+        let _ = other;
+    }
+
+    #[test]
+    fn prop4_with_enlarged_domain() {
+        // SVbTV's general case: both fine-tuning and domain enlargement.
+        let (net, artifact, din) = setup(305);
+        let mut rng = Rng::seeded(97);
+        let tuned = net.perturbed(1e-6, &mut rng);
+        let enlarged = din.dilate(1e-4);
+        let report = prop4(&tuned, &artifact, &enlarged, &LocalMethod::default(), 4).unwrap();
+        // Tiny enlargement + tiny tuning: the stored boxes absorb it (they
+        // carry CONTAIN_TOL slack); at minimum this must not error and must
+        // never claim Refuted.
+        assert!(!matches!(report.outcome, VerifyOutcome::Refuted(_)));
+    }
+
+    #[test]
+    fn prop5_single_cut_matches_structure() {
+        let (net, artifact, din) = setup(306);
+        let mut rng = Rng::seeded(96);
+        let tuned = net.perturbed(1e-6, &mut rng);
+        let report = prop5(&tuned, &artifact, &din, &[2], &LocalMethod::default(), 3).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert_eq!(report.subproblems.len(), 2); // 1..=2, 3..=3→Dout
+    }
+
+    #[test]
+    fn suggest_cuts_picks_narrow_layers() {
+        let mut rng = Rng::seeded(320);
+        // Widths 3 → 10 → 4 → 12 → 1: eligible cuts are layers 2, 3; the
+        // narrowest eligible layer (4 at layer 2... layer widths: layer1=10,
+        // layer2=4, layer3=12, layer4=1) — eligible k ∈ {2, 3}: layer2
+        // (width 4) beats layer3 (width 12).
+        let net = Network::random(&[3, 10, 4, 12, 1], Activation::Relu, Activation::Identity, &mut rng);
+        assert_eq!(suggest_cuts(&net, 1), vec![2]);
+        assert_eq!(suggest_cuts(&net, 2), vec![2, 3]);
+        assert_eq!(suggest_cuts(&net, 9), vec![2, 3]); // capped by eligibility
+        assert!(suggest_cuts(&net, 0).is_empty());
+        // Too-shallow networks (n < 3) have no eligible interior layer.
+        let shallow = Network::random(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng);
+        assert!(suggest_cuts(&shallow, 1).is_empty());
+        let two = Network::random(&[2, 1], Activation::Relu, Activation::Identity, &mut rng);
+        assert!(suggest_cuts(&two, 1).is_empty());
+    }
+
+    #[test]
+    fn suggested_cuts_feed_prop5() {
+        let (net, artifact, din) = setup(321);
+        let mut rng = Rng::seeded(95);
+        let tuned = net.perturbed(1e-6, &mut rng);
+        let cuts = suggest_cuts(&tuned, 1);
+        assert!(!cuts.is_empty());
+        let report = prop5(&tuned, &artifact, &din, &cuts, &LocalMethod::default(), 2).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn prop5_validates_cuts() {
+        let (net, artifact, din) = setup(307);
+        let m = LocalMethod::default();
+        assert!(prop5(&net, &artifact, &din, &[], &m, 2).is_err());
+        assert!(prop5(&net, &artifact, &din, &[1], &m, 2).is_err()); // α must be > 1
+        assert!(prop5(&net, &artifact, &din, &[3], &m, 2).is_err()); // α must be < n
+        assert!(prop5(&net, &artifact, &din, &[2, 2], &m, 2).is_err()); // strictly increasing
+    }
+
+    /// A smaller net for the Prop-6 tests: the MILP cover check runs on the
+    /// *difference* network of the class-split original and its
+    /// abstraction, which multiplies widths.
+    fn prop6_net(seed: u64) -> Network {
+        let mut rng = Rng::seeded(seed);
+        Network::random(&[2, 5, 4, 1], Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn prop6_covers_tiny_tuning() {
+        let net = prop6_net(308);
+        let pre = preprocess(&net).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        let abstraction = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let artifact = NetworkAbstractionArtifact {
+            abstraction,
+            direction: AbstractionDirection::Over,
+            verified_on: Some(din.clone()),
+        };
+        // f' = f (zero drift) must be covered.
+        let report = prop6(&net, &artifact, &din, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+    }
+
+    #[test]
+    fn prop6_requires_verified_premise() {
+        let net = trained_like_net(309);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let artifact = NetworkAbstractionArtifact {
+            abstraction: net.clone(),
+            direction: AbstractionDirection::Over,
+            verified_on: None,
+        };
+        assert!(matches!(
+            prop6(&net, &artifact, &din, &LocalMethod::default()),
+            Err(CoreError::MissingArtifact(_))
+        ));
+    }
+
+    #[test]
+    fn prop6_unknown_outside_verified_domain() {
+        let net = trained_like_net(310);
+        let small = BoxDomain::from_bounds(&[(-0.5, 0.5); 3]).unwrap();
+        let big = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let artifact = NetworkAbstractionArtifact {
+            abstraction: net.clone(),
+            direction: AbstractionDirection::Over,
+            verified_on: Some(small),
+        };
+        let report = prop6(&net, &artifact, &big, &LocalMethod::default()).unwrap();
+        assert_eq!(report.outcome, VerifyOutcome::Unknown);
+    }
+
+    #[test]
+    fn sigmoid_output_networks_compare_after_stripping() {
+        let mut rng = Rng::seeded(311);
+        let net = Network::random(&[2, 4, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        // Abstraction = the network itself (trivial cover), sigmoid output.
+        let artifact = NetworkAbstractionArtifact {
+            abstraction: net.clone(),
+            direction: AbstractionDirection::Over,
+            verified_on: Some(din.clone()),
+        };
+        let report = prop6(&net, &artifact, &din, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+    }
+}

@@ -1,0 +1,192 @@
+//! Verification outcomes, timing, and reporting.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Three-valued verification outcome with an optional witness.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum VerifyOutcome {
+    /// The property holds (sound proof).
+    Proved,
+    /// A concrete violating input was found.
+    Refuted(Vec<f64>),
+    /// Neither a proof nor a counterexample within the budget.
+    Unknown,
+}
+
+impl VerifyOutcome {
+    /// Whether this outcome is a proof.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, VerifyOutcome::Proved)
+    }
+}
+
+impl From<covern_absint::refine::Outcome> for VerifyOutcome {
+    fn from(o: covern_absint::refine::Outcome) -> Self {
+        match o {
+            covern_absint::refine::Outcome::Proved => VerifyOutcome::Proved,
+            covern_absint::refine::Outcome::Refuted(w) => VerifyOutcome::Refuted(w),
+            covern_absint::refine::Outcome::Unknown => VerifyOutcome::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for VerifyOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyOutcome::Proved => write!(f, "proved"),
+            VerifyOutcome::Refuted(_) => write!(f, "refuted"),
+            VerifyOutcome::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Which reuse strategy produced a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Full (re-)verification from scratch.
+    Full,
+    /// Proposition 1 — proof reuse at layers 1–2.
+    Prop1,
+    /// Proposition 2 — proof reuse at layer j+1.
+    Prop2,
+    /// Proposition 3 — Lipschitz-based reuse.
+    Prop3,
+    /// Proposition 4 — single-layer abstraction reuse.
+    Prop4,
+    /// Proposition 5 — multi-layer abstraction reuse.
+    Prop5,
+    /// Proposition 6 — network-abstraction reuse.
+    Prop6,
+    /// Section IV-C incremental abstraction fixing.
+    Fixing,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Strategy::Full => write!(f, "full"),
+            Strategy::Prop1 => write!(f, "prop1"),
+            Strategy::Prop2 => write!(f, "prop2"),
+            Strategy::Prop3 => write!(f, "prop3"),
+            Strategy::Prop4 => write!(f, "prop4"),
+            Strategy::Prop5 => write!(f, "prop5"),
+            Strategy::Prop6 => write!(f, "prop6"),
+            Strategy::Fixing => write!(f, "fixing"),
+        }
+    }
+}
+
+/// Timing of one independent local subproblem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubproblemTiming {
+    /// Human-readable label (e.g. `"layer 3"`).
+    pub label: String,
+    /// Wall-clock time of the subproblem.
+    pub duration: Duration,
+}
+
+/// The result of one verification run (full or incremental).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyReport {
+    /// The verdict.
+    pub outcome: VerifyOutcome,
+    /// Which strategy produced the verdict.
+    pub strategy: Strategy,
+    /// Total wall-clock time (sequential sum).
+    pub wall: Duration,
+    /// Per-subproblem timings (empty for monolithic runs).
+    pub subproblems: Vec<SubproblemTiming>,
+}
+
+impl VerifyReport {
+    /// Creates a monolithic report.
+    pub fn monolithic(outcome: VerifyOutcome, strategy: Strategy, wall: Duration) -> Self {
+        Self { outcome, strategy, wall, subproblems: Vec::new() }
+    }
+
+    /// The longest subproblem time — the paper's footnote-3 accounting for
+    /// parallel SVbTV checking ("the value … is taken by the maximum
+    /// execution time among all subproblems"). Falls back to the total wall
+    /// time when there are no subproblems.
+    pub fn parallel_time(&self) -> Duration {
+        self.subproblems
+            .iter()
+            .map(|s| s.duration)
+            .max()
+            .unwrap_or(self.wall)
+    }
+
+    /// Sum of all subproblem times (sequential accounting).
+    pub fn sequential_time(&self) -> Duration {
+        if self.subproblems.is_empty() {
+            self.wall
+        } else {
+            self.subproblems.iter().map(|s| s.duration).sum()
+        }
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} in {:?} ({} subproblems, max {:?})",
+            self.strategy,
+            self.outcome,
+            self.wall,
+            self.subproblems.len(),
+            self.parallel_time()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_time_is_max_subproblem() {
+        let r = VerifyReport {
+            outcome: VerifyOutcome::Proved,
+            strategy: Strategy::Prop4,
+            wall: Duration::from_millis(100),
+            subproblems: vec![
+                SubproblemTiming { label: "a".into(), duration: Duration::from_millis(10) },
+                SubproblemTiming { label: "b".into(), duration: Duration::from_millis(40) },
+                SubproblemTiming { label: "c".into(), duration: Duration::from_millis(25) },
+            ],
+        };
+        assert_eq!(r.parallel_time(), Duration::from_millis(40));
+        assert_eq!(r.sequential_time(), Duration::from_millis(75));
+    }
+
+    #[test]
+    fn monolithic_report_falls_back_to_wall() {
+        let r = VerifyReport::monolithic(
+            VerifyOutcome::Unknown,
+            Strategy::Full,
+            Duration::from_millis(7),
+        );
+        assert_eq!(r.parallel_time(), Duration::from_millis(7));
+        assert_eq!(r.sequential_time(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(VerifyOutcome::Proved.to_string(), "proved");
+        assert_eq!(Strategy::Prop3.to_string(), "prop3");
+        let r = VerifyReport::monolithic(
+            VerifyOutcome::Proved,
+            Strategy::Prop1,
+            Duration::from_millis(1),
+        );
+        assert!(r.to_string().contains("prop1"));
+    }
+
+    #[test]
+    fn outcome_conversion_from_absint() {
+        let o: VerifyOutcome = covern_absint::refine::Outcome::Refuted(vec![1.0]).into();
+        assert!(matches!(o, VerifyOutcome::Refuted(_)));
+    }
+}

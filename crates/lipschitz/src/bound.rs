@@ -1,0 +1,159 @@
+//! Certified global Lipschitz upper bounds.
+
+use covern_nn::Network;
+use covern_tensor::{norms, Matrix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Vector norm with respect to which the Lipschitz constant is stated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NormKind {
+    /// `‖·‖_1`
+    L1,
+    /// `‖·‖_2`
+    L2,
+    /// `‖·‖_∞`
+    Linf,
+}
+
+impl fmt::Display for NormKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormKind::L1 => write!(f, "L1"),
+            NormKind::L2 => write!(f, "L2"),
+            NormKind::Linf => write!(f, "Linf"),
+        }
+    }
+}
+
+fn operator_norm(w: &Matrix, norm: NormKind) -> f64 {
+    match norm {
+        NormKind::L1 => norms::operator_norm_l1(w),
+        NormKind::L2 => norms::spectral_norm_upper(w),
+        NormKind::Linf => norms::operator_norm_linf(w),
+    }
+}
+
+/// A certified Lipschitz bound: the proof artifact of Proposition 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LipschitzCertificate {
+    /// The certified constant `ℓ`.
+    pub value: f64,
+    /// The norm the constant is valid for.
+    pub norm: NormKind,
+}
+
+impl fmt::Display for LipschitzCertificate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ = {} ({} norm)", self.value, self.norm)
+    }
+}
+
+/// Certified global Lipschitz upper bound: `Π_k ‖W_k‖ · Lip(act_k)`.
+///
+/// Sound for every input in `ℝ^d` (the paper's Equation 1 quantifies over
+/// the whole input domain `X`). For [`NormKind::L2`] the per-layer norm is
+/// the Hölder upper bound `sqrt(‖W‖₁·‖W‖_∞)`, never the (potentially
+/// underestimating) power-iteration value.
+///
+/// # Example
+///
+/// ```
+/// use covern_lipschitz::{global_lipschitz, NormKind};
+/// use covern_nn::{Activation, NetworkBuilder};
+///
+/// # fn main() -> Result<(), covern_nn::NnError> {
+/// let net = NetworkBuilder::new(1)
+///     .dense_from_rows(&[&[3.0]], &[0.0], Activation::Relu)
+///     .dense_from_rows(&[&[-2.0]], &[0.0], Activation::Identity)
+///     .build()?;
+/// let cert = global_lipschitz(&net, NormKind::Linf);
+/// assert_eq!(cert.value, 6.0); // |3| × |−2|, ReLU is 1-Lipschitz
+/// # Ok(())
+/// # }
+/// ```
+pub fn global_lipschitz(net: &Network, norm: NormKind) -> LipschitzCertificate {
+    let mut value = 1.0;
+    for layer in net.layers() {
+        value *= operator_norm(layer.weights(), norm) * layer.activation().lipschitz_constant();
+    }
+    LipschitzCertificate { value, norm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, Network, NetworkBuilder};
+    use covern_tensor::Rng;
+
+    #[test]
+    fn single_affine_layer_matches_operator_norm() {
+        let net = NetworkBuilder::new(2)
+            .dense_from_rows(&[&[1.0, -2.0], &[3.0, 0.5]], &[0.0, 0.0], Activation::Identity)
+            .build()
+            .unwrap();
+        let cert = global_lipschitz(&net, NormKind::Linf);
+        assert_eq!(cert.value, 3.5); // max row abs sum
+    }
+
+    #[test]
+    fn sigmoid_scales_by_quarter() {
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[4.0]], &[0.0], Activation::Sigmoid)
+            .build()
+            .unwrap();
+        assert_eq!(global_lipschitz(&net, NormKind::Linf).value, 1.0); // 4 × 0.25
+    }
+
+    #[test]
+    fn certificate_holds_on_random_pairs_all_norms() {
+        let mut rng = Rng::seeded(61);
+        let net = Network::random(&[3, 8, 4, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        for norm in [NormKind::L1, NormKind::L2, NormKind::Linf] {
+            let cert = global_lipschitz(&net, norm);
+            for _ in 0..500 {
+                let x1: Vec<f64> = (0..3).map(|_| rng.uniform(-2.0, 2.0)).collect();
+                let x2: Vec<f64> = (0..3).map(|_| rng.uniform(-2.0, 2.0)).collect();
+                let y1 = net.forward(&x1).unwrap();
+                let y2 = net.forward(&x2).unwrap();
+                let (dy, dx) = match norm {
+                    NormKind::L1 => (
+                        covern_tensor::vector::norm_l1(&sub(&y1, &y2)),
+                        covern_tensor::vector::norm_l1(&sub(&x1, &x2)),
+                    ),
+                    NormKind::L2 => (
+                        covern_tensor::vector::dist_l2(&y1, &y2),
+                        covern_tensor::vector::dist_l2(&x1, &x2),
+                    ),
+                    NormKind::Linf => (
+                        covern_tensor::vector::dist_linf(&y1, &y2),
+                        covern_tensor::vector::dist_linf(&x1, &x2),
+                    ),
+                };
+                assert!(dy <= cert.value * dx + 1e-9, "{norm}: {dy} > {} · {dx}", cert.value);
+            }
+        }
+    }
+
+    fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+        a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+    }
+
+    #[test]
+    fn deeper_networks_multiply() {
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.0]], &[0.0], Activation::Relu)
+            .dense_from_rows(&[&[3.0]], &[0.0], Activation::Relu)
+            .dense_from_rows(&[&[5.0]], &[0.0], Activation::Identity)
+            .build()
+            .unwrap();
+        assert_eq!(global_lipschitz(&net, NormKind::Linf).value, 30.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = LipschitzCertificate { value: 2.5, norm: NormKind::L2 };
+        let s = c.to_string();
+        assert!(s.contains("2.5") && s.contains("L2"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Lipschitz-constant estimation for feed-forward networks.
+//!
+//! A Lipschitz constant `ℓ` with `|f(x1) − f(x2)| ≤ ℓ·|x1 − x2|` is the
+//! third proof artifact the DATE 2021 paper reuses: Proposition 3 dilates
+//! the stored output abstraction `Sn` by `ℓκ` (κ = enlargement distance)
+//! and re-checks `Ŝn ⊆ Dout` — no network analysis at all.
+//!
+//! Three estimators are provided:
+//!
+//! * [`bound::global_lipschitz`] — certified upper bound: product of
+//!   per-layer operator norms times activation Lipschitz constants
+//!   (the classical bound the paper's related work attributes to [17]);
+//! * [`local::local_lipschitz`] — tighter certified bound over a *box*:
+//!   provably-inactive ReLU rows are dropped before taking norms;
+//! * [`sample::sampled_lower_bound`] — an empirical *lower* bound used to
+//!   validate the certified bounds (never for proofs).
+
+pub mod bound;
+pub mod local;
+pub mod sample;
+
+pub use bound::{global_lipschitz, LipschitzCertificate, NormKind};
+pub use local::local_lipschitz;
+pub use sample::sampled_lower_bound;

@@ -1,0 +1,122 @@
+//! Empirical Lipschitz lower bounds (validation only).
+//!
+//! Sampling pairs can only *under*-estimate the true constant, so this is
+//! never used inside a proof — it exists to sanity-check the certified
+//! bounds in tests and to report the tightness gap in the ablation benches.
+
+use crate::bound::NormKind;
+use covern_absint::box_domain::BoxDomain;
+use covern_nn::Network;
+use covern_tensor::{vector, Rng};
+
+/// Empirical lower bound on the Lipschitz constant of `net` over `input`:
+/// the maximum observed `|f(x1) − f(x2)| / |x1 − x2|` over `pairs` random
+/// pairs (plus local finite-difference probes around each sample).
+///
+/// # Panics
+///
+/// Panics if `input` does not match the network's input dimension or
+/// `pairs == 0`.
+pub fn sampled_lower_bound(
+    net: &Network,
+    input: &BoxDomain,
+    norm: NormKind,
+    pairs: usize,
+    rng: &mut Rng,
+) -> f64 {
+    assert_eq!(input.dim(), net.input_dim(), "input box arity mismatch");
+    assert!(pairs > 0, "need at least one pair");
+    let dist = |a: &[f64], b: &[f64]| match norm {
+        NormKind::L1 => a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f64>(),
+        NormKind::L2 => vector::dist_l2(a, b),
+        NormKind::Linf => vector::dist_linf(a, b),
+    };
+    let sample = |rng: &mut Rng| -> Vec<f64> {
+        input
+            .intervals()
+            .iter()
+            .map(|iv| {
+                if iv.width() > 0.0 {
+                    rng.uniform(iv.lo(), iv.hi())
+                } else {
+                    iv.lo()
+                }
+            })
+            .collect()
+    };
+    let mut best: f64 = 0.0;
+    for _ in 0..pairs {
+        let x1 = sample(rng);
+        // Pair: an independent point, plus a nearby perturbation (gradients
+        // are revealed by close pairs).
+        let x2 = sample(rng);
+        let mut x3 = x1.clone();
+        let d = rng.index(x3.len());
+        let iv = input.interval(d);
+        if iv.width() > 0.0 {
+            let step = (iv.width() * 1e-4).max(1e-9);
+            x3[d] = (x3[d] + step).min(iv.hi());
+        }
+        for other in [&x2, &x3] {
+            let dx = dist(&x1, other);
+            if dx == 0.0 {
+                continue;
+            }
+            let y1 = net.forward(&x1).expect("dimension checked");
+            let y2 = net.forward(other).expect("dimension checked");
+            let slope = dist(&y1, &y2) / dx;
+            best = best.max(slope);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bound::global_lipschitz;
+    use crate::local::local_lipschitz;
+    use covern_nn::{Activation, Network, NetworkBuilder};
+
+    #[test]
+    fn lower_bound_below_certified_bounds() {
+        let mut rng = Rng::seeded(81);
+        let net = Network::random(&[3, 6, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        for norm in [NormKind::L1, NormKind::L2, NormKind::Linf] {
+            let lower = sampled_lower_bound(&net, &b, norm, 300, &mut rng);
+            let local = local_lipschitz(&net, &b, norm).value;
+            let global = global_lipschitz(&net, norm).value;
+            assert!(lower <= local + 1e-9, "{norm}: sampled {lower} > local {local}");
+            assert!(lower <= global + 1e-9);
+        }
+    }
+
+    #[test]
+    fn linear_network_sampled_matches_exact() {
+        // f(x) = 3x: every estimator must find exactly 3.
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[3.0]], &[1.0], Activation::Identity)
+            .build()
+            .unwrap();
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let mut rng = Rng::seeded(82);
+        let lower = sampled_lower_bound(&net, &b, NormKind::Linf, 50, &mut rng);
+        assert!((lower - 3.0).abs() < 1e-6, "sampled {lower}");
+    }
+
+    #[test]
+    fn degenerate_box_gives_zero() {
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[3.0]], &[0.0], Activation::Identity)
+            .build()
+            .unwrap();
+        let b = BoxDomain::from_bounds(&[(0.5, 0.5)]).unwrap();
+        let mut rng = Rng::seeded(83);
+        assert_eq!(sampled_lower_bound(&net, &b, NormKind::L2, 10, &mut rng), 0.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Branch & bound over binary variables.
+//!
+//! Depth-first search on the binary indicators of the big-M encoding, with
+//! LP-relaxation bounding. Sound and complete; node-limited so callers can
+//! trade completeness for time (a limit hit surfaces as an error, never as
+//! a wrong answer).
+
+use crate::error::MilpError;
+use crate::lp::{solve_lp, LpSolution};
+use crate::model::{Model, VarId};
+
+/// Integrality tolerance: a relaxation value this close to 0/1 counts as
+/// integral.
+const INT_TOL: f64 = 1e-6;
+
+/// Result of a MILP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpSolution {
+    /// Optimal point (binaries rounded to exact 0/1).
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: usize,
+}
+
+/// Solves `model` to proven optimality by branch & bound.
+///
+/// # Errors
+///
+/// * [`MilpError::Infeasible`] if no integral point exists,
+/// * [`MilpError::Unbounded`] if the relaxation is unbounded,
+/// * [`MilpError::NodeLimit`] if more than `node_limit` nodes were explored.
+pub fn solve_milp(model: &Model, node_limit: usize) -> Result<MilpSolution, MilpError> {
+    solve_milp_warm(model, node_limit, None)
+}
+
+/// [`solve_milp`] with an optional warm-start hint.
+///
+/// The paper's concluding remarks observe that MILP internals (cuts) lose
+/// validity under domain enlargement, but *feasible points* do not: any
+/// solution of the previous verification task remains feasible when the
+/// domain only grows. Passing it as `hint` seeds the incumbent, which lets
+/// bound-based pruning fire from the first node. An infeasible or
+/// wrong-arity hint is ignored (warm starts must never change the answer,
+/// only the work).
+///
+/// # Errors
+///
+/// Same as [`solve_milp`].
+pub fn solve_milp_warm(
+    model: &Model,
+    node_limit: usize,
+    hint: Option<&[f64]>,
+) -> Result<MilpSolution, MilpError> {
+    let binaries = model.binary_vars();
+    if binaries.is_empty() {
+        let sol = solve_lp(model)?;
+        return Ok(MilpSolution { x: sol.x, objective: sol.objective, nodes: 1 });
+    }
+
+    // A node is a set of fixed binaries, represented by bound overrides.
+    struct Node {
+        fixes: Vec<(usize, f64)>,
+    }
+
+    let better = |a: f64, b: f64| if model.maximize { a > b + 1e-9 } else { a < b - 1e-9 };
+    // Could `a` still beat incumbent `b` (with tolerance)?
+    let promising = |bound: f64, incumbent: f64| {
+        if model.maximize {
+            bound > incumbent + 1e-9
+        } else {
+            bound < incumbent - 1e-9
+        }
+    };
+
+    let mut incumbent: Option<LpSolution> = None;
+    if let Some(h) = hint {
+        if h.len() == model.num_vars() && model.is_feasible(h, 1e-6) {
+            let mut x = h.to_vec();
+            for &b in &binaries {
+                x[b] = x[b].round();
+            }
+            let objective = model.objective_value(&x);
+            incumbent = Some(LpSolution { x, objective });
+        }
+    }
+    let mut stack = vec![Node { fixes: Vec::new() }];
+    let mut nodes = 0usize;
+    let mut scratch = model.clone();
+
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > node_limit {
+            return Err(MilpError::NodeLimit {
+                best_bound: incumbent.as_ref().map(|s| s.objective),
+            });
+        }
+        // Apply fixes.
+        for &b in &binaries {
+            scratch.set_bounds(VarId(b), 0.0, 1.0).expect("binary exists");
+        }
+        for &(v, val) in &node.fixes {
+            scratch.set_bounds(VarId(v), val, val).expect("binary exists");
+        }
+        let relax = match solve_lp(&scratch) {
+            Ok(s) => s,
+            Err(MilpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        // Bound-based pruning.
+        if let Some(inc) = &incumbent {
+            if !promising(relax.objective, inc.objective) {
+                continue;
+            }
+        }
+        // Find the most fractional binary.
+        let mut branch_var = None;
+        let mut worst_frac = INT_TOL;
+        for &b in &binaries {
+            let v = relax.x[b];
+            let frac = (v - v.round()).abs();
+            if frac > worst_frac {
+                worst_frac = frac;
+                branch_var = Some(b);
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral solution: round binaries exactly and keep if better.
+                let mut x = relax.x.clone();
+                for &b in &binaries {
+                    x[b] = x[b].round();
+                }
+                let obj = model.objective_value(&x);
+                let accept = match &incumbent {
+                    None => true,
+                    Some(inc) => better(obj, inc.objective),
+                };
+                if accept {
+                    incumbent = Some(LpSolution { x, objective: obj });
+                }
+            }
+            Some(b) => {
+                // Branch: explore the side suggested by the relaxation first
+                // (pushed last so it is popped first).
+                let frac = relax.x[b];
+                let first = if frac >= 0.5 { 1.0 } else { 0.0 };
+                let mut fixes0 = node.fixes.clone();
+                fixes0.push((b, 1.0 - first));
+                let mut fixes1 = node.fixes;
+                fixes1.push((b, first));
+                stack.push(Node { fixes: fixes0 });
+                stack.push(Node { fixes: fixes1 });
+            }
+        }
+    }
+
+    match incumbent {
+        Some(s) => Ok(MilpSolution { x: s.x, objective: s.objective, nodes }),
+        None => Err(MilpError::Infeasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Cmp;
+
+    #[test]
+    fn pure_lp_passthrough() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 4.0);
+        m.set_objective(&[(x, 1.0)], true).unwrap();
+        let sol = solve_milp(&m, 100).unwrap();
+        assert!((sol.objective - 4.0).abs() < 1e-7);
+        assert_eq!(sol.nodes, 1);
+    }
+
+    #[test]
+    fn knapsack_three_items() {
+        // max 10a + 6b + 4c s.t. 5a + 4b + 3c <= 8, binaries.
+        // Best: a + c = 14 (weight 8); a+b = 16 weight 9 infeasible.
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        let c = m.add_binary();
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, 8.0).unwrap();
+        m.set_objective(&[(a, 10.0), (b, 6.0), (c, 4.0)], true).unwrap();
+        let sol = solve_milp(&m, 1000).unwrap();
+        assert!((sol.objective - 14.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert_eq!(sol.x[a.index()].round() as i32, 1);
+        assert_eq!(sol.x[c.index()].round() as i32, 1);
+    }
+
+    #[test]
+    fn integrality_forces_worse_than_relaxation() {
+        // max x s.t. x <= 1.5 d, d binary, x <= 1.2: LP relaxation gives 1.2
+        // with fractional d; with d=1, x = 1.2. Fine. Make one where
+        // integrality actually bites: max 2d1 + 3d2, d1 + d2 <= 1.
+        let mut m = Model::new();
+        let d1 = m.add_binary();
+        let d2 = m.add_binary();
+        m.add_constraint(&[(d1, 1.0), (d2, 1.0)], Cmp::Le, 1.0).unwrap();
+        m.set_objective(&[(d1, 2.0), (d2, 3.0)], true).unwrap();
+        let sol = solve_milp(&m, 1000).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_milp() {
+        let mut m = Model::new();
+        let d = m.add_binary();
+        m.add_constraint(&[(d, 1.0)], Cmp::Ge, 0.5).unwrap();
+        m.add_constraint(&[(d, 1.0)], Cmp::Le, 0.5).unwrap();
+        m.set_objective(&[(d, 1.0)], true).unwrap();
+        assert_eq!(solve_milp(&m, 100).unwrap_err(), MilpError::Infeasible);
+    }
+
+    #[test]
+    fn node_limit_is_reported() {
+        // A model with several binaries and a tiny node budget.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|_| m.add_binary()).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        // Fractional rhs so the root relaxation cannot be integral.
+        m.add_constraint(&terms, Cmp::Le, 2.5).unwrap();
+        let obj: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64 * 0.1)).collect();
+        m.set_objective(&obj, true).unwrap();
+        match solve_milp(&m, 1) {
+            Err(MilpError::NodeLimit { .. }) => {}
+            other => panic!("expected node limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimization_direction() {
+        // min 5a + 3b s.t. a + b >= 1, binaries → pick b: 3.
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Ge, 1.0).unwrap();
+        m.set_objective(&[(a, 5.0), (b, 3.0)], false).unwrap();
+        let sol = solve_milp(&m, 1000).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_prunes_with_optimal_hint() {
+        // Fractional knapsack where branching is needed cold.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|_| m.add_binary()).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        m.add_constraint(&terms, Cmp::Le, 2.5).unwrap();
+        let obj: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64 * 0.1)).collect();
+        m.set_objective(&obj, true).unwrap();
+
+        let cold = solve_milp(&m, 10_000).unwrap();
+        // Hand the optimum back as a hint.
+        let warm = solve_milp_warm(&m, 10_000, Some(&cold.x)).unwrap();
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        assert!(
+            warm.nodes <= cold.nodes,
+            "warm start explored more nodes ({} vs {})",
+            warm.nodes,
+            cold.nodes
+        );
+    }
+
+    #[test]
+    fn bogus_hints_are_ignored_not_trusted() {
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0).unwrap();
+        m.set_objective(&[(a, 2.0), (b, 3.0)], true).unwrap();
+        // Infeasible hint (violates the constraint) and wrong arity.
+        for hint in [vec![1.0, 1.0], vec![1.0]] {
+            let sol = solve_milp_warm(&m, 1000, Some(&hint)).unwrap();
+            assert!((sol.objective - 3.0).abs() < 1e-9, "hint changed the answer");
+        }
+    }
+
+    #[test]
+    fn feasible_suboptimal_hint_never_worsens_answer() {
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        m.add_constraint(&[(a, 1.0), (b, 1.0)], Cmp::Le, 1.0).unwrap();
+        m.set_objective(&[(a, 2.0), (b, 3.0)], true).unwrap();
+        // Feasible but suboptimal: a = 1 (value 2); optimum is b = 1 (3).
+        let sol = solve_milp_warm(&m, 1000, Some(&[1.0, 0.0])).unwrap();
+        assert!((sol.objective - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_is_integral_and_feasible() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0);
+        let d = m.add_binary();
+        // x <= 10 d (big-M-style coupling), maximize x - d.
+        m.add_constraint(&[(x, 1.0), (d, -10.0)], Cmp::Le, 0.0).unwrap();
+        m.set_objective(&[(x, 1.0), (d, -1.0)], true).unwrap();
+        let sol = solve_milp(&m, 1000).unwrap();
+        assert!(m.is_feasible(&sol.x, 1e-6));
+        assert!((sol.objective - 9.0).abs() < 1e-6); // x=10, d=1
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the MILP stack.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving (MI)LPs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MilpError {
+    /// A constraint or objective referenced a variable that does not exist.
+    UnknownVariable {
+        /// The referenced index.
+        index: usize,
+        /// Number of variables in the model.
+        available: usize,
+    },
+    /// The linear program is infeasible.
+    Infeasible,
+    /// The linear program is unbounded in the optimisation direction.
+    Unbounded,
+    /// The simplex iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+    /// The branch-and-bound node limit was exceeded before optimality.
+    NodeLimit {
+        /// Best proven bound at abort time, if any relaxation solved.
+        best_bound: Option<f64>,
+    },
+    /// The network slice contains an activation that is not piecewise
+    /// linear and therefore cannot be encoded exactly.
+    NonPiecewiseLinear(String),
+    /// A dimension disagreement between box, network and query.
+    DimensionMismatch {
+        /// Operation in which the mismatch occurred.
+        context: &'static str,
+        /// Expected dimension.
+        expected: usize,
+        /// Actual dimension.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for MilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MilpError::UnknownVariable { index, available } => {
+                write!(f, "unknown variable {index}: model has {available} variables")
+            }
+            MilpError::Infeasible => write!(f, "linear program is infeasible"),
+            MilpError::Unbounded => write!(f, "linear program is unbounded"),
+            MilpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            MilpError::NodeLimit { best_bound } => match best_bound {
+                Some(b) => write!(f, "branch-and-bound node limit exceeded (best bound {b})"),
+                None => write!(f, "branch-and-bound node limit exceeded"),
+            },
+            MilpError::NonPiecewiseLinear(act) => {
+                write!(f, "activation {act} is not piecewise linear; cannot encode exactly")
+            }
+            MilpError::DimensionMismatch { context, expected, actual } => {
+                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for MilpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_nonempty() {
+        for e in [
+            MilpError::Infeasible,
+            MilpError::Unbounded,
+            MilpError::IterationLimit,
+            MilpError::NodeLimit { best_bound: Some(1.5) },
+            MilpError::NonPiecewiseLinear("Sigmoid".into()),
+            MilpError::UnknownVariable { index: 3, available: 2 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<MilpError>();
+    }
+}

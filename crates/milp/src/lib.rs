@@ -1,0 +1,46 @@
+//! Exact verification queries via mixed-integer linear programming.
+//!
+//! The DATE 2021 paper's local sufficient-condition checks (Propositions 1,
+//! 2, 4, 5) need an *exact* method for small sub-networks: "the nonlinearity
+//! of ReLU can be encoded using big-M approaches" (Equation 2). Production
+//! tools bind to CPLEX/Gurobi; those bindings are unavailable here, so this
+//! crate hand-rolls the entire stack at the modest scale the subproblems
+//! require:
+//!
+//! * [`lp`] — a dense two-phase primal simplex solver,
+//! * [`model`] — a variable/constraint builder for (MI)LPs,
+//! * [`bb`] — branch & bound over binary variables on top of the LP solver,
+//! * [`encode`] — the big-M encoding of piecewise-linear network slices
+//!   (exactly the paper's Equation 2),
+//! * [`query`] — the high-level exact queries the incremental verifier
+//!   consumes: neuron maxima/minima, output bounds, containment checks.
+//!
+//! # Example: the paper's Figure 2 / Equation 2
+//!
+//! ```
+//! use covern_absint::BoxDomain;
+//! use covern_nn::{Activation, DenseLayer, Network};
+//! use covern_milp::query;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let net = Network::new(vec![
+//!     DenseLayer::from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3],
+//!                           Activation::Relu),
+//!     DenseLayer::from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu),
+//! ])?;
+//! let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)])?;
+//! let max_n4 = query::max_output_neuron(&net, &enlarged, 0)?;
+//! assert!((max_n4 - 6.2).abs() < 1e-6); // the paper's exact answer
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bb;
+pub mod encode;
+pub mod error;
+pub mod lp;
+pub mod model;
+pub mod query;
+
+pub use error::MilpError;
+pub use model::{Cmp, Model, VarId};

@@ -1,0 +1,503 @@
+//! Dense two-phase primal simplex.
+//!
+//! Textbook implementation sized for the paper's local subproblems (a few
+//! hundred variables): variables are shifted/split to non-negative form,
+//! phase 1 minimises artificial variables, phase 2 optimises the real
+//! objective, and Bland's rule guarantees termination.
+
+use crate::error::MilpError;
+use crate::model::{Cmp, Model};
+
+/// Numerical tolerance for pivot magnitudes.
+const EPS: f64 = 1e-9;
+
+/// Tolerance for treating a reduced cost as negative. Deliberately looser
+/// than `EPS`: pivoting on noise-level reduced costs in big-M encodings
+/// (whose coefficients span several orders of magnitude) can chase a
+/// phantom improving direction into a spurious "unbounded" verdict.
+const COST_EPS: f64 = 1e-7;
+
+/// Result of a successful LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal point in the *model's* variable space.
+    pub x: Vec<f64>,
+    /// Objective value at `x` (in the model's optimisation direction).
+    pub objective: f64,
+}
+
+/// How each model variable maps into the non-negative simplex columns:
+/// `x = offset + Σ coef · y_col`.
+#[derive(Debug, Clone)]
+struct VarMap {
+    terms: Vec<(usize, f64)>,
+    offset: f64,
+}
+
+struct Standard {
+    /// Rows: (coefficients over y-columns, rhs); all rows are `≤`, `≥` or `=`
+    /// already normalised to `rhs ≥ 0` with `cmp` recorded.
+    rows: Vec<(Vec<f64>, Cmp, f64)>,
+    var_maps: Vec<VarMap>,
+    num_y: usize,
+}
+
+/// Converts a model (ignoring integrality) to non-negative standard form.
+fn standardize(model: &Model) -> Standard {
+    let mut num_y = 0;
+    let mut var_maps = Vec::with_capacity(model.num_vars());
+    let mut bound_rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::new();
+    for j in 0..model.num_vars() {
+        let (l, u) = (model.lower[j], model.upper[j]);
+        if l.is_finite() {
+            let col = num_y;
+            num_y += 1;
+            var_maps.push(VarMap { terms: vec![(col, 1.0)], offset: l });
+            if u.is_finite() {
+                bound_rows.push((vec![(col, 1.0)], Cmp::Le, u - l));
+            }
+        } else if u.is_finite() {
+            let col = num_y;
+            num_y += 1;
+            var_maps.push(VarMap { terms: vec![(col, -1.0)], offset: u });
+        } else {
+            let (cp, cn) = (num_y, num_y + 1);
+            num_y += 2;
+            var_maps.push(VarMap { terms: vec![(cp, 1.0), (cn, -1.0)], offset: 0.0 });
+        }
+    }
+
+    let mut rows = Vec::with_capacity(model.constraints.len() + bound_rows.len());
+    for c in &model.constraints {
+        let mut coef = vec![0.0; num_y];
+        let mut rhs = c.rhs;
+        for &(j, a) in &c.terms {
+            let vm = &var_maps[j];
+            rhs -= a * vm.offset;
+            for &(col, s) in &vm.terms {
+                coef[col] += a * s;
+            }
+        }
+        rows.push((coef, c.cmp, rhs));
+    }
+    for (terms, cmp, rhs) in bound_rows {
+        let mut coef = vec![0.0; num_y];
+        for (col, s) in terms {
+            coef[col] += s;
+        }
+        rows.push((coef, cmp, rhs));
+    }
+    // Normalise to rhs ≥ 0.
+    for (coef, cmp, rhs) in rows.iter_mut() {
+        if *rhs < 0.0 {
+            for v in coef.iter_mut() {
+                *v = -*v;
+            }
+            *rhs = -*rhs;
+            *cmp = match *cmp {
+                Cmp::Le => Cmp::Ge,
+                Cmp::Ge => Cmp::Le,
+                Cmp::Eq => Cmp::Eq,
+            };
+        }
+    }
+    Standard { rows, var_maps, num_y }
+}
+
+/// The dense simplex tableau.
+struct Tableau {
+    /// `m` rows of length `ncols + 1` (last entry is the rhs).
+    a: Vec<Vec<f64>>,
+    basis: Vec<usize>,
+    ncols: usize,
+    /// Columns that are artificial (banned from re-entering in phase 2).
+    artificial: Vec<bool>,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot element too small");
+        let inv = 1.0 / piv;
+        for v in self.a[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.a[row].clone();
+        for (i, r) in self.a.iter_mut().enumerate() {
+            if i == row {
+                continue;
+            }
+            let factor = r[col];
+            if factor.abs() <= EPS {
+                continue;
+            }
+            for (v, p) in r.iter_mut().zip(pivot_row.iter()) {
+                *v -= factor * p;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Minimises `cost` over the current feasible basis with Bland's rule.
+    ///
+    /// Returns the final reduced-cost row (length `ncols + 1`, last entry is
+    /// `-objective`).
+    fn simplex(&mut self, cost: &[f64], allow_artificial: bool) -> Result<Vec<f64>, MilpError> {
+        let m = self.a.len();
+        // Build the reduced-cost row r = c - c_B B⁻¹ A.
+        let mut r = vec![0.0; self.ncols + 1];
+        r[..self.ncols].copy_from_slice(cost);
+        for i in 0..m {
+            let cb = cost[self.basis[i]];
+            if cb != 0.0 {
+                for (rv, av) in r.iter_mut().zip(self.a[i].iter()) {
+                    *rv -= cb * av;
+                }
+            }
+        }
+        let max_iter = 200 * (m + self.ncols) + 1_000;
+        for _ in 0..max_iter {
+            // Bland: entering = smallest-index column with negative reduced cost.
+            let mut entering = None;
+            for j in 0..self.ncols {
+                if !allow_artificial && self.artificial[j] {
+                    continue;
+                }
+                if r[j] < -COST_EPS {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(col) = entering else {
+                return Ok(r);
+            };
+            // Ratio test; Bland tie-break on smallest basis index.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..m {
+                let aij = self.a[i][col];
+                if aij > EPS {
+                    let ratio = self.a[i][self.ncols] / aij;
+                    let better = match leave {
+                        None => true,
+                        Some((li, lr)) => {
+                            ratio < lr - EPS || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                        }
+                    };
+                    if better {
+                        leave = Some((i, ratio));
+                    }
+                }
+            }
+            let Some((row, _)) = leave else {
+                return Err(MilpError::Unbounded);
+            };
+            self.pivot(row, col);
+            // Update the reduced-cost row with the same elimination.
+            let factor = r[col];
+            if factor.abs() > EPS {
+                let prow = &self.a[row];
+                for (rv, pv) in r.iter_mut().zip(prow.iter()) {
+                    *rv -= factor * pv;
+                }
+            }
+        }
+        Err(MilpError::IterationLimit)
+    }
+}
+
+/// Solves the LP relaxation of `model` (integrality ignored).
+///
+/// # Errors
+///
+/// * [`MilpError::Infeasible`] if no point satisfies all constraints,
+/// * [`MilpError::Unbounded`] if the objective is unbounded,
+/// * [`MilpError::IterationLimit`] on numerical cycling beyond the guard.
+pub fn solve_lp(model: &Model) -> Result<LpSolution, MilpError> {
+    let std_form = standardize(model);
+    let m = std_form.rows.len();
+
+    // Count extra columns: slack for Le, surplus for Ge, artificial for Ge/Eq.
+    let mut ncols = std_form.num_y;
+    let mut slack_col = vec![None; m];
+    let mut art_col = vec![None; m];
+    for (i, (_, cmp, _)) in std_form.rows.iter().enumerate() {
+        match cmp {
+            Cmp::Le => {
+                slack_col[i] = Some(ncols);
+                ncols += 1;
+            }
+            Cmp::Ge => {
+                slack_col[i] = Some(ncols);
+                ncols += 1;
+                art_col[i] = Some(ncols);
+                ncols += 1;
+            }
+            Cmp::Eq => {
+                art_col[i] = Some(ncols);
+                ncols += 1;
+            }
+        }
+    }
+
+    let mut artificial = vec![false; ncols];
+    let mut a = vec![vec![0.0; ncols + 1]; m];
+    let mut basis = vec![0usize; m];
+    for (i, (coef, cmp, rhs)) in std_form.rows.iter().enumerate() {
+        a[i][..std_form.num_y].copy_from_slice(coef);
+        a[i][ncols] = *rhs;
+        match cmp {
+            Cmp::Le => {
+                let s = slack_col[i].expect("slack allocated");
+                a[i][s] = 1.0;
+                basis[i] = s;
+            }
+            Cmp::Ge => {
+                let s = slack_col[i].expect("surplus allocated");
+                a[i][s] = -1.0;
+                let t = art_col[i].expect("artificial allocated");
+                a[i][t] = 1.0;
+                artificial[t] = true;
+                basis[i] = t;
+            }
+            Cmp::Eq => {
+                let t = art_col[i].expect("artificial allocated");
+                a[i][t] = 1.0;
+                artificial[t] = true;
+                basis[i] = t;
+            }
+        }
+    }
+
+    let mut tab = Tableau { a, basis, ncols, artificial: artificial.clone() };
+
+    // Phase 1: minimise the sum of artificials (if any).
+    if artificial.iter().any(|&b| b) {
+        let cost: Vec<f64> = (0..ncols).map(|j| if artificial[j] { 1.0 } else { 0.0 }).collect();
+        let r = tab.simplex(&cost, true)?;
+        let phase1_obj = -r[ncols];
+        if phase1_obj > 1e-7 {
+            return Err(MilpError::Infeasible);
+        }
+        // Drive remaining artificials out of the basis where possible.
+        for i in 0..m {
+            if tab.artificial[tab.basis[i]] {
+                if let Some(col) = (0..ncols).find(|&j| !tab.artificial[j] && tab.a[i][j].abs() > EPS)
+                {
+                    tab.pivot(i, col);
+                }
+                // Otherwise the row is redundant; the artificial stays basic
+                // at value 0 and is banned from phase 2 entering.
+            }
+        }
+    }
+
+    // Phase 2: real objective (convert maximisation to minimisation).
+    let sign = if model.maximize { -1.0 } else { 1.0 };
+    let mut cost = vec![0.0; ncols];
+    for (j, vm) in std_form.var_maps.iter().enumerate() {
+        let cj = model.objective[j];
+        if cj == 0.0 {
+            continue;
+        }
+        for &(col, s) in &vm.terms {
+            cost[col] += sign * cj * s;
+        }
+    }
+    tab.simplex(&cost, false)?;
+
+    // Extract the y solution.
+    let mut y = vec![0.0; ncols];
+    for i in 0..m {
+        y[tab.basis[i]] = tab.a[i][ncols];
+    }
+    let x: Vec<f64> = std_form
+        .var_maps
+        .iter()
+        .map(|vm| vm.offset + vm.terms.iter().map(|&(c, s)| s * y[c]).sum::<f64>())
+        .collect();
+    let objective = model.objective_value(&x);
+    Ok(LpSolution { x, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 4y s.t. x + 2y <= 14, 3x - y >= 0, x - y <= 2, x,y >= 0.
+        // Optimum at (6, 4): objective 34.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, f64::INFINITY);
+        let y = m.add_var(0.0, f64::INFINITY);
+        m.add_constraint(&[(x, 1.0), (y, 2.0)], Cmp::Le, 14.0).unwrap();
+        m.add_constraint(&[(x, 3.0), (y, -1.0)], Cmp::Ge, 0.0).unwrap();
+        m.add_constraint(&[(x, 1.0), (y, -1.0)], Cmp::Le, 2.0).unwrap();
+        m.set_objective(&[(x, 3.0), (y, 4.0)], true).unwrap();
+        let sol = solve_lp(&m).unwrap();
+        assert!((sol.objective - 34.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!((sol.x[0] - 6.0).abs() < 1e-6 && (sol.x[1] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimization_with_equality() {
+        // min x + y s.t. x + y = 1, x,y in [0,1]: objective 1.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let y = m.add_var(0.0, 1.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 1.0).unwrap();
+        m.set_objective(&[(x, 1.0), (y, 1.0)], false).unwrap();
+        let sol = solve_lp(&m).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variables_are_handled() {
+        // min x s.t. x >= -5 via constraint only (variable itself free).
+        let mut m = Model::new();
+        let x = m.add_var(f64::NEG_INFINITY, f64::INFINITY);
+        m.add_constraint(&[(x, 1.0)], Cmp::Ge, -5.0).unwrap();
+        m.set_objective(&[(x, 1.0)], false).unwrap();
+        let sol = solve_lp(&m).unwrap();
+        assert!((sol.x[0] + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn upper_bounded_only_variable() {
+        // max x with x <= 3 (lower bound -inf).
+        let mut m = Model::new();
+        let x = m.add_var(f64::NEG_INFINITY, 3.0);
+        m.set_objective(&[(x, 1.0)], true).unwrap();
+        let sol = solve_lp(&m).unwrap();
+        assert!((sol.x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Ge, 2.0).unwrap();
+        m.set_objective(&[(x, 1.0)], false).unwrap();
+        assert_eq!(solve_lp(&m).unwrap_err(), MilpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, f64::INFINITY);
+        m.set_objective(&[(x, 1.0)], true).unwrap();
+        assert_eq!(solve_lp(&m).unwrap_err(), MilpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalize() {
+        // x >= -2 written as -x <= 2 internally; min x over [-10, 10] with
+        // constraint x >= -2 gives -2.
+        let mut m = Model::new();
+        let x = m.add_var(-10.0, 10.0);
+        m.add_constraint(&[(x, 1.0)], Cmp::Ge, -2.0).unwrap();
+        m.set_objective(&[(x, 1.0)], false).unwrap();
+        let sol = solve_lp(&m).unwrap();
+        assert!((sol.x[0] + 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_equalities_do_not_cycle() {
+        // Multiple redundant equalities.
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 10.0);
+        let y = m.add_var(0.0, 10.0);
+        m.add_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Eq, 4.0).unwrap();
+        m.add_constraint(&[(x, 2.0), (y, 2.0)], Cmp::Eq, 8.0).unwrap();
+        m.set_objective(&[(x, 1.0), (y, -1.0)], false).unwrap();
+        let sol = solve_lp(&m).unwrap();
+        assert!((sol.x[0] - 0.0).abs() < 1e-7 && (sol.x[1] - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut m = Model::new();
+        let x = m.add_var(-1.0, 2.0);
+        let y = m.add_var(0.0, 5.0);
+        m.add_constraint(&[(x, 2.0), (y, 1.0)], Cmp::Le, 4.0).unwrap();
+        m.add_constraint(&[(x, -1.0), (y, 1.0)], Cmp::Ge, 0.5).unwrap();
+        m.set_objective(&[(x, 1.0), (y, 1.0)], true).unwrap();
+        let sol = solve_lp(&m).unwrap();
+        assert!(m.is_feasible(&sol.x, 1e-6));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random bounded-variable LP with ≤ constraints anchored at a
+        /// known feasible point, so feasibility is guaranteed.
+        fn random_lp() -> impl Strategy<Value = (Model, Vec<f64>)> {
+            (2usize..5, 1usize..4, 0u64..10_000).prop_map(|(nv, nc, seed)| {
+                let mut rng = covern_tensor::Rng::seeded(seed);
+                let mut m = Model::new();
+                let mut anchor = Vec::with_capacity(nv);
+                let vars: Vec<_> = (0..nv)
+                    .map(|_| {
+                        let lo = rng.uniform(-5.0, 0.0);
+                        let hi = lo + rng.uniform(0.5, 5.0);
+                        anchor.push(0.5 * (lo + hi));
+                        m.add_var(lo, hi)
+                    })
+                    .collect();
+                for _ in 0..nc {
+                    let coefs: Vec<f64> = (0..nv).map(|_| rng.uniform(-2.0, 2.0)).collect();
+                    let at_anchor: f64 =
+                        coefs.iter().zip(anchor.iter()).map(|(c, a)| c * a).sum();
+                    // rhs strictly above the anchor value keeps it feasible.
+                    let rhs = at_anchor + rng.uniform(0.1, 2.0);
+                    let terms: Vec<_> = vars.iter().copied().zip(coefs).collect();
+                    m.add_constraint(&terms, Cmp::Le, rhs).expect("vars exist");
+                }
+                let obj: Vec<_> = vars
+                    .iter()
+                    .map(|&v| (v, rng.uniform(-1.0, 1.0)))
+                    .collect();
+                m.set_objective(&obj, true).expect("vars exist");
+                (m, anchor)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_lp_solution_feasible_and_dominates_samples((m, anchor) in random_lp()) {
+                let sol = solve_lp(&m).expect("anchored LPs are feasible and bounded");
+                prop_assert!(m.is_feasible(&sol.x, 1e-6), "optimal point infeasible");
+                // The anchor is feasible; the optimum must not be worse.
+                prop_assert!(m.is_feasible(&anchor, 1e-6));
+                prop_assert!(
+                    sol.objective >= m.objective_value(&anchor) - 1e-6,
+                    "optimum {} below feasible anchor {}",
+                    sol.objective,
+                    m.objective_value(&anchor)
+                );
+                // Random feasible perturbations of the anchor never beat it.
+                let mut rng = covern_tensor::Rng::seeded(7);
+                for _ in 0..50 {
+                    let cand: Vec<f64> = anchor
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &a)| {
+                            let v = a + rng.uniform(-1.0, 1.0);
+                            v.clamp(m.lower[j], m.upper[j])
+                        })
+                        .collect();
+                    if m.is_feasible(&cand, 1e-9) {
+                        prop_assert!(
+                            sol.objective >= m.objective_value(&cand) - 1e-6,
+                            "a sampled feasible point beats the claimed optimum"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

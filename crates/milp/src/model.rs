@@ -1,0 +1,265 @@
+//! (MI)LP model builder: variables, bounds, constraints, objective.
+
+use crate::error::MilpError;
+use std::fmt;
+
+/// Handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The raw column index of the variable.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Constraint comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+    /// `=`
+    Eq,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmp::Le => write!(f, "<="),
+            Cmp::Ge => write!(f, ">="),
+            Cmp::Eq => write!(f, "="),
+        }
+    }
+}
+
+/// One linear constraint `Σ coef·var  cmp  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) cmp: Cmp,
+    pub(crate) rhs: f64,
+}
+
+/// A mixed-integer linear program.
+///
+/// Variables are continuous with (possibly infinite) bounds unless marked
+/// binary; the only integrality supported is `{0, 1}`, which is all the
+/// big-M ReLU encoding needs.
+///
+/// # Example
+///
+/// ```
+/// use covern_milp::{Cmp, Model};
+///
+/// # fn main() -> Result<(), covern_milp::MilpError> {
+/// let mut m = Model::new();
+/// let x = m.add_var(0.0, 10.0);
+/// let y = m.add_var(0.0, 10.0);
+/// m.add_constraint(&[(x, 1.0), (y, 2.0)], Cmp::Le, 14.0)?;
+/// m.add_constraint(&[(x, 3.0), (y, -1.0)], Cmp::Ge, 0.0)?;
+/// m.set_objective(&[(x, 3.0), (y, 4.0)], true)?; // maximize 3x + 4y
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) lower: Vec<f64>,
+    pub(crate) upper: Vec<f64>,
+    pub(crate) binary: Vec<bool>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: Vec<f64>,
+    pub(crate) maximize: bool,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a continuous variable with bounds `[lo, hi]` (use
+    /// `f64::NEG_INFINITY` / `f64::INFINITY` for free sides).
+    pub fn add_var(&mut self, lo: f64, hi: f64) -> VarId {
+        debug_assert!(lo <= hi, "variable bounds inverted");
+        self.lower.push(lo);
+        self.upper.push(hi);
+        self.binary.push(false);
+        self.objective.push(0.0);
+        VarId(self.lower.len() - 1)
+    }
+
+    /// Adds a binary (`{0,1}`) variable.
+    pub fn add_binary(&mut self) -> VarId {
+        let v = self.add_var(0.0, 1.0);
+        self.binary[v.0] = true;
+        v
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Indices of binary variables.
+    pub fn binary_vars(&self) -> Vec<usize> {
+        self.binary
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect()
+    }
+
+    fn check_terms(&self, terms: &[(VarId, f64)]) -> Result<(), MilpError> {
+        for (v, _) in terms {
+            if v.0 >= self.num_vars() {
+                return Err(MilpError::UnknownVariable { index: v.0, available: self.num_vars() });
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds the constraint `Σ coef·var cmp rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::UnknownVariable`] if a term references a
+    /// non-existent variable.
+    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) -> Result<(), MilpError> {
+        self.check_terms(terms)?;
+        self.constraints.push(Constraint {
+            terms: terms.iter().map(|(v, c)| (v.0, *c)).collect(),
+            cmp,
+            rhs,
+        });
+        Ok(())
+    }
+
+    /// Sets the objective `Σ coef·var`, maximised if `maximize` is true.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::UnknownVariable`] if a term references a
+    /// non-existent variable.
+    pub fn set_objective(&mut self, terms: &[(VarId, f64)], maximize: bool) -> Result<(), MilpError> {
+        self.check_terms(terms)?;
+        for c in self.objective.iter_mut() {
+            *c = 0.0;
+        }
+        for (v, c) in terms {
+            self.objective[v.0] += c;
+        }
+        self.maximize = maximize;
+        Ok(())
+    }
+
+    /// Tightens the bounds of `var` to `[lo, hi]` (used by branch & bound).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MilpError::UnknownVariable`] if the variable is unknown.
+    pub fn set_bounds(&mut self, var: VarId, lo: f64, hi: f64) -> Result<(), MilpError> {
+        if var.0 >= self.num_vars() {
+            return Err(MilpError::UnknownVariable { index: var.0, available: self.num_vars() });
+        }
+        self.lower[var.0] = lo;
+        self.upper[var.0] = hi;
+        Ok(())
+    }
+
+    /// Current bounds of `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable is unknown.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        (self.lower[var.0], self.upper[var.0])
+    }
+
+    /// Evaluates the objective at a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.num_vars(), "point has wrong arity");
+        self.objective.iter().zip(x.iter()).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks whether `x` satisfies every constraint and bound up to `tol`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != num_vars()`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        assert_eq!(x.len(), self.num_vars(), "point has wrong arity");
+        for (i, &v) in x.iter().enumerate() {
+            if v < self.lower[i] - tol || v > self.upper[i] + tol {
+                return false;
+            }
+            if self.binary[i] && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(j, coef)| coef * x[j]).sum();
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let d = m.add_binary();
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.binary_vars(), vec![1]);
+        m.add_constraint(&[(x, 1.0), (d, -1.0)], Cmp::Le, 0.0).unwrap();
+        assert_eq!(m.num_constraints(), 1);
+        m.set_objective(&[(x, 2.0)], true).unwrap();
+        assert_eq!(m.objective_value(&[0.5, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn unknown_variable_is_reported() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 1.0);
+        let ghost = VarId(7);
+        assert!(m.add_constraint(&[(ghost, 1.0)], Cmp::Le, 0.0).is_err());
+        assert!(m.set_objective(&[(ghost, 1.0)], false).is_err());
+        assert!(m.set_bounds(ghost, 0.0, 1.0).is_err());
+        let _ = x;
+    }
+
+    #[test]
+    fn feasibility_check_covers_bounds_integrality_constraints() {
+        let mut m = Model::new();
+        let x = m.add_var(0.0, 2.0);
+        let d = m.add_binary();
+        m.add_constraint(&[(x, 1.0), (d, 1.0)], Cmp::Le, 2.5).unwrap();
+        assert!(m.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[3.0, 0.0], 1e-9)); // bound violated
+        assert!(!m.is_feasible(&[1.0, 0.5], 1e-9)); // integrality violated
+        assert!(!m.is_feasible(&[2.0, 1.0], 1e-9)); // constraint violated
+    }
+}

@@ -1,0 +1,254 @@
+//! High-level exact queries on piecewise-linear network slices.
+//!
+//! These are the calls the incremental verifier (`covern-core`) makes for
+//! its local sufficient-condition checks: exact neuron extrema, exact
+//! output bounds, and containment of a network image in a target box.
+
+use crate::bb::solve_milp;
+use crate::encode::encode_network;
+use crate::error::MilpError;
+use covern_absint::box_domain::BoxDomain;
+use covern_nn::Network;
+
+/// Default branch-and-bound node budget for queries.
+pub const DEFAULT_NODE_LIMIT: usize = 200_000;
+
+/// Exact maximum of output neuron `idx` over `input`.
+///
+/// # Errors
+///
+/// Propagates encoding errors ([`MilpError::NonPiecewiseLinear`],
+/// [`MilpError::DimensionMismatch`]) and solver limits.
+pub fn max_output_neuron(net: &Network, input: &BoxDomain, idx: usize) -> Result<f64, MilpError> {
+    extremum(net, input, idx, true, DEFAULT_NODE_LIMIT)
+}
+
+/// Exact minimum of output neuron `idx` over `input`.
+///
+/// # Errors
+///
+/// Same as [`max_output_neuron`].
+pub fn min_output_neuron(net: &Network, input: &BoxDomain, idx: usize) -> Result<f64, MilpError> {
+    extremum(net, input, idx, false, DEFAULT_NODE_LIMIT)
+}
+
+/// Exact extremum with an explicit node budget.
+///
+/// # Errors
+///
+/// Same as [`max_output_neuron`], plus [`MilpError::NodeLimit`] when the
+/// budget is exhausted.
+pub fn extremum(
+    net: &Network,
+    input: &BoxDomain,
+    idx: usize,
+    maximize: bool,
+    node_limit: usize,
+) -> Result<f64, MilpError> {
+    if idx >= net.output_dim() {
+        return Err(MilpError::DimensionMismatch {
+            context: "extremum (output index)",
+            expected: net.output_dim(),
+            actual: idx,
+        });
+    }
+    let mut enc = encode_network(net, input)?;
+    enc.model
+        .set_objective(&[(enc.output_vars[idx], 1.0)], maximize)
+        .expect("output var exists");
+    let sol = solve_milp(&enc.model, node_limit)?;
+    Ok(sol.objective)
+}
+
+/// Exact per-output bounds of the network image over `input`.
+///
+/// Solves `2 · output_dim` MILPs.
+///
+/// # Errors
+///
+/// Same as [`max_output_neuron`].
+pub fn output_bounds(net: &Network, input: &BoxDomain) -> Result<BoxDomain, MilpError> {
+    let mut bounds = Vec::with_capacity(net.output_dim());
+    for i in 0..net.output_dim() {
+        let lo = min_output_neuron(net, input, i)?;
+        let hi = max_output_neuron(net, input, i)?;
+        bounds.push((lo.min(hi), hi.max(lo)));
+    }
+    BoxDomain::from_bounds(&bounds).map_err(|_| MilpError::DimensionMismatch {
+        context: "output_bounds (degenerate interval)",
+        expected: net.output_dim(),
+        actual: bounds.len(),
+    })
+}
+
+/// Result of an exact containment check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Containment {
+    /// `∀x ∈ input : net(x) ∈ target` — proven exactly.
+    Proved,
+    /// A concrete input whose image leaves `target`.
+    Refuted {
+        /// The violating input point.
+        input_witness: Vec<f64>,
+        /// Index of the violated output dimension.
+        output_index: usize,
+    },
+}
+
+impl Containment {
+    /// Whether containment was proven.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Containment::Proved)
+    }
+}
+
+/// Exactly checks `∀x ∈ input : net(x) ∈ target`.
+///
+/// This is the workhorse of the paper's local checks: e.g. Proposition 1
+/// instantiates it with the two-layer prefix `g2 ⊗ g1`, `input = Din ∪ Δin`
+/// and `target = S2`.
+///
+/// # Errors
+///
+/// Propagates encoding errors and solver limits.
+pub fn check_containment(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+) -> Result<Containment, MilpError> {
+    check_containment_with_limit(net, input, target, DEFAULT_NODE_LIMIT)
+}
+
+/// [`check_containment`] with an explicit node budget.
+///
+/// # Errors
+///
+/// Same as [`check_containment`].
+pub fn check_containment_with_limit(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    node_limit: usize,
+) -> Result<Containment, MilpError> {
+    if target.dim() != net.output_dim() {
+        return Err(MilpError::DimensionMismatch {
+            context: "check_containment (target box)",
+            expected: net.output_dim(),
+            actual: target.dim(),
+        });
+    }
+    let enc = encode_network(net, input)?;
+    for i in 0..net.output_dim() {
+        for maximize in [true, false] {
+            let mut m = enc.model.clone();
+            m.set_objective(&[(enc.output_vars[i], 1.0)], maximize)
+                .expect("output var exists");
+            let sol = solve_milp(&m, node_limit)?;
+            let t = target.interval(i);
+            let violated = if maximize {
+                sol.objective > t.hi() + 1e-9
+            } else {
+                sol.objective < t.lo() - 1e-9
+            };
+            if violated {
+                let input_witness = enc.input_vars.iter().map(|v| sol.x[v.index()]).collect();
+                return Ok(Containment::Refuted { input_witness, output_index: i });
+            }
+        }
+    }
+    Ok(Containment::Proved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, NetworkBuilder};
+    use covern_tensor::Rng;
+
+    fn fig2_net() -> Network {
+        NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+            .build()
+            .expect("fig2 network")
+    }
+
+    #[test]
+    fn fig2_exact_max_is_6_point_2() {
+        // The paper's headline number: on the enlarged domain [-1,1.1]² the
+        // exact maximum of n4 is 6.2 (< 12, so the proof is reusable).
+        let net = fig2_net();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let max = max_output_neuron(&net, &enlarged, 0).unwrap();
+        assert!((max - 6.2).abs() < 1e-6, "exact max {max}");
+    }
+
+    #[test]
+    fn fig2_exact_max_on_original_domain_is_6() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let max = max_output_neuron(&net, &din, 0).unwrap();
+        assert!((max - 6.0).abs() < 1e-6, "exact max {max}");
+    }
+
+    #[test]
+    fn fig2_min_is_zero() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let min = min_output_neuron(&net, &din, 0).unwrap();
+        assert!(min.abs() < 1e-9, "exact min {min}");
+    }
+
+    #[test]
+    fn output_bounds_bracket_samples() {
+        let mut rng = Rng::seeded(13);
+        let net = covern_nn::Network::random(&[3, 5, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let exact = output_bounds(&net, &b).unwrap().dilate(1e-7);
+        for _ in 0..200 {
+            let x: Vec<f64> = (0..3).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            assert!(exact.contains(&net.forward(&x).unwrap()));
+        }
+    }
+
+    #[test]
+    fn exact_bounds_tighter_than_interval_analysis() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let exact = output_bounds(&net, &din).unwrap();
+        // Box analysis says [0, 12]; exact is [0, 6].
+        assert!(exact.interval(0).hi() < 12.0 - 1.0);
+    }
+
+    #[test]
+    fn containment_proved_and_refuted() {
+        let net = fig2_net();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        // Prop 1's check in the paper: image within [0, 12]? Exact max 6.2 → yes.
+        let s2 = BoxDomain::from_bounds(&[(0.0, 12.0)]).unwrap();
+        assert!(check_containment(&net, &enlarged, &s2).unwrap().is_proved());
+        // Against a cap of 5 it must be refuted, with a genuine witness.
+        let tight = BoxDomain::from_bounds(&[(0.0, 5.0)]).unwrap();
+        match check_containment(&net, &enlarged, &tight).unwrap() {
+            Containment::Refuted { input_witness, output_index } => {
+                assert_eq!(output_index, 0);
+                let y = net.forward(&input_witness).unwrap();
+                assert!(y[0] > 5.0 - 1e-6, "witness output {}", y[0]);
+            }
+            Containment::Proved => panic!("should be refuted"),
+        }
+    }
+
+    #[test]
+    fn bad_indices_are_rejected() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        assert!(max_output_neuron(&net, &din, 3).is_err());
+        let bad_target = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        assert!(check_containment(&net, &din, &bad_target).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! The box (min/max) activation monitor.
+
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::interval::Interval;
+use serde::{Deserialize, Serialize};
+
+/// Verdict of a monitor check for one observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// All watched values lie inside the recorded (buffered) bounds.
+    Within,
+    /// Some dimensions left the bounds; their indices are listed.
+    OutOfBounds(Vec<usize>),
+}
+
+impl Verdict {
+    /// Whether the observation was within bounds.
+    pub fn is_within(&self) -> bool {
+        matches!(self, Verdict::Within)
+    }
+}
+
+/// Records per-dimension min/max over a fitting set, adds a buffer, and
+/// flags out-of-bound observations at run time.
+///
+/// This is the abstraction-based monitoring of the paper's references
+/// [1]/[2] reduced to interval abstractions — exactly what the evaluation
+/// section uses on the `Flatten` output.
+///
+/// # Example
+///
+/// ```
+/// use covern_monitor::BoxMonitor;
+///
+/// let mut mon = BoxMonitor::new(2, 0.1);
+/// mon.observe(&[0.0, 1.0]);
+/// mon.observe(&[1.0, 3.0]);
+/// let fitted = mon.clone().into_fitted().expect("non-empty fit");
+/// assert!(fitted.check(&[1.05, 2.0]).is_within()); // inside buffer
+/// assert!(!fitted.check(&[2.0, 2.0]).is_within());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxMonitor {
+    dim: usize,
+    buffer: f64,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    count: usize,
+}
+
+impl BoxMonitor {
+    /// Creates an unfitted monitor for `dim`-dimensional observations with
+    /// an absolute `buffer` added on both sides after fitting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer < 0`.
+    pub fn new(dim: usize, buffer: f64) -> Self {
+        assert!(buffer >= 0.0, "buffer must be non-negative");
+        Self {
+            dim,
+            buffer,
+            lo: vec![f64::INFINITY; dim],
+            hi: vec![f64::NEG_INFINITY; dim],
+            count: 0,
+        }
+    }
+
+    /// Number of observations fitted so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Dimension of watched vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Extends the recorded min/max with one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.dim()`.
+    pub fn observe(&mut self, values: &[f64]) {
+        assert_eq!(values.len(), self.dim, "observation arity mismatch");
+        for (i, &v) in values.iter().enumerate() {
+            self.lo[i] = self.lo[i].min(v);
+            self.hi[i] = self.hi[i].max(v);
+        }
+        self.count += 1;
+    }
+
+    /// Fits over an iterator of observations.
+    pub fn observe_all<'a>(&mut self, it: impl IntoIterator<Item = &'a [f64]>) {
+        for v in it {
+            self.observe(v);
+        }
+    }
+
+    /// Finalises fitting, producing a monitor whose bounds include the
+    /// buffer. Returns `None` if no observation was made.
+    pub fn into_fitted(self) -> Option<FittedMonitor> {
+        if self.count == 0 {
+            return None;
+        }
+        let bounds: Vec<Interval> = self
+            .lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| {
+                Interval::new(l - self.buffer, h + self.buffer).expect("min <= max by construction")
+            })
+            .collect();
+        Some(FittedMonitor { bounds: BoxDomain::new(bounds) })
+    }
+}
+
+/// A fitted monitor: fixed buffered bounds, ready for run-time checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FittedMonitor {
+    bounds: BoxDomain,
+}
+
+impl FittedMonitor {
+    /// Creates a fitted monitor directly from a box (e.g. loaded from disk).
+    pub fn from_box(bounds: BoxDomain) -> Self {
+        Self { bounds }
+    }
+
+    /// The monitored box — this is the verification input domain `Din`.
+    pub fn bounds(&self) -> &BoxDomain {
+        &self.bounds
+    }
+
+    /// Checks one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` differs from the monitor dimension.
+    pub fn check(&self, values: &[f64]) -> Verdict {
+        assert_eq!(values.len(), self.bounds.dim(), "observation arity mismatch");
+        let violating: Vec<usize> = values
+            .iter()
+            .enumerate()
+            .filter(|(i, &v)| !self.bounds.interval(*i).contains(v))
+            .map(|(i, _)| i)
+            .collect();
+        if violating.is_empty() {
+            Verdict::Within
+        } else {
+            Verdict::OutOfBounds(violating)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unfitted_monitor_yields_none() {
+        assert!(BoxMonitor::new(3, 0.0).into_fitted().is_none());
+    }
+
+    #[test]
+    fn fit_records_min_max_with_buffer() {
+        let mut mon = BoxMonitor::new(2, 0.5);
+        mon.observe(&[1.0, -1.0]);
+        mon.observe(&[3.0, 2.0]);
+        let fitted = mon.into_fitted().unwrap();
+        let b = fitted.bounds();
+        assert_eq!((b.interval(0).lo(), b.interval(0).hi()), (0.5, 3.5));
+        assert_eq!((b.interval(1).lo(), b.interval(1).hi()), (-1.5, 2.5));
+    }
+
+    #[test]
+    fn check_identifies_violating_dims() {
+        let mut mon = BoxMonitor::new(3, 0.0);
+        mon.observe(&[0.0, 0.0, 0.0]);
+        mon.observe(&[1.0, 1.0, 1.0]);
+        let fitted = mon.into_fitted().unwrap();
+        assert_eq!(fitted.check(&[0.5, 0.5, 0.5]), Verdict::Within);
+        assert_eq!(fitted.check(&[1.5, 0.5, -0.5]), Verdict::OutOfBounds(vec![0, 2]));
+    }
+
+    #[test]
+    fn all_fitted_points_are_within() {
+        let pts = [[0.3, -2.0], [0.9, 4.0], [-1.0, 0.0]];
+        let mut mon = BoxMonitor::new(2, 0.0);
+        mon.observe_all(pts.iter().map(|p| p.as_slice()));
+        let fitted = mon.into_fitted().unwrap();
+        for p in &pts {
+            assert!(fitted.check(p).is_within());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fitting_set_always_within(
+            pts in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 3), 1..30),
+            buffer in 0.0f64..1.0,
+        ) {
+            let mut mon = BoxMonitor::new(3, buffer);
+            for p in &pts {
+                mon.observe(p);
+            }
+            let fitted = mon.into_fitted().expect("non-empty");
+            for p in &pts {
+                prop_assert!(fitted.check(p).is_within());
+            }
+        }
+
+        #[test]
+        fn prop_buffer_widens_bounds(
+            pts in proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, 2), 1..20),
+        ) {
+            let mut tight = BoxMonitor::new(2, 0.0);
+            let mut wide = BoxMonitor::new(2, 1.0);
+            for p in &pts {
+                tight.observe(p);
+                wide.observe(p);
+            }
+            let tight = tight.into_fitted().expect("non-empty");
+            let wide = wide.into_fitted().expect("non-empty");
+            prop_assert!(wide.bounds().contains_box(tight.bounds()));
+        }
+    }
+}

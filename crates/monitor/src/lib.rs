@@ -1,0 +1,22 @@
+//! Abstraction-based runtime monitoring.
+//!
+//! The paper's SVuDC problem starts here: a box monitor records the
+//! min/max value of every watched neuron over the training data ("the
+//! input bound `Din` … is created by recording the minimum and maximum
+//! visited neuron value … together with additional buffers"), the system
+//! is deployed, and whenever an in-operation activation vector exceeds the
+//! recorded bound, the enlarged bound is recorded to form `Din ∪ Δin` for
+//! the next verification task.
+//!
+//! [`boxmon::BoxMonitor`] implements the monitor itself;
+//! [`record::EnlargementRecorder`] turns out-of-bound observations into the
+//! ordered sequence of domain-enlargement events that Table I's SVuDC rows
+//! consume.
+
+pub mod boxmon;
+pub mod multibox;
+pub mod record;
+
+pub use boxmon::{BoxMonitor, Verdict};
+pub use multibox::MultiBoxMonitor;
+pub use record::{DomainEnlargement, EnlargementRecorder};

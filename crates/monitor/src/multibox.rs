@@ -1,0 +1,270 @@
+//! Multi-box activation monitoring.
+//!
+//! The paper's reference [2] (Henzinger, Lukina, Schilling — "Outside the
+//! Box") monitors activations with a *union of boxes*, one per cluster of
+//! the fitting data, instead of one global box: activations that fall in
+//! the gap between operating modes are flagged even though the single-box
+//! hull would swallow them. [`MultiBoxMonitor`] implements that upgrade —
+//! a seeded k-means split of the fitting set followed by per-cluster
+//! min/max boxes — while [`hull`](MultiBoxMonitor::hull) still provides
+//! the single-box `Din` the verification pipeline needs.
+
+use crate::boxmon::Verdict;
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::interval::Interval;
+use covern_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fitted union-of-boxes monitor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiBoxMonitor {
+    boxes: Vec<BoxDomain>,
+}
+
+impl MultiBoxMonitor {
+    /// Fits `k` buffered boxes to the observations by k-means clustering
+    /// (seeded, fixed 20 iterations, empty clusters reseeded). Returns
+    /// `None` if `observations` is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `buffer < 0`, or the observations have
+    /// inconsistent arity.
+    pub fn fit(observations: &[Vec<f64>], k: usize, buffer: f64, rng: &mut Rng) -> Option<Self> {
+        assert!(k > 0, "need at least one cluster");
+        assert!(buffer >= 0.0, "buffer must be non-negative");
+        let first = observations.first()?;
+        let dim = first.len();
+        for o in observations {
+            assert_eq!(o.len(), dim, "observation arity mismatch");
+        }
+        let k = k.min(observations.len());
+
+        // k-means: seed centroids with random observations.
+        let mut centroids: Vec<Vec<f64>> =
+            (0..k).map(|_| observations[rng.index(observations.len())].clone()).collect();
+        let mut assignment = vec![0usize; observations.len()];
+        for _ in 0..20 {
+            // Assign.
+            let mut changed = false;
+            for (i, o) in observations.iter().enumerate() {
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for (c, centroid) in centroids.iter().enumerate() {
+                    let d = covern_tensor::vector::dist_l2(o, centroid);
+                    if d < best_d {
+                        best_d = d;
+                        best = c;
+                    }
+                }
+                if assignment[i] != best {
+                    assignment[i] = best;
+                    changed = true;
+                }
+            }
+            // Update.
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                let members: Vec<&Vec<f64>> = observations
+                    .iter()
+                    .zip(assignment.iter())
+                    .filter(|(_, &a)| a == c)
+                    .map(|(o, _)| o)
+                    .collect();
+                if members.is_empty() {
+                    // Reseed an empty cluster.
+                    *centroid = observations[rng.index(observations.len())].clone();
+                    continue;
+                }
+                for j in 0..dim {
+                    centroid[j] = members.iter().map(|m| m[j]).sum::<f64>() / members.len() as f64;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Per-cluster buffered min/max boxes.
+        let mut boxes = Vec::new();
+        for c in 0..k {
+            let members: Vec<&Vec<f64>> = observations
+                .iter()
+                .zip(assignment.iter())
+                .filter(|(_, &a)| a == c)
+                .map(|(o, _)| o)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let dims: Vec<Interval> = (0..dim)
+                .map(|j| {
+                    let lo = members.iter().map(|m| m[j]).fold(f64::INFINITY, f64::min);
+                    let hi = members.iter().map(|m| m[j]).fold(f64::NEG_INFINITY, f64::max);
+                    Interval::new(lo - buffer, hi + buffer).expect("min <= max by construction")
+                })
+                .collect();
+            boxes.push(BoxDomain::new(dims));
+        }
+        Some(Self { boxes })
+    }
+
+    /// Number of boxes in the union.
+    pub fn num_boxes(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// The boxes of the union.
+    pub fn boxes(&self) -> &[BoxDomain] {
+        &self.boxes
+    }
+
+    /// Whether `values` lies in any box; violating dimensions (w.r.t. the
+    /// *nearest* box by dimension-count) are reported otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity differs from the fitted dimension.
+    pub fn check(&self, values: &[f64]) -> Verdict {
+        let mut best_violations: Option<Vec<usize>> = None;
+        for b in &self.boxes {
+            let violating: Vec<usize> = values
+                .iter()
+                .enumerate()
+                .filter(|(i, &v)| !b.interval(*i).contains(v))
+                .map(|(i, _)| i)
+                .collect();
+            if violating.is_empty() {
+                return Verdict::Within;
+            }
+            if best_violations.as_ref().is_none_or(|bv| violating.len() < bv.len()) {
+                best_violations = Some(violating);
+            }
+        }
+        Verdict::OutOfBounds(best_violations.unwrap_or_default())
+    }
+
+    /// The single-box hull of the union — the `Din` handed to the
+    /// verification pipeline (verification needs one box; monitoring can
+    /// afford many).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the monitor has no boxes (cannot happen for fitted
+    /// monitors).
+    pub fn hull(&self) -> BoxDomain {
+        let mut it = self.boxes.iter();
+        let first = it.next().expect("fitted monitors have at least one box").clone();
+        it.fold(first, |acc, b| acc.hull(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated clusters around (0,0) and (10,10).
+    fn bimodal(n: usize) -> Vec<Vec<f64>> {
+        let mut rng = Rng::seeded(71);
+        let mut out = Vec::with_capacity(2 * n);
+        for _ in 0..n {
+            out.push(vec![rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)]);
+            out.push(vec![10.0 + rng.uniform(-1.0, 1.0), 10.0 + rng.uniform(-1.0, 1.0)]);
+        }
+        out
+    }
+
+    #[test]
+    fn empty_observations_yield_none() {
+        let mut rng = Rng::seeded(1);
+        assert!(MultiBoxMonitor::fit(&[], 3, 0.1, &mut rng).is_none());
+    }
+
+    #[test]
+    fn fitted_points_are_always_within() {
+        let data = bimodal(50);
+        let mut rng = Rng::seeded(2);
+        let mon = MultiBoxMonitor::fit(&data, 2, 0.0, &mut rng).unwrap();
+        for o in &data {
+            assert!(mon.check(o).is_within(), "fitting point flagged");
+        }
+    }
+
+    #[test]
+    fn gap_between_modes_is_flagged_where_single_box_is_blind() {
+        let data = bimodal(50);
+        let mut rng = Rng::seeded(3);
+        let multi = MultiBoxMonitor::fit(&data, 2, 0.1, &mut rng).unwrap();
+        assert_eq!(multi.num_boxes(), 2, "bimodal data should give two boxes");
+        // The midpoint lies inside the hull but outside both boxes.
+        let midpoint = [5.0, 5.0];
+        assert!(!multi.check(&midpoint).is_within(), "multi-box must flag the gap");
+        assert!(multi.hull().contains(&midpoint), "the hull is blind to the gap");
+    }
+
+    #[test]
+    fn single_cluster_matches_boxmonitor_semantics() {
+        let data: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64 * 0.1, 1.0 - i as f64 * 0.05])
+            .collect();
+        let mut rng = Rng::seeded(4);
+        let multi = MultiBoxMonitor::fit(&data, 1, 0.2, &mut rng).unwrap();
+        let mut single = crate::boxmon::BoxMonitor::new(2, 0.2);
+        single.observe_all(data.iter().map(Vec::as_slice));
+        let single = single.into_fitted().unwrap();
+        for probe in [[0.5, 0.5], [3.0, 0.0], [-0.1, 1.1], [1.0, -0.5]] {
+            assert_eq!(
+                multi.check(&probe).is_within(),
+                single.check(&probe).is_within(),
+                "k=1 must match the single-box monitor at {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hull_contains_every_box() {
+        let data = bimodal(30);
+        let mut rng = Rng::seeded(5);
+        let mon = MultiBoxMonitor::fit(&data, 3, 0.05, &mut rng).unwrap();
+        let hull = mon.hull();
+        for b in mon.boxes() {
+            assert!(hull.contains_box(b));
+        }
+    }
+
+    #[test]
+    fn k_larger_than_data_is_capped() {
+        let data = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        let mut rng = Rng::seeded(6);
+        let mon = MultiBoxMonitor::fit(&data, 10, 0.0, &mut rng).unwrap();
+        assert!(mon.num_boxes() <= 2);
+    }
+
+    #[test]
+    fn false_alarm_rate_not_worse_than_single_box() {
+        // In-distribution probes (fresh samples from the same modes) should
+        // not be flagged dramatically more often than by the hull monitor.
+        let data = bimodal(100);
+        let mut rng = Rng::seeded(7);
+        let multi = MultiBoxMonitor::fit(&data, 2, 0.3, &mut rng).unwrap();
+        let hull = multi.hull();
+        let mut rng = Rng::seeded(8);
+        let probes = bimodal(50);
+        let mut multi_flags = 0;
+        let mut hull_flags = 0;
+        for p in &probes {
+            if !multi.check(p).is_within() {
+                multi_flags += 1;
+            }
+            if !hull.contains(p) {
+                hull_flags += 1;
+            }
+        }
+        let _ = &mut rng;
+        // The multi-box monitor may flag a handful more (tighter fit), but
+        // not wholesale.
+        assert!(
+            multi_flags <= hull_flags + probes.len() / 10,
+            "multi-box false alarms exploded: {multi_flags} vs hull {hull_flags}"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Turning out-of-bound observations into domain-enlargement events.
+
+use crate::boxmon::{FittedMonitor, Verdict};
+use covern_absint::box_domain::BoxDomain;
+use serde::{Deserialize, Serialize};
+
+/// One domain-enlargement event: the box grew from `before` to `after`
+/// because of `trigger_count` out-of-bound observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DomainEnlargement {
+    /// `Din` before the event.
+    pub before: BoxDomain,
+    /// `Din ∪ Δin` after the event (hull of `before` and the observations,
+    /// plus the recorder's margin).
+    pub after: BoxDomain,
+    /// Number of out-of-bound observations folded into this event.
+    pub trigger_count: usize,
+}
+
+impl DomainEnlargement {
+    /// The enlargement distance κ of Proposition 3 for this event.
+    pub fn kappa(&self) -> f64 {
+        self.after.enlargement_kappa(&self.before)
+    }
+}
+
+/// Accumulates out-of-bound observations and emits enlargement events.
+///
+/// In the paper's field procedure, the vehicle drives, the monitor flags
+/// frames whose `Flatten` activations leave the bound, and each batch of
+/// flagged frames defines the next verification problem's `Din ∪ Δin`.
+/// The recorder batches `batch_size` violations per event (1 reproduces
+/// the paper's per-excursion behaviour).
+#[derive(Debug, Clone)]
+pub struct EnlargementRecorder {
+    current: BoxDomain,
+    margin: f64,
+    batch_size: usize,
+    pending: Vec<Vec<f64>>,
+    events: Vec<DomainEnlargement>,
+}
+
+impl EnlargementRecorder {
+    /// Creates a recorder starting from the monitor's fitted bounds.
+    ///
+    /// `margin` is an extra absolute buffer applied to every enlargement
+    /// (the "additional buffers" of the paper); `batch_size` is how many
+    /// violations are folded into one event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin < 0` or `batch_size == 0`.
+    pub fn new(monitor: &FittedMonitor, margin: f64, batch_size: usize) -> Self {
+        assert!(margin >= 0.0, "margin must be non-negative");
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            current: monitor.bounds().clone(),
+            margin,
+            batch_size,
+            pending: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The current (possibly enlarged) domain.
+    pub fn current_domain(&self) -> &BoxDomain {
+        &self.current
+    }
+
+    /// All enlargement events so far, oldest first.
+    pub fn events(&self) -> &[DomainEnlargement] {
+        &self.events
+    }
+
+    /// Feeds one observation; returns the new enlargement event if this
+    /// observation completed a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observation arity differs from the domain dimension.
+    pub fn ingest(&mut self, values: &[f64], verdict: &Verdict) -> Option<&DomainEnlargement> {
+        assert_eq!(values.len(), self.current.dim(), "observation arity mismatch");
+        if verdict.is_within() {
+            return None;
+        }
+        self.pending.push(values.to_vec());
+        if self.pending.len() < self.batch_size {
+            return None;
+        }
+        let before = self.current.clone();
+        let mut after = before.clone();
+        for obs in self.pending.drain(..) {
+            let point = BoxDomain::from_point(&obs).dilate(self.margin);
+            after = after.hull(&point);
+        }
+        self.current = after.clone();
+        self.events.push(DomainEnlargement {
+            before,
+            after,
+            trigger_count: self.batch_size,
+        });
+        self.events.last()
+    }
+
+    /// Convenience: checks `values` against a monitor built from the
+    /// *current* domain and ingests the verdict.
+    pub fn observe(&mut self, values: &[f64]) -> Option<DomainEnlargement> {
+        let monitor = FittedMonitor::from_box(self.current.clone());
+        let verdict = monitor.check(values);
+        self.ingest(values, &verdict).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boxmon::BoxMonitor;
+
+    fn fitted_unit() -> FittedMonitor {
+        let mut mon = BoxMonitor::new(2, 0.0);
+        mon.observe(&[0.0, 0.0]);
+        mon.observe(&[1.0, 1.0]);
+        mon.into_fitted().expect("non-empty")
+    }
+
+    #[test]
+    fn within_observations_do_not_enlarge() {
+        let mut rec = EnlargementRecorder::new(&fitted_unit(), 0.0, 1);
+        assert!(rec.observe(&[0.5, 0.5]).is_none());
+        assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn violation_triggers_event_with_hull_and_margin() {
+        let mut rec = EnlargementRecorder::new(&fitted_unit(), 0.1, 1);
+        let ev = rec.observe(&[1.5, 0.5]).expect("enlargement");
+        assert!(ev.after.contains_box(&ev.before));
+        // New upper bound on dim 0 is 1.5 + margin.
+        assert!((ev.after.interval(0).hi() - 1.6).abs() < 1e-12);
+        // Dim 1 was in bounds but the margin still dilates via the point hull:
+        // the hull of [0,1] with the dilated point [0.4, 0.6] keeps [0,1].
+        assert!((ev.after.interval(1).hi() - 1.0).abs() < 1e-12);
+        assert_eq!(rec.events().len(), 1);
+        assert!(rec.current_domain().contains(&[1.5, 0.5]));
+    }
+
+    #[test]
+    fn batching_folds_multiple_violations() {
+        let mut rec = EnlargementRecorder::new(&fitted_unit(), 0.0, 2);
+        assert!(rec.observe(&[1.5, 0.5]).is_none()); // pending
+        let ev = rec.observe(&[-0.5, 0.5]).expect("batched enlargement");
+        assert_eq!(ev.trigger_count, 2);
+        assert!((ev.after.interval(0).lo() + 0.5).abs() < 1e-12);
+        assert!((ev.after.interval(0).hi() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn successive_events_grow_monotonically() {
+        let mut rec = EnlargementRecorder::new(&fitted_unit(), 0.05, 1);
+        rec.observe(&[1.2, 0.5]);
+        rec.observe(&[1.4, 0.5]);
+        rec.observe(&[0.5, -0.3]);
+        let evs = rec.events();
+        assert_eq!(evs.len(), 3);
+        for w in evs.windows(2) {
+            assert!(w[1].after.contains_box(&w[0].after), "domains must nest");
+        }
+    }
+
+    #[test]
+    fn kappa_matches_manual_computation() {
+        let mut rec = EnlargementRecorder::new(&fitted_unit(), 0.0, 1);
+        let ev = rec.observe(&[1.5, 0.5]).expect("enlargement");
+        // Growth only on dim 0 by 0.5.
+        assert!((ev.kappa() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn already_enlarged_domain_accepts_previous_violation() {
+        let mut rec = EnlargementRecorder::new(&fitted_unit(), 0.0, 1);
+        rec.observe(&[1.5, 0.5]);
+        // The same point no longer violates.
+        assert!(rec.observe(&[1.5, 0.5]).is_none());
+    }
+}

@@ -1,0 +1,282 @@
+//! Effect classification and the class-splitting preprocess.
+//!
+//! A hidden neuron is **increasing** (`Inc`) if raising its value can only
+//! raise the network output, **decreasing** (`Dec`) if it can only lower
+//! it. After training, most neurons are neither — their outgoing weights
+//! mix both effects — so the preprocess *splits* each neuron into at most
+//! two copies, one per effect class, partitioning its outgoing weights.
+//! The split preserves the network function exactly and leaves every
+//! neuron with a well-defined class, which is what makes the merge rules
+//! of [`crate::merge`] sound.
+
+use crate::error::NetabsError;
+use covern_nn::{DenseLayer, Network};
+use covern_tensor::Matrix;
+use std::fmt;
+
+/// The effect of a neuron on the (single, increasing) output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeuronClass {
+    /// Raising the neuron's value cannot lower the output.
+    Inc,
+    /// Raising the neuron's value cannot raise the output.
+    Dec,
+}
+
+impl NeuronClass {
+    fn flipped(self) -> Self {
+        match self {
+            NeuronClass::Inc => NeuronClass::Dec,
+            NeuronClass::Dec => NeuronClass::Inc,
+        }
+    }
+}
+
+impl fmt::Display for NeuronClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuronClass::Inc => write!(f, "inc"),
+            NeuronClass::Dec => write!(f, "dec"),
+        }
+    }
+}
+
+/// The result of preprocessing: an equivalent network in which every
+/// neuron has a single effect class.
+#[derive(Debug, Clone)]
+pub struct ClassifiedNetwork {
+    /// The (possibly widened) equivalent network.
+    pub network: Network,
+    /// Per layer (0-based, output of `layers()[k]`), the class of each
+    /// neuron. The final layer's neurons are all `Inc` by convention.
+    pub classes: Vec<Vec<NeuronClass>>,
+}
+
+/// Splits every hidden neuron by effect class, yielding an *equivalent*
+/// network where each neuron is purely increasing or purely decreasing.
+///
+/// Works backward from the output: the output neurons are `Inc` by
+/// convention; for each earlier boundary, a neuron's outgoing weight `w`
+/// to a target of class `c` has effect `c` if `w > 0` and `c.flipped()`
+/// if `w < 0`. Neurons with both effects present are duplicated, and the
+/// outgoing weights are partitioned between the copies.
+///
+/// # Errors
+///
+/// Returns [`NetabsError::NonPiecewiseLinear`] if a hidden activation is
+/// not ReLU/LeakyReLU/Identity (splitting relies on `act` being applied
+/// component-wise to identical copies, which holds for any activation, but
+/// the downstream merge rules require monotone PWL — we reject early).
+pub fn preprocess(net: &Network) -> Result<ClassifiedNetwork, NetabsError> {
+    for layer in net.layers() {
+        if !layer.activation().is_piecewise_linear() {
+            return Err(NetabsError::NonPiecewiseLinear(layer.activation().to_string()));
+        }
+    }
+    let n = net.num_layers();
+    let mut layers: Vec<DenseLayer> = net.layers().to_vec();
+    let mut classes: Vec<Vec<NeuronClass>> = Vec::with_capacity(n);
+    classes.resize(n, Vec::new());
+    classes[n - 1] = vec![NeuronClass::Inc; layers[n - 1].out_dim()];
+
+    // Walk boundaries backward: boundary b sits between layers[b] (whose
+    // outputs we may split) and layers[b+1] (whose columns we partition).
+    for b in (0..n - 1).rev() {
+        let next_classes = classes[b + 1].clone();
+        let cur = &layers[b];
+        let next = &layers[b + 1];
+        let in_dim = cur.out_dim();
+
+        // For each neuron decide which copies it needs.
+        // effect(w, target) = target class if w > 0, flipped if w < 0.
+        let mut copies: Vec<Vec<NeuronClass>> = Vec::with_capacity(in_dim);
+        for i in 0..in_dim {
+            let mut has_inc = false;
+            let mut has_dec = false;
+            for t in 0..next.out_dim() {
+                let w = next.weights().get(t, i);
+                if w == 0.0 {
+                    continue;
+                }
+                let eff = if w > 0.0 { next_classes[t] } else { next_classes[t].flipped() };
+                match eff {
+                    NeuronClass::Inc => has_inc = true,
+                    NeuronClass::Dec => has_dec = true,
+                }
+            }
+            let c = match (has_inc, has_dec) {
+                (true, true) => vec![NeuronClass::Inc, NeuronClass::Dec],
+                (false, true) => vec![NeuronClass::Dec],
+                // No outgoing weights at all defaults to Inc.
+                _ => vec![NeuronClass::Inc],
+            };
+            copies.push(c);
+        }
+
+        let new_width: usize = copies.iter().map(Vec::len).sum();
+        if new_width == in_dim {
+            // Nothing to split at this boundary; classes are determined.
+            let mut cls = Vec::with_capacity(in_dim);
+            for c in &copies {
+                cls.push(c[0]);
+            }
+            classes[b] = cls;
+            continue;
+        }
+
+        // Build the widened current layer (duplicate rows) and the
+        // partitioned next layer (split columns).
+        let mut new_rows = Matrix::zeros(new_width, cur.in_dim());
+        let mut new_bias = Vec::with_capacity(new_width);
+        let mut new_next = Matrix::zeros(next.out_dim(), new_width);
+        let mut cls = Vec::with_capacity(new_width);
+        let mut col = 0usize;
+        for (i, copy_classes) in copies.iter().enumerate() {
+            for &cc in copy_classes {
+                for j in 0..cur.in_dim() {
+                    new_rows.set(col, j, cur.weights().get(i, j));
+                }
+                new_bias.push(cur.bias()[i]);
+                // Assign this copy the outgoing weights whose effect is cc.
+                for t in 0..next.out_dim() {
+                    let w = next.weights().get(t, i);
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let eff = if w > 0.0 { next_classes[t] } else { next_classes[t].flipped() };
+                    if eff == cc {
+                        new_next.set(t, col, w);
+                    }
+                }
+                cls.push(cc);
+                col += 1;
+            }
+        }
+        let act_cur = cur.activation();
+        let act_next = next.activation();
+        let next_bias = next.bias().to_vec();
+        layers[b] = DenseLayer::new(new_rows, new_bias, act_cur).expect("split preserves shape");
+        layers[b + 1] =
+            DenseLayer::new(new_next, next_bias, act_next).expect("split preserves shape");
+        classes[b] = cls;
+    }
+
+    let network = Network::new(layers).expect("splitting preserves dimension chaining");
+    Ok(ClassifiedNetwork { network, classes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, NetworkBuilder};
+    use covern_tensor::Rng;
+
+    fn mixed_net() -> Network {
+        // Hidden neuron 0 feeds the output with both signs via two outputs
+        // of an intermediate layer.
+        NetworkBuilder::new(2)
+            .dense_from_rows(&[&[1.0, -1.0], &[0.5, 0.5]], &[0.0, 0.0], Activation::Relu)
+            .dense_from_rows(&[&[1.0, -2.0], &[-3.0, 1.0]], &[0.1, -0.1], Activation::Relu)
+            .dense_from_rows(&[&[1.0, 1.0]], &[0.0], Activation::Identity)
+            .build()
+            .expect("mixed net")
+    }
+
+    #[test]
+    fn preprocess_preserves_function() {
+        let net = mixed_net();
+        let pre = preprocess(&net).unwrap();
+        let mut rng = Rng::seeded(91);
+        for _ in 0..200 {
+            let x = [rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)];
+            let y0 = net.forward(&x).unwrap();
+            let y1 = pre.network.forward(&x).unwrap();
+            for (a, b) in y0.iter().zip(y1.iter()) {
+                assert!((a - b).abs() < 1e-9, "split changed the function: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn preprocess_assigns_class_to_every_neuron() {
+        let net = mixed_net();
+        let pre = preprocess(&net).unwrap();
+        assert_eq!(pre.classes.len(), pre.network.num_layers());
+        for (k, layer) in pre.network.layers().iter().enumerate() {
+            assert_eq!(pre.classes[k].len(), layer.out_dim(), "layer {k} class arity");
+        }
+    }
+
+    #[test]
+    fn classes_predict_output_monotonicity() {
+        // Empirically verify: bumping an Inc neuron's bias never lowers the
+        // output; bumping a Dec neuron's bias never raises it.
+        let net = mixed_net();
+        let pre = preprocess(&net).unwrap();
+        let mut rng = Rng::seeded(92);
+        let n = pre.network.num_layers();
+        for layer_idx in 0..n - 1 {
+            for neuron in 0..pre.network.layers()[layer_idx].out_dim() {
+                let mut bumped = pre.network.clone();
+                bumped.layers_mut()[layer_idx].bias_mut()[neuron] += 0.05;
+                let class = pre.classes[layer_idx][neuron];
+                for _ in 0..50 {
+                    let x = [rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)];
+                    let y0 = pre.network.forward(&x).unwrap()[0];
+                    let y1 = bumped.forward(&x).unwrap()[0];
+                    match class {
+                        NeuronClass::Inc => assert!(
+                            y1 >= y0 - 1e-9,
+                            "Inc neuron ({layer_idx},{neuron}) lowered output"
+                        ),
+                        NeuronClass::Dec => assert!(
+                            y1 <= y0 + 1e-9,
+                            "Dec neuron ({layer_idx},{neuron}) raised output"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sigmoid_network_is_rejected() {
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[1.0]], &[0.0], Activation::Sigmoid)
+            .build()
+            .unwrap();
+        assert!(matches!(preprocess(&net), Err(NetabsError::NonPiecewiseLinear(_))));
+    }
+
+    #[test]
+    fn already_pure_network_is_unchanged() {
+        // All weights positive: everything is Inc, no splitting needed.
+        let net = NetworkBuilder::new(2)
+            .dense_from_rows(&[&[1.0, 0.5], &[0.25, 1.0]], &[0.0, 0.0], Activation::Relu)
+            .dense_from_rows(&[&[1.0, 2.0]], &[0.0], Activation::Identity)
+            .build()
+            .unwrap();
+        let pre = preprocess(&net).unwrap();
+        assert_eq!(pre.network.dims(), net.dims());
+        assert!(pre.classes[0].iter().all(|&c| c == NeuronClass::Inc));
+    }
+
+    #[test]
+    fn split_grows_width_by_at_most_factor_two() {
+        let mut rng = Rng::seeded(93);
+        let net = Network::random(&[3, 8, 6, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let pre = preprocess(&net).unwrap();
+        let orig = net.dims();
+        let new = pre.network.dims();
+        for (o, n) in orig.iter().zip(new.iter()) {
+            assert!(*n <= 2 * o, "width grew too much: {o} -> {n}");
+        }
+        // Function must still be identical.
+        for _ in 0..100 {
+            let x: Vec<f64> = (0..3).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let y0 = net.forward(&x).unwrap();
+            let y1 = pre.network.forward(&x).unwrap();
+            assert!((y0[0] - y1[0]).abs() < 1e-9);
+        }
+    }
+}

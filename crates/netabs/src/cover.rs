@@ -1,0 +1,316 @@
+//! The cover relation `f --Din--> f̂` (the premise of Proposition 6).
+//!
+//! `f̂` covers `f` on `Din` (over direction) iff `∀x ∈ Din: f̂(x) ≥ f(x)`.
+//! We check this by building the *difference network* `d(x) = f(x) − f̂(x)`
+//! — a block-diagonal composition of the two networks — and bounding its
+//! maximum over `Din` with the bisection-refined abstract interpreter.
+//! A sound non-positive upper bound proves the cover; a concrete positive
+//! witness refutes it. This is the same forward style of reasoning the
+//! paper's related work cites for differential verification (ReluDiff).
+
+use crate::error::NetabsError;
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::refine::{prove_forward_containment, Outcome};
+use covern_absint::DomainKind;
+use covern_nn::{Activation, DenseLayer, Network};
+use covern_tensor::Matrix;
+
+/// Builds the network computing `a(x) − b(x)`.
+///
+/// Layers are stacked block-diagonally; if depths differ the shallower
+/// network is padded with identity layers. A final affine layer computes
+/// the output difference.
+///
+/// # Errors
+///
+/// Returns [`NetabsError::IncompatibleNetworks`] if input or output
+/// dimensions differ, and [`NetabsError::NonPiecewiseLinear`] if padding
+/// would need to bypass a non-PWL activation (identity padding is only
+/// inserted after the shorter network's final layer, so any activations are
+/// fine as long as depths match; with differing depths all activations of
+/// the padded side must tolerate an identity extension, which is always
+/// true — the restriction is only that *corresponding* layers may use any
+/// activation each).
+pub fn difference_network(a: &Network, b: &Network) -> Result<Network, NetabsError> {
+    if a.input_dim() != b.input_dim() {
+        return Err(NetabsError::IncompatibleNetworks {
+            context: "difference_network",
+            detail: format!("input dims {} vs {}", a.input_dim(), b.input_dim()),
+        });
+    }
+    if a.output_dim() != b.output_dim() {
+        return Err(NetabsError::IncompatibleNetworks {
+            context: "difference_network",
+            detail: format!("output dims {} vs {}", a.output_dim(), b.output_dim()),
+        });
+    }
+    let depth = a.num_layers().max(b.num_layers());
+    let pad = |net: &Network, k: usize| -> Option<DenseLayer> {
+        if k < net.num_layers() {
+            Some(net.layers()[k].clone())
+        } else {
+            None
+        }
+    };
+
+    let mut layers = Vec::with_capacity(depth + 1);
+    // Running widths of the two lanes.
+    let mut wa = a.input_dim();
+    let mut wb = b.input_dim();
+    for k in 0..depth {
+        let la = pad(a, k);
+        let lb = pad(b, k);
+        let (ra, ca, act_a) = match &la {
+            Some(l) => (l.out_dim(), l.in_dim(), l.activation()),
+            None => (wa, wa, Activation::Identity),
+        };
+        let (rb, cb, act_b) = match &lb {
+            Some(l) => (l.out_dim(), l.in_dim(), l.activation()),
+            None => (wb, wb, Activation::Identity),
+        };
+        if act_a != act_b {
+            // Mixed activations inside one DenseLayer are unsupported; the
+            // caller's networks must agree layer-wise (true for abstraction
+            // vs original, which share activations).
+            return Err(NetabsError::IncompatibleNetworks {
+                context: "difference_network",
+                detail: format!("layer {k} activations differ: {act_a} vs {act_b}"),
+            });
+        }
+        let mut w = Matrix::zeros(ra + rb, ca + cb);
+        let mut bias = vec![0.0; ra + rb];
+        match &la {
+            Some(l) => {
+                for i in 0..ra {
+                    for j in 0..ca {
+                        w.set(i, j, l.weights().get(i, j));
+                    }
+                    bias[i] = l.bias()[i];
+                }
+            }
+            None => {
+                for i in 0..ra {
+                    w.set(i, i, 1.0);
+                }
+            }
+        }
+        match &lb {
+            Some(l) => {
+                for i in 0..rb {
+                    for j in 0..cb {
+                        w.set(ra + i, ca + j, l.weights().get(i, j));
+                    }
+                    bias[ra + i] = l.bias()[i];
+                }
+            }
+            None => {
+                for i in 0..rb {
+                    w.set(ra + i, ca + i, 1.0);
+                }
+            }
+        }
+        layers.push(DenseLayer::new(w, bias, act_a).expect("block-diagonal shapes agree"));
+        wa = ra;
+        wb = rb;
+    }
+    // Final difference layer: out = lane_a − lane_b.
+    let out_dim = a.output_dim();
+    let mut w = Matrix::zeros(out_dim, wa + wb);
+    for i in 0..out_dim {
+        w.set(i, i, 1.0);
+        w.set(i, wa + i, -1.0);
+    }
+    layers.push(
+        DenseLayer::new(w, vec![0.0; out_dim], Activation::Identity)
+            .expect("difference layer shapes agree"),
+    );
+    // The first layer needs doubled inputs: x is fed to both lanes. Prepend a
+    // duplication layer.
+    let in_dim = a.input_dim();
+    let mut dup = Matrix::zeros(2 * in_dim, in_dim);
+    for i in 0..in_dim {
+        dup.set(i, i, 1.0);
+        dup.set(in_dim + i, i, 1.0);
+    }
+    let mut all = vec![DenseLayer::new(dup, vec![0.0; 2 * in_dim], Activation::Identity)
+        .expect("duplication layer shapes agree")];
+    all.extend(layers);
+    Network::new(all).map_err(|e| NetabsError::IncompatibleNetworks {
+        context: "difference_network",
+        detail: format!("assembly failed: {e}"),
+    })
+}
+
+/// How to discharge the cover check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoverMethod {
+    /// Bisection-refined symbolic interval analysis with the given split
+    /// budget. Cheap, but the difference `f − f̂` is exactly `0` on large
+    /// input regions, which abstract interpretation can only certify after
+    /// all ReLUs stabilise — expect `Unknown` on tight instances.
+    Refinement {
+        /// Maximum number of input bisections.
+        max_splits: usize,
+    },
+    /// Exact big-M MILP on the difference network (sound and complete for
+    /// PWL activations). This is the method of record for Proposition 6.
+    Milp {
+        /// Branch-and-bound node budget.
+        node_limit: usize,
+    },
+}
+
+/// Checks the cover relation `∀x ∈ din : candidate(x) ≤ abstraction(x)`
+/// (over direction) by bounding `candidate − abstraction` from above.
+///
+/// # Errors
+///
+/// Returns [`NetabsError::IncompatibleNetworks`] if the networks cannot be
+/// compared or the underlying solver fails.
+pub fn check_cover(
+    abstraction: &Network,
+    candidate: &Network,
+    din: &BoxDomain,
+    method: CoverMethod,
+) -> Result<Outcome, NetabsError> {
+    let diff = difference_network(candidate, abstraction)?;
+    // Target: difference ≤ 0 (+ tiny slack for round-off).
+    let target = BoxDomain::from_bounds(&vec![(f64::NEG_INFINITY, 1e-9); diff.output_dim()])
+        .expect("half-space target is well-formed");
+    match method {
+        CoverMethod::Refinement { max_splits } => {
+            prove_forward_containment(&diff, din, &target, DomainKind::Symbolic, max_splits)
+                .map_err(|e| NetabsError::IncompatibleNetworks {
+                    context: "check_cover (refinement)",
+                    detail: e.to_string(),
+                })
+        }
+        CoverMethod::Milp { node_limit } => {
+            match covern_milp::query::check_containment_with_limit(&diff, din, &target, node_limit)
+            {
+                Ok(covern_milp::query::Containment::Proved) => Ok(Outcome::Proved),
+                Ok(covern_milp::query::Containment::Refuted { input_witness, .. }) => {
+                    Ok(Outcome::Refuted(input_witness))
+                }
+                Err(covern_milp::MilpError::NodeLimit { .. }) => Ok(Outcome::Unknown),
+                // Every variable in the encoding is bounded, so a genuine
+                // unbounded LP is impossible; the verdict can only come from
+                // numerical degeneracy in wide difference networks. Answer
+                // conservatively.
+                Err(covern_milp::MilpError::Unbounded)
+                | Err(covern_milp::MilpError::IterationLimit) => Ok(Outcome::Unknown),
+                Err(e) => Err(NetabsError::IncompatibleNetworks {
+                    context: "check_cover (milp)",
+                    detail: e.to_string(),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::preprocess;
+    use crate::merge::{apply_plan, AbstractionDirection, MergePlan};
+    use covern_tensor::Rng;
+
+    fn deep_net(seed: u64) -> Network {
+        let mut rng = Rng::seeded(seed);
+        Network::random(&[2, 5, 4, 1], Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn difference_of_identical_networks_is_zero() {
+        let net = deep_net(11);
+        let diff = difference_network(&net, &net).unwrap();
+        let mut rng = Rng::seeded(12);
+        for _ in 0..100 {
+            let x = [rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)];
+            let d = diff.forward(&x).unwrap();
+            assert!(d[0].abs() < 1e-9, "difference {d:?}");
+        }
+    }
+
+    #[test]
+    fn difference_matches_manual_subtraction() {
+        let a = deep_net(13);
+        let b = deep_net(14);
+        let diff = difference_network(&a, &b).unwrap();
+        let mut rng = Rng::seeded(15);
+        for _ in 0..200 {
+            let x = [rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)];
+            let expected = a.forward(&x).unwrap()[0] - b.forward(&x).unwrap()[0];
+            let got = diff.forward(&x).unwrap()[0];
+            assert!((expected - got).abs() < 1e-9, "{expected} vs {got}");
+        }
+    }
+
+    #[test]
+    fn incompatible_networks_rejected() {
+        let a = deep_net(16);
+        let mut rng = Rng::seeded(17);
+        let b3 = Network::random(&[3, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        assert!(difference_network(&a, &b3).is_err());
+        let b2out = Network::random(&[2, 4, 2], Activation::Relu, Activation::Identity, &mut rng);
+        assert!(difference_network(&a, &b2out).is_err());
+    }
+
+    #[test]
+    fn abstraction_covers_its_own_original() {
+        let net = deep_net(18);
+        let pre = preprocess(&net).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        let abs = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let outcome = check_cover(&abs, &net, &din, CoverMethod::Milp { node_limit: 200_000 }).unwrap();
+        assert!(outcome.is_proved(), "own abstraction must cover: {outcome:?}");
+    }
+
+    #[test]
+    fn cover_refuted_when_candidate_exceeds_abstraction() {
+        // Candidate = original + large positive bias at the output: the old
+        // abstraction cannot cover it.
+        let net = deep_net(19);
+        let pre = preprocess(&net).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        let abs = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+        let mut bumped = net.clone();
+        let last = bumped.num_layers() - 1;
+        bumped.layers_mut()[last].bias_mut()[0] += 100.0;
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        // The refinement path finds the concrete witness immediately (the
+        // very first probe violates), exercising the cheap method.
+        match check_cover(&abs, &bumped, &din, CoverMethod::Refinement { max_splits: 400 }).unwrap() {
+            Outcome::Refuted(x) => {
+                let fx = bumped.forward(&x).unwrap()[0];
+                let ax = abs.forward(&x).unwrap()[0];
+                assert!(fx > ax, "witness must violate the cover: {fx} vs {ax}");
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slightly_tuned_network_often_remains_covered() {
+        // The Prop-6 scenario: tiny parameter drift usually stays under the
+        // abstraction's slack. We assert only "no crash + sound answers";
+        // when the answer is Proved, validate it on samples.
+        let net = deep_net(20);
+        let pre = preprocess(&net).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        let abs = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+        let mut rng = Rng::seeded(21);
+        let tuned = net.perturbed(1e-4, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let outcome = check_cover(&abs, &tuned, &din, CoverMethod::Milp { node_limit: 200_000 }).unwrap();
+        if outcome.is_proved() {
+            for _ in 0..200 {
+                let x = [rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)];
+                let fx = tuned.forward(&x).unwrap()[0];
+                let ax = abs.forward(&x).unwrap()[0];
+                assert!(fx <= ax + 1e-6, "proved cover violated at sample");
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type for structural network abstraction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while abstracting or comparing networks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NetabsError {
+    /// The operation requires piecewise-linear activations throughout.
+    NonPiecewiseLinear(String),
+    /// Networks passed to a comparison have incompatible shapes.
+    IncompatibleNetworks {
+        /// What was being compared.
+        context: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The merge plan references a layer or neurons that do not exist, or
+    /// a layer whose inputs are not provably non-negative.
+    InvalidPlan(String),
+}
+
+impl fmt::Display for NetabsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetabsError::NonPiecewiseLinear(a) => {
+                write!(f, "activation {a} is not piecewise linear")
+            }
+            NetabsError::IncompatibleNetworks { context, detail } => {
+                write!(f, "incompatible networks in {context}: {detail}")
+            }
+            NetabsError::InvalidPlan(d) => write!(f, "invalid merge plan: {d}"),
+        }
+    }
+}
+
+impl Error for NetabsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nonempty() {
+        assert!(!NetabsError::InvalidPlan("x".into()).to_string().is_empty());
+        assert!(!NetabsError::NonPiecewiseLinear("Sigmoid".into()).to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<NetabsError>();
+    }
+}

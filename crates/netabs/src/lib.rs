@@ -1,0 +1,32 @@
+//! Structural network abstraction (the Elboher/Gottschlich/Katz CAV'20
+//! approach).
+//!
+//! A *network abstraction* `f̂` is a structurally smaller network whose
+//! outputs dominate the original's (`f̂(x) ≥ f(x)` for the over direction).
+//! Verifying `f̂` against an upper-bound safety property then implies the
+//! property for `f` — and, per the paper's Proposition 6, for any
+//! fine-tuned `f′` that is *still covered* by the same `f̂`.
+//!
+//! Pipeline:
+//!
+//! 1. [`classify::preprocess`] — split every hidden neuron by its *effect
+//!    class* on the output (increase/decrease), so that each neuron's
+//!    influence has a single direction;
+//! 2. [`merge`] — merge same-class neurons (`max` of incoming weights for
+//!    increasing neurons, `min` for decreasing; outgoing weights summed),
+//!    shrinking layer widths while preserving dominance;
+//! 3. [`cover`] — check the cover relation `f --Din--> f̂` by bounding the
+//!    maximum of the *difference network* `f − f̂` over `Din`;
+//! 4. [`merge::MergePlan::split_group`] — refinement: undo one merge group
+//!    when the abstraction is too coarse (a false positive).
+
+pub mod classify;
+pub mod cover;
+pub mod error;
+pub mod merge;
+pub mod refine;
+
+pub use classify::{preprocess, NeuronClass};
+pub use cover::{check_cover, difference_network, CoverMethod};
+pub use error::NetabsError;
+pub use merge::{AbstractionDirection, MergePlan};

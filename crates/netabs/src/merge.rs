@@ -1,0 +1,403 @@
+//! Merging same-class neurons into a smaller, dominating network.
+//!
+//! For the **over** direction (`f̂ ≥ f`, the direction that preserves
+//! upper-bound safety properties): increasing neurons merge with the
+//! element-wise `max` of their incoming weights/biases, decreasing neurons
+//! with the `min`; outgoing weights of the group are summed. Soundness
+//! requires the merged layer's *inputs* to be non-negative, so only layers
+//! preceded by ReLU (or another non-negative activation) participate.
+
+use crate::classify::{ClassifiedNetwork, NeuronClass};
+use crate::error::NetabsError;
+use covern_nn::{Activation, DenseLayer, Network};
+use covern_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Which side the abstraction bounds the original from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbstractionDirection {
+    /// `f̂(x) ≥ f(x)` for every input — preserves `f ≤ c` properties.
+    Over,
+    /// `f̂(x) ≤ f(x)` for every input — preserves `f ≥ c` properties.
+    Under,
+}
+
+/// A description of which neurons merge in which layers.
+///
+/// `groups[k]` lists the merge groups for the outputs of `layers()[k]`
+/// (0-based). Unlisted neurons stay unmerged. Layer `0` (fed by raw,
+/// possibly negative inputs) and the output layer are never merged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergePlan {
+    groups: Vec<Vec<Vec<usize>>>,
+}
+
+impl MergePlan {
+    /// An empty plan for a network with `num_layers` layers (abstraction
+    /// equals the original).
+    pub fn empty(num_layers: usize) -> Self {
+        Self { groups: vec![Vec::new(); num_layers] }
+    }
+
+    /// The merge groups per layer.
+    pub fn groups(&self) -> &[Vec<Vec<usize>>] {
+        &self.groups
+    }
+
+    /// Adds one merge group for layer `k` (0-based layer output index).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetabsError::InvalidPlan`] if the group has fewer than two
+    /// neurons or `k` is out of range.
+    pub fn add_group(&mut self, k: usize, group: Vec<usize>) -> Result<(), NetabsError> {
+        if k >= self.groups.len() {
+            return Err(NetabsError::InvalidPlan(format!(
+                "layer {k} out of range ({} layers)",
+                self.groups.len()
+            )));
+        }
+        if group.len() < 2 {
+            return Err(NetabsError::InvalidPlan("merge group needs at least 2 neurons".into()));
+        }
+        self.groups[k].push(group);
+        Ok(())
+    }
+
+    /// Total number of merge groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.iter().map(Vec::len).sum()
+    }
+
+    /// Refinement: removes one merge group (layer `k`, position `idx`),
+    /// restoring its neurons in the abstraction. Returns the removed group.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetabsError::InvalidPlan`] if there is no such group.
+    pub fn split_group(&mut self, k: usize, idx: usize) -> Result<Vec<usize>, NetabsError> {
+        if k >= self.groups.len() || idx >= self.groups[k].len() {
+            return Err(NetabsError::InvalidPlan(format!("no group {idx} in layer {k}")));
+        }
+        Ok(self.groups[k].remove(idx))
+    }
+
+    /// Builds a greedy plan merging same-class neuron pairs in every
+    /// eligible layer until each layer has at most `target_width` neurons.
+    ///
+    /// Eligible layers are `1..n-1` (0-based) whose predecessor activation
+    /// produces non-negative values.
+    pub fn greedy(classified: &ClassifiedNetwork, target_width: usize) -> Self {
+        let net = &classified.network;
+        let n = net.num_layers();
+        let mut plan = MergePlan::empty(n);
+        for k in 1..n.saturating_sub(1) {
+            if !activation_nonnegative(net.layers()[k - 1].activation()) {
+                continue;
+            }
+            let width = net.layers()[k].out_dim();
+            if width <= target_width {
+                continue;
+            }
+            let mut excess = width - target_width;
+            // Collect per-class neuron lists and merge greedily within class.
+            for class in [NeuronClass::Inc, NeuronClass::Dec] {
+                if excess == 0 {
+                    break;
+                }
+                let members: Vec<usize> = classified.classes[k]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &c)| (c == class).then_some(i))
+                    .collect();
+                if members.len() < 2 {
+                    continue;
+                }
+                // One big group removes members.len()-1 neurons; cap to the
+                // excess we still need to remove.
+                let group_size = (excess + 1).min(members.len());
+                if group_size >= 2 {
+                    let group: Vec<usize> = members[..group_size].to_vec();
+                    excess -= group.len() - 1;
+                    plan.groups[k].push(group);
+                }
+            }
+        }
+        plan
+    }
+}
+
+fn activation_nonnegative(act: Activation) -> bool {
+    matches!(act, Activation::Relu | Activation::Sigmoid)
+}
+
+/// Applies a merge plan to a classified network, producing the abstraction.
+///
+/// # Errors
+///
+/// Returns [`NetabsError::InvalidPlan`] if a group references unknown
+/// neurons, mixes classes, targets layer 0 / the output layer, or targets a
+/// layer whose inputs are not provably non-negative.
+pub fn apply_plan(
+    classified: &ClassifiedNetwork,
+    plan: &MergePlan,
+    direction: AbstractionDirection,
+) -> Result<Network, NetabsError> {
+    let net = &classified.network;
+    let n = net.num_layers();
+    if plan.groups.len() != n {
+        return Err(NetabsError::InvalidPlan(format!(
+            "plan has {} layers, network has {n}",
+            plan.groups.len()
+        )));
+    }
+    let mut layers: Vec<DenseLayer> = net.layers().to_vec();
+
+    for k in 0..n {
+        if plan.groups[k].is_empty() {
+            continue;
+        }
+        if k == 0 || k == n - 1 {
+            return Err(NetabsError::InvalidPlan(
+                "cannot merge the first or the output layer".into(),
+            ));
+        }
+        if !activation_nonnegative(layers[k - 1].activation()) {
+            return Err(NetabsError::InvalidPlan(format!(
+                "layer {k} inputs are not provably non-negative (prev activation {})",
+                layers[k - 1].activation()
+            )));
+        }
+        let width = layers[k].out_dim();
+        let mut owner: Vec<Option<usize>> = vec![None; width]; // group index per neuron
+        for (gi, group) in plan.groups[k].iter().enumerate() {
+            let class0 = *classified.classes[k]
+                .get(*group.first().ok_or_else(|| NetabsError::InvalidPlan("empty group".into()))?)
+                .ok_or_else(|| NetabsError::InvalidPlan("neuron out of range".into()))?;
+            for &i in group {
+                if i >= width {
+                    return Err(NetabsError::InvalidPlan(format!("neuron {i} out of range")));
+                }
+                if classified.classes[k][i] != class0 {
+                    return Err(NetabsError::InvalidPlan("merge group mixes classes".into()));
+                }
+                if owner[i].is_some() {
+                    return Err(NetabsError::InvalidPlan(format!("neuron {i} in two groups")));
+                }
+                owner[i] = Some(gi);
+            }
+        }
+
+        // New neuron order: merged groups first (one neuron each), then the
+        // untouched neurons in their original order.
+        let num_groups = plan.groups[k].len();
+        let untouched: Vec<usize> = (0..width).filter(|i| owner[*i].is_none()).collect();
+        let new_width = num_groups + untouched.len();
+
+        let cur = &layers[k];
+        let next = &layers[k + 1];
+        let mut new_w = Matrix::zeros(new_width, cur.in_dim());
+        let mut new_b = vec![0.0; new_width];
+        let mut new_next = Matrix::zeros(next.out_dim(), new_width);
+
+        // Merged neurons.
+        for (gi, group) in plan.groups[k].iter().enumerate() {
+            let class = classified.classes[k][group[0]];
+            // Over+Inc and Under+Dec take max; the other two take min.
+            let take_max = matches!(
+                (direction, class),
+                (AbstractionDirection::Over, NeuronClass::Inc)
+                    | (AbstractionDirection::Under, NeuronClass::Dec)
+            );
+            let combine = |a: f64, b: f64| if take_max { a.max(b) } else { a.min(b) };
+            for j in 0..cur.in_dim() {
+                let mut acc = cur.weights().get(group[0], j);
+                for &i in &group[1..] {
+                    acc = combine(acc, cur.weights().get(i, j));
+                }
+                new_w.set(gi, j, acc);
+            }
+            let mut bacc = cur.bias()[group[0]];
+            for &i in &group[1..] {
+                bacc = combine(bacc, cur.bias()[i]);
+            }
+            new_b[gi] = bacc;
+            // Outgoing: sum of member columns.
+            for t in 0..next.out_dim() {
+                let mut s = 0.0;
+                for &i in group {
+                    s += next.weights().get(t, i);
+                }
+                new_next.set(t, gi, s);
+            }
+        }
+        // Untouched neurons.
+        for (pos, &i) in untouched.iter().enumerate() {
+            let col = num_groups + pos;
+            for j in 0..cur.in_dim() {
+                new_w.set(col, j, cur.weights().get(i, j));
+            }
+            new_b[col] = cur.bias()[i];
+            for t in 0..next.out_dim() {
+                new_next.set(t, col, next.weights().get(t, i));
+            }
+        }
+
+        let act_cur = cur.activation();
+        let act_next = next.activation();
+        let next_bias = next.bias().to_vec();
+        layers[k] = DenseLayer::new(new_w, new_b, act_cur).expect("merged shapes agree");
+        layers[k + 1] = DenseLayer::new(new_next, next_bias, act_next).expect("merged shapes agree");
+    }
+
+    Network::new(layers).map_err(|e| NetabsError::InvalidPlan(format!("merge broke chaining: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::preprocess;
+    use covern_nn::Activation;
+    use covern_tensor::Rng;
+
+    fn deep_net(seed: u64) -> Network {
+        let mut rng = Rng::seeded(seed);
+        Network::random(&[2, 6, 6, 1], Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let net = deep_net(1);
+        let pre = preprocess(&net).unwrap();
+        let plan = MergePlan::empty(pre.network.num_layers());
+        let abs = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+        assert_eq!(abs, pre.network);
+    }
+
+    #[test]
+    fn over_abstraction_dominates_pointwise() {
+        for seed in 0..6u64 {
+            let net = deep_net(seed);
+            let pre = preprocess(&net).unwrap();
+            let plan = MergePlan::greedy(&pre, 2);
+            if plan.num_groups() == 0 {
+                continue;
+            }
+            let abs = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+            let mut rng = Rng::seeded(seed + 1000);
+            for _ in 0..300 {
+                let x = [rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)];
+                let y = net.forward(&x).unwrap()[0];
+                let yh = abs.forward(&x).unwrap()[0];
+                assert!(yh >= y - 1e-9, "seed {seed}: f̂ {yh} < f {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn under_abstraction_is_dominated_pointwise() {
+        for seed in 0..6u64 {
+            let net = deep_net(seed + 50);
+            let pre = preprocess(&net).unwrap();
+            let plan = MergePlan::greedy(&pre, 2);
+            if plan.num_groups() == 0 {
+                continue;
+            }
+            let abs = apply_plan(&pre, &plan, AbstractionDirection::Under).unwrap();
+            let mut rng = Rng::seeded(seed + 2000);
+            for _ in 0..300 {
+                let x = [rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)];
+                let y = net.forward(&x).unwrap()[0];
+                let yh = abs.forward(&x).unwrap()[0];
+                assert!(yh <= y + 1e-9, "seed {seed}: f̂ {yh} > f {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_shrinks_width() {
+        let net = deep_net(3);
+        let pre = preprocess(&net).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        let abs = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+        let pre_dims = pre.network.dims();
+        let abs_dims = abs.dims();
+        assert!(
+            abs_dims.iter().sum::<usize>() < pre_dims.iter().sum::<usize>(),
+            "abstraction did not shrink: {pre_dims:?} -> {abs_dims:?}"
+        );
+    }
+
+    #[test]
+    fn refinement_restores_precision() {
+        let net = deep_net(4);
+        let pre = preprocess(&net).unwrap();
+        let mut plan = MergePlan::greedy(&pre, 2);
+        if plan.num_groups() == 0 {
+            return;
+        }
+        let before = plan.num_groups();
+        let layer = plan
+            .groups()
+            .iter()
+            .position(|g| !g.is_empty())
+            .expect("at least one group");
+        plan.split_group(layer, 0).unwrap();
+        assert_eq!(plan.num_groups(), before - 1);
+        // Still a valid plan for apply.
+        let _ = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let net = deep_net(5);
+        let pre = preprocess(&net).unwrap();
+        let n = pre.network.num_layers();
+
+        let mut plan = MergePlan::empty(n);
+        assert!(plan.add_group(n, vec![0, 1]).is_err()); // layer out of range
+        assert!(plan.add_group(1, vec![0]).is_err()); // too small
+
+        // Merging the first layer is rejected.
+        let mut plan = MergePlan::empty(n);
+        plan.add_group(0, vec![0, 1]).unwrap();
+        assert!(apply_plan(&pre, &plan, AbstractionDirection::Over).is_err());
+
+        // Mixed-class group is rejected (if both classes exist in layer 1).
+        let classes = &pre.classes[1];
+        let inc = classes.iter().position(|&c| c == NeuronClass::Inc);
+        let dec = classes.iter().position(|&c| c == NeuronClass::Dec);
+        if let (Some(i), Some(d)) = (inc, dec) {
+            let mut plan = MergePlan::empty(n);
+            plan.add_group(1, vec![i, d]).unwrap();
+            assert!(apply_plan(&pre, &plan, AbstractionDirection::Over).is_err());
+        }
+
+        // Overlapping groups are rejected.
+        let members: Vec<usize> = classes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &c)| (c == NeuronClass::Inc).then_some(i))
+            .collect();
+        if members.len() >= 3 {
+            let mut plan = MergePlan::empty(n);
+            plan.add_group(1, vec![members[0], members[1]]).unwrap();
+            plan.add_group(1, vec![members[1], members[2]]).unwrap();
+            assert!(apply_plan(&pre, &plan, AbstractionDirection::Over).is_err());
+        }
+    }
+
+    #[test]
+    fn greedy_plan_respects_target_width() {
+        let net = deep_net(6);
+        let pre = preprocess(&net).unwrap();
+        let plan = MergePlan::greedy(&pre, 3);
+        let abs = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
+        // Middle layers should have shrunk toward the target (exact width
+        // depends on class balance; it must not exceed the preprocessed
+        // width).
+        for (k, d) in abs.dims().iter().enumerate().skip(2).take(abs.dims().len() - 3) {
+            assert!(*d <= pre.network.dims()[k], "layer {k} grew");
+        }
+    }
+}

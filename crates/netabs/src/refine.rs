@@ -1,0 +1,243 @@
+//! CEGAR-style structural refinement.
+//!
+//! "When the false positive happens, refinement over the structure is
+//! required" (paper, Section II, describing the abstraction framework of
+//! Elboher et al.). This module implements that loop for the *cover* use
+//! case of Proposition 6: when a stored abstraction `f̂` fails to cover a
+//! fine-tuned candidate, merge groups are split back one at a time —
+//! guided by the counterexample — until the cover check passes or the
+//! abstraction degenerates to the (split) original.
+
+use crate::classify::ClassifiedNetwork;
+use crate::cover::{check_cover, CoverMethod};
+use crate::error::NetabsError;
+use crate::merge::{apply_plan, AbstractionDirection, MergePlan};
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::refine::Outcome;
+use covern_nn::Network;
+
+/// Result of a refinement run.
+#[derive(Debug, Clone)]
+pub struct RefinementResult {
+    /// The refined plan (a subset of the original's merge groups).
+    pub plan: MergePlan,
+    /// The abstraction built from the refined plan.
+    pub abstraction: Network,
+    /// Outcome of the final cover check.
+    pub outcome: Outcome,
+    /// Number of groups split during refinement.
+    pub splits: usize,
+}
+
+/// Picks the merge group to split next.
+///
+/// With a counterexample `witness`, the group whose merged neuron deviates
+/// most from the candidate's corresponding (summed) activation at the
+/// witness is chosen — the group that introduces the most abstraction
+/// error where it matters. Without a witness, the largest group in the
+/// earliest layer is chosen.
+fn pick_group(
+    classified: &ClassifiedNetwork,
+    plan: &MergePlan,
+    abstraction: &Network,
+    candidate: &Network,
+    witness: Option<&[f64]>,
+) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize, f64)> = None;
+    if let Some(x) = witness {
+        // Compare layer traces: merged neuron value vs the max of its
+        // members' values in the candidate (the quantity the merge rule
+        // over-approximates).
+        let abs_trace = abstraction.forward_trace(x).ok()?;
+        let cand_trace = candidate.forward_trace(x).ok()?;
+        for (k, groups) in plan.groups().iter().enumerate() {
+            for (gi, group) in groups.iter().enumerate() {
+                // Merged neurons come first in the rebuilt layer, in group
+                // order (see merge::apply_plan).
+                let merged_val = abs_trace.get(k).and_then(|l| l.get(gi)).copied();
+                let member_max = group
+                    .iter()
+                    .filter_map(|&i| cand_trace.get(k).and_then(|l| l.get(i)).copied())
+                    .fold(f64::NEG_INFINITY, f64::max);
+                if let Some(mv) = merged_val {
+                    let err = (mv - member_max).abs();
+                    if best.is_none_or(|(_, _, b)| err > b) {
+                        best = Some((k, gi, err));
+                    }
+                }
+            }
+        }
+    }
+    if best.is_none() {
+        // Fallback: largest group, earliest layer.
+        for (k, groups) in plan.groups().iter().enumerate() {
+            for (gi, group) in groups.iter().enumerate() {
+                let size = group.len() as f64;
+                if best.is_none_or(|(_, _, b)| size > b) {
+                    best = Some((k, gi, size));
+                }
+            }
+        }
+    }
+    let _ = classified;
+    best.map(|(k, gi, _)| (k, gi))
+}
+
+/// Refines `plan` until the abstraction covers `candidate` on `din`, the
+/// plan runs out of groups, or `max_rounds` is hit.
+///
+/// Monotone by construction: every round removes one merge group, so the
+/// abstraction tightens strictly; with zero groups the abstraction equals
+/// the class-split original, whose cover status is whatever the final
+/// check says.
+///
+/// # Errors
+///
+/// Returns [`NetabsError`] if the abstraction cannot be built or compared.
+pub fn refine_to_cover(
+    classified: &ClassifiedNetwork,
+    mut plan: MergePlan,
+    direction: AbstractionDirection,
+    candidate: &Network,
+    din: &BoxDomain,
+    method: CoverMethod,
+    max_rounds: usize,
+) -> Result<RefinementResult, NetabsError> {
+    let mut splits = 0usize;
+    loop {
+        let abstraction = apply_plan(classified, &plan, direction)?;
+        let outcome = check_cover(&abstraction, candidate, din, method)?;
+        let witness = match &outcome {
+            Outcome::Proved => {
+                return Ok(RefinementResult { plan, abstraction, outcome, splits });
+            }
+            Outcome::Refuted(w) => Some(w.clone()),
+            Outcome::Unknown => None,
+        };
+        if plan.num_groups() == 0 || splits >= max_rounds {
+            return Ok(RefinementResult { plan, abstraction, outcome, splits });
+        }
+        let Some((k, gi)) =
+            pick_group(classified, &plan, &abstraction, candidate, witness.as_deref())
+        else {
+            return Ok(RefinementResult { plan, abstraction, outcome, splits });
+        };
+        plan.split_group(k, gi)?;
+        splits += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::preprocess;
+    use covern_nn::Activation;
+    use covern_tensor::Rng;
+
+    fn net(seed: u64) -> Network {
+        let mut rng = Rng::seeded(seed);
+        Network::random(&[2, 5, 4, 1], Activation::Relu, Activation::Identity, &mut rng)
+    }
+
+    #[test]
+    fn already_covering_abstraction_needs_no_refinement() {
+        let f = net(601);
+        let pre = preprocess(&f).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let r = refine_to_cover(
+            &pre,
+            plan,
+            AbstractionDirection::Over,
+            &f,
+            &din,
+            CoverMethod::Milp { node_limit: 100_000 },
+            10,
+        )
+        .unwrap();
+        assert!(r.outcome.is_proved());
+        assert_eq!(r.splits, 0, "own abstraction already covers");
+    }
+
+    #[test]
+    fn refinement_tightens_until_cover_or_exhaustion() {
+        // Candidate slightly above the original: the coarse abstraction may
+        // or may not cover it, but refinement must terminate with a sound
+        // answer and a monotonically smaller plan.
+        let f = net(602);
+        let pre = preprocess(&f).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        let initial_groups = plan.num_groups();
+        let mut rng = Rng::seeded(603);
+        let tuned = f.perturbed(5e-3, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let r = refine_to_cover(
+            &pre,
+            plan,
+            AbstractionDirection::Over,
+            &tuned,
+            &din,
+            CoverMethod::Milp { node_limit: 100_000 },
+            initial_groups + 1,
+        )
+        .unwrap();
+        assert!(r.plan.num_groups() + r.splits == initial_groups || r.outcome.is_proved());
+        if r.outcome.is_proved() {
+            // Validate the final cover on samples.
+            for _ in 0..100 {
+                let x = [rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)];
+                let fa = r.abstraction.forward(&x).unwrap()[0];
+                let fc = tuned.forward(&x).unwrap()[0];
+                assert!(fa >= fc - 1e-6, "refined cover violated");
+            }
+        }
+    }
+
+    #[test]
+    fn hopeless_candidate_exhausts_plan_without_false_proof() {
+        // A candidate far above anything the abstraction family can cover.
+        let f = net(604);
+        let pre = preprocess(&f).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        let mut bumped = f.clone();
+        let last = bumped.num_layers() - 1;
+        bumped.layers_mut()[last].bias_mut()[0] += 100.0;
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let r = refine_to_cover(
+            &pre,
+            plan,
+            AbstractionDirection::Over,
+            &bumped,
+            &din,
+            CoverMethod::Refinement { max_splits: 50 },
+            20,
+        )
+        .unwrap();
+        assert!(!r.outcome.is_proved(), "impossible cover must not be proved");
+    }
+
+    #[test]
+    fn round_budget_is_respected() {
+        let f = net(605);
+        let pre = preprocess(&f).unwrap();
+        let plan = MergePlan::greedy(&pre, 2);
+        if plan.num_groups() < 2 {
+            return;
+        }
+        let mut bumped = f.clone();
+        let last = bumped.num_layers() - 1;
+        bumped.layers_mut()[last].bias_mut()[0] += 100.0;
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let r = refine_to_cover(
+            &pre,
+            plan,
+            AbstractionDirection::Over,
+            &bumped,
+            &din,
+            CoverMethod::Refinement { max_splits: 20 },
+            1,
+        )
+        .unwrap();
+        assert!(r.splits <= 1);
+    }
+}

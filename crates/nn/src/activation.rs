@@ -1,0 +1,253 @@
+//! Scalar activation functions and their analytic properties.
+//!
+//! The verifiers need more than `apply`: abstract interpreters use
+//! monotonicity, MILP encoders require piecewise linearity, and the property
+//! transformation in `covern-core` uses invertibility of the output
+//! activation (a sigmoid output lets `Dout` be pulled back to pre-activation
+//! space where exact methods apply).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A scalar activation function applied component-wise after an affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// The identity function (a purely affine layer).
+    Identity,
+    /// Rectified linear unit `max(0, x)`.
+    Relu,
+    /// Leaky ReLU with negative-side slope `alpha` (`alpha` in `[0, 1)`).
+    LeakyRelu(f64),
+    /// Logistic sigmoid `1 / (1 + e^{-x})`.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match *self {
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu(a) => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    a * x
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Applies the activation to every component of a vector.
+    pub fn apply_vec(&self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply(x)).collect()
+    }
+
+    /// Derivative at `x` (sub-gradient `0` is used at the ReLU kink).
+    #[inline]
+    pub fn derivative(&self, x: f64) -> f64 {
+        match *self {
+            Activation::Identity => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu(a) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    a
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+
+    /// Whether the function is piecewise linear (exactly encodable in MILP).
+    pub fn is_piecewise_linear(&self) -> bool {
+        matches!(self, Activation::Identity | Activation::Relu | Activation::LeakyRelu(_))
+    }
+
+    /// All supported activations are monotone non-decreasing; this reports
+    /// whether the function is *strictly* increasing (hence invertible on ℝ).
+    pub fn is_strictly_increasing(&self) -> bool {
+        match *self {
+            Activation::Identity | Activation::Sigmoid | Activation::Tanh => true,
+            Activation::LeakyRelu(a) => a > 0.0,
+            Activation::Relu => false,
+        }
+    }
+
+    /// A global Lipschitz constant of the activation.
+    pub fn lipschitz_constant(&self) -> f64 {
+        match *self {
+            Activation::Identity | Activation::Relu | Activation::Tanh => 1.0,
+            Activation::LeakyRelu(a) => a.abs().max(1.0),
+            Activation::Sigmoid => 0.25,
+        }
+    }
+
+    /// The range of the activation over all of ℝ, as `(lo, hi)` (may be
+    /// infinite).
+    pub fn range(&self) -> (f64, f64) {
+        match *self {
+            Activation::Identity => (f64::NEG_INFINITY, f64::INFINITY),
+            Activation::Relu => (0.0, f64::INFINITY),
+            Activation::LeakyRelu(_) => (f64::NEG_INFINITY, f64::INFINITY),
+            Activation::Sigmoid => (0.0, 1.0),
+            Activation::Tanh => (-1.0, 1.0),
+        }
+    }
+
+    /// Inverse of the activation at `y`, if the activation is strictly
+    /// increasing and `y` lies in its open range.
+    ///
+    /// Used to pull a safety set `Dout` back through a sigmoid/tanh output
+    /// layer so that exact (MILP) methods can operate on the pre-activation.
+    pub fn inverse(&self, y: f64) -> Option<f64> {
+        match *self {
+            Activation::Identity => Some(y),
+            Activation::Sigmoid => {
+                if y > 0.0 && y < 1.0 {
+                    Some((y / (1.0 - y)).ln())
+                } else {
+                    None
+                }
+            }
+            Activation::Tanh => {
+                if y > -1.0 && y < 1.0 {
+                    Some(y.atanh())
+                } else {
+                    None
+                }
+            }
+            Activation::LeakyRelu(a) => {
+                if a > 0.0 {
+                    Some(if y >= 0.0 { y } else { y / a })
+                } else {
+                    None
+                }
+            }
+            Activation::Relu => None,
+        }
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Activation::Identity => write!(f, "Identity"),
+            Activation::Relu => write!(f, "ReLU"),
+            Activation::LeakyRelu(a) => write!(f, "LeakyReLU({a})"),
+            Activation::Sigmoid => write!(f, "Sigmoid"),
+            Activation::Tanh => write!(f, "Tanh"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ALL: [Activation; 5] = [
+        Activation::Identity,
+        Activation::Relu,
+        Activation::LeakyRelu(0.1),
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ];
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.5), 2.5);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negative() {
+        let a = Activation::LeakyRelu(0.1);
+        assert!((a.apply(-10.0) + 1.0).abs() < 1e-12);
+        assert_eq!(a.apply(10.0), 10.0);
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_saturation() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(s.apply(50.0) > 0.999_999);
+        assert!(s.apply(-50.0) < 1e-6);
+    }
+
+    #[test]
+    fn pwl_classification() {
+        assert!(Activation::Relu.is_piecewise_linear());
+        assert!(Activation::LeakyRelu(0.01).is_piecewise_linear());
+        assert!(!Activation::Sigmoid.is_piecewise_linear());
+        assert!(!Activation::Tanh.is_piecewise_linear());
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh, Activation::LeakyRelu(0.2)] {
+            for &x in &[-2.0, -0.3, 0.0, 0.7, 1.5] {
+                let y = act.apply(x);
+                let back = act.inverse(y).expect("invertible");
+                assert!((back - x).abs() < 1e-9, "{act}: {x} -> {y} -> {back}");
+            }
+        }
+        assert_eq!(Activation::Relu.inverse(1.0), None);
+        assert_eq!(Activation::Sigmoid.inverse(1.0), None);
+    }
+
+    #[test]
+    fn ranges_contain_samples() {
+        for act in ALL {
+            let (lo, hi) = act.range();
+            for &x in &[-5.0, -1.0, 0.0, 1.0, 5.0] {
+                let y = act.apply(x);
+                assert!(y >= lo - 1e-12 && y <= hi + 1e-12, "{act}({x}) = {y} outside [{lo},{hi}]");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_all_monotone(x in -20.0f64..20.0, d in 0.0f64..5.0) {
+            for act in ALL {
+                prop_assert!(act.apply(x + d) >= act.apply(x) - 1e-12, "{} not monotone", act);
+            }
+        }
+
+        #[test]
+        fn prop_lipschitz_constant_holds(x in -10.0f64..10.0, y in -10.0f64..10.0) {
+            for act in ALL {
+                let lhs = (act.apply(x) - act.apply(y)).abs();
+                let rhs = act.lipschitz_constant() * (x - y).abs();
+                prop_assert!(lhs <= rhs + 1e-9, "{} violates Lipschitz", act);
+            }
+        }
+
+        #[test]
+        fn prop_derivative_bounded_by_lipschitz(x in -10.0f64..10.0) {
+            for act in ALL {
+                prop_assert!(act.derivative(x).abs() <= act.lipschitz_constant() + 1e-12);
+            }
+        }
+    }
+}

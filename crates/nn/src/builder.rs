@@ -1,0 +1,139 @@
+//! Fluent construction of [`Network`]s.
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::DenseLayer;
+use crate::network::Network;
+use covern_tensor::{Matrix, Rng};
+
+/// Incremental builder for [`Network`] values.
+///
+/// Dimension checks are deferred to [`build`](Self::build) so literal layer
+/// stacks read naturally.
+///
+/// # Example
+///
+/// ```
+/// use covern_nn::{Activation, NetworkBuilder};
+///
+/// # fn main() -> Result<(), covern_nn::NnError> {
+/// let net = NetworkBuilder::new(3)
+///     .dense_random(8, Activation::Relu, 42)
+///     .dense_random(1, Activation::Sigmoid, 43)
+///     .build()?;
+/// assert_eq!(net.dims(), vec![3, 8, 1]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input_dim: usize,
+    current_dim: usize,
+    layers: Vec<DenseLayer>,
+    error: Option<NnError>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network with the given input dimension.
+    pub fn new(input_dim: usize) -> Self {
+        Self { input_dim, current_dim: input_dim, layers: Vec::new(), error: None }
+    }
+
+    /// Appends an explicit dense layer.
+    pub fn dense(mut self, weights: Matrix, bias: Vec<f64>, activation: Activation) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if weights.cols() != self.current_dim {
+            self.error = Some(NnError::DimensionMismatch {
+                context: "NetworkBuilder::dense (weight cols vs current dim)",
+                expected: self.current_dim,
+                actual: weights.cols(),
+            });
+            return self;
+        }
+        match DenseLayer::new(weights, bias, activation) {
+            Ok(layer) => {
+                self.current_dim = layer.out_dim();
+                self.layers.push(layer);
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Appends a dense layer given as row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged (dimension errors against the running
+    /// network dimension are reported by [`build`](Self::build) instead).
+    pub fn dense_from_rows(self, rows: &[&[f64]], bias: &[f64], activation: Activation) -> Self {
+        self.dense(Matrix::from_rows(rows), bias.to_vec(), activation)
+    }
+
+    /// Appends a randomly initialised layer of the given width, seeded for
+    /// reproducibility.
+    pub fn dense_random(self, out_dim: usize, activation: Activation, seed: u64) -> Self {
+        let mut rng = Rng::seeded(seed);
+        let in_dim = self.current_dim;
+        let layer = DenseLayer::random(in_dim, out_dim, activation, &mut rng);
+        let weights = layer.weights().clone();
+        self.dense(weights, layer.bias().to_vec(), activation)
+    }
+
+    /// Finalises the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first construction error encountered while chaining, or
+    /// [`NnError::EmptyNetwork`] if no layers were added.
+    pub fn build(self) -> Result<Network, NnError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let _ = self.input_dim;
+        Network::new(self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_consistent_network() {
+        let net = NetworkBuilder::new(2)
+            .dense_from_rows(&[&[1.0, 0.0], &[0.0, 1.0]], &[0.0, 0.0], Activation::Relu)
+            .dense_from_rows(&[&[1.0, 1.0]], &[0.0], Activation::Identity)
+            .build()
+            .expect("valid chain");
+        assert_eq!(net.dims(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn reports_first_dimension_error() {
+        let err = NetworkBuilder::new(2)
+            .dense_from_rows(&[&[1.0, 0.0, 3.0]], &[0.0], Activation::Relu)
+            .dense_from_rows(&[&[1.0]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, NnError::DimensionMismatch { expected: 2, actual: 3, .. }));
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        assert_eq!(NetworkBuilder::new(2).build().unwrap_err(), NnError::EmptyNetwork);
+    }
+
+    #[test]
+    fn random_layers_chain_dimensions() {
+        let net = NetworkBuilder::new(5)
+            .dense_random(7, Activation::Relu, 1)
+            .dense_random(3, Activation::Relu, 2)
+            .dense_random(1, Activation::Sigmoid, 3)
+            .build()
+            .expect("random chain");
+        assert_eq!(net.dims(), vec![5, 7, 3, 1]);
+    }
+}

@@ -1,0 +1,340 @@
+//! Frozen convolutional feature extraction.
+//!
+//! The paper's perception network is a CIFAR10-pretrained CNN whose
+//! convolutional part is *frozen* during all fine-tuning ("we fix the
+//! weights on the convolution layer"), and verification only covers the
+//! layers after the `Flatten`. This module therefore provides a
+//! forward-only convolution pipeline: deterministic weights, no gradients,
+//! no abstract transformers. Its single job is to map camera images to the
+//! flatten vector that feeds the verified dense head.
+
+use crate::error::NnError;
+use covern_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A channels-first (`C × H × W`) floating-point image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    channels: usize,
+    height: usize,
+    width: usize,
+    data: Vec<f64>,
+}
+
+impl Image {
+    /// Creates a zero image of the given shape.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, height, width, data: vec![0.0; channels * height * width] }
+    }
+
+    /// Creates an image from a flat `C·H·W` buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer length does not match the shape.
+    pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), channels * height * width, "image buffer length mismatch");
+        Self { channels, height, width, data }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Image height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Image width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Reads pixel `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f64 {
+        assert!(c < self.channels && y < self.height && x < self.width, "pixel index out of bounds");
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Writes pixel `(c, y, x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f64) {
+        assert!(c < self.channels && y < self.height && x < self.width, "pixel index out of bounds");
+        self.data[(c * self.height + y) * self.width + x] = v;
+    }
+
+    /// Flattens to a plain vector (row-major within each channel).
+    pub fn to_flat(&self) -> Vec<f64> {
+        self.data.clone()
+    }
+}
+
+/// A single convolution layer: `out_c` kernels of shape `in_c × k × k`,
+/// stride `s`, valid padding, followed by ReLU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvLayer {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    /// Weights indexed `[out_c][in_c][ky][kx]`, flattened.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+}
+
+impl ConvLayer {
+    /// Deterministically initialised convolution layer.
+    pub fn random(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, rng: &mut Rng) -> Self {
+        let fan_in = (in_channels * kernel * kernel).max(1);
+        let std_dev = (2.0 / fan_in as f64).sqrt();
+        let n = out_channels * in_channels * kernel * kernel;
+        let weights = (0..n).map(|_| rng.normal_with(0.0, std_dev)).collect();
+        Self { in_channels, out_channels, kernel, stride, weights, bias: vec![0.0; out_channels] }
+    }
+
+    #[inline]
+    fn weight(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> f64 {
+        self.weights[((oc * self.in_channels + ic) * self.kernel + ky) * self.kernel + kx]
+    }
+
+    /// Output spatial size for an input of the given size (valid padding).
+    fn out_size(&self, in_size: usize) -> usize {
+        if in_size < self.kernel {
+            0
+        } else {
+            (in_size - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Applies convolution + ReLU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if the input channel count is
+    /// wrong or the image is smaller than the kernel.
+    pub fn forward(&self, img: &Image) -> Result<Image, NnError> {
+        if img.channels() != self.in_channels {
+            return Err(NnError::DimensionMismatch {
+                context: "ConvLayer::forward (channels)",
+                expected: self.in_channels,
+                actual: img.channels(),
+            });
+        }
+        let oh = self.out_size(img.height());
+        let ow = self.out_size(img.width());
+        if oh == 0 || ow == 0 {
+            return Err(NnError::DimensionMismatch {
+                context: "ConvLayer::forward (image smaller than kernel)",
+                expected: self.kernel,
+                actual: img.height().min(img.width()),
+            });
+        }
+        let mut out = Image::zeros(self.out_channels, oh, ow);
+        for oc in 0..self.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                acc += self.weight(oc, ic, ky, kx)
+                                    * img.get(ic, oy * self.stride + ky, ox * self.stride + kx);
+                            }
+                        }
+                    }
+                    out.set(oc, oy, ox, acc.max(0.0));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Average pooling with a square window (window == stride).
+fn avg_pool(img: &Image, window: usize) -> Image {
+    let oh = img.height() / window;
+    let ow = img.width() / window;
+    let mut out = Image::zeros(img.channels(), oh.max(1).min(img.height()), ow.max(1).min(img.width()));
+    let oh = out.height();
+    let ow = out.width();
+    let denom = (window * window) as f64;
+    for c in 0..img.channels() {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = 0.0;
+                for dy in 0..window {
+                    for dx in 0..window {
+                        acc += img.get(c, oy * window + dy, ox * window + dx);
+                    }
+                }
+                out.set(c, oy, ox, acc / denom);
+            }
+        }
+    }
+    out
+}
+
+/// The frozen perception backbone: conv → pool → conv → pool → flatten.
+///
+/// Stands in for the paper's CIFAR10-pretrained convolution stack. Weights
+/// are seeded once and never change, so every fine-tuned head `f_1 … f_5`
+/// shares the same feature space — exactly the property the paper relies on
+/// ("multiple DNNs to be verified share the same input domain").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureExtractor {
+    conv1: ConvLayer,
+    conv2: ConvLayer,
+    pool: usize,
+    input_channels: usize,
+    input_size: usize,
+    feature_dim: usize,
+}
+
+impl FeatureExtractor {
+    /// Builds a frozen extractor for square `input_size × input_size` images
+    /// with `input_channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_size` is too small for the fixed conv/pool pipeline
+    /// (needs at least 12 pixels).
+    pub fn new(input_channels: usize, input_size: usize, seed: u64) -> Self {
+        assert!(input_size >= 12, "input size {input_size} too small for the backbone");
+        let mut rng = Rng::seeded(seed);
+        let conv1 = ConvLayer::random(input_channels, 4, 3, 1, &mut rng);
+        let conv2 = ConvLayer::random(4, 8, 3, 1, &mut rng);
+        let pool = 2;
+        // Trace shapes to compute the flatten dimension.
+        let s1 = input_size - 2; // conv1 3x3 stride 1
+        let p1 = s1 / pool;
+        let s2 = p1 - 2; // conv2
+        let p2 = s2 / pool;
+        let feature_dim = 8 * p2 * p2;
+        Self { conv1, conv2, pool, input_channels, input_size, feature_dim }
+    }
+
+    /// Dimension of the flatten vector this extractor produces.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Expected input image side length.
+    pub fn input_size(&self) -> usize {
+        self.input_size
+    }
+
+    /// Expected input channel count.
+    pub fn input_channels(&self) -> usize {
+        self.input_channels
+    }
+
+    /// Maps an image to the flatten vector feeding the verified head.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if the image shape is not the
+    /// one the extractor was built for.
+    pub fn features(&self, img: &Image) -> Result<Vec<f64>, NnError> {
+        if img.height() != self.input_size || img.width() != self.input_size {
+            return Err(NnError::DimensionMismatch {
+                context: "FeatureExtractor::features (image size)",
+                expected: self.input_size,
+                actual: img.height(),
+            });
+        }
+        let x = self.conv1.forward(img)?;
+        let x = avg_pool(&x, self.pool);
+        let x = self.conv2.forward(&x)?;
+        let x = avg_pool(&x, self.pool);
+        let flat = x.to_flat();
+        debug_assert_eq!(flat.len(), self.feature_dim);
+        Ok(flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_indexing_roundtrips() {
+        let mut img = Image::zeros(2, 3, 4);
+        img.set(1, 2, 3, 7.5);
+        assert_eq!(img.get(1, 2, 3), 7.5);
+        assert_eq!(img.to_flat().len(), 24);
+    }
+
+    #[test]
+    fn conv_output_shape_valid_padding() {
+        let mut rng = Rng::seeded(1);
+        let conv = ConvLayer::random(1, 2, 3, 1, &mut rng);
+        let img = Image::zeros(1, 8, 8);
+        let out = conv.forward(&img).unwrap();
+        assert_eq!((out.channels(), out.height(), out.width()), (2, 6, 6));
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let mut rng = Rng::seeded(1);
+        let conv = ConvLayer::random(3, 2, 3, 1, &mut rng);
+        let img = Image::zeros(1, 8, 8);
+        assert!(conv.forward(&img).is_err());
+    }
+
+    #[test]
+    fn conv_output_is_nonnegative_due_to_relu() {
+        let mut rng = Rng::seeded(2);
+        let conv = ConvLayer::random(1, 4, 3, 1, &mut rng);
+        let mut img = Image::zeros(1, 6, 6);
+        for y in 0..6 {
+            for x in 0..6 {
+                img.set(0, y, x, ((y * 7 + x * 3) as f64 % 5.0) - 2.0);
+            }
+        }
+        let out = conv.forward(&img).unwrap();
+        assert!(out.to_flat().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let img = Image::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let out = avg_pool(&img, 2);
+        assert_eq!((out.height(), out.width()), (1, 1));
+        assert!((out.get(0, 0, 0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extractor_is_deterministic_and_frozen() {
+        let fe1 = FeatureExtractor::new(3, 16, 99);
+        let fe2 = FeatureExtractor::new(3, 16, 99);
+        let mut img = Image::zeros(3, 16, 16);
+        img.set(0, 5, 5, 1.0);
+        img.set(2, 10, 3, -0.5);
+        assert_eq!(fe1.features(&img).unwrap(), fe2.features(&img).unwrap());
+    }
+
+    #[test]
+    fn extractor_feature_dim_matches_output() {
+        let fe = FeatureExtractor::new(3, 16, 7);
+        let img = Image::zeros(3, 16, 16);
+        assert_eq!(fe.features(&img).unwrap().len(), fe.feature_dim());
+    }
+
+    #[test]
+    fn extractor_rejects_wrong_size() {
+        let fe = FeatureExtractor::new(3, 16, 7);
+        let img = Image::zeros(3, 20, 20);
+        assert!(fe.features(&img).is_err());
+    }
+}

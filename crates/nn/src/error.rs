@@ -1,0 +1,56 @@
+//! Error type shared by the DNN substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// An input or weight dimension did not match the expected one.
+    DimensionMismatch {
+        /// What was being wired together when the mismatch occurred.
+        context: &'static str,
+        /// The dimension the operation expected.
+        expected: usize,
+        /// The dimension the caller supplied.
+        actual: usize,
+    },
+    /// A network was built with no layers.
+    EmptyNetwork,
+    /// Serialization or deserialization failed.
+    Serialization(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::DimensionMismatch { context, expected, actual } => {
+                write!(f, "dimension mismatch in {context}: expected {expected}, got {actual}")
+            }
+            NnError::EmptyNetwork => write!(f, "network must contain at least one layer"),
+            NnError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NnError::DimensionMismatch { context: "forward", expected: 3, actual: 2 };
+        let s = e.to_string();
+        assert!(s.contains("forward") && s.contains('3') && s.contains('2'));
+        assert!(!NnError::EmptyNetwork.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + std::error::Error>() {}
+        assert_bounds::<NnError>();
+    }
+}

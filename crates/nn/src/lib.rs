@@ -1,0 +1,45 @@
+//! Feed-forward DNN substrate for the `covern` verification stack.
+//!
+//! The DATE 2021 paper verifies a *post-convolution head*: a stack of dense
+//! layers `g_k(x) = act(W_k x + b_k)` ending in a single sigmoid output
+//! `vout ∈ [0, 1]`. This crate provides:
+//!
+//! * [`Network`] — the verified object: a sequence of [`DenseLayer`]s, each
+//!   an affine map followed by an [`Activation`] (this matches the paper's
+//!   `f = g_n ⊗ … ⊗ g_1` decomposition one-to-one);
+//! * [`train`] — plain SGD backpropagation, used both for initial training
+//!   and for the *fine-tuning* runs that generate the SVbTV model sequence;
+//! * [`conv`] — a frozen convolutional feature extractor standing in for the
+//!   paper's CIFAR10-pretrained backbone (forward-only, never verified);
+//! * [`serialize`] — JSON persistence so experiments can snapshot the model
+//!   sequence `f_1 … f_5`.
+//!
+//! # Example
+//!
+//! ```
+//! use covern_nn::{Activation, NetworkBuilder};
+//!
+//! # fn main() -> Result<(), covern_nn::NnError> {
+//! let net = NetworkBuilder::new(2)
+//!     .dense_from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3], Activation::Relu)
+//!     .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+//!     .build()?;
+//! assert_eq!(net.forward(&[1.0, -1.0])?, vec![4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod activation;
+pub mod builder;
+pub mod conv;
+pub mod error;
+pub mod layer;
+pub mod network;
+pub mod serialize;
+pub mod train;
+
+pub use activation::Activation;
+pub use builder::NetworkBuilder;
+pub use error::NnError;
+pub use layer::DenseLayer;
+pub use network::Network;

@@ -1,0 +1,175 @@
+//! JSON persistence for networks — bit-exact.
+//!
+//! The continuous-engineering experiments snapshot every model version
+//! (`f_1 … f_5`) so that verification runs are reproducible. A 1-ULP weight
+//! change can flip a marginal containment proof, so weights and biases are
+//! stored as IEEE-754 bit patterns (`u64`) rather than decimal floats: the
+//! roundtrip is exact by construction, independent of any float-printing
+//! library. (`serde_json` is justified in DESIGN.md — it is already a
+//! transitive dependency of criterion.)
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::DenseLayer;
+use crate::network::Network;
+use covern_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::Path;
+
+/// On-disk document: one layer with bit-exact parameters.
+#[derive(Debug, Serialize, Deserialize)]
+struct LayerDoc {
+    rows: usize,
+    cols: usize,
+    weight_bits: Vec<u64>,
+    bias_bits: Vec<u64>,
+    activation: Activation,
+}
+
+/// On-disk document: a full network.
+#[derive(Debug, Serialize, Deserialize)]
+struct NetworkDoc {
+    format: String,
+    layers: Vec<LayerDoc>,
+}
+
+const FORMAT: &str = "covern-network-v1";
+
+fn layer_to_doc(layer: &DenseLayer) -> LayerDoc {
+    LayerDoc {
+        rows: layer.weights().rows(),
+        cols: layer.weights().cols(),
+        weight_bits: layer.weights().as_slice().iter().map(|f| f.to_bits()).collect(),
+        bias_bits: layer.bias().iter().map(|f| f.to_bits()).collect(),
+        activation: layer.activation(),
+    }
+}
+
+fn layer_from_doc(doc: &LayerDoc) -> Result<DenseLayer, NnError> {
+    if doc.weight_bits.len() != doc.rows * doc.cols {
+        return Err(NnError::Serialization(format!(
+            "layer weight buffer has {} entries, expected {}",
+            doc.weight_bits.len(),
+            doc.rows * doc.cols
+        )));
+    }
+    let weights = Matrix::from_vec(
+        doc.rows,
+        doc.cols,
+        doc.weight_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+    );
+    let bias: Vec<f64> = doc.bias_bits.iter().map(|&b| f64::from_bits(b)).collect();
+    DenseLayer::new(weights, bias, doc.activation)
+}
+
+/// Serialises a network to a JSON string (bit-exact parameters).
+///
+/// # Errors
+///
+/// Returns [`NnError::Serialization`] if encoding fails.
+pub fn to_json(net: &Network) -> Result<String, NnError> {
+    let doc = NetworkDoc {
+        format: FORMAT.to_owned(),
+        layers: net.layers().iter().map(layer_to_doc).collect(),
+    };
+    serde_json::to_string(&doc).map_err(|e| NnError::Serialization(e.to_string()))
+}
+
+/// Deserialises a network from a JSON string, re-validating dimensions.
+///
+/// # Errors
+///
+/// Returns [`NnError::Serialization`] on malformed JSON or an unknown format
+/// tag, and [`NnError::DimensionMismatch`]/[`NnError::EmptyNetwork`] if the
+/// decoded layer stack is inconsistent.
+pub fn from_json(s: &str) -> Result<Network, NnError> {
+    let doc: NetworkDoc = serde_json::from_str(s).map_err(|e| NnError::Serialization(e.to_string()))?;
+    if doc.format != FORMAT {
+        return Err(NnError::Serialization(format!("unknown format tag {:?}", doc.format)));
+    }
+    let layers = doc
+        .layers
+        .iter()
+        .map(layer_from_doc)
+        .collect::<Result<Vec<_>, _>>()?;
+    Network::new(layers)
+}
+
+/// Writes a network to a JSON file.
+///
+/// # Errors
+///
+/// Returns [`NnError::Serialization`] on encoding or I/O failure.
+pub fn save(net: &Network, path: impl AsRef<Path>) -> Result<(), NnError> {
+    let json = to_json(net)?;
+    fs::write(path, json).map_err(|e| NnError::Serialization(e.to_string()))
+}
+
+/// Reads a network from a JSON file.
+///
+/// # Errors
+///
+/// Returns [`NnError::Serialization`] on I/O or decoding failure.
+pub fn load(path: impl AsRef<Path>) -> Result<Network, NnError> {
+    let s = fs::read_to_string(path).map_err(|e| NnError::Serialization(e.to_string()))?;
+    from_json(&s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_tensor::Rng;
+
+    #[test]
+    fn json_roundtrip_is_bit_exact() {
+        let mut rng = Rng::seeded(3);
+        let net = Network::random(&[3, 5, 2], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let json = to_json(&net).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(from_json("{not json"), Err(NnError::Serialization(_))));
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let mut rng = Rng::seeded(3);
+        let net = Network::random(&[2, 2, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let json = to_json(&net).unwrap().replace("covern-network-v1", "other-format");
+        assert!(matches!(from_json(&json), Err(NnError::Serialization(_))));
+    }
+
+    #[test]
+    fn corrupt_weight_buffer_is_rejected() {
+        let json = format!(
+            "{{\"format\":\"{FORMAT}\",\"layers\":[{{\"rows\":2,\"cols\":2,\"weight_bits\":[0],\"bias_bits\":[0,0],\"activation\":\"Relu\"}}]}}"
+        );
+        assert!(matches!(from_json(&json), Err(NnError::Serialization(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut rng = Rng::seeded(4);
+        let net = Network::random(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let dir = std::env::temp_dir().join("covern_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.json");
+        save(&net, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(net, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn forward_agrees_after_roundtrip() {
+        let mut rng = Rng::seeded(5);
+        let net = Network::random(&[4, 6, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let back = from_json(&to_json(&net).unwrap()).unwrap();
+        let x = [0.1, -0.2, 0.3, -0.4];
+        assert_eq!(net.forward(&x).unwrap(), back.forward(&x).unwrap());
+    }
+}

@@ -1,0 +1,28 @@
+//! Dense linear algebra substrate for the `covern` verification stack.
+//!
+//! Every higher layer of the stack — the DNN substrate, the abstract
+//! interpreters, the MILP encoder, the Lipschitz estimators — works on plain
+//! dense `f64` matrices and vectors. The networks verified in the DATE 2021
+//! paper (and in this reproduction) are small post-convolution heads, so a
+//! straightforward row-major dense representation is both sufficient and the
+//! easiest to audit for the floating-point soundness arguments made in
+//! `covern-absint`.
+//!
+//! # Example
+//!
+//! ```
+//! use covern_tensor::Matrix;
+//!
+//! let w = Matrix::from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]]);
+//! let x = vec![1.0, 0.5];
+//! let y = w.matvec(&x);
+//! assert_eq!(y, vec![0.0, -1.5, 0.5]);
+//! ```
+
+pub mod matrix;
+pub mod norms;
+pub mod rng;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use rng::Rng;

@@ -1,0 +1,139 @@
+//! Operator norms of matrices.
+//!
+//! A Lipschitz constant of the affine map `x ↦ Wx + b` under a given vector
+//! norm is the corresponding *operator norm* of `W`; these functions are the
+//! numeric core of [`covern-lipschitz`](https://docs.rs/covern-lipschitz).
+//!
+//! * `‖W‖_∞` — maximum absolute row sum (Lipschitz under `‖·‖_∞`),
+//! * `‖W‖_1` — maximum absolute column sum (Lipschitz under `‖·‖_1`),
+//! * `‖W‖_2` — spectral norm, estimated by power iteration on `WᵀW` with a
+//!   certified upper bound via `sqrt(‖W‖_1 · ‖W‖_∞)`.
+
+use crate::matrix::Matrix;
+use crate::vector;
+
+/// Maximum absolute row sum: the operator norm induced by `‖·‖_∞`.
+pub fn operator_norm_linf(w: &Matrix) -> f64 {
+    (0..w.rows())
+        .map(|i| vector::norm_l1(w.row(i)))
+        .fold(0.0, f64::max)
+}
+
+/// Maximum absolute column sum: the operator norm induced by `‖·‖_1`.
+pub fn operator_norm_l1(w: &Matrix) -> f64 {
+    (0..w.cols())
+        .map(|j| vector::norm_l1(&w.col(j)))
+        .fold(0.0, f64::max)
+}
+
+/// Power-iteration estimate of the spectral norm `‖W‖_2`.
+///
+/// Runs `iters` iterations of power iteration on `WᵀW` starting from a
+/// deterministic seed vector. The returned value converges to the largest
+/// singular value from below; callers needing a *sound upper* bound should
+/// use [`spectral_norm_upper`].
+pub fn spectral_norm_power(w: &Matrix, iters: usize) -> f64 {
+    if w.rows() == 0 || w.cols() == 0 {
+        return 0.0;
+    }
+    // Deterministic start vector biased away from any single axis so that
+    // it is unlikely to be orthogonal to the dominant singular vector.
+    let mut v: Vec<f64> = (0..w.cols())
+        .map(|i| 1.0 + (i as f64 * 0.7919).sin() * 0.5)
+        .collect();
+    vector::normalize_l2(&mut v);
+    let mut sigma = 0.0;
+    for _ in 0..iters.max(1) {
+        let wv = w.matvec(&v);
+        sigma = vector::norm_l2(&wv);
+        if sigma == 0.0 {
+            return 0.0;
+        }
+        let mut next = w.matvec_transposed(&wv);
+        if vector::normalize_l2(&mut next) == 0.0 {
+            return sigma;
+        }
+        v = next;
+    }
+    sigma
+}
+
+/// Sound upper bound on the spectral norm: `sqrt(‖W‖_1 · ‖W‖_∞)`.
+///
+/// This is the classical Hölder interpolation bound; it never underestimates
+/// `‖W‖_2`, making it safe for use inside soundness-critical Lipschitz
+/// certificates.
+pub fn spectral_norm_upper(w: &Matrix) -> f64 {
+    (operator_norm_l1(w) * operator_norm_linf(w)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn norms_of_identity_are_one() {
+        let id = Matrix::identity(4);
+        assert_eq!(operator_norm_linf(&id), 1.0);
+        assert_eq!(operator_norm_l1(&id), 1.0);
+        assert!((spectral_norm_power(&id, 20) - 1.0).abs() < 1e-9);
+        assert!((spectral_norm_upper(&id) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn row_and_col_sums_on_asymmetric_matrix() {
+        let w = Matrix::from_rows(&[&[1.0, -2.0, 3.0], &[0.0, 4.0, 0.0]]);
+        assert_eq!(operator_norm_linf(&w), 6.0); // row 0: 1+2+3
+        assert_eq!(operator_norm_l1(&w), 6.0); // col 1: 2+4
+    }
+
+    #[test]
+    fn spectral_norm_of_diagonal_is_max_entry() {
+        let w = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -7.0]]);
+        let est = spectral_norm_power(&w, 100);
+        assert!((est - 7.0).abs() < 1e-6, "estimate {est}");
+        assert!(spectral_norm_upper(&w) >= 7.0 - 1e-12);
+    }
+
+    #[test]
+    fn spectral_norm_of_rank_one() {
+        // W = u vᵀ with ‖u‖=5, ‖v‖=sqrt(2) has spectral norm 5·sqrt(2).
+        let w = Matrix::from_rows(&[&[3.0, 3.0], &[4.0, 4.0]]);
+        let expected = 5.0 * 2.0_f64.sqrt();
+        assert!((spectral_norm_power(&w, 100) - expected).abs() < 1e-6);
+        assert!(spectral_norm_upper(&w) >= expected - 1e-9);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_norm() {
+        let w = Matrix::zeros(0, 3);
+        assert_eq!(spectral_norm_power(&w, 10), 0.0);
+    }
+
+    fn small_matrix() -> impl Strategy<Value = Matrix> {
+        (1usize..5, 1usize..5).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-5.0f64..5.0, r * c)
+                .prop_map(move |data| Matrix::from_vec(r, c, data))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_power_estimate_below_upper_bound(m in small_matrix()) {
+            let est = spectral_norm_power(&m, 60);
+            let ub = spectral_norm_upper(&m);
+            prop_assert!(est <= ub + 1e-6, "power {est} vs upper {ub}");
+        }
+
+        #[test]
+        fn prop_operator_norm_bounds_matvec(m in small_matrix()) {
+            // ‖Wx‖_inf <= ‖W‖_inf ‖x‖_inf for a concrete x.
+            let x: Vec<f64> = (0..m.cols()).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+            let y = m.matvec(&x);
+            let lhs = crate::vector::norm_linf(&y);
+            let rhs = operator_norm_linf(&m) * crate::vector::norm_linf(&x);
+            prop_assert!(lhs <= rhs + 1e-9);
+        }
+    }
+}

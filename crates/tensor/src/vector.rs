@@ -1,0 +1,150 @@
+//! Free functions on `&[f64]` vectors.
+//!
+//! Vectors throughout the workspace are plain `Vec<f64>` / `&[f64]`; these
+//! helpers provide the handful of numeric kernels (dot products, norms,
+//! distances) that the verifiers and the Lipschitz estimators share.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// `y ← y + alpha * x` in place.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// L1 norm (sum of absolute values).
+pub fn norm_l1(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// Euclidean (L2) norm.
+pub fn norm_l2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// L∞ norm (maximum absolute value, `0.0` for an empty vector).
+pub fn norm_linf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// L2 distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dist_l2(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// L∞ distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dist_linf(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dist length mismatch");
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Normalises `v` to unit L2 norm in place; returns the original norm.
+///
+/// Leaves the all-zero vector untouched and returns `0.0`.
+pub fn normalize_l2(v: &mut [f64]) -> f64 {
+    let n = norm_l2(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_of_orthogonal_is_zero() {
+        assert_eq!(dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn norms_on_simple_vector() {
+        let v = [3.0, -4.0];
+        assert_eq!(norm_l1(&v), 7.0);
+        assert_eq!(norm_l2(&v), 5.0);
+        assert_eq!(norm_linf(&v), 4.0);
+    }
+
+    #[test]
+    fn distances_are_zero_on_equal() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(dist_l2(&v, &v), 0.0);
+        assert_eq!(dist_linf(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn normalize_handles_zero() {
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize_l2(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_norm_ordering(v in proptest::collection::vec(-100.0f64..100.0, 1..20)) {
+            // Standard norm inequalities: ||v||_inf <= ||v||_2 <= ||v||_1.
+            let (l1, l2, linf) = (norm_l1(&v), norm_l2(&v), norm_linf(&v));
+            prop_assert!(linf <= l2 + 1e-9);
+            prop_assert!(l2 <= l1 + 1e-9);
+        }
+
+        #[test]
+        fn prop_triangle_inequality_l2(
+            a in proptest::collection::vec(-50.0f64..50.0, 5),
+            b in proptest::collection::vec(-50.0f64..50.0, 5),
+            c in proptest::collection::vec(-50.0f64..50.0, 5),
+        ) {
+            prop_assert!(dist_l2(&a, &c) <= dist_l2(&a, &b) + dist_l2(&b, &c) + 1e-9);
+        }
+
+        #[test]
+        fn prop_normalized_has_unit_norm(
+            v in proptest::collection::vec(-50.0f64..50.0, 1..10)
+                .prop_filter("nonzero", |v| norm_l2(v) > 1e-6)
+        ) {
+            let mut v = v;
+            normalize_l2(&mut v);
+            prop_assert!((norm_l2(&v) - 1.0).abs() < 1e-9);
+        }
+    }
+}

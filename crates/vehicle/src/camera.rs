@@ -1,0 +1,268 @@
+//! Synthetic forward-facing camera.
+//!
+//! Renders the lane ahead of the vehicle into a small RGB image via a
+//! ground-plane projection: image rows map to forward distance, image
+//! columns to lateral offset (widening with distance for a perspective
+//! feel). Environment [`Conditions`] (brightness, noise, glare) perturb the
+//! rendering; excursions in those conditions are this reproduction's
+//! "black swans" — they shift the conv features and trip the monitor,
+//! triggering the paper's domain-enlargement events.
+
+use crate::control::VehicleState;
+use crate::track::Track;
+use covern_nn::conv::Image;
+use covern_tensor::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Environment conditions for one rendered frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Conditions {
+    /// Global brightness multiplier (nominal 1.0).
+    pub brightness: f64,
+    /// Standard deviation of additive pixel noise (nominal 0.01).
+    pub noise: f64,
+    /// Strength of a lateral glare gradient (nominal 0.0).
+    pub glare: f64,
+}
+
+impl Default for Conditions {
+    fn default() -> Self {
+        Self { brightness: 1.0, noise: 0.01, glare: 0.0 }
+    }
+}
+
+impl Conditions {
+    /// Nominal daytime conditions.
+    pub fn nominal() -> Self {
+        Self::default()
+    }
+
+    /// A harsh out-of-distribution condition (the "black swan"): strong
+    /// glare and raised brightness.
+    pub fn black_swan() -> Self {
+        Self { brightness: 1.6, noise: 0.03, glare: 0.5 }
+    }
+}
+
+/// Ground-projection camera.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Camera {
+    image_size: usize,
+    /// Nearest rendered ground distance (m).
+    d_min: f64,
+    /// Farthest rendered ground distance (m).
+    d_max: f64,
+    /// Half view width at `d_min` (m).
+    w_near: f64,
+    /// Half view width at `d_max` (m).
+    w_far: f64,
+    /// Painted lane-line half thickness (m).
+    line_width: f64,
+}
+
+impl Camera {
+    /// Creates a camera rendering `image_size × image_size` RGB frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image_size < 12` (the conv backbone's minimum).
+    pub fn new(image_size: usize) -> Self {
+        assert!(image_size >= 12, "camera image too small for the backbone");
+        Self {
+            image_size,
+            d_min: 0.2,
+            d_max: 2.5,
+            w_near: 0.45,
+            w_far: 1.2,
+            line_width: 0.04,
+        }
+    }
+
+    /// Image side length in pixels.
+    pub fn image_size(&self) -> usize {
+        self.image_size
+    }
+
+    /// Forward distance (m) for image row `v` (row 0 = far, bottom = near).
+    fn row_to_distance(&self, v: usize) -> f64 {
+        let t = v as f64 / (self.image_size - 1) as f64;
+        // Bottom of the image is closest.
+        self.d_max + (self.d_min - self.d_max) * t
+    }
+
+    /// Half view width at forward distance `d`.
+    fn half_width_at(&self, d: f64) -> f64 {
+        let t = (d - self.d_min) / (self.d_max - self.d_min);
+        self.w_near + (self.w_far - self.w_near) * t.clamp(0.0, 1.0)
+    }
+
+    /// Lateral offset (m, left positive) for column `u` at distance `d`.
+    fn col_to_lateral(&self, u: usize, d: f64) -> f64 {
+        let half = self.half_width_at(d);
+        let t = u as f64 / (self.image_size - 1) as f64;
+        // Column 0 is the left edge.
+        half - 2.0 * half * t
+    }
+
+    /// Projects a vehicle-frame ground point (forward `d`, lateral `y`) to
+    /// the horizontal image coordinate normalised to `[0, 1]`, if visible.
+    pub fn ground_to_u_norm(&self, d: f64, y: f64) -> Option<f64> {
+        if d < self.d_min || d > self.d_max {
+            return None;
+        }
+        let half = self.half_width_at(d);
+        if y.abs() > half {
+            return None;
+        }
+        Some(0.5 - y / (2.0 * half))
+    }
+
+    /// Renders the view from `pose` over `track` under `conditions`.
+    ///
+    /// Channels: 0 = lane-line intensity, 1 = road-surface shading,
+    /// 2 = horizon/sky gradient; all modulated by brightness, glare and
+    /// noise so that condition changes genuinely move the conv features.
+    pub fn render(&self, track: &Track, pose: &VehicleState, conditions: &Conditions, rng: &mut Rng) -> Image {
+        let n = self.image_size;
+        let mut img = Image::zeros(3, n, n);
+        let (sin_t, cos_t) = pose.theta.sin_cos();
+        for v in 0..n {
+            let d = self.row_to_distance(v);
+            for u in 0..n {
+                let y = self.col_to_lateral(u, d);
+                // Vehicle frame → world frame.
+                let wx = pose.x + d * cos_t - y * sin_t;
+                let wy = pose.y + d * sin_t + y * cos_t;
+                let offset = track.lateral_offset((wx, wy));
+                // Lane lines at ±half_width.
+                let dl = (offset - track.half_width()).abs();
+                let dr = (offset + track.half_width()).abs();
+                let line = (-((dl / self.line_width).powi(2))).exp()
+                    + (-((dr / self.line_width).powi(2))).exp();
+                let road = if offset.abs() <= track.half_width() { 0.25 } else { 0.55 };
+                let sky = 0.3 + 0.4 * (v as f64 / (n - 1) as f64);
+                let glare_term =
+                    conditions.glare * (u as f64 / (n - 1) as f64) * (1.0 - v as f64 / (n - 1) as f64);
+                let b = conditions.brightness;
+                let noise = conditions.noise;
+                img.set(0, v, u, (line.min(1.0) * b + glare_term + noise * rng.normal()).clamp(0.0, 2.0));
+                img.set(1, v, u, (road * b + glare_term + noise * rng.normal()).clamp(0.0, 2.0));
+                img.set(2, v, u, (sky * b + glare_term + noise * rng.normal()).clamp(0.0, 2.0));
+            }
+        }
+        img
+    }
+
+    /// Ground-truth waypoint value for `pose`: the normalised horizontal
+    /// image position of the centerline point `lookahead` metres ahead
+    /// (clamped to `[0, 1]` when it projects off-screen).
+    pub fn ground_truth_vout(&self, track: &Track, pose: &VehicleState, lookahead: f64) -> f64 {
+        let s = track.nearest_s((pose.x, pose.y));
+        let target = track.centerline(s + lookahead);
+        // World → vehicle frame.
+        let dx = target.0 - pose.x;
+        let dy = target.1 - pose.y;
+        let (sin_t, cos_t) = pose.theta.sin_cos();
+        let forward = dx * cos_t + dy * sin_t;
+        let lateral = -dx * sin_t + dy * cos_t;
+        match self.ground_to_u_norm(forward.clamp(self.d_min, self.d_max), lateral) {
+            Some(u) => u.clamp(0.0, 1.0),
+            None => {
+                // Off-screen: saturate toward the side it fell off.
+                if lateral > 0.0 {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn centered_pose(track: &Track, s: f64) -> VehicleState {
+        let (x, y) = track.centerline(s);
+        VehicleState { x, y, theta: track.heading(s), v: 1.0 }
+    }
+
+    #[test]
+    fn rendering_is_deterministic_given_seed() {
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let pose = centered_pose(&track, 1.0);
+        let a = cam.render(&track, &pose, &Conditions::nominal(), &mut Rng::seeded(1));
+        let b = cam.render(&track, &pose, &Conditions::nominal(), &mut Rng::seeded(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn brightness_raises_pixel_values() {
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let pose = centered_pose(&track, 1.0);
+        let dim = Conditions { brightness: 0.5, noise: 0.0, glare: 0.0 };
+        let bright = Conditions { brightness: 1.5, noise: 0.0, glare: 0.0 };
+        let a = cam.render(&track, &pose, &dim, &mut Rng::seeded(2));
+        let b = cam.render(&track, &pose, &bright, &mut Rng::seeded(2));
+        let sum_a: f64 = a.to_flat().iter().sum();
+        let sum_b: f64 = b.to_flat().iter().sum();
+        assert!(sum_b > sum_a * 1.5, "brightness had no effect: {sum_a} vs {sum_b}");
+    }
+
+    #[test]
+    fn centered_pose_sees_symmetric_lane() {
+        // On the straight, looking down the middle: ground-truth vout ≈ 0.5.
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let pose = centered_pose(&track, 1.0);
+        let vout = cam.ground_truth_vout(&track, &pose, 0.8);
+        assert!((vout - 0.5).abs() < 0.05, "centered vout {vout}");
+    }
+
+    #[test]
+    fn left_turn_moves_waypoint_left() {
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        // Just before the first (left) turn: the lookahead point curves left,
+        // which maps to u < 0.5 (column 0 is the left edge).
+        let pose = centered_pose(&track, 3.9);
+        let vout = cam.ground_truth_vout(&track, &pose, 1.2);
+        assert!(vout < 0.5, "expected waypoint left of center, got {vout}");
+    }
+
+    #[test]
+    fn offset_pose_shifts_vout() {
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let mut pose = centered_pose(&track, 1.0);
+        pose.y += 0.15; // drifted left of the centerline
+        let vout = cam.ground_truth_vout(&track, &pose, 0.8);
+        // Centerline now lies to the vehicle's right → u > 0.5.
+        assert!(vout > 0.5, "expected waypoint right of center, got {vout}");
+    }
+
+    #[test]
+    fn ground_to_u_norm_bounds() {
+        let cam = Camera::new(16);
+        assert!(cam.ground_to_u_norm(0.1, 0.0).is_none()); // too near
+        assert!(cam.ground_to_u_norm(5.0, 0.0).is_none()); // too far
+        assert!(cam.ground_to_u_norm(1.0, 10.0).is_none()); // off to the side
+        let center = cam.ground_to_u_norm(1.0, 0.0).unwrap();
+        assert!((center - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waypoint_reconstruction_matches_paper_formula() {
+        // The paper reconstructs (x, y) = (int(224·vout), 75).
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let pose = centered_pose(&track, 1.0);
+        let vout = cam.ground_truth_vout(&track, &pose, 0.8);
+        let (x, y) = ((224.0 * vout) as i32, 75);
+        assert!((0..224).contains(&x));
+        assert_eq!(y, 75);
+    }
+}

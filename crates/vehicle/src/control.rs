@@ -1,0 +1,169 @@
+//! Kinematic bicycle model and pure-pursuit steering from the visual
+//! waypoint.
+
+use serde::{Deserialize, Serialize};
+
+/// Vehicle pose and speed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleState {
+    /// World x (m).
+    pub x: f64,
+    /// World y (m).
+    pub y: f64,
+    /// Heading (rad).
+    pub theta: f64,
+    /// Forward speed (m/s).
+    pub v: f64,
+}
+
+impl VehicleState {
+    /// Advances the kinematic bicycle model by `dt` seconds with the given
+    /// steering angle (rad) and wheelbase (m).
+    pub fn step(&self, steering: f64, wheelbase: f64, dt: f64) -> VehicleState {
+        let theta_dot = self.v / wheelbase * steering.tan();
+        let theta = self.theta + theta_dot * dt;
+        VehicleState {
+            x: self.x + self.v * self.theta.cos() * dt,
+            y: self.y + self.v * self.theta.sin() * dt,
+            theta,
+            v: self.v,
+        }
+    }
+}
+
+/// Pure pursuit on the DNN's visual waypoint.
+///
+/// The waypoint value `vout ∈ [0,1]` encodes the lateral position of the
+/// target on the image plane (0 = far left, 1 = far right, 0.5 = straight
+/// ahead). Pure pursuit converts the implied lateral offset at the
+/// lookahead distance into a steering angle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PurePursuit {
+    /// Lookahead distance (m).
+    pub lookahead: f64,
+    /// Half view width at the lookahead distance (m) — converts `vout`
+    /// back to metres; must match the camera geometry used to label data.
+    pub view_half_width: f64,
+    /// Vehicle wheelbase (m).
+    pub wheelbase: f64,
+    /// Maximum steering magnitude (rad).
+    pub max_steering: f64,
+    /// Steering gain. `1.0` is geometric pure pursuit; a trained regressor
+    /// smooths its waypoint toward the image centre, so driving a DNN
+    /// typically needs `> 1` to compensate the resulting under-steer.
+    pub gain: f64,
+}
+
+impl Default for PurePursuit {
+    fn default() -> Self {
+        Self { lookahead: 0.8, view_half_width: 0.6, wheelbase: 0.26, max_steering: 0.5, gain: 1.0 }
+    }
+}
+
+impl PurePursuit {
+    /// A tuning suited to driving a trained DNN head (raised gain; see the
+    /// [`gain`](Self::gain) field).
+    pub fn for_dnn() -> Self {
+        Self { gain: 1.8, ..Self::default() }
+    }
+
+    /// Steering angle for waypoint value `vout`.
+    ///
+    /// `vout = 0.5` steers straight; `vout < 0.5` (target left on the
+    /// image) steers left (positive angle in our convention).
+    pub fn steering(&self, vout: f64) -> f64 {
+        let vout = vout.clamp(0.0, 1.0);
+        // Lateral target offset in metres (left positive).
+        let y = self.gain * (0.5 - vout) * 2.0 * self.view_half_width;
+        // Classic pure pursuit: δ = atan(2 L_wb y / d²).
+        let delta = (2.0 * self.wheelbase * y / (self.lookahead * self.lookahead)).atan();
+        delta.clamp(-self.max_steering, self.max_steering)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::{Camera, Conditions};
+    use crate::track::Track;
+    use covern_tensor::Rng;
+
+    #[test]
+    fn straight_motion_integrates_position() {
+        let s0 = VehicleState { x: 0.0, y: 0.0, theta: 0.0, v: 1.0 };
+        let s1 = s0.step(0.0, 0.26, 0.1);
+        assert!((s1.x - 0.1).abs() < 1e-12);
+        assert!(s1.y.abs() < 1e-12);
+        assert_eq!(s1.theta, 0.0);
+    }
+
+    #[test]
+    fn steering_turns_heading() {
+        let s0 = VehicleState { x: 0.0, y: 0.0, theta: 0.0, v: 1.0 };
+        let s1 = s0.step(0.3, 0.26, 0.1);
+        assert!(s1.theta > 0.0, "positive steering must turn left");
+        let s2 = s0.step(-0.3, 0.26, 0.1);
+        assert!(s2.theta < 0.0);
+    }
+
+    #[test]
+    fn centered_waypoint_steers_straight() {
+        let pp = PurePursuit::default();
+        assert_eq!(pp.steering(0.5), 0.0);
+    }
+
+    #[test]
+    fn waypoint_sides_map_to_steering_signs() {
+        let pp = PurePursuit::default();
+        assert!(pp.steering(0.2) > 0.0, "left waypoint → left steer");
+        assert!(pp.steering(0.8) < 0.0, "right waypoint → right steer");
+        assert!(pp.steering(-3.0) <= pp.max_steering);
+        assert!(pp.steering(9.0) >= -pp.max_steering);
+    }
+
+    #[test]
+    fn ground_truth_controller_follows_track() {
+        // Closed loop with the *ground-truth* waypoint (perfect perception):
+        // the vehicle must complete a lap while staying on the lane.
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let pp = PurePursuit::default();
+        let mut state = VehicleState { x: 0.0, y: 0.02, theta: 0.05, v: 1.0 };
+        let dt = 0.05;
+        let steps = (track.length() / (state.v * dt) * 1.2) as usize;
+        let mut max_offset: f64 = 0.0;
+        for _ in 0..steps {
+            let vout = cam.ground_truth_vout(&track, &state, pp.lookahead);
+            let steer = pp.steering(vout);
+            state = state.step(steer, pp.wheelbase, dt);
+            max_offset = max_offset.max(track.lateral_offset((state.x, state.y)).abs());
+        }
+        assert!(
+            max_offset < track.half_width(),
+            "vehicle left the lane: max offset {max_offset}"
+        );
+        // And it actually made progress around the course.
+        let s_end = track.nearest_s((state.x, state.y));
+        assert!(s_end.is_finite());
+    }
+
+    #[test]
+    fn rendered_frames_follow_vehicle() {
+        // Smoke test tying camera + control: frames at different poses differ.
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let a = cam.render(
+            &track,
+            &VehicleState { x: 0.0, y: 0.0, theta: 0.0, v: 1.0 },
+            &Conditions::nominal(),
+            &mut Rng::seeded(3),
+        );
+        let b = cam.render(
+            &track,
+            &VehicleState { x: 2.0, y: 0.1, theta: 0.2, v: 1.0 },
+            &Conditions::nominal(),
+            &mut Rng::seeded(3),
+        );
+        assert_ne!(a, b);
+    }
+}

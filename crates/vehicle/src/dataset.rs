@@ -1,0 +1,125 @@
+//! Driving-data collection and feature-space labelling.
+
+use crate::camera::{Camera, Conditions};
+use crate::control::VehicleState;
+use crate::track::Track;
+use covern_nn::conv::{FeatureExtractor, Image};
+use covern_nn::train::Dataset;
+use covern_nn::NnError;
+use covern_tensor::Rng;
+
+/// One labelled driving sample.
+#[derive(Debug, Clone)]
+pub struct DrivingSample {
+    /// The rendered camera frame.
+    pub image: Image,
+    /// Ground-truth waypoint value `vout ∈ [0, 1]`.
+    pub label: f64,
+}
+
+/// Collects `n` labelled samples by placing the vehicle at evenly spaced
+/// arc-lengths with lateral/heading jitter (mimicking the paper's
+/// "manually labeled data set collected on the race track").
+pub fn collect(
+    track: &Track,
+    camera: &Camera,
+    n: usize,
+    lookahead: f64,
+    conditions: &Conditions,
+    rng: &mut Rng,
+) -> Vec<DrivingSample> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let s = track.length() * i as f64 / n.max(1) as f64 + rng.uniform(-0.05, 0.05);
+        let (cx, cy) = track.centerline(s);
+        let h = track.heading(s);
+        // Jitter: up to ±60% of the half-width laterally, ±0.15 rad heading.
+        let lat = rng.uniform(-0.6, 0.6) * track.half_width();
+        let dh = rng.uniform(-0.15, 0.15);
+        let pose = VehicleState {
+            x: cx - lat * h.sin(),
+            y: cy + lat * h.cos(),
+            theta: h + dh,
+            v: 1.0,
+        };
+        let image = camera.render(track, &pose, conditions, rng);
+        let label = camera.ground_truth_vout(track, &pose, lookahead);
+        out.push(DrivingSample { image, label });
+    }
+    out
+}
+
+/// Maps samples through the frozen backbone into a feature-space regression
+/// dataset for the dense head.
+///
+/// # Errors
+///
+/// Returns [`NnError::DimensionMismatch`] if the images do not match the
+/// extractor's expected shape.
+pub fn to_feature_dataset(
+    extractor: &FeatureExtractor,
+    samples: &[DrivingSample],
+) -> Result<Dataset, NnError> {
+    let mut d = Dataset::new();
+    for s in samples {
+        let f = extractor.features(&s.image)?;
+        d.push(f, vec![s.label]);
+    }
+    Ok(d)
+}
+
+/// The raw feature vectors of the samples (for monitor fitting).
+///
+/// # Errors
+///
+/// Returns [`NnError::DimensionMismatch`] on image shape mismatch.
+pub fn feature_vectors(
+    extractor: &FeatureExtractor,
+    samples: &[DrivingSample],
+) -> Result<Vec<Vec<f64>>, NnError> {
+    samples.iter().map(|s| extractor.features(&s.image)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_produces_requested_count_with_valid_labels() {
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let mut rng = Rng::seeded(6);
+        let samples = collect(&track, &cam, 25, 0.8, &Conditions::nominal(), &mut rng);
+        assert_eq!(samples.len(), 25);
+        for s in &samples {
+            assert!((0.0..=1.0).contains(&s.label), "label {} out of range", s.label);
+        }
+    }
+
+    #[test]
+    fn labels_have_variation() {
+        // Jittered poses around a curved track must produce varied labels —
+        // a constant-label dataset would make the waypoint task trivial.
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let mut rng = Rng::seeded(7);
+        let samples = collect(&track, &cam, 60, 0.8, &Conditions::nominal(), &mut rng);
+        let mean = samples.iter().map(|s| s.label).sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s.label - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(var > 1e-3, "labels are almost constant (var {var})");
+    }
+
+    #[test]
+    fn feature_dataset_matches_sample_count() {
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let fe = FeatureExtractor::new(3, 16, 9);
+        let mut rng = Rng::seeded(8);
+        let samples = collect(&track, &cam, 10, 0.8, &Conditions::nominal(), &mut rng);
+        let ds = to_feature_dataset(&fe, &samples).unwrap();
+        assert_eq!(ds.len(), 10);
+        let fv = feature_vectors(&fe, &samples).unwrap();
+        assert_eq!(fv.len(), 10);
+        assert_eq!(fv[0].len(), fe.feature_dim());
+    }
+}

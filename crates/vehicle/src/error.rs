@@ -1,0 +1,52 @@
+//! Error type for the vehicle platform.
+
+use covern_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulated platform.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum VehicleError {
+    /// The underlying neural-network substrate reported an error.
+    Nn(NnError),
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for VehicleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VehicleError::Nn(e) => write!(f, "network error: {e}"),
+            VehicleError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for VehicleError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VehicleError::Nn(e) => Some(e),
+            VehicleError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<NnError> for VehicleError {
+    fn from(e: NnError) -> Self {
+        VehicleError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = VehicleError::from(NnError::EmptyNetwork);
+        assert!(!e.to_string().is_empty());
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&VehicleError::InvalidConfig("x".into())).is_none());
+    }
+}

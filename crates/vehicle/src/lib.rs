@@ -1,0 +1,36 @@
+//! Simulated 1/10-scale vehicle platform.
+//!
+//! The DATE 2021 paper's evaluation runs on a physical 1/10-scale car with
+//! a camera and a GPU doing DNN lane following on a race track. None of
+//! that hardware is available to a reproduction, so this crate builds the
+//! closest synthetic equivalent that exercises the same code paths
+//! (DESIGN.md §2 documents the substitution):
+//!
+//! * [`track`] — a closed stadium course with lane borders;
+//! * [`camera`] — a perspective-style renderer producing small RGB images
+//!   of the lane ahead, with controllable environment conditions
+//!   (brightness, noise, glare) whose excursions play the role of the
+//!   paper's "black swans";
+//! * [`perception`] — the frozen conv backbone + trainable dense head that
+//!   maps an image to the visual waypoint value `vout ∈ [0, 1]`
+//!   (reconstructed as `(int(224·vout), 75)` exactly as in the paper);
+//! * [`control`] — a kinematic bicycle model steered by pure pursuit on
+//!   the waypoint;
+//! * [`dataset`] — driving-data collection and feature-space labelling;
+//! * [`experiment`] — the continuous-engineering scenario: train, deploy,
+//!   monitor, record domain enlargements, fine-tune — producing exactly
+//!   the model/domain sequences Table I consumes.
+
+pub mod camera;
+pub mod control;
+pub mod dataset;
+pub mod error;
+pub mod experiment;
+pub mod perception;
+pub mod track;
+
+pub use camera::{Camera, Conditions};
+pub use control::{PurePursuit, VehicleState};
+pub use error::VehicleError;
+pub use perception::Perception;
+pub use track::Track;

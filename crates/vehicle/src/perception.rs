@@ -1,0 +1,158 @@
+//! The perception stack: frozen conv backbone + trainable dense head.
+//!
+//! Mirrors the paper's transfer-learning setup: a pretrained convolutional
+//! feature extractor is frozen ("we fix the weights on the convolution
+//! layer"), and only the dense head after the `Flatten` — the part that is
+//! formally verified — is trained and later fine-tuned.
+
+use crate::error::VehicleError;
+use covern_nn::conv::{FeatureExtractor, Image};
+use covern_nn::{Activation, Network};
+use covern_tensor::Rng;
+
+/// Frozen backbone + dense head producing the waypoint value `vout`.
+#[derive(Debug, Clone)]
+pub struct Perception {
+    extractor: FeatureExtractor,
+    head: Network,
+}
+
+impl Perception {
+    /// Builds a perception stack for `image_size` inputs with the given
+    /// hidden widths for the head (e.g. `&[32, 16, 8]`).
+    ///
+    /// The backbone weights depend only on `backbone_seed`, so two stacks
+    /// with the same seed share the feature space — the property that lets
+    /// all fine-tuned heads "share the same input domain" (paper, §V).
+    pub fn new(image_size: usize, hidden: &[usize], backbone_seed: u64, head_seed: u64) -> Self {
+        let extractor = FeatureExtractor::new(3, image_size, backbone_seed);
+        let mut dims = vec![extractor.feature_dim()];
+        dims.extend_from_slice(hidden);
+        dims.push(1);
+        let mut rng = Rng::seeded(head_seed);
+        let head = Network::random(&dims, Activation::Relu, Activation::Sigmoid, &mut rng);
+        Self { extractor, head }
+    }
+
+    /// Replaces the head (e.g. with a trained or fine-tuned version).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VehicleError::InvalidConfig`] if the head's input dimension
+    /// does not match the backbone's feature dimension.
+    pub fn with_head(mut self, head: Network) -> Result<Self, VehicleError> {
+        if head.input_dim() != self.extractor.feature_dim() {
+            return Err(VehicleError::InvalidConfig(format!(
+                "head expects {} inputs, backbone produces {}",
+                head.input_dim(),
+                self.extractor.feature_dim()
+            )));
+        }
+        self.head = head;
+        Ok(self)
+    }
+
+    /// The frozen feature extractor.
+    pub fn extractor(&self) -> &FeatureExtractor {
+        &self.extractor
+    }
+
+    /// The trainable (and verifiable) dense head.
+    pub fn head(&self) -> &Network {
+        &self.head
+    }
+
+    /// The `Flatten` features for an image — the verified network's input,
+    /// and what the runtime monitor watches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VehicleError::Nn`] if the image shape mismatches.
+    pub fn features(&self, img: &Image) -> Result<Vec<f64>, VehicleError> {
+        Ok(self.extractor.features(img)?)
+    }
+
+    /// The waypoint value `vout ∈ [0, 1]` for an image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VehicleError::Nn`] on shape mismatch.
+    pub fn vout(&self, img: &Image) -> Result<f64, VehicleError> {
+        let f = self.features(img)?;
+        Ok(self.head.forward(&f)?[0])
+    }
+
+    /// The paper's waypoint reconstruction `(int(224·vout), 75)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VehicleError::Nn`] on shape mismatch.
+    pub fn waypoint(&self, img: &Image) -> Result<(i32, i32), VehicleError> {
+        let v = self.vout(img)?;
+        Ok(((224.0 * v) as i32, 75))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::{Camera, Conditions};
+    use crate::control::VehicleState;
+    use crate::track::Track;
+
+    fn any_frame() -> Image {
+        let track = Track::default_course();
+        let cam = Camera::new(16);
+        let pose = VehicleState { x: 1.0, y: 0.0, theta: 0.0, v: 1.0 };
+        cam.render(&track, &pose, &Conditions::nominal(), &mut Rng::seeded(4))
+    }
+
+    #[test]
+    fn vout_is_in_unit_interval() {
+        let p = Perception::new(16, &[16, 8], 42, 43);
+        let v = p.vout(&any_frame()).unwrap();
+        assert!((0.0..=1.0).contains(&v), "sigmoid output {v}");
+    }
+
+    #[test]
+    fn waypoint_matches_paper_formula() {
+        let p = Perception::new(16, &[16, 8], 42, 43);
+        let img = any_frame();
+        let v = p.vout(&img).unwrap();
+        let (x, y) = p.waypoint(&img).unwrap();
+        assert_eq!(x, (224.0 * v) as i32);
+        assert_eq!(y, 75);
+    }
+
+    #[test]
+    fn same_backbone_seed_shares_features() {
+        let a = Perception::new(16, &[8], 7, 1);
+        let b = Perception::new(16, &[8], 7, 2); // different head
+        let img = any_frame();
+        assert_eq!(a.features(&img).unwrap(), b.features(&img).unwrap());
+        assert_ne!(a.vout(&img).unwrap(), b.vout(&img).unwrap());
+    }
+
+    #[test]
+    fn with_head_validates_dimension() {
+        let p = Perception::new(16, &[8], 7, 1);
+        let mut rng = Rng::seeded(5);
+        let bad = Network::random(&[3, 2, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        assert!(p.clone().with_head(bad).is_err());
+        let good = Network::random(
+            &[p.extractor().feature_dim(), 4, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
+        assert!(p.with_head(good).is_ok());
+    }
+
+    #[test]
+    fn head_dims_include_feature_dim_and_scalar_output() {
+        let p = Perception::new(16, &[16, 8], 42, 43);
+        let dims = p.head().dims();
+        assert_eq!(dims[0], p.extractor().feature_dim());
+        assert_eq!(*dims.last().unwrap(), 1);
+    }
+}

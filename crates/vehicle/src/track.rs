@@ -1,0 +1,300 @@
+//! Closed stadium race track.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2D point.
+pub type Point = (f64, f64);
+
+/// A closed "stadium" course: two straights joined by two half-circles,
+/// with a fixed lane width. Dimensions are in metres at 1/10 scale
+/// (straights of a few metres, like the paper's indoor race track).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    straight_len: f64,
+    radius: f64,
+    half_width: f64,
+}
+
+impl Track {
+    /// Creates a stadium track.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is non-positive.
+    pub fn stadium(straight_len: f64, radius: f64, half_width: f64) -> Self {
+        assert!(straight_len > 0.0 && radius > 0.0 && half_width > 0.0, "track dims must be positive");
+        Self { straight_len, radius, half_width }
+    }
+
+    /// A default 1/10-scale course: 4 m straights, 1.5 m turn radius,
+    /// 0.3 m lane half-width.
+    pub fn default_course() -> Self {
+        Self::stadium(4.0, 1.5, 0.3)
+    }
+
+    /// Total centerline length.
+    pub fn length(&self) -> f64 {
+        2.0 * self.straight_len + 2.0 * std::f64::consts::PI * self.radius
+    }
+
+    /// Lane half-width.
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// Centerline point at arc-length `s` (wrapped to track length).
+    ///
+    /// Geometry: straight A from (0,0) to (L,0) heading +x; half-circle
+    /// around (L, r); straight B from (L, 2r) back to (0, 2r) heading −x;
+    /// half-circle around (0, r).
+    pub fn centerline(&self, s: f64) -> Point {
+        let (seg, t) = self.segment(s);
+        let (l, r) = (self.straight_len, self.radius);
+        match seg {
+            0 => (t, 0.0),
+            1 => {
+                let a = t / r - std::f64::consts::FRAC_PI_2;
+                (l + r * a.cos(), r + r * a.sin())
+            }
+            2 => (l - t, 2.0 * r),
+            _ => {
+                let a = std::f64::consts::FRAC_PI_2 + t / r;
+                (r * a.cos(), r + r * a.sin())
+            }
+        }
+    }
+
+    /// Centerline heading (radians) at arc-length `s`.
+    pub fn heading(&self, s: f64) -> f64 {
+        let (seg, t) = self.segment(s);
+        let r = self.radius;
+        match seg {
+            0 => 0.0,
+            1 => t / r,
+            2 => std::f64::consts::PI,
+            _ => std::f64::consts::PI + t / r,
+        }
+    }
+
+    /// Signed curvature at arc-length `s` (left turns positive).
+    pub fn curvature(&self, s: f64) -> f64 {
+        let (seg, _) = self.segment(s);
+        match seg {
+            0 | 2 => 0.0,
+            _ => 1.0 / self.radius,
+        }
+    }
+
+    fn segment(&self, s: f64) -> (usize, f64) {
+        let total = self.length();
+        let mut t = s.rem_euclid(total);
+        let arc = std::f64::consts::PI * self.radius;
+        for (seg, len) in [(0, self.straight_len), (1, arc), (2, self.straight_len), (3, arc)] {
+            if t <= len {
+                return (seg, t);
+            }
+            t -= len;
+        }
+        (3, arc)
+    }
+
+    /// Arc-length of the centerline point nearest to `p` (by dense search
+    /// refined locally).
+    pub fn nearest_s(&self, p: Point) -> f64 {
+        let total = self.length();
+        let coarse = 256;
+        let mut best_s = 0.0;
+        let mut best_d = f64::INFINITY;
+        for i in 0..coarse {
+            let s = total * i as f64 / coarse as f64;
+            let c = self.centerline(s);
+            let d = (c.0 - p.0).powi(2) + (c.1 - p.1).powi(2);
+            if d < best_d {
+                best_d = d;
+                best_s = s;
+            }
+        }
+        // Local ternary-style refinement around the best coarse sample.
+        let step = total / coarse as f64;
+        let mut lo = best_s - step;
+        let mut hi = best_s + step;
+        for _ in 0..40 {
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            let d1 = {
+                let c = self.centerline(m1);
+                (c.0 - p.0).powi(2) + (c.1 - p.1).powi(2)
+            };
+            let d2 = {
+                let c = self.centerline(m2);
+                (c.0 - p.0).powi(2) + (c.1 - p.1).powi(2)
+            };
+            if d1 < d2 {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        (0.5 * (lo + hi)).rem_euclid(total)
+    }
+
+    /// Signed lateral offset of `p` from the centerline (positive = left of
+    /// travel direction).
+    pub fn lateral_offset(&self, p: Point) -> f64 {
+        let s = self.nearest_s(p);
+        let c = self.centerline(s);
+        let h = self.heading(s);
+        // Left normal is (−sin h, cos h).
+        (p.0 - c.0) * (-h.sin()) + (p.1 - c.1) * h.cos()
+    }
+
+    /// Whether `p` lies on the drivable lane.
+    pub fn on_lane(&self, p: Point) -> bool {
+        self.lateral_offset(p).abs() <= self.half_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_matches_geometry() {
+        let t = Track::stadium(4.0, 1.5, 0.3);
+        let expected = 8.0 + 2.0 * std::f64::consts::PI * 1.5;
+        assert!((t.length() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centerline_is_closed() {
+        let t = Track::default_course();
+        let a = t.centerline(0.0);
+        let b = t.centerline(t.length());
+        assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centerline_is_continuous() {
+        let t = Track::default_course();
+        let n = 1000;
+        for i in 0..n {
+            let s0 = t.length() * i as f64 / n as f64;
+            let s1 = s0 + t.length() / n as f64;
+            let a = t.centerline(s0);
+            let b = t.centerline(s1);
+            let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+            let step = t.length() / n as f64;
+            assert!(d < 1.5 * step, "jump at s={s0}: {d} vs step {step}");
+        }
+    }
+
+    #[test]
+    fn heading_is_tangent_to_centerline() {
+        let t = Track::default_course();
+        let eps = 1e-6;
+        for i in 0..50 {
+            let s = t.length() * i as f64 / 50.0 + 0.01;
+            let a = t.centerline(s);
+            let b = t.centerline(s + eps);
+            let tangent = ((b.1 - a.1)).atan2(b.0 - a.0);
+            let h = t.heading(s);
+            let diff = (tangent - h).sin().abs(); // angle distance mod 2π
+            assert!(diff < 1e-4, "heading mismatch at s={s}: {tangent} vs {h}");
+        }
+    }
+
+    #[test]
+    fn nearest_s_recovers_centerline_points() {
+        let t = Track::default_course();
+        for i in 0..40 {
+            let s = t.length() * i as f64 / 40.0;
+            let p = t.centerline(s);
+            let found = t.nearest_s(p);
+            let c = t.centerline(found);
+            let d = ((c.0 - p.0).powi(2) + (c.1 - p.1).powi(2)).sqrt();
+            assert!(d < 1e-5, "nearest_s off at s={s}: recovered distance {d}");
+        }
+    }
+
+    #[test]
+    fn lateral_offset_signs() {
+        let t = Track::default_course();
+        // On the first straight (heading +x), left is +y.
+        let left = (2.0, 0.1);
+        let right = (2.0, -0.1);
+        assert!(t.lateral_offset(left) > 0.0);
+        assert!(t.lateral_offset(right) < 0.0);
+        assert!((t.lateral_offset(left) - 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn on_lane_boundary() {
+        let t = Track::default_course();
+        assert!(t.on_lane((2.0, 0.0)));
+        assert!(t.on_lane((2.0, 0.29)));
+        assert!(!t.on_lane((2.0, 0.5)));
+    }
+
+    #[test]
+    fn curvature_zero_on_straights_positive_on_turns() {
+        let t = Track::stadium(4.0, 1.5, 0.3);
+        assert_eq!(t.curvature(2.0), 0.0); // first straight
+        let arc_start = 4.0 + 0.1;
+        assert!((t.curvature(arc_start) - 1.0 / 1.5).abs() < 1e-12);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn prop_centerline_points_have_zero_offset(s in 0.0f64..30.0) {
+                let t = Track::default_course();
+                let p = t.centerline(s);
+                prop_assert!(t.lateral_offset(p).abs() < 1e-4, "offset {}", t.lateral_offset(p));
+                prop_assert!(t.on_lane(p));
+            }
+
+            #[test]
+            fn prop_wraparound_is_periodic(s in 0.0f64..15.0) {
+                let t = Track::default_course();
+                let a = t.centerline(s);
+                let b = t.centerline(s + t.length());
+                prop_assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
+                prop_assert!((t.heading(s) - t.heading(s + t.length())).sin().abs() < 1e-9);
+            }
+
+            #[test]
+            fn prop_lateral_offset_matches_displacement(
+                s in 0.0f64..15.0,
+                off in -0.29f64..0.29,
+            ) {
+                // A point displaced laterally by `off` reports (close to) `off`;
+                // exact on straights, approximate near curvature transitions.
+                let t = Track::default_course();
+                let (cx, cy) = t.centerline(s);
+                let h = t.heading(s);
+                let p = (cx - off * h.sin(), cy + off * h.cos());
+                let measured = t.lateral_offset(p);
+                prop_assert!(
+                    (measured - off).abs() < 0.08,
+                    "displaced {off}, measured {measured}"
+                );
+                prop_assert!(t.on_lane(p));
+            }
+
+            #[test]
+            fn prop_nearest_s_is_idempotent(s in 0.0f64..15.0) {
+                let t = Track::default_course();
+                let p = t.centerline(s);
+                let s1 = t.nearest_s(p);
+                let p1 = t.centerline(s1);
+                let s2 = t.nearest_s(p1);
+                let p2 = t.centerline(s2);
+                let d = ((p1.0 - p2.0).powi(2) + (p1.1 - p2.1).powi(2)).sqrt();
+                prop_assert!(d < 1e-6, "projection not idempotent: {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Forward + backward reasoning (the paper's future-work direction).
+//!
+//! Compares plain forward bisection refinement against the bidirectional
+//! prover on the Figure 2 network: the backward pass eliminates the
+//! impossible lower violation face outright (ReLU outputs cannot go
+//! negative) and contracts the input region for the upper face, so the
+//! same verdict costs a fraction of the splits.
+//!
+//! Run with: `cargo run --release --example forward_backward`
+
+use covern::absint::backward::{
+    network_backward_contract, prove_containment_bidirectional_with_stats,
+};
+use covern::absint::refine::prove_forward_containment_counting;
+use covern::absint::{BoxDomain, DomainKind};
+use covern::nn::{Activation, NetworkBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = NetworkBuilder::new(2)
+        .dense_from_rows(
+            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+            &[0.0; 3],
+            Activation::Relu,
+        )
+        .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+        .build()?;
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)])?;
+
+    println!("— backward contraction in isolation —");
+    for threshold in [3.0, 6.0, 6.5, 13.0] {
+        let face = BoxDomain::from_bounds(&[(threshold, f64::INFINITY)])?;
+        match network_backward_contract(&net, &din, &face, 3)? {
+            Some(region) => println!(
+                "  inputs that could reach n4 ≥ {threshold:>4}: contracted to {region}"
+            ),
+            None => println!("  inputs that could reach n4 ≥ {threshold:>4}: none (face eliminated)"),
+        }
+    }
+
+    println!("\n— proof-work comparison on φ: n4 ∈ [-0.5, 6.5] (true max 6) —");
+    let dout = BoxDomain::from_bounds(&[(-0.5, 6.5)])?;
+    let (fwd, fwd_splits) =
+        prove_forward_containment_counting(&net, &din, &dout, DomainKind::Symbolic, 100_000)?;
+    println!("  forward-only refinement: {fwd:?} after {fwd_splits} splits");
+    let (bi, stats) = prove_containment_bidirectional_with_stats(
+        &net,
+        &din,
+        &dout,
+        DomainKind::Symbolic,
+        100_000,
+    )?;
+    println!(
+        "  bidirectional:           {bi:?} after {} splits ({}/{} faces eliminated by contraction alone)",
+        stats.splits_used, stats.faces_eliminated, stats.faces_total
+    );
+    Ok(())
+}

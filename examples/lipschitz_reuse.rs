@@ -1,0 +1,80 @@
+//! Proposition 3: Lipschitz-based proof reuse — including the paper's own
+//! worked example.
+//!
+//! The stored output abstraction `Sn` is dilated by `ℓ·κ` (Lipschitz
+//! constant × enlargement distance) and compared against `Dout`; no
+//! network analysis happens at all, so this is the cheapest reuse path —
+//! at the price of applying only to small enlargements.
+//!
+//! Run with: `cargo run --example lipschitz_reuse`
+
+use covern::absint::{BoxDomain, DomainKind};
+use covern::core::artifact::StateAbstractionArtifact;
+use covern::core::prop_domain::{enlargement_kappa, prop3};
+use covern::lipschitz::bound::{LipschitzCertificate, NormKind};
+use covern::lipschitz::{global_lipschitz, local_lipschitz, sampled_lower_bound};
+use covern::nn::{Activation, Network, NetworkBuilder};
+use covern::tensor::Rng;
+
+fn paper_example() -> Result<(), Box<dyn std::error::Error>> {
+    println!("— the paper's Prop 3 example —");
+    // Din = [1,2]², enlarged by 0.01 per side: κ = sqrt(2)·0.01 ≈ 0.0141
+    // (the paper rounds up to 0.02). Sn = [1,8], ℓ = 100, Dout = [-10,10].
+    let din = BoxDomain::from_bounds(&[(1.0, 2.0), (1.0, 2.0)])?;
+    let enlarged = BoxDomain::from_bounds(&[(0.99, 2.01), (0.99, 2.01)])?;
+    let kappa = enlargement_kappa(&enlarged, &din, NormKind::L2);
+    println!("κ (L2) = {kappa:.4} (paper uses 0.02 for simplicity)");
+    let kappa = 0.02;
+    let ell = 100.0;
+    let sn = BoxDomain::from_bounds(&[(1.0, 8.0)])?;
+    let dilated = sn.dilate(ell * kappa);
+    let dout = BoxDomain::from_bounds(&[(-10.0, 10.0)])?;
+    println!("Ŝn = Sn ± ℓκ = {dilated}; Dout = {dout}");
+    println!("Ŝn ⊆ Dout: {} → property holds on Din ∪ Δin\n", dout.contains_box(&dilated));
+    Ok(())
+}
+
+fn estimator_comparison() -> Result<(), Box<dyn std::error::Error>> {
+    println!("— estimator tightness on a trained-size network —");
+    let mut rng = Rng::seeded(7);
+    let net = Network::random(&[4, 16, 8, 1], Activation::Relu, Activation::Identity, &mut rng);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 4])?;
+    for norm in [NormKind::L1, NormKind::L2, NormKind::Linf] {
+        let global = global_lipschitz(&net, norm);
+        let local = local_lipschitz(&net, &din, norm);
+        let sampled = sampled_lower_bound(&net, &din, norm, 500, &mut rng);
+        println!(
+            "  {norm}: global {:>10.3}  local {:>10.3}  sampled lower bound {:>10.3}",
+            global.value, local.value, sampled
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn end_to_end() -> Result<(), Box<dyn std::error::Error>> {
+    println!("— Prop 3 on a verified problem —");
+    let net = NetworkBuilder::new(2)
+        .dense_from_rows(&[&[0.4, 0.3], &[-0.2, 0.5]], &[0.1, 0.0], Activation::Relu)
+        .dense_from_rows(&[&[0.5, -0.5]], &[0.2], Activation::Identity)
+        .build()?;
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)])?;
+    let dout = BoxDomain::from_bounds(&[(-2.0, 2.0)])?;
+    let artifact = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box)?;
+    println!("Sn = {}", artifact.layers().output());
+
+    let ell: LipschitzCertificate = local_lipschitz(&net, &din.dilate(0.2), NormKind::L2);
+    println!("certified local ℓ = {:.4}", ell.value);
+    for grow in [0.01, 0.05, 0.1, 0.2] {
+        let enlarged = din.dilate(grow);
+        let report = prop3(&artifact, &ell, &enlarged, &dout)?;
+        println!("  enlargement +{grow:>4}: {report}");
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    paper_example()?;
+    estimator_comparison()?;
+    end_to_end()
+}

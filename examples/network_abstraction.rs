@@ -1,0 +1,66 @@
+//! Proposition 6: reusing a structural network abstraction across
+//! fine-tuning.
+//!
+//! Builds an Elboher-style over-abstraction `f̂` of a trained network
+//! (classify → split → merge), verifies `f̂` against the safety property
+//! once, and then shows that small fine-tunes of `f` are still *covered*
+//! by the same `f̂` — so the single verification of the smaller network
+//! keeps certifying every new version.
+//!
+//! Run with: `cargo run --release --example network_abstraction`
+
+use covern::absint::{BoxDomain, DomainKind};
+use covern::core::method::LocalMethod;
+use covern::core::pipeline::ContinuousVerifier;
+use covern::core::problem::VerificationProblem;
+use covern::netabs::classify::preprocess;
+use covern::netabs::merge::{apply_plan, AbstractionDirection, MergePlan};
+use covern::nn::{Activation, Network};
+use covern::tensor::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = Rng::seeded(2021);
+    // Kept deliberately small: the Prop-6 cover check runs exact MILP on the
+    // *difference* network of the class-split original and its abstraction,
+    // which multiplies widths.
+    let net = Network::random(&[2, 6, 5, 1], Activation::Relu, Activation::Identity, &mut rng);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2])?;
+    println!("original network: {net} ({} parameters)", net.num_params());
+
+    // Structural abstraction: classify effects, split mixed neurons, merge.
+    let pre = preprocess(&net)?;
+    println!("after class-splitting: {}", pre.network);
+    let plan = MergePlan::greedy(&pre, 3);
+    let abstraction = apply_plan(&pre, &plan, AbstractionDirection::Over)?;
+    println!(
+        "abstraction f̂: {} ({} parameters, {} merge groups)",
+        abstraction,
+        abstraction.num_params(),
+        plan.num_groups()
+    );
+
+    // Safety property generous enough for the over-abstraction.
+    let dout = covern::absint::reach_boxes(&abstraction, &din, DomainKind::Box)?
+        .output()
+        .dilate(1.0);
+    println!("Dout: {dout}");
+
+    let problem = VerificationProblem::new(net.clone(), din.clone(), dout)?;
+    let mut verifier = ContinuousVerifier::new(problem, DomainKind::Box)?;
+    let built = verifier.build_network_abstraction(3, &LocalMethod::default())?;
+    println!("network abstraction built and verified: {built}");
+
+    // Fine-tune repeatedly; each version is re-certified through f̂ alone.
+    let mut current = net;
+    for step in 1..=3 {
+        current = current.perturbed(5e-4, &mut rng);
+        let report = covern::core::prop_model::prop6(
+            &current,
+            verifier.artifacts().network_abstraction()?,
+            &din,
+            &LocalMethod::default(),
+        )?;
+        println!("fine-tune {step}: {report}");
+    }
+    Ok(())
+}

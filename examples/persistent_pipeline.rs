@@ -1,0 +1,71 @@
+//! Continuous engineering across process restarts.
+//!
+//! The paper's loop spans weeks of operation: verify at commissioning,
+//! drive, fine-tune, re-verify. This example shows the artifact-store
+//! path: the original verification's proof artifacts are saved to disk,
+//! a *fresh process* resumes them, and the next continuous-engineering
+//! events are discharged incrementally — without ever re-running the
+//! original verification.
+//!
+//! Run with: `cargo run --release --example persistent_pipeline`
+
+use covern::absint::{BoxDomain, DomainKind};
+use covern::core::method::LocalMethod;
+use covern::core::pipeline::ContinuousVerifier;
+use covern::core::problem::VerificationProblem;
+use covern::nn::{Activation, NetworkBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("covern_persistent_pipeline");
+    std::fs::create_dir_all(&dir)?;
+    let store = dir.join("verifier.json");
+
+    // ------- session 1: commissioning -------
+    {
+        let net = NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+            .build()?;
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)])?;
+        let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)])?;
+        let verifier =
+            ContinuousVerifier::new(VerificationProblem::new(net, din, dout)?, DomainKind::Box)?;
+        println!("session 1 — original verification: {}", verifier.initial_report());
+        verifier.save_to(&store)?;
+        println!("session 1 — artifacts saved to {}", store.display());
+    } // verifier dropped: the process "ends"
+
+    // ------- session 2 (days later): a black swan arrived -------
+    {
+        let mut verifier = ContinuousVerifier::resume_from(&store)?;
+        println!(
+            "\nsession 2 — resumed: proof status {}, Din = {}",
+            verifier.initial_report().outcome,
+            verifier.problem().din()
+        );
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)])?;
+        let report = verifier.on_domain_enlarged(&enlarged, &LocalMethod::default())?;
+        println!("session 2 — enlargement handled: {report}");
+        verifier.save_to(&store)?;
+    }
+
+    // ------- session 3: the model was fine-tuned overnight -------
+    {
+        let mut verifier = ContinuousVerifier::resume_from(&store)?;
+        println!(
+            "\nsession 3 — resumed with advanced domain: Din = {}",
+            verifier.problem().din()
+        );
+        let mut rng = covern::tensor::Rng::seeded(99);
+        let tuned = verifier.problem().network().perturbed(1e-6, &mut rng);
+        let report = verifier.on_model_updated(&tuned, None, &LocalMethod::default())?;
+        println!("session 3 — fine-tune handled: {report}");
+    }
+
+    std::fs::remove_file(&store).ok();
+    Ok(())
+}

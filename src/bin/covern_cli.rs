@@ -1,0 +1,142 @@
+//! `covern-cli` — drive the continuous verifier from scripts.
+//!
+//! A thin command-line front end over the library so that continuous
+//! engineering can be wired into CI/fleet tooling without writing Rust:
+//!
+//! ```text
+//! covern_cli verify  --network f1.json --din din.json --dout dout.json --store state.json
+//! covern_cli enlarge --store state.json --din new_din.json
+//! covern_cli update  --store state.json --network f2.json
+//! covern_cli status  --store state.json
+//! ```
+//!
+//! Networks use the bit-exact `covern-nn` JSON format
+//! (`covern::nn::serialize`); boxes are JSON arrays of `[lo, hi]` pairs.
+//! Exit code 0 = property proved, 2 = unknown/refuted, 1 = usage or I/O
+//! error.
+
+use covern::absint::{BoxDomain, DomainKind};
+use covern::core::artifact::Margin;
+use covern::core::method::LocalMethod;
+use covern::core::pipeline::ContinuousVerifier;
+use covern::core::problem::VerificationProblem;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: covern_cli <verify|enlarge|update|status> [--network F] [--din F] [--dout F] \
+         [--store F] [--margin REL] [--splits N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = a.strip_prefix("--")?;
+        let value = it.next()?;
+        flags.insert(key.to_owned(), value.clone());
+    }
+    Some(flags)
+}
+
+fn load_box(path: &str) -> Result<BoxDomain, String> {
+    let s = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let pairs: Vec<(f64, f64)> =
+        serde_json::from_str(&s).map_err(|e| format!("{path}: not a [[lo,hi],…] array: {e}"))?;
+    BoxDomain::from_bounds(&pairs).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err("missing command".into());
+    };
+    let flags = parse_flags(rest).ok_or("malformed flags")?;
+    let store = flags.get("store").cloned().unwrap_or_else(|| "covern-state.json".into());
+    let splits: usize = flags
+        .get("splits")
+        .map(|s| s.parse().map_err(|_| "--splits must be an integer"))
+        .transpose()?
+        .unwrap_or(64);
+    let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: splits };
+
+    match cmd.as_str() {
+        "verify" => {
+            let network = flags.get("network").ok_or("verify needs --network")?;
+            let din = load_box(flags.get("din").ok_or("verify needs --din")?)?;
+            let dout = load_box(flags.get("dout").ok_or("verify needs --dout")?)?;
+            let net = covern::nn::serialize::load(network).map_err(|e| e.to_string())?;
+            // Margins trade proof tightness for reuse robustness; buffering
+            // is opt-in because a margin can sink a *tight* property (the
+            // buffered boxes must still fit Dout). `--margin 0.05` matches
+            // Margin::standard()'s relative part.
+            let margin = match flags.get("margin") {
+                Some(m) => {
+                    let rel: f64 = m.parse().map_err(|_| "--margin must be a float")?;
+                    Margin { rel, abs: 0.0 }
+                }
+                None => Margin::NONE,
+            };
+            let problem =
+                VerificationProblem::new(net, din, dout).map_err(|e| e.to_string())?;
+            let verifier = ContinuousVerifier::with_margin(problem, DomainKind::Box, margin)
+                .map_err(|e| e.to_string())?;
+            println!("original verification: {}", verifier.initial_report());
+            verifier.save_to(&store).map_err(|e| e.to_string())?;
+            println!("state saved to {store}");
+            Ok(verifier.initial_report().outcome.is_proved())
+        }
+        "enlarge" => {
+            let din = load_box(flags.get("din").ok_or("enlarge needs --din")?)?;
+            let mut verifier =
+                ContinuousVerifier::resume_from(&store).map_err(|e| e.to_string())?;
+            let report = verifier.on_domain_enlarged(&din, &method).map_err(|e| e.to_string())?;
+            println!("{report}");
+            verifier.save_to(&store).map_err(|e| e.to_string())?;
+            Ok(report.outcome.is_proved())
+        }
+        "update" => {
+            let network = flags.get("network").ok_or("update needs --network")?;
+            let net = covern::nn::serialize::load(network).map_err(|e| e.to_string())?;
+            let mut verifier =
+                ContinuousVerifier::resume_from(&store).map_err(|e| e.to_string())?;
+            let new_din = flags.get("din").map(|p| load_box(p)).transpose()?;
+            let report = verifier
+                .on_model_updated(&net, new_din.as_ref(), &method)
+                .map_err(|e| e.to_string())?;
+            println!("{report}");
+            verifier.save_to(&store).map_err(|e| e.to_string())?;
+            Ok(report.outcome.is_proved())
+        }
+        "status" => {
+            let verifier = ContinuousVerifier::resume_from(&store).map_err(|e| e.to_string())?;
+            println!("proof status: {}", verifier.initial_report().outcome);
+            println!("network: {}", verifier.problem().network());
+            println!("Din: {}", verifier.problem().din());
+            println!("Dout: {}", verifier.problem().dout());
+            let a = verifier.artifacts();
+            println!(
+                "artifacts: state={}, lipschitz={}, network abstraction={}",
+                a.state.is_some(),
+                a.lipschitz.is_some(),
+                a.network_abstraction.is_some()
+            );
+            Ok(verifier.initial_report().outcome.is_proved())
+        }
+        _ => Err(format!("unknown command {cmd:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(2),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # covern — Continuous Safety Verification of Neural Networks
+//!
+//! Umbrella crate re-exporting the full `covern` workspace: a Rust
+//! reproduction of *"Continuous Safety Verification of Neural Networks"*
+//! (Cheng & Yan, DATE 2021).
+//!
+//! The paper's question: after a DNN's input domain is enlarged by newly
+//! monitored out-of-distribution data (**SVuDC**) or the DNN itself is
+//! fine-tuned (**SVbTV**), how much of the previous safety proof can be
+//! reused instead of re-verifying from scratch? Six sufficient conditions
+//! (Propositions 1–6) reduce re-verification to small local subproblems.
+//!
+//! ## Crate map
+//!
+//! | Module | Backing crate | Contents |
+//! |--------|---------------|----------|
+//! | [`tensor`] | `covern-tensor` | dense matrices, vector kernels, operator norms, seeded RNG |
+//! | [`nn`] | `covern-nn` | dense networks, activations, SGD training/fine-tuning, frozen conv backbone |
+//! | [`absint`] | `covern-absint` | interval / symbolic-interval / zonotope abstract interpretation, state abstractions `S1..Sn` |
+//! | [`milp`] | `covern-milp` | simplex LP, branch-and-bound MILP, big-M ReLU encodings (the paper's Equation 2) |
+//! | [`lipschitz`] | `covern-lipschitz` | Lipschitz-constant certificates |
+//! | [`netabs`] | `covern-netabs` | structural network abstraction and Prop 6 cover checks |
+//! | [`monitor`] | `covern-monitor` | runtime activation monitoring, Δin recording |
+//! | [`vehicle`] | `covern-vehicle` | simulated 1/10-scale platform (track, camera, control) |
+//! | [`core`] | `covern-core` | SVuDC/SVbTV problems, Propositions 1–6, incremental fixing, pipeline |
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow: verify a network,
+//! keep the proof artifacts, enlarge the domain, and re-verify incrementally
+//! via Proposition 1.
+
+pub use covern_absint as absint;
+pub use covern_core as core;
+pub use covern_lipschitz as lipschitz;
+pub use covern_milp as milp;
+pub use covern_monitor as monitor;
+pub use covern_netabs as netabs;
+pub use covern_nn as nn;
+pub use covern_tensor as tensor;
+pub use covern_vehicle as vehicle;

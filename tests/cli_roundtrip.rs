@@ -1,0 +1,105 @@
+//! End-to-end test of the `covern_cli` binary: verify → enlarge → update
+//! → status on the Figure 2 fixture, exercising the persisted-state path
+//! exactly as a fleet script would.
+
+use covern::absint::BoxDomain;
+use covern::nn::{serialize, Activation, NetworkBuilder};
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_covern_cli"))
+}
+
+#[test]
+fn cli_verify_enlarge_update_status() {
+    let dir = std::env::temp_dir().join("covern_cli_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let net_path = dir.join("f1.json");
+    let tuned_path = dir.join("f2.json");
+    let din_path = dir.join("din.json");
+    let din2_path = dir.join("din2.json");
+    let dout_path = dir.join("dout.json");
+    let store = dir.join("state.json");
+
+    let net = NetworkBuilder::new(2)
+        .dense_from_rows(
+            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+            &[0.0; 3],
+            Activation::Relu,
+        )
+        .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+        .build()
+        .unwrap();
+    serialize::save(&net, &net_path).unwrap();
+    let mut rng = covern::tensor::Rng::seeded(5);
+    serialize::save(&net.perturbed(1e-7, &mut rng), &tuned_path).unwrap();
+    std::fs::write(&din_path, "[[-1.0, 1.0], [-1.0, 1.0]]").unwrap();
+    std::fs::write(&din2_path, "[[-1.0, 1.1], [-1.0, 1.1]]").unwrap();
+    std::fs::write(&dout_path, "[[-0.5, 12.0]]").unwrap();
+    let _ = BoxDomain::from_bounds(&[(-1.0, 1.0)]); // keep the import honest
+
+    // verify (margin 0 so the tight Fig-2 property is provable as stored)
+    let out = cli()
+        .args([
+            "verify",
+            "--network",
+            net_path.to_str().unwrap(),
+            "--din",
+            din_path.to_str().unwrap(),
+            "--dout",
+            dout_path.to_str().unwrap(),
+            "--store",
+            store.to_str().unwrap(),
+            "--margin",
+            "0.0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "verify failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // enlarge (needs the exact method's slack: splits budget)
+    let out = cli()
+        .args([
+            "enlarge",
+            "--store",
+            store.to_str().unwrap(),
+            "--din",
+            din2_path.to_str().unwrap(),
+            "--splits",
+            "4000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "enlarge failed: {}", String::from_utf8_lossy(&out.stdout));
+
+    // update with a minutely-tuned model
+    let out = cli()
+        .args([
+            "update",
+            "--store",
+            store.to_str().unwrap(),
+            "--network",
+            tuned_path.to_str().unwrap(),
+            "--splits",
+            "4000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "update failed: {}", String::from_utf8_lossy(&out.stdout));
+
+    // status reflects a proved, advanced state
+    let out = cli()
+        .args(["status", "--store", store.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("proof status: proved"), "status said: {stdout}");
+    assert!(stdout.contains("1.1"), "domain did not advance: {stdout}");
+
+    // garbage usage exits with failure
+    let out = cli().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

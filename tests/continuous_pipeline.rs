@@ -1,0 +1,146 @@
+//! Cross-crate integration: the continuous-engineering loop over many
+//! events, mixing SVuDC and SVbTV.
+
+use covern::absint::{reach_boxes, BoxDomain, DomainKind};
+use covern::core::artifact::Margin;
+use covern::core::method::LocalMethod;
+use covern::core::pipeline::ContinuousVerifier;
+use covern::core::problem::VerificationProblem;
+use covern::core::report::{Strategy, VerifyOutcome};
+use covern::nn::{Activation, Network};
+use covern::tensor::Rng;
+
+fn trained_like(seed: u64, dims: &[usize]) -> Network {
+    let mut rng = Rng::seeded(seed);
+    Network::random(dims, Activation::Relu, Activation::Identity, &mut rng)
+}
+
+fn verifier_for(net: &Network, din: &BoxDomain, dout_slack: f64) -> ContinuousVerifier {
+    let dout = reach_boxes(net, din, DomainKind::Box).unwrap().output().dilate(dout_slack);
+    let problem = VerificationProblem::new(net.clone(), din.clone(), dout).unwrap();
+    ContinuousVerifier::with_margin(problem, DomainKind::Box, Margin::standard()).unwrap()
+}
+
+#[test]
+fn interleaved_enlargements_and_fine_tunes() {
+    let net = trained_like(11, &[4, 10, 8, 1]);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 4]).unwrap();
+    let mut v = verifier_for(&net, &din, 3.0);
+    assert!(v.initial_report().outcome.is_proved());
+    let method = LocalMethod::default();
+
+    let mut rng = Rng::seeded(12);
+    let mut current = net;
+    // Six events alternating tiny enlargements and tiny fine-tunes.
+    for step in 0..6 {
+        if step % 2 == 0 {
+            let enlarged = v.problem().din().dilate(1e-4);
+            let report = v.on_domain_enlarged(&enlarged, &method).unwrap();
+            assert!(
+                report.outcome.is_proved(),
+                "enlargement step {step} failed: {report}"
+            );
+        } else {
+            current = current.perturbed(5e-5, &mut rng);
+            let report = v.on_model_updated(&current, None, &method).unwrap();
+            assert!(report.outcome.is_proved(), "model step {step} failed: {report}");
+            assert!(
+                matches!(report.strategy, Strategy::Prop4 | Strategy::Fixing),
+                "model step {step} escalated to {}",
+                report.strategy
+            );
+        }
+    }
+    assert_eq!(v.history().len(), 6);
+}
+
+#[test]
+fn incremental_is_cheaper_than_full_on_average() {
+    // The paper's headline: incremental verification costs a fraction of
+    // the original. Wall-clock assertions are flaky; compare aggregates
+    // with a generous factor instead.
+    let net = trained_like(21, &[6, 16, 12, 1]);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 6]).unwrap();
+    let mut v = verifier_for(&net, &din, 3.0);
+    let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 16 };
+
+    let mut incremental = std::time::Duration::ZERO;
+    let mut full = std::time::Duration::ZERO;
+    for _ in 0..5 {
+        let enlarged = v.problem().din().dilate(1e-5);
+        full += v.measure_full_baseline(Some(&enlarged), None).unwrap().wall;
+        let report = v.on_domain_enlarged(&enlarged, &method).unwrap();
+        assert!(report.outcome.is_proved());
+        incremental += report.wall;
+    }
+    // Only assert a sane relationship, not a specific ratio.
+    assert!(
+        incremental < full * 20,
+        "incremental {incremental:?} absurdly slower than full {full:?}"
+    );
+}
+
+#[test]
+fn refuted_property_is_never_papered_over() {
+    // An update that genuinely breaks the property must not come back
+    // Proved via any reuse path.
+    let net = trained_like(31, &[3, 8, 1]);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+    let mut v = verifier_for(&net, &din, 0.2);
+    let mut broken = net.clone();
+    let last = broken.num_layers() - 1;
+    broken.layers_mut()[last].bias_mut()[0] += 50.0;
+    let report = v.on_model_updated(&broken, None, &LocalMethod::default()).unwrap();
+    assert!(!report.outcome.is_proved(), "broken model was certified: {report}");
+}
+
+#[test]
+fn proved_claims_hold_on_samples() {
+    // Soundness spot-check across the whole stack: every Proved event's
+    // final state is validated by concrete sampling.
+    let net = trained_like(41, &[4, 12, 6, 1]);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 4]).unwrap();
+    let mut v = verifier_for(&net, &din, 3.0);
+    let method = LocalMethod::default();
+    let mut rng = Rng::seeded(42);
+
+    let mut current = net;
+    for _ in 0..3 {
+        current = current.perturbed(5e-5, &mut rng);
+        let enlarged = v.problem().din().dilate(1e-4);
+        let report = v.on_model_updated(&current, Some(&enlarged), &method).unwrap();
+        if report.outcome != VerifyOutcome::Proved {
+            continue;
+        }
+        let dout = v.problem().dout().dilate(1e-6);
+        for _ in 0..200 {
+            let x: Vec<f64> = v
+                .problem()
+                .din()
+                .intervals()
+                .iter()
+                .map(|iv| rng.uniform(iv.lo(), iv.hi()))
+                .collect();
+            let y = current.forward(&x).unwrap();
+            assert!(dout.contains(&y), "proved property violated at sample");
+        }
+    }
+}
+
+#[test]
+fn fallback_to_full_reverification_recovers() {
+    // A change too large for every reuse path must still be verified by
+    // the full fallback (the property itself remains true thanks to the
+    // huge Dout slack).
+    let net = trained_like(51, &[3, 8, 6, 1]);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+    let dout = reach_boxes(&net, &din, DomainKind::Box).unwrap().output().dilate(500.0);
+    let problem = VerificationProblem::new(net.clone(), din, dout).unwrap();
+    let mut v = ContinuousVerifier::with_margin(problem, DomainKind::Box, Margin::standard()).unwrap();
+
+    let mut rng = Rng::seeded(52);
+    let mangled = net.perturbed(0.5, &mut rng); // far beyond margin slack
+    let report = v.on_model_updated(&mangled, None, &LocalMethod::default()).unwrap();
+    assert!(report.outcome.is_proved(), "{report}");
+    assert_eq!(report.strategy, Strategy::Full);
+}

@@ -1,0 +1,131 @@
+//! The concrete numbers printed in the paper, regenerated exactly.
+//!
+//! * Figure 2: box bounds `n4 ∈ [0, 12]` on `[-1,1]²` and `[0, 12.4]` on
+//!   the enlarged `[-1,1.1]²`; the exact (Equation 2, big-M MILP) maximum
+//!   `6.2 < 12` on the enlarged domain and `6.0` on the original.
+//! * Proposition 3's worked example: `Sn = [1,8]`, `ℓ = 100`, `κ = 0.02`
+//!   → `Ŝn = [-1, 10] ⊆ [-10, 10]`.
+//! * Section V's waypoint reconstruction `(int(224·vout), 75)`.
+
+use covern::absint::{reach_boxes, BoxDomain, DomainKind};
+use covern::core::method::LocalMethod;
+use covern::core::pipeline::ContinuousVerifier;
+use covern::core::problem::VerificationProblem;
+use covern::core::report::Strategy;
+use covern::milp::query::{max_output_neuron, min_output_neuron};
+use covern::nn::{Activation, Network, NetworkBuilder};
+
+fn fig2_net() -> Network {
+    NetworkBuilder::new(2)
+        .dense_from_rows(
+            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+            &[0.0; 3],
+            Activation::Relu,
+        )
+        .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
+        .build()
+        .expect("fig2 network")
+}
+
+#[test]
+fn fig2_black_interval_n4_is_0_to_12() {
+    let net = fig2_net();
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+    let abs = reach_boxes(&net, &din, DomainKind::Box).unwrap();
+    let n4 = abs.output().interval(0);
+    assert!(n4.lo().abs() < 1e-6, "n4 lo {}", n4.lo());
+    assert!((n4.hi() - 12.0).abs() < 1e-6, "n4 hi {}", n4.hi());
+}
+
+#[test]
+fn fig2_red_interval_n4_is_0_to_12_4() {
+    let net = fig2_net();
+    let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+    let abs = reach_boxes(&net, &enlarged, DomainKind::Box).unwrap();
+    let n4 = abs.output().interval(0);
+    assert!((n4.hi() - 12.4).abs() < 1e-6, "n4 hi {}", n4.hi());
+}
+
+#[test]
+fn fig2_intermediate_intervals_match() {
+    // n1, n2 ∈ [0, 3] → [0, 3.1]; n3 ∈ [0, 2] → [0, 2.1].
+    let net = fig2_net();
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+    let abs = reach_boxes(&net, &din, DomainKind::Box).unwrap();
+    let s1 = abs.layer_box(1).unwrap();
+    assert!((s1.interval(0).hi() - 3.0).abs() < 1e-6);
+    assert!((s1.interval(1).hi() - 3.0).abs() < 1e-6);
+    assert!((s1.interval(2).hi() - 2.0).abs() < 1e-6);
+
+    let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+    let abs = reach_boxes(&net, &enlarged, DomainKind::Box).unwrap();
+    let s1 = abs.layer_box(1).unwrap();
+    assert!((s1.interval(0).hi() - 3.1).abs() < 1e-6);
+    assert!((s1.interval(1).hi() - 3.1).abs() < 1e-6);
+    assert!((s1.interval(2).hi() - 2.1).abs() < 1e-6);
+}
+
+#[test]
+fn fig2_equation2_exact_maximum_is_6_2() {
+    // "In this example, exact approaches indicate that the maximum possible
+    // value for n4 equals 6.2. As 6.2 < 12, the safety property also holds
+    // in the enlarged domain."
+    let net = fig2_net();
+    let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+    let max = max_output_neuron(&net, &enlarged, 0).unwrap();
+    assert!((max - 6.2).abs() < 1e-6, "exact max {max}");
+    assert!(max < 12.0);
+    let min = min_output_neuron(&net, &enlarged, 0).unwrap();
+    assert!(min.abs() < 1e-9);
+}
+
+#[test]
+fn fig2_prop1_walkthrough_via_pipeline() {
+    let net = fig2_net();
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+    let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap();
+    let problem = VerificationProblem::new(net, din, dout).unwrap();
+    let mut verifier = ContinuousVerifier::new(problem, DomainKind::Box).unwrap();
+    assert!(verifier.initial_report().outcome.is_proved());
+
+    let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+    let report = verifier
+        .on_domain_enlarged(&enlarged, &LocalMethod::default())
+        .unwrap();
+    assert!(report.outcome.is_proved());
+    assert_eq!(report.strategy, Strategy::Prop1);
+}
+
+#[test]
+fn prop3_worked_example_arithmetic() {
+    // Sn = [1, 8], ℓκ = 2 → Ŝn = [-1, 10] ⊆ [-10, 10].
+    let sn = BoxDomain::from_bounds(&[(1.0, 8.0)]).unwrap();
+    let dilated = sn.dilate(100.0 * 0.02);
+    assert!((dilated.interval(0).lo() + 1.0).abs() < 1e-12);
+    assert!((dilated.interval(0).hi() - 10.0).abs() < 1e-12);
+    let dout = BoxDomain::from_bounds(&[(-10.0, 10.0)]).unwrap();
+    assert!(dout.contains_box(&dilated));
+}
+
+#[test]
+fn prop3_kappa_of_paper_enlargement() {
+    // Din = [1,2]², Δin from [0.99, 2.01]²: smallest κ is sqrt(2·0.01²).
+    let din = BoxDomain::from_bounds(&[(1.0, 2.0), (1.0, 2.0)]).unwrap();
+    let enlarged = BoxDomain::from_bounds(&[(0.99, 2.01), (0.99, 2.01)]).unwrap();
+    let kappa = covern::core::prop_domain::enlargement_kappa(
+        &enlarged,
+        &din,
+        covern::lipschitz::NormKind::L2,
+    );
+    assert!((kappa - (2.0f64 * 0.01 * 0.01).sqrt()).abs() < 1e-12);
+}
+
+#[test]
+fn waypoint_formula_from_section_v() {
+    // (x, y) := (int(224·vout), 75) with vout ∈ [0, 1] ⇒ x ∈ [0, 224].
+    for vout in [0.0, 0.25, 0.5, 0.999] {
+        let (x, y) = ((224.0 * vout) as i32, 75);
+        assert!((0..=224).contains(&x));
+        assert_eq!(y, 75);
+    }
+}

@@ -1,0 +1,124 @@
+//! Platform-level integration: the simulated vehicle feeds the verifier.
+
+use covern::absint::DomainKind;
+use covern::core::artifact::{Margin, StateAbstractionArtifact};
+use covern::core::method::LocalMethod;
+use covern::core::pipeline::ContinuousVerifier;
+use covern::core::problem::VerificationProblem;
+use covern::vehicle::camera::Conditions;
+use covern::vehicle::experiment::{Scenario, ScenarioConfig};
+
+fn small_scenario() -> Scenario {
+    Scenario::build(ScenarioConfig {
+        train_samples: 50,
+        train_epochs: 10,
+        fine_tune_count: 2,
+        hidden: vec![12, 6],
+        ..ScenarioConfig::default()
+    })
+    .expect("scenario builds")
+}
+
+/// The platform property: the head's buffered output envelope over Din,
+/// padded — the waypoint prediction stays in its commissioned range.
+fn envelope_dout(
+    scenario: &Scenario,
+    head: &covern::nn::Network,
+    margin: Margin,
+) -> covern::absint::BoxDomain {
+    let free = covern::absint::BoxDomain::from_bounds(&[(f64::NEG_INFINITY, f64::INFINITY)])
+        .expect("free target");
+    let envelope =
+        StateAbstractionArtifact::build_with_margin(head, scenario.din(), &free, DomainKind::Box, margin)
+            .expect("envelope builds");
+    envelope.layers().output().dilate(0.05)
+}
+
+#[test]
+fn monitored_enlargements_verify_incrementally() {
+    let scenario = small_scenario();
+    let head = scenario.perception().head().clone();
+    let margin = Margin::standard();
+    let dout = envelope_dout(&scenario, &head, margin);
+    let problem = VerificationProblem::new(head, scenario.din().clone(), dout).unwrap();
+    let mut verifier = ContinuousVerifier::with_margin(problem, DomainKind::Box, margin).unwrap();
+    assert!(verifier.initial_report().outcome.is_proved(), "original proof failed");
+
+    let events = scenario
+        .drive_and_monitor(&Scenario::standard_schedule(), 8)
+        .unwrap();
+    assert!(!events.is_empty(), "the schedule must trip the monitor");
+
+    let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 16 };
+    let mut proved = 0usize;
+    for ev in &events {
+        let report = verifier.on_domain_enlarged(&ev.after, &method).unwrap();
+        if report.outcome.is_proved() {
+            proved += 1;
+        }
+    }
+    // The enlargements are modest feature excursions; the verifier must
+    // handle every event (proved via reuse or the full fallback).
+    assert_eq!(proved, events.len(), "some events were left unresolved");
+}
+
+#[test]
+fn fine_tuned_heads_verify_incrementally() {
+    let scenario = small_scenario();
+    let models = scenario.fine_tune_sequence().unwrap();
+    let margin = Margin::standard();
+    let dout = envelope_dout(&scenario, &models[0], margin);
+    let problem =
+        VerificationProblem::new(models[0].clone(), scenario.din().clone(), dout).unwrap();
+    let mut verifier = ContinuousVerifier::with_margin(problem, DomainKind::Box, margin).unwrap();
+    assert!(verifier.initial_report().outcome.is_proved());
+
+    let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 16 };
+    for (i, tuned) in models.iter().enumerate().skip(1) {
+        let report = verifier.on_model_updated(tuned, None, &method).unwrap();
+        assert!(report.outcome.is_proved(), "version {} unresolved: {report}", i + 1);
+    }
+}
+
+#[test]
+fn perception_vout_behaviour_is_sane_after_training() {
+    // The trained head must respond to lane position: frames looking
+    // left-of-lane vs right-of-lane should give different vout on average.
+    // Uses the full-quality training config (the small config underfits).
+    let scenario = Scenario::build(ScenarioConfig::default()).expect("scenario builds");
+    let track = scenario.track().clone();
+    let cam = scenario.camera().clone();
+    let mut rng = covern::tensor::Rng::seeded(77);
+    let mut left_sum = 0.0;
+    let mut right_sum = 0.0;
+    let n = 10;
+    for i in 0..n {
+        let s = track.length() * i as f64 / n as f64;
+        let (x, y) = track.centerline(s);
+        let h = track.heading(s);
+        let mk = |dy: f64| covern::vehicle::control::VehicleState {
+            x: x - dy * h.sin(),
+            y: y + dy * h.cos(),
+            theta: h,
+            v: 1.0,
+        };
+        let img_l = cam.render(&track, &mk(0.15), &Conditions::nominal(), &mut rng);
+        let img_r = cam.render(&track, &mk(-0.15), &Conditions::nominal(), &mut rng);
+        left_sum += scenario.perception().vout(&img_l).unwrap();
+        right_sum += scenario.perception().vout(&img_r).unwrap();
+    }
+    // Drifted left → centerline appears right of center → vout larger.
+    assert!(
+        left_sum > right_sum,
+        "trained head does not separate lane sides: left {left_sum:.3} vs right {right_sum:.3}"
+    );
+}
+
+#[test]
+fn monitor_bounds_cover_training_features() {
+    let scenario = small_scenario();
+    // Re-render a handful of nominal frames and confirm the monitor (which
+    // includes buffers) accepts them.
+    let events = scenario.drive_and_monitor(&[Conditions::nominal()], 20).unwrap();
+    assert!(events.len() <= 4, "nominal driving tripped the monitor {} times", events.len());
+}

@@ -1,0 +1,138 @@
+//! Property-based soundness tests spanning the whole stack.
+//!
+//! The single invariant everything hangs on: **whenever any component says
+//! `Proved`, no concrete execution may contradict it.** These tests
+//! generate random networks, domains and perturbations, and fire samples
+//! at every positive verdict.
+
+use covern::absint::{reach_boxes, BoxDomain, DomainKind};
+use covern::core::artifact::{Margin, StateAbstractionArtifact};
+use covern::core::method::LocalMethod;
+use covern::core::prop_domain::{prop1, prop3};
+use covern::core::prop_model::prop4;
+use covern::lipschitz::{global_lipschitz, NormKind};
+use covern::nn::{Activation, Network};
+use covern::tensor::Rng;
+use proptest::prelude::*;
+
+fn random_net(seed: u64, dims: &[usize]) -> Network {
+    let mut rng = Rng::seeded(seed);
+    Network::random(dims, Activation::Relu, Activation::Identity, &mut rng)
+}
+
+fn sample_in(b: &BoxDomain, rng: &mut Rng) -> Vec<f64> {
+    b.intervals()
+        .iter()
+        .map(|iv| {
+            if iv.width() > 0.0 {
+                rng.uniform(iv.lo(), iv.hi())
+            } else {
+                iv.lo()
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn prop1_proved_implies_samples_safe(seed in 0u64..500, grow in 0.0f64..0.2) {
+        let net = random_net(seed, &[3, 6, 4, 1]);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let dout = reach_boxes(&net, &din, DomainKind::Box).unwrap().output().dilate(1.0);
+        let artifact = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box).unwrap();
+        prop_assume!(artifact.proof_established());
+        let enlarged = din.dilate(grow);
+        let report = prop1(&net, &artifact, &enlarged,
+            &LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 64 }).unwrap();
+        if report.outcome.is_proved() {
+            let mut rng = Rng::seeded(seed + 9999);
+            let padded = dout.dilate(1e-6);
+            for _ in 0..100 {
+                let x = sample_in(&enlarged, &mut rng);
+                let y = net.forward(&x).unwrap();
+                prop_assert!(padded.contains(&y), "prop1 proof contradicted at {x:?} -> {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn prop3_proved_implies_samples_safe(seed in 0u64..500, grow in 0.0f64..0.1) {
+        let net = random_net(seed.wrapping_add(1000), &[2, 5, 1]);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let dout = reach_boxes(&net, &din, DomainKind::Box).unwrap().output().dilate(2.0);
+        let artifact = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Box).unwrap();
+        prop_assume!(artifact.proof_established());
+        let ell = global_lipschitz(&net, NormKind::L2);
+        let enlarged = din.dilate(grow);
+        let report = prop3(&artifact, &ell, &enlarged, &dout).unwrap();
+        if report.outcome.is_proved() {
+            let mut rng = Rng::seeded(seed + 555);
+            let padded = dout.dilate(1e-6);
+            for _ in 0..100 {
+                let x = sample_in(&enlarged, &mut rng);
+                let y = net.forward(&x).unwrap();
+                prop_assert!(padded.contains(&y), "prop3 proof contradicted");
+            }
+        }
+    }
+
+    #[test]
+    fn prop4_proved_implies_samples_safe(seed in 0u64..500, eps in 0.0f64..1e-3) {
+        let net = random_net(seed.wrapping_add(2000), &[3, 8, 5, 1]);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let dout = reach_boxes(&net, &din, DomainKind::Box).unwrap().output().dilate(2.0);
+        let artifact = StateAbstractionArtifact::build_with_margin(
+            &net, &din, &dout, DomainKind::Box, Margin::standard()).unwrap();
+        prop_assume!(artifact.proof_established());
+        let mut rng = Rng::seeded(seed + 777);
+        let tuned = net.perturbed(eps, &mut rng);
+        let report = prop4(&tuned, &artifact, &din,
+            &LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 8 }, 2).unwrap();
+        if report.outcome.is_proved() {
+            let padded = dout.dilate(1e-6);
+            for _ in 0..100 {
+                let x = sample_in(&din, &mut rng);
+                let y = tuned.forward(&x).unwrap();
+                prop_assert!(padded.contains(&y), "prop4 proof contradicted");
+            }
+        }
+    }
+
+    #[test]
+    fn milp_exact_bounds_bracket_samples(seed in 0u64..500) {
+        let net = random_net(seed.wrapping_add(3000), &[2, 5, 1]);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let max = covern::milp::query::max_output_neuron(&net, &din, 0).unwrap();
+        let min = covern::milp::query::min_output_neuron(&net, &din, 0).unwrap();
+        let mut rng = Rng::seeded(seed + 31);
+        for _ in 0..100 {
+            let x = sample_in(&din, &mut rng);
+            let y = net.forward(&x).unwrap()[0];
+            prop_assert!(y <= max + 1e-6 && y >= min - 1e-6,
+                "sample {y} escapes exact bounds [{min}, {max}]");
+        }
+    }
+
+    #[test]
+    fn artifact_boxes_contain_all_traces(seed in 0u64..500, margin_rel in 0.0f64..0.1) {
+        let net = random_net(seed.wrapping_add(4000), &[3, 6, 4, 1]);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(f64::NEG_INFINITY, f64::INFINITY)]).unwrap();
+        let artifact = StateAbstractionArtifact::build_with_margin(
+            &net, &din, &dout, DomainKind::Box,
+            Margin { rel: margin_rel, abs: 0.0 }).unwrap();
+        let mut rng = Rng::seeded(seed + 13);
+        for _ in 0..50 {
+            let x = sample_in(&din, &mut rng);
+            let trace = net.forward_trace(&x).unwrap();
+            for (k, vals) in trace.iter().enumerate() {
+                prop_assert!(
+                    artifact.layers().layer_box(k + 1).unwrap().dilate(1e-9).contains(vals),
+                    "trace escapes stored S{} (margin {margin_rel})", k + 1
+                );
+            }
+        }
+    }
+}
