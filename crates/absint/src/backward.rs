@@ -102,7 +102,7 @@ pub fn affine_contract(
     let mut x: Vec<Interval> = x_prior.intervals().to_vec();
     for _ in 0..sweeps.max(1) {
         let mut changed = false;
-        for i in 0..layer.out_dim() {
+        for (i, zt) in z_target.iter().enumerate() {
             // Forward evaluation of row i over the current box.
             let row = w.row(i);
             let mut total = Interval::point(layer.bias()[i]);
@@ -110,7 +110,7 @@ pub fn affine_contract(
                 total = total.add(&xj.scale(row[j]));
             }
             // The row value must also lie in the target.
-            let feasible = total.intersect(&z_target[i])?;
+            let feasible = total.intersect(zt)?;
             // Backward: re-solve for each variable with nonzero coefficient:
             // w_j x_j ∈ feasible − (total − w_j x_j).
             for (j, _) in row.iter().enumerate() {
@@ -293,8 +293,13 @@ pub fn prove_containment_bidirectional_with_stats(
                 });
             }
             let face_target = BoxDomain::new(face_target);
-            let (outcome, splits) =
-                prove_forward_containment_counting(net, &region, &face_target, domain, max_splits_per_face)?;
+            let (outcome, splits) = prove_forward_containment_counting(
+                net,
+                &region,
+                &face_target,
+                domain,
+                max_splits_per_face,
+            )?;
             stats.splits_used += splits;
             match outcome {
                 Outcome::Proved => continue,
@@ -333,7 +338,7 @@ mod tests {
         let p = activation_preimage(Activation::Sigmoid, &t).unwrap();
         assert_eq!(p.lo(), f64::NEG_INFINITY);
         assert!((p.hi() - 0.0).abs() < 1e-12); // sigmoid⁻¹(0.5) = 0
-        // Target beyond the range is empty.
+                                               // Target beyond the range is empty.
         let t = Interval::new(1.5, 2.0).unwrap();
         assert!(activation_preimage(Activation::Sigmoid, &t).is_none());
     }
@@ -392,10 +397,8 @@ mod tests {
             // Pick a random feasible point, build a target around its image.
             let x: Vec<f64> = (0..3).map(|_| rng.uniform(-1.0, 1.0)).collect();
             let y = layer.forward(&x);
-            let z: Vec<Interval> = y
-                .iter()
-                .map(|&v| Interval::new(v - 0.1, v + 0.1).unwrap())
-                .collect();
+            let z: Vec<Interval> =
+                y.iter().map(|&v| Interval::new(v - 0.1, v + 0.1).unwrap()).collect();
             let out = affine_contract(&layer, &prior, &z, 4).expect("feasible by construction");
             assert!(out.contains(&x), "seed {seed}: witness lost");
         }
@@ -442,7 +445,8 @@ mod tests {
         let net = fig2_net();
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
         let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap();
-        let o = prove_containment_bidirectional(&net, &din, &dout, DomainKind::Symbolic, 100).unwrap();
+        let o =
+            prove_containment_bidirectional(&net, &din, &dout, DomainKind::Symbolic, 100).unwrap();
         assert!(matches!(o, Outcome::Proved), "{o:?}");
     }
 
@@ -451,7 +455,9 @@ mod tests {
         let net = fig2_net();
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
         let tight = BoxDomain::from_bounds(&[(0.0, 3.0)]).unwrap();
-        match prove_containment_bidirectional(&net, &din, &tight, DomainKind::Symbolic, 3000).unwrap() {
+        match prove_containment_bidirectional(&net, &din, &tight, DomainKind::Symbolic, 3000)
+            .unwrap()
+        {
             Outcome::Refuted(x) => {
                 let y = net.forward(&x).unwrap();
                 assert!(y[0] > 3.0, "witness output {}", y[0]);
@@ -565,7 +571,8 @@ mod tests {
         let net = fig2_net();
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
         let half_open = BoxDomain::from_bounds(&[(f64::NEG_INFINITY, 12.0)]).unwrap();
-        let o = prove_containment_bidirectional(&net, &din, &half_open, DomainKind::Box, 10).unwrap();
+        let o =
+            prove_containment_bidirectional(&net, &din, &half_open, DomainKind::Box, 10).unwrap();
         assert!(matches!(o, Outcome::Proved));
     }
 }

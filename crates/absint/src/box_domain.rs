@@ -40,10 +40,8 @@ impl BoxDomain {
     ///
     /// Returns [`AbsintError::EmptyInterval`] if any pair has `lo > hi`.
     pub fn from_bounds(bounds: &[(f64, f64)]) -> Result<Self, AbsintError> {
-        let dims = bounds
-            .iter()
-            .map(|&(lo, hi)| Interval::new(lo, hi))
-            .collect::<Result<Vec<_>, _>>()?;
+        let dims =
+            bounds.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect::<Result<Vec<_>, _>>()?;
         Ok(Self { dims })
     }
 
@@ -103,10 +101,7 @@ impl BoxDomain {
     /// Panics if the dimensions differ.
     pub fn contains_box(&self, other: &BoxDomain) -> bool {
         assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
-        self.dims
-            .iter()
-            .zip(other.dims.iter())
-            .all(|(s, o)| s.contains_interval(o))
+        self.dims.iter().zip(other.dims.iter()).all(|(s, o)| s.contains_interval(o))
     }
 
     /// Dimension-wise intersection, or `None` when the boxes are disjoint
@@ -148,12 +143,7 @@ impl BoxDomain {
     pub fn hull(&self, other: &BoxDomain) -> BoxDomain {
         assert_eq!(self.dim(), other.dim(), "box dimension mismatch");
         BoxDomain {
-            dims: self
-                .dims
-                .iter()
-                .zip(other.dims.iter())
-                .map(|(a, b)| a.hull(b))
-                .collect(),
+            dims: self.dims.iter().zip(other.dims.iter()).map(|(a, b)| a.hull(b)).collect(),
         }
     }
 
@@ -286,13 +276,7 @@ impl BoxDomain {
 
     /// Image under a component-wise monotone activation.
     pub fn through_activation(&self, act: Activation) -> BoxDomain {
-        BoxDomain {
-            dims: self
-                .dims
-                .iter()
-                .map(|iv| iv.monotone_image(|x| act.apply(x)))
-                .collect(),
-        }
+        BoxDomain { dims: self.dims.iter().map(|iv| iv.monotone_image(|x| act.apply(x))).collect() }
     }
 
     /// Deterministic grid of sample points: center plus all corners (up to
@@ -302,15 +286,16 @@ impl BoxDomain {
         let d = self.dim();
         let corners = 1usize << d.min(20);
         for c in 0..corners.min(limit) {
-            let p: Vec<f64> = (0..d)
-                .map(|i| {
-                    if (c >> i.min(63)) & 1 == 1 {
-                        self.dims[i].hi()
-                    } else {
-                        self.dims[i].lo()
-                    }
-                })
-                .collect();
+            let p: Vec<f64> =
+                (0..d)
+                    .map(|i| {
+                        if (c >> i.min(63)) & 1 == 1 {
+                            self.dims[i].hi()
+                        } else {
+                            self.dims[i].lo()
+                        }
+                    })
+                    .collect();
             pts.push(p);
         }
         pts
@@ -423,7 +408,8 @@ mod tests {
 
     #[test]
     fn through_layer_rejects_dim_mismatch() {
-        let layer = covern_nn::DenseLayer::from_rows(&[&[1.0, 1.0]], &[0.0], covern_nn::Activation::Relu);
+        let layer =
+            covern_nn::DenseLayer::from_rows(&[&[1.0, 1.0]], &[0.0], covern_nn::Activation::Relu);
         assert!(unit_box(3).through_layer(&layer).is_err());
     }
 

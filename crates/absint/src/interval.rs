@@ -105,12 +105,7 @@ impl Interval {
 
     /// Interval product (all four corner products).
     pub fn mul(&self, other: &Interval) -> Interval {
-        let c = [
-            self.lo * other.lo,
-            self.lo * other.hi,
-            self.hi * other.lo,
-            self.hi * other.hi,
-        ];
+        let c = [self.lo * other.lo, self.lo * other.hi, self.hi * other.lo, self.hi * other.hi];
         Interval {
             lo: c.iter().cloned().fold(f64::INFINITY, f64::min),
             hi: c.iter().cloned().fold(f64::NEG_INFINITY, f64::max),

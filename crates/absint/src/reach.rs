@@ -80,7 +80,11 @@ impl LayerAbstraction {
     /// Returns [`AbsintError::LayerOutOfRange`] if `k` is not in `1..=n` and
     /// [`AbsintError::DimensionMismatch`] if the replacement has the wrong
     /// width.
-    pub fn replace_layer_box(&mut self, k: usize, replacement: BoxDomain) -> Result<(), AbsintError> {
+    pub fn replace_layer_box(
+        &mut self,
+        k: usize,
+        replacement: BoxDomain,
+    ) -> Result<(), AbsintError> {
         if k == 0 || k > self.boxes.len() {
             return Err(AbsintError::LayerOutOfRange { requested: k, available: self.boxes.len() });
         }
@@ -186,11 +190,7 @@ mod tests {
         let img1 = din.through_layer(&net.layers()[0]).unwrap();
         assert!(abs.layer_box(1).unwrap().contains_box(&img1));
         for i in 1..net.num_layers() {
-            let img = abs
-                .layer_box(i)
-                .unwrap()
-                .through_layer(&net.layers()[i])
-                .unwrap();
+            let img = abs.layer_box(i).unwrap().through_layer(&net.layers()[i]).unwrap();
             // Note: this chain property holds for the *box* domain because
             // each Si was computed by the same interval transformer. The
             // tolerance absorbs the SOUND_EPS dilation of Si amplified by

@@ -35,7 +35,11 @@ impl Outcome {
     }
 }
 
-fn output_box(net: &Network, input: &BoxDomain, domain: DomainKind) -> Result<BoxDomain, AbsintError> {
+fn output_box(
+    net: &Network,
+    input: &BoxDomain,
+    domain: DomainKind,
+) -> Result<BoxDomain, AbsintError> {
     let mut state = AbstractState::from_box(domain, input);
     for layer in net.layers() {
         state = state.through_layer(layer)?;
@@ -74,9 +78,7 @@ pub fn refined_output_box(
             .iter()
             .enumerate()
             .max_by(|a, b| {
-                a.1.max_width()
-                    .partial_cmp(&b.1.max_width())
-                    .expect("widths are finite")
+                a.1.max_width().partial_cmp(&b.1.max_width()).expect("widths are finite")
             })
             .map(|(i, _)| i)
             .expect("queue non-empty");
@@ -275,7 +277,8 @@ mod tests {
         let target = BoxDomain::from_bounds(&[(-0.1, 6.5)]).unwrap();
         let single = prove_forward_containment(&net, &din, &target, DomainKind::Box, 0).unwrap();
         assert_eq!(single, Outcome::Unknown);
-        let refined = prove_forward_containment(&net, &din, &target, DomainKind::Symbolic, 5000).unwrap();
+        let refined =
+            prove_forward_containment(&net, &din, &target, DomainKind::Symbolic, 5000).unwrap();
         assert!(refined.is_proved(), "got {refined:?}");
     }
 
@@ -284,9 +287,7 @@ mod tests {
         let mut rng = Rng::seeded(51);
         let net = Network::random(&[2, 5, 2], Activation::Relu, Activation::Identity, &mut rng);
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
-        let hull = refined_output_box(&net, &din, DomainKind::Symbolic, 64)
-            .unwrap()
-            .dilate(1e-9);
+        let hull = refined_output_box(&net, &din, DomainKind::Symbolic, 64).unwrap().dilate(1e-9);
         for _ in 0..300 {
             let x = [rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)];
             assert!(hull.contains(&net.forward(&x).unwrap()));

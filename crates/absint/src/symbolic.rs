@@ -267,7 +267,8 @@ mod tests {
     fn affine_layer_is_exact_for_identity_activation() {
         let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
         let s = SymbolicState::from_box(b);
-        let layer = DenseLayer::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]], &[0.0, 0.0], Activation::Identity);
+        let layer =
+            DenseLayer::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]], &[0.0, 0.0], Activation::Identity);
         let out = s.through_layer(&layer).unwrap().to_box();
         // x1 + x2 ∈ [-2,2], x1 - x2 ∈ [-2,2] — symbolic equals interval here.
         assert_eq!(out.lower(), vec![-2.0, -2.0]);
@@ -281,20 +282,11 @@ mod tests {
         let s = SymbolicState::from_box(b.clone());
         let split = DenseLayer::from_rows(&[&[1.0], &[1.0]], &[0.0, 0.0], Activation::Identity);
         let diff = DenseLayer::from_rows(&[&[1.0, -1.0]], &[0.0], Activation::Identity);
-        let sym_out = s
-            .through_layer(&split)
-            .unwrap()
-            .through_layer(&diff)
-            .unwrap()
-            .to_box();
+        let sym_out = s.through_layer(&split).unwrap().through_layer(&diff).unwrap().to_box();
         assert_eq!(sym_out.lower(), vec![0.0]);
         assert_eq!(sym_out.upper(), vec![0.0]);
 
-        let box_out = b
-            .through_layer(&split)
-            .unwrap()
-            .through_layer(&diff)
-            .unwrap();
+        let box_out = b.through_layer(&split).unwrap().through_layer(&diff).unwrap();
         assert_eq!(box_out.lower(), vec![-2.0]);
         assert_eq!(box_out.upper(), vec![2.0]);
     }
@@ -302,10 +294,7 @@ mod tests {
     #[test]
     fn fig2_layer1_bounds_match_paper() {
         let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
-        let out = SymbolicState::from_box(b)
-            .through_layer(&fig2_first_layer())
-            .unwrap()
-            .to_box();
+        let out = SymbolicState::from_box(b).through_layer(&fig2_first_layer()).unwrap().to_box();
         assert_eq!(out.lower(), vec![0.0, 0.0, 0.0]);
         assert_eq!(out.upper(), vec![3.0, 3.0, 2.0]);
     }
@@ -366,11 +355,8 @@ mod tests {
         }
         let out_box = s.to_box().dilate(1e-9);
         for _ in 0..200 {
-            let x: Vec<f64> = b
-                .intervals()
-                .iter()
-                .map(|iv| rng.uniform(iv.lo(), iv.hi()))
-                .collect();
+            let x: Vec<f64> =
+                b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect();
             let y = net.forward(&x).unwrap();
             assert!(out_box.contains(&y), "sample escaped symbolic bounds");
         }
@@ -380,7 +366,8 @@ mod tests {
     fn symbolic_never_looser_than_box_on_random_relu_nets() {
         for seed in 0..10u64 {
             let mut r = Rng::seeded(seed + 100);
-            let net = Network::random(&[2, 5, 3, 1], Activation::Relu, Activation::Identity, &mut r);
+            let net =
+                Network::random(&[2, 5, 3, 1], Activation::Relu, Activation::Identity, &mut r);
             let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
             let mut s = SymbolicState::from_box(b.clone());
             let mut bx = b.clone();

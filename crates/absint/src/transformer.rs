@@ -138,7 +138,8 @@ mod tests {
         let mut total_zon = 0.0;
         for seed in 0..8u64 {
             let mut rng = Rng::seeded(seed);
-            let net = Network::random(&[3, 6, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+            let net =
+                Network::random(&[3, 6, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
             let b = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
             let mut widths = Vec::new();
             for kind in DomainKind::ALL {

@@ -125,7 +125,7 @@ impl Zonotope {
         let mut center = self.center.clone();
         let mut generators = Matrix::zeros(n, g + unstable.len());
         let mut clamp = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, ci) in center.iter_mut().enumerate() {
             let iv = self.concretize_neuron(i);
             let (l, u) = (iv.lo(), iv.hi());
             clamp.push(iv.monotone_image(|z| if z >= 0.0 { z } else { alpha * z }));
@@ -136,7 +136,7 @@ impl Zonotope {
                 }
             } else if u <= 0.0 {
                 // Stable inactive: exact scaling by alpha.
-                center[i] *= alpha;
+                *ci *= alpha;
                 for k in 0..g {
                     generators.set(i, k, alpha * self.generators.get(i, k));
                 }
@@ -145,7 +145,7 @@ impl Zonotope {
                 // Chord slope s and symmetric error term of radius mu.
                 let s = (u - alpha * l) / (u - l);
                 let mu = 0.5 * (s - alpha) * (-l);
-                center[i] = s * center[i] + mu;
+                *ci = s * *ci + mu;
                 for k in 0..g {
                     generators.set(i, k, s * self.generators.get(i, k));
                 }
@@ -161,9 +161,9 @@ impl Zonotope {
         let mut center = vec![0.0; n];
         let mut generators = Matrix::zeros(n, n);
         let mut clamp = Vec::with_capacity(n);
-        for i in 0..n {
+        for (i, ci) in center.iter_mut().enumerate() {
             let iv = self.concretize_neuron(i).monotone_image(|x| act.apply(x));
-            center[i] = iv.center();
+            *ci = iv.center();
             generators.set(i, i, iv.width() * 0.5);
             clamp.push(iv);
         }
@@ -251,11 +251,8 @@ mod tests {
         }
         let out_box = z.to_box().dilate(1e-9);
         for _ in 0..200 {
-            let x: Vec<f64> = b
-                .intervals()
-                .iter()
-                .map(|iv| rng.uniform(iv.lo(), iv.hi()))
-                .collect();
+            let x: Vec<f64> =
+                b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect();
             let y = net.forward(&x).unwrap();
             assert!(out_box.contains(&y), "sample escaped zonotope bounds");
         }
@@ -280,7 +277,8 @@ mod tests {
     fn unstable_relu_adds_generators() {
         let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
         let z = Zonotope::from_box(&b);
-        let layer = DenseLayer::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]], &[0.0, 0.0], Activation::Relu);
+        let layer =
+            DenseLayer::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]], &[0.0, 0.0], Activation::Relu);
         let out = z.through_layer(&layer).unwrap();
         assert_eq!(out.num_generators(), 4); // 2 original + 2 fresh
     }

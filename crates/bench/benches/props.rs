@@ -43,10 +43,8 @@ fn bench_props(c: &mut Criterion) {
     group.bench_function("prop1_bidirectional_method", |b| {
         // The forward+backward local method (paper future work) on the same
         // Prop 1 subproblem.
-        let bi = LocalMethod::Bidirectional {
-            domain: DomainKind::Symbolic,
-            max_splits_per_face: 8,
-        };
+        let bi =
+            LocalMethod::Bidirectional { domain: DomainKind::Symbolic, max_splits_per_face: 8 };
         b.iter(|| prop1(&case.head, &artifact, &enlarged, &bi).expect("prop1 runs"))
     });
     group.bench_function("prop2_layerwise_reentry", |b| {

@@ -1,0 +1,32 @@
+//! Criterion bench for the bit-exact network snapshot format: every model
+//! version `f_1 … f_5` is persisted and reloaded by the continuous
+//! pipeline, so (de)serialization sits on the SVbTV hot path.
+
+use covern_bench::fig2_network;
+use covern_nn::serialize::{from_json, to_json};
+use covern_nn::{Activation, Network};
+use covern_tensor::Rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_serialize(c: &mut Criterion) {
+    let small = fig2_network();
+    let mut rng = Rng::seeded(11);
+    let large =
+        Network::random(&[16, 64, 64, 32, 4], Activation::Relu, Activation::Identity, &mut rng);
+
+    let mut group = c.benchmark_group("serialize");
+    group.sample_size(20);
+    for (label, net) in [("fig2", &small), ("16x64x64x32x4", &large)] {
+        let json = to_json(net).expect("serializes");
+        group.bench_function(format!("to_json_{label}"), |b| {
+            b.iter(|| to_json(net).expect("serializes"))
+        });
+        group.bench_function(format!("from_json_{label}"), |b| {
+            b.iter(|| from_json(&json).expect("parses"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialize);
+criterion_main!(benches);

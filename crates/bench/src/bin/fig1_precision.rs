@@ -31,8 +31,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("FIGURE 1 — abstract vs exact images of the enlarged domain\n");
     println!("stored S2 upper bound (box abstraction over Din): {stored:.3}\n");
     println!(
-        "{:>6} {:>12} {:>12} {:>12} {:>12}   {}",
-        "ε", "box", "symbolic", "zonotope", "exact", "proof reusable?"
+        "{:>6} {:>12} {:>12} {:>12} {:>12}   proof reusable?",
+        "ε", "box", "symbolic", "zonotope", "exact"
     );
 
     for eps in [0.0, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5] {

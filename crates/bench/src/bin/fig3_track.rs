@@ -8,10 +8,10 @@
 //!
 //! Run with: `cargo run --release -p covern-bench --bin fig3_track`
 
+use covern_tensor::Rng;
 use covern_vehicle::camera::Conditions;
 use covern_vehicle::control::{PurePursuit, VehicleState};
 use covern_vehicle::experiment::{Scenario, ScenarioConfig};
-use covern_tensor::Rng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building platform and training the perception head …\n");

@@ -13,12 +13,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("FIGURE 4 — the network under formal verification\n");
     println!("┌─ full perception network ────────────────────────────────────────┐");
-    println!("│ input: RGB image {s}×{s}×3                                      ", s = fe.input_size());
+    println!(
+        "│ input: RGB image {s}×{s}×3                                      ",
+        s = fe.input_size()
+    );
     println!("│ Conv2d 3→4, 3×3, ReLU          (frozen — transfer learning)      │");
     println!("│ AvgPool 2×2                                                      │");
     println!("│ Conv2d 4→8, 3×3, ReLU          (frozen)                          │");
     println!("│ AvgPool 2×2                                                      │");
-    println!("│ Flatten → {:<4} features                                          ", fe.feature_dim());
+    println!(
+        "│ Flatten → {:<4} features                                          ",
+        fe.feature_dim()
+    );
     println!("├─ truncation boundary (verification starts here) ─────────────────┤");
     let mut k = 0;
     for layer in head.layers() {

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building the platform workload (train + monitor + drive + fine-tune) …\n");
     let case = build_platform_case(1)?;
     println!("verified head: {}", case.head);
-    println!("Din: {} monitored features; 4 enlargement events; 4 fine-tuned models\n", case.din.dim());
+    println!(
+        "Din: {} monitored features; 4 enlargement events; 4 fine-tuned models\n",
+        case.din.dim()
+    );
 
     let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 8 };
 
@@ -35,7 +38,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, enlarged) in case.enlargements.iter().enumerate() {
         let (full, full_ok) = full_verification(&case.head, enlarged, &case.dout, BASELINE_LEAVES);
         let report = svudc.on_domain_enlarged(enlarged, &method)?;
-        svudc_rows.push((i + 1, report.wall, full, full_ok, report.strategy, report.outcome.clone()));
+        svudc_rows.push((
+            i + 1,
+            report.wall,
+            full,
+            full_ok,
+            report.strategy,
+            report.outcome.clone(),
+        ));
     }
 
     // ---------------- SVbTV: fine-tuned networks ----------------
@@ -43,10 +53,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut svbtv = ContinuousVerifier::with_margin(problem, DomainKind::Box, case.margin)?;
     let mut svbtv_rows = Vec::new();
     for (i, tuned) in case.models.iter().enumerate() {
-        let (full, full_ok) = full_verification(tuned, svbtv.problem().din(), &case.dout, BASELINE_LEAVES);
+        let (full, full_ok) =
+            full_verification(tuned, svbtv.problem().din(), &case.dout, BASELINE_LEAVES);
         let report = svbtv.on_model_updated(tuned, None, &method)?;
         // Footnote 3: parallel accounting takes the max subproblem time.
-        svbtv_rows.push((i + 1, report.parallel_time(), full, full_ok, report.strategy, report.outcome.clone()));
+        svbtv_rows.push((
+            i + 1,
+            report.parallel_time(),
+            full,
+            full_ok,
+            report.strategy,
+            report.outcome.clone(),
+        ));
     }
 
     // ---------------- the table ----------------
@@ -55,7 +73,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("                              SVbTV 37.52 / 4.19 / 4.68 / 8.52 %)\n");
     println!(
         "{:<8} {:>14} {:>14} {:>10} {:>9}   {:>14} {:>14} {:>10} {:>9}",
-        "case ID", "SVuDC incr", "original", "ratio", "via", "SVbTV incr", "original", "ratio", "via"
+        "case ID",
+        "SVuDC incr",
+        "original",
+        "ratio",
+        "via",
+        "SVbTV incr",
+        "original",
+        "ratio",
+        "via"
     );
     let fmt_ms = |d: Duration| format!("{:.3} ms", d.as_secs_f64() * 1e3);
     for (u, b) in svudc_rows.iter().zip(svbtv_rows.iter()) {
@@ -76,8 +102,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     for (rows, label) in [(&svudc_rows, "SVuDC"), (&svbtv_rows, "SVbTV")] {
         let solved = rows.iter().filter(|r| r.5.is_proved()).count();
-        println!("{label}: {solved}/4 cases proved incrementally (baseline proofs all valid: {})",
-            rows.iter().all(|r| r.3));
+        println!(
+            "{label}: {solved}/4 cases proved incrementally (baseline proofs all valid: {})",
+            rows.iter().all(|r| r.3)
+        );
     }
     println!("\nshape check (paper): incremental verification always takes a small");
     println!("fraction of the original; the worst case is still well under the");

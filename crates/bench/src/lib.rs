@@ -25,11 +25,7 @@ pub const BASELINE_LEAVES: usize = 256;
 /// The paper's Figure 2 network.
 pub fn fig2_network() -> Network {
     NetworkBuilder::new(2)
-        .dense_from_rows(
-            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
-            &[0.0; 3],
-            Activation::Relu,
-        )
+        .dense_from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3], Activation::Relu)
         .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
         .build()
         .expect("fig2 network is well-formed")
@@ -132,9 +128,8 @@ pub fn build_platform_case(scale: usize) -> Result<PlatformCase, CoreError> {
     enlargements.truncate(4);
 
     // Four fine-tuned models.
-    let mut models = scenario
-        .fine_tune_sequence()
-        .map_err(|e| CoreError::Substrate(e.to_string()))?;
+    let mut models =
+        scenario.fine_tune_sequence().map_err(|e| CoreError::Substrate(e.to_string()))?;
     models.remove(0); // drop f1 (== head)
 
     Ok(PlatformCase { head, din, dout, enlargements, models, margin })

@@ -154,9 +154,7 @@ impl StateAbstractionArtifact {
         let n = net.num_layers();
         let mut suffix_ok = vec![false; n];
         // suffix_ok[n-1]: Sn ⊆ Dout directly.
-        suffix_ok[n - 1] = dout
-            .dilate(CONTAIN_TOL)
-            .contains_box(layers.layer_box(n)?);
+        suffix_ok[n - 1] = dout.dilate(CONTAIN_TOL).contains_box(layers.layer_box(n)?);
         // suffix_ok[k-1] for k < n: run the domain from box Sk through the
         // remaining layers.
         for k in (1..n).rev() {
@@ -228,9 +226,7 @@ impl StateAbstractionArtifact {
         let domain = self.layers.domain();
         let n = self.num_layers();
         let mut suffix_ok = vec![false; n];
-        suffix_ok[n - 1] = new_dout
-            .dilate(CONTAIN_TOL)
-            .contains_box(self.layers.layer_box(n)?);
+        suffix_ok[n - 1] = new_dout.dilate(CONTAIN_TOL).contains_box(self.layers.layer_box(n)?);
         for k in (1..n).rev() {
             let mut state = AbstractState::from_box(domain, self.layers.layer_box(k)?);
             for layer in &net.layers()[k..] {
@@ -258,10 +254,8 @@ impl StateAbstractionArtifact {
         let domain = self.layers.domain();
         let n = self.num_layers();
         if k == n {
-            self.suffix_ok[n - 1] = self
-                .dout
-                .dilate(CONTAIN_TOL)
-                .contains_box(self.layers.layer_box(n)?);
+            self.suffix_ok[n - 1] =
+                self.dout.dilate(CONTAIN_TOL).contains_box(self.layers.layer_box(n)?);
         } else {
             let mut state = AbstractState::from_box(domain, self.layers.layer_box(k)?);
             for layer in &net.layers()[k..] {
@@ -326,9 +320,7 @@ impl ProofArtifacts {
     ///
     /// Returns [`CoreError::MissingArtifact`] when absent.
     pub fn network_abstraction(&self) -> Result<&NetworkAbstractionArtifact, CoreError> {
-        self.network_abstraction
-            .as_ref()
-            .ok_or(CoreError::MissingArtifact("network abstraction"))
+        self.network_abstraction.as_ref().ok_or(CoreError::MissingArtifact("network abstraction"))
     }
 }
 

@@ -74,16 +74,10 @@ pub fn incremental_fix(
     for k in 1..=n {
         let tk = Instant::now();
         let layer_net = f_prime.slice(k, k);
-        let input = if k == 1 {
-            new_din.clone()
-        } else {
-            artifact.layers().layer_box(k - 1)?.clone()
-        };
-        let target = if k == n {
-            artifact.dout().clone()
-        } else {
-            artifact.layers().layer_box(k)?.clone()
-        };
+        let input =
+            if k == 1 { new_din.clone() } else { artifact.layers().layer_box(k - 1)?.clone() };
+        let target =
+            if k == n { artifact.dout().clone() } else { artifact.layers().layer_box(k)?.clone() };
         let ok = check_local_containment(&layer_net, &input, &target, method)?.is_proved();
         subproblems.push(SubproblemTiming {
             label: format!("check layer {k}{}", if ok { "" } else { " (failed)" }),
@@ -150,10 +144,7 @@ pub fn incremental_fix(
     };
     let mut state = AbstractState::from_box(domain, &start_input);
     state = state.through_layer(&f_prime.layers()[broken - 1])?;
-    let mut current = state
-        .to_box()
-        .hull(artifact.layers().layer_box(broken)?)
-        .dilate(SOUND_EPS);
+    let mut current = state.to_box().hull(artifact.layers().layer_box(broken)?).dilate(SOUND_EPS);
 
     patched.replace_layer_box(f_prime, broken, current.clone())?;
     for k in broken + 1..=n {
@@ -161,11 +152,8 @@ pub fn incremental_fix(
         // S_k (or Dout for the final layer)?
         let tk = Instant::now();
         let layer_net = f_prime.slice(k, k);
-        let target = if k == n {
-            artifact.dout().clone()
-        } else {
-            artifact.layers().layer_box(k)?.clone()
-        };
+        let target =
+            if k == n { artifact.dout().clone() } else { artifact.layers().layer_box(k)?.clone() };
         let reentered = check_local_containment(&layer_net, &current, &target, method)?.is_proved();
         subproblems.push(SubproblemTiming {
             label: format!("re-entry at layer {k}{}", if reentered { " (hit)" } else { "" }),
@@ -221,7 +209,8 @@ mod tests {
 
     fn setup(seed: u64, dout_slack: f64) -> (Network, StateAbstractionArtifact, BoxDomain) {
         let mut rng = Rng::seeded(seed);
-        let net = Network::random(&[3, 8, 6, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let net =
+            Network::random(&[3, 8, 6, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
         let out = covern_absint::reach::reach_boxes(&net, &din, DomainKind::Box)
             .unwrap()
@@ -254,12 +243,8 @@ mod tests {
         assert!(fix.report.outcome.is_proved(), "{}", fix.report);
         let patched = fix.patched.expect("patched artifact");
         // The patched box at layer 2 must contain the new image.
-        let img = artifact
-            .layers()
-            .layer_box(1)
-            .unwrap()
-            .through_layer(&tuned.layers()[1])
-            .unwrap();
+        let img =
+            artifact.layers().layer_box(1).unwrap().through_layer(&tuned.layers()[1]).unwrap();
         assert!(patched.layers().layer_box(2).unwrap().dilate(1e-6).contains_box(&img));
     }
 
@@ -292,10 +277,19 @@ mod tests {
     #[test]
     fn unsafe_change_stays_unknown_never_proved() {
         // A huge bump that genuinely breaks the property must not be
-        // "fixed" into a proof.
-        let (net, artifact, din) = setup(405, 0.5);
+        // "fixed" into a proof. The premise is checked by sampling: with
+        // this seed the bumped neuron is live downstream, so concrete
+        // executions actually escape Dout (a dead-neuron seed would make
+        // `Proved` the *correct* answer and the test vacuous).
+        let (net, artifact, din) = setup(1, 0.5);
         let mut tuned = net.clone();
         tuned.layers_mut()[1].bias_mut()[0] += 100.0;
+        let mut rng = Rng::seeded(43);
+        let escapes = (0..2000).any(|_| {
+            let x: Vec<f64> = (0..3).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            !artifact.dout().dilate(1e-9).contains(&tuned.forward(&x).unwrap())
+        });
+        assert!(escapes, "premise lost: bump no longer breaks the property for this seed");
         let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
         assert!(!fix.report.outcome.is_proved());
     }

@@ -111,7 +111,8 @@ pub fn pull_back_output_activation(
     .expect("same shapes");
     std::mem::swap(&mut layers[k], &mut rewritten);
     let net = Network::new(layers)?;
-    let target = BoxDomain::from_bounds(&bounds).map_err(|e| CoreError::Substrate(e.to_string()))?;
+    let target =
+        BoxDomain::from_bounds(&bounds).map_err(|e| CoreError::Substrate(e.to_string()))?;
     Ok((net, target))
 }
 
@@ -211,7 +212,8 @@ mod tests {
         let net = fig2_net();
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
         let tight = BoxDomain::from_bounds(&[(0.0, 4.0)]).unwrap();
-        let method = LocalMethod::Bidirectional { domain: DomainKind::Symbolic, max_splits_per_face: 5000 };
+        let method =
+            LocalMethod::Bidirectional { domain: DomainKind::Symbolic, max_splits_per_face: 5000 };
         match check_local_containment(&net, &din, &tight, &method).unwrap() {
             VerifyOutcome::Refuted(w) => {
                 let y = net.forward(&w).unwrap();

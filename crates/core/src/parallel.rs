@@ -33,7 +33,10 @@ impl<R> Job<R> {
 /// # Panics
 ///
 /// Panics if `threads == 0` or a job panics.
-pub fn run_jobs<R: Send + 'static>(jobs: Vec<Job<R>>, threads: usize) -> Vec<(String, R, Duration)> {
+pub fn run_jobs<R: Send + 'static>(
+    jobs: Vec<Job<R>>,
+    threads: usize,
+) -> Vec<(String, R, Duration)> {
     assert!(threads > 0, "need at least one worker");
     let n = jobs.len();
     if n == 0 {
@@ -54,9 +57,7 @@ pub fn run_jobs<R: Send + 'static>(jobs: Vec<Job<R>>, threads: usize) -> Vec<(St
                 while let Ok((idx, job)) = task_rx.recv() {
                     let t0 = Instant::now();
                     let r = (job.run)();
-                    result_tx
-                        .send((idx, job.label, r, t0.elapsed()))
-                        .expect("result channel open");
+                    result_tx.send((idx, job.label, r, t0.elapsed())).expect("result channel open");
                 }
             });
         }
@@ -84,9 +85,8 @@ mod tests {
 
     #[test]
     fn results_preserve_order() {
-        let jobs: Vec<Job<usize>> = (0..20)
-            .map(|i| Job::new(format!("job {i}"), move || i * i))
-            .collect();
+        let jobs: Vec<Job<usize>> =
+            (0..20).map(|i| Job::new(format!("job {i}"), move || i * i)).collect();
         let results = run_jobs(jobs, 4);
         for (i, (label, r, _)) in results.iter().enumerate() {
             assert_eq!(*r, i * i);

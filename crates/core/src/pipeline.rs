@@ -139,6 +139,36 @@ impl ContinuousVerifier {
         target_width: usize,
         method: &LocalMethod,
     ) -> Result<bool, CoreError> {
+        self.build_network_abstraction_with_slack(target_width, 0.0, method)
+    }
+
+    /// [`build_network_abstraction`] with an output slack buffer.
+    ///
+    /// An over-abstraction from merging alone satisfies `f̂ ≥ f` with *zero*
+    /// margin wherever no neurons merged, so the Proposition 6 cover check
+    /// `f′ ≤ f̂` fails for any fine-tuning drift at all on those paths.
+    /// Raising every output of `f̂` by `slack` (and verifying the raised
+    /// abstraction against `Dout`, so the slack is paid for in proof
+    /// tightness up front) buys room for every future `f′` whose pointwise
+    /// drift stays under `slack` — the same buffer idea the paper applies
+    /// to state abstractions in §V.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the network cannot be abstracted (non-PWL
+    /// hidden activations), `slack` is negative or non-finite, or the
+    /// verification of `f̂` errors out.
+    pub fn build_network_abstraction_with_slack(
+        &mut self,
+        target_width: usize,
+        slack: f64,
+        method: &LocalMethod,
+    ) -> Result<bool, CoreError> {
+        if !slack.is_finite() || slack < 0.0 {
+            return Err(CoreError::Substrate(format!(
+                "abstraction slack must be finite and non-negative, got {slack}"
+            )));
+        }
         // Strip a sigmoid/tanh output before structural abstraction (the
         // merge rules need PWL; dominance commutes with monotone outputs).
         let net = self.problem.network().clone();
@@ -146,7 +176,15 @@ impl ContinuousVerifier {
             crate::method::pull_back_output_activation(&net, self.problem.dout())?;
         let pre = preprocess(&pwl_net)?;
         let plan = MergePlan::greedy(&pre, target_width);
-        let abstraction = apply_plan(&pre, &plan, AbstractionDirection::Over)?;
+        let mut abstraction = apply_plan(&pre, &plan, AbstractionDirection::Over)?;
+        if slack > 0.0 {
+            // Raise the output bias: still an over-abstraction (f̂+δ ≥ f̂ ≥ f),
+            // now with room to absorb fine-tuning drift up to δ.
+            let last = abstraction.layers_mut().last_mut().expect("abstraction is nonempty");
+            for b in last.bias_mut() {
+                *b += slack;
+            }
+        }
         // Verify f̂ against Dout on Din.
         let verified = crate::method::check_local_containment(
             &abstraction,
@@ -238,8 +276,11 @@ impl ContinuousVerifier {
         // Fallback: full re-verification on the enlarged domain.
         let mut full_problem = self.problem.clone();
         full_problem.set_din(new_din.clone());
-        let (report, artifacts) =
-            full_problem.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        let (report, artifacts) = full_problem.verify_full_with_margin(
+            self.domain,
+            DEFAULT_REFINE_SPLITS,
+            self.margin,
+        )?;
         if report.outcome.is_proved() {
             self.artifacts.state = artifacts.state;
             self.artifacts.lipschitz = artifacts.lipschitz;
@@ -316,8 +357,11 @@ impl ContinuousVerifier {
         let mut full_problem = self.problem.clone();
         full_problem.set_network(f_prime.clone());
         full_problem.set_din(din.clone());
-        let (report, artifacts) =
-            full_problem.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        let (report, artifacts) = full_problem.verify_full_with_margin(
+            self.domain,
+            DEFAULT_REFINE_SPLITS,
+            self.margin,
+        )?;
         if report.outcome.is_proved() {
             self.artifacts.state = artifacts.state;
             self.artifacts.lipschitz = artifacts.lipschitz;
@@ -356,21 +400,17 @@ impl ContinuousVerifier {
             });
         }
         // Loosened specification: monotone, nothing to check.
-        let currently_proved = self
-            .history
-            .last()
-            .map_or(&self.initial_report.outcome, |r| &r.outcome)
-            .is_proved();
+        let currently_proved =
+            self.history.last().map_or(&self.initial_report.outcome, |r| &r.outcome).is_proved();
         if currently_proved
-            && new_dout
-                .dilate(crate::method::CONTAIN_TOL)
-                .contains_box(self.problem.dout())
+            && new_dout.dilate(crate::method::CONTAIN_TOL).contains_box(self.problem.dout())
         {
             self.problem.set_dout(new_dout.clone());
             if let Some(state) = self.artifacts.state.take() {
                 self.artifacts.state = Some(state.retarget(self.problem.network(), new_dout)?);
             }
-            let report = VerifyReport::monolithic(VerifyOutcome::Proved, Strategy::Prop3, t0.elapsed());
+            let report =
+                VerifyReport::monolithic(VerifyOutcome::Proved, Strategy::Prop3, t0.elapsed());
             self.history.push(report.clone());
             return Ok(report);
         }
@@ -389,8 +429,11 @@ impl ContinuousVerifier {
         // Full fallback against the new property.
         let mut full_problem = self.problem.clone();
         full_problem.set_dout(new_dout.clone());
-        let (report, artifacts) =
-            full_problem.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        let (report, artifacts) = full_problem.verify_full_with_margin(
+            self.domain,
+            DEFAULT_REFINE_SPLITS,
+            self.margin,
+        )?;
         if report.outcome.is_proved() {
             self.problem.set_dout(new_dout.clone());
             self.artifacts.state = artifacts.state;
@@ -411,11 +454,8 @@ impl ContinuousVerifier {
     ///
     /// Returns [`CoreError::Substrate`] on encoding or I/O failure.
     pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
-        let status = self
-            .history
-            .last()
-            .map_or(&self.initial_report.outcome, |r| &r.outcome)
-            .clone();
+        let status =
+            self.history.last().map_or(&self.initial_report.outcome, |r| &r.outcome).clone();
         let saved = SavedVerifier {
             format: SAVE_FORMAT.to_owned(),
             problem: self.problem.clone(),
@@ -424,7 +464,8 @@ impl ContinuousVerifier {
             artifacts: self.artifacts.clone(),
             status,
         };
-        let json = serde_json::to_string(&saved).map_err(|e| CoreError::Substrate(e.to_string()))?;
+        let json =
+            serde_json::to_string(&saved).map_err(|e| CoreError::Substrate(e.to_string()))?;
         std::fs::write(path, json).map_err(|e| CoreError::Substrate(e.to_string()))
     }
 
@@ -483,7 +524,8 @@ impl ContinuousVerifier {
         if let Some(n) = new_net {
             p.set_network(n.clone());
         }
-        let (report, _) = p.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        let (report, _) =
+            p.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
         Ok(report)
     }
 }
@@ -616,6 +658,56 @@ mod tests {
     }
 
     #[test]
+    fn abstraction_slack_absorbs_fine_tuning() {
+        // Without slack the Prop-6 cover is tight wherever no neurons
+        // merged, so any drift at all refutes it; with slack the same
+        // fine-tune is certified through f̂ alone. (Seed choice also keeps
+        // the MILP instances benign — some seeds produce encodings whose
+        // minimize-side relaxation defeats threshold pruning.)
+        let mut rng = Rng::seeded(2021);
+        let net = Network::random(&[2, 6, 5, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let dout = covern_absint::reach::reach_boxes(&net, &din, DomainKind::Box)
+            .unwrap()
+            .output()
+            .dilate(10.0);
+        let tuned = net.perturbed(5e-4, &mut rng);
+        let m = LocalMethod::default();
+
+        let problem = VerificationProblem::new(net.clone(), din.clone(), dout.clone()).unwrap();
+        let mut bare = ContinuousVerifier::new(problem, DomainKind::Box).unwrap();
+        assert!(bare.build_network_abstraction(3, &m).unwrap());
+        let r = crate::prop_model::prop6(
+            &tuned,
+            bare.artifacts().network_abstraction().unwrap(),
+            &din,
+            &m,
+        )
+        .unwrap();
+        assert!(!r.outcome.is_proved(), "zero-slack cover cannot absorb drift: {r}");
+
+        let problem = VerificationProblem::new(net.clone(), din.clone(), dout).unwrap();
+        let mut buffered = ContinuousVerifier::new(problem, DomainKind::Box).unwrap();
+        assert!(buffered.build_network_abstraction_with_slack(3, 0.05, &m).unwrap());
+        let r = crate::prop_model::prop6(
+            &tuned,
+            buffered.artifacts().network_abstraction().unwrap(),
+            &din,
+            &m,
+        )
+        .unwrap();
+        assert!(r.outcome.is_proved(), "slack 0.05 should cover 5e-4 drift: {r}");
+    }
+
+    #[test]
+    fn abstraction_slack_validates_input() {
+        let mut v = fig2_verifier();
+        let m = LocalMethod::default();
+        assert!(v.build_network_abstraction_with_slack(3, -0.1, &m).is_err());
+        assert!(v.build_network_abstraction_with_slack(3, f64::NAN, &m).is_err());
+    }
+
+    #[test]
     fn property_loosening_is_instant() {
         let mut v = fig2_verifier();
         let looser = BoxDomain::from_bounds(&[(-1.0, 20.0)]).unwrap();
@@ -689,9 +781,8 @@ mod tests {
 
         let v = fig2_verifier();
         v.save_to(&path).unwrap();
-        let tampered = std::fs::read_to_string(&path)
-            .unwrap()
-            .replace("covern-verifier-v1", "other-format");
+        let tampered =
+            std::fs::read_to_string(&path).unwrap().replace("covern-verifier-v1", "other-format");
         std::fs::write(&path, tampered).unwrap();
         assert!(ContinuousVerifier::resume_from(&path).is_err());
         std::fs::remove_file(&path).ok();

@@ -112,20 +112,19 @@ impl VerificationProblem {
         margin: crate::artifact::Margin,
     ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
         let t0 = Instant::now();
-        let state =
-            StateAbstractionArtifact::build_with_margin(&self.net, &self.din, &self.dout, domain, margin)?;
+        let state = StateAbstractionArtifact::build_with_margin(
+            &self.net, &self.din, &self.dout, domain, margin,
+        )?;
         let lipschitz = global_lipschitz(&self.net, NormKind::L2);
-        let mut artifacts = ProofArtifacts {
-            state: None,
-            lipschitz: Some(lipschitz),
-            network_abstraction: None,
-        };
+        let mut artifacts =
+            ProofArtifacts { state: None, lipschitz: Some(lipschitz), network_abstraction: None };
         let outcome = if state.proof_established() {
             artifacts.state = Some(state);
             VerifyOutcome::Proved
         } else {
             // The single pass failed; pay for refinement to still answer.
-            let o = prove_forward_containment(&self.net, &self.din, &self.dout, domain, refine_splits)?;
+            let o =
+                prove_forward_containment(&self.net, &self.din, &self.dout, domain, refine_splits)?;
             match o {
                 covern_absint::refine::Outcome::Proved => VerifyOutcome::Proved,
                 covern_absint::refine::Outcome::Refuted(w) => VerifyOutcome::Refuted(w),

@@ -250,11 +250,7 @@ mod tests {
                 &[0.0; 3],
                 Activation::Relu,
             )
-            .dense_from_rows(
-                &[&[-1.0, 0.0, 0.0], &[0.0, -1.0, 0.0]],
-                &[0.2, 0.2],
-                Activation::Relu,
-            )
+            .dense_from_rows(&[&[-1.0, 0.0, 0.0], &[0.0, -1.0, 0.0]], &[0.2, 0.2], Activation::Relu)
             .dense_from_rows(&[&[1.0, 1.0]], &[0.0], Activation::Relu)
             .build()
             .unwrap();

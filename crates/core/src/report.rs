@@ -110,11 +110,7 @@ impl VerifyReport {
     /// execution time among all subproblems"). Falls back to the total wall
     /// time when there are no subproblems.
     pub fn parallel_time(&self) -> Duration {
-        self.subproblems
-            .iter()
-            .map(|s| s.duration)
-            .max()
-            .unwrap_or(self.wall)
+        self.subproblems.iter().map(|s| s.duration).max().unwrap_or(self.wall)
     }
 
     /// Sum of all subproblem times (sequential accounting).

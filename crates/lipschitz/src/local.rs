@@ -82,12 +82,10 @@ pub fn local_lipschitz(net: &Network, input: &BoxDomain, norm: NormKind) -> Lips
     let mut value = 1.0;
     for layer in net.layers() {
         // Sound pre-activation interval per neuron.
-        let twin = DenseLayer::new(layer.weights().clone(), layer.bias().to_vec(), Activation::Identity)
-            .expect("twin layer shares validated shapes");
-        let pre = state
-            .through_layer(&twin)
-            .expect("dimension checked by assertion")
-            .to_box();
+        let twin =
+            DenseLayer::new(layer.weights().clone(), layer.bias().to_vec(), Activation::Identity)
+                .expect("twin layer shares validated shapes");
+        let pre = state.through_layer(&twin).expect("dimension checked by assertion").to_box();
         // Scale rows by the derivative bound, then take the norm.
         let mut masked = layer.weights().clone();
         for i in 0..masked.rows() {
@@ -130,7 +128,12 @@ mod tests {
     fn local_never_exceeds_global() {
         for seed in 0..10u64 {
             let mut r = Rng::seeded(seed);
-            let net = covern_nn::Network::random(&[3, 8, 4, 1], Activation::Relu, Activation::Identity, &mut r);
+            let net = covern_nn::Network::random(
+                &[3, 8, 4, 1],
+                Activation::Relu,
+                Activation::Identity,
+                &mut r,
+            );
             let b = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
             for norm in [NormKind::L1, NormKind::L2, NormKind::Linf] {
                 let local = local_lipschitz(&net, &b, norm);
@@ -143,12 +146,19 @@ mod tests {
     #[test]
     fn local_bound_holds_for_pairs_inside_box() {
         let mut rng = Rng::seeded(73);
-        let net = covern_nn::Network::random(&[2, 6, 3, 1], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let net = covern_nn::Network::random(
+            &[2, 6, 3, 1],
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut rng,
+        );
         let b = BoxDomain::from_bounds(&[(-0.5, 0.5), (0.0, 1.0)]).unwrap();
         let cert = local_lipschitz(&net, &b, NormKind::L2);
         for _ in 0..500 {
-            let x1: Vec<f64> = b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect();
-            let x2: Vec<f64> = b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect();
+            let x1: Vec<f64> =
+                b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect();
+            let x2: Vec<f64> =
+                b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect();
             let y1 = net.forward(&x1).unwrap();
             let y2 = net.forward(&x2).unwrap();
             let dy = covern_tensor::vector::dist_l2(&y1, &y2);

@@ -27,11 +27,7 @@ pub fn sampled_lower_bound(
     assert_eq!(input.dim(), net.input_dim(), "input box arity mismatch");
     assert!(pairs > 0, "need at least one pair");
     let dist = |a: &[f64], b: &[f64]| match norm {
-        NormKind::L1 => a
-            .iter()
-            .zip(b.iter())
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>(),
+        NormKind::L1 => a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>(),
         NormKind::L2 => vector::dist_l2(a, b),
         NormKind::Linf => vector::dist_linf(a, b),
     };
@@ -39,13 +35,7 @@ pub fn sampled_lower_bound(
         input
             .intervals()
             .iter()
-            .map(|iv| {
-                if iv.width() > 0.0 {
-                    rng.uniform(iv.lo(), iv.hi())
-                } else {
-                    iv.lo()
-                }
-            })
+            .map(|iv| if iv.width() > 0.0 { rng.uniform(iv.lo(), iv.hi()) } else { iv.lo() })
             .collect()
     };
     let mut best: f64 = 0.0;

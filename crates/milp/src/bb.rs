@@ -162,6 +162,128 @@ pub fn solve_milp_warm(
     }
 }
 
+/// Answer to a threshold decision query ([`decide_threshold`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThresholdDecision {
+    /// A witness point drives the objective strictly past the threshold.
+    Exceeded {
+        /// The witness (binaries rounded to exact 0/1).
+        x: Vec<f64>,
+        /// Its objective value.
+        objective: f64,
+    },
+    /// Proven: no feasible integral point passes the threshold.
+    Held,
+}
+
+/// Decides whether any feasible integral point drives the objective
+/// strictly past `threshold` (above it when `model.maximize`, below it
+/// otherwise) — without solving to optimality.
+///
+/// This is the right query for containment checks: pruning compares each
+/// relaxation bound against the *fixed* threshold instead of a slowly
+/// improving incumbent, so when the property holds with slack the whole
+/// tree collapses at the root. Solving the same instances to optimality
+/// (the previous approach) explores exponentially many nodes whenever the
+/// LP relaxation is loose in the objective direction — big-M ReLU
+/// encodings are exactly that in the direction that fights the relu upper
+/// hull.
+///
+/// Sound and complete within the node budget: `Held` means proven
+/// (relaxation bounds over-approximate every subtree), `Exceeded` carries
+/// a concrete witness.
+///
+/// # Errors
+///
+/// * [`MilpError::Unbounded`] if a relaxation is unbounded,
+/// * [`MilpError::NodeLimit`] if more than `node_limit` nodes were explored.
+pub fn decide_threshold(
+    model: &Model,
+    node_limit: usize,
+    threshold: f64,
+) -> Result<ThresholdDecision, MilpError> {
+    let binaries = model.binary_vars();
+    let past = |obj: f64| if model.maximize { obj > threshold } else { obj < threshold };
+
+    struct Node {
+        fixes: Vec<(usize, f64)>,
+    }
+    let mut stack = vec![Node { fixes: Vec::new() }];
+    let mut nodes = 0usize;
+    let mut scratch = model.clone();
+
+    while let Some(node) = stack.pop() {
+        nodes += 1;
+        if nodes > node_limit {
+            return Err(MilpError::NodeLimit { best_bound: None });
+        }
+        for &b in &binaries {
+            scratch.set_bounds(VarId(b), 0.0, 1.0).expect("binary exists");
+        }
+        for &(v, val) in &node.fixes {
+            scratch.set_bounds(VarId(v), val, val).expect("binary exists");
+        }
+        let relax = match solve_lp(&scratch) {
+            Ok(s) => s,
+            Err(MilpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        // The relaxation bounds every integral point in this subtree: if
+        // even the bound stays on the safe side, the subtree is clean.
+        if !past(relax.objective) {
+            continue;
+        }
+        let mut branch_var = None;
+        let mut worst_frac = INT_TOL;
+        for &b in &binaries {
+            let v = relax.x[b];
+            let frac = (v - v.round()).abs();
+            if frac > worst_frac {
+                worst_frac = frac;
+                branch_var = Some(b);
+            }
+        }
+        match branch_var {
+            None => {
+                let mut x = relax.x.clone();
+                for &b in &binaries {
+                    x[b] = x[b].round();
+                }
+                let objective = model.objective_value(&x);
+                if past(objective) {
+                    return Ok(ThresholdDecision::Exceeded { x, objective });
+                }
+                // Rounding pulled this point back across the threshold even
+                // though the relaxation bound is past it. Other assignments
+                // in the subtree may still violate: keep splitting until
+                // every binary is pinned (then the relaxation is exact for
+                // the assignment and the bound test above is conclusive).
+                if let Some(&b) =
+                    binaries.iter().find(|&&b| !node.fixes.iter().any(|&(v, _)| v == b))
+                {
+                    let mut fixes0 = node.fixes.clone();
+                    fixes0.push((b, 0.0));
+                    let mut fixes1 = node.fixes;
+                    fixes1.push((b, 1.0));
+                    stack.push(Node { fixes: fixes0 });
+                    stack.push(Node { fixes: fixes1 });
+                }
+            }
+            Some(b) => {
+                let frac = relax.x[b];
+                let first = if frac >= 0.5 { 1.0 } else { 0.0 };
+                let mut fixes0 = node.fixes.clone();
+                fixes0.push((b, 1.0 - first));
+                let mut fixes1 = node.fixes;
+                fixes1.push((b, first));
+                stack.push(Node { fixes: fixes0 });
+                stack.push(Node { fixes: fixes1 });
+            }
+        }
+    }
+    Ok(ThresholdDecision::Held)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,7 +347,8 @@ mod tests {
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         // Fractional rhs so the root relaxation cannot be integral.
         m.add_constraint(&terms, Cmp::Le, 2.5).unwrap();
-        let obj: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64 * 0.1)).collect();
+        let obj: Vec<_> =
+            vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64 * 0.1)).collect();
         m.set_objective(&obj, true).unwrap();
         match solve_milp(&m, 1) {
             Err(MilpError::NodeLimit { .. }) => {}
@@ -252,7 +375,8 @@ mod tests {
         let vars: Vec<_> = (0..6).map(|_| m.add_binary()).collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
         m.add_constraint(&terms, Cmp::Le, 2.5).unwrap();
-        let obj: Vec<_> = vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64 * 0.1)).collect();
+        let obj: Vec<_> =
+            vars.iter().enumerate().map(|(i, &v)| (v, 1.0 + i as f64 * 0.1)).collect();
         m.set_objective(&obj, true).unwrap();
 
         let cold = solve_milp(&m, 10_000).unwrap();
@@ -304,5 +428,71 @@ mod tests {
         let sol = solve_milp(&m, 1000).unwrap();
         assert!(m.is_feasible(&sol.x, 1e-6));
         assert!((sol.objective - 9.0).abs() < 1e-6); // x=10, d=1
+    }
+
+    /// The knapsack of `knapsack_three_items` (optimum 14).
+    fn knapsack() -> Model {
+        let mut m = Model::new();
+        let a = m.add_binary();
+        let b = m.add_binary();
+        let c = m.add_binary();
+        m.add_constraint(&[(a, 5.0), (b, 4.0), (c, 3.0)], Cmp::Le, 8.0).unwrap();
+        m.set_objective(&[(a, 10.0), (b, 6.0), (c, 4.0)], true).unwrap();
+        m
+    }
+
+    #[test]
+    fn decide_threshold_held_and_exceeded_maximize() {
+        let m = knapsack();
+        // Optimum is 14: a threshold above it holds, one below is exceeded.
+        assert_eq!(decide_threshold(&m, 1000, 14.5).unwrap(), ThresholdDecision::Held);
+        match decide_threshold(&m, 1000, 13.5).unwrap() {
+            ThresholdDecision::Exceeded { x, objective } => {
+                assert!(objective > 13.5);
+                assert!(m.is_feasible(&x, 1e-6));
+            }
+            ThresholdDecision::Held => panic!("optimum 14 must exceed 13.5"),
+        }
+    }
+
+    #[test]
+    fn decide_threshold_minimize_direction() {
+        let mut m = Model::new();
+        let x = m.add_var(-4.0, 4.0);
+        let d = m.add_binary();
+        // x >= 3 d - 4 (so x can reach -4 only with d = 0), minimize x + d.
+        m.add_constraint(&[(x, 1.0), (d, -3.0)], Cmp::Ge, -4.0).unwrap();
+        m.set_objective(&[(x, 1.0), (d, 1.0)], false).unwrap();
+        // Minimum is -4 (x=-4, d=0): below -4.5 never happens, -3.5 is beaten.
+        assert_eq!(decide_threshold(&m, 1000, -4.5).unwrap(), ThresholdDecision::Held);
+        assert!(matches!(
+            decide_threshold(&m, 1000, -3.5).unwrap(),
+            ThresholdDecision::Exceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn decide_threshold_respects_node_limit() {
+        let m = knapsack();
+        // A threshold just under the optimum forces real branching; one node
+        // is not enough to settle it.
+        assert_eq!(
+            decide_threshold(&m, 1, 13.5).unwrap_err(),
+            MilpError::NodeLimit { best_bound: None }
+        );
+    }
+
+    #[test]
+    fn decide_threshold_pins_near_integral_relaxations() {
+        // The relaxation optimum sits within INT_TOL of an integer but on
+        // the "past" side of the threshold, while the rounded point is not
+        // past — the solver must pin the binary both ways (both infeasible
+        // here) and conclude Held rather than trusting the rounded point.
+        let mut m = Model::new();
+        let d = m.add_binary();
+        m.add_constraint(&[(d, 1.0)], Cmp::Ge, 1.0 - 2e-8).unwrap();
+        m.add_constraint(&[(d, 1.0)], Cmp::Le, 1.0 - 1e-8).unwrap();
+        m.set_objective(&[(d, 1.0)], false).unwrap();
+        assert_eq!(decide_threshold(&m, 1000, 1.0 - 1e-9).unwrap(), ThresholdDecision::Held);
     }
 }

@@ -36,8 +36,9 @@ fn pre_activation_bounds(net: &Network, input: &BoxDomain) -> Result<Vec<BoxDoma
     let mut out = Vec::with_capacity(net.num_layers());
     for layer in net.layers() {
         // Push through the affine part only by using an identity-activation twin.
-        let twin = DenseLayer::new(layer.weights().clone(), layer.bias().to_vec(), Activation::Identity)
-            .expect("twin layer shares validated shapes");
+        let twin =
+            DenseLayer::new(layer.weights().clone(), layer.bias().to_vec(), Activation::Identity)
+                .expect("twin layer shares validated shapes");
         let pre = state.through_layer(&twin).map_err(|e| MilpError::DimensionMismatch {
             context: "pre_activation_bounds",
             expected: match e {
@@ -76,11 +77,8 @@ pub fn encode_network(net: &Network, input: &BoxDomain) -> Result<NetworkEncodin
     let pre_bounds = pre_activation_bounds(net, input)?;
 
     let mut model = Model::new();
-    let input_vars: Vec<VarId> = input
-        .intervals()
-        .iter()
-        .map(|iv| model.add_var(iv.lo(), iv.hi()))
-        .collect();
+    let input_vars: Vec<VarId> =
+        input.intervals().iter().map(|iv| model.add_var(iv.lo(), iv.hi())).collect();
 
     let mut prev_vars = input_vars.clone();
     let mut layer_vars = Vec::with_capacity(net.num_layers());
@@ -100,9 +98,7 @@ pub fn encode_network(net: &Network, input: &BoxDomain) -> Result<NetworkEncodin
                     terms.push((pv, w));
                 }
             }
-            model
-                .add_constraint(&terms, Cmp::Eq, -layer.bias()[i])
-                .expect("variables exist");
+            model.add_constraint(&terms, Cmp::Eq, -layer.bias()[i]).expect("variables exist");
 
             let alpha = match layer.activation() {
                 Activation::Identity => {
@@ -153,13 +149,7 @@ pub fn encode_network(net: &Network, input: &BoxDomain) -> Result<NetworkEncodin
         layer_vars.push(post_vars);
     }
 
-    Ok(NetworkEncoding {
-        model,
-        input_vars,
-        output_vars: prev_vars,
-        layer_vars,
-        num_unstable,
-    })
+    Ok(NetworkEncoding { model, input_vars, output_vars: prev_vars, layer_vars, num_unstable })
 }
 
 #[cfg(test)]
@@ -188,20 +178,14 @@ mod tests {
             .build()
             .unwrap();
         let b = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
-        assert!(matches!(
-            encode_network(&net, &b),
-            Err(MilpError::NonPiecewiseLinear(_))
-        ));
+        assert!(matches!(encode_network(&net, &b), Err(MilpError::NonPiecewiseLinear(_))));
     }
 
     #[test]
     fn encoding_rejects_wrong_input_dim() {
         let net = fig2_net();
         let b = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
-        assert!(matches!(
-            encode_network(&net, &b),
-            Err(MilpError::DimensionMismatch { .. })
-        ));
+        assert!(matches!(encode_network(&net, &b), Err(MilpError::DimensionMismatch { .. })));
     }
 
     #[test]
@@ -282,14 +266,14 @@ mod tests {
                     .map(|(iv, &ti)| iv.lo() + ti * iv.width())
                     .collect();
                 let y = net.forward(&x).unwrap();
-                for out_idx in 0..2 {
+                for (out_idx, &yi) in y.iter().enumerate() {
                     let mut m = enc.model.clone();
                     m.set_bounds(enc.input_vars[0], x[0], x[0]).unwrap();
                     m.set_bounds(enc.input_vars[1], x[1], x[1]).unwrap();
                     m.set_objective(&[(enc.output_vars[out_idx], 1.0)], out_idx == 0).unwrap();
                     let sol = solve_milp(&m, 50_000).expect("solves");
                     prop_assert!(
-                        (sol.objective - y[out_idx]).abs() < 1e-6,
+                        (sol.objective - yi).abs() < 1e-6,
                         "output {out_idx}: MILP {} vs forward {}",
                         sol.objective,
                         y[out_idx]
@@ -302,7 +286,12 @@ mod tests {
     #[test]
     fn leaky_relu_encoding_matches_forward() {
         let mut rng = Rng::seeded(9);
-        let net = Network::random(&[2, 3, 1], Activation::LeakyRelu(0.2), Activation::LeakyRelu(0.2), &mut rng);
+        let net = Network::random(
+            &[2, 3, 1],
+            Activation::LeakyRelu(0.2),
+            Activation::LeakyRelu(0.2),
+            &mut rng,
+        );
         let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
         let enc = encode_network(&net, &b).unwrap();
         for _ in 0..10 {

@@ -42,11 +42,14 @@ struct Standard {
     num_y: usize,
 }
 
+/// A constraint row in sparse `(column, coefficient)` terms.
+type SparseRow = (Vec<(usize, f64)>, Cmp, f64);
+
 /// Converts a model (ignoring integrality) to non-negative standard form.
 fn standardize(model: &Model) -> Standard {
     let mut num_y = 0;
     let mut var_maps = Vec::with_capacity(model.num_vars());
-    let mut bound_rows: Vec<(Vec<(usize, f64)>, Cmp, f64)> = Vec::new();
+    let mut bound_rows: Vec<SparseRow> = Vec::new();
     for j in 0..model.num_vars() {
         let (l, u) = (model.lower[j], model.upper[j]);
         if l.is_finite() {
@@ -159,11 +162,11 @@ impl Tableau {
         for _ in 0..max_iter {
             // Bland: entering = smallest-index column with negative reduced cost.
             let mut entering = None;
-            for j in 0..self.ncols {
+            for (j, &rj) in r.iter().take(self.ncols).enumerate() {
                 if !allow_artificial && self.artificial[j] {
                     continue;
                 }
-                if r[j] < -COST_EPS {
+                if rj < -COST_EPS {
                     entering = Some(j);
                     break;
                 }
@@ -281,7 +284,8 @@ pub fn solve_lp(model: &Model) -> Result<LpSolution, MilpError> {
         // Drive remaining artificials out of the basis where possible.
         for i in 0..m {
             if tab.artificial[tab.basis[i]] {
-                if let Some(col) = (0..ncols).find(|&j| !tab.artificial[j] && tab.a[i][j].abs() > EPS)
+                if let Some(col) =
+                    (0..ncols).find(|&j| !tab.artificial[j] && tab.a[i][j].abs() > EPS)
                 {
                     tab.pivot(i, col);
                 }
@@ -448,17 +452,13 @@ mod tests {
                     .collect();
                 for _ in 0..nc {
                     let coefs: Vec<f64> = (0..nv).map(|_| rng.uniform(-2.0, 2.0)).collect();
-                    let at_anchor: f64 =
-                        coefs.iter().zip(anchor.iter()).map(|(c, a)| c * a).sum();
+                    let at_anchor: f64 = coefs.iter().zip(anchor.iter()).map(|(c, a)| c * a).sum();
                     // rhs strictly above the anchor value keeps it feasible.
                     let rhs = at_anchor + rng.uniform(0.1, 2.0);
                     let terms: Vec<_> = vars.iter().copied().zip(coefs).collect();
                     m.add_constraint(&terms, Cmp::Le, rhs).expect("vars exist");
                 }
-                let obj: Vec<_> = vars
-                    .iter()
-                    .map(|&v| (v, rng.uniform(-1.0, 1.0)))
-                    .collect();
+                let obj: Vec<_> = vars.iter().map(|&v| (v, rng.uniform(-1.0, 1.0))).collect();
                 m.set_objective(&obj, true).expect("vars exist");
                 (m, anchor)
             })

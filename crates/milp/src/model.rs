@@ -110,11 +110,7 @@ impl Model {
 
     /// Indices of binary variables.
     pub fn binary_vars(&self) -> Vec<usize> {
-        self.binary
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some(i))
-            .collect()
+        self.binary.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect()
     }
 
     fn check_terms(&self, terms: &[(VarId, f64)]) -> Result<(), MilpError> {
@@ -132,7 +128,12 @@ impl Model {
     ///
     /// Returns [`MilpError::UnknownVariable`] if a term references a
     /// non-existent variable.
-    pub fn add_constraint(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) -> Result<(), MilpError> {
+    pub fn add_constraint(
+        &mut self,
+        terms: &[(VarId, f64)],
+        cmp: Cmp,
+        rhs: f64,
+    ) -> Result<(), MilpError> {
         self.check_terms(terms)?;
         self.constraints.push(Constraint {
             terms: terms.iter().map(|(v, c)| (v.0, *c)).collect(),
@@ -148,7 +149,11 @@ impl Model {
     ///
     /// Returns [`MilpError::UnknownVariable`] if a term references a
     /// non-existent variable.
-    pub fn set_objective(&mut self, terms: &[(VarId, f64)], maximize: bool) -> Result<(), MilpError> {
+    pub fn set_objective(
+        &mut self,
+        terms: &[(VarId, f64)],
+        maximize: bool,
+    ) -> Result<(), MilpError> {
         self.check_terms(terms)?;
         for c in self.objective.iter_mut() {
             *c = 0.0;

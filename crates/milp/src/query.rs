@@ -4,14 +4,21 @@
 //! its local sufficient-condition checks: exact neuron extrema, exact
 //! output bounds, and containment of a network image in a target box.
 
-use crate::bb::solve_milp;
+use crate::bb::{decide_threshold, solve_milp, ThresholdDecision};
 use crate::encode::encode_network;
 use crate::error::MilpError;
 use covern_absint::box_domain::BoxDomain;
 use covern_nn::Network;
 
 /// Default branch-and-bound node budget for queries.
-pub const DEFAULT_NODE_LIMIT: usize = 200_000;
+///
+/// Sized to fail fast: every LP node on the paper-scale encodings costs
+/// on the order of a millisecond, so this budget caps a pathological
+/// instance (one whose relaxation defeats threshold pruning) at seconds
+/// before the sound `Unknown` fallback, instead of grinding for hours
+/// toward an answer the caller will re-derive by full re-verification
+/// anyway. Callers with harder instances can pass an explicit limit.
+pub const DEFAULT_NODE_LIMIT: usize = 10_000;
 
 /// Exact maximum of output neuron `idx` over `input`.
 ///
@@ -53,9 +60,7 @@ pub fn extremum(
         });
     }
     let mut enc = encode_network(net, input)?;
-    enc.model
-        .set_objective(&[(enc.output_vars[idx], 1.0)], maximize)
-        .expect("output var exists");
+    enc.model.set_objective(&[(enc.output_vars[idx], 1.0)], maximize).expect("output var exists");
     let sol = solve_milp(&enc.model, node_limit)?;
     Ok(sol.objective)
 }
@@ -140,19 +145,29 @@ pub fn check_containment_with_limit(
     let enc = encode_network(net, input)?;
     for i in 0..net.output_dim() {
         for maximize in [true, false] {
-            let mut m = enc.model.clone();
-            m.set_objective(&[(enc.output_vars[i], 1.0)], maximize)
-                .expect("output var exists");
-            let sol = solve_milp(&m, node_limit)?;
             let t = target.interval(i);
-            let violated = if maximize {
-                sol.objective > t.hi() + 1e-9
-            } else {
-                sol.objective < t.lo() - 1e-9
-            };
-            if violated {
-                let input_witness = enc.input_vars.iter().map(|v| sol.x[v.index()]).collect();
-                return Ok(Containment::Refuted { input_witness, output_index: i });
+            // A free bound on its own side cannot be violated; solving for
+            // it anyway can even surface a spurious `Unbounded`. The skip
+            // must be direction-aware: a degenerate target like
+            // `[+inf, +inf]` is unviolable above but violated below by
+            // every finite output.
+            let threshold = if maximize { t.hi() + 1e-9 } else { t.lo() - 1e-9 };
+            let unviolable =
+                if maximize { threshold == f64::INFINITY } else { threshold == f64::NEG_INFINITY };
+            if unviolable {
+                continue;
+            }
+            let mut m = enc.model.clone();
+            m.set_objective(&[(enc.output_vars[i], 1.0)], maximize).expect("output var exists");
+            // Decision query, not optimization: "does any point cross the
+            // bound?" prunes against the fixed threshold, which collapses
+            // the branch-and-bound tree whenever the bound holds with slack.
+            match decide_threshold(&m, node_limit, threshold)? {
+                ThresholdDecision::Held => {}
+                ThresholdDecision::Exceeded { x, .. } => {
+                    let input_witness = enc.input_vars.iter().map(|v| x[v.index()]).collect();
+                    return Ok(Containment::Refuted { input_witness, output_index: i });
+                }
             }
         }
     }
@@ -206,7 +221,12 @@ mod tests {
     #[test]
     fn output_bounds_bracket_samples() {
         let mut rng = Rng::seeded(13);
-        let net = covern_nn::Network::random(&[3, 5, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let net = covern_nn::Network::random(
+            &[3, 5, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut rng,
+        );
         let b = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
         let exact = output_bounds(&net, &b).unwrap().dilate(1e-7);
         for _ in 0..200 {
@@ -250,5 +270,21 @@ mod tests {
         assert!(max_output_neuron(&net, &din, 3).is_err());
         let bad_target = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
         assert!(check_containment(&net, &din, &bad_target).is_err());
+    }
+
+    #[test]
+    fn free_bounds_are_skipped_but_degenerate_infinite_targets_refute() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        // A genuinely free target is trivially proved without solving.
+        let free = BoxDomain::from_bounds(&[(f64::NEG_INFINITY, f64::INFINITY)]).unwrap();
+        assert_eq!(check_containment(&net, &din, &free).unwrap(), Containment::Proved);
+        // But `[+inf, +inf]` is violated from below by every finite output:
+        // the direction-aware skip must not swallow the lower-bound check.
+        let degenerate = BoxDomain::from_bounds(&[(f64::INFINITY, f64::INFINITY)]).unwrap();
+        assert!(matches!(
+            check_containment(&net, &din, &degenerate).unwrap(),
+            Containment::Refuted { .. }
+        ));
     }
 }

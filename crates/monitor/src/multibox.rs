@@ -203,9 +203,8 @@ mod tests {
 
     #[test]
     fn single_cluster_matches_boxmonitor_semantics() {
-        let data: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![i as f64 * 0.1, 1.0 - i as f64 * 0.05])
-            .collect();
+        let data: Vec<Vec<f64>> =
+            (0..20).map(|i| vec![i as f64 * 0.1, 1.0 - i as f64 * 0.05]).collect();
         let mut rng = Rng::seeded(4);
         let multi = MultiBoxMonitor::fit(&data, 1, 0.2, &mut rng).unwrap();
         let mut single = crate::boxmon::BoxMonitor::new(2, 0.2);

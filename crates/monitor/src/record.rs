@@ -94,11 +94,7 @@ impl EnlargementRecorder {
             after = after.hull(&point);
         }
         self.current = after.clone();
-        self.events.push(DomainEnlargement {
-            before,
-            after,
-            trigger_count: self.batch_size,
-        });
+        self.events.push(DomainEnlargement { before, after, trigger_count: self.batch_size });
         self.events.last()
     }
 

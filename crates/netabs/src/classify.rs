@@ -93,12 +93,12 @@ pub fn preprocess(net: &Network) -> Result<ClassifiedNetwork, NetabsError> {
         for i in 0..in_dim {
             let mut has_inc = false;
             let mut has_dec = false;
-            for t in 0..next.out_dim() {
+            for (t, &tc) in next_classes.iter().enumerate() {
                 let w = next.weights().get(t, i);
                 if w == 0.0 {
                     continue;
                 }
-                let eff = if w > 0.0 { next_classes[t] } else { next_classes[t].flipped() };
+                let eff = if w > 0.0 { tc } else { tc.flipped() };
                 match eff {
                     NeuronClass::Inc => has_inc = true,
                     NeuronClass::Dec => has_dec = true,
@@ -138,12 +138,12 @@ pub fn preprocess(net: &Network) -> Result<ClassifiedNetwork, NetabsError> {
                 }
                 new_bias.push(cur.bias()[i]);
                 // Assign this copy the outgoing weights whose effect is cc.
-                for t in 0..next.out_dim() {
+                for (t, &tc) in next_classes.iter().enumerate() {
                     let w = next.weights().get(t, i);
                     if w == 0.0 {
                         continue;
                     }
-                    let eff = if w > 0.0 { next_classes[t] } else { next_classes[t].flipped() };
+                    let eff = if w > 0.0 { tc } else { tc.flipped() };
                     if eff == cc {
                         new_next.set(t, col, w);
                     }

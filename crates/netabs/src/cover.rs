@@ -85,8 +85,8 @@ pub fn difference_network(a: &Network, b: &Network) -> Result<Network, NetabsErr
                     for j in 0..ca {
                         w.set(i, j, l.weights().get(i, j));
                     }
-                    bias[i] = l.bias()[i];
                 }
+                bias[..ra].copy_from_slice(l.bias());
             }
             None => {
                 for i in 0..ra {
@@ -263,7 +263,8 @@ mod tests {
         let plan = MergePlan::greedy(&pre, 2);
         let abs = apply_plan(&pre, &plan, AbstractionDirection::Over).unwrap();
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
-        let outcome = check_cover(&abs, &net, &din, CoverMethod::Milp { node_limit: 200_000 }).unwrap();
+        let outcome =
+            check_cover(&abs, &net, &din, CoverMethod::Milp { node_limit: 200_000 }).unwrap();
         assert!(outcome.is_proved(), "own abstraction must cover: {outcome:?}");
     }
 
@@ -281,7 +282,8 @@ mod tests {
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
         // The refinement path finds the concrete witness immediately (the
         // very first probe violates), exercising the cheap method.
-        match check_cover(&abs, &bumped, &din, CoverMethod::Refinement { max_splits: 400 }).unwrap() {
+        match check_cover(&abs, &bumped, &din, CoverMethod::Refinement { max_splits: 400 }).unwrap()
+        {
             Outcome::Refuted(x) => {
                 let fx = bumped.forward(&x).unwrap()[0];
                 let ax = abs.forward(&x).unwrap()[0];
@@ -303,7 +305,8 @@ mod tests {
         let mut rng = Rng::seeded(21);
         let tuned = net.perturbed(1e-4, &mut rng);
         let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
-        let outcome = check_cover(&abs, &tuned, &din, CoverMethod::Milp { node_limit: 200_000 }).unwrap();
+        let outcome =
+            check_cover(&abs, &tuned, &din, CoverMethod::Milp { node_limit: 200_000 }).unwrap();
         if outcome.is_proved() {
             for _ in 0..200 {
                 let x = [rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)];

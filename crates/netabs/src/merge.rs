@@ -247,7 +247,8 @@ pub fn apply_plan(
         let act_next = next.activation();
         let next_bias = next.bias().to_vec();
         layers[k] = DenseLayer::new(new_w, new_b, act_cur).expect("merged shapes agree");
-        layers[k + 1] = DenseLayer::new(new_next, next_bias, act_next).expect("merged shapes agree");
+        layers[k + 1] =
+            DenseLayer::new(new_next, next_bias, act_next).expect("merged shapes agree");
     }
 
     Network::new(layers).map_err(|e| NetabsError::InvalidPlan(format!("merge broke chaining: {e}")))
@@ -337,11 +338,7 @@ mod tests {
             return;
         }
         let before = plan.num_groups();
-        let layer = plan
-            .groups()
-            .iter()
-            .position(|g| !g.is_empty())
-            .expect("at least one group");
+        let layer = plan.groups().iter().position(|g| !g.is_empty()).expect("at least one group");
         plan.split_group(layer, 0).unwrap();
         assert_eq!(plan.num_groups(), before - 1);
         // Still a valid plan for apply.

@@ -204,7 +204,12 @@ mod tests {
 
     #[test]
     fn inverse_roundtrips() {
-        for act in [Activation::Identity, Activation::Sigmoid, Activation::Tanh, Activation::LeakyRelu(0.2)] {
+        for act in [
+            Activation::Identity,
+            Activation::Sigmoid,
+            Activation::Tanh,
+            Activation::LeakyRelu(0.2),
+        ] {
             for &x in &[-2.0, -0.3, 0.0, 0.7, 1.5] {
                 let y = act.apply(x);
                 let back = act.inverse(y).expect("invertible");

@@ -59,7 +59,10 @@ impl Image {
     /// Panics if out of bounds.
     #[inline]
     pub fn get(&self, c: usize, y: usize, x: usize) -> f64 {
-        assert!(c < self.channels && y < self.height && x < self.width, "pixel index out of bounds");
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "pixel index out of bounds"
+        );
         self.data[(c * self.height + y) * self.width + x]
     }
 
@@ -70,7 +73,10 @@ impl Image {
     /// Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, c: usize, y: usize, x: usize, v: f64) {
-        assert!(c < self.channels && y < self.height && x < self.width, "pixel index out of bounds");
+        assert!(
+            c < self.channels && y < self.height && x < self.width,
+            "pixel index out of bounds"
+        );
         self.data[(c * self.height + y) * self.width + x] = v;
     }
 
@@ -95,7 +101,13 @@ pub struct ConvLayer {
 
 impl ConvLayer {
     /// Deterministically initialised convolution layer.
-    pub fn random(in_channels: usize, out_channels: usize, kernel: usize, stride: usize, rng: &mut Rng) -> Self {
+    pub fn random(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut Rng,
+    ) -> Self {
         let fan_in = (in_channels * kernel * kernel).max(1);
         let std_dev = (2.0 / fan_in as f64).sqrt();
         let n = out_channels * in_channels * kernel * kernel;
@@ -165,7 +177,8 @@ impl ConvLayer {
 fn avg_pool(img: &Image, window: usize) -> Image {
     let oh = img.height() / window;
     let ow = img.width() / window;
-    let mut out = Image::zeros(img.channels(), oh.max(1).min(img.height()), ow.max(1).min(img.width()));
+    let mut out =
+        Image::zeros(img.channels(), oh.max(1).min(img.height()), ow.max(1).min(img.width()));
     let oh = out.height();
     let ow = out.width();
     let denom = (window * window) as f64;

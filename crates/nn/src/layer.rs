@@ -135,11 +135,8 @@ impl DenseLayer {
     /// Panics if the shapes differ.
     pub fn max_param_diff(&self, other: &DenseLayer) -> f64 {
         let w = self.weights.max_abs_diff(&other.weights);
-        let b = self
-            .bias
-            .iter()
-            .zip(other.bias.iter())
-            .fold(0.0f64, |m, (a, c)| m.max((a - c).abs()));
+        let b =
+            self.bias.iter().zip(other.bias.iter()).fold(0.0f64, |m, (a, c)| m.max((a - c).abs()));
         w.max(b)
     }
 }

@@ -65,7 +65,12 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `dims.len() < 2`.
-    pub fn random(dims: &[usize], hidden_act: Activation, out_act: Activation, rng: &mut Rng) -> Self {
+    pub fn random(
+        dims: &[usize],
+        hidden_act: Activation,
+        out_act: Activation,
+        rng: &mut Rng,
+    ) -> Self {
         assert!(dims.len() >= 2, "need at least input and output dims");
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
@@ -232,10 +237,7 @@ impl Network {
 
     /// Total number of trainable parameters.
     pub fn num_params(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.in_dim() * l.out_dim() + l.out_dim())
-            .sum()
+        self.layers.iter().map(|l| l.in_dim() * l.out_dim() + l.out_dim()).sum()
     }
 }
 
@@ -255,7 +257,11 @@ mod tests {
 
     fn toy() -> Network {
         Network::new(vec![
-            DenseLayer::from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3], Activation::Relu),
+            DenseLayer::from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            ),
             DenseLayer::from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu),
         ])
         .expect("toy network is well-formed")
@@ -309,7 +315,7 @@ mod tests {
     fn dims_and_params() {
         let net = toy();
         assert_eq!(net.dims(), vec![2, 3, 1]);
-        assert_eq!(net.num_params(), (2 * 3 + 3) + (3 * 1 + 1));
+        assert_eq!(net.num_params(), (2 * 3 + 3) + (3 + 1));
     }
 
     #[test]

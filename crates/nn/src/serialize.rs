@@ -84,15 +84,12 @@ pub fn to_json(net: &Network) -> Result<String, NnError> {
 /// tag, and [`NnError::DimensionMismatch`]/[`NnError::EmptyNetwork`] if the
 /// decoded layer stack is inconsistent.
 pub fn from_json(s: &str) -> Result<Network, NnError> {
-    let doc: NetworkDoc = serde_json::from_str(s).map_err(|e| NnError::Serialization(e.to_string()))?;
+    let doc: NetworkDoc =
+        serde_json::from_str(s).map_err(|e| NnError::Serialization(e.to_string()))?;
     if doc.format != FORMAT {
         return Err(NnError::Serialization(format!("unknown format tag {:?}", doc.format)));
     }
-    let layers = doc
-        .layers
-        .iter()
-        .map(layer_from_doc)
-        .collect::<Result<Vec<_>, _>>()?;
+    let layers = doc.layers.iter().map(layer_from_doc).collect::<Result<Vec<_>, _>>()?;
     Network::new(layers)
 }
 

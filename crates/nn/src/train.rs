@@ -40,10 +40,7 @@ impl Dataset {
 
     /// Iterates over `(input, target)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&[f64], &[f64])> {
-        self.inputs
-            .iter()
-            .map(Vec::as_slice)
-            .zip(self.targets.iter().map(Vec::as_slice))
+        self.inputs.iter().map(Vec::as_slice).zip(self.targets.iter().map(Vec::as_slice))
     }
 
     /// The `i`-th sample.
@@ -88,11 +85,7 @@ pub fn mse(net: &Network, data: &Dataset) -> Result<f64, NnError> {
     let mut total = 0.0;
     for (x, t) in data.iter() {
         let y = net.forward(x)?;
-        total += y
-            .iter()
-            .zip(t.iter())
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>();
+        total += y.iter().zip(t.iter()).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
     }
     Ok(total / data.len() as f64)
 }
@@ -148,8 +141,7 @@ fn backprop_step(net: &mut Network, x: &[f64], t: &[f64], lr: f64) -> Result<f64
         debug_assert_eq!(rows, delta.len());
         debug_assert_eq!(cols, input.len());
         let w: &mut Matrix = layer.weights_mut();
-        for i in 0..rows {
-            let di = delta[i];
+        for (i, &di) in delta.iter().enumerate() {
             if di == 0.0 {
                 continue;
             }
@@ -249,7 +241,12 @@ mod tests {
         let mut rng = Rng::seeded(6);
         let mut net = Network::random(&[2, 8, 1], Activation::Relu, Activation::Identity, &mut rng);
         let data = linear_dataset(100);
-        train(&mut net, &data, &TrainConfig { learning_rate: 0.02, epochs: 20, batch_size: 1, seed: 1 }).unwrap();
+        train(
+            &mut net,
+            &data,
+            &TrainConfig { learning_rate: 0.02, epochs: 20, batch_size: 1, seed: 1 },
+        )
+        .unwrap();
 
         let tuned = fine_tune(&net, &data, 1e-3, 2, 2).unwrap();
         let drift = net.max_param_diff(&tuned).unwrap();
@@ -278,7 +275,8 @@ mod tests {
     fn gradient_matches_finite_difference() {
         // Single-layer identity network: analytic gradient is exact.
         let mut rng = Rng::seeded(33);
-        let mut net = Network::random(&[2, 1], Activation::Identity, Activation::Identity, &mut rng);
+        let mut net =
+            Network::random(&[2, 1], Activation::Identity, Activation::Identity, &mut rng);
         let x = [0.7, -0.3];
         let t = [1.0];
 
@@ -293,7 +291,11 @@ mod tests {
         let w_after = [net.layers()[0].weights().get(0, 0), net.layers()[0].weights().get(0, 1)];
         for j in 0..2 {
             let moved = w_after[j] - w_before[j];
-            assert!((moved + lr * grad[j]).abs() < 1e-12, "dim {j}: moved {moved}, grad {}", grad[j]);
+            assert!(
+                (moved + lr * grad[j]).abs() < 1e-12,
+                "dim {j}: moved {moved}, grad {}",
+                grad[j]
+            );
         }
     }
 }

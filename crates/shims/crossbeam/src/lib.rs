@@ -1,0 +1,180 @@
+//! In-repo shim for the `crossbeam` API subset this workspace uses:
+//! `crossbeam::channel::unbounded` with cloneable senders *and* receivers
+//! (std's `mpsc` receiver is not cloneable, which is exactly why the
+//! workspace reached for crossbeam's MPMC channel).
+//!
+//! Built on a `Mutex<VecDeque>` + `Condvar`; fine for the coarse-grained
+//! jobs the parallel runner pushes through it. Swapping in the real
+//! lock-free crossbeam later requires no source changes.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned when all receivers are gone.
+    ///
+    /// This shim never reports send failures (the queue is unbounded and
+    /// receivers share the channel's lifetime in every workspace use), but
+    /// the type keeps call-site signatures identical to crossbeam's.
+    pub struct SendError<T>(pub T);
+
+    // Like real crossbeam: Debug regardless of `T: Debug`, so callers can
+    // `.expect()` send results for arbitrary payloads.
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned when the channel is empty and all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            state.queue.push_back(value);
+            drop(state);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel lock poisoned").senders += 1;
+            Sender { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            state.senders -= 1;
+            let last = state.senders == 0;
+            drop(state);
+            if last {
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a message, blocking while the channel is empty; returns
+        /// `Err(RecvError)` once the channel is empty *and* all senders are
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.state.lock().expect("channel lock poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.chan.ready.wait(state).expect("channel lock poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { chan: Arc::clone(&self.chan) }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_single_thread() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn recv_errors_after_all_senders_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            drop(tx);
+            tx2.send(9).unwrap();
+            drop(tx2);
+            assert_eq!(rx.recv(), Ok(9));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn workers_share_one_receiver() {
+            let (tx, rx) = unbounded::<usize>();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: usize = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let rx = rx.clone();
+                        scope.spawn(move || {
+                            let mut sum = 0;
+                            while let Ok(v) = rx.recv() {
+                                sum += v;
+                            }
+                            sum
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, (0..100).sum());
+        }
+    }
+}

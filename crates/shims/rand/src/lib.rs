@@ -1,0 +1,119 @@
+//! In-repo shim for the `rand` trait surface this workspace uses:
+//! [`RngCore`], the [`Rng`] extension with `gen_range`, and
+//! [`SeedableRng::seed_from_u64`].
+//!
+//! The workspace pins ChaCha8 (see the `rand_chacha` shim) and never relies
+//! on the exact streams of the real crates — only on determinism for a
+//! fixed seed, which these shims provide.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random bits.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over a bit source.
+pub trait Rng: RngCore + Sized {
+    /// Samples uniformly from a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + Sized> Rng for R {}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Samples one value.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// A uniform f64 in `[0, 1)` from the top 53 bits of a `u64`.
+fn unit_f64<R: RngCore>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The largest f64 strictly below `x` (used to keep half-open ranges
+/// half-open when `lo + u * (hi - lo)` rounds up to `hi`).
+fn step_down(x: f64) -> f64 {
+    if x > f64::NEG_INFINITY {
+        let bits = x.to_bits();
+        let next = if x > 0.0 {
+            bits - 1
+        } else if x < 0.0 {
+            bits + 1
+        } else {
+            // x == ±0.0 → smallest negative subnormal.
+            0x8000_0000_0000_0001
+        };
+        f64::from_bits(next)
+    } else {
+        x
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let v = self.start + unit_f64(rng) * (self.end - self.start);
+        if v >= self.end {
+            step_down(self.end)
+        } else {
+            v
+        }
+    }
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(usize, u32, u64);
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+impl SampleRange<i32> for Range<i32> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> i32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (i64::from(self.end) - i64::from(self.start)) as u64;
+        (i64::from(self.start) + (rng.next_u64() % span) as i64) as i32
+    }
+}

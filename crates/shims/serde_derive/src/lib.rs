@@ -1,0 +1,328 @@
+//! Derive macros for the in-repo `serde` shim.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `serde_derive` (and its `syn`/`quote` stack) is unavailable. This crate
+//! hand-parses the derive input token stream — enough to handle the shapes
+//! that actually occur in this workspace:
+//!
+//! * structs with named fields,
+//! * tuple structs,
+//! * enums whose variants are unit or tuple variants.
+//!
+//! Generics, struct variants, and `#[serde(...)]` attributes are not
+//! supported and produce a compile error pointing here.
+//!
+//! The generated impls target the shim's JSON-value data model
+//! (`serde::Serialize::to_value` / `serde::Deserialize::from_value`), which
+//! mirrors real serde's externally-tagged enum convention so stored
+//! artifacts look like what `serde_json` would have produced.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The shape of a type we can derive for.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+/// Splits a token list on top-level commas. "Top level" means angle-bracket
+/// depth zero; `->` is recognised so its `>` does not unbalance the count.
+/// Delimited groups (`()`, `[]`, `{}`) are single tokens and hide their own
+/// commas.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    let mut prev_dash = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if !prev_dash => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Removes leading `#[...]` attributes (including doc comments) and
+/// visibility modifiers from a token chunk.
+fn skip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &chunk[i..]
+}
+
+/// The field name of one named-struct field chunk: the last identifier
+/// before the first top-level `:`.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let chunk = skip_attrs_and_vis(chunk);
+    let mut last_ident = None;
+    for t in chunk {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ':' => break,
+            TokenTree::Ident(id) => last_ident = Some(id.to_string()),
+            _ => {}
+        }
+    }
+    last_ident.expect("serde_derive shim: could not find field name")
+}
+
+/// Variant name and tuple arity (0 for unit variants).
+fn variant_shape(chunk: &[TokenTree]) -> (String, usize) {
+    let chunk = skip_attrs_and_vis(chunk);
+    let name = match chunk.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected variant name, got {other:?}"),
+    };
+    match chunk.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let arity = split_top_level(&inner).len();
+            (name, arity)
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            panic!("serde_derive shim: struct variants are not supported (variant {name})")
+        }
+        _ => (name, 0),
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility ahead of the `struct`/`enum`
+    // keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive shim: no struct or enum in derive input"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic types are not supported ({name})");
+        }
+    }
+    let body = tokens[i..].iter().find_map(|t| match t {
+        TokenTree::Group(g) => Some(g.clone()),
+        _ => None,
+    });
+    if kind == "enum" {
+        let g = body.expect("serde_derive shim: enum without body");
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        let variants = split_top_level(&inner).iter().map(|c| variant_shape(c)).collect();
+        return Shape::Enum { name, variants };
+    }
+    match body {
+        Some(g) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let fields = split_top_level(&inner)
+                .iter()
+                .filter(|c| !skip_attrs_and_vis(c).is_empty())
+                .map(|c| field_name(c))
+                .collect();
+            Shape::NamedStruct { name, fields }
+        }
+        Some(g) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::TupleStruct { name, arity: split_top_level(&inner).len() }
+        }
+        _ => panic!("serde_derive shim: unit structs are not supported ({name})"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Object(::std::vec::Vec::from([{pushes}]))\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String =
+                (0..arity).map(|i| format!("::serde::Serialize::to_value(&self.{i}),")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         ::serde::Value::Array(::std::vec::Vec::from([{items}]))\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(::std::vec::Vec::from([\
+                             (::std::string::String::from(\"{v}\"), \
+                              ::serde::Serialize::to_value(f0)),\
+                         ])),"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(::std::vec::Vec::from([\
+                                 (::std::string::String::from(\"{v}\"), \
+                                  ::serde::Value::Array(::std::vec::Vec::from([{items}]))),\
+                             ])),",
+                            binders.join(",")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\
+                     fn to_value(&self) -> ::serde::Value {{\
+                         match self {{ {arms} }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Serialize impl does not parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::NamedStruct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String = (0..arity)
+                .map(|i| format!("::serde::Deserialize::from_value(value.index({i})?)?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         ::std::result::Result::Ok(Self({items}))\
+                     }}\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok(\
+                                 {name}::{v}(::serde::Deserialize::from_value(val)?)),"
+                        )
+                    } else {
+                        let items: String = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(val.index({i})?)?,"))
+                            .collect();
+                        format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}({items})),")
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\
+                         match value {{\
+                             ::serde::Value::Str(s) => match s.as_str() {{\
+                                 {unit_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     ::std::format!(\"unknown variant {{other}} of {name}\"))),\
+                             }},\
+                             ::serde::Value::Object(pairs) if pairs.len() == 1 => {{\
+                                 let (tag, val) = &pairs[0];\
+                                 match tag.as_str() {{\
+                                     {data_arms}\
+                                     other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                         ::std::format!(\"unknown variant {{other}} of {name}\"))),\
+                                 }}\
+                             }}\
+                             _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 \"expected a {name} enum value\")),\
+                         }}\
+                     }}\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Deserialize impl does not parse")
+}

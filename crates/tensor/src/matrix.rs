@@ -33,9 +33,7 @@ impl Matrix {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        let len = rows
-            .checked_mul(cols)
-            .expect("matrix dimensions overflow usize");
+        let len = rows.checked_mul(cols).expect("matrix dimensions overflow usize");
         Self { rows, cols, data: vec![0.0; len] }
     }
 
@@ -172,13 +170,13 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "matvec dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }
@@ -191,9 +189,8 @@ impl Matrix {
     pub fn matvec_transposed(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "matvec_transposed dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &xi) in x.iter().enumerate() {
             let row = self.row(i);
-            let xi = x[i];
             for (j, a) in row.iter().enumerate() {
                 y[j] += a * xi;
             }
@@ -236,11 +233,7 @@ impl Matrix {
 
     /// Entry-wise map.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Scales every entry by `s`.
@@ -265,10 +258,7 @@ impl Matrix {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
         assert_eq!(self.shape(), other.shape(), "shape mismatch");
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .fold(0.0, |m, (a, b)| m.max((a - b).abs()))
+        self.data.iter().zip(other.data.iter()).fold(0.0, |m, (a, b)| m.max((a - b).abs()))
     }
 }
 

@@ -14,16 +14,12 @@ use crate::vector;
 
 /// Maximum absolute row sum: the operator norm induced by `‖·‖_∞`.
 pub fn operator_norm_linf(w: &Matrix) -> f64 {
-    (0..w.rows())
-        .map(|i| vector::norm_l1(w.row(i)))
-        .fold(0.0, f64::max)
+    (0..w.rows()).map(|i| vector::norm_l1(w.row(i))).fold(0.0, f64::max)
 }
 
 /// Maximum absolute column sum: the operator norm induced by `‖·‖_1`.
 pub fn operator_norm_l1(w: &Matrix) -> f64 {
-    (0..w.cols())
-        .map(|j| vector::norm_l1(&w.col(j)))
-        .fold(0.0, f64::max)
+    (0..w.cols()).map(|j| vector::norm_l1(&w.col(j))).fold(0.0, f64::max)
 }
 
 /// Power-iteration estimate of the spectral norm `‖W‖_2`.
@@ -38,9 +34,7 @@ pub fn spectral_norm_power(w: &Matrix, iters: usize) -> f64 {
     }
     // Deterministic start vector biased away from any single axis so that
     // it is unlikely to be orthogonal to the dominant singular vector.
-    let mut v: Vec<f64> = (0..w.cols())
-        .map(|i| 1.0 + (i as f64 * 0.7919).sin() * 0.5)
-        .collect();
+    let mut v: Vec<f64> = (0..w.cols()).map(|i| 1.0 + (i as f64 * 0.7919).sin() * 0.5).collect();
     vector::normalize_l2(&mut v);
     let mut sigma = 0.0;
     for _ in 0..iters.max(1) {

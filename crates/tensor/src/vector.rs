@@ -48,11 +48,7 @@ pub fn norm_linf(v: &[f64]) -> f64 {
 /// Panics if the lengths differ.
 pub fn dist_l2(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dist length mismatch");
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
 }
 
 /// L∞ distance between two equal-length vectors.
@@ -62,9 +58,7 @@ pub fn dist_l2(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the lengths differ.
 pub fn dist_linf(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dist length mismatch");
-    a.iter()
-        .zip(b.iter())
-        .fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+    a.iter().zip(b.iter()).fold(0.0, |m, (x, y)| m.max((x - y).abs()))
 }
 
 /// Normalises `v` to unit L2 norm in place; returns the original norm.

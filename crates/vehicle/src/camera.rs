@@ -68,14 +68,7 @@ impl Camera {
     /// Panics if `image_size < 12` (the conv backbone's minimum).
     pub fn new(image_size: usize) -> Self {
         assert!(image_size >= 12, "camera image too small for the backbone");
-        Self {
-            image_size,
-            d_min: 0.2,
-            d_max: 2.5,
-            w_near: 0.45,
-            w_far: 1.2,
-            line_width: 0.04,
-        }
+        Self { image_size, d_min: 0.2, d_max: 2.5, w_near: 0.45, w_far: 1.2, line_width: 0.04 }
     }
 
     /// Image side length in pixels.
@@ -122,7 +115,13 @@ impl Camera {
     /// Channels: 0 = lane-line intensity, 1 = road-surface shading,
     /// 2 = horizon/sky gradient; all modulated by brightness, glare and
     /// noise so that condition changes genuinely move the conv features.
-    pub fn render(&self, track: &Track, pose: &VehicleState, conditions: &Conditions, rng: &mut Rng) -> Image {
+    pub fn render(
+        &self,
+        track: &Track,
+        pose: &VehicleState,
+        conditions: &Conditions,
+        rng: &mut Rng,
+    ) -> Image {
         let n = self.image_size;
         let mut img = Image::zeros(3, n, n);
         let (sin_t, cos_t) = pose.theta.sin_cos();
@@ -141,11 +140,17 @@ impl Camera {
                     + (-((dr / self.line_width).powi(2))).exp();
                 let road = if offset.abs() <= track.half_width() { 0.25 } else { 0.55 };
                 let sky = 0.3 + 0.4 * (v as f64 / (n - 1) as f64);
-                let glare_term =
-                    conditions.glare * (u as f64 / (n - 1) as f64) * (1.0 - v as f64 / (n - 1) as f64);
+                let glare_term = conditions.glare
+                    * (u as f64 / (n - 1) as f64)
+                    * (1.0 - v as f64 / (n - 1) as f64);
                 let b = conditions.brightness;
                 let noise = conditions.noise;
-                img.set(0, v, u, (line.min(1.0) * b + glare_term + noise * rng.normal()).clamp(0.0, 2.0));
+                img.set(
+                    0,
+                    v,
+                    u,
+                    (line.min(1.0) * b + glare_term + noise * rng.normal()).clamp(0.0, 2.0),
+                );
                 img.set(1, v, u, (road * b + glare_term + noise * rng.normal()).clamp(0.0, 2.0));
                 img.set(2, v, u, (sky * b + glare_term + noise * rng.normal()).clamp(0.0, 2.0));
             }

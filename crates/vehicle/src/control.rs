@@ -138,10 +138,7 @@ mod tests {
             state = state.step(steer, pp.wheelbase, dt);
             max_offset = max_offset.max(track.lateral_offset((state.x, state.y)).abs());
         }
-        assert!(
-            max_offset < track.half_width(),
-            "vehicle left the lane: max offset {max_offset}"
-        );
+        assert!(max_offset < track.half_width(), "vehicle left the lane: max offset {max_offset}");
         // And it actually made progress around the course.
         let s_end = track.nearest_s((state.x, state.y));
         assert!(s_end.is_finite());

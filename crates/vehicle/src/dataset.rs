@@ -36,12 +36,8 @@ pub fn collect(
         // Jitter: up to ±60% of the half-width laterally, ±0.15 rad heading.
         let lat = rng.uniform(-0.6, 0.6) * track.half_width();
         let dh = rng.uniform(-0.15, 0.15);
-        let pose = VehicleState {
-            x: cx - lat * h.sin(),
-            y: cy + lat * h.cos(),
-            theta: h + dh,
-            v: 1.0,
-        };
+        let pose =
+            VehicleState { x: cx - lat * h.sin(), y: cy + lat * h.cos(), theta: h + dh, v: 1.0 };
         let image = camera.render(track, &pose, conditions, rng);
         let label = camera.ground_truth_vout(track, &pose, lookahead);
         out.push(DrivingSample { image, label });
@@ -105,7 +101,8 @@ mod tests {
         let mut rng = Rng::seeded(7);
         let samples = collect(&track, &cam, 60, 0.8, &Conditions::nominal(), &mut rng);
         let mean = samples.iter().map(|s| s.label).sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s.label - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|s| (s.label - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         assert!(var > 1e-3, "labels are almost constant (var {var})");
     }
 

@@ -95,12 +95,8 @@ impl Scenario {
     pub fn build(config: ScenarioConfig) -> Result<Scenario, VehicleError> {
         let track = Track::default_course();
         let camera = Camera::new(config.image_size);
-        let perception = Perception::new(
-            config.image_size,
-            &config.hidden,
-            config.backbone_seed,
-            config.seed,
-        );
+        let perception =
+            Perception::new(config.image_size, &config.hidden, config.backbone_seed, config.seed);
         let mut rng = Rng::seeded(config.seed);
         let samples = collect(
             &track,
@@ -211,18 +207,15 @@ impl Scenario {
         frames_per_condition: usize,
     ) -> Result<Vec<DomainEnlargement>, VehicleError> {
         let mut rng = Rng::seeded(self.config.seed + 999);
-        let mut recorder = EnlargementRecorder::new(&self.monitor, self.config.enlargement_margin, 1);
+        let mut recorder =
+            EnlargementRecorder::new(&self.monitor, self.config.enlargement_margin, 1);
         let mut s = 0.0;
         let ds = self.track.length() / (schedule.len().max(1) * frames_per_condition.max(1)) as f64;
         for cond in schedule {
             for _ in 0..frames_per_condition {
                 let (x, y) = self.track.centerline(s);
-                let pose = crate::control::VehicleState {
-                    x,
-                    y,
-                    theta: self.track.heading(s),
-                    v: 1.0,
-                };
+                let pose =
+                    crate::control::VehicleState { x, y, theta: self.track.heading(s), v: 1.0 };
                 let img = self.camera.render(&self.track, &pose, cond, &mut rng);
                 let features = self.perception.features(&img)?;
                 recorder.observe(&features);
@@ -289,9 +282,7 @@ mod tests {
     #[test]
     fn harsh_conditions_trigger_enlargements() {
         let sc = Scenario::build(small_config()).unwrap();
-        let events = sc
-            .drive_and_monitor(&[Conditions::black_swan()], 30)
-            .unwrap();
+        let events = sc.drive_and_monitor(&[Conditions::black_swan()], 30).unwrap();
         assert!(!events.is_empty(), "black-swan conditions must trip the monitor");
         // Events nest and grow.
         for w in events.windows(2) {
@@ -321,9 +312,7 @@ mod tests {
     #[test]
     fn standard_schedule_produces_multiple_events() {
         let sc = Scenario::build(small_config()).unwrap();
-        let events = sc
-            .drive_and_monitor(&Scenario::standard_schedule(), 12)
-            .unwrap();
+        let events = sc.drive_and_monitor(&Scenario::standard_schedule(), 12).unwrap();
         assert!(
             events.len() >= 3,
             "the Table-I schedule needs several enlargement events, got {}",

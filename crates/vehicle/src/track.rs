@@ -22,7 +22,10 @@ impl Track {
     ///
     /// Panics if any dimension is non-positive.
     pub fn stadium(straight_len: f64, radius: f64, half_width: f64) -> Self {
-        assert!(straight_len > 0.0 && radius > 0.0 && half_width > 0.0, "track dims must be positive");
+        assert!(
+            straight_len > 0.0 && radius > 0.0 && half_width > 0.0,
+            "track dims must be positive"
+        );
         Self { straight_len, radius, half_width }
     }
 
@@ -196,7 +199,7 @@ mod tests {
             let s = t.length() * i as f64 / 50.0 + 0.01;
             let a = t.centerline(s);
             let b = t.centerline(s + eps);
-            let tangent = ((b.1 - a.1)).atan2(b.0 - a.0);
+            let tangent = (b.1 - a.1).atan2(b.0 - a.0);
             let h = t.heading(s);
             let diff = (tangent - h).sin().abs(); // angle distance mod 2π
             assert!(diff < 1e-4, "heading mismatch at s={s}: {tangent} vs {h}");

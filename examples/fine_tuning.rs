@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The honest "original time" baseline is a certification-grade full
     // verification: bisection-refined symbolic analysis at a fixed budget
     // (what a ReluVal-class tool does), not a single interval pass.
-    let full_baseline = |net: &covern::nn::Network,
-                         din: &covern::absint::BoxDomain| {
+    let full_baseline = |net: &covern::nn::Network, din: &covern::absint::BoxDomain| {
         let t0 = std::time::Instant::now();
         let _ = covern::absint::refine::refined_output_box(net, din, DomainKind::Symbolic, 256)
             .expect("dimensions are consistent");
@@ -62,8 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = verifier.on_model_updated(tuned, None, &method)?;
         // The paper's footnote 3: parallel accounting takes the max
         // subproblem time.
-        let ratio =
-            100.0 * report.parallel_time().as_secs_f64() / full.as_secs_f64().max(1e-12);
+        let ratio = 100.0 * report.parallel_time().as_secs_f64() / full.as_secs_f64().max(1e-12);
         println!(
             "  f{} → f{}: [{}] {} — {} subproblems, max {:?} (full: {:?}, ratio {:.2}%)",
             i,

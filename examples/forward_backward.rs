@@ -17,11 +17,7 @@ use covern::nn::{Activation, NetworkBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let net = NetworkBuilder::new(2)
-        .dense_from_rows(
-            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
-            &[0.0; 3],
-            Activation::Relu,
-        )
+        .dense_from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3], Activation::Relu)
         .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
         .build()?;
     let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)])?;
@@ -30,10 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for threshold in [3.0, 6.0, 6.5, 13.0] {
         let face = BoxDomain::from_bounds(&[(threshold, f64::INFINITY)])?;
         match network_backward_contract(&net, &din, &face, 3)? {
-            Some(region) => println!(
-                "  inputs that could reach n4 ≥ {threshold:>4}: contracted to {region}"
-            ),
-            None => println!("  inputs that could reach n4 ≥ {threshold:>4}: none (face eliminated)"),
+            Some(region) => {
+                println!("  inputs that could reach n4 ≥ {threshold:>4}: contracted to {region}")
+            }
+            None => {
+                println!("  inputs that could reach n4 ≥ {threshold:>4}: none (face eliminated)")
+            }
         }
     }
 

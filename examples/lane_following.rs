@@ -22,11 +22,7 @@ use covern::vehicle::experiment::{Scenario, ScenarioConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building platform and training the perception head …");
     let scenario = Scenario::build(ScenarioConfig::default())?;
-    println!(
-        "  head: {} (training MSE {:.4})",
-        scenario.perception().head(),
-        scenario.train_mse
-    );
+    println!("  head: {} (training MSE {:.4})", scenario.perception().head(), scenario.train_mse);
     println!("  Din: {} monitored features", scenario.din().dim());
 
     // The safety property: the head's output envelope over Din, padded —
@@ -60,8 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                          din: &covern::absint::BoxDomain,
                          dout: &covern::absint::BoxDomain| {
         let t0 = std::time::Instant::now();
-        let refined = covern::absint::refine::refined_output_box(net, din, DomainKind::Symbolic, 256)
-            .expect("dimensions are consistent");
+        let refined =
+            covern::absint::refine::refined_output_box(net, din, DomainKind::Symbolic, 256)
+                .expect("dimensions are consistent");
         let proved = dout.dilate(1e-6).contains_box(&refined);
         (t0.elapsed(), proved)
     };

@@ -40,14 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Safety property generous enough for the over-abstraction.
-    let dout = covern::absint::reach_boxes(&abstraction, &din, DomainKind::Box)?
-        .output()
-        .dilate(1.0);
+    let dout =
+        covern::absint::reach_boxes(&abstraction, &din, DomainKind::Box)?.output().dilate(1.0);
     println!("Dout: {dout}");
 
     let problem = VerificationProblem::new(net.clone(), din.clone(), dout)?;
     let mut verifier = ContinuousVerifier::new(problem, DomainKind::Box)?;
-    let built = verifier.build_network_abstraction(3, &LocalMethod::default())?;
+    // The slack buffer is what makes f̂ reusable across fine-tuning: merging
+    // alone leaves zero margin on unmerged paths, so even 1e-6 drift would
+    // fail the cover. 0.05 absorbs the three 5e-4 perturbation steps below.
+    let built = verifier.build_network_abstraction_with_slack(3, 0.05, &LocalMethod::default())?;
     println!("network abstraction built and verified: {built}");
 
     // Fine-tune repeatedly; each version is re-certified through f̂ alone.

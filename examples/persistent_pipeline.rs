@@ -56,10 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------- session 3: the model was fine-tuned overnight -------
     {
         let mut verifier = ContinuousVerifier::resume_from(&store)?;
-        println!(
-            "\nsession 3 — resumed with advanced domain: Din = {}",
-            verifier.problem().din()
-        );
+        println!("\nsession 3 — resumed with advanced domain: Din = {}", verifier.problem().din());
         let mut rng = covern::tensor::Rng::seeded(99);
         let tuned = verifier.problem().network().perturbed(1e-6, &mut rng);
         let report = verifier.on_model_updated(&tuned, None, &LocalMethod::default())?;

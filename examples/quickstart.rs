@@ -19,11 +19,7 @@ use covern::nn::{Activation, NetworkBuilder};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The network of the paper's Figure 2.
     let net = NetworkBuilder::new(2)
-        .dense_from_rows(
-            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
-            &[0.0; 3],
-            Activation::Relu,
-        )
+        .dense_from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3], Activation::Relu)
         .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
         .build()?;
     println!("network: {net}");
@@ -53,8 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // both sides are microseconds — the platform examples
     // (`lane_following`, `fine_tuning`) show the realistic gap.
     let t0 = std::time::Instant::now();
-    let refined =
-        covern::absint::refine::refined_output_box(verifier.problem().network(), &enlarged, DomainKind::Symbolic, 256)?;
+    let refined = covern::absint::refine::refined_output_box(
+        verifier.problem().network(),
+        &enlarged,
+        DomainKind::Symbolic,
+        256,
+    )?;
     let full = t0.elapsed();
     assert!(verifier.problem().dout().dilate(1e-6).contains_box(&refined));
     println!(

@@ -80,8 +80,7 @@ fn run() -> Result<bool, String> {
                 }
                 None => Margin::NONE,
             };
-            let problem =
-                VerificationProblem::new(net, din, dout).map_err(|e| e.to_string())?;
+            let problem = VerificationProblem::new(net, din, dout).map_err(|e| e.to_string())?;
             let verifier = ContinuousVerifier::with_margin(problem, DomainKind::Box, margin)
                 .map_err(|e| e.to_string())?;
             println!("original verification: {}", verifier.initial_report());

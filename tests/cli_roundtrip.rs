@@ -22,11 +22,7 @@ fn cli_verify_enlarge_update_status() {
     let store = dir.join("state.json");
 
     let net = NetworkBuilder::new(2)
-        .dense_from_rows(
-            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
-            &[0.0; 3],
-            Activation::Relu,
-        )
+        .dense_from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3], Activation::Relu)
         .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
         .build()
         .unwrap();
@@ -88,10 +84,7 @@ fn cli_verify_enlarge_update_status() {
     assert!(out.status.success(), "update failed: {}", String::from_utf8_lossy(&out.stdout));
 
     // status reflects a proved, advanced state
-    let out = cli()
-        .args(["status", "--store", store.to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out = cli().args(["status", "--store", store.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("proof status: proved"), "status said: {stdout}");

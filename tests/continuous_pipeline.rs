@@ -36,10 +36,7 @@ fn interleaved_enlargements_and_fine_tunes() {
         if step % 2 == 0 {
             let enlarged = v.problem().din().dilate(1e-4);
             let report = v.on_domain_enlarged(&enlarged, &method).unwrap();
-            assert!(
-                report.outcome.is_proved(),
-                "enlargement step {step} failed: {report}"
-            );
+            assert!(report.outcome.is_proved(), "enlargement step {step} failed: {report}");
         } else {
             current = current.perturbed(5e-5, &mut rng);
             let report = v.on_model_updated(&current, None, &method).unwrap();
@@ -136,7 +133,8 @@ fn fallback_to_full_reverification_recovers() {
     let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
     let dout = reach_boxes(&net, &din, DomainKind::Box).unwrap().output().dilate(500.0);
     let problem = VerificationProblem::new(net.clone(), din, dout).unwrap();
-    let mut v = ContinuousVerifier::with_margin(problem, DomainKind::Box, Margin::standard()).unwrap();
+    let mut v =
+        ContinuousVerifier::with_margin(problem, DomainKind::Box, Margin::standard()).unwrap();
 
     let mut rng = Rng::seeded(52);
     let mangled = net.perturbed(0.5, &mut rng); // far beyond margin slack

@@ -17,11 +17,7 @@ use covern::nn::{Activation, Network, NetworkBuilder};
 
 fn fig2_net() -> Network {
     NetworkBuilder::new(2)
-        .dense_from_rows(
-            &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
-            &[0.0; 3],
-            Activation::Relu,
-        )
+        .dense_from_rows(&[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]], &[0.0; 3], Activation::Relu)
         .dense_from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu)
         .build()
         .expect("fig2 network")
@@ -89,9 +85,7 @@ fn fig2_prop1_walkthrough_via_pipeline() {
     assert!(verifier.initial_report().outcome.is_proved());
 
     let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
-    let report = verifier
-        .on_domain_enlarged(&enlarged, &LocalMethod::default())
-        .unwrap();
+    let report = verifier.on_domain_enlarged(&enlarged, &LocalMethod::default()).unwrap();
     assert!(report.outcome.is_proved());
     assert_eq!(report.strategy, Strategy::Prop1);
 }

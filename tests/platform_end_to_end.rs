@@ -28,9 +28,14 @@ fn envelope_dout(
 ) -> covern::absint::BoxDomain {
     let free = covern::absint::BoxDomain::from_bounds(&[(f64::NEG_INFINITY, f64::INFINITY)])
         .expect("free target");
-    let envelope =
-        StateAbstractionArtifact::build_with_margin(head, scenario.din(), &free, DomainKind::Box, margin)
-            .expect("envelope builds");
+    let envelope = StateAbstractionArtifact::build_with_margin(
+        head,
+        scenario.din(),
+        &free,
+        DomainKind::Box,
+        margin,
+    )
+    .expect("envelope builds");
     envelope.layers().output().dilate(0.05)
 }
 
@@ -44,9 +49,7 @@ fn monitored_enlargements_verify_incrementally() {
     let mut verifier = ContinuousVerifier::with_margin(problem, DomainKind::Box, margin).unwrap();
     assert!(verifier.initial_report().outcome.is_proved(), "original proof failed");
 
-    let events = scenario
-        .drive_and_monitor(&Scenario::standard_schedule(), 8)
-        .unwrap();
+    let events = scenario.drive_and_monitor(&Scenario::standard_schedule(), 8).unwrap();
     assert!(!events.is_empty(), "the schedule must trip the monitor");
 
     let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 16 };

@@ -23,13 +23,7 @@ fn random_net(seed: u64, dims: &[usize]) -> Network {
 fn sample_in(b: &BoxDomain, rng: &mut Rng) -> Vec<f64> {
     b.intervals()
         .iter()
-        .map(|iv| {
-            if iv.width() > 0.0 {
-                rng.uniform(iv.lo(), iv.hi())
-            } else {
-                iv.lo()
-            }
-        })
+        .map(|iv| if iv.width() > 0.0 { rng.uniform(iv.lo(), iv.hi()) } else { iv.lo() })
         .collect()
 }
 
