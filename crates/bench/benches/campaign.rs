@@ -1,0 +1,69 @@
+//! Campaign throughput: scenario-level scaling with the worker count, and
+//! the artifact cache's contribution (the ROADMAP's sharding/batching/
+//! caching axis).
+//!
+//! Each iteration runs a fresh engine over a fixed 12-scenario corpus
+//! (4 families, so 8 of 12 initial verifications are shared): the
+//! `threads_*` rows show wall-clock scaling of the same verdict stream;
+//! the `cache_*` rows isolate the store by running the identical corpus
+//! with and without it. The cache-hit rate of the cached run is printed
+//! once at startup so regressions in reuse (not just in speed) are
+//! visible from bench output.
+
+use covern_campaign::corpus::{generate, CorpusConfig};
+use covern_campaign::runner::{CampaignConfig, CampaignEngine};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn corpus_config() -> CorpusConfig {
+    CorpusConfig {
+        scenarios: 12,
+        families: 4,
+        events_per_scenario: 3,
+        seed: 4242,
+        include_vehicle: false,
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let corpus = generate(&corpus_config()).expect("corpus generates");
+
+    // Reported once: the reuse level the threads_* rows run at.
+    let probe = CampaignEngine::new(CampaignConfig::default());
+    let report = probe.run(&corpus).expect("campaign runs");
+    let total = report.cache.hits + report.cache.misses;
+    println!(
+        "campaign corpus: {} scenarios, cache {} hits / {} requests ({:.0}%)",
+        report.scenarios.len(),
+        report.cache.hits,
+        total,
+        100.0 * report.cache.hits as f64 / total.max(1) as f64
+    );
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                let engine =
+                    CampaignEngine::new(CampaignConfig { threads, ..CampaignConfig::default() });
+                engine.run(&corpus).expect("campaign runs")
+            })
+        });
+    }
+    for use_cache in [true, false] {
+        group.bench_function(format!("cache_{use_cache}"), |b| {
+            b.iter(|| {
+                let engine = CampaignEngine::new(CampaignConfig {
+                    threads: 4,
+                    use_cache,
+                    ..CampaignConfig::default()
+                });
+                engine.run(&corpus).expect("campaign runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

@@ -1,0 +1,279 @@
+//! Content-addressed artifact cache with single-flight computation.
+//!
+//! Campaign corpora share structure: fine-tune families branch off one
+//! base model, several scenarios monitor the same `Din`, properties
+//! repeat. Every full-verification subproblem is therefore addressed by
+//! the *content* of its instance — a 128-bit hash of the network snapshot
+//! bytes ([`covern_nn::serialize::content_hash`]), both boxes' IEEE-754
+//! bit patterns, the abstract domain, and the margin — and computed at
+//! most once per campaign, however many scenarios and threads request it.
+//!
+//! **Single flight.** Each key owns a slot; the first requester computes
+//! while holding the slot lock, concurrent requesters for the same key
+//! block on the slot (not on the whole store) and are then served the
+//! stored result. This makes hit/miss counts *deterministic*: for any
+//! schedule, `misses` = number of distinct keys computed and `hits` =
+//! requests − misses — which is what lets a campaign report be
+//! reproducible under a fixed seed even at high thread counts.
+//!
+//! **Soundness.** A key collision would alias two different proofs, so the
+//! address is 128 bits over bit-exact content — see the discussion at
+//! [`covern_nn::serialize::content_hash`]. Verdicts served from the cache
+//! are bit-identical to cache-cold verdicts because the underlying
+//! computation is deterministic in the keyed content (the differential
+//! test suite asserts this end to end).
+
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::DomainKind;
+use covern_core::artifact::{Margin, ProofArtifacts};
+use covern_core::cache::{FullVerifyFn, VerifyCache};
+use covern_core::problem::VerificationProblem;
+use covern_core::report::VerifyReport;
+use covern_core::CoreError;
+use covern_nn::serialize::content_hash;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A 128-bit content address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey([u64; 2]);
+
+/// Two FNV-1a-64 lanes over u64 words (the same construction as
+/// `covern_nn::serialize::content_hash`, seeded differently so network
+/// hashes and composite keys never collide by construction).
+struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+impl KeyHasher {
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+    fn new(tag: &str) -> Self {
+        let mut h = Self { a: 0xcbf2_9ce4_8422_2325, b: 0x84222325_cbf29ce4 };
+        for byte in tag.bytes() {
+            h.write_byte(byte);
+        }
+        h
+    }
+
+    fn write_byte(&mut self, byte: u8) {
+        self.a = (self.a ^ u64::from(byte)).wrapping_mul(Self::FNV_PRIME);
+        self.b = (self.b ^ u64::from(byte).rotate_left(23)).wrapping_mul(Self::FNV_PRIME);
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.write_byte(byte);
+        }
+    }
+
+    fn write_box(&mut self, b: &BoxDomain) {
+        self.write_u64(b.dim() as u64);
+        for iv in b.intervals() {
+            self.write_u64(iv.lo().to_bits());
+            self.write_u64(iv.hi().to_bits());
+        }
+    }
+
+    fn finish(&self) -> CacheKey {
+        CacheKey([self.a, self.b])
+    }
+}
+
+/// Derives the content address of a full-verification instance.
+pub fn full_verify_key(
+    problem: &VerificationProblem,
+    domain: DomainKind,
+    margin: Margin,
+) -> CacheKey {
+    let mut h = KeyHasher::new("covern-campaign-full-verify-v1");
+    let net = content_hash(problem.network());
+    h.write_u64(net[0]);
+    h.write_u64(net[1]);
+    h.write_box(problem.din());
+    h.write_box(problem.dout());
+    h.write_u64(match domain {
+        DomainKind::Box => 0,
+        DomainKind::Symbolic => 1,
+        DomainKind::Zonotope => 2,
+    });
+    h.write_u64(margin.rel.to_bits());
+    h.write_u64(margin.abs.to_bits());
+    h.finish()
+}
+
+/// Hit/miss counters of an [`ArtifactCache`] (monotone snapshots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a stored artifact (including requests that
+    /// waited for an in-flight computation of the same key).
+    pub hits: u64,
+    /// Requests that ran the underlying computation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit fraction in `[0, 1]`; `0` when no requests were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Bundle = (VerifyReport, ProofArtifacts);
+
+/// One key's slot. The value lock doubles as the single-flight latch.
+#[derive(Debug, Default)]
+struct Slot {
+    value: Mutex<Option<Bundle>>,
+}
+
+/// The content-addressed artifact store (see module docs). Cheap to share:
+/// wrap in an [`Arc`] and hand clones to every scenario worker.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    slots: Mutex<HashMap<CacheKey, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of stored (or in-flight) entries.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache map lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn slot(&self, key: CacheKey) -> Arc<Slot> {
+        let mut map = self.slots.lock().expect("cache map lock");
+        Arc::clone(map.entry(key).or_default())
+    }
+}
+
+impl VerifyCache for ArtifactCache {
+    fn full_verify(
+        &self,
+        problem: &VerificationProblem,
+        domain: DomainKind,
+        margin: Margin,
+        compute: &mut FullVerifyFn<'_>,
+    ) -> Result<Bundle, CoreError> {
+        let slot = self.slot(full_verify_key(problem, domain, margin));
+        // Single flight: holding the slot's value lock while computing
+        // makes concurrent same-key requesters wait here, then observe the
+        // stored bundle. Distinct keys never contend (the map lock above
+        // is only held for the entry lookup).
+        let mut value = slot.value.lock().expect("cache slot lock");
+        if let Some(stored) = value.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(stored.clone());
+        }
+        // Errors propagate without being stored: the next requester
+        // re-runs the computation.
+        let bundle = compute()?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        *value = Some(bundle.clone());
+        Ok(bundle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, Network, NetworkBuilder};
+    use covern_tensor::Rng;
+
+    fn tiny_problem(weight: f64) -> VerificationProblem {
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[weight]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-1.0, weight.abs() + 1.0)]).unwrap();
+        VerificationProblem::new(net, din, dout).unwrap()
+    }
+
+    #[test]
+    fn keys_separate_every_component() {
+        let p = tiny_problem(2.0);
+        let base = full_verify_key(&p, DomainKind::Box, Margin::NONE);
+        // Network content.
+        let other_net = tiny_problem(2.0000000001);
+        assert_ne!(base, full_verify_key(&other_net, DomainKind::Box, Margin::NONE));
+        // Abstract domain.
+        assert_ne!(base, full_verify_key(&p, DomainKind::Symbolic, Margin::NONE));
+        // Margin.
+        assert_ne!(base, full_verify_key(&p, DomainKind::Box, Margin::standard()));
+        // Same content, freshly built: identical address.
+        assert_eq!(base, full_verify_key(&tiny_problem(2.0), DomainKind::Box, Margin::NONE));
+    }
+
+    #[test]
+    fn single_flight_counts_are_request_arithmetic() {
+        let cache = Arc::new(ArtifactCache::new());
+        let p = tiny_problem(3.0);
+        let q = tiny_problem(-1.5);
+        // 6 concurrent requests over 2 distinct keys.
+        std::thread::scope(|scope| {
+            for i in 0..6 {
+                let cache = Arc::clone(&cache);
+                let problem = if i % 2 == 0 { p.clone() } else { q.clone() };
+                scope.spawn(move || {
+                    let mut compute = || problem.verify_full(DomainKind::Box, 16);
+                    cache
+                        .full_verify(&problem, DomainKind::Box, Margin::NONE, &mut compute)
+                        .unwrap();
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "one computation per distinct key");
+        assert_eq!(stats.hits, 4);
+        assert_eq!(cache.len(), 2);
+        assert!((stats.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_results_replay_cold_results_bitwise() {
+        let mut rng = Rng::seeded(99);
+        let net = Network::random(&[2, 5, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 2]).unwrap();
+        let dout = covern_absint::reach::reach_boxes(&net, &din, DomainKind::Box)
+            .unwrap()
+            .output()
+            .dilate(1.0);
+        let problem = VerificationProblem::new(net, din, dout).unwrap();
+        let cold = problem.verify_full(DomainKind::Box, 64).unwrap();
+        let cache = ArtifactCache::new();
+        let mut compute = || problem.verify_full(DomainKind::Box, 64);
+        let miss =
+            cache.full_verify(&problem, DomainKind::Box, Margin::NONE, &mut compute).unwrap();
+        let hit = cache.full_verify(&problem, DomainKind::Box, Margin::NONE, &mut compute).unwrap();
+        assert_eq!(cold.0.outcome, miss.0.outcome);
+        assert_eq!(miss.0.outcome, hit.0.outcome);
+        assert_eq!(cold.1.state, hit.1.state, "artifacts must replay bit-identically");
+    }
+}

@@ -1,0 +1,304 @@
+//! Seeded scenario-corpus generation.
+//!
+//! A corpus mimics a fleet's continuous-engineering traffic: `families`
+//! base models, each shared by several scenarios (fine-tune branches of
+//! one deployment), every scenario absorbing a seeded stream of deltas
+//! covering all three kinds — domain enlargements (SVuDC), fine-tuning
+//! updates (SVbTV), and property changes (§VI specification evolution).
+//! Scenarios of one family share their original verification instance
+//! bit-for-bit, which is what the campaign cache deduplicates.
+//!
+//! Generation is deterministic in [`CorpusConfig::seed`]: every network,
+//! box and perturbation is drawn from an [`Rng`] seeded by a stable
+//! function of (seed, family, scenario), never from global state.
+//!
+//! [`vehicle_scenario`] additionally derives a scenario from the simulated
+//! lane-following platform (trained perception head, monitor-fitted `Din`,
+//! enlargements recorded while driving under drifting conditions, and the
+//! platform's fine-tune sequence).
+
+use crate::error::CampaignError;
+use crate::scenario::{DeltaEvent, Scenario};
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::reach::reach_boxes;
+use covern_absint::DomainKind;
+use covern_core::artifact::Margin;
+use covern_nn::{Activation, Network};
+use covern_tensor::Rng;
+use covern_vehicle::camera::Conditions;
+use covern_vehicle::experiment::{Scenario as VehicleScenario, ScenarioConfig};
+
+/// Corpus shape and seeding.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of synthetic scenarios to generate.
+    pub scenarios: usize,
+    /// Number of distinct base models; scenarios are dealt round-robin
+    /// onto families, so `scenarios − families` initial verifications are
+    /// shared (the cache's guaranteed lower bound on hits).
+    pub families: usize,
+    /// Delta events per scenario (cycled through the three kinds).
+    pub events_per_scenario: usize,
+    /// Master seed; the corpus is a pure function of this config.
+    pub seed: u64,
+    /// Append the lane-following platform scenario (trains a small
+    /// perception head — noticeably slower than the synthetic scenarios).
+    pub include_vehicle: bool,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            scenarios: 8,
+            families: 3,
+            events_per_scenario: 3,
+            seed: 2021,
+            include_vehicle: false,
+        }
+    }
+}
+
+/// Architectures dealt to families, round-robin.
+const FAMILY_DIMS: [&[usize]; 5] =
+    [&[3, 8, 6, 1], &[2, 6, 5, 1], &[4, 8, 4, 2], &[3, 10, 6, 1], &[2, 8, 8, 1]];
+
+/// Symmetric inward shrink by `eps` per side — the specification-evolution
+/// stress case (a *tightened* but still generous property). Clamps at each
+/// interval's midpoint so the result is always a valid box.
+fn tighten(b: &BoxDomain, eps: f64) -> BoxDomain {
+    let bounds: Vec<(f64, f64)> = b
+        .intervals()
+        .iter()
+        .map(|iv| {
+            let eps = eps.min(iv.width() * 0.5);
+            (iv.lo() + eps, iv.hi() - eps)
+        })
+        .collect();
+    BoxDomain::from_bounds(&bounds).expect("shrink keeps lo ≤ hi")
+}
+
+fn family_seed(config: &CorpusConfig, family: usize) -> u64 {
+    config.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(family as u64)
+}
+
+fn family_base(config: &CorpusConfig, family: usize) -> (Network, BoxDomain, BoxDomain) {
+    let dims = FAMILY_DIMS[family % FAMILY_DIMS.len()];
+    let mut rng = Rng::seeded(family_seed(config, family));
+    let net = Network::random(dims, Activation::Relu, Activation::Identity, &mut rng);
+    let din = BoxDomain::from_bounds(&vec![(-1.0, 1.0); dims[0]]).expect("unit box");
+    // A generous property around the box-reach output: most scenarios
+    // prove, leaving slack for enlargements and drift; campaigns still
+    // record Unknown/Refuted honestly when a trajectory outruns it.
+    let dout = reach_boxes(&net, &din, DomainKind::Box)
+        .expect("reach on the base problem")
+        .output()
+        .dilate(3.0);
+    (net, din, dout)
+}
+
+/// Generates the synthetic corpus (plus the vehicle scenario when
+/// configured); deterministic in `config`.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::InvalidConfig`] for an empty shape, and
+/// substrate errors from the vehicle platform.
+pub fn generate(config: &CorpusConfig) -> Result<Vec<Scenario>, CampaignError> {
+    if config.scenarios == 0 && !config.include_vehicle {
+        return Err(CampaignError::InvalidConfig("corpus has no scenarios".into()));
+    }
+    if config.families == 0 {
+        return Err(CampaignError::InvalidConfig("families must be ≥ 1".into()));
+    }
+    let mut corpus = Vec::with_capacity(config.scenarios + usize::from(config.include_vehicle));
+    for i in 0..config.scenarios {
+        let family = i % config.families;
+        let (net, din, dout) = family_base(config, family);
+        let mut rng = Rng::seeded(family_seed(config, family) ^ (i as u64).wrapping_add(1));
+        let mut cur_net = net.clone();
+        let mut cur_din = din.clone();
+        let mut cur_dout = dout.clone();
+        let mut events = Vec::with_capacity(config.events_per_scenario);
+        for e in 0..config.events_per_scenario {
+            match (i + e) % 3 {
+                0 => {
+                    // SVuDC: the monitor saw slightly wilder inputs.
+                    cur_din = cur_din.dilate(rng.uniform(0.005, 0.03));
+                    events.push(DeltaEvent::DomainEnlarged(cur_din.clone()));
+                }
+                1 => {
+                    // SVbTV: a small fine-tuning step.
+                    cur_net = cur_net.perturbed(1e-4, &mut rng);
+                    events.push(DeltaEvent::ModelUpdated(cur_net.clone()));
+                }
+                _ => {
+                    // Specification evolution: usually loosened, sometimes
+                    // the stress case of a (still true) slight tightening.
+                    cur_dout = if e % 2 == 0 {
+                        cur_dout.dilate(rng.uniform(0.01, 0.1))
+                    } else {
+                        tighten(&cur_dout, 0.005)
+                    };
+                    events.push(DeltaEvent::PropertyChanged(cur_dout.clone()));
+                }
+            }
+        }
+        corpus.push(Scenario {
+            name: format!("synthetic-{i:03}-family-{family}"),
+            network: net,
+            din,
+            dout,
+            domain: DomainKind::Box,
+            margin: Margin::standard(),
+            events,
+        });
+    }
+    if config.include_vehicle {
+        corpus.push(vehicle_scenario(config.seed)?);
+    }
+    Ok(corpus)
+}
+
+/// Builds the lane-following workload scenario: a (small) trained
+/// perception head verified on the monitor's `Din`, with enlargements
+/// recorded from driving under drifting conditions and model updates from
+/// the platform's fine-tune sequence.
+///
+/// # Errors
+///
+/// Returns substrate errors from the platform build.
+pub fn vehicle_scenario(seed: u64) -> Result<Scenario, CampaignError> {
+    let config = ScenarioConfig {
+        image_size: 12,
+        hidden: vec![8, 6],
+        train_samples: 40,
+        train_epochs: 6,
+        fine_tune_count: 2,
+        fine_tune_epochs: 1,
+        seed,
+        ..ScenarioConfig::default()
+    };
+    let platform = VehicleScenario::build(config)?;
+    let net = platform.perception().head().clone();
+    let din = platform.din().clone();
+    let dout = reach_boxes(&net, &din, DomainKind::Box)?.output().dilate(2.0);
+
+    let mut events = Vec::new();
+    let mut cur_din = din.clone();
+    // Nominal driving, a harsh excursion, then the paper's black-swan
+    // conditions — enough feature drift to trip the monitor.
+    let schedule = [
+        Conditions::nominal(),
+        Conditions { brightness: 1.45, noise: 0.02, glare: 0.25 },
+        Conditions::black_swan(),
+    ];
+    for enlargement in platform.drive_and_monitor(&schedule, 8)? {
+        // Recorder events chain, but hull defensively so every emitted box
+        // is an enlargement of the running domain.
+        cur_din = cur_din.hull(&enlargement.after);
+        events.push(DeltaEvent::DomainEnlarged(cur_din.clone()));
+    }
+    for tuned in platform.fine_tune_sequence()?.into_iter().skip(1) {
+        events.push(DeltaEvent::ModelUpdated(tuned));
+    }
+    events.push(DeltaEvent::PropertyChanged(dout.dilate(0.5)));
+
+    Ok(Scenario {
+        name: "vehicle-lane-following".into(),
+        network: net,
+        din,
+        dout,
+        domain: DomainKind::Box,
+        margin: Margin::standard(),
+        events,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_covers_all_kinds() {
+        let config = CorpusConfig { scenarios: 9, ..CorpusConfig::default() };
+        let a = generate(&config).unwrap();
+        let b = generate(&config).unwrap();
+        assert_eq!(a.len(), 9);
+        let mut kinds = std::collections::HashSet::new();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(
+                covern_nn::serialize::content_hash(&x.network),
+                covern_nn::serialize::content_hash(&y.network)
+            );
+            assert_eq!(x.events.len(), y.events.len());
+            for (ex, ey) in x.events.iter().zip(y.events.iter()) {
+                kinds.insert(ex.kind());
+                assert_eq!(ex.kind(), ey.kind());
+                if let (DeltaEvent::ModelUpdated(nx), DeltaEvent::ModelUpdated(ny)) = (ex, ey) {
+                    assert_eq!(
+                        covern_nn::serialize::content_hash(nx),
+                        covern_nn::serialize::content_hash(ny)
+                    );
+                }
+            }
+        }
+        assert_eq!(kinds.len(), 3, "all three delta kinds must appear");
+    }
+
+    #[test]
+    fn families_share_base_instances() {
+        let config = CorpusConfig { scenarios: 6, families: 2, ..CorpusConfig::default() };
+        let corpus = generate(&config).unwrap();
+        let h0 = covern_nn::serialize::content_hash(&corpus[0].network);
+        let h2 = covern_nn::serialize::content_hash(&corpus[2].network);
+        let h1 = covern_nn::serialize::content_hash(&corpus[1].network);
+        assert_eq!(h0, h2, "same family ⇒ same base network");
+        assert_ne!(h0, h1, "different family ⇒ different base network");
+        assert_eq!(corpus[0].din, corpus[2].din);
+        assert_eq!(corpus[0].dout, corpus[2].dout);
+    }
+
+    #[test]
+    fn enlargements_are_monotone() {
+        let config = CorpusConfig { scenarios: 6, events_per_scenario: 6, ..Default::default() };
+        for s in generate(&config).unwrap() {
+            let mut cur = s.din.clone();
+            for e in &s.events {
+                if let DeltaEvent::DomainEnlarged(next) = e {
+                    assert!(next.dilate(1e-12).contains_box(&cur));
+                    cur = next.clone();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vehicle_scenario_covers_all_three_kinds() {
+        let s = vehicle_scenario(2021).unwrap();
+        let (enlarged, updated, changed) = s.kind_counts();
+        assert!(enlarged >= 1, "driving the schedule must trip the monitor");
+        assert!(updated >= 1, "the fine-tune sequence must contribute updates");
+        assert!(changed >= 1);
+        assert_eq!(s.network.output_dim(), 1, "lane-following head is scalar vout");
+    }
+
+    #[test]
+    fn empty_shapes_are_rejected() {
+        let config =
+            CorpusConfig { scenarios: 0, include_vehicle: false, ..CorpusConfig::default() };
+        assert!(matches!(generate(&config), Err(CampaignError::InvalidConfig(_))));
+        let config = CorpusConfig { families: 0, ..CorpusConfig::default() };
+        assert!(matches!(generate(&config), Err(CampaignError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn delta_kind_mix_is_balanced_per_scenario() {
+        let config = CorpusConfig { scenarios: 3, events_per_scenario: 3, ..Default::default() };
+        for s in generate(&config).unwrap() {
+            let (a, b, c) = s.kind_counts();
+            assert_eq!(a + b + c, 3);
+            assert_eq!(a.max(b).max(c), 1, "3 events cycle through all kinds: {:?}", (a, b, c));
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the campaign engine.
+
+use covern_core::CoreError;
+use covern_nn::NnError;
+use covern_vehicle::VehicleError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by corpus generation or campaign execution.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum CampaignError {
+    /// The verification core reported an error.
+    Core(CoreError),
+    /// The neural-network substrate reported an error.
+    Nn(NnError),
+    /// The vehicle platform reported an error (vehicle workload only).
+    Vehicle(VehicleError),
+    /// A configuration value is out of its valid range.
+    InvalidConfig(String),
+    /// Report (de)serialization failed.
+    Report(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Core(e) => write!(f, "verification error: {e}"),
+            CampaignError::Nn(e) => write!(f, "network error: {e}"),
+            CampaignError::Vehicle(e) => write!(f, "vehicle platform error: {e}"),
+            CampaignError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            CampaignError::Report(msg) => write!(f, "report error: {msg}"),
+        }
+    }
+}
+
+impl Error for CampaignError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CampaignError::Core(e) => Some(e),
+            CampaignError::Nn(e) => Some(e),
+            CampaignError::Vehicle(e) => Some(e),
+            CampaignError::InvalidConfig(_) | CampaignError::Report(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for CampaignError {
+    fn from(e: CoreError) -> Self {
+        CampaignError::Core(e)
+    }
+}
+
+impl From<NnError> for CampaignError {
+    fn from(e: NnError) -> Self {
+        CampaignError::Nn(e)
+    }
+}
+
+impl From<VehicleError> for CampaignError {
+    fn from(e: VehicleError) -> Self {
+        CampaignError::Vehicle(e)
+    }
+}
+
+impl From<covern_absint::AbsintError> for CampaignError {
+    fn from(e: covern_absint::AbsintError) -> Self {
+        CampaignError::Core(CoreError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CampaignError::from(CoreError::NotAnEnlargement);
+        assert!(!e.to_string().is_empty());
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&CampaignError::InvalidConfig("x".into())).is_none());
+    }
+}

@@ -1,0 +1,50 @@
+//! Batch verification campaigns for continuous safety verification.
+//!
+//! The paper amortizes verification cost across a *stream* of deltas; a
+//! fleet amortizes it across many such streams at once. This crate runs a
+//! corpus of [`Scenario`]s — each an original problem `φ(f, Din, Dout)`
+//! plus an ordered delta stream (domain enlarged / model fine-tuned /
+//! property changed) — concurrently on the core worker pool, and
+//! deduplicates the expensive monolithic subproblems through a
+//! content-addressed [`ArtifactCache`]: two fine-tune branches of one
+//! base model, or two scenarios monitoring the same domain, verify their
+//! shared instance exactly once.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`scenario`] | scenarios and the three delta kinds |
+//! | [`corpus`] | seeded corpus generation (synthetic families + the lane-following workload) |
+//! | [`cache`] | content-addressed, single-flight artifact store |
+//! | [`runner`] | the concurrent engine and per-scenario execution |
+//! | [`report`] | JSON campaign reports (full and canonical forms) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use covern_campaign::corpus::{generate, CorpusConfig};
+//! use covern_campaign::runner::{CampaignConfig, CampaignEngine};
+//!
+//! # fn main() -> Result<(), covern_campaign::CampaignError> {
+//! let corpus = generate(&CorpusConfig { scenarios: 4, ..CorpusConfig::default() })?;
+//! let engine = CampaignEngine::new(CampaignConfig { threads: 2, ..CampaignConfig::default() });
+//! let report = engine.run(&corpus)?;
+//! assert_eq!(report.scenarios.len(), 4);
+//! // Scenarios share base models, so at least one artifact was reused.
+//! assert!(report.cache.hits > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+pub mod corpus;
+pub mod error;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use cache::{ArtifactCache, CacheStats};
+pub use corpus::CorpusConfig;
+pub use error::CampaignError;
+pub use report::CampaignReport;
+pub use runner::{CampaignConfig, CampaignEngine};
+pub use scenario::{DeltaEvent, DeltaKind, Scenario};

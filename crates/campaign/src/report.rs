@@ -1,0 +1,264 @@
+//! Campaign reports: per-scenario verdict streams, cache counters, and
+//! the footnote-3 parallel-vs-sequential time accounting, as JSON.
+//!
+//! Two serializations are offered:
+//!
+//! * [`CampaignReport::to_json`] — the full report, wall times included;
+//! * [`CampaignReport::canonical_json`] — the *deterministic* form: all
+//!   timing fields zeroed. Everything else (scenario order, verdicts,
+//!   strategies, witnesses, cache hit/miss counts) is a pure function of
+//!   the corpus under a fixed seed — the cache's single-flight discipline
+//!   keeps even the hit/miss split schedule-independent. Two runs of the
+//!   same campaign configuration produce byte-identical canonical JSON;
+//!   across *different* thread counts only the recorded
+//!   `threads`/`scenario_threads` header fields differ, never the
+//!   verdict or cache sections.
+
+use crate::error::CampaignError;
+use covern_core::report::{VerifyOutcome, VerifyReport};
+use serde::{Deserialize, Serialize};
+
+/// Format tag of the JSON report.
+pub const REPORT_FORMAT: &str = "covern-campaign-report-v1";
+
+/// One delta event's verdict and accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Delta kind tag (`domain-enlarged` | `model-updated` |
+    /// `property-changed`).
+    pub kind: String,
+    /// The strategy that decided the event (`prop1` … `prop6`, `fixing`,
+    /// `full`).
+    pub strategy: String,
+    /// `proved` | `refuted` | `unknown`.
+    pub outcome: String,
+    /// The violating input, when refuted.
+    pub witness: Option<Vec<f64>>,
+    /// Wall-clock time of the event (µs).
+    pub wall_us: u64,
+    /// Footnote-3 parallel accounting: the longest subproblem (µs).
+    pub parallel_us: u64,
+    /// Footnote-3 sequential accounting: sum of subproblems (µs).
+    pub sequential_us: u64,
+    /// Number of local subproblems the strategy decomposed into.
+    pub subproblems: u64,
+}
+
+impl EventRecord {
+    /// Builds a record from a pipeline report.
+    pub fn from_report(kind: &crate::scenario::DeltaKind, report: &VerifyReport) -> Self {
+        Self {
+            kind: kind.to_string(),
+            strategy: report.strategy.to_string(),
+            outcome: report.outcome.to_string(),
+            witness: match &report.outcome {
+                VerifyOutcome::Refuted(w) => Some(w.clone()),
+                _ => None,
+            },
+            wall_us: report.wall.as_micros() as u64,
+            parallel_us: report.parallel_time().as_micros() as u64,
+            sequential_us: report.sequential_time().as_micros() as u64,
+            subproblems: report.subproblems.len() as u64,
+        }
+    }
+
+    fn zero_times(&mut self) {
+        self.wall_us = 0;
+        self.parallel_us = 0;
+        self.sequential_us = 0;
+    }
+}
+
+/// One scenario's full trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Scenario name (corpus order is preserved in the campaign report).
+    pub name: String,
+    /// Outcome of the original verification.
+    pub initial_outcome: String,
+    /// Wall time of the original verification (µs). For a cache hit this
+    /// is the time the shared instance originally cost, not the lookup.
+    pub initial_wall_us: u64,
+    /// Verdicts of the delta stream, in event order.
+    pub events: Vec<EventRecord>,
+    /// Scenario wall time as seen by its worker (µs).
+    pub wall_us: u64,
+    /// An execution error, if the scenario aborted (its verdicts up to
+    /// that point are kept).
+    pub error: Option<String>,
+}
+
+impl ScenarioReport {
+    fn zero_times(&mut self) {
+        self.initial_wall_us = 0;
+        self.wall_us = 0;
+        for e in &mut self.events {
+            e.zero_times();
+        }
+    }
+}
+
+/// Cache counters of the campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheSection {
+    /// Whether a cache was installed at all.
+    pub enabled: bool,
+    /// Requests served from the store.
+    pub hits: u64,
+    /// Requests that computed (and stored) their instance.
+    pub misses: u64,
+    /// Distinct content addresses stored.
+    pub entries: u64,
+}
+
+/// The campaign report (see module docs for the two JSON forms).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Format tag ([`REPORT_FORMAT`]).
+    pub format: String,
+    /// Scenario worker count.
+    pub threads: usize,
+    /// Thread budget handed to each scenario's verifier for its local
+    /// subproblems.
+    pub scenario_threads: usize,
+    /// Per-scenario trajectories, in corpus order.
+    pub scenarios: Vec<ScenarioReport>,
+    /// Cache counters.
+    pub cache: CacheSection,
+    /// Campaign wall-clock time (µs) — the parallel accounting.
+    pub wall_us: u64,
+    /// Sum of per-scenario wall times as observed by their workers (µs) —
+    /// the footnote-3 sequential accounting. Note this *bounds* a
+    /// cache-cold sequential run rather than equalling it: a scenario
+    /// blocked on another worker's in-flight computation of a shared
+    /// instance counts that wait in its own wall time, so on cache-heavy
+    /// corpora `sequential_us / wall_us` overstates the realized speedup.
+    pub sequential_us: u64,
+    /// Scenarios whose whole trajectory (initial + every event) proved.
+    pub proved: usize,
+    /// Scenarios with at least one refuted verdict.
+    pub refuted: usize,
+    /// Scenarios with at least one unknown verdict (and none refuted).
+    pub unknown: usize,
+    /// Scenarios that aborted with an error.
+    pub errors: usize,
+}
+
+impl CampaignReport {
+    /// Serializes the full report (timings included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Report`] if encoding fails.
+    pub fn to_json(&self) -> Result<String, CampaignError> {
+        serde_json::to_string(self).map_err(|e| CampaignError::Report(e.to_string()))
+    }
+
+    /// Parses a report serialized by [`to_json`](Self::to_json) (either
+    /// form), validating the format tag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Report`] on malformed JSON or an unknown
+    /// format tag.
+    pub fn from_json(s: &str) -> Result<Self, CampaignError> {
+        let report: CampaignReport =
+            serde_json::from_str(s).map_err(|e| CampaignError::Report(e.to_string()))?;
+        if report.format != REPORT_FORMAT {
+            return Err(CampaignError::Report(format!(
+                "unknown report format {:?}",
+                report.format
+            )));
+        }
+        Ok(report)
+    }
+
+    /// The deterministic form: a copy with every timing field zeroed.
+    pub fn canonical(&self) -> Self {
+        let mut c = self.clone();
+        c.wall_us = 0;
+        c.sequential_us = 0;
+        for s in &mut c.scenarios {
+            s.zero_times();
+        }
+        c
+    }
+
+    /// Serializes [`canonical`](Self::canonical); byte-identical across
+    /// runs of the same corpus at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::Report`] if encoding fails.
+    pub fn canonical_json(&self) -> Result<String, CampaignError> {
+        self.canonical().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_core::report::Strategy;
+    use std::time::Duration;
+
+    fn sample_report() -> CampaignReport {
+        let vr = VerifyReport::monolithic(
+            VerifyOutcome::Refuted(vec![0.5, -0.5]),
+            Strategy::Full,
+            Duration::from_micros(1234),
+        );
+        CampaignReport {
+            format: REPORT_FORMAT.into(),
+            threads: 4,
+            scenario_threads: 1,
+            scenarios: vec![ScenarioReport {
+                name: "s0".into(),
+                initial_outcome: "proved".into(),
+                initial_wall_us: 99,
+                events: vec![EventRecord::from_report(
+                    &crate::scenario::DeltaKind::ModelUpdated,
+                    &vr,
+                )],
+                wall_us: 500,
+                error: None,
+            }],
+            cache: CacheSection { enabled: true, hits: 3, misses: 2, entries: 2 },
+            wall_us: 1000,
+            sequential_us: 1500,
+            proved: 0,
+            refuted: 1,
+            unknown: 0,
+            errors: 0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let report = sample_report();
+        let back = CampaignReport::from_json(&report.to_json().unwrap()).unwrap();
+        assert_eq!(report, back);
+        assert_eq!(back.scenarios[0].events[0].witness, Some(vec![0.5, -0.5]));
+        assert_eq!(back.scenarios[0].events[0].kind, "model-updated");
+    }
+
+    #[test]
+    fn canonical_zeroes_only_times() {
+        let report = sample_report();
+        let c = report.canonical();
+        assert_eq!(c.wall_us, 0);
+        assert_eq!(c.sequential_us, 0);
+        assert_eq!(c.scenarios[0].wall_us, 0);
+        assert_eq!(c.scenarios[0].initial_wall_us, 0);
+        assert_eq!(c.scenarios[0].events[0].wall_us, 0);
+        // Verdicts and cache counters survive.
+        assert_eq!(c.cache, report.cache);
+        assert_eq!(c.scenarios[0].events[0].outcome, "refuted");
+        assert_eq!(c.refuted, 1);
+    }
+
+    #[test]
+    fn wrong_format_tag_is_rejected() {
+        let json = sample_report().to_json().unwrap().replace(REPORT_FORMAT, "other");
+        assert!(matches!(CampaignReport::from_json(&json), Err(CampaignError::Report(_))));
+    }
+}

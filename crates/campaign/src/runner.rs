@@ -1,0 +1,248 @@
+//! The campaign engine: concurrent scenario execution over the shared
+//! worker pool, artifacts deduplicated through the content-addressed
+//! cache.
+//!
+//! Scheduling is two-level, both levels pull-based:
+//!
+//! * **scenarios** are fed through the MPMC channel of
+//!   [`covern_core::parallel::run_jobs`] — idle workers steal the next
+//!   scenario the moment they finish one, so a corpus of uneven scenarios
+//!   load-balances itself;
+//! * **per-scenario subproblems** (Prop 4/5 layer checks, §IV-C fixing's
+//!   layer scan, suffix re-checks) execute on each verifier's own bounded
+//!   pool with the budget [`CampaignConfig::scenario_threads`] — workers
+//!   there pull jobs from a shared queue the same way.
+//!
+//! Verdict streams are deterministic per scenario, scenario order is
+//! corpus order, and the cache's single-flight discipline keeps hit/miss
+//! counts schedule-independent — so the canonical report of a fixed
+//! corpus is byte-stable at any thread count (asserted by the integration
+//! tests).
+
+use crate::cache::ArtifactCache;
+use crate::error::CampaignError;
+use crate::report::{CacheSection, CampaignReport, EventRecord, ScenarioReport, REPORT_FORMAT};
+use crate::scenario::{DeltaEvent, Scenario};
+use covern_absint::DomainKind;
+use covern_core::cache::VerifyCache;
+use covern_core::method::LocalMethod;
+use covern_core::parallel::{run_jobs, Job};
+use covern_core::pipeline::ContinuousVerifier;
+use covern_core::problem::VerificationProblem;
+use covern_core::report::VerifyReport;
+use covern_core::CoreError;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Scenario worker count (the campaign's total thread budget).
+    pub threads: usize,
+    /// Per-scenario subproblem thread budget; `0` divides `threads` evenly
+    /// over the active scenario workers.
+    pub scenario_threads: usize,
+    /// Local method for the propositions' exact checks. The default is
+    /// bisection-refined symbolic analysis: deterministic cost on random
+    /// corpora (MILP node counts can blow up on adversarial encodings).
+    pub method: LocalMethod,
+    /// Whether to install the content-addressed artifact cache.
+    pub use_cache: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            scenario_threads: 0,
+            method: LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 256 },
+            use_cache: true,
+        }
+    }
+}
+
+/// The campaign engine. Holds the cache, so consecutive
+/// [`run`](Self::run) calls on one engine share artifacts (a re-run of
+/// the same corpus is served entirely from the store); for reproducible
+/// hit/miss counts, use a fresh engine per measured campaign.
+#[derive(Debug)]
+pub struct CampaignEngine {
+    config: CampaignConfig,
+    cache: Option<Arc<ArtifactCache>>,
+}
+
+impl CampaignEngine {
+    /// Creates an engine (with a fresh cache when configured).
+    pub fn new(config: CampaignConfig) -> Self {
+        let cache = config.use_cache.then(|| Arc::new(ArtifactCache::new()));
+        Self { config, cache }
+    }
+
+    /// The engine's cache, when enabled.
+    pub fn cache(&self) -> Option<&Arc<ArtifactCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Executes the corpus and assembles the report (scenario order =
+    /// corpus order).
+    ///
+    /// Scenario-level failures (dimension mismatches, non-enlargements)
+    /// are *recorded*, not propagated: one bad scenario must not sink a
+    /// thousand-scenario campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidConfig`] for an empty corpus.
+    pub fn run(&self, corpus: &[Scenario]) -> Result<CampaignReport, CampaignError> {
+        if corpus.is_empty() {
+            return Err(CampaignError::InvalidConfig("empty corpus".into()));
+        }
+        let t0 = Instant::now();
+        let workers = self.config.threads.clamp(1, corpus.len());
+        let scenario_threads = if self.config.scenario_threads > 0 {
+            self.config.scenario_threads
+        } else {
+            (self.config.threads / workers).max(1)
+        };
+        let method = self.config.method;
+        let jobs: Vec<Job<ScenarioReport>> = corpus
+            .iter()
+            .map(|scenario| {
+                let scenario = scenario.clone();
+                let cache = self.cache.as_ref().map(|c| Arc::clone(c) as Arc<dyn VerifyCache>);
+                Job::new(scenario.name.clone(), move || {
+                    execute_scenario(&scenario, &method, scenario_threads, cache)
+                })
+            })
+            .collect();
+        let results = run_jobs(jobs, workers);
+
+        let mut scenarios = Vec::with_capacity(results.len());
+        let (mut proved, mut refuted, mut unknown, mut errors) = (0, 0, 0, 0);
+        let mut sequential_us = 0u64;
+        for (_, mut report, duration) in results {
+            report.wall_us = duration.as_micros() as u64;
+            sequential_us += report.wall_us;
+            if report.error.is_some() {
+                errors += 1;
+            } else {
+                let outcomes = std::iter::once(report.initial_outcome.as_str())
+                    .chain(report.events.iter().map(|e| e.outcome.as_str()));
+                let mut any_refuted = false;
+                let mut any_unknown = false;
+                for o in outcomes {
+                    any_refuted |= o == "refuted";
+                    any_unknown |= o == "unknown";
+                }
+                if any_refuted {
+                    refuted += 1;
+                } else if any_unknown {
+                    unknown += 1;
+                } else {
+                    proved += 1;
+                }
+            }
+            scenarios.push(report);
+        }
+        let cache = match &self.cache {
+            Some(c) => {
+                let stats = c.stats();
+                CacheSection {
+                    enabled: true,
+                    hits: stats.hits,
+                    misses: stats.misses,
+                    entries: c.len() as u64,
+                }
+            }
+            None => CacheSection { enabled: false, hits: 0, misses: 0, entries: 0 },
+        };
+        Ok(CampaignReport {
+            format: REPORT_FORMAT.into(),
+            threads: self.config.threads,
+            scenario_threads,
+            scenarios,
+            cache,
+            wall_us: t0.elapsed().as_micros() as u64,
+            sequential_us,
+            proved,
+            refuted,
+            unknown,
+            errors,
+        })
+    }
+}
+
+/// Feeds one delta event to a verifier, returning the deciding report.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] from the corresponding pipeline handler.
+pub fn apply_event(
+    verifier: &mut ContinuousVerifier,
+    event: &DeltaEvent,
+    method: &LocalMethod,
+) -> Result<VerifyReport, CoreError> {
+    match event {
+        DeltaEvent::DomainEnlarged(din) => verifier.on_domain_enlarged(din, method),
+        DeltaEvent::ModelUpdated(net) => verifier.on_model_updated(net, None, method),
+        DeltaEvent::PropertyChanged(dout) => verifier.on_property_changed(dout, method),
+    }
+}
+
+/// Runs one scenario start to finish: original verification (through the
+/// cache when given), then the delta stream. Failures abort the scenario
+/// and are recorded in [`ScenarioReport::error`]; verdicts up to the
+/// failure are kept.
+pub fn execute_scenario(
+    scenario: &Scenario,
+    method: &LocalMethod,
+    threads: usize,
+    cache: Option<Arc<dyn VerifyCache>>,
+) -> ScenarioReport {
+    let mut report = ScenarioReport {
+        name: scenario.name.clone(),
+        initial_outcome: "unknown".into(),
+        initial_wall_us: 0,
+        events: Vec::with_capacity(scenario.events.len()),
+        wall_us: 0,
+        error: None,
+    };
+    let problem = match VerificationProblem::new(
+        scenario.network.clone(),
+        scenario.din.clone(),
+        scenario.dout.clone(),
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            report.error = Some(e.to_string());
+            return report;
+        }
+    };
+    // The budget is passed at construction so the initial verification —
+    // the most expensive phase — already respects it.
+    let mut verifier = match ContinuousVerifier::with_margin_cached(
+        problem,
+        scenario.domain,
+        scenario.margin,
+        cache,
+        threads.max(1),
+    ) {
+        Ok(v) => v,
+        Err(e) => {
+            report.error = Some(e.to_string());
+            return report;
+        }
+    };
+    report.initial_outcome = verifier.initial_report().outcome.to_string();
+    report.initial_wall_us = verifier.initial_report().wall.as_micros() as u64;
+    for event in &scenario.events {
+        match apply_event(&mut verifier, event, method) {
+            Ok(r) => report.events.push(EventRecord::from_report(&event.kind(), &r)),
+            Err(e) => {
+                report.error = Some(format!("event {}: {e}", report.events.len()));
+                break;
+            }
+        }
+    }
+    report
+}

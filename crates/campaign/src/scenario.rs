@@ -1,0 +1,125 @@
+//! Campaign scenarios: a verification problem plus a delta-event stream.
+//!
+//! The paper's continuous-engineering loop reacts to one delta at a time;
+//! a *scenario* packages a whole engineering trajectory — the original
+//! problem `φ(f, Din, Dout)` and the ordered sequence of deltas the
+//! verifier will absorb (domain enlarged, model fine-tuned, property
+//! changed). A campaign is a corpus of such scenarios executed
+//! concurrently (see [`crate::runner`]).
+
+use covern_absint::box_domain::BoxDomain;
+use covern_absint::DomainKind;
+use covern_core::artifact::Margin;
+use covern_nn::Network;
+use std::fmt;
+
+/// One continuous-engineering delta, in the order the paper's pipeline
+/// consumes them.
+#[derive(Debug, Clone)]
+pub enum DeltaEvent {
+    /// SVuDC: the monitored input domain grew to the carried box.
+    DomainEnlarged(BoxDomain),
+    /// SVbTV: the model was fine-tuned to the carried network.
+    ModelUpdated(Network),
+    /// Specification evolution: the safety set changed to the carried box.
+    PropertyChanged(BoxDomain),
+}
+
+impl DeltaEvent {
+    /// This event's kind tag.
+    pub fn kind(&self) -> DeltaKind {
+        match self {
+            DeltaEvent::DomainEnlarged(_) => DeltaKind::DomainEnlarged,
+            DeltaEvent::ModelUpdated(_) => DeltaKind::ModelUpdated,
+            DeltaEvent::PropertyChanged(_) => DeltaKind::PropertyChanged,
+        }
+    }
+}
+
+/// The three delta kinds of the paper (SVuDC, SVbTV, and the §VI
+/// specification-evolution item).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaKind {
+    /// Input domain enlarged.
+    DomainEnlarged,
+    /// Model fine-tuned.
+    ModelUpdated,
+    /// Safety property changed.
+    PropertyChanged,
+}
+
+impl fmt::Display for DeltaKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaKind::DomainEnlarged => write!(f, "domain-enlarged"),
+            DeltaKind::ModelUpdated => write!(f, "model-updated"),
+            DeltaKind::PropertyChanged => write!(f, "property-changed"),
+        }
+    }
+}
+
+/// One campaign scenario: original problem, analysis configuration, and
+/// the delta stream.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable name (used for report ordering and as a log label).
+    pub name: String,
+    /// The network of the original verification.
+    pub network: Network,
+    /// The original input domain `Din`.
+    pub din: BoxDomain,
+    /// The safety set `Dout`.
+    pub dout: BoxDomain,
+    /// Abstract domain for artifact construction.
+    pub domain: DomainKind,
+    /// Artifact buffering margin.
+    pub margin: Margin,
+    /// The ordered delta stream.
+    pub events: Vec<DeltaEvent>,
+}
+
+impl Scenario {
+    /// Counts events per delta kind, in (enlarged, updated, property) order.
+    pub fn kind_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for e in &self.events {
+            match e.kind() {
+                DeltaKind::DomainEnlarged => counts.0 += 1,
+                DeltaKind::ModelUpdated => counts.1 += 1,
+                DeltaKind::PropertyChanged => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_and_counts() {
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let ev = DeltaEvent::DomainEnlarged(din.clone());
+        assert_eq!(ev.kind(), DeltaKind::DomainEnlarged);
+        assert_eq!(DeltaKind::ModelUpdated.to_string(), "model-updated");
+        let net = covern_nn::NetworkBuilder::new(1)
+            .dense_from_rows(&[&[1.0]], &[0.0], covern_nn::Activation::Relu)
+            .build()
+            .unwrap();
+        let s = Scenario {
+            name: "t".into(),
+            network: net,
+            din: din.clone(),
+            dout: din.clone(),
+            domain: DomainKind::Box,
+            margin: Margin::NONE,
+            events: vec![
+                DeltaEvent::DomainEnlarged(din.clone()),
+                DeltaEvent::PropertyChanged(din.clone()),
+                DeltaEvent::PropertyChanged(din),
+            ],
+        };
+        assert_eq!(s.kind_counts(), (1, 0, 2));
+    }
+}

@@ -1,0 +1,87 @@
+//! Engine-level acceptance tests: a generated campaign must complete
+//! concurrently, reuse artifacts across scenarios, and produce a
+//! byte-deterministic canonical report under a fixed seed — at any
+//! thread count.
+
+use covern_campaign::corpus::{generate, CorpusConfig};
+use covern_campaign::runner::{CampaignConfig, CampaignEngine};
+
+fn corpus_config() -> CorpusConfig {
+    CorpusConfig {
+        scenarios: 20,
+        families: 5,
+        events_per_scenario: 3,
+        seed: 42,
+        include_vehicle: false,
+    }
+}
+
+#[test]
+fn twenty_scenarios_on_four_threads_reuse_and_determinism() {
+    let corpus = generate(&corpus_config()).unwrap();
+    assert_eq!(corpus.len(), 20);
+
+    let engine = CampaignEngine::new(CampaignConfig { threads: 4, ..CampaignConfig::default() });
+    let report = engine.run(&corpus).unwrap();
+
+    assert_eq!(report.scenarios.len(), 20);
+    assert_eq!(report.errors, 0, "no scenario may abort: {:?}", report.scenarios);
+    // 20 scenarios over 5 families share 15 initial verifications at
+    // minimum (event-fallback sharing can only add to this).
+    assert!(report.cache.hits >= 15, "cache hits: {:?}", report.cache);
+    assert!(report.cache.misses >= 5);
+    assert!(report.proved > 0, "a generous corpus proves at least sometimes");
+
+    // Determinism: a fresh engine over the same corpus, same thread
+    // count, must replay the canonical report byte for byte.
+    let engine2 = CampaignEngine::new(CampaignConfig { threads: 4, ..CampaignConfig::default() });
+    let report2 = engine2.run(&corpus).unwrap();
+    assert_eq!(
+        report.canonical_json().unwrap(),
+        report2.canonical_json().unwrap(),
+        "canonical report must be deterministic under a fixed seed"
+    );
+
+    // And thread-count independence: the verdict stream and the cache's
+    // single-flight counters do not depend on the schedule.
+    let engine1 = CampaignEngine::new(CampaignConfig { threads: 1, ..CampaignConfig::default() });
+    let report1 = engine1.run(&corpus).unwrap();
+    assert_eq!(report.canonical().scenarios, report1.canonical().scenarios);
+    assert_eq!(report.cache.hits, report1.cache.hits);
+    assert_eq!(report.cache.misses, report1.cache.misses);
+}
+
+#[test]
+fn rerun_on_one_engine_is_served_from_the_store() {
+    let corpus = generate(&CorpusConfig { scenarios: 4, families: 2, ..corpus_config() }).unwrap();
+    let engine = CampaignEngine::new(CampaignConfig { threads: 2, ..CampaignConfig::default() });
+    let first = engine.run(&corpus).unwrap();
+    let misses_after_first = first.cache.misses;
+    let second = engine.run(&corpus).unwrap();
+    assert_eq!(
+        second.cache.misses, misses_after_first,
+        "a re-run of the same corpus computes nothing new"
+    );
+    assert!(second.cache.hits > first.cache.hits);
+    assert_eq!(first.canonical().scenarios, second.canonical().scenarios);
+}
+
+#[test]
+fn cacheless_engine_reports_disabled_cache_and_same_verdicts() {
+    let corpus = generate(&CorpusConfig { scenarios: 4, ..corpus_config() }).unwrap();
+    let cached = CampaignEngine::new(CampaignConfig { threads: 2, ..CampaignConfig::default() });
+    let uncached = CampaignEngine::new(CampaignConfig {
+        threads: 2,
+        use_cache: false,
+        ..CampaignConfig::default()
+    });
+    let warm = cached.run(&corpus).unwrap();
+    let cold = uncached.run(&corpus).unwrap();
+    assert!(!cold.cache.enabled);
+    assert_eq!(cold.cache.hits + cold.cache.misses, 0);
+    assert_eq!(
+        warm.canonical().scenarios,
+        cold.canonical().scenarios,
+        "cached verdicts must be bit-identical to cache-cold verdicts"
+    );
+}

@@ -95,32 +95,20 @@ impl StateAbstractionArtifact {
         Self::build_with_margin(net, din, dout, domain, Margin::NONE)
     }
 
-    /// Builds the artifact over `din`, recording per-layer boxes, and
-    /// checking every suffix guarantee.
-    ///
-    /// With [`Margin::NONE`] the boxes come from one relational pass of the
-    /// chosen domain — maximally tight, but any fine-tuning drift breaks
-    /// the layer-wise containment checks (the relational `S_{i+1}` is
-    /// *tighter* than the image of the box `S_i`).
-    ///
-    /// With a non-zero margin the boxes are built as a **buffered chain**:
-    /// `S_{k} = dilate(image(S_{k-1}))`, each step restarting the chosen
-    /// domain from the previous *stored* box. By construction every stored
-    /// box then over-approximates the image of its predecessor with slack
-    /// `margin` — exactly the paper's "approximation … usually larger than
-    /// the reachable states" that makes Propositions 4/5 succeed after
-    /// fine-tuning. Suffix guarantees are verified on the stored boxes, so
-    /// soundness is unaffected either way.
+    /// [`build_with_margin`](Self::build_with_margin) with the suffix
+    /// guarantees checked on up to `threads` workers; see
+    /// [`build_with_margin`](Self::build_with_margin).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] on dimension mismatches.
-    pub fn build_with_margin(
+    pub fn build_with_margin_threads(
         net: &Network,
         din: &BoxDomain,
         dout: &BoxDomain,
         domain: DomainKind,
         margin: Margin,
+        threads: usize,
     ) -> Result<Self, CoreError> {
         if dout.dim() != net.output_dim() {
             return Err(CoreError::DimensionMismatch {
@@ -151,20 +139,38 @@ impl StateAbstractionArtifact {
             }
             LayerAbstraction::from_parts(din.clone(), boxes, domain)
         };
-        let n = net.num_layers();
-        let mut suffix_ok = vec![false; n];
-        // suffix_ok[n-1]: Sn ⊆ Dout directly.
-        suffix_ok[n - 1] = dout.dilate(CONTAIN_TOL).contains_box(layers.layer_box(n)?);
-        // suffix_ok[k-1] for k < n: run the domain from box Sk through the
-        // remaining layers.
-        for k in (1..n).rev() {
-            let mut state = AbstractState::from_box(domain, layers.layer_box(k)?);
-            for layer in &net.layers()[k..] {
-                state = state.through_layer(layer)?;
-            }
-            suffix_ok[k - 1] = dout.dilate(CONTAIN_TOL).contains_box(&state.to_box());
-        }
+        let suffix_ok = suffix_flags(net, &layers, dout, domain, threads)?;
         Ok(Self { layers, suffix_ok, dout: dout.clone() })
+    }
+
+    /// Builds the artifact over `din`, recording per-layer boxes, and
+    /// checking every suffix guarantee.
+    ///
+    /// With [`Margin::NONE`] the boxes come from one relational pass of the
+    /// chosen domain — maximally tight, but any fine-tuning drift breaks
+    /// the layer-wise containment checks (the relational `S_{i+1}` is
+    /// *tighter* than the image of the box `S_i`).
+    ///
+    /// With a non-zero margin the boxes are built as a **buffered chain**:
+    /// `S_{k} = dilate(image(S_{k-1}))`, each step restarting the chosen
+    /// domain from the previous *stored* box. By construction every stored
+    /// box then over-approximates the image of its predecessor with slack
+    /// `margin` — exactly the paper's "approximation … usually larger than
+    /// the reachable states" that makes Propositions 4/5 succeed after
+    /// fine-tuning. Suffix guarantees are verified on the stored boxes, so
+    /// soundness is unaffected either way.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn build_with_margin(
+        net: &Network,
+        din: &BoxDomain,
+        dout: &BoxDomain,
+        domain: DomainKind,
+        margin: Margin,
+    ) -> Result<Self, CoreError> {
+        Self::build_with_margin_threads(net, din, dout, domain, margin, 1)
     }
 
     /// The recorded per-layer boxes.
@@ -216,6 +222,23 @@ impl StateAbstractionArtifact {
     /// Returns [`CoreError::DimensionMismatch`] if `new_dout` has the wrong
     /// arity.
     pub fn retarget(&self, net: &Network, new_dout: &BoxDomain) -> Result<Self, CoreError> {
+        self.retarget_threads(net, new_dout, 1)
+    }
+
+    /// [`retarget`](Self::retarget) with the per-layer suffix re-checks run
+    /// on up to `threads` workers (they are independent — each starts from
+    /// its own stored box).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DimensionMismatch`] if `new_dout` has the wrong
+    /// arity.
+    pub fn retarget_threads(
+        &self,
+        net: &Network,
+        new_dout: &BoxDomain,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
         if new_dout.dim() != self.dout.dim() {
             return Err(CoreError::DimensionMismatch {
                 context: "StateAbstractionArtifact::retarget",
@@ -224,16 +247,7 @@ impl StateAbstractionArtifact {
             });
         }
         let domain = self.layers.domain();
-        let n = self.num_layers();
-        let mut suffix_ok = vec![false; n];
-        suffix_ok[n - 1] = new_dout.dilate(CONTAIN_TOL).contains_box(self.layers.layer_box(n)?);
-        for k in (1..n).rev() {
-            let mut state = AbstractState::from_box(domain, self.layers.layer_box(k)?);
-            for layer in &net.layers()[k..] {
-                state = state.through_layer(layer)?;
-            }
-            suffix_ok[k - 1] = new_dout.dilate(CONTAIN_TOL).contains_box(&state.to_box());
-        }
+        let suffix_ok = suffix_flags(net, &self.layers, new_dout, domain, threads)?;
         Ok(Self { layers: self.layers.clone(), suffix_ok, dout: new_dout.clone() })
     }
 
@@ -265,6 +279,64 @@ impl StateAbstractionArtifact {
         }
         Ok(())
     }
+}
+
+/// Computes the per-layer suffix guarantees for stored boxes `S1..Sn`
+/// against `dout`: `suffix_ok[k-1]` says that running the domain from `Sk`
+/// through layers `k+1..n` lands inside `dout` (and `suffix_ok[n-1]` is the
+/// direct `Sn ⊆ Dout` containment).
+///
+/// The `n − 1` suffix runs are independent (each restarts the abstract
+/// domain from its own stored box), so with `threads > 1` they execute on
+/// the shared worker pool; results are identical to the sequential order by
+/// construction.
+fn suffix_flags(
+    net: &Network,
+    layers: &LayerAbstraction,
+    dout: &BoxDomain,
+    domain: DomainKind,
+    threads: usize,
+) -> Result<Vec<bool>, CoreError> {
+    fn suffix_from(
+        domain: DomainKind,
+        start: &BoxDomain,
+        tail: &[covern_nn::DenseLayer],
+        dout: &BoxDomain,
+    ) -> Result<bool, CoreError> {
+        let mut state = AbstractState::from_box(domain, start);
+        for layer in tail {
+            state = state.through_layer(layer)?;
+        }
+        Ok(dout.dilate(CONTAIN_TOL).contains_box(&state.to_box()))
+    }
+
+    let n = net.num_layers();
+    let mut suffix_ok = vec![false; n];
+    // suffix_ok[n-1]: Sn ⊆ Dout directly.
+    suffix_ok[n - 1] = dout.dilate(CONTAIN_TOL).contains_box(layers.layer_box(n)?);
+    if threads <= 1 || n <= 2 {
+        for k in (1..n).rev() {
+            suffix_ok[k - 1] = suffix_from(domain, layers.layer_box(k)?, &net.layers()[k..], dout)?;
+        }
+    } else {
+        // One shared copy of the network and target behind Arcs — the jobs
+        // only need `'static`, not ownership of n−k layers each.
+        let net = std::sync::Arc::new(net.clone());
+        let dout = std::sync::Arc::new(dout.clone());
+        let mut jobs = Vec::with_capacity(n - 1);
+        for k in 1..n {
+            let start = layers.layer_box(k)?.clone();
+            let net = std::sync::Arc::clone(&net);
+            let dout = std::sync::Arc::clone(&dout);
+            jobs.push(crate::parallel::Job::new(format!("suffix from S{k}"), move || {
+                suffix_from(domain, &start, &net.layers()[k..], &dout)
+            }));
+        }
+        for (k, (_, result, _)) in (1..n).zip(crate::parallel::run_jobs(jobs, threads)) {
+            suffix_ok[k - 1] = result?;
+        }
+    }
+    Ok(suffix_ok)
 }
 
 /// A verified structural network abstraction (the Proposition 6 artifact).

@@ -1,0 +1,107 @@
+//! Cache hook for full-verification subproblems.
+//!
+//! A verification *campaign* (many scenarios sharing networks, domains and
+//! properties) repeatedly pays for the same expensive monolithic
+//! subproblem: a full `verify_full_with_margin` run of some
+//! `(f, Din, Dout, domain, margin)` instance — either as a scenario's
+//! original verification or as the full fallback inside a delta event.
+//! [`VerifyCache`] lets an external store intercept those runs; the
+//! concrete content-addressed implementation lives in `covern-campaign`
+//! (this crate only defines the seam, so the pipeline stays free of any
+//! hashing or storage policy).
+//!
+//! The contract is *compute-through*: the cache receives the computation
+//! as a closure and must return either a stored result for an identical
+//! instance or the closure's result. Because `verify_full_with_margin` is
+//! deterministic in its inputs, a correct implementation is verdict- and
+//! artifact-preserving by construction: cache-warm results are
+//! bit-identical to cache-cold ones. (Stored [`VerifyReport`] wall times
+//! refer to the original computation — a hit returns the *proof* instantly
+//! but reports the time the proof originally cost.)
+
+use crate::artifact::{Margin, ProofArtifacts};
+use crate::error::CoreError;
+use crate::problem::VerificationProblem;
+use crate::report::VerifyReport;
+use covern_absint::DomainKind;
+
+/// The deferred full-verification computation handed to a cache.
+pub type FullVerifyFn<'a> = dyn FnMut() -> Result<(VerifyReport, ProofArtifacts), CoreError> + 'a;
+
+/// Intercepts full-verification subproblems (see module docs).
+///
+/// Implementations must be keyed on the *content* of
+/// `(problem, domain, margin)` — two calls may only share a result when
+/// the network parameters (bit patterns), both boxes, the abstract domain
+/// and the margin are all identical.
+pub trait VerifyCache: Send + Sync + std::fmt::Debug {
+    /// Returns the stored result for this instance, or runs `compute`,
+    /// stores its result, and returns it. Errors from `compute` must be
+    /// propagated and not stored.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `compute` returns.
+    fn full_verify(
+        &self,
+        problem: &VerificationProblem,
+        domain: DomainKind,
+        margin: Margin,
+        compute: &mut FullVerifyFn<'_>,
+    ) -> Result<(VerifyReport, ProofArtifacts), CoreError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// A deliberately trivial cache: one slot, no keying. Only usable when
+    /// every call is the same instance — which is exactly what the test
+    /// exercises. Real keyed implementations live in `covern-campaign`.
+    #[derive(Debug, Default)]
+    struct OneSlot {
+        slot: Mutex<Option<(VerifyReport, ProofArtifacts)>>,
+        computes: Mutex<usize>,
+    }
+
+    impl VerifyCache for OneSlot {
+        fn full_verify(
+            &self,
+            _problem: &VerificationProblem,
+            _domain: DomainKind,
+            _margin: Margin,
+            compute: &mut FullVerifyFn<'_>,
+        ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
+            let mut slot = self.slot.lock().unwrap();
+            if let Some(v) = slot.as_ref() {
+                return Ok(v.clone());
+            }
+            let v = compute()?;
+            *self.computes.lock().unwrap() += 1;
+            *slot = Some(v.clone());
+            Ok(v)
+        }
+    }
+
+    #[test]
+    fn compute_through_runs_once_and_replays_identically() {
+        use covern_absint::box_domain::BoxDomain;
+        use covern_nn::{Activation, NetworkBuilder};
+
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.0]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-1.0, 3.0)]).unwrap();
+        let problem = VerificationProblem::new(net, din, dout).unwrap();
+        let cache = OneSlot::default();
+        let mut compute = || problem.verify_full(DomainKind::Box, 16);
+        let a = cache.full_verify(&problem, DomainKind::Box, Margin::NONE, &mut compute).unwrap();
+        let b = cache.full_verify(&problem, DomainKind::Box, Margin::NONE, &mut compute).unwrap();
+        assert_eq!(*cache.computes.lock().unwrap(), 1);
+        assert_eq!(a.0.outcome, b.0.outcome);
+        assert_eq!(a.1.state, b.1.state);
+    }
+}

@@ -35,7 +35,9 @@ pub struct FixReport {
 /// artifact on (possibly enlarged) `new_din`.
 ///
 /// Procedure:
-/// 1. run the Proposition-4 per-layer checks, collecting failures;
+/// 1. run the Proposition-4 per-layer checks on up to `threads` workers,
+///    collecting failures (the checks are independent; failure identities
+///    and timings are reported in layer order regardless of scheduling);
 /// 2. zero failures → `Proved` (this is plain Prop 4);
 /// 3. exactly one failing layer `i+1` (not the output): recompute
 ///    `S′_{i+1}` as the abstract image of `S_i` under `g′_{i+1}` (hulled
@@ -56,6 +58,7 @@ pub fn incremental_fix(
     artifact: &StateAbstractionArtifact,
     new_din: &BoxDomain,
     method: &LocalMethod,
+    threads: usize,
 ) -> Result<FixReport, CoreError> {
     let t0 = Instant::now();
     let n = f_prime.num_layers();
@@ -68,20 +71,30 @@ pub fn incremental_fix(
     let domain = artifact.layers().domain();
     let mut subproblems = Vec::new();
 
-    // Step 1: per-layer checks (sequential here; the parallel variant lives
-    // in prop4 — fixing needs the identities of the failures anyway).
-    let mut failing = Vec::new();
+    // Step 1: the same independent per-layer checks as Prop 4, but keeping
+    // the identities of the failures. Results are collected in layer order,
+    // so `failing` is deterministic regardless of worker scheduling.
+    let mut jobs = Vec::with_capacity(n);
     for k in 1..=n {
-        let tk = Instant::now();
         let layer_net = f_prime.slice(k, k);
         let input =
             if k == 1 { new_din.clone() } else { artifact.layers().layer_box(k - 1)?.clone() };
         let target =
             if k == n { artifact.dout().clone() } else { artifact.layers().layer_box(k)?.clone() };
-        let ok = check_local_containment(&layer_net, &input, &target, method)?.is_proved();
+        let method = *method;
+        jobs.push(crate::parallel::Job::new(format!("check layer {k}"), move || {
+            check_local_containment(&layer_net, &input, &target, &method)
+                .map(|outcome| outcome.is_proved())
+        }));
+    }
+    let mut failing = Vec::new();
+    for (k, (label, result, duration)) in
+        (1..=n).zip(crate::parallel::run_jobs(jobs, threads.max(1)))
+    {
+        let ok = result?;
         subproblems.push(SubproblemTiming {
-            label: format!("check layer {k}{}", if ok { "" } else { " (failed)" }),
-            duration: tk.elapsed(),
+            label: format!("{label}{}", if ok { "" } else { " (failed)" }),
+            duration,
         });
         if !ok {
             failing.push(k);
@@ -224,7 +237,7 @@ mod tests {
     #[test]
     fn unchanged_network_needs_no_fix() {
         let (net, artifact, din) = setup(401, 1.0);
-        let fix = incremental_fix(&net, &artifact, &din, &LocalMethod::default()).unwrap();
+        let fix = incremental_fix(&net, &artifact, &din, &LocalMethod::default(), 2).unwrap();
         assert!(fix.report.outcome.is_proved());
         assert!(fix.failing_layers.is_empty());
         assert!(fix.patched.is_none());
@@ -238,7 +251,7 @@ mod tests {
         let mut tuned = net.clone();
         // A bias bump larger than CONTAIN_TOL but small against Dout slack.
         tuned.layers_mut()[1].bias_mut()[0] += 0.05;
-        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
+        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default(), 2).unwrap();
         assert_eq!(fix.failing_layers, vec![2]);
         assert!(fix.report.outcome.is_proved(), "{}", fix.report);
         let patched = fix.patched.expect("patched artifact");
@@ -256,7 +269,7 @@ mod tests {
         let mut tuned = net.clone();
         let last = tuned.num_layers() - 1;
         tuned.layers_mut()[last].bias_mut()[0] += 6.0; // beyond the Dout slack
-        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
+        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default(), 2).unwrap();
         assert_eq!(fix.failing_layers, vec![tuned.num_layers()]);
         assert_eq!(fix.report.outcome, VerifyOutcome::Unknown);
         assert!(fix.patched.is_none());
@@ -268,7 +281,7 @@ mod tests {
         let mut tuned = net.clone();
         tuned.layers_mut()[1].bias_mut()[0] += 0.05;
         tuned.layers_mut()[2].bias_mut()[0] += 0.05;
-        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
+        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default(), 2).unwrap();
         assert!(fix.failing_layers.len() >= 2);
         assert_eq!(fix.report.outcome, VerifyOutcome::Unknown);
         assert!(fix.patched.is_none());
@@ -290,7 +303,7 @@ mod tests {
             !artifact.dout().dilate(1e-9).contains(&tuned.forward(&x).unwrap())
         });
         assert!(escapes, "premise lost: bump no longer breaks the property for this seed");
-        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default()).unwrap();
+        let fix = incremental_fix(&tuned, &artifact, &din, &LocalMethod::default(), 2).unwrap();
         assert!(!fix.report.outcome.is_proved());
     }
 
@@ -299,6 +312,6 @@ mod tests {
         let (_, artifact, din) = setup(406, 1.0);
         let mut rng = Rng::seeded(1);
         let other = Network::random(&[3, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
-        assert!(incremental_fix(&other, &artifact, &din, &LocalMethod::default()).is_err());
+        assert!(incremental_fix(&other, &artifact, &din, &LocalMethod::default(), 1).is_err());
     }
 }

@@ -56,6 +56,7 @@
 //! ```
 
 pub mod artifact;
+pub mod cache;
 pub mod error;
 pub mod fixing;
 pub mod method;
@@ -67,6 +68,7 @@ pub mod prop_model;
 pub mod report;
 
 pub use artifact::{Margin, ProofArtifacts, StateAbstractionArtifact};
+pub use cache::VerifyCache;
 pub use error::CoreError;
 pub use method::LocalMethod;
 pub use pipeline::ContinuousVerifier;

@@ -16,6 +16,7 @@
 //! incremental-vs-original time ratios directly.
 
 use crate::artifact::{NetworkAbstractionArtifact, ProofArtifacts};
+use crate::cache::VerifyCache;
 use crate::error::CoreError;
 use crate::fixing::incremental_fix;
 use crate::method::LocalMethod;
@@ -28,6 +29,7 @@ use covern_absint::DomainKind;
 use covern_netabs::classify::preprocess;
 use covern_netabs::merge::{apply_plan, AbstractionDirection, MergePlan};
 use covern_nn::Network;
+use std::sync::Arc;
 
 /// Default bisection budget for full-verification fallbacks.
 pub const DEFAULT_REFINE_SPLITS: usize = 2_000;
@@ -49,6 +51,24 @@ struct SavedVerifier {
     status: crate::report::VerifyOutcome,
 }
 
+/// Runs `problem.verify_full_with_margin_threads`, routed through `cache`
+/// when one is installed (see [`VerifyCache`] for the compute-through
+/// contract).
+fn full_verify(
+    problem: &VerificationProblem,
+    domain: DomainKind,
+    margin: crate::artifact::Margin,
+    threads: usize,
+    cache: Option<&dyn VerifyCache>,
+) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
+    let mut compute =
+        || problem.verify_full_with_margin_threads(domain, DEFAULT_REFINE_SPLITS, margin, threads);
+    match cache {
+        Some(c) => c.full_verify(problem, domain, margin, &mut compute),
+        None => compute(),
+    }
+}
+
 /// Stateful continuous verifier (see module docs).
 #[derive(Debug, Clone)]
 pub struct ContinuousVerifier {
@@ -59,6 +79,10 @@ pub struct ContinuousVerifier {
     initial_report: VerifyReport,
     threads: usize,
     history: Vec<VerifyReport>,
+    /// Optional interceptor for full-verification subproblems (campaign
+    /// runs share identical instances across scenarios). Session-local:
+    /// never persisted by [`save_to`](Self::save_to).
+    cache: Option<Arc<dyn VerifyCache>>,
 }
 
 impl ContinuousVerifier {
@@ -85,22 +109,70 @@ impl ContinuousVerifier {
         domain: DomainKind,
         margin: crate::artifact::Margin,
     ) -> Result<Self, CoreError> {
+        Self::with_margin_cached(problem, domain, margin, None, 0)
+    }
+
+    /// [`with_margin`](Self::with_margin) with an optional
+    /// [`VerifyCache`] and an explicit thread budget: the original
+    /// verification — already under the budget — and every later full
+    /// fallback are routed through the cache, so identical instances
+    /// across verifiers (a campaign's scenarios sharing networks or
+    /// domains) are computed once. A `threads` of `0` means "use the
+    /// machine's parallelism" (the [`with_margin`](Self::with_margin)
+    /// behaviour); campaign runners pass their per-scenario budget so no
+    /// phase, including construction, exceeds it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn with_margin_cached(
+        problem: VerificationProblem,
+        domain: DomainKind,
+        margin: crate::artifact::Margin,
+        cache: Option<Arc<dyn VerifyCache>>,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            threads
+        };
         let (initial_report, artifacts) =
-            problem.verify_full_with_margin(domain, DEFAULT_REFINE_SPLITS, margin)?;
+            full_verify(&problem, domain, margin, threads, cache.as_deref())?;
         Ok(Self {
             problem,
             domain,
             margin,
             artifacts,
             initial_report,
-            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            threads,
             history: Vec::new(),
+            cache,
         })
     }
 
-    /// Sets the worker count for parallel subproblem checking.
+    /// Sets the worker count for parallel subproblem checking. The budget
+    /// reaches every delta handler: Prop 4/5 per-layer checks, §IV-C
+    /// fixing's layer scan, artifact suffix re-checks on re-targeting and
+    /// rebuilds, and the full-verification fallbacks.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Installs (or clears) the full-verification cache; see
+    /// [`with_margin_cached`](Self::with_margin_cached). Useful after
+    /// [`resume_from`](Self::resume_from), which cannot persist a cache.
+    pub fn set_cache(&mut self, cache: Option<Arc<dyn VerifyCache>>) {
+        self.cache = cache;
+    }
+
+    /// Full verification of `problem` under this verifier's domain,
+    /// margin, thread budget, and cache.
+    fn full_verify(
+        &self,
+        problem: &VerificationProblem,
+    ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
+        full_verify(problem, self.domain, self.margin, self.threads, self.cache.as_deref())
     }
 
     /// The report of the original verification run.
@@ -231,13 +303,16 @@ impl ContinuousVerifier {
             // time is charged to the event's wall time.
             let t = std::time::Instant::now();
             if report.strategy != crate::report::Strategy::Full {
-                if let Ok(rebuilt) = crate::artifact::StateAbstractionArtifact::build_with_margin(
-                    self.problem.network(),
-                    new_din,
-                    self.problem.dout(),
-                    self.domain,
-                    self.margin,
-                ) {
+                if let Ok(rebuilt) =
+                    crate::artifact::StateAbstractionArtifact::build_with_margin_threads(
+                        self.problem.network(),
+                        new_din,
+                        self.problem.dout(),
+                        self.domain,
+                        self.margin,
+                        self.threads,
+                    )
+                {
                     if rebuilt.proof_established() {
                         self.artifacts.state = Some(rebuilt);
                     }
@@ -276,11 +351,7 @@ impl ContinuousVerifier {
         // Fallback: full re-verification on the enlarged domain.
         let mut full_problem = self.problem.clone();
         full_problem.set_din(new_din.clone());
-        let (report, artifacts) = full_problem.verify_full_with_margin(
-            self.domain,
-            DEFAULT_REFINE_SPLITS,
-            self.margin,
-        )?;
+        let (report, artifacts) = self.full_verify(&full_problem)?;
         if report.outcome.is_proved() {
             self.artifacts.state = artifacts.state;
             self.artifacts.lipschitz = artifacts.lipschitz;
@@ -337,7 +408,7 @@ impl ContinuousVerifier {
                 }
             }
             // Section IV-C: patch a single broken layer.
-            let fix = incremental_fix(f_prime, state, din, method)?;
+            let fix = incremental_fix(f_prime, state, din, method, self.threads)?;
             if fix.report.outcome.is_proved() {
                 if let Some(patched) = fix.patched {
                     self.artifacts.state = Some(patched);
@@ -357,11 +428,7 @@ impl ContinuousVerifier {
         let mut full_problem = self.problem.clone();
         full_problem.set_network(f_prime.clone());
         full_problem.set_din(din.clone());
-        let (report, artifacts) = full_problem.verify_full_with_margin(
-            self.domain,
-            DEFAULT_REFINE_SPLITS,
-            self.margin,
-        )?;
+        let (report, artifacts) = self.full_verify(&full_problem)?;
         if report.outcome.is_proved() {
             self.artifacts.state = artifacts.state;
             self.artifacts.lipschitz = artifacts.lipschitz;
@@ -407,7 +474,8 @@ impl ContinuousVerifier {
         {
             self.problem.set_dout(new_dout.clone());
             if let Some(state) = self.artifacts.state.take() {
-                self.artifacts.state = Some(state.retarget(self.problem.network(), new_dout)?);
+                self.artifacts.state =
+                    Some(state.retarget_threads(self.problem.network(), new_dout, self.threads)?);
             }
             let report =
                 VerifyReport::monolithic(VerifyOutcome::Proved, Strategy::Prop3, t0.elapsed());
@@ -416,7 +484,8 @@ impl ContinuousVerifier {
         }
         // Tightened: re-target the stored abstraction.
         if let Some(state) = self.artifacts.state.clone() {
-            let retargeted = state.retarget(self.problem.network(), new_dout)?;
+            let retargeted =
+                state.retarget_threads(self.problem.network(), new_dout, self.threads)?;
             if retargeted.proof_established() {
                 self.artifacts.state = Some(retargeted);
                 self.problem.set_dout(new_dout.clone());
@@ -429,11 +498,7 @@ impl ContinuousVerifier {
         // Full fallback against the new property.
         let mut full_problem = self.problem.clone();
         full_problem.set_dout(new_dout.clone());
-        let (report, artifacts) = full_problem.verify_full_with_margin(
-            self.domain,
-            DEFAULT_REFINE_SPLITS,
-            self.margin,
-        )?;
+        let (report, artifacts) = self.full_verify(&full_problem)?;
         if report.outcome.is_proved() {
             self.problem.set_dout(new_dout.clone());
             self.artifacts.state = artifacts.state;
@@ -502,12 +567,15 @@ impl ContinuousVerifier {
             initial_report,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
             history: Vec::new(),
+            cache: None,
         })
     }
 
     /// Measures what a full from-scratch verification of the *current*
     /// problem (optionally with a different domain/network) costs — the
-    /// denominator of Table I's ratios. Does not mutate state.
+    /// denominator of Table I's ratios. Does not mutate state, and
+    /// deliberately bypasses any installed cache: a baseline served from
+    /// the cache would measure a lookup, not a verification.
     ///
     /// # Errors
     ///
@@ -524,8 +592,12 @@ impl ContinuousVerifier {
         if let Some(n) = new_net {
             p.set_network(n.clone());
         }
-        let (report, _) =
-            p.verify_full_with_margin(self.domain, DEFAULT_REFINE_SPLITS, self.margin)?;
+        let (report, _) = p.verify_full_with_margin_threads(
+            self.domain,
+            DEFAULT_REFINE_SPLITS,
+            self.margin,
+            self.threads,
+        )?;
         Ok(report)
     }
 }

@@ -111,9 +111,27 @@ impl VerificationProblem {
         refine_splits: usize,
         margin: crate::artifact::Margin,
     ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
+        self.verify_full_with_margin_threads(domain, refine_splits, margin, 1)
+    }
+
+    /// [`verify_full_with_margin`](Self::verify_full_with_margin) with the
+    /// artifact's independent suffix-guarantee checks run on up to
+    /// `threads` workers (the abstraction sweep and bisection refinement
+    /// are inherently sequential and unaffected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn verify_full_with_margin_threads(
+        &self,
+        domain: DomainKind,
+        refine_splits: usize,
+        margin: crate::artifact::Margin,
+        threads: usize,
+    ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
         let t0 = Instant::now();
-        let state = StateAbstractionArtifact::build_with_margin(
-            &self.net, &self.din, &self.dout, domain, margin,
+        let state = StateAbstractionArtifact::build_with_margin_threads(
+            &self.net, &self.din, &self.dout, domain, margin, threads,
         )?;
         let lipschitz = global_lipschitz(&self.net, NormKind::L2);
         let mut artifacts =

@@ -113,6 +113,75 @@ pub fn load(path: impl AsRef<Path>) -> Result<Network, NnError> {
     from_json(&s)
 }
 
+/// 128-bit stable content hash of a network: two independent FNV-1a-64
+/// streams over the canonical parameter encoding (per layer: shape,
+/// activation tag, then every weight and bias as its IEEE-754 bit
+/// pattern).
+///
+/// Two networks hash equal iff their serialized forms are identical —
+/// same architecture, same activations, bit-identical parameters. A 1-ULP
+/// weight change changes the hash, matching this module's bit-exactness
+/// contract; the hash is therefore a valid content address for proof
+/// artifacts (a flipped containment proof can never be served for the
+/// wrong snapshot). The value is independent of pointer identity, process,
+/// and platform endianness concerns (all words are hashed as explicit
+/// little-endian byte sequences).
+pub fn content_hash(net: &Network) -> [u64; 2] {
+    let mut h = ContentHasher::new();
+    h.write_u64(net.num_layers() as u64);
+    for layer in net.layers() {
+        h.write_u64(layer.weights().rows() as u64);
+        h.write_u64(layer.weights().cols() as u64);
+        // Stable activation tag: variant index plus any parameter bits.
+        let (tag, param) = match layer.activation() {
+            Activation::Identity => (0u64, 0u64),
+            Activation::Relu => (1, 0),
+            Activation::LeakyRelu(alpha) => (2, alpha.to_bits()),
+            Activation::Sigmoid => (3, 0),
+            Activation::Tanh => (4, 0),
+        };
+        h.write_u64(tag);
+        h.write_u64(param);
+        for w in layer.weights().as_slice() {
+            h.write_u64(w.to_bits());
+        }
+        for b in layer.bias() {
+            h.write_u64(b.to_bits());
+        }
+    }
+    h.finish()
+}
+
+/// Two FNV-1a-64 lanes with distinct offset bases, fed identical bytes.
+/// 128 bits keeps accidental collisions out of reach for any realistic
+/// campaign size (the store is content-addressed, so a collision would
+/// silently alias two artifacts).
+struct ContentHasher {
+    a: u64,
+    b: u64,
+}
+
+impl ContentHasher {
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+    fn new() -> Self {
+        // Lane A: the standard FNV-1a offset basis; lane B: the basis
+        // xored with a fixed pattern so the lanes decorrelate.
+        Self { a: 0xcbf2_9ce4_8422_2325, b: 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15 }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(Self::FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte).rotate_left(17)).wrapping_mul(Self::FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> [u64; 2] {
+        [self.a, self.b]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +228,44 @@ mod tests {
         let back = load(&path).unwrap();
         assert_eq!(net, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn content_hash_is_stable_across_roundtrip_and_clone() {
+        let mut rng = Rng::seeded(6);
+        let net = Network::random(&[3, 5, 2], Activation::Relu, Activation::Tanh, &mut rng);
+        let h = content_hash(&net);
+        assert_eq!(h, content_hash(&net.clone()));
+        let back = from_json(&to_json(&net).unwrap()).unwrap();
+        assert_eq!(h, content_hash(&back), "bit-exact roundtrip must preserve the address");
+    }
+
+    #[test]
+    fn content_hash_sees_one_ulp() {
+        let mut rng = Rng::seeded(7);
+        let net = Network::random(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut bumped = net.clone();
+        let w = bumped.layers_mut()[0].bias_mut();
+        w[0] = f64::from_bits(w[0].to_bits() + 1);
+        assert_ne!(content_hash(&net), content_hash(&bumped));
+    }
+
+    #[test]
+    fn content_hash_distinguishes_activations_and_shapes() {
+        let mut rng = Rng::seeded(8);
+        let relu = Network::random(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut leaky = relu.clone();
+        let layers = leaky.layers_mut();
+        layers[0] = DenseLayer::new(
+            layers[0].weights().clone(),
+            layers[0].bias().to_vec(),
+            Activation::LeakyRelu(0.01),
+        )
+        .unwrap();
+        assert_ne!(content_hash(&relu), content_hash(&leaky));
+        let mut rng2 = Rng::seeded(8);
+        let wider = Network::random(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng2);
+        assert_ne!(content_hash(&relu), content_hash(&wider));
     }
 
     #[test]

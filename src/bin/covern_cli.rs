@@ -4,11 +4,20 @@
 //! engineering can be wired into CI/fleet tooling without writing Rust:
 //!
 //! ```text
-//! covern_cli verify  --network f1.json --din din.json --dout dout.json --store state.json
-//! covern_cli enlarge --store state.json --din new_din.json
-//! covern_cli update  --store state.json --network f2.json
-//! covern_cli status  --store state.json
+//! covern_cli verify   --network f1.json --din din.json --dout dout.json --store state.json
+//! covern_cli enlarge  --store state.json --din new_din.json
+//! covern_cli update   --store state.json --network f2.json
+//! covern_cli status   --store state.json
+//! covern_cli campaign --scenarios 20 --threads 4 --seed 42 --out report.json
 //! ```
+//!
+//! `campaign` generates a seeded scenario corpus (see
+//! `covern::campaign::corpus`), executes it concurrently with the
+//! content-addressed artifact cache, prints a summary, and writes the JSON
+//! campaign report to `--out` (`--canonical` strips wall times for a
+//! byte-deterministic report; `--vehicle` appends the lane-following
+//! workload; `--min-hits N` fails the run if the cache reused fewer than
+//! `N` artifacts — the CI smoke gate).
 //!
 //! Networks use the bit-exact `covern-nn` JSON format
 //! (`covern::nn::serialize`); boxes are JSON arrays of `[lo, hi]` pairs.
@@ -26,18 +35,25 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: covern_cli <verify|enlarge|update|status> [--network F] [--din F] [--dout F] \
-         [--store F] [--margin REL] [--splits N]"
+         [--store F] [--margin REL] [--splits N]\n       \
+         covern_cli campaign [--scenarios N] [--families N] [--events N] [--seed N] \
+         [--threads N] [--out F] [--canonical] [--vehicle] [--no-cache] [--min-hits N]"
     );
     ExitCode::FAILURE
 }
+
+/// Flags that take no value; everything else must be followed by one
+/// (a forgotten value stays a usage error, not a silent `"true"`).
+const BOOLEAN_FLAGS: [&str; 3] = ["canonical", "vehicle", "no-cache"];
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let key = a.strip_prefix("--")?;
-        let value = it.next()?;
-        flags.insert(key.to_owned(), value.clone());
+        let value =
+            if BOOLEAN_FLAGS.contains(&key) { "true".to_owned() } else { it.next()?.clone() };
+        flags.insert(key.to_owned(), value);
     }
     Some(flags)
 }
@@ -109,6 +125,72 @@ fn run() -> Result<bool, String> {
             println!("{report}");
             verifier.save_to(&store).map_err(|e| e.to_string())?;
             Ok(report.outcome.is_proved())
+        }
+        "campaign" => {
+            let parse = |key: &str, default: u64| -> Result<u64, String> {
+                flags
+                    .get(key)
+                    .map(|s| s.parse().map_err(|_| format!("--{key} must be an integer")))
+                    .transpose()
+                    .map(|v| v.unwrap_or(default))
+            };
+            let corpus_config = covern::campaign::CorpusConfig {
+                scenarios: parse("scenarios", 20)? as usize,
+                families: parse("families", 5)? as usize,
+                events_per_scenario: parse("events", 3)? as usize,
+                seed: parse("seed", 42)?,
+                include_vehicle: flags.contains_key("vehicle"),
+            };
+            let threads = parse("threads", 4)? as usize;
+            let engine = covern::campaign::CampaignEngine::new(covern::campaign::CampaignConfig {
+                threads,
+                use_cache: !flags.contains_key("no-cache"),
+                ..covern::campaign::CampaignConfig::default()
+            });
+            let corpus =
+                covern::campaign::corpus::generate(&corpus_config).map_err(|e| e.to_string())?;
+            let report = engine.run(&corpus).map_err(|e| e.to_string())?;
+
+            println!(
+                "campaign: {} scenarios on {} threads ({} per-scenario)",
+                report.scenarios.len(),
+                report.threads,
+                report.scenario_threads
+            );
+            println!(
+                "verdicts: {} proved, {} refuted, {} unknown, {} errors",
+                report.proved, report.refuted, report.unknown, report.errors
+            );
+            println!(
+                "cache: {} hits, {} misses, {} entries",
+                report.cache.hits, report.cache.misses, report.cache.entries
+            );
+            println!(
+                "time: {:.1} ms wall vs {:.1} ms sequential ({:.2}x)",
+                report.wall_us as f64 / 1000.0,
+                report.sequential_us as f64 / 1000.0,
+                report.sequential_us as f64 / report.wall_us.max(1) as f64
+            );
+            let json = if flags.contains_key("canonical") {
+                report.canonical_json()
+            } else {
+                report.to_json()
+            }
+            .map_err(|e| e.to_string())?;
+            if let Some(out) = flags.get("out") {
+                std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+                println!("report written to {out}");
+            } else {
+                println!("{json}");
+            }
+            let min_hits = parse("min-hits", 0)?;
+            if report.cache.hits < min_hits {
+                return Err(format!(
+                    "cache reused {} artifacts, expected at least {min_hits}",
+                    report.cache.hits
+                ));
+            }
+            Ok(report.refuted == 0 && report.unknown == 0 && report.errors == 0)
         }
         "status" => {
             let verifier = ContinuousVerifier::resume_from(&store).map_err(|e| e.to_string())?;

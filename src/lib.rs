@@ -23,6 +23,7 @@
 //! | [`monitor`] | `covern-monitor` | runtime activation monitoring, Δin recording |
 //! | [`vehicle`] | `covern-vehicle` | simulated 1/10-scale platform (track, camera, control) |
 //! | [`core`] | `covern-core` | SVuDC/SVbTV problems, Propositions 1–6, incremental fixing, pipeline |
+//! | [`campaign`] | `covern-campaign` | batch campaigns: scenario corpora, content-addressed artifact cache, concurrent runner, JSON reports |
 //!
 //! ## Quickstart
 //!
@@ -31,6 +32,7 @@
 //! via Proposition 1.
 
 pub use covern_absint as absint;
+pub use covern_campaign as campaign;
 pub use covern_core as core;
 pub use covern_lipschitz as lipschitz;
 pub use covern_milp as milp;

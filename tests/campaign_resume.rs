@@ -1,0 +1,186 @@
+//! Persistence round-trips through a campaign run: a scenario
+//! interrupted mid-stream, saved with `ContinuousVerifier::save_to` and
+//! resumed in a "fresh process" with `resume_from`, must finish with
+//! exactly the verdict stream of the uninterrupted run — artifacts, the
+//! advanced problem state, and the cache all survive the hop.
+
+use covern::absint::BoxDomain;
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::campaign::runner::{apply_event, execute_scenario, CampaignConfig, CampaignEngine};
+use covern::campaign::{ArtifactCache, Scenario};
+use covern::core::cache::VerifyCache;
+use covern::core::method::LocalMethod;
+use covern::core::pipeline::ContinuousVerifier;
+use covern::core::problem::VerificationProblem;
+use covern::nn::serialize::content_hash;
+use std::sync::Arc;
+
+fn corpus_config() -> CorpusConfig {
+    CorpusConfig {
+        scenarios: 2,
+        families: 1,
+        events_per_scenario: 6,
+        seed: 31415,
+        include_vehicle: false,
+    }
+}
+
+fn method() -> LocalMethod {
+    CampaignConfig::default().method
+}
+
+/// (kind, strategy, outcome) triples — the timing-free verdict stream.
+fn verdicts_of(
+    scenario: &Scenario,
+    verifier_events: &[covern::core::report::VerifyReport],
+) -> Vec<(String, String, String)> {
+    scenario
+        .events
+        .iter()
+        .zip(verifier_events.iter())
+        .map(|(e, r)| (e.kind().to_string(), r.strategy.to_string(), r.outcome.to_string()))
+        .collect()
+}
+
+#[test]
+fn save_resume_mid_campaign_replays_the_uninterrupted_verdicts() {
+    let corpus = generate(&corpus_config()).unwrap();
+    let scenario = &corpus[0];
+    let m = method();
+
+    // Reference: the uninterrupted trajectory.
+    let reference = execute_scenario(scenario, &m, 2, None);
+    assert!(reference.error.is_none(), "{:?}", reference.error);
+    assert_eq!(reference.events.len(), scenario.events.len());
+
+    // Interrupted: run half the stream, persist, resume, run the rest.
+    let dir = std::env::temp_dir().join("covern_campaign_resume_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("checkpoint.json");
+    let cache: Arc<ArtifactCache> = Arc::new(ArtifactCache::new());
+    let split = scenario.events.len() / 2;
+
+    let problem = VerificationProblem::new(
+        scenario.network.clone(),
+        scenario.din.clone(),
+        scenario.dout.clone(),
+    )
+    .unwrap();
+    let mut first_half = Vec::new();
+    {
+        let mut verifier = ContinuousVerifier::with_margin_cached(
+            problem,
+            scenario.domain,
+            scenario.margin,
+            Some(Arc::clone(&cache) as Arc<dyn VerifyCache>),
+            2,
+        )
+        .unwrap();
+        for event in &scenario.events[..split] {
+            first_half.push(apply_event(&mut verifier, event, &m).unwrap());
+        }
+        assert_eq!(verifier.history().len(), split);
+        verifier.save_to(&store).unwrap();
+    } // verifier dropped: the "process" ends mid-campaign
+
+    let mut verifier = ContinuousVerifier::resume_from(&store).unwrap();
+    std::fs::remove_file(&store).ok();
+    // The cache and thread budget are session-local; re-install them.
+    verifier.set_cache(Some(Arc::clone(&cache) as Arc<dyn VerifyCache>));
+    verifier.set_threads(2);
+    assert!(verifier.initial_report().outcome.is_proved(), "restored proof status");
+    let mut second_half = Vec::new();
+    for event in &scenario.events[split..] {
+        second_half.push(apply_event(&mut verifier, event, &m).unwrap());
+    }
+    assert_eq!(verifier.history().len(), scenario.events.len() - split);
+
+    // Verdicts and strategies are unchanged by the round-trip.
+    let mut resumed_events = first_half;
+    resumed_events.append(&mut second_half);
+    let resumed = verdicts_of(scenario, &resumed_events);
+    let reference_verdicts: Vec<(String, String, String)> = reference
+        .events
+        .iter()
+        .map(|e| (e.kind.clone(), e.strategy.clone(), e.outcome.clone()))
+        .collect();
+    assert_eq!(resumed, reference_verdicts);
+
+    // And the final problem state matches the uninterrupted run's.
+    let mut straight = ContinuousVerifier::with_margin_cached(
+        VerificationProblem::new(
+            scenario.network.clone(),
+            scenario.din.clone(),
+            scenario.dout.clone(),
+        )
+        .unwrap(),
+        scenario.domain,
+        scenario.margin,
+        None,
+        2,
+    )
+    .unwrap();
+    for event in &scenario.events {
+        apply_event(&mut straight, event, &m).unwrap();
+    }
+    assert_eq!(
+        content_hash(verifier.problem().network()),
+        content_hash(straight.problem().network())
+    );
+    assert_eq!(verifier.problem().din(), straight.problem().din());
+    assert_eq!(verifier.problem().dout(), straight.problem().dout());
+}
+
+#[test]
+fn campaign_report_survives_disk_roundtrip_canonically() {
+    // The campaign-level persistence story: the report written by one run
+    // parses back and its canonical form is reproducible from scratch.
+    let corpus = generate(&corpus_config()).unwrap();
+    let engine = CampaignEngine::new(CampaignConfig { threads: 2, ..CampaignConfig::default() });
+    let report = engine.run(&corpus).unwrap();
+
+    let dir = std::env::temp_dir().join("covern_campaign_resume_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.json");
+    std::fs::write(&path, report.canonical_json().unwrap()).unwrap();
+    let parsed =
+        covern::campaign::CampaignReport::from_json(&std::fs::read_to_string(&path).unwrap())
+            .unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(parsed, report.canonical());
+
+    let again = CampaignEngine::new(CampaignConfig { threads: 2, ..CampaignConfig::default() })
+        .run(&corpus)
+        .unwrap();
+    assert_eq!(parsed, again.canonical());
+}
+
+#[test]
+fn resumed_verifier_keeps_discharging_enlargements_incrementally() {
+    // A campaign-flavoured regression of the original save/resume test:
+    // resume, then push a *new* (not-from-corpus) enlargement and require
+    // an incremental (non-Full) proof — the artifacts really travelled.
+    let corpus = generate(&corpus_config()).unwrap();
+    let scenario = &corpus[1];
+    let m = method();
+    let problem = VerificationProblem::new(
+        scenario.network.clone(),
+        scenario.din.clone(),
+        scenario.dout.clone(),
+    )
+    .unwrap();
+    let verifier =
+        ContinuousVerifier::with_margin_cached(problem, scenario.domain, scenario.margin, None, 2)
+            .unwrap();
+    let dir = std::env::temp_dir().join("covern_campaign_resume_test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = dir.join("fresh.json");
+    verifier.save_to(&store).unwrap();
+
+    let mut resumed = ContinuousVerifier::resume_from(&store).unwrap();
+    std::fs::remove_file(&store).ok();
+    let grown: BoxDomain = resumed.problem().din().dilate(0.01);
+    let report = resumed.on_domain_enlarged(&grown, &m).unwrap();
+    assert!(report.outcome.is_proved(), "{report}");
+    assert_ne!(report.strategy, covern::core::report::Strategy::Full);
+}

@@ -1,0 +1,170 @@
+//! Differential tests across verification backends.
+//!
+//! Two independent deciders answer the same question — bisection-refined
+//! abstract interpretation (`absint::refine`) and exact big-M MILP
+//! (`milp::bb::decide_threshold`) — and a third oracle, concrete
+//! execution, can only *refute*. The invariants:
+//!
+//! * MILP must never answer "safe" (threshold `Held` / containment
+//!   `Proved`) when a concrete witness exists — in particular when
+//!   refinement has already produced one;
+//! * whenever either backend refutes, its witness must be a real,
+//!   concretely-executable violation;
+//! * campaign verdicts served from the artifact cache must be
+//!   bit-identical to cache-cold verdicts.
+//!
+//! Seeds are pinned by the proptest shim (per-test-name RNG), so any
+//! failure reproduces exactly.
+
+use covern::absint::refine::{prove_forward_containment, Outcome};
+use covern::absint::{reach_boxes, BoxDomain, DomainKind};
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::campaign::runner::{CampaignConfig, CampaignEngine};
+use covern::milp::bb::{decide_threshold, ThresholdDecision};
+use covern::milp::encode::encode_network;
+use covern::milp::query::{check_containment_with_limit, Containment};
+use covern::milp::MilpError;
+use covern::nn::{Activation, Network};
+use covern::tensor::Rng;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+const NODE_LIMIT: usize = 20_000;
+
+fn case_net(seed: u64) -> Network {
+    let dims: &[usize] = if seed.is_multiple_of(2) { &[2, 5, 1] } else { &[3, 6, 1] };
+    let mut rng = Rng::seeded(seed.wrapping_mul(0x100_0000_01b3).wrapping_add(7));
+    Network::random(dims, Activation::Relu, Activation::Identity, &mut rng)
+}
+
+fn unit_box(dim: usize) -> BoxDomain {
+    BoxDomain::from_bounds(&vec![(-1.0, 1.0); dim]).expect("unit box")
+}
+
+fn sample_in(b: &BoxDomain, rng: &mut Rng) -> Vec<f64> {
+    b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn milp_threshold_never_held_against_concrete_witness(
+        seed in 0u64..100_000,
+        gap in 0.01f64..0.5,
+    ) {
+        // Place the threshold strictly below an *observed* output, so a
+        // violation witness exists by construction; `Held` would be the
+        // unsound answer the paper's Equation-2 method must never give.
+        let net = case_net(seed);
+        let din = unit_box(net.input_dim());
+        let mut rng = Rng::seeded(seed ^ 0x5eed);
+        let best = (0..200)
+            .map(|_| net.forward(&sample_in(&din, &mut rng)).expect("forward")[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        let threshold = best - gap;
+        let mut enc = encode_network(&net, &din).expect("PWL network encodes");
+        enc.model
+            .set_objective(&[(enc.output_vars[0], 1.0)], true)
+            .expect("output var exists");
+        match decide_threshold(&enc.model, NODE_LIMIT, threshold) {
+            Ok(ThresholdDecision::Held) => prop_assert!(
+                false,
+                "seed {seed}: Held at threshold {threshold} though a sample reached {best}"
+            ),
+            Ok(ThresholdDecision::Exceeded { x, objective }) => {
+                prop_assert!(objective > threshold);
+                // The witness must replay concretely.
+                let input: Vec<f64> =
+                    enc.input_vars.iter().map(|v| x[v.index()]).collect();
+                let y = net.forward(&input).expect("forward")[0];
+                prop_assert!(
+                    y > threshold - 1e-6,
+                    "seed {seed}: witness output {y} does not cross {threshold}"
+                );
+            }
+            Err(MilpError::NodeLimit { .. }) => prop_assume!(false),
+            Err(e) => prop_assert!(false, "seed {seed}: solver error {e}"),
+        }
+    }
+
+    #[test]
+    fn milp_containment_agrees_with_refinement(
+        seed in 0u64..100_000,
+        shrink in 0.1f64..0.9,
+    ) {
+        // The same containment instance through both backends; target
+        // geometry sweeps from clearly-violated to clearly-true.
+        let net = case_net(seed.wrapping_add(500_000));
+        let din = unit_box(net.input_dim());
+        let out = reach_boxes(&net, &din, DomainKind::Box).expect("reach").output().clone();
+        let iv = out.interval(0);
+        let (c, hw) = (0.5 * (iv.lo() + iv.hi()), 0.5 * iv.width());
+        let target =
+            BoxDomain::from_bounds(&[(c - shrink * hw, c + shrink * hw)]).expect("target box");
+        let refine = prove_forward_containment(&net, &din, &target, DomainKind::Symbolic, 512)
+            .expect("refinement runs");
+        let milp = match check_containment_with_limit(&net, &din, &target, NODE_LIMIT) {
+            Ok(v) => v,
+            Err(MilpError::NodeLimit { .. }) => return Err(TestCaseError::Reject),
+            Err(e) => return Err(TestCaseError::fail(format!("seed {seed}: solver error {e}"))),
+        };
+        match (&refine, &milp) {
+            (Outcome::Refuted(w), _) => {
+                // Premise: refinement's witness is a real violation …
+                let y = net.forward(w).expect("forward");
+                prop_assert!(
+                    !target.dilate(1e-9).contains(&y),
+                    "seed {seed}: refine witness {w:?} -> {y:?} does not violate"
+                );
+                // … so exact MILP must refute too, never prove.
+                prop_assert!(
+                    !milp.is_proved(),
+                    "seed {seed}: MILP proved though refinement found witness {w:?}"
+                );
+            }
+            (Outcome::Proved, Containment::Refuted { input_witness, .. }) => {
+                // If MILP's witness replays concretely, refinement's proof
+                // is unsound; if it does not, MILP fabricated a witness.
+                let y = net.forward(input_witness).expect("forward");
+                prop_assert!(
+                    target.dilate(1e-6).contains(&y),
+                    "seed {seed}: both backends decisive and contradictory \
+                     (witness {input_witness:?} -> {y:?} escapes the target)"
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn cached_campaign_verdicts_are_bit_identical_to_cold() {
+    let corpus = generate(&CorpusConfig {
+        scenarios: 10,
+        families: 4,
+        events_per_scenario: 4,
+        seed: 777,
+        include_vehicle: false,
+    })
+    .expect("corpus generates");
+    let warm = CampaignEngine::new(CampaignConfig { threads: 3, ..CampaignConfig::default() })
+        .run(&corpus)
+        .expect("warm campaign");
+    let cold = CampaignEngine::new(CampaignConfig {
+        threads: 3,
+        use_cache: false,
+        ..CampaignConfig::default()
+    })
+    .run(&corpus)
+    .expect("cold campaign");
+    assert!(warm.cache.hits > 0, "the corpus must actually share instances");
+    // Identical verdict streams, strategies, witnesses — byte for byte
+    // once timings are stripped.
+    assert_eq!(warm.canonical().scenarios, cold.canonical().scenarios);
+    let warm2 = CampaignEngine::new(CampaignConfig { threads: 1, ..CampaignConfig::default() })
+        .run(&corpus)
+        .expect("warm rerun");
+    assert_eq!(warm.canonical().scenarios, warm2.canonical().scenarios);
+    assert_eq!(warm.cache, warm2.cache, "single-flight counters are schedule-independent");
+}

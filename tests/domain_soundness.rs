@@ -1,0 +1,138 @@
+//! Property-based soundness of the abstract domains.
+//!
+//! The invariant that makes every campaign verdict trustworthy: for *any*
+//! network and *any* input box, each abstract domain's reach set must
+//! contain the concrete outputs of every point in the box — at **every
+//! layer**, not just the output (the per-layer boxes are exactly the
+//! `S1..Sn` proof artifacts the continuous pipeline reuses).
+//!
+//! Seeds are pinned by construction: the proptest shim derives each
+//! test's RNG from its name, and the networks/boxes inside a case derive
+//! from the drawn `seed` value — a failing case therefore reproduces
+//! exactly on re-run, and its `seed`/geometry values identify it.
+
+use covern::absint::{reach_boxes, BoxDomain, DomainKind};
+use covern::core::artifact::{Margin, StateAbstractionArtifact};
+use covern::nn::{Activation, Network};
+use covern::tensor::Rng;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Architectures cycled by seed — depths 2–4, widths 4–10, 1–2 outputs.
+const DIMS: [&[usize]; 4] = [&[2, 5, 1], &[3, 8, 6, 1], &[2, 6, 4, 2], &[4, 10, 6, 4, 1]];
+
+/// Output activations cycled by seed (hidden layers stay ReLU — the
+/// paper's setting — while the output exercises each family).
+const OUT_ACTS: [Activation; 4] =
+    [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh];
+
+fn case_net(seed: u64) -> Network {
+    let dims = DIMS[(seed % DIMS.len() as u64) as usize];
+    let out = OUT_ACTS[((seed / 7) % OUT_ACTS.len() as u64) as usize];
+    let mut rng = Rng::seeded(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    Network::random(dims, Activation::Relu, out, &mut rng)
+}
+
+fn case_box(net: &Network, half_width: f64, offset: f64) -> BoxDomain {
+    let bounds: Vec<(f64, f64)> =
+        (0..net.input_dim()).map(|_| (offset - half_width, offset + half_width)).collect();
+    BoxDomain::from_bounds(&bounds).expect("half_width > 0")
+}
+
+fn sample_in(b: &BoxDomain, rng: &mut Rng) -> Vec<f64> {
+    b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect()
+}
+
+/// Fires `samples` concrete executions and checks every layer's value
+/// against the recorded per-layer box.
+fn assert_reach_contains_trace(
+    net: &Network,
+    din: &BoxDomain,
+    domain: DomainKind,
+    seed: u64,
+    samples: usize,
+) -> Result<(), TestCaseError> {
+    let reach = reach_boxes(net, din, domain).expect("reach runs");
+    let mut rng = Rng::seeded(seed ^ 0xdead_beef);
+    for _ in 0..samples {
+        let x = sample_in(din, &mut rng);
+        let trace = net.forward_trace(&x).expect("forward runs");
+        for (k, values) in trace.iter().enumerate() {
+            let padded = reach.layer_box(k + 1).expect("layer box exists").dilate(1e-9);
+            prop_assert!(
+                padded.contains(values),
+                "{domain:?} unsound at seed {seed}, layer {}: x={x:?} -> {values:?} \
+                 escapes {padded}",
+                k + 1
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn box_reach_contains_concrete_traces(
+        seed in 0u64..100_000,
+        half_width in 0.05f64..1.5,
+        offset in -0.5f64..0.5,
+    ) {
+        let net = case_net(seed);
+        let din = case_box(&net, half_width, offset);
+        assert_reach_contains_trace(&net, &din, DomainKind::Box, seed, 24)?;
+    }
+
+    #[test]
+    fn symbolic_reach_contains_concrete_traces(
+        seed in 0u64..100_000,
+        half_width in 0.05f64..1.5,
+        offset in -0.5f64..0.5,
+    ) {
+        let net = case_net(seed.wrapping_add(1_000_000));
+        let din = case_box(&net, half_width, offset);
+        assert_reach_contains_trace(&net, &din, DomainKind::Symbolic, seed, 24)?;
+    }
+
+    #[test]
+    fn zonotope_reach_contains_concrete_traces(
+        seed in 0u64..100_000,
+        half_width in 0.05f64..1.5,
+        offset in -0.5f64..0.5,
+    ) {
+        let net = case_net(seed.wrapping_add(2_000_000));
+        let din = case_box(&net, half_width, offset);
+        assert_reach_contains_trace(&net, &din, DomainKind::Zonotope, seed, 24)?;
+    }
+
+    #[test]
+    fn buffered_artifacts_contain_concrete_traces(
+        seed in 0u64..100_000,
+        half_width in 0.05f64..1.0,
+    ) {
+        // The buffered-chain artifact (the campaign corpus default) must
+        // stay an over-approximation at every layer, for every domain.
+        let net = case_net(seed.wrapping_add(3_000_000));
+        let din = case_box(&net, half_width, 0.0);
+        let dout = reach_boxes(&net, &din, DomainKind::Box).expect("reach").output().dilate(1.0);
+        for domain in DomainKind::ALL {
+            let art =
+                StateAbstractionArtifact::build_with_margin(&net, &din, &dout, domain, Margin::standard())
+                    .expect("artifact builds");
+            let mut rng = Rng::seeded(seed ^ 0xabcd);
+            for _ in 0..12 {
+                let x = sample_in(&din, &mut rng);
+                let trace = net.forward_trace(&x).expect("forward runs");
+                for (k, values) in trace.iter().enumerate() {
+                    let si = art.layers().layer_box(k + 1).expect("Si exists").dilate(1e-9);
+                    prop_assert!(
+                        si.contains(values),
+                        "buffered {domain:?} artifact unsound at seed {seed}, layer {}",
+                        k + 1
+                    );
+                }
+            }
+        }
+    }
+}
