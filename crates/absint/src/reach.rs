@@ -19,7 +19,7 @@ use serde::{Deserialize, Serialize};
 
 /// The stored state abstraction `S1, …, Sn` for a verified network.
 ///
-/// Recorded boxes are dilated outward by [`SOUND_EPS`](crate::SOUND_EPS) so
+/// Recorded boxes are dilated outward by [`crate::SOUND_EPS`] so
 /// that re-checking containment of the *same* computation cannot fail due
 /// to round-off.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

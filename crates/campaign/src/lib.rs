@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod corpus;
 pub mod error;

@@ -15,7 +15,11 @@ use std::fmt;
 
 /// One continuous-engineering delta, in the order the paper's pipeline
 /// consumes them.
-#[derive(Debug, Clone)]
+///
+/// Serializes with serde's externally-tagged enum convention
+/// (`{"DomainEnlarged": …}`), which is also the on-wire form the
+/// verification service's `covern-protocol-v1` uses for delta messages.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum DeltaEvent {
     /// SVuDC: the monitored input domain grew to the carried box.
     DomainEnlarged(BoxDomain),
@@ -96,6 +100,33 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_events_roundtrip_as_json() {
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.5)]).unwrap();
+        let net = covern_nn::NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.5]], &[0.25], covern_nn::Activation::Relu)
+            .build()
+            .unwrap();
+        for ev in [
+            DeltaEvent::DomainEnlarged(din.clone()),
+            DeltaEvent::ModelUpdated(net.clone()),
+            DeltaEvent::PropertyChanged(din.clone()),
+        ] {
+            let json = serde_json::to_string(&ev).unwrap();
+            let back: DeltaEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.kind(), ev.kind());
+        }
+        // Networks survive bit-exactly (the wire format of the service).
+        let json = serde_json::to_string(&DeltaEvent::ModelUpdated(net.clone())).unwrap();
+        let DeltaEvent::ModelUpdated(back) = serde_json::from_str(&json).unwrap() else {
+            panic!("kind changed in flight");
+        };
+        assert_eq!(
+            covern_nn::serialize::content_hash(&back),
+            covern_nn::serialize::content_hash(&net)
+        );
+    }
 
     #[test]
     fn kind_tags_and_counts() {

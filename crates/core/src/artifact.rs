@@ -70,8 +70,8 @@ impl Margin {
 ///
 /// Artifacts serialize (JSON via the pipeline's save/resume); the float
 /// roundtrip may perturb bounds at the final ULP, which is ten orders of
-/// magnitude inside the [`CONTAIN_TOL`](crate::method::CONTAIN_TOL) every
-/// containment check allows.
+/// magnitude inside the [`crate::method::CONTAIN_TOL`] every containment
+/// check allows.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct StateAbstractionArtifact {
     layers: LayerAbstraction,

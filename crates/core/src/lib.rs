@@ -55,6 +55,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod artifact;
 pub mod cache;
 pub mod error;

@@ -71,6 +71,85 @@ pub fn run_jobs<R: Send + 'static>(
     out.into_iter().map(|o| o.expect("all jobs completed")).collect()
 }
 
+/// A persistent worker pool for long-running hosts (the verification
+/// service's session dispatcher, primarily).
+///
+/// [`run_jobs`] spins workers up and down per batch, which is the right
+/// shape for a one-shot campaign but not for a resident daemon that keeps
+/// absorbing deltas for days. `WorkerPool` keeps `threads` workers parked
+/// on a shared MPMC queue; [`submit`](Self::submit) enqueues a closure and
+/// returns immediately, and dropping the pool (or calling
+/// [`shutdown`](Self::shutdown)) drains the queue and joins every worker —
+/// submitted work is never silently discarded.
+///
+/// A panicking job takes its worker down with it (the remaining workers
+/// keep serving); hosts that must survive arbitrary jobs should catch
+/// panics inside the closure.
+pub struct WorkerPool {
+    tx: Option<channel::Sender<Box<dyn FnOnce() + Send>>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("threads", &self.workers.len()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool of `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = channel::unbounded::<Box<dyn FnOnce() + Send>>();
+        let workers = (0..threads)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+            })
+            .collect();
+        Self { tx: Some(tx), workers }
+    }
+
+    /// Number of workers in the pool.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; an idle worker picks it up. Never blocks.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.tx
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(Box::new(job))
+            .expect("pool queue open");
+    }
+
+    /// Drains the queue and joins every worker. Equivalent to dropping the
+    /// pool, but explicit at call sites that care about the join point.
+    pub fn shutdown(mut self) {
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            // A worker that panicked already unwound; there is nothing
+            // useful to do with its result here.
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
 /// Extracts the [`SubproblemTiming`]s from runner output.
 pub fn timings<R>(results: &[(String, R, Duration)]) -> Vec<SubproblemTiming> {
     results
@@ -123,6 +202,46 @@ mod tests {
         let elapsed = t0.elapsed();
         assert_eq!(results.len(), 4);
         assert!(elapsed < Duration::from_millis(100), "no speedup: {elapsed:?}");
+    }
+
+    #[test]
+    fn worker_pool_runs_submitted_jobs_and_joins_on_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let counter = Arc::new(AtomicUsize::new(0));
+        let pool = WorkerPool::new(3);
+        assert_eq!(pool.threads(), 3);
+        for _ in 0..50 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        // shutdown() drains the queue before joining: all 50 jobs ran.
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn worker_pool_clamps_zero_threads() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let (tx, rx) = channel::unbounded();
+        pool.submit(move || tx.send(7u8).expect("receiver alive"));
+        assert_eq!(rx.recv(), Ok(7));
+    }
+
+    #[test]
+    fn worker_pool_executes_concurrently() {
+        // 4 sleeps of ~30 ms on 4 workers finish well under the sequential
+        // 120 ms.
+        let pool = WorkerPool::new(4);
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            pool.submit(|| std::thread::sleep(Duration::from_millis(30)));
+        }
+        pool.shutdown();
+        assert!(t0.elapsed() < Duration::from_millis(100));
     }
 
     #[test]

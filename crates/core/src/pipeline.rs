@@ -166,6 +166,13 @@ impl ContinuousVerifier {
         self.cache = cache;
     }
 
+    /// The installed full-verification cache handle, when any. Hosts that
+    /// multiplex many verifiers over one process-wide store (the
+    /// verification service) use this to confirm sharing.
+    pub fn cache(&self) -> Option<&Arc<dyn VerifyCache>> {
+        self.cache.as_ref()
+    }
+
     /// Full verification of `problem` under this verifier's domain,
     /// margin, thread budget, and cache.
     fn full_verify(
@@ -214,7 +221,8 @@ impl ContinuousVerifier {
         self.build_network_abstraction_with_slack(target_width, 0.0, method)
     }
 
-    /// [`build_network_abstraction`] with an output slack buffer.
+    /// [`build_network_abstraction`](Self::build_network_abstraction)
+    /// with an output slack buffer.
     ///
     /// An over-abstraction from merging alone satisfies `f̂ ≥ f` with *zero*
     /// margin wherever no neurons merged, so the Proposition 6 cover check
@@ -330,10 +338,14 @@ impl ContinuousVerifier {
         method: &LocalMethod,
     ) -> Result<VerifyReport, CoreError> {
         if let Ok(state) = self.artifacts.state() {
-            // Prop 1: local exact check on the two-layer prefix.
-            let r = prop1(self.problem.network(), state, new_din, method)?;
-            if r.outcome.is_proved() {
-                return Ok(r);
+            // Prop 1: local exact check on the two-layer prefix. Defined
+            // only for depth ≥ 2 — a single-layer network skips straight
+            // down the chain instead of aborting the event.
+            if self.problem.network().num_layers() >= 2 {
+                let r = prop1(self.problem.network(), state, new_din, method)?;
+                if r.outcome.is_proved() {
+                    return Ok(r);
+                }
             }
             // Prop 3: pure box arithmetic with the Lipschitz certificate.
             if let Ok(ell) = self.artifacts.lipschitz() {
@@ -508,17 +520,19 @@ impl ContinuousVerifier {
         Ok(report)
     }
 
-    /// Persists the verifier state (problem, domain, margin, artifacts) as
-    /// JSON — continuous engineering survives process restarts: verify
-    /// today, resume next week when the monitor flags the next black swan.
+    /// Serializes the verifier state (problem, domain, margin, artifacts,
+    /// proof status) to a self-contained JSON *checkpoint* string — the
+    /// in-memory half of [`save_to`](Self::save_to), exposed so hosts that
+    /// are not file-based (the verification service streaming session
+    /// checkpoints over its protocol) can move verifier state around.
     ///
     /// The event history and the initial report's timing are session-local
-    /// and are not persisted.
+    /// and are not included.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Substrate`] on encoding or I/O failure.
-    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+    /// Returns [`CoreError::Substrate`] on encoding failure.
+    pub fn checkpoint_json(&self) -> Result<String, CoreError> {
         let status =
             self.history.last().map_or(&self.initial_report.outcome, |r| &r.outcome).clone();
         let saved = SavedVerifier {
@@ -529,28 +543,24 @@ impl ContinuousVerifier {
             artifacts: self.artifacts.clone(),
             status,
         };
-        let json =
-            serde_json::to_string(&saved).map_err(|e| CoreError::Substrate(e.to_string()))?;
-        std::fs::write(path, json).map_err(|e| CoreError::Substrate(e.to_string()))
+        serde_json::to_string(&saved).map_err(|e| CoreError::Substrate(e.to_string()))
     }
 
-    /// Restores a verifier saved with [`save_to`](Self::save_to) *without*
-    /// re-running the original verification — the whole point of artifact
-    /// persistence.
+    /// Reconstructs a verifier from a [`checkpoint_json`](Self::checkpoint_json)
+    /// string *without* re-running the original verification.
     ///
-    /// The restored initial report reflects the stored artifact: `Proved`
-    /// when a state abstraction (which implies the established proof) is
-    /// present, `Unknown` otherwise; its timing is zero.
+    /// The restored initial report carries the checkpointed proof status
+    /// with zero timing. The thread budget resets to the machine's
+    /// parallelism and no cache is installed — both are session-local;
+    /// see [`set_threads`](Self::set_threads) and
+    /// [`set_cache`](Self::set_cache).
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Substrate`] on I/O, decoding, or format-tag
-    /// failure.
-    pub fn resume_from(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
-        let json =
-            std::fs::read_to_string(path).map_err(|e| CoreError::Substrate(e.to_string()))?;
+    /// Returns [`CoreError::Substrate`] on decoding or format-tag failure.
+    pub fn from_checkpoint_json(json: &str) -> Result<Self, CoreError> {
         let saved: SavedVerifier =
-            serde_json::from_str(&json).map_err(|e| CoreError::Substrate(e.to_string()))?;
+            serde_json::from_str(json).map_err(|e| CoreError::Substrate(e.to_string()))?;
         if saved.format != SAVE_FORMAT {
             return Err(CoreError::Substrate(format!("unknown save format {:?}", saved.format)));
         }
@@ -569,6 +579,39 @@ impl ContinuousVerifier {
             history: Vec::new(),
             cache: None,
         })
+    }
+
+    /// Persists the verifier state (problem, domain, margin, artifacts) as
+    /// JSON — continuous engineering survives process restarts: verify
+    /// today, resume next week when the monitor flags the next black swan.
+    ///
+    /// The event history and the initial report's timing are session-local
+    /// and are not persisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Substrate`] on encoding or I/O failure.
+    pub fn save_to(&self, path: impl AsRef<std::path::Path>) -> Result<(), CoreError> {
+        let json = self.checkpoint_json()?;
+        std::fs::write(path, json).map_err(|e| CoreError::Substrate(e.to_string()))
+    }
+
+    /// Restores a verifier saved with [`save_to`](Self::save_to) *without*
+    /// re-running the original verification — the whole point of artifact
+    /// persistence.
+    ///
+    /// The restored initial report reflects the stored artifact: `Proved`
+    /// when a state abstraction (which implies the established proof) is
+    /// present, `Unknown` otherwise; its timing is zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Substrate`] on I/O, decoding, or format-tag
+    /// failure.
+    pub fn resume_from(path: impl AsRef<std::path::Path>) -> Result<Self, CoreError> {
+        let json =
+            std::fs::read_to_string(path).map_err(|e| CoreError::Substrate(e.to_string()))?;
+        Self::from_checkpoint_json(&json)
     }
 
     /// Measures what a full from-scratch verification of the *current*
@@ -839,6 +882,45 @@ mod tests {
         // And the resumed verifier keeps working incrementally.
         let larger = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
         let report = resumed.on_domain_enlarged(&larger, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert_ne!(report.strategy, Strategy::Full);
+    }
+
+    #[test]
+    fn single_layer_network_enlargement_falls_back_instead_of_erroring() {
+        // Prop 1 needs a two-layer prefix; a depth-1 head (a service
+        // session's smallest sensible network) must still absorb
+        // enlargements via the rest of the chain, not abort the event.
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.0]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 3.0)]).unwrap();
+        let problem = VerificationProblem::new(net, din, dout).unwrap();
+        let mut v = ContinuousVerifier::new(problem, DomainKind::Box).unwrap();
+        assert!(v.initial_report().outcome.is_proved());
+        let enlarged = BoxDomain::from_bounds(&[(-1.1, 1.1)]).unwrap();
+        let report = v.on_domain_enlarged(&enlarged, &LocalMethod::default()).unwrap();
+        assert!(report.outcome.is_proved(), "{report}");
+        assert!(v.problem().din().contains(&[1.05]));
+    }
+
+    #[test]
+    fn checkpoint_json_roundtrips_in_memory() {
+        let mut v = fig2_verifier();
+        let enlarged = BoxDomain::from_bounds(&[(-1.0, 1.05), (-1.0, 1.05)]).unwrap();
+        v.on_domain_enlarged(&enlarged, &LocalMethod::default()).unwrap();
+
+        // No filesystem involved: the string is the whole checkpoint.
+        let state = v.checkpoint_json().unwrap();
+        let mut restored = ContinuousVerifier::from_checkpoint_json(&state).unwrap();
+        assert!(restored.initial_report().outcome.is_proved());
+        assert!(restored.problem().din().contains(&[1.04, 1.04]));
+        // Checkpoints never carry a cache; hosts re-install theirs.
+        assert!(restored.cache().is_none());
+        let larger = BoxDomain::from_bounds(&[(-1.0, 1.1), (-1.0, 1.1)]).unwrap();
+        let report = restored.on_domain_enlarged(&larger, &LocalMethod::default()).unwrap();
         assert!(report.outcome.is_proved(), "{report}");
         assert_ne!(report.strategy, Strategy::Full);
     }

@@ -9,7 +9,7 @@
 //!
 //! * [`bound::global_lipschitz`] — certified upper bound: product of
 //!   per-layer operator norms times activation Lipschitz constants
-//!   (the classical bound the paper's related work attributes to [17]);
+//!   (the classical bound the paper's related work attributes to \[17\]);
 //! * [`local::local_lipschitz`] — tighter certified bound over a *box*:
 //!   provably-inactive ReLU rows are dropped before taking norms;
 //! * [`sample::sampled_lower_bound`] — an empirical *lower* bound used to

@@ -5,7 +5,7 @@
 //! the Jacobian, so dropping them before taking operator norms yields a
 //! certified local bound that is often far below the global product bound.
 //! This is the cheap end of the "accurate estimation of Lipschitz
-//! constants" the paper cites ([18], [19]) — enough to make Proposition 3
+//! constants" the paper cites (\[18\], \[19\]) — enough to make Proposition 3
 //! applicable more often.
 
 use crate::bound::{LipschitzCertificate, NormKind};

@@ -24,7 +24,7 @@ impl Verdict {
 /// flags out-of-bound observations at run time.
 ///
 /// This is the abstraction-based monitoring of the paper's references
-/// [1]/[2] reduced to interval abstractions — exactly what the evaluation
+/// \[1\]/\[2\] reduced to interval abstractions — exactly what the evaluation
 /// section uses on the `Flatten` output.
 ///
 /// # Example

@@ -1,6 +1,6 @@
 //! Multi-box activation monitoring.
 //!
-//! The paper's reference [2] (Henzinger, Lukina, Schilling — "Outside the
+//! The paper's reference \[2\] (Henzinger, Lukina, Schilling — "Outside the
 //! Box") monitors activations with a *union of boxes*, one per cluster of
 //! the fitting data, instead of one global box: activations that fall in
 //! the gap between operating modes are flagged even though the single-box

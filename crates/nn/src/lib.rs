@@ -29,6 +29,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod activation;
 pub mod builder;
 pub mod conv;

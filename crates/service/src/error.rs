@@ -1,0 +1,38 @@
+//! Error type of the service client and transports.
+
+use crate::protocol::ErrorInfo;
+use std::fmt;
+
+/// Client-side failures (the server reports its own via
+/// [`Reply::Error`](crate::protocol::Reply::Error)).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// Transport I/O failed (connect, read, write, EOF).
+    Io(String),
+    /// A message failed to encode or decode.
+    Encode(String),
+    /// The server answered with a protocol error.
+    Remote(ErrorInfo),
+    /// The server answered with a reply variant the call cannot accept.
+    UnexpectedReply(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(msg) => write!(f, "transport error: {msg}"),
+            ServiceError::Encode(msg) => write!(f, "codec error: {msg}"),
+            ServiceError::Remote(e) => write!(f, "server error [{}]: {}", e.code, e.message),
+            ServiceError::UnexpectedReply(r) => write!(f, "unexpected reply: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e.to_string())
+    }
+}

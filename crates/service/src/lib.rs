@@ -1,0 +1,56 @@
+//! Long-running verification service for continuous safety verification.
+//!
+//! The paper's loop — verify once, then cheaply re-verify as the
+//! system-under-test drifts — is a *resident* workload: proof artifacts
+//! are worth the most when they stay warm in memory while deltas keep
+//! arriving. This crate turns the `covern` library into that resident
+//! process: a daemon (`covern_cli serve`) speaking **`covern-protocol-v1`**
+//! (newline-delimited JSON) over stdio or TCP, multiplexing any number of
+//! concurrent client **sessions** — each a problem + abstract domain +
+//! margin with its own delta stream — over a shared worker pool and one
+//! **process-wide** content-addressed artifact cache, so identical full
+//! verifications are computed once even across different clients.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`protocol`] | the `covern-protocol-v1` wire types (spec: `docs/PROTOCOL.md`) |
+//! | [`session`] | sessions, bounded inboxes, the process-wide registry |
+//! | [`dispatch`] | the request dispatcher and drain-task scheduler |
+//! | [`transport`] | stdio and TCP line pumps |
+//! | [`client`] | blocking client + campaign-corpus replay (load testing) |
+//! | [`error`] | client-side error type |
+//!
+//! # Quickstart (in-process)
+//!
+//! ```
+//! use covern_service::client::Client;
+//! use covern_service::dispatch::{Service, ServiceConfig};
+//! use covern_service::transport::serve_tcp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let service = Service::new(ServiceConfig::default());
+//! let server = serve_tcp(service, "127.0.0.1:0")?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let info = client.hello()?;
+//! assert_eq!(info.protocol, covern_service::protocol::PROTOCOL_VERSION);
+//! client.shutdown()?;
+//! server.join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dispatch;
+pub mod error;
+pub mod protocol;
+pub mod session;
+pub mod transport;
+
+pub use client::{replay_corpus, replay_scenario, Client, ReplayOutcome};
+pub use dispatch::{Service, ServiceConfig};
+pub use error::ServiceError;
+pub use protocol::{Command, Reply, Request, Response, PROTOCOL_VERSION};
+pub use session::{Session, SessionRegistry};
+pub use transport::{serve_stdio, serve_tcp, TcpServer};

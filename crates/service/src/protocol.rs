@@ -1,0 +1,414 @@
+//! `covern-protocol-v1`: the wire types of the verification service.
+//!
+//! The protocol is **newline-delimited JSON**: every request and every
+//! response is one JSON object on one `\n`-terminated UTF-8 line. Requests
+//! carry a client-chosen correlation `id`, echoed verbatim on the
+//! response; a client may pipeline requests and match replies by id
+//! (per-session replies additionally arrive in submission order). The full
+//! message-by-message specification with examples, error codes, and
+//! versioning rules lives in `docs/PROTOCOL.md`; the serde types here are
+//! the single source of truth the doc's examples are tested against.
+//!
+//! Enum payloads use serde's externally-tagged convention: a unit variant
+//! is its name as a string (`"Hello"`), a data variant is a single-key
+//! object (`{"Open": {…}}`). Every struct field is always present on the
+//! wire (optional values are `null`), which keeps the hand-rolled parsers
+//! of non-Rust clients trivial.
+
+use covern_absint::{BoxDomain, DomainKind};
+use covern_campaign::report::EventRecord;
+use covern_campaign::DeltaEvent;
+use covern_core::artifact::Margin;
+use covern_nn::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The protocol version tag; every message's `v` field must equal it.
+pub const PROTOCOL_VERSION: &str = "covern-protocol-v1";
+
+/// One client → server message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Request {
+    /// Protocol version tag ([`PROTOCOL_VERSION`]).
+    pub v: String,
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The command to execute.
+    pub cmd: Command,
+}
+
+impl Request {
+    /// Wraps a command in a versioned envelope.
+    pub fn new(id: u64, cmd: Command) -> Self {
+        Self { v: PROTOCOL_VERSION.to_owned(), id, cmd }
+    }
+}
+
+/// The commands of `covern-protocol-v1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Command {
+    /// Identify the server; the canonical first message of a connection.
+    Hello,
+    /// Open a session: run (or dedupe through the process-wide cache) the
+    /// original verification of the carried problem.
+    Open(OpenParams),
+    /// Re-open a session from a checkpoint string (see
+    /// [`Command::Checkpoint`]) without re-verifying.
+    Resume(ResumeParams),
+    /// Stream one delta into a session; answered by a
+    /// [`Reply::Verdict`] once the session worker has absorbed it.
+    Delta(DeltaParams),
+    /// Serialize a session's verifier state to a checkpoint string.
+    Checkpoint(SessionRef),
+    /// Process-wide counters: sessions, deltas, shared-cache hit/miss.
+    Stats,
+    /// Close a session and return its summary.
+    Close(SessionRef),
+    /// Drain every session's in-flight work, then stop the server.
+    Shutdown,
+}
+
+/// Parameters of [`Command::Open`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenParams {
+    /// Client-side label, echoed in replies and summaries.
+    pub label: String,
+    /// The network `f` of the original verification, in the bit-exact
+    /// `covern-nn` JSON form.
+    pub network: Network,
+    /// The input domain `Din`.
+    pub din: BoxDomain,
+    /// The safety set `Dout`.
+    pub dout: BoxDomain,
+    /// Abstract domain for artifact construction.
+    pub domain: DomainKind,
+    /// Artifact buffering margin (`{"rel": 0.0, "abs": 0.0}` for none).
+    pub margin: Margin,
+}
+
+/// Parameters of [`Command::Resume`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResumeParams {
+    /// Client-side label, echoed in replies and summaries.
+    pub label: String,
+    /// A checkpoint string previously returned by
+    /// [`Reply::Checkpoint`] (the `covern-verifier-v1` JSON form).
+    pub state: String,
+}
+
+/// Parameters of [`Command::Delta`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeltaParams {
+    /// The target session id.
+    pub session: u64,
+    /// The delta to absorb, in the order sent.
+    pub delta: DeltaEvent,
+}
+
+/// A bare session reference ([`Command::Checkpoint`], [`Command::Close`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionRef {
+    /// The target session id.
+    pub session: u64,
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Response {
+    /// Protocol version tag ([`PROTOCOL_VERSION`]).
+    pub v: String,
+    /// The correlation id of the request this answers (`0` when the
+    /// request was too malformed to extract one).
+    pub id: u64,
+    /// The payload.
+    pub reply: Reply,
+}
+
+impl Response {
+    /// Wraps a reply in a versioned envelope.
+    pub fn new(id: u64, reply: Reply) -> Self {
+        Self { v: PROTOCOL_VERSION.to_owned(), id, reply }
+    }
+}
+
+/// The reply payloads of `covern-protocol-v1`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Reply {
+    /// Answer to [`Command::Hello`].
+    Hello(ServerInfo),
+    /// Answer to [`Command::Open`] / [`Command::Resume`]: the session is
+    /// registered and its original verification (or checkpoint restore)
+    /// completed.
+    Opened(SessionOpened),
+    /// Answer to [`Command::Delta`]: the verdict of the deciding strategy.
+    Verdict(VerdictEvent),
+    /// Answer to [`Command::Checkpoint`].
+    Checkpoint(CheckpointState),
+    /// Answer to [`Command::Stats`].
+    Stats(StatsSnapshot),
+    /// Answer to [`Command::Close`].
+    Closed(SessionSummary),
+    /// Answer to [`Command::Shutdown`], sent *after* every session's
+    /// queued work has drained.
+    ShuttingDown,
+    /// Backpressure: the session's bounded inbox is full; retry after
+    /// outstanding verdicts arrive.
+    Busy(BusyInfo),
+    /// Any request-level failure; see [`ErrorCode`].
+    Error(ErrorInfo),
+}
+
+/// Server identification ([`Reply::Hello`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerInfo {
+    /// The protocol version the server speaks.
+    pub protocol: String,
+    /// Server implementation and version, e.g. `covern-service/0.1.0`.
+    pub server: String,
+    /// Per-session verifier thread budget the server grants.
+    pub session_threads: u64,
+    /// Bounded-inbox capacity per session (backpressure threshold).
+    pub inbox_capacity: u64,
+}
+
+/// A successfully opened (or resumed) session ([`Reply::Opened`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionOpened {
+    /// The server-assigned session id (process-unique).
+    pub session: u64,
+    /// The client's label, echoed.
+    pub label: String,
+    /// Outcome of the original verification (`proved` | `refuted` |
+    /// `unknown`); for [`Command::Resume`] the checkpointed status.
+    pub outcome: String,
+    /// Wall time of the original verification in microseconds. For a
+    /// process-wide cache hit this is what the shared instance originally
+    /// cost, not the lookup.
+    pub wall_us: u64,
+}
+
+/// One absorbed delta's verdict ([`Reply::Verdict`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerdictEvent {
+    /// The session that absorbed the delta.
+    pub session: u64,
+    /// Per-session sequence number, starting at 0 — deltas are absorbed
+    /// and answered in submission order.
+    pub seq: u64,
+    /// Kind, deciding strategy, outcome, optional witness, and the
+    /// footnote-3 time accounting (same shape as campaign reports).
+    pub record: EventRecord,
+}
+
+/// A serialized session ([`Reply::Checkpoint`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointState {
+    /// The checkpointed session id.
+    pub session: u64,
+    /// Self-contained verifier state (`covern-verifier-v1` JSON); feed it
+    /// back through [`Command::Resume`] — on this server or another.
+    pub state: String,
+}
+
+/// Process-wide counters ([`Reply::Stats`]). All counters are monotone
+/// over a server's lifetime except `sessions_open`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSnapshot {
+    /// Sessions currently registered.
+    pub sessions_open: u64,
+    /// Sessions ever opened (including resumed and since-closed ones).
+    pub sessions_opened: u64,
+    /// Deltas absorbed across all sessions.
+    pub deltas_applied: u64,
+    /// Shared-cache requests served from a stored artifact.
+    pub cache_hits: u64,
+    /// Shared-cache requests that ran the underlying full verification.
+    pub cache_misses: u64,
+    /// Distinct content addresses in the shared cache.
+    pub cache_entries: u64,
+}
+
+/// A closed session's tally ([`Reply::Closed`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionSummary {
+    /// The closed session id.
+    pub session: u64,
+    /// The client's label, echoed.
+    pub label: String,
+    /// Deltas absorbed over the session's lifetime.
+    pub deltas: u64,
+    /// Deltas whose verdict was `proved`.
+    pub proved: u64,
+    /// Deltas whose verdict was `refuted`.
+    pub refuted: u64,
+    /// Deltas whose verdict was `unknown`.
+    pub unknown: u64,
+}
+
+/// Backpressure details ([`Reply::Busy`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BusyInfo {
+    /// The session whose inbox is full.
+    pub session: u64,
+    /// Deltas currently queued (equals `capacity` when busy).
+    pub pending: u64,
+    /// The inbox bound.
+    pub capacity: u64,
+}
+
+/// Machine-readable failure class ([`Reply::Error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The line was not a well-formed `Request` (unparseable JSON, missing
+    /// fields, or an unknown command tag).
+    MalformedRequest,
+    /// The `v` field named a protocol this server does not speak.
+    UnsupportedVersion,
+    /// The referenced session id is not (or no longer) registered.
+    UnknownSession,
+    /// The opened problem is invalid (dimension mismatch, empty network,
+    /// malformed boxes) or a resume checkpoint failed to decode.
+    InvalidProblem,
+    /// A delta was structurally inapplicable to its session (architecture
+    /// change, non-enlargement, wrong arity) — the session stays usable.
+    DeltaFailed,
+    /// The server is draining for shutdown and accepts no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self {
+            ErrorCode::MalformedRequest => "malformed-request",
+            ErrorCode::UnsupportedVersion => "unsupported-version",
+            ErrorCode::UnknownSession => "unknown-session",
+            ErrorCode::InvalidProblem => "invalid-problem",
+            ErrorCode::DeltaFailed => "delta-failed",
+            ErrorCode::ShuttingDown => "shutting-down",
+        };
+        f.write_str(tag)
+    }
+}
+
+/// Failure details ([`Reply::Error`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorInfo {
+    /// The failure class.
+    pub code: ErrorCode,
+    /// Human-readable context (never required for dispatch).
+    pub message: String,
+}
+
+impl ErrorInfo {
+    /// Builds failure details.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        Self { code, message: message.into() }
+    }
+}
+
+/// Serializes a message to its one-line wire form (no trailing newline).
+///
+/// # Errors
+///
+/// Returns [`serde_json::Error`] if encoding fails.
+pub fn encode<T: Serialize>(msg: &T) -> Result<String, serde_json::Error> {
+    serde_json::to_string(msg)
+}
+
+/// Parses one wire line as a message.
+///
+/// # Errors
+///
+/// Returns [`serde_json::Error`] on malformed JSON or a shape mismatch.
+pub fn decode<T: Deserialize>(line: &str) -> Result<T, serde_json::Error> {
+    serde_json::from_str(line.trim())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, NetworkBuilder};
+
+    fn tiny_net() -> Network {
+        NetworkBuilder::new(1).dense_from_rows(&[&[2.0]], &[0.5], Activation::Relu).build().unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip_all_commands() {
+        let net = tiny_net();
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let cmds = vec![
+            Command::Hello,
+            Command::Open(OpenParams {
+                label: "s".into(),
+                network: net.clone(),
+                din: b.clone(),
+                dout: b.clone(),
+                domain: DomainKind::Box,
+                margin: Margin::NONE,
+            }),
+            Command::Resume(ResumeParams { label: "r".into(), state: "{}".into() }),
+            Command::Delta(DeltaParams { session: 7, delta: DeltaEvent::DomainEnlarged(b) }),
+            Command::Checkpoint(SessionRef { session: 7 }),
+            Command::Stats,
+            Command::Close(SessionRef { session: 7 }),
+            Command::Shutdown,
+        ];
+        for (i, cmd) in cmds.into_iter().enumerate() {
+            let line = encode(&Request::new(i as u64, cmd)).unwrap();
+            assert!(!line.contains('\n'), "wire form must be one line");
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(back.id, i as u64);
+            assert_eq!(back.v, PROTOCOL_VERSION);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let replies = vec![
+            Reply::Hello(ServerInfo {
+                protocol: PROTOCOL_VERSION.into(),
+                server: "covern-service/0.1.0".into(),
+                session_threads: 2,
+                inbox_capacity: 32,
+            }),
+            Reply::Opened(SessionOpened {
+                session: 1,
+                label: "s".into(),
+                outcome: "proved".into(),
+                wall_us: 99,
+            }),
+            Reply::Stats(StatsSnapshot {
+                sessions_open: 1,
+                sessions_opened: 2,
+                deltas_applied: 3,
+                cache_hits: 4,
+                cache_misses: 5,
+                cache_entries: 5,
+            }),
+            Reply::ShuttingDown,
+            Reply::Busy(BusyInfo { session: 1, pending: 32, capacity: 32 }),
+            Reply::Error(ErrorInfo::new(ErrorCode::UnknownSession, "no session 9")),
+        ];
+        for (i, reply) in replies.into_iter().enumerate() {
+            let line = encode(&Response::new(i as u64, reply)).unwrap();
+            let back: Response = decode(&line).unwrap();
+            assert_eq!(back.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn error_codes_have_stable_display_tags() {
+        assert_eq!(ErrorCode::MalformedRequest.to_string(), "malformed-request");
+        assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting-down");
+        // The wire form is the variant name (externally tagged).
+        assert_eq!(encode(&ErrorCode::UnknownSession).unwrap(), "\"UnknownSession\"");
+    }
+
+    #[test]
+    fn unknown_command_tags_fail_to_decode() {
+        let line = format!("{{\"v\":\"{PROTOCOL_VERSION}\",\"id\":1,\"cmd\":\"Explode\"}}");
+        assert!(decode::<Request>(&line).is_err());
+        assert!(decode::<Request>("not json").is_err());
+    }
+}

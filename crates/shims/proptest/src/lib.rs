@@ -130,7 +130,7 @@ pub mod collection {
     use crate::TestRng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: a fixed size or a range of sizes.
+    /// Length specification for [`vec()`](crate::collection::vec): a fixed size or a range of sizes.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

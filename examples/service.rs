@@ -1,0 +1,71 @@
+//! The verification service end to end: an in-process TCP daemon, two
+//! concurrent clients replaying fine-tune families, one shared cache.
+//!
+//! Run with `cargo run --release --example service`.
+//!
+//! This is the ISSUE-3 deployment shape in miniature: instead of a
+//! one-shot campaign rebuilding everything per invocation, a resident
+//! [`Service`] holds warm artifacts and the process-wide
+//! content-addressed cache while *separate connections* stream deltas
+//! into their own sessions. The printed stats show cross-client
+//! deduplication: scenarios of one family share their original
+//! verification, whichever client opens it first.
+
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::service::client::{replay_corpus, Client};
+use covern::service::dispatch::{Service, ServiceConfig};
+use covern::service::transport::serve_tcp;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let service = Service::new(ServiceConfig { workers: 4, ..Default::default() });
+    let server = serve_tcp(service, "127.0.0.1:0")?;
+    let addr = server.local_addr();
+    println!("daemon listening on {addr}");
+
+    // Two clients, each replaying 4 scenarios drawn from 2 families: the
+    // 2 distinct base instances are verified once each; the other 6
+    // session opens are cache hits — 4 of them across the client split.
+    let corpus = generate(&CorpusConfig {
+        scenarios: 8,
+        families: 2,
+        events_per_scenario: 3,
+        seed: 2021,
+        include_vehicle: false,
+    })?;
+    let (left, right) = corpus.split_at(4);
+
+    let totals: Vec<_> = std::thread::scope(|scope| {
+        [left, right]
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    replay_corpus(&mut client, slice).expect("replay")
+                })
+            })
+            .map(|h| h.join().expect("client thread"))
+            .into_iter()
+            .collect()
+    });
+
+    let mut control = Client::connect(addr)?;
+    let info = control.hello()?;
+    let stats = control.stats()?;
+    println!("server: {} ({})", info.server, info.protocol);
+    for (i, t) in totals.iter().enumerate() {
+        println!(
+            "client {i}: {} scenarios, {} deltas ({} proved / {} refuted / {} unknown)",
+            t.scenarios, t.deltas, t.proved, t.refuted, t.unknown
+        );
+    }
+    println!(
+        "process-wide cache: {} hits, {} misses, {} entries — \
+         fine-tune families deduped across clients",
+        stats.cache_hits, stats.cache_misses, stats.cache_entries
+    );
+    assert!(stats.cache_hits >= 4, "expected cross-client reuse, got {stats:?}");
+
+    control.shutdown()?;
+    server.join();
+    println!("daemon drained and stopped");
+    Ok(())
+}

@@ -9,6 +9,7 @@
 //! covern_cli update   --store state.json --network f2.json
 //! covern_cli status   --store state.json
 //! covern_cli campaign --scenarios 20 --threads 4 --seed 42 --out report.json
+//! covern_cli serve    --tcp 127.0.0.1:7071
 //! ```
 //!
 //! `campaign` generates a seeded scenario corpus (see
@@ -19,32 +20,131 @@
 //! workload; `--min-hits N` fails the run if the cache reused fewer than
 //! `N` artifacts — the CI smoke gate).
 //!
+//! `serve` runs the long-lived verification daemon speaking
+//! `covern-protocol-v1` (newline-delimited JSON; spec in
+//! `docs/PROTOCOL.md`) on stdio or TCP; concurrent client sessions share
+//! one process-wide artifact cache.
+//!
 //! Networks use the bit-exact `covern-nn` JSON format
 //! (`covern::nn::serialize`); boxes are JSON arrays of `[lo, hi]` pairs.
-//! Exit code 0 = property proved, 2 = unknown/refuted, 1 = usage or I/O
-//! error.
+//! Exit code 0 = property proved (for `serve`: clean shutdown), 2 =
+//! unknown/refuted, 1 = usage or I/O error. `covern_cli help [COMMAND]`
+//! (or `--help` anywhere) prints the audited flag reference; the help
+//! text is snapshot-tested against the real parser in
+//! `tests/cli_help.rs`.
 
 use covern::absint::{BoxDomain, DomainKind};
 use covern::core::artifact::Margin;
 use covern::core::method::LocalMethod;
 use covern::core::pipeline::ContinuousVerifier;
 use covern::core::problem::VerificationProblem;
+use covern::service;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+/// The full flag reference, one section per subcommand. Every flag listed
+/// here is accepted by the corresponding match arm below and vice versa —
+/// `tests/cli_help.rs` snapshots this text to keep the two from drifting.
+const HELP: &str = "\
+covern_cli — continuous safety verification of neural networks
+
+usage: covern_cli <COMMAND> [FLAGS]
+       covern_cli help [COMMAND]
+
+commands:
+  verify     original verification of a problem, storing proof artifacts
+  enlarge    SVuDC delta: re-verify after an input-domain enlargement
+  update     SVbTV delta: re-verify after a model fine-tune
+  status     print the stored proof state
+  campaign   run a seeded batch campaign concurrently with the artifact cache
+  serve      run the covern-protocol-v1 verification daemon (stdio or TCP)
+  help       print this reference (or one command's section)
+
+verify — original verification
+  --network F   network JSON file (bit-exact covern-nn format)   [required]
+  --din F       input domain: JSON [[lo,hi],…]                   [required]
+  --dout F      safety set: JSON [[lo,hi],…]                     [required]
+  --store F     artifact store path            [default: covern-state.json]
+  --margin REL  relative artifact buffer (e.g. 0.05)          [default: 0.0]
+  --splits N    bisection budget for local checks              [default: 64]
+
+enlarge — domain-enlargement delta (SVuDC)
+  --din F       the enlarged input domain                        [required]
+  --store F     artifact store path            [default: covern-state.json]
+  --splits N    bisection budget for local checks              [default: 64]
+
+update — model-update delta (SVbTV)
+  --network F   the fine-tuned network                           [required]
+  --din F       optionally enlarge the domain in the same event
+  --store F     artifact store path            [default: covern-state.json]
+  --splits N    bisection budget for local checks              [default: 64]
+
+status — inspect the stored proof state
+  --store F     artifact store path            [default: covern-state.json]
+
+campaign — concurrent batch verification
+  --scenarios N   synthetic scenarios to generate               [default: 20]
+  --families N    distinct base models (fine-tune families)      [default: 5]
+  --events N      delta events per scenario                      [default: 3]
+  --seed N        corpus master seed                            [default: 42]
+  --threads N     scenario worker count                           [default: 4]
+  --out F         write the JSON report here        [default: print to stdout]
+  --canonical     zero all timing fields (byte-deterministic report)
+  --vehicle       append the lane-following platform workload
+  --no-cache      disable the content-addressed artifact cache
+  --min-hits N    fail unless the cache reused ≥ N artifacts     [default: 0]
+
+serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
+  --stdio              serve stdin/stdout                          [default]
+  --tcp ADDR           serve TCP on ADDR (e.g. 127.0.0.1:7071; port 0 picks)
+  --workers N          drain-task worker pool size  [default: machine cores]
+  --session-threads N  per-session verifier thread budget        [default: 1]
+  --inbox N            per-session bounded-inbox capacity       [default: 32]
+  --splits N           bisection budget for local checks        [default: 256]
+
+exit codes: 0 property proved / clean shutdown; 2 unknown or refuted;
+            1 usage, I/O, or protocol error
+";
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: covern_cli <verify|enlarge|update|status> [--network F] [--din F] [--dout F] \
-         [--store F] [--margin REL] [--splits N]\n       \
-         covern_cli campaign [--scenarios N] [--families N] [--events N] [--seed N] \
-         [--threads N] [--out F] [--canonical] [--vehicle] [--no-cache] [--min-hits N]"
-    );
+    eprintln!("{HELP}");
     ExitCode::FAILURE
+}
+
+/// Prints the whole help (no command, or `help` itself) or one
+/// command's section.
+fn print_help(command: Option<&str>) -> Result<(), String> {
+    match command {
+        // `help` is in the commands table but has no flag section of its
+        // own; `covern_cli help help` prints the full reference.
+        None | Some("help") => {
+            println!("{HELP}");
+            Ok(())
+        }
+        Some(cmd) => {
+            // A command's section runs from its "cmd — …" heading to the
+            // next blank-line-separated heading.
+            let needle = format!("{cmd} — ");
+            let start = HELP
+                .lines()
+                .position(|l| l.starts_with(&needle))
+                .ok_or_else(|| format!("unknown command {cmd:?}"))?;
+            let lines: Vec<&str> = HELP.lines().collect();
+            let end = lines[start + 1..]
+                .iter()
+                .position(|l| l.is_empty())
+                .map_or(lines.len(), |i| start + 1 + i);
+            for line in &lines[start..end] {
+                println!("{line}");
+            }
+            Ok(())
+        }
+    }
 }
 
 /// Flags that take no value; everything else must be followed by one
 /// (a forgotten value stays a usage error, not a silent `"true"`).
-const BOOLEAN_FLAGS: [&str; 3] = ["canonical", "vehicle", "no-cache"];
+const BOOLEAN_FLAGS: [&str; 5] = ["canonical", "vehicle", "no-cache", "stdio", "help"];
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut flags = HashMap::new();
@@ -56,6 +156,15 @@ fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
         flags.insert(key.to_owned(), value);
     }
     Some(flags)
+}
+
+/// Reads an integer flag, falling back to `default` when absent.
+fn parse_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
+    flags
+        .get(key)
+        .map(|s| s.parse().map_err(|_| format!("--{key} must be an integer")))
+        .transpose()
+        .map(|v| v.unwrap_or(default))
 }
 
 fn load_box(path: &str) -> Result<BoxDomain, String> {
@@ -70,7 +179,15 @@ fn run() -> Result<bool, String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err("missing command".into());
     };
+    if cmd == "help" || cmd == "--help" || cmd == "-h" {
+        print_help(rest.first().map(String::as_str))?;
+        return Ok(true);
+    }
     let flags = parse_flags(rest).ok_or("malformed flags")?;
+    if flags.contains_key("help") {
+        print_help(Some(cmd))?;
+        return Ok(true);
+    }
     let store = flags.get("store").cloned().unwrap_or_else(|| "covern-state.json".into());
     let splits: usize = flags
         .get("splits")
@@ -127,13 +244,7 @@ fn run() -> Result<bool, String> {
             Ok(report.outcome.is_proved())
         }
         "campaign" => {
-            let parse = |key: &str, default: u64| -> Result<u64, String> {
-                flags
-                    .get(key)
-                    .map(|s| s.parse().map_err(|_| format!("--{key} must be an integer")))
-                    .transpose()
-                    .map(|v| v.unwrap_or(default))
-            };
+            let parse = |key: &str, default: u64| parse_u64(&flags, key, default);
             let corpus_config = covern::campaign::CorpusConfig {
                 scenarios: parse("scenarios", 20)? as usize,
                 families: parse("families", 5)? as usize,
@@ -191,6 +302,36 @@ fn run() -> Result<bool, String> {
                 ));
             }
             Ok(report.refuted == 0 && report.unknown == 0 && report.errors == 0)
+        }
+        "serve" => {
+            let parse = |key: &str, default: u64| parse_u64(&flags, key, default);
+            if flags.contains_key("stdio") && flags.contains_key("tcp") {
+                return Err("serve takes --stdio or --tcp ADDR, not both".into());
+            }
+            let config = service::ServiceConfig {
+                workers: parse("workers", 0)? as usize,
+                session_threads: parse("session-threads", 1)?.max(1) as usize,
+                inbox_capacity: parse("inbox", 32)?.max(1) as usize,
+                method: LocalMethod::Refine {
+                    domain: DomainKind::Symbolic,
+                    max_splits: parse("splits", 256)? as usize,
+                },
+            };
+            let svc = service::Service::new(config);
+            match flags.get("tcp") {
+                Some(addr) => {
+                    let server = service::serve_tcp(svc, addr).map_err(|e| e.to_string())?;
+                    // Stderr, so stdout stays clean if anyone pipes it.
+                    eprintln!("covern-service listening on {}", server.local_addr());
+                    server.join();
+                }
+                None => {
+                    eprintln!("covern-service serving stdio (send Shutdown or EOF to stop)");
+                    service::serve_stdio(&svc).map_err(|e| e.to_string())?;
+                }
+            }
+            eprintln!("covern-service stopped");
+            Ok(true)
         }
         "status" => {
             let verifier = ContinuousVerifier::resume_from(&store).map_err(|e| e.to_string())?;

@@ -24,6 +24,7 @@
 //! | [`vehicle`] | `covern-vehicle` | simulated 1/10-scale platform (track, camera, control) |
 //! | [`core`] | `covern-core` | SVuDC/SVbTV problems, Propositions 1–6, incremental fixing, pipeline |
 //! | [`campaign`] | `covern-campaign` | batch campaigns: scenario corpora, content-addressed artifact cache, concurrent runner, JSON reports |
+//! | [`service`] | `covern-service` | long-running daemon: `covern-protocol-v1` sessions over stdio/TCP, process-wide artifact cache |
 //!
 //! ## Quickstart
 //!
@@ -39,5 +40,6 @@ pub use covern_milp as milp;
 pub use covern_monitor as monitor;
 pub use covern_netabs as netabs;
 pub use covern_nn as nn;
+pub use covern_service as service;
 pub use covern_tensor as tensor;
 pub use covern_vehicle as vehicle;

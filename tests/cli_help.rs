@@ -1,0 +1,160 @@
+//! Snapshot test over `covern_cli`'s help output.
+//!
+//! The help text is a hand-maintained flag reference; this suite pins it
+//! byte-for-byte (so any flag change must touch the reference in the same
+//! commit) and audits that every flag each subcommand actually accepts is
+//! documented in its section — the drift this guards against is real: the
+//! `campaign` flags grew for a while without a help update.
+
+use std::process::{Command, Output};
+
+fn cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_covern_cli"))
+        .args(args)
+        .output()
+        .expect("covern_cli binary runs")
+}
+
+/// The canonical snapshot: `covern_cli help` on stdout, exit 0.
+const HELP_SNAPSHOT: &str = "\
+covern_cli — continuous safety verification of neural networks
+
+usage: covern_cli <COMMAND> [FLAGS]
+       covern_cli help [COMMAND]
+
+commands:
+  verify     original verification of a problem, storing proof artifacts
+  enlarge    SVuDC delta: re-verify after an input-domain enlargement
+  update     SVbTV delta: re-verify after a model fine-tune
+  status     print the stored proof state
+  campaign   run a seeded batch campaign concurrently with the artifact cache
+  serve      run the covern-protocol-v1 verification daemon (stdio or TCP)
+  help       print this reference (or one command's section)
+
+verify — original verification
+  --network F   network JSON file (bit-exact covern-nn format)   [required]
+  --din F       input domain: JSON [[lo,hi],…]                   [required]
+  --dout F      safety set: JSON [[lo,hi],…]                     [required]
+  --store F     artifact store path            [default: covern-state.json]
+  --margin REL  relative artifact buffer (e.g. 0.05)          [default: 0.0]
+  --splits N    bisection budget for local checks              [default: 64]
+
+enlarge — domain-enlargement delta (SVuDC)
+  --din F       the enlarged input domain                        [required]
+  --store F     artifact store path            [default: covern-state.json]
+  --splits N    bisection budget for local checks              [default: 64]
+
+update — model-update delta (SVbTV)
+  --network F   the fine-tuned network                           [required]
+  --din F       optionally enlarge the domain in the same event
+  --store F     artifact store path            [default: covern-state.json]
+  --splits N    bisection budget for local checks              [default: 64]
+
+status — inspect the stored proof state
+  --store F     artifact store path            [default: covern-state.json]
+
+campaign — concurrent batch verification
+  --scenarios N   synthetic scenarios to generate               [default: 20]
+  --families N    distinct base models (fine-tune families)      [default: 5]
+  --events N      delta events per scenario                      [default: 3]
+  --seed N        corpus master seed                            [default: 42]
+  --threads N     scenario worker count                           [default: 4]
+  --out F         write the JSON report here        [default: print to stdout]
+  --canonical     zero all timing fields (byte-deterministic report)
+  --vehicle       append the lane-following platform workload
+  --no-cache      disable the content-addressed artifact cache
+  --min-hits N    fail unless the cache reused ≥ N artifacts     [default: 0]
+
+serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
+  --stdio              serve stdin/stdout                          [default]
+  --tcp ADDR           serve TCP on ADDR (e.g. 127.0.0.1:7071; port 0 picks)
+  --workers N          drain-task worker pool size  [default: machine cores]
+  --session-threads N  per-session verifier thread budget        [default: 1]
+  --inbox N            per-session bounded-inbox capacity       [default: 32]
+  --splits N           bisection budget for local checks        [default: 256]
+
+exit codes: 0 property proved / clean shutdown; 2 unknown or refuted;
+            1 usage, I/O, or protocol error
+";
+
+#[test]
+fn help_output_matches_snapshot() {
+    let out = cli(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.trim_end(), HELP_SNAPSHOT.trim_end(), "help drifted — update both sides");
+}
+
+#[test]
+fn per_command_help_prints_that_section() {
+    for cmd in ["verify", "enlarge", "update", "status", "campaign", "serve"] {
+        let out = cli(&["help", cmd]);
+        assert!(out.status.success(), "help {cmd} failed");
+        let stdout = String::from_utf8(out.stdout).unwrap();
+        assert!(
+            stdout.starts_with(&format!("{cmd} — ")),
+            "help {cmd} must lead with its own section, got: {stdout}"
+        );
+        // `--help` after the command prints the same section.
+        let via_flag = cli(&[cmd, "--help"]);
+        assert!(via_flag.status.success(), "{cmd} --help failed");
+        assert_eq!(String::from_utf8(via_flag.stdout).unwrap(), stdout);
+    }
+}
+
+#[test]
+fn every_documented_flag_has_its_section_and_no_stray_commands() {
+    // The flags each subcommand's parser consults, mirrored from
+    // src/bin/covern_cli.rs. If a match arm grows a `flags.get("x")`, this
+    // list — and the HELP text — must grow with it.
+    let audited: &[(&str, &[&str])] = &[
+        ("verify", &["network", "din", "dout", "store", "margin", "splits"]),
+        ("enlarge", &["din", "store", "splits"]),
+        ("update", &["network", "din", "store", "splits"]),
+        ("status", &["store"]),
+        (
+            "campaign",
+            &[
+                "scenarios",
+                "families",
+                "events",
+                "seed",
+                "threads",
+                "out",
+                "canonical",
+                "vehicle",
+                "no-cache",
+                "min-hits",
+            ],
+        ),
+        ("serve", &["stdio", "tcp", "workers", "session-threads", "inbox", "splits"]),
+    ];
+    for (cmd, flags) in audited {
+        let out = cli(&["help", cmd]);
+        let section = String::from_utf8(out.stdout).unwrap();
+        for flag in *flags {
+            assert!(
+                section.contains(&format!("--{flag}")),
+                "help for {cmd} is missing documented flag --{flag}:\n{section}"
+            );
+        }
+    }
+}
+
+#[test]
+fn help_help_prints_the_full_reference() {
+    // `help` is listed in the commands table, so asking for its section
+    // must succeed (it prints the whole reference, not an error).
+    let out = cli(&["help", "help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.trim_end(), HELP_SNAPSHOT.trim_end());
+}
+
+#[test]
+fn unknown_help_topic_is_an_error() {
+    let out = cli(&["help", "explode"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown command"), "stderr: {stderr}");
+}

@@ -1,0 +1,90 @@
+//! `docs/PROTOCOL.md` never drifts from the code: every JSON example in
+//! the spec must parse against the real `covern-protocol-v1` serde
+//! types. A fenced ```json block may hold several newline-delimited
+//! messages (the wire form); each non-empty line must decode as either
+//! a `Request` or a `Response`.
+
+use covern::service::protocol::{decode, Request, Response};
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/PROTOCOL.md");
+    std::fs::read_to_string(path).expect("docs/PROTOCOL.md exists")
+}
+
+/// Extracts the contents of every ```json fence.
+fn json_blocks(text: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        match (&mut current, line.trim()) {
+            (None, "```json") => current = Some(String::new()),
+            (Some(_), "```") => blocks.push(current.take().expect("fence open")),
+            (Some(block), _) => {
+                block.push_str(line);
+                block.push('\n');
+            }
+            (None, _) => {}
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json fence in docs/PROTOCOL.md");
+    blocks
+}
+
+#[test]
+fn every_doc_example_parses_against_the_real_types() {
+    let text = doc();
+    let blocks = json_blocks(&text);
+    assert!(
+        blocks.len() >= 15,
+        "the spec should stay example-rich; found only {} json blocks",
+        blocks.len()
+    );
+    let (mut requests, mut responses) = (0usize, 0usize);
+    for (i, block) in blocks.iter().enumerate() {
+        for line in block.lines().filter(|l| !l.trim().is_empty()) {
+            let as_request = decode::<Request>(line);
+            let as_response = decode::<Response>(line);
+            match (as_request, as_response) {
+                (Ok(req), Err(_)) => {
+                    assert_eq!(req.v, covern::service::PROTOCOL_VERSION, "block {i}");
+                    requests += 1;
+                }
+                (Err(_), Ok(resp)) => {
+                    assert_eq!(resp.v, covern::service::PROTOCOL_VERSION, "block {i}");
+                    responses += 1;
+                }
+                (Ok(_), Ok(_)) => panic!("block {i}: ambiguous example (both shapes): {line}"),
+                (Err(req_err), Err(resp_err)) => panic!(
+                    "block {i}: example parses as neither shape:\n  line: {line}\n  as \
+                     Request: {req_err}\n  as Response: {resp_err}"
+                ),
+            }
+        }
+    }
+    // The spec documents both directions of the wire.
+    assert!(requests >= 8, "only {requests} request examples");
+    assert!(responses >= 8, "only {responses} response examples");
+}
+
+#[test]
+fn doc_mentions_every_error_code() {
+    use covern::service::protocol::ErrorCode;
+    let text = doc();
+    for code in [
+        ErrorCode::MalformedRequest,
+        ErrorCode::UnsupportedVersion,
+        ErrorCode::UnknownSession,
+        ErrorCode::InvalidProblem,
+        ErrorCode::DeltaFailed,
+        ErrorCode::ShuttingDown,
+    ] {
+        // The spec's table uses the wire tags (CamelCase variant names).
+        let tag = format!("{code:?}");
+        assert!(text.contains(&format!("`{tag}`")), "spec is missing error code {tag}");
+    }
+}
+
+#[test]
+fn doc_states_the_version_tag_the_code_ships() {
+    assert!(doc().contains(covern::service::PROTOCOL_VERSION), "spec must name the protocol tag");
+}

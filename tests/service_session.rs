@@ -1,0 +1,291 @@
+//! Integration tests for the verification service over TCP.
+//!
+//! The acceptance scenario of the service: a daemon sustains concurrent
+//! sessions from *different* clients, and the second session of a
+//! shared-base fine-tune family is served its original verification from
+//! the process-wide content-addressed cache (observable via `Stats`
+//! counters). Plus the edge cases a resident daemon must survive:
+//! malformed problems, stale session ids, stats monotonicity under
+//! concurrent load, and shutdown that drains in-flight verifications.
+
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::campaign::DeltaEvent;
+use covern::service::client::{replay_corpus, Client};
+use covern::service::dispatch::{Service, ServiceConfig};
+use covern::service::protocol::{Command, DeltaParams, ErrorCode, OpenParams, Reply, SessionRef};
+use covern::service::transport::serve_tcp;
+use covern_absint::BoxDomain;
+
+/// A two-scenario corpus in ONE fine-tune family: both scenarios share
+/// the base network, `Din`, and `Dout` bit-for-bit, so their original
+/// verifications have the same content address.
+fn shared_base_corpus() -> Vec<covern::campaign::Scenario> {
+    let corpus = generate(&CorpusConfig {
+        scenarios: 2,
+        families: 1,
+        events_per_scenario: 3,
+        seed: 77,
+        include_vehicle: false,
+    })
+    .unwrap();
+    assert_eq!(
+        covern::nn::serialize::content_hash(&corpus[0].network),
+        covern::nn::serialize::content_hash(&corpus[1].network),
+        "corpus invariant: one family shares its base model"
+    );
+    corpus
+}
+
+fn open_params(s: &covern::campaign::Scenario) -> OpenParams {
+    OpenParams {
+        label: s.name.clone(),
+        network: s.network.clone(),
+        din: s.din.clone(),
+        dout: s.dout.clone(),
+        domain: s.domain,
+        margin: s.margin,
+    }
+}
+
+#[test]
+fn two_concurrent_clients_share_the_process_wide_cache() {
+    let service = Service::new(ServiceConfig { workers: 4, ..Default::default() });
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let corpus = shared_base_corpus();
+
+    // Two clients on two connections, each opening one branch of the
+    // family *concurrently*: single-flight means exactly one of the two
+    // identical original verifications computes; the other is a hit.
+    let sessions: Vec<(u64, Vec<DeltaEvent>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = corpus
+            .iter()
+            .map(|scenario| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let opened = client.open(open_params(scenario)).unwrap();
+                    assert_eq!(opened.outcome, "proved", "{}", scenario.name);
+                    (opened.session, scenario.events.clone())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(sessions.len(), 2);
+    assert_ne!(sessions[0].0, sessions[1].0, "distinct sessions");
+
+    let mut control = Client::connect(addr).unwrap();
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.sessions_open, 2, "daemon sustains two concurrent sessions");
+    assert!(
+        stats.cache_hits >= 1,
+        "the second session of a shared-base family must hit the cache: {stats:?}"
+    );
+    assert!(stats.cache_misses >= 1);
+
+    // Both sessions absorb their delta streams concurrently.
+    let deltas_expected: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .into_iter()
+            .map(|(session, events)| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    let mut n = 0u64;
+                    for (i, event) in events.into_iter().enumerate() {
+                        let verdict = client.delta(session, event).unwrap();
+                        assert_eq!(verdict.seq, i as u64, "verdicts arrive in order");
+                        n += 1;
+                    }
+                    n
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let stats = control.stats().unwrap();
+    assert_eq!(stats.deltas_applied, deltas_expected);
+
+    control.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn malformed_problem_and_unknown_session_over_the_wire() {
+    let service = Service::new(ServiceConfig::default());
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // Open with a Din arity that does not match the network input.
+    let corpus = shared_base_corpus();
+    let mut params = open_params(&corpus[0]);
+    params.din = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+    let err = client.open(params).unwrap_err();
+    let covern::service::ServiceError::Remote(info) = err else {
+        panic!("expected a remote error, got {err:?}")
+    };
+    assert_eq!(info.code, ErrorCode::InvalidProblem);
+
+    // Deltas to a session id that never existed, then to a closed one.
+    let din = corpus[0].din.dilate(0.01);
+    match client
+        .request(Command::Delta(DeltaParams {
+            session: 4242,
+            delta: DeltaEvent::DomainEnlarged(din.clone()),
+        }))
+        .unwrap()
+    {
+        Reply::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+    let opened = client.open(open_params(&corpus[0])).unwrap();
+    let summary = client.close(opened.session).unwrap();
+    assert_eq!(summary.deltas, 0);
+    match client
+        .request(Command::Delta(DeltaParams {
+            session: opened.session,
+            delta: DeltaEvent::DomainEnlarged(din),
+        }))
+        .unwrap()
+    {
+        Reply::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession, "closed ids are stale"),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+    // The failed open registered nothing.
+    assert_eq!(client.stats().unwrap().sessions_open, 0);
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn stats_are_monotone_under_two_concurrent_replaying_clients() {
+    let service = Service::new(ServiceConfig { workers: 4, ..Default::default() });
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    // Two corpora with distinct seeds: each client drives its own load.
+    let make = |seed| {
+        generate(&CorpusConfig {
+            scenarios: 3,
+            families: 1,
+            events_per_scenario: 2,
+            seed,
+            include_vehicle: false,
+        })
+        .unwrap()
+    };
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+
+    std::thread::scope(|scope| {
+        for seed in [11u64, 12] {
+            let corpus = make(seed);
+            let done = done_tx.clone();
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let outcome = replay_corpus(&mut client, &corpus).unwrap();
+                assert_eq!(outcome.scenarios, 3);
+                assert_eq!(outcome.deltas, 6);
+                drop(done);
+            });
+        }
+        drop(done_tx);
+        // A third client polls stats concurrently: every counter must be
+        // monotone (sessions_open may fluctuate; the rest never regress).
+        let mut observer = Client::connect(addr).unwrap();
+        let mut last = observer.stats().unwrap();
+        loop {
+            let now = observer.stats().unwrap();
+            assert!(now.sessions_opened >= last.sessions_opened, "{last:?} -> {now:?}");
+            assert!(now.deltas_applied >= last.deltas_applied, "{last:?} -> {now:?}");
+            assert!(now.cache_hits >= last.cache_hits, "{last:?} -> {now:?}");
+            assert!(now.cache_misses >= last.cache_misses, "{last:?} -> {now:?}");
+            assert!(now.cache_entries >= last.cache_entries, "{last:?} -> {now:?}");
+            last = now;
+            match done_rx.recv_timeout(std::time::Duration::from_millis(5)) {
+                // Both replay threads hung up: one more snapshot below.
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+                _ => continue,
+            }
+        }
+        let final_stats = observer.stats().unwrap();
+        assert_eq!(final_stats.sessions_opened, 6);
+        assert_eq!(final_stats.deltas_applied, 12);
+        assert_eq!(final_stats.sessions_open, 0, "replay closes its sessions");
+        // Within one family the 3 scenarios share one base instance:
+        // ≥ 2 hits per corpus.
+        assert!(final_stats.cache_hits >= 4, "{final_stats:?}");
+        observer.shutdown().unwrap();
+    });
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_pipelined_deltas_before_acknowledging_on_the_wire() {
+    let service = Service::new(ServiceConfig { workers: 2, ..Default::default() });
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let corpus = shared_base_corpus();
+    let opened = client.open(open_params(&corpus[0])).unwrap();
+
+    // Pipeline every delta without waiting, then immediately ask for
+    // shutdown: the daemon must finish the queued verifications first.
+    let mut delta_ids = Vec::new();
+    for event in &corpus[0].events {
+        let id = client
+            .send(Command::Delta(DeltaParams { session: opened.session, delta: event.clone() }))
+            .unwrap();
+        delta_ids.push(id);
+    }
+    let shutdown_id = client.send(Command::Shutdown).unwrap();
+
+    // Collect responses in arrival order off the single connection.
+    let mut arrivals = Vec::new();
+    for _ in 0..delta_ids.len() + 1 {
+        let response = client.recv().unwrap();
+        arrivals.push(response);
+    }
+    let ack_pos = arrivals.iter().position(|r| r.id == shutdown_id).expect("shutdown acknowledged");
+    assert_eq!(ack_pos, arrivals.len() - 1, "ack must come after every verdict");
+    assert!(matches!(arrivals[ack_pos].reply, Reply::ShuttingDown));
+    for id in delta_ids {
+        let r = arrivals.iter().find(|r| r.id == id).expect("each delta answered");
+        assert!(
+            matches!(r.reply, Reply::Verdict(_)),
+            "pipelined delta {id} must get its verdict, got {r:?}"
+        );
+    }
+    server.join();
+}
+
+#[test]
+fn checkpoint_travels_between_clients() {
+    let service = Service::new(ServiceConfig::default());
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+    let corpus = shared_base_corpus();
+
+    let mut first = Client::connect(addr).unwrap();
+    let opened = first.open(open_params(&corpus[0])).unwrap();
+    let enlarged = corpus[0].din.dilate(0.01);
+    first.delta(opened.session, DeltaEvent::DomainEnlarged(enlarged.clone())).unwrap();
+    let checkpoint = first.checkpoint(opened.session).unwrap();
+    first.close(opened.session).unwrap();
+
+    // A different client resumes the session and keeps verifying — no
+    // re-verification of the original problem.
+    let mut second = Client::connect(addr).unwrap();
+    let resumed = second.resume("moved", checkpoint.state).unwrap();
+    assert_eq!(resumed.outcome, "proved");
+    assert_eq!(resumed.wall_us, 0, "resume must not re-verify");
+    let verdict =
+        second.delta(resumed.session, DeltaEvent::DomainEnlarged(enlarged.dilate(0.005))).unwrap();
+    assert_eq!(verdict.record.outcome, "proved");
+
+    // Stale ids from the closed first session do not alias the new one.
+    match first.request(Command::Checkpoint(SessionRef { session: opened.session })).unwrap() {
+        Reply::Error(e) => assert_eq!(e.code, ErrorCode::UnknownSession),
+        other => panic!("expected UnknownSession, got {other:?}"),
+    }
+
+    second.shutdown().unwrap();
+    server.join();
+}

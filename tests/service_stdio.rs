@@ -1,0 +1,72 @@
+//! Smoke test: the real `covern_cli serve` daemon over stdio.
+//!
+//! Spawns the built binary, drives one session through its stdin/stdout
+//! with the library client, and asserts a verdict and a cache hit — the
+//! same sequence the CI `serve` smoke job runs. This is the supervised
+//! deployment shape (daemon under systemd/container entrypoint, protocol
+//! on stdio), so it must keep working end to end from a cold process.
+
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::campaign::DeltaEvent;
+use covern::service::client::Client;
+use covern::service::protocol::OpenParams;
+use std::process::{Command, Stdio};
+
+#[test]
+fn stdio_daemon_serves_a_session_with_a_cache_hit() {
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_covern_cli"))
+        .args(["serve", "--stdio", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("daemon spawns");
+    let stdin = daemon.stdin.take().expect("daemon stdin");
+    let stdout = daemon.stdout.take().expect("daemon stdout");
+    let mut client = Client::over(Box::new(stdout), Box::new(stdin));
+
+    let info = client.hello().expect("hello");
+    assert_eq!(info.protocol, covern::service::PROTOCOL_VERSION);
+
+    // One fine-tune family, two branches: opening both sessions makes the
+    // second original verification a process-wide cache hit.
+    let corpus = generate(&CorpusConfig {
+        scenarios: 2,
+        families: 1,
+        events_per_scenario: 2,
+        seed: 5,
+        include_vehicle: false,
+    })
+    .unwrap();
+    let mut sessions = Vec::new();
+    for scenario in &corpus {
+        let opened = client
+            .open(OpenParams {
+                label: scenario.name.clone(),
+                network: scenario.network.clone(),
+                din: scenario.din.clone(),
+                dout: scenario.dout.clone(),
+                domain: scenario.domain,
+                margin: scenario.margin,
+            })
+            .expect("open");
+        assert_eq!(opened.outcome, "proved");
+        sessions.push(opened.session);
+    }
+
+    // Stream one delta and require a verdict.
+    let verdict = client
+        .delta(sessions[0], DeltaEvent::DomainEnlarged(corpus[0].din.dilate(0.01)))
+        .expect("delta verdict");
+    assert_eq!(verdict.record.kind, "domain-enlarged");
+    assert!(!verdict.record.strategy.is_empty());
+
+    let stats = client.stats().expect("stats");
+    assert!(stats.cache_hits >= 1, "shared-base open must hit the cache: {stats:?}");
+    assert_eq!(stats.sessions_open, 2);
+    assert_eq!(stats.deltas_applied, 1);
+
+    client.shutdown().expect("clean shutdown");
+    let status = daemon.wait().expect("daemon exits");
+    assert!(status.success(), "daemon exit status: {status:?}");
+}
