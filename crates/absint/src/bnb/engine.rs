@@ -1,0 +1,290 @@
+//! The deterministic wave engine behind [`super::decide`].
+//!
+//! # Why waves
+//!
+//! A free-running parallel worklist gives each thread count a *different*
+//! set of expanded nodes under a leaf budget, so the budget-limited
+//! verdict (`Unknown` vs `Proved`) would depend on the schedule. Instead
+//! the engine expands the frontier in synchronized **waves** of a fixed
+//! size (`WAVE` = 16, independent of the thread count): the coordinator pops
+//! the `WAVE` best boxes (a deterministic set — the frontier's order is
+//! total), the workers evaluate them concurrently (work-stealing off a
+//! shared queue), and the coordinator folds the results back in frontier
+//! order. The expanded set, the split accounting, and therefore the
+//! verdict are identical for 1 and N threads.
+//!
+//! # Why the early-exit flag does not break determinism
+//!
+//! The instant any worker's concrete probe violates the target it raises
+//! the shared `found` flag; workers that have not *started* a box skip
+//! its (expensive) abstract evaluation and run only its (cheap) concrete
+//! probes. Probes of a box whose abstract image fits the target cannot
+//! violate (soundness), and every box that is not provably contained has
+//! its probes evaluated on every schedule — so the set of witness
+//! candidates in a wave, and the first one in wave order, are
+//! schedule-independent. Refuted verdicts carry byte-identical witnesses
+//! across thread counts.
+//!
+//! The wall-clock deadline is the one deliberately schedule-*dependent*
+//! budget: it exists for latency guarantees, not reproducibility, and is
+//! checked only at wave boundaries.
+
+use super::frontier::Frontier;
+use super::{BnbConfig, BnbReport, Stop};
+use crate::box_domain::BoxDomain;
+use crate::error::AbsintError;
+use crate::refine::{output_box, Outcome};
+use crate::transformer::DomainKind;
+use covern_nn::Network;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// Boxes expanded per wave. Fixed — never derived from the thread count —
+/// so the expanded set under a leaf budget is thread-count independent.
+pub(super) const WAVE: usize = 16;
+
+/// Total violation of `target` by `out`: how far each bound escapes,
+/// summed over dimensions. Zero iff `out ⊆ target`. Finite for finite
+/// `out` (infinite target bounds contribute zero).
+fn excess(out: &BoxDomain, target: &BoxDomain) -> f64 {
+    let mut e = 0.0;
+    for (o, t) in out.intervals().iter().zip(target.intervals().iter()) {
+        e += (o.hi() - t.hi()).max(0.0);
+        e += (t.lo() - o.lo()).max(0.0);
+    }
+    e
+}
+
+/// Per-box wave outcome.
+enum WaveResult {
+    /// The abstract image fits the target: a proved leaf.
+    Contained,
+    /// A concrete probe violated the target.
+    Violating(Vec<f64>),
+    /// Neither proved nor refuted; carries the violation magnitude for
+    /// the output-slack split score.
+    Open(f64),
+    /// Evaluated probes-only after the early-exit flag rose; no witness.
+    Skipped,
+}
+
+/// Concrete probes (center, then lower corner): the first violating point
+/// if any. Deterministic per box.
+fn probe(net: &Network, bbox: &BoxDomain, target: &BoxDomain) -> Option<Vec<f64>> {
+    for p in [bbox.center(), bbox.lower()] {
+        let y = net.forward(&p).expect("dimensions validated by decide");
+        if !target.contains(&y) {
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Full evaluation of one box; raises `found` on a witness.
+fn process_box(
+    net: &Network,
+    bbox: &BoxDomain,
+    target: &BoxDomain,
+    domain: DomainKind,
+    found: &AtomicBool,
+) -> Result<WaveResult, AbsintError> {
+    let out = output_box(net, bbox, domain)?;
+    if target.contains_box(&out) {
+        return Ok(WaveResult::Contained);
+    }
+    if let Some(w) = probe(net, bbox, target) {
+        found.store(true, Ordering::SeqCst);
+        return Ok(WaveResult::Violating(w));
+    }
+    Ok(WaveResult::Open(excess(&out, target)))
+}
+
+/// Probe-only evaluation used once the early-exit flag is up.
+fn probe_box(net: &Network, bbox: &BoxDomain, target: &BoxDomain) -> WaveResult {
+    match probe(net, bbox, target) {
+        Some(w) => WaveResult::Violating(w),
+        None => WaveResult::Skipped,
+    }
+}
+
+/// Evaluates one wave item, honouring the early-exit flag.
+fn eval(
+    net: &Network,
+    bbox: &BoxDomain,
+    target: &BoxDomain,
+    domain: DomainKind,
+    found: &AtomicBool,
+) -> Result<WaveResult, AbsintError> {
+    if found.load(Ordering::SeqCst) {
+        Ok(probe_box(net, bbox, target))
+    } else {
+        process_box(net, bbox, target, domain, found)
+    }
+}
+
+/// Runs the branch-and-bound search. Dimensions are validated by the
+/// caller ([`super::decide_with_stop`]).
+pub(super) fn run(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    config: &BnbConfig,
+    stop: Stop<'_>,
+) -> Result<BnbReport, AbsintError> {
+    let t0 = Instant::now();
+    let threads = config.threads.max(1);
+    let found = AtomicBool::new(false);
+
+    let mut frontier = Frontier::new();
+    frontier.push(config.strategy.score(input, 0.0), input.clone());
+    let mut splits = 0usize;
+    let mut leaves_proved = 0usize;
+
+    // One scope for the whole search: workers park on the job channel
+    // between waves instead of being respawned per wave — and they are
+    // not spawned at all until the first wave that actually has work to
+    // share, so trivial checks (single-pass proofs, immediate
+    // refutations) never pay the thread-spawn cost even at threads > 1.
+    std::thread::scope(|scope| -> Result<BnbReport, AbsintError> {
+        let (job_tx, job_rx) = crossbeam::channel::unbounded::<(usize, BoxDomain)>();
+        let (res_tx, res_rx) =
+            crossbeam::channel::unbounded::<(usize, Result<WaveResult, AbsintError>)>();
+        let mut workers_spawned = false;
+
+        loop {
+            if frontier.is_empty() {
+                return Ok(BnbReport {
+                    outcome: Outcome::Proved,
+                    splits,
+                    leaves_proved,
+                    frontier_remaining: 0,
+                    deadline_hit: false,
+                    cancelled: false,
+                    wall: t0.elapsed(),
+                });
+            }
+            if let Some(s) = stop {
+                if s.load(Ordering::SeqCst) {
+                    return Ok(BnbReport {
+                        outcome: Outcome::Unknown,
+                        splits,
+                        leaves_proved,
+                        frontier_remaining: frontier.len(),
+                        deadline_hit: false,
+                        cancelled: true,
+                        wall: t0.elapsed(),
+                    });
+                }
+            }
+            if let Some(deadline) = config.deadline {
+                if t0.elapsed() >= deadline {
+                    return Ok(BnbReport {
+                        outcome: Outcome::Unknown,
+                        splits,
+                        leaves_proved,
+                        frontier_remaining: frontier.len(),
+                        deadline_hit: true,
+                        cancelled: false,
+                        wall: t0.elapsed(),
+                    });
+                }
+            }
+
+            // Pop the wave: the WAVE best boxes, a deterministic set.
+            let mut wave = Vec::with_capacity(WAVE);
+            while wave.len() < WAVE {
+                match frontier.pop() {
+                    Some(b) => wave.push(b),
+                    None => break,
+                }
+            }
+
+            // Evaluate the wave.
+            if threads > 1 && wave.len() > 1 && !workers_spawned {
+                for _ in 0..threads {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    let found = &found;
+                    scope.spawn(move || {
+                        while let Ok((idx, bbox)) = job_rx.recv() {
+                            let r = eval(net, &bbox, target, config.domain, found);
+                            res_tx.send((idx, r)).expect("result channel open");
+                        }
+                    });
+                }
+                workers_spawned = true;
+            }
+            let mut results: Vec<Option<Result<WaveResult, AbsintError>>> =
+                (0..wave.len()).map(|_| None).collect();
+            if workers_spawned {
+                for (idx, bbox) in wave.iter().enumerate() {
+                    job_tx.send((idx, bbox.clone())).expect("job channel open");
+                }
+                for _ in 0..wave.len() {
+                    let (idx, r) = res_rx.recv().expect("workers alive");
+                    results[idx] = Some(r);
+                }
+            } else {
+                for (idx, bbox) in wave.iter().enumerate() {
+                    results[idx] = Some(eval(net, bbox, target, config.domain, &found));
+                }
+            }
+            let results: Vec<Result<WaveResult, AbsintError>> =
+                results.into_iter().map(|r| r.expect("every wave slot filled")).collect();
+
+            // Fold in wave order: first error, then first witness, then
+            // split accounting — all deterministic.
+            for r in &results {
+                if let Err(e) = r {
+                    return Err(e.clone());
+                }
+            }
+            for r in &results {
+                if let Ok(WaveResult::Violating(w)) = r {
+                    return Ok(BnbReport {
+                        outcome: Outcome::Refuted(w.clone()),
+                        splits,
+                        leaves_proved,
+                        frontier_remaining: frontier.len(),
+                        deadline_hit: false,
+                        cancelled: false,
+                        wall: t0.elapsed(),
+                    });
+                }
+            }
+            // Budget (or float-resolution) exhaustion mid-wave must not
+            // drop the rest of the wave from the partial-progress
+            // accounting: finish the fold, counting unresolvable boxes,
+            // and only then return the anytime answer.
+            let mut unresolved = 0usize;
+            for (bbox, r) in wave.into_iter().zip(results) {
+                match r.expect("errors returned above") {
+                    WaveResult::Contained => leaves_proved += 1,
+                    WaveResult::Open(parent_excess) => {
+                        if splits >= config.max_splits || bbox.max_width() <= f64::EPSILON {
+                            unresolved += 1;
+                            continue;
+                        }
+                        splits += 1;
+                        let (l, rgt) = bbox.bisect_widest();
+                        frontier.push(config.strategy.score(&l, parent_excess), l);
+                        frontier.push(config.strategy.score(&rgt, parent_excess), rgt);
+                    }
+                    WaveResult::Violating(_) => unreachable!("witness returned above"),
+                    WaveResult::Skipped => unreachable!("skips only happen after a witness"),
+                }
+            }
+            if unresolved > 0 {
+                return Ok(BnbReport {
+                    outcome: Outcome::Unknown,
+                    splits,
+                    leaves_proved,
+                    frontier_remaining: frontier.len() + unresolved,
+                    deadline_hit: false,
+                    cancelled: false,
+                    wall: t0.elapsed(),
+                });
+            }
+        }
+    })
+}

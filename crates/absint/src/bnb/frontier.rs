@@ -1,0 +1,166 @@
+//! The priority frontier of the branch-and-bound refiner.
+//!
+//! Open subboxes are ordered by a *split score*; the solver always expands
+//! the highest-scoring box next. Ties are broken by insertion sequence, so
+//! the expansion order — and with it the verdict under a leaf budget — is
+//! fully deterministic for a given problem and [`SplitStrategy`], no
+//! matter how many workers later process the waves.
+
+use crate::box_domain::BoxDomain;
+use std::collections::BinaryHeap;
+
+/// How to score open subboxes in the frontier (higher = expanded sooner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Score a box by its widest dimension — the classical ReluVal
+    /// ordering: wide boxes are where the abstraction is loosest.
+    WidestDim,
+    /// Weight the width by the parent's *output slack violation*: boxes
+    /// whose abstract output overshot the target the most are the
+    /// blockers of the proof and are attacked first.
+    OutputSlack,
+}
+
+impl std::fmt::Display for SplitStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitStrategy::WidestDim => write!(f, "widest"),
+            SplitStrategy::OutputSlack => write!(f, "slack"),
+        }
+    }
+}
+
+impl SplitStrategy {
+    /// The split score of `child` under this strategy.
+    ///
+    /// `parent_excess` is the total amount by which the parent's abstract
+    /// output escaped the target (0 for the root, whose output has not
+    /// been evaluated yet). Scores are finite for finite boxes, so the
+    /// frontier's total order is well defined.
+    pub fn score(self, child: &BoxDomain, parent_excess: f64) -> f64 {
+        match self {
+            SplitStrategy::WidestDim => child.max_width(),
+            SplitStrategy::OutputSlack => child.max_width() * (1.0 + parent_excess),
+        }
+    }
+}
+
+/// One scored frontier entry.
+struct ScoredBox {
+    score: f64,
+    /// Insertion sequence number: the deterministic tie-breaker (earlier
+    /// pushes win ties, matching a FIFO on equal scores).
+    seq: u64,
+    bbox: BoxDomain,
+}
+
+impl PartialEq for ScoredBox {
+    fn eq(&self, other: &Self) -> bool {
+        self.score.total_cmp(&other.score).is_eq() && self.seq == other.seq
+    }
+}
+impl Eq for ScoredBox {}
+impl PartialOrd for ScoredBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for ScoredBox {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap on score; on equal scores the LOWER seq must surface
+        // first, hence the reversed seq comparison.
+        self.score.total_cmp(&other.score).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic max-priority queue of open subboxes.
+pub struct Frontier {
+    heap: BinaryHeap<ScoredBox>,
+    next_seq: u64,
+}
+
+impl Default for Frontier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Frontier {
+    /// An empty frontier.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Pushes a box with the given score.
+    pub fn push(&mut self, score: f64, bbox: BoxDomain) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScoredBox { score, seq, bbox });
+    }
+
+    /// Pops the highest-scoring box (ties: earliest pushed).
+    pub fn pop(&mut self) -> Option<BoxDomain> {
+        self.heap.pop().map(|s| s.bbox)
+    }
+
+    /// Number of open boxes.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no open boxes remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(lo: f64, hi: f64) -> BoxDomain {
+        BoxDomain::from_bounds(&[(lo, hi)]).unwrap()
+    }
+
+    #[test]
+    fn pops_highest_score_first() {
+        let mut f = Frontier::new();
+        f.push(1.0, unit(0.0, 1.0));
+        f.push(3.0, unit(0.0, 3.0));
+        f.push(2.0, unit(0.0, 2.0));
+        assert_eq!(f.pop().unwrap().interval(0).hi(), 3.0);
+        assert_eq!(f.pop().unwrap().interval(0).hi(), 2.0);
+        assert_eq!(f.pop().unwrap().interval(0).hi(), 1.0);
+        assert!(f.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut f = Frontier::new();
+        f.push(1.0, unit(0.0, 10.0));
+        f.push(1.0, unit(0.0, 20.0));
+        f.push(1.0, unit(0.0, 30.0));
+        assert_eq!(f.pop().unwrap().interval(0).hi(), 10.0);
+        assert_eq!(f.pop().unwrap().interval(0).hi(), 20.0);
+        assert_eq!(f.pop().unwrap().interval(0).hi(), 30.0);
+    }
+
+    #[test]
+    fn strategies_score_as_documented() {
+        let b = BoxDomain::from_bounds(&[(0.0, 2.0), (0.0, 0.5)]).unwrap();
+        assert_eq!(SplitStrategy::WidestDim.score(&b, 99.0), 2.0);
+        assert_eq!(SplitStrategy::OutputSlack.score(&b, 0.0), 2.0);
+        assert_eq!(SplitStrategy::OutputSlack.score(&b, 3.0), 8.0);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut f = Frontier::new();
+        assert!(f.is_empty());
+        f.push(1.0, unit(0.0, 1.0));
+        f.push(2.0, unit(0.0, 1.0));
+        assert_eq!(f.len(), 2);
+        f.pop();
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Parallel anytime branch-and-bound refinement.
+//!
+//! This is the engine behind the "abstraction-refinement techniques" the
+//! paper admits for the local checks of Propositions 1 and 2, grown from
+//! the sequential FIFO bisection of [`crate::refine`] into a
+//! work-stealing solver over input subboxes:
+//!
+//! * a **priority frontier** ([`frontier::Frontier`]) ordered by a
+//!   selectable split score ([`SplitStrategy`]) — widest-dim or
+//!   output-slack-weighted, the ReluVal-style informed orderings;
+//! * **shared atomic early exit**: the instant any worker's concrete
+//!   probe violates the target, the remaining workers stop paying for
+//!   abstract evaluations;
+//! * **anytime budgets**: a split budget and an optional wall-clock
+//!   deadline; exhaustion returns [`Outcome::Unknown`] together with a
+//!   partial-progress [`BnbReport`] (splits spent, leaves proved, boxes
+//!   still open);
+//! * **schedule-independent verdicts**: the search runs in fixed-size
+//!   waves (see [`engine`]), so under a split budget the
+//!   proved/refuted/unknown answer — and even the refutation witness —
+//!   is byte-identical for 1 and N threads and across runs. The one
+//!   exception is the wall-clock deadline, which trades reproducibility
+//!   for latency by design.
+//!
+//! The sequential entry points in [`crate::refine`] delegate here with
+//! one thread; `covern-core` routes the propositions' local checks here
+//! through its `threads` plumbing, and races this engine against exact
+//! MILP in its portfolio mode.
+
+pub mod engine;
+pub mod frontier;
+
+pub use frontier::SplitStrategy;
+
+use crate::box_domain::BoxDomain;
+use crate::error::AbsintError;
+use crate::refine::Outcome;
+use crate::transformer::DomainKind;
+use covern_nn::Network;
+use std::sync::atomic::AtomicBool;
+use std::time::Duration;
+
+/// Optional external cancellation flag (used by portfolio racing).
+pub type Stop<'a> = Option<&'a AtomicBool>;
+
+/// Configuration of one branch-and-bound run.
+#[derive(Debug, Clone, Copy)]
+pub struct BnbConfig {
+    /// Abstract domain evaluated on every subbox.
+    pub domain: DomainKind,
+    /// Frontier ordering heuristic.
+    pub strategy: SplitStrategy,
+    /// Maximum number of input bisections before the anytime `Unknown`.
+    pub max_splits: usize,
+    /// Optional wall-clock deadline (checked at wave boundaries). The
+    /// deadline-triggered `Unknown` is the one schedule-dependent answer.
+    pub deadline: Option<Duration>,
+    /// Worker threads (clamped to at least 1). The verdict under a split
+    /// budget does not depend on this; only the wall time does.
+    pub threads: usize,
+}
+
+impl BnbConfig {
+    /// A sequential widest-dim configuration with the given split budget —
+    /// the drop-in equivalent of the old sequential refinement loop.
+    pub fn new(domain: DomainKind, max_splits: usize) -> Self {
+        Self { domain, strategy: SplitStrategy::WidestDim, max_splits, deadline: None, threads: 1 }
+    }
+
+    /// Sets the frontier heuristic.
+    pub fn with_strategy(mut self, strategy: SplitStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+/// Verdict plus partial-progress accounting of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnbReport {
+    /// The three-valued verdict.
+    pub outcome: Outcome,
+    /// Input bisections performed.
+    pub splits: usize,
+    /// Subboxes whose abstract image fit the target (proved leaves).
+    pub leaves_proved: usize,
+    /// Open subboxes left behind on an `Unknown` answer (0 on `Proved`;
+    /// on `Refuted` whatever the frontier held when the witness surfaced).
+    pub frontier_remaining: usize,
+    /// Whether the wall-clock deadline cut the search short.
+    pub deadline_hit: bool,
+    /// Whether an external stop flag cut the search short.
+    pub cancelled: bool,
+    /// Total wall-clock time.
+    pub wall: Duration,
+}
+
+/// Decides `∀x ∈ input : net(x) ∈ target` by parallel branch-and-bound.
+///
+/// Sound: `Proved` and `Refuted` are definitive (the witness is a real
+/// input), `Unknown` means a budget ran out. See the module docs for the
+/// determinism guarantees.
+///
+/// # Errors
+///
+/// Returns [`AbsintError::DimensionMismatch`] if `input` or `target` have
+/// the wrong arity.
+pub fn decide(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    config: &BnbConfig,
+) -> Result<BnbReport, AbsintError> {
+    decide_with_stop(net, input, target, config, None)
+}
+
+/// [`decide`] with an external cancellation flag, polled at wave
+/// boundaries. A raised flag yields `Unknown` with
+/// [`BnbReport::cancelled`] set — the portfolio racer uses this to stop
+/// the loser without discarding its partial accounting.
+///
+/// # Errors
+///
+/// Same as [`decide`].
+pub fn decide_with_stop(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    config: &BnbConfig,
+    stop: Stop<'_>,
+) -> Result<BnbReport, AbsintError> {
+    if input.dim() != net.input_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "bnb::decide (input box)",
+            expected: net.input_dim(),
+            actual: input.dim(),
+        });
+    }
+    if target.dim() != net.output_dim() {
+        return Err(AbsintError::DimensionMismatch {
+            context: "bnb::decide (target box)",
+            expected: net.output_dim(),
+            actual: target.dim(),
+        });
+    }
+    engine::run(net, input, target, config, stop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, DenseLayer};
+    use covern_tensor::Rng;
+    use std::sync::atomic::Ordering;
+
+    fn fig2_net() -> Network {
+        Network::new(vec![
+            DenseLayer::from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            ),
+            DenseLayer::from_rows(&[&[2.0, 2.0, -1.0]], &[0.0], Activation::Relu),
+        ])
+        .expect("fig2 network")
+    }
+
+    fn unit_box() -> BoxDomain {
+        BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap()
+    }
+
+    #[test]
+    fn proves_tight_property_in_parallel() {
+        // True max is 6; box single-pass says 12. Needs real refinement.
+        let target = BoxDomain::from_bounds(&[(-0.1, 6.5)]).unwrap();
+        let cfg = BnbConfig::new(DomainKind::Symbolic, 5000).with_threads(4);
+        let r = decide(&fig2_net(), &unit_box(), &target, &cfg).unwrap();
+        assert_eq!(r.outcome, Outcome::Proved, "{r:?}");
+        assert_eq!(r.frontier_remaining, 0);
+        assert!(r.leaves_proved > 0);
+    }
+
+    #[test]
+    fn refutes_with_concrete_witness() {
+        let net = fig2_net();
+        let target = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let cfg = BnbConfig::new(DomainKind::Symbolic, 2000).with_threads(3);
+        let r = decide(&net, &unit_box(), &target, &cfg).unwrap();
+        match r.outcome {
+            Outcome::Refuted(x) => {
+                let y = net.forward(&x).unwrap();
+                assert!(!target.contains(&y), "witness must violate");
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verdicts_and_witnesses_identical_across_thread_counts() {
+        let mut rng = Rng::seeded(77);
+        for case in 0..6 {
+            let net =
+                Network::random(&[2, 6, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+            // Sweep target geometry from violated to provable.
+            let out = crate::reach::reach_boxes(&net, &unit_box(), DomainKind::Box)
+                .unwrap()
+                .output()
+                .clone();
+            let hw = 0.5 * out.interval(0).width() * (0.2 + 0.15 * case as f64);
+            let c = out.interval(0).center();
+            let target = BoxDomain::from_bounds(&[(c - hw, c + hw)]).unwrap();
+            let base = BnbConfig::new(DomainKind::Symbolic, 300);
+            let r1 = decide(&net, &unit_box(), &target, &base).unwrap();
+            for threads in [2, 4, 8] {
+                let rn = decide(&net, &unit_box(), &target, &base.with_threads(threads)).unwrap();
+                assert_eq!(
+                    r1.outcome, rn.outcome,
+                    "case {case}: {threads}-thread verdict diverged"
+                );
+                assert_eq!(r1.splits, rn.splits, "case {case}: split accounting diverged");
+                assert_eq!(r1.leaves_proved, rn.leaves_proved);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_partial_progress() {
+        // A provable-but-hard target with a tiny budget: anytime Unknown.
+        let target = BoxDomain::from_bounds(&[(-0.1, 6.5)]).unwrap();
+        let cfg = BnbConfig::new(DomainKind::Box, 3);
+        let r = decide(&fig2_net(), &unit_box(), &target, &cfg).unwrap();
+        assert_eq!(r.outcome, Outcome::Unknown);
+        assert!(r.splits <= 3);
+        assert!(r.frontier_remaining >= 1, "{r:?}");
+        assert!(!r.deadline_hit);
+    }
+
+    #[test]
+    fn zero_deadline_hits_immediately() {
+        let target = BoxDomain::from_bounds(&[(-0.1, 6.5)]).unwrap();
+        let cfg =
+            BnbConfig::new(DomainKind::Symbolic, 1_000_000).with_deadline(Some(Duration::ZERO));
+        let r = decide(&fig2_net(), &unit_box(), &target, &cfg).unwrap();
+        assert_eq!(r.outcome, Outcome::Unknown);
+        assert!(r.deadline_hit);
+        assert!(r.frontier_remaining >= 1);
+    }
+
+    #[test]
+    fn external_stop_cancels() {
+        let target = BoxDomain::from_bounds(&[(-0.1, 6.5)]).unwrap();
+        let stop = AtomicBool::new(false);
+        stop.store(true, Ordering::SeqCst);
+        let cfg = BnbConfig::new(DomainKind::Symbolic, 1_000_000);
+        let r = decide_with_stop(&fig2_net(), &unit_box(), &target, &cfg, Some(&stop)).unwrap();
+        assert_eq!(r.outcome, Outcome::Unknown);
+        assert!(r.cancelled);
+    }
+
+    #[test]
+    fn slack_strategy_also_decides_correctly() {
+        let target = BoxDomain::from_bounds(&[(-0.1, 6.5)]).unwrap();
+        let cfg = BnbConfig::new(DomainKind::Symbolic, 5000)
+            .with_strategy(SplitStrategy::OutputSlack)
+            .with_threads(2);
+        let r = decide(&fig2_net(), &unit_box(), &target, &cfg).unwrap();
+        assert_eq!(r.outcome, Outcome::Proved, "{r:?}");
+    }
+
+    #[test]
+    fn dimension_mismatches_rejected() {
+        let net = fig2_net();
+        let bad_in = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let target = BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap();
+        let cfg = BnbConfig::new(DomainKind::Box, 4);
+        assert!(decide(&net, &bad_in, &target, &cfg).is_err());
+        let bad_target = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
+        assert!(decide(&net, &unit_box(), &bad_target, &cfg).is_err());
+    }
+}

@@ -16,7 +16,10 @@
 //! [`reach`] runs any of them layer-by-layer and records the per-layer
 //! boxes; [`refine`] adds input bisection, which makes interval-based
 //! verification *complete in the limit* for strict properties and serves as
-//! the "more precise transformation" of the paper's Figure 1(c).
+//! the "more precise transformation" of the paper's Figure 1(c). [`bnb`] is
+//! the engine behind it: a work-stealing, anytime branch-and-bound solver
+//! over a priority frontier of input subboxes with schedule-independent
+//! verdicts.
 //!
 //! # Floating-point soundness convention
 //!
@@ -27,6 +30,7 @@
 //! assert the conservative direction throughout.
 
 pub mod backward;
+pub mod bnb;
 pub mod box_domain;
 pub mod error;
 pub mod interval;
@@ -36,6 +40,7 @@ pub mod symbolic;
 pub mod transformer;
 pub mod zonotope;
 
+pub use bnb::{BnbConfig, BnbReport, SplitStrategy};
 pub use box_domain::BoxDomain;
 pub use error::AbsintError;
 pub use interval::Interval;

@@ -8,11 +8,12 @@
 //! local checks of Propositions 1 and 2 (the other being MILP, in
 //! `covern-milp`).
 
+use crate::bnb::frontier::Frontier;
+use crate::bnb::BnbConfig;
 use crate::box_domain::BoxDomain;
 use crate::error::AbsintError;
 use crate::transformer::{AbstractState, DomainKind};
 use covern_nn::Network;
-use std::collections::VecDeque;
 
 /// Three-valued verification outcome.
 ///
@@ -35,7 +36,10 @@ impl Outcome {
     }
 }
 
-fn output_box(
+/// Sound abstract image of the network over `input` — the per-subbox
+/// evaluator shared with the branch-and-bound engine ([`crate::bnb`]);
+/// keep it single-sourced so the two refinement paths can never drift.
+pub(crate) fn output_box(
     net: &Network,
     input: &BoxDomain,
     domain: DomainKind,
@@ -70,29 +74,30 @@ pub fn refined_output_box(
         });
     }
     let budget = max_leaves.max(1);
-    let mut queue = VecDeque::from([input.clone()]);
-    // Split the widest leaf until the budget is reached.
-    while queue.len() < budget {
-        // Find the widest box in the queue to split next.
-        let widest = queue
-            .iter()
-            .enumerate()
-            .max_by(|a, b| {
-                a.1.max_width().partial_cmp(&b.1.max_width()).expect("widths are finite")
-            })
-            .map(|(i, _)| i)
-            .expect("queue non-empty");
-        let b = queue.remove(widest).expect("index valid");
+    // The shared priority frontier, widest-first: popping always yields
+    // the globally widest leaf (ties resolved by insertion order), which
+    // keeps the leaf set — and hence the hull — deterministic and makes
+    // leaf sets for growing budgets nested refinements of each other
+    // (the monotone-tightening guarantee).
+    let mut frontier = Frontier::new();
+    frontier.push(input.max_width(), input.clone());
+    let mut leaves: Vec<BoxDomain> = Vec::new();
+    while leaves.len() + frontier.len() < budget {
+        let Some(b) = frontier.pop() else { break };
         if b.max_width() <= 0.0 {
-            queue.push_back(b);
-            break;
+            // A point box cannot be split; park it as a finished leaf.
+            leaves.push(b);
+            continue;
         }
         let (l, r) = b.bisect_widest();
-        queue.push_back(l);
-        queue.push_back(r);
+        frontier.push(l.max_width(), l);
+        frontier.push(r.max_width(), r);
+    }
+    while let Some(b) = frontier.pop() {
+        leaves.push(b);
     }
     let mut hull: Option<BoxDomain> = None;
-    for leaf in queue {
+    for leaf in leaves {
         let out = output_box(net, &leaf, domain)?;
         hull = Some(match hull {
             None => out,
@@ -105,10 +110,13 @@ pub fn refined_output_box(
 /// Attempts to prove `∀x ∈ input : net(x) ∈ target` by abstract
 /// interpretation with input bisection.
 ///
-/// The worklist splits any sub-box whose abstract output is not contained in
-/// `target`; before splitting, the box center is evaluated concretely and a
-/// violation is reported as [`Outcome::Refuted`]. The search stops after
-/// `max_splits` bisections with [`Outcome::Unknown`].
+/// Since the branch-and-bound engine landed ([`crate::bnb`]) this is a
+/// thin sequential front end over it: the worklist is a *priority
+/// frontier* (widest box first, deterministic tie-break) rather than the
+/// historical FIFO, any sub-box whose abstract output is not contained in
+/// `target` has its center and lower corner evaluated concretely (a
+/// violation is reported as [`Outcome::Refuted`]), and the search stops
+/// after `max_splits` bisections with [`Outcome::Unknown`].
 ///
 /// # Errors
 ///
@@ -137,44 +145,9 @@ pub fn prove_forward_containment_counting(
     domain: DomainKind,
     max_splits: usize,
 ) -> Result<(Outcome, usize), AbsintError> {
-    if input.dim() != net.input_dim() {
-        return Err(AbsintError::DimensionMismatch {
-            context: "prove_forward_containment (input box)",
-            expected: net.input_dim(),
-            actual: input.dim(),
-        });
-    }
-    if target.dim() != net.output_dim() {
-        return Err(AbsintError::DimensionMismatch {
-            context: "prove_forward_containment (target box)",
-            expected: net.output_dim(),
-            actual: target.dim(),
-        });
-    }
-    let mut queue = VecDeque::from([input.clone()]);
-    let mut splits = 0usize;
-    while let Some(b) = queue.pop_front() {
-        let out = output_box(net, &b, domain)?;
-        if target.contains_box(&out) {
-            continue;
-        }
-        // Concrete probe: the center (and a corner) may already witness a
-        // violation, which makes the answer definitive.
-        for probe in [b.center(), b.lower()] {
-            let y = net.forward(&probe).expect("dimension checked above");
-            if !target.contains(&y) {
-                return Ok((Outcome::Refuted(probe), splits));
-            }
-        }
-        if splits >= max_splits || b.max_width() <= f64::EPSILON {
-            return Ok((Outcome::Unknown, splits));
-        }
-        splits += 1;
-        let (l, r) = b.bisect_widest();
-        queue.push_back(l);
-        queue.push_back(r);
-    }
-    Ok((Outcome::Proved, splits))
+    let config = BnbConfig::new(domain, max_splits);
+    let report = crate::bnb::decide(net, input, target, &config)?;
+    Ok((report.outcome, report.splits))
 }
 
 /// Sound upper bound on output neuron `neuron` over `input`, tightened by
@@ -280,6 +253,33 @@ mod tests {
         let refined =
             prove_forward_containment(&net, &din, &target, DomainKind::Symbolic, 5000).unwrap();
         assert!(refined.is_proved(), "got {refined:?}");
+    }
+
+    #[test]
+    fn refined_output_box_hulls_tighten_monotonically_with_leaves() {
+        // Regression for the priority-frontier rewrite: the leaf set at
+        // budget L+1 refines the leaf set at budget L (one leaf replaced
+        // by its halves), and the interval transformer is inclusion
+        // monotone, so the hull at every larger budget must be contained
+        // in the hull at every smaller one — per-dimension, not just on
+        // one neuron. (Box domain only: symbolic relaxations pick
+        // different ReLU concretizations per subbox and are not
+        // inclusion monotone, so only the limit — not every step — is
+        // guaranteed tighter there.)
+        let mut rng = Rng::seeded(83);
+        let net = Network::random(&[3, 7, 4, 2], Activation::Relu, Activation::Identity, &mut rng);
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let mut prev: Option<BoxDomain> = None;
+        for leaves in 1..=40 {
+            let hull = refined_output_box(&net, &din, DomainKind::Box, leaves).unwrap();
+            if let Some(p) = &prev {
+                assert!(
+                    p.dilate(1e-9).contains_box(&hull),
+                    "hull loosened going to {leaves} leaves"
+                );
+            }
+            prev = Some(hull);
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Ablation for the parallel branch-and-bound refiner (`absint::bnb`):
+//! wall-clock speedup versus thread count on a Prop-1/2-style local check
+//! that genuinely needs refinement (≥ 32 bisections), plus the frontier
+//! heuristic ablation (widest-dim vs output-slack ordering).
+//!
+//! The setup asserts — before any timing — that the verdict, the split
+//! count, and the proved-leaf count are byte-identical across every
+//! thread count measured: the engine's wave design promises
+//! schedule-independent answers, and this bench doubles as the gate on
+//! that promise. A speedup summary line (1 vs 4 threads) is printed so
+//! runs can be compared without post-processing.
+
+use covern_absint::bnb::{decide, BnbConfig, SplitStrategy};
+use covern_absint::refine::refined_output_box;
+use covern_absint::{BoxDomain, DomainKind};
+use covern_nn::{Activation, Network};
+use covern_tensor::Rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// A local check that is provable but only after substantial bisection:
+/// the target is the 768-leaf refined hull with 0.2% headroom — far
+/// inside the single-pass bound, so the proof has to split its way down.
+fn hard_local_check() -> (Network, BoxDomain, BoxDomain) {
+    let mut rng = Rng::seeded(42_2021);
+    let net =
+        Network::random(&[2, 96, 96, 96, 1], Activation::Relu, Activation::Identity, &mut rng);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).expect("unit box");
+    let hull = refined_output_box(&net, &din, DomainKind::Symbolic, 768).expect("refined hull");
+    let bounds: Vec<(f64, f64)> = (0..hull.dim())
+        .map(|i| {
+            let iv = hull.interval(i);
+            let headroom = 0.002 * iv.width().max(1.0);
+            (iv.lo() - headroom, iv.hi() + headroom)
+        })
+        .collect();
+    let target = BoxDomain::from_bounds(&bounds).expect("target box");
+    (net, din, target)
+}
+
+fn bench_bnb(c: &mut Criterion) {
+    let (net, din, target) = hard_local_check();
+    let budget = 4096;
+    let base = BnbConfig::new(DomainKind::Symbolic, budget);
+
+    // Gate: the case needs real refinement, and every thread count gives
+    // the same answer with the same accounting.
+    let reference = decide(&net, &din, &target, &base).expect("sequential run");
+    assert!(reference.splits >= 32, "bench case too easy: only {} bisections", reference.splits);
+    for threads in [2usize, 4, 8] {
+        let r = decide(&net, &din, &target, &base.with_threads(threads)).expect("parallel run");
+        assert_eq!(reference.outcome, r.outcome, "verdict diverged at {threads} threads");
+        assert_eq!(reference.splits, r.splits, "splits diverged at {threads} threads");
+        assert_eq!(reference.leaves_proved, r.leaves_proved);
+    }
+
+    // Headline number: 1-thread vs 4-thread wall clock on the same check.
+    let time = |threads: usize| {
+        let cfg = base.with_threads(threads);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            decide(&net, &din, &target, &cfg).expect("timed run");
+        }
+        t0.elapsed() / 3
+    };
+    let (t1, t4) = (time(1), time(4));
+    println!(
+        "bnb/speedup: {} splits, 1 thread {:.1} ms, 4 threads {:.1} ms ({:.2}x)",
+        reference.splits,
+        t1.as_secs_f64() * 1e3,
+        t4.as_secs_f64() * 1e3,
+        t1.as_secs_f64() / t4.as_secs_f64().max(1e-12)
+    );
+
+    let mut group = c.benchmark_group("bnb");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = base.with_threads(threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| decide(&net, &din, &target, &cfg).expect("bnb runs"))
+        });
+    }
+    for strategy in [SplitStrategy::WidestDim, SplitStrategy::OutputSlack] {
+        let cfg = base.with_strategy(strategy).with_threads(4);
+        group.bench_function(format!("strategy_{strategy}"), |b| {
+            b.iter(|| decide(&net, &din, &target, &cfg).expect("bnb runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bnb);
+criterion_main!(benches);

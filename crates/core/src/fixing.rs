@@ -11,7 +11,9 @@
 
 use crate::artifact::StateAbstractionArtifact;
 use crate::error::CoreError;
-use crate::method::{check_local_containment, LocalMethod, CONTAIN_TOL};
+use crate::method::{
+    check_local_containment, check_local_containment_threads, LocalMethod, CONTAIN_TOL,
+};
 use crate::report::{Strategy, SubproblemTiming, VerifyOutcome, VerifyReport};
 use covern_absint::box_domain::BoxDomain;
 use covern_absint::transformer::AbstractState;
@@ -167,7 +169,12 @@ pub fn incremental_fix(
         let layer_net = f_prime.slice(k, k);
         let target =
             if k == n { artifact.dout().clone() } else { artifact.layers().layer_box(k)?.clone() };
-        let reentered = check_local_containment(&layer_net, &current, &target, method)?.is_proved();
+        // The re-entry probe is one local check; unlike the step-1 layer
+        // scan (whose parallelism is across layers) its only parallelism
+        // is inside the refiner, so hand it the whole thread budget.
+        let reentered =
+            check_local_containment_threads(&layer_net, &current, &target, method, threads.max(1))?
+                .is_proved();
         subproblems.push(SubproblemTiming {
             label: format!("re-entry at layer {k}{}", if reentered { " (hit)" } else { "" }),
             duration: tk.elapsed(),

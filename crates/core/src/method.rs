@@ -8,11 +8,14 @@
 
 use crate::error::CoreError;
 use crate::report::VerifyOutcome;
+use covern_absint::bnb::{self, BnbConfig};
 use covern_absint::box_domain::BoxDomain;
-use covern_absint::refine::prove_forward_containment;
 use covern_absint::DomainKind;
-use covern_milp::query::{check_containment_with_limit, Containment};
+pub use covern_absint::SplitStrategy;
+use covern_milp::query::{check_containment_with_limit, check_containment_with_stop, Containment};
 use covern_nn::{Activation, DenseLayer, Network};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 /// Absolute tolerance for re-checking containment of a computation against
 /// its own recorded abstraction (absorbs round-off amplified by weights).
@@ -46,6 +49,41 @@ pub enum LocalMethod {
         domain: DomainKind,
         /// Bisection budget per violation face.
         max_splits_per_face: usize,
+    },
+    /// Parallel anytime branch-and-bound refinement
+    /// ([`covern_absint::bnb`]): a priority frontier with a selectable
+    /// split heuristic, atomic early exit on a concrete witness, and an
+    /// optional wall-clock deadline on top of the split budget. The
+    /// worker count comes from the caller's thread budget
+    /// ([`check_local_containment_threads`]), not from the method — the
+    /// verdict under a split budget is thread-count independent.
+    Bnb {
+        /// Abstract domain evaluated per subbox.
+        domain: DomainKind,
+        /// Frontier ordering heuristic.
+        strategy: SplitStrategy,
+        /// Maximum number of input bisections.
+        max_splits: usize,
+        /// Optional anytime deadline in milliseconds (the one
+        /// schedule-dependent budget; `None` keeps verdicts reproducible).
+        deadline_ms: Option<u64>,
+    },
+    /// Race the branch-and-bound refiner against exact MILP
+    /// (`milp::bb::decide_threshold` under the containment query) and
+    /// take the first sound answer; the loser is cancelled through its
+    /// stop flag. Sound engines cannot contradict each other, so the
+    /// proved/refuted classification stays deterministic — only the
+    /// wall time (and, for refutations, which engine's witness is
+    /// reported) depends on the race.
+    Portfolio {
+        /// Abstract domain for the refiner side.
+        domain: DomainKind,
+        /// Split budget for the refiner side.
+        max_splits: usize,
+        /// Node budget for the MILP side.
+        node_limit: usize,
+        /// Optional anytime deadline (milliseconds) for the refiner side.
+        deadline_ms: Option<u64>,
     },
 }
 
@@ -116,11 +154,9 @@ pub fn pull_back_output_activation(
     Ok((net, target))
 }
 
-/// Discharges `∀x ∈ input : net(x) ∈ target` with the chosen method.
-///
-/// The target is dilated by [`CONTAIN_TOL`] so that re-checking a
-/// computation against its own recorded abstraction cannot fail by
-/// round-off. Returns `Unknown` when the method's budget is exhausted.
+/// Discharges `∀x ∈ input : net(x) ∈ target` with the chosen method, on
+/// one thread. See [`check_local_containment_threads`] for the parallel
+/// entry point the pipeline's thread plumbing feeds.
 ///
 /// # Errors
 ///
@@ -130,6 +166,32 @@ pub fn check_local_containment(
     input: &BoxDomain,
     target: &BoxDomain,
     method: &LocalMethod,
+) -> Result<VerifyOutcome, CoreError> {
+    check_local_containment_threads(net, input, target, method, 1)
+}
+
+/// Discharges `∀x ∈ input : net(x) ∈ target` with the chosen method and
+/// up to `threads` workers inside the check.
+///
+/// The target is dilated by [`CONTAIN_TOL`] so that re-checking a
+/// computation against its own recorded abstraction cannot fail by
+/// round-off. Returns `Unknown` when the method's budget is exhausted.
+///
+/// Refinement-backed methods ([`LocalMethod::Refine`],
+/// [`LocalMethod::Bnb`], [`LocalMethod::Portfolio`]) parallelize across
+/// input subboxes; their verdict under a split budget does not depend on
+/// `threads` (see [`covern_absint::bnb`]). [`LocalMethod::Milp`] and
+/// [`LocalMethod::Bidirectional`] are sequential and ignore `threads`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] on dimension mismatches or substrate failures.
+pub fn check_local_containment_threads(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    method: &LocalMethod,
+    threads: usize,
 ) -> Result<VerifyOutcome, CoreError> {
     if input.dim() != net.input_dim() {
         return Err(CoreError::DimensionMismatch {
@@ -159,8 +221,9 @@ pub fn check_local_containment(
             }
         }
         LocalMethod::Refine { domain, max_splits } => {
-            let o = prove_forward_containment(net, input, &target, *domain, *max_splits)?;
-            Ok(o.into())
+            let config = BnbConfig::new(*domain, *max_splits).with_threads(threads);
+            let report = bnb::decide(net, input, &target, &config)?;
+            Ok(report.outcome.into())
         }
         LocalMethod::Bidirectional { domain, max_splits_per_face } => {
             let o = covern_absint::backward::prove_containment_bidirectional(
@@ -172,6 +235,103 @@ pub fn check_local_containment(
             )?;
             Ok(o.into())
         }
+        LocalMethod::Bnb { domain, strategy, max_splits, deadline_ms } => {
+            let config = BnbConfig::new(*domain, *max_splits)
+                .with_strategy(*strategy)
+                .with_threads(threads)
+                .with_deadline(deadline_ms.map(Duration::from_millis));
+            let report = bnb::decide(net, input, &target, &config)?;
+            Ok(report.outcome.into())
+        }
+        LocalMethod::Portfolio { domain, max_splits, node_limit, deadline_ms } => portfolio_race(
+            net,
+            input,
+            &target,
+            *domain,
+            *max_splits,
+            *node_limit,
+            deadline_ms.map(Duration::from_millis),
+            threads,
+        ),
+    }
+}
+
+/// Races the branch-and-bound refiner against the exact MILP containment
+/// check; the first decisive (proved/refuted) answer cancels the other
+/// engine through its stop flag.
+///
+/// Both engines are sound, so their decisive classifications cannot
+/// conflict; the combination below prefers the MILP result when both
+/// finished decisively (it is exact, and its witness carries the
+/// violated output index semantics downstream tools expect).
+#[allow(clippy::too_many_arguments)]
+fn portfolio_race(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    domain: DomainKind,
+    max_splits: usize,
+    node_limit: usize,
+    deadline: Option<Duration>,
+    threads: usize,
+) -> Result<VerifyOutcome, CoreError> {
+    let cancel_refine = AtomicBool::new(false);
+    let cancel_milp = AtomicBool::new(false);
+    // Non-PWL outputs that cannot be pulled back simply forfeit the MILP
+    // lane; the refiner handles them natively.
+    let milp_instance = pull_back_output_activation(net, target).ok();
+
+    let (refine_result, milp_result) = std::thread::scope(|scope| {
+        let refiner = scope.spawn(|| {
+            let config =
+                BnbConfig::new(domain, max_splits).with_threads(threads).with_deadline(deadline);
+            let r = bnb::decide_with_stop(net, input, target, &config, Some(&cancel_refine));
+            if matches!(
+                r.as_ref().map(|rep| &rep.outcome),
+                Ok(covern_absint::refine::Outcome::Proved
+                    | covern_absint::refine::Outcome::Refuted(_))
+            ) {
+                cancel_milp.store(true, Ordering::SeqCst);
+            }
+            r
+        });
+        let milp_result = milp_instance.as_ref().map(|(pnet, ptarget)| {
+            let r =
+                check_containment_with_stop(pnet, input, ptarget, node_limit, Some(&cancel_milp));
+            if r.is_ok() {
+                cancel_refine.store(true, Ordering::SeqCst);
+            }
+            r
+        });
+        (refiner.join().expect("refiner thread does not panic"), milp_result)
+    });
+
+    // MILP finished decisively: exact answer, take it.
+    match milp_result {
+        Some(Ok(Containment::Proved)) => return Ok(VerifyOutcome::Proved),
+        Some(Ok(Containment::Refuted { input_witness, .. })) => {
+            return Ok(VerifyOutcome::Refuted(input_witness))
+        }
+        _ => {}
+    }
+    // Otherwise the refiner's answer decides (its budget exhaustion or
+    // cancellation both surface as Unknown).
+    match refine_result {
+        Ok(report) => match report.outcome {
+            covern_absint::refine::Outcome::Proved => Ok(VerifyOutcome::Proved),
+            covern_absint::refine::Outcome::Refuted(w) => Ok(VerifyOutcome::Refuted(w)),
+            covern_absint::refine::Outcome::Unknown => match milp_result {
+                // Neither engine was decisive. A genuine MILP failure
+                // (not a budget/cancellation artifact) still surfaces.
+                Some(Err(
+                    covern_milp::MilpError::NodeLimit { .. } | covern_milp::MilpError::Cancelled,
+                ))
+                | None => Ok(VerifyOutcome::Unknown),
+                Some(Err(e)) => Err(e.into()),
+                Some(Ok(_)) => unreachable!("decisive MILP handled above"),
+            },
+        },
+        Err(e) => Err(e.into()),
     }
 }
 
@@ -201,10 +361,83 @@ mod tests {
             LocalMethod::default(),
             LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 3000 },
             LocalMethod::Bidirectional { domain: DomainKind::Symbolic, max_splits_per_face: 3000 },
+            LocalMethod::Bnb {
+                domain: DomainKind::Symbolic,
+                strategy: SplitStrategy::OutputSlack,
+                max_splits: 3000,
+                deadline_ms: None,
+            },
+            LocalMethod::Portfolio {
+                domain: DomainKind::Symbolic,
+                max_splits: 3000,
+                node_limit: covern_milp::query::DEFAULT_NODE_LIMIT,
+                deadline_ms: None,
+            },
         ] {
             let o = check_local_containment(&net, &enlarged, &s2, &method).unwrap();
             assert!(o.is_proved(), "{method:?} failed: {o:?}");
         }
+    }
+
+    #[test]
+    fn bnb_method_verdicts_thread_independent() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let method = LocalMethod::Bnb {
+            domain: DomainKind::Symbolic,
+            strategy: SplitStrategy::WidestDim,
+            max_splits: 400,
+            deadline_ms: None,
+        };
+        for target in [
+            BoxDomain::from_bounds(&[(-0.1, 6.5)]).unwrap(),
+            BoxDomain::from_bounds(&[(0.0, 4.0)]).unwrap(),
+        ] {
+            let o1 = check_local_containment_threads(&net, &din, &target, &method, 1).unwrap();
+            let o4 = check_local_containment_threads(&net, &din, &target, &method, 4).unwrap();
+            assert_eq!(o1, o4, "verdict diverged across thread counts");
+        }
+    }
+
+    #[test]
+    fn portfolio_refutes_with_replayable_witness() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let tight = BoxDomain::from_bounds(&[(0.0, 4.0)]).unwrap();
+        let method = LocalMethod::Portfolio {
+            domain: DomainKind::Symbolic,
+            max_splits: 5000,
+            node_limit: covern_milp::query::DEFAULT_NODE_LIMIT,
+            deadline_ms: None,
+        };
+        match check_local_containment_threads(&net, &din, &tight, &method, 2).unwrap() {
+            VerifyOutcome::Refuted(w) => {
+                let y = net.forward(&w).unwrap();
+                assert!(y[0] > 4.0, "witness output {}", y[0]);
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn portfolio_handles_sigmoid_output_without_milp_lane() {
+        // Sigmoid pulls back fine, but even a hypothetical non-invertible
+        // output must not break the race: the refiner lane is always
+        // there. Exercise the sigmoid path end to end.
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.0]], &[0.0], Activation::Sigmoid)
+            .build()
+            .unwrap();
+        let din = BoxDomain::from_bounds(&[(-0.5, 0.5)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(0.2, 0.9)]).unwrap();
+        let method = LocalMethod::Portfolio {
+            domain: DomainKind::Box,
+            max_splits: 2000,
+            node_limit: covern_milp::query::DEFAULT_NODE_LIMIT,
+            deadline_ms: None,
+        };
+        let o = check_local_containment(&net, &din, &dout, &method).unwrap();
+        assert!(o.is_proved(), "{o:?}");
     }
 
     #[test]

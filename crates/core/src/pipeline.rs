@@ -21,7 +21,7 @@ use crate::error::CoreError;
 use crate::fixing::incremental_fix;
 use crate::method::LocalMethod;
 use crate::problem::VerificationProblem;
-use crate::prop_domain::{prop1, prop2, prop3};
+use crate::prop_domain::{prop1_threads, prop2_threads, prop3};
 use crate::prop_model::{prop4, prop6, validate_architecture};
 use crate::report::VerifyReport;
 use covern_absint::box_domain::BoxDomain;
@@ -152,9 +152,11 @@ impl ContinuousVerifier {
     }
 
     /// Sets the worker count for parallel subproblem checking. The budget
-    /// reaches every delta handler: Prop 4/5 per-layer checks, §IV-C
-    /// fixing's layer scan, artifact suffix re-checks on re-targeting and
-    /// rebuilds, and the full-verification fallbacks.
+    /// reaches every delta handler: the Prop 1/2 local checks (parallel
+    /// branch-and-bound *inside* the single check), Prop 4/5 per-layer
+    /// checks, §IV-C fixing's layer scan and re-entry checks, artifact
+    /// suffix re-checks on re-targeting and rebuilds, and the
+    /// full-verification fallbacks (including their refinement stage).
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
     }
@@ -342,7 +344,8 @@ impl ContinuousVerifier {
             // only for depth ≥ 2 — a single-layer network skips straight
             // down the chain instead of aborting the event.
             if self.problem.network().num_layers() >= 2 {
-                let r = prop1(self.problem.network(), state, new_din, method)?;
+                let r =
+                    prop1_threads(self.problem.network(), state, new_din, method, self.threads)?;
                 if r.outcome.is_proved() {
                     return Ok(r);
                 }
@@ -355,7 +358,7 @@ impl ContinuousVerifier {
                 }
             }
             // Prop 2: rebuild prefix abstractions, re-enter later.
-            let r = prop2(self.problem.network(), state, new_din, method)?;
+            let r = prop2_threads(self.problem.network(), state, new_din, method, self.threads)?;
             if r.outcome.is_proved() {
                 return Ok(r);
             }

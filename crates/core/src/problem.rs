@@ -3,8 +3,8 @@
 use crate::artifact::{ProofArtifacts, StateAbstractionArtifact};
 use crate::error::CoreError;
 use crate::report::{Strategy, VerifyOutcome, VerifyReport};
+use covern_absint::bnb::{self, BnbConfig};
 use covern_absint::box_domain::BoxDomain;
-use covern_absint::refine::prove_forward_containment;
 use covern_absint::DomainKind;
 use covern_lipschitz::bound::{global_lipschitz, NormKind};
 use covern_nn::Network;
@@ -115,9 +115,11 @@ impl VerificationProblem {
     }
 
     /// [`verify_full_with_margin`](Self::verify_full_with_margin) with the
-    /// artifact's independent suffix-guarantee checks run on up to
-    /// `threads` workers (the abstraction sweep and bisection refinement
-    /// are inherently sequential and unaffected).
+    /// artifact's independent suffix-guarantee checks *and* the
+    /// bisection-refinement fallback run on up to `threads` workers (the
+    /// refinement parallelizes across input subboxes via
+    /// [`covern_absint::bnb`]; its verdict is thread-count independent,
+    /// so caches keyed on problem content stay sound).
     ///
     /// # Errors
     ///
@@ -141,9 +143,12 @@ impl VerificationProblem {
             VerifyOutcome::Proved
         } else {
             // The single pass failed; pay for refinement to still answer.
-            let o =
-                prove_forward_containment(&self.net, &self.din, &self.dout, domain, refine_splits)?;
-            match o {
+            // This is the hottest fallback of the continuous pipeline —
+            // the branch-and-bound engine spreads it over the thread
+            // budget.
+            let config = BnbConfig::new(domain, refine_splits).with_threads(threads.max(1));
+            let report = bnb::decide(&self.net, &self.din, &self.dout, &config)?;
+            match report.outcome {
                 covern_absint::refine::Outcome::Proved => VerifyOutcome::Proved,
                 covern_absint::refine::Outcome::Refuted(w) => VerifyOutcome::Refuted(w),
                 covern_absint::refine::Outcome::Unknown => VerifyOutcome::Unknown,

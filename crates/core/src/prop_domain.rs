@@ -2,7 +2,7 @@
 
 use crate::artifact::StateAbstractionArtifact;
 use crate::error::CoreError;
-use crate::method::{check_local_containment, LocalMethod, CONTAIN_TOL};
+use crate::method::{check_local_containment_threads, LocalMethod, CONTAIN_TOL};
 use crate::report::{Strategy, SubproblemTiming, VerifyOutcome, VerifyReport};
 use covern_absint::box_domain::BoxDomain;
 use covern_absint::transformer::AbstractState;
@@ -46,6 +46,25 @@ pub fn prop1(
     new_din: &BoxDomain,
     method: &LocalMethod,
 ) -> Result<VerifyReport, CoreError> {
+    prop1_threads(net, artifact, new_din, method, 1)
+}
+
+/// [`prop1`] with the local check run on up to `threads` workers — the
+/// paper's Prop 1 is ONE local subproblem, so its parallelism has to come
+/// from *inside* the check (the branch-and-bound refiner's input
+/// splitting), not from fanning out subproblems. The verdict is
+/// thread-count independent for refinement-backed methods.
+///
+/// # Errors
+///
+/// Same as [`prop1`].
+pub fn prop1_threads(
+    net: &Network,
+    artifact: &StateAbstractionArtifact,
+    new_din: &BoxDomain,
+    method: &LocalMethod,
+    threads: usize,
+) -> Result<VerifyReport, CoreError> {
     let t0 = Instant::now();
     validate_enlargement(artifact.layers().input(), new_din)?;
     if net.num_layers() < 2 {
@@ -62,7 +81,7 @@ pub fn prop1(
     }
     let prefix = net.slice(1, 2);
     let s2 = artifact.layers().layer_box(2)?;
-    let outcome = match check_local_containment(&prefix, new_din, s2, method)? {
+    let outcome = match check_local_containment_threads(&prefix, new_din, s2, method, threads)? {
         VerifyOutcome::Proved => VerifyOutcome::Proved,
         // A violation of the *abstraction* is not a violation of the
         // property — the sufficient condition is simply not met.
@@ -90,6 +109,23 @@ pub fn prop2(
     new_din: &BoxDomain,
     method: &LocalMethod,
 ) -> Result<VerifyReport, CoreError> {
+    prop2_threads(net, artifact, new_din, method, 1)
+}
+
+/// [`prop2`] with each candidate's re-entry check run on up to `threads`
+/// workers inside the branch-and-bound refiner (candidates themselves
+/// stay sequential: the `S′` construction is shared incrementally).
+///
+/// # Errors
+///
+/// Same as [`prop2`].
+pub fn prop2_threads(
+    net: &Network,
+    artifact: &StateAbstractionArtifact,
+    new_din: &BoxDomain,
+    method: &LocalMethod,
+    threads: usize,
+) -> Result<VerifyReport, CoreError> {
     let t0 = Instant::now();
     validate_enlargement(artifact.layers().input(), new_din)?;
     let n = net.num_layers();
@@ -113,7 +149,9 @@ pub fn prop2(
             let s_prime_j = state.to_box();
             let layer_net = net.slice(j + 1, j + 1);
             let target = artifact.layers().layer_box(j + 1)?;
-            proved = check_local_containment(&layer_net, &s_prime_j, target, method)?.is_proved();
+            proved =
+                check_local_containment_threads(&layer_net, &s_prime_j, target, method, threads)?
+                    .is_proved();
         }
         subproblems.push(SubproblemTiming {
             label: format!("j={j}{}", if proved { " (re-entered)" } else { "" }),

@@ -284,6 +284,12 @@ pub fn prop6(
         LocalMethod::Bidirectional { max_splits_per_face, .. } => {
             CoverMethod::Refinement { max_splits: *max_splits_per_face }
         }
+        LocalMethod::Bnb { max_splits, .. } => CoverMethod::Refinement { max_splits: *max_splits },
+        // The cover check is a one-shot bound, not a race; refinement with
+        // the portfolio's split budget is the natural projection.
+        LocalMethod::Portfolio { max_splits, .. } => {
+            CoverMethod::Refinement { max_splits: *max_splits }
+        }
     };
     let outcome = match check_cover(&abstraction, &candidate, din, cover_method)? {
         covern_absint::refine::Outcome::Proved => VerifyOutcome::Proved,

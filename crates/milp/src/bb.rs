@@ -202,6 +202,26 @@ pub fn decide_threshold(
     node_limit: usize,
     threshold: f64,
 ) -> Result<ThresholdDecision, MilpError> {
+    decide_threshold_with_stop(model, node_limit, threshold, None)
+}
+
+/// [`decide_threshold`] with an external cancellation flag, polled once
+/// per node. A raised flag aborts with [`MilpError::Cancelled`] — the
+/// portfolio racer in `covern-core` uses this to stop the MILP side the
+/// moment the refinement side has produced a sound answer (and vice
+/// versa) without waiting out the node budget.
+///
+/// # Errors
+///
+/// Same as [`decide_threshold`], plus [`MilpError::Cancelled`] when the
+/// flag rises.
+pub fn decide_threshold_with_stop(
+    model: &Model,
+    node_limit: usize,
+    threshold: f64,
+    stop: Option<&std::sync::atomic::AtomicBool>,
+) -> Result<ThresholdDecision, MilpError> {
+    use std::sync::atomic::Ordering;
     let binaries = model.binary_vars();
     let past = |obj: f64| if model.maximize { obj > threshold } else { obj < threshold };
 
@@ -216,6 +236,11 @@ pub fn decide_threshold(
         nodes += 1;
         if nodes > node_limit {
             return Err(MilpError::NodeLimit { best_bound: None });
+        }
+        if let Some(s) = stop {
+            if s.load(Ordering::SeqCst) {
+                return Err(MilpError::Cancelled);
+            }
         }
         for &b in &binaries {
             scratch.set_bounds(VarId(b), 0.0, 1.0).expect("binary exists");
@@ -313,6 +338,26 @@ mod tests {
         assert!((sol.objective - 14.0).abs() < 1e-6, "objective {}", sol.objective);
         assert_eq!(sol.x[a.index()].round() as i32, 1);
         assert_eq!(sol.x[c.index()].round() as i32, 1);
+    }
+
+    #[test]
+    fn raised_stop_flag_cancels_threshold_decision() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut m = Model::new();
+        let d = m.add_binary();
+        m.set_objective(&[(d, 1.0)], true).unwrap();
+        let stop = AtomicBool::new(false);
+        stop.store(true, Ordering::SeqCst);
+        assert_eq!(
+            decide_threshold_with_stop(&m, 1000, 0.5, Some(&stop)),
+            Err(MilpError::Cancelled)
+        );
+        // An unraised flag changes nothing.
+        let calm = AtomicBool::new(false);
+        assert!(matches!(
+            decide_threshold_with_stop(&m, 1000, 0.5, Some(&calm)),
+            Ok(ThresholdDecision::Exceeded { .. })
+        ));
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum MilpError {
         /// Best proven bound at abort time, if any relaxation solved.
         best_bound: Option<f64>,
     },
+    /// An external stop flag aborted the search (portfolio racing: a
+    /// competing engine already produced a sound answer). Never a wrong
+    /// answer — just "this engine did not get to finish".
+    Cancelled,
     /// The network slice contains an activation that is not piecewise
     /// linear and therefore cannot be encoded exactly.
     NonPiecewiseLinear(String),
@@ -52,6 +56,7 @@ impl fmt::Display for MilpError {
                 Some(b) => write!(f, "branch-and-bound node limit exceeded (best bound {b})"),
                 None => write!(f, "branch-and-bound node limit exceeded"),
             },
+            MilpError::Cancelled => write!(f, "search cancelled by an external stop flag"),
             MilpError::NonPiecewiseLinear(act) => {
                 write!(f, "activation {act} is not piecewise linear; cannot encode exactly")
             }
@@ -75,6 +80,7 @@ mod tests {
             MilpError::Unbounded,
             MilpError::IterationLimit,
             MilpError::NodeLimit { best_bound: Some(1.5) },
+            MilpError::Cancelled,
             MilpError::NonPiecewiseLinear("Sigmoid".into()),
             MilpError::UnknownVariable { index: 3, available: 2 },
         ] {

@@ -4,7 +4,7 @@
 //! its local sufficient-condition checks: exact neuron extrema, exact
 //! output bounds, and containment of a network image in a target box.
 
-use crate::bb::{decide_threshold, solve_milp, ThresholdDecision};
+use crate::bb::{decide_threshold_with_stop, solve_milp, ThresholdDecision};
 use crate::encode::encode_network;
 use crate::error::MilpError;
 use covern_absint::box_domain::BoxDomain;
@@ -135,6 +135,23 @@ pub fn check_containment_with_limit(
     target: &BoxDomain,
     node_limit: usize,
 ) -> Result<Containment, MilpError> {
+    check_containment_with_stop(net, input, target, node_limit, None)
+}
+
+/// [`check_containment_with_limit`] with an external cancellation flag
+/// (see [`decide_threshold_with_stop`]); used by the portfolio racer.
+///
+/// # Errors
+///
+/// Same as [`check_containment`], plus [`MilpError::Cancelled`] when the
+/// flag rises mid-search.
+pub fn check_containment_with_stop(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    node_limit: usize,
+    stop: Option<&std::sync::atomic::AtomicBool>,
+) -> Result<Containment, MilpError> {
     if target.dim() != net.output_dim() {
         return Err(MilpError::DimensionMismatch {
             context: "check_containment (target box)",
@@ -162,7 +179,7 @@ pub fn check_containment_with_limit(
             // Decision query, not optimization: "does any point cross the
             // bound?" prunes against the fixed threshold, which collapses
             // the branch-and-bound tree whenever the bound holds with slack.
-            match decide_threshold(&m, node_limit, threshold)? {
+            match decide_threshold_with_stop(&m, node_limit, threshold, stop)? {
                 ThresholdDecision::Held => {}
                 ThresholdDecision::Exceeded { x, .. } => {
                     let input_witness = enc.input_vars.iter().map(|v| x[v.index()]).collect();

@@ -33,7 +33,7 @@
 //! text is snapshot-tested against the real parser in
 //! `tests/cli_help.rs`.
 
-use covern::absint::{BoxDomain, DomainKind};
+use covern::absint::{BoxDomain, DomainKind, SplitStrategy};
 use covern::core::artifact::Margin;
 use covern::core::method::LocalMethod;
 use covern::core::pipeline::ContinuousVerifier;
@@ -72,12 +72,21 @@ enlarge — domain-enlargement delta (SVuDC)
   --din F       the enlarged input domain                        [required]
   --store F     artifact store path            [default: covern-state.json]
   --splits N    bisection budget for local checks              [default: 64]
+  --refine-strategy S  local-check engine: widest | slack | portfolio |
+                       milp (B&B frontier heuristics, the refiner-vs-MILP
+                       race, or pure exact MILP)        [default: widest]
+  --deadline-ms N      anytime wall-clock budget per local check; on
+                       expiry the check answers unknown (the milp
+                       strategy is bounded by its node budget instead
+                       and ignores this flag)            [default: none]
 
 update — model-update delta (SVbTV)
   --network F   the fine-tuned network                           [required]
   --din F       optionally enlarge the domain in the same event
   --store F     artifact store path            [default: covern-state.json]
   --splits N    bisection budget for local checks              [default: 64]
+  --refine-strategy S  local-check engine (see enlarge) [default: widest]
+  --deadline-ms N      anytime deadline per local check [default: none]
 
 status — inspect the stored proof state
   --store F     artifact store path            [default: covern-state.json]
@@ -101,6 +110,8 @@ serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --session-threads N  per-session verifier thread budget        [default: 1]
   --inbox N            per-session bounded-inbox capacity       [default: 32]
   --splits N           bisection budget for local checks        [default: 256]
+  --refine-strategy S  local-check engine (see enlarge) [default: widest]
+  --deadline-ms N      anytime deadline per local check [default: none]
 
 exit codes: 0 property proved / clean shutdown; 2 unknown or refuted;
             1 usage, I/O, or protocol error
@@ -167,6 +178,48 @@ fn parse_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result
         .map(|v| v.unwrap_or(default))
 }
 
+/// Builds the local-check method from `--refine-strategy`, `--splits`,
+/// and `--deadline-ms`.
+///
+/// * `widest` / `slack` — parallel branch-and-bound refinement with the
+///   named frontier heuristic;
+/// * `portfolio` — race the refiner against exact MILP, first sound
+///   answer wins;
+/// * `milp` — pure exact MILP (ignores the deadline: MILP is bounded by
+///   its node budget instead).
+fn parse_method(flags: &HashMap<String, String>, splits: usize) -> Result<LocalMethod, String> {
+    let deadline_ms = flags
+        .get("deadline-ms")
+        .map(|s| s.parse::<u64>().map_err(|_| "--deadline-ms must be an integer".to_owned()))
+        .transpose()?;
+    let strategy = flags.get("refine-strategy").map(String::as_str).unwrap_or("widest");
+    let method = match strategy {
+        "widest" | "slack" => LocalMethod::Bnb {
+            domain: DomainKind::Symbolic,
+            strategy: if strategy == "widest" {
+                SplitStrategy::WidestDim
+            } else {
+                SplitStrategy::OutputSlack
+            },
+            max_splits: splits,
+            deadline_ms,
+        },
+        "portfolio" => LocalMethod::Portfolio {
+            domain: DomainKind::Symbolic,
+            max_splits: splits,
+            node_limit: covern::milp::query::DEFAULT_NODE_LIMIT,
+            deadline_ms,
+        },
+        "milp" => LocalMethod::Milp { node_limit: covern::milp::query::DEFAULT_NODE_LIMIT },
+        other => {
+            return Err(format!(
+                "--refine-strategy must be widest, slack, portfolio, or milp, got {other:?}"
+            ))
+        }
+    };
+    Ok(method)
+}
+
 fn load_box(path: &str) -> Result<BoxDomain, String> {
     let s = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let pairs: Vec<(f64, f64)> =
@@ -194,7 +247,7 @@ fn run() -> Result<bool, String> {
         .map(|s| s.parse().map_err(|_| "--splits must be an integer"))
         .transpose()?
         .unwrap_or(64);
-    let method = LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: splits };
+    let method = parse_method(&flags, splits)?;
 
     match cmd.as_str() {
         "verify" => {
@@ -312,10 +365,7 @@ fn run() -> Result<bool, String> {
                 workers: parse("workers", 0)? as usize,
                 session_threads: parse("session-threads", 1)?.max(1) as usize,
                 inbox_capacity: parse("inbox", 32)?.max(1) as usize,
-                method: LocalMethod::Refine {
-                    domain: DomainKind::Symbolic,
-                    max_splits: parse("splits", 256)? as usize,
-                },
+                method: parse_method(&flags, parse("splits", 256)? as usize)?,
             };
             let svc = service::Service::new(config);
             match flags.get("tcp") {

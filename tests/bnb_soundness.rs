@@ -1,0 +1,196 @@
+//! Property-based soundness and schedule-independence suite for the
+//! parallel branch-and-bound refiner (`absint::bnb`).
+//!
+//! The invariants, each over 64+ seeded random networks (proptest shim:
+//! seeds derive from the test name, so failures reproduce exactly):
+//!
+//! * the parallel B&B verdict is **identical** to the sequential
+//!   `refine::prove_forward_containment` verdict — not just the
+//!   proved/refuted classification but the whole outcome, witness bytes
+//!   included (the sequential path *is* the engine at one thread, and
+//!   the wave design makes the expansion schedule-independent);
+//! * `Proved` never coexists with a concrete violating sample;
+//! * every `Refuted` witness re-executes concretely to a real violation;
+//! * both frontier heuristics are sound.
+
+use covern::absint::bnb::{decide, BnbConfig, SplitStrategy};
+use covern::absint::refine::{prove_forward_containment, Outcome};
+use covern::absint::{reach_boxes, BoxDomain, DomainKind};
+use covern::nn::{Activation, Network};
+use covern::tensor::Rng;
+use proptest::prelude::*;
+
+fn case_net(seed: u64) -> Network {
+    let dims: &[usize] = match seed % 3 {
+        0 => &[2, 5, 1],
+        1 => &[3, 6, 4, 1],
+        _ => &[2, 4, 4, 2],
+    };
+    let mut rng = Rng::seeded(seed.wrapping_mul(0x9e37_79b9).wrapping_add(11));
+    Network::random(dims, Activation::Relu, Activation::Identity, &mut rng)
+}
+
+fn unit_box(dim: usize) -> BoxDomain {
+    BoxDomain::from_bounds(&vec![(-1.0, 1.0); dim]).expect("unit box")
+}
+
+/// A target sweeping from clearly violated to provable: the single-pass
+/// box reach hull shrunk around its center by `shrink` per dimension.
+fn swept_target(net: &Network, din: &BoxDomain, shrink: f64) -> BoxDomain {
+    let out = reach_boxes(net, din, DomainKind::Box).expect("reach").output().clone();
+    let bounds: Vec<(f64, f64)> = (0..out.dim())
+        .map(|i| {
+            let iv = out.interval(i);
+            let c = iv.center();
+            let hw = (0.5 * iv.width() * shrink).max(1e-6);
+            (c - hw, c + hw)
+        })
+        .collect();
+    BoxDomain::from_bounds(&bounds).expect("target box")
+}
+
+fn sample_in(b: &BoxDomain, rng: &mut Rng) -> Vec<f64> {
+    b.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parallel_verdict_equals_sequential_refine(
+        seed in 0u64..100_000,
+        shrink in 0.2f64..1.2,
+        threads in 2usize..8,
+    ) {
+        let net = case_net(seed);
+        let din = unit_box(net.input_dim());
+        let target = swept_target(&net, &din, shrink);
+        let budget = 200;
+        let sequential =
+            prove_forward_containment(&net, &din, &target, DomainKind::Symbolic, budget)
+                .expect("sequential refine runs");
+        let config = BnbConfig::new(DomainKind::Symbolic, budget).with_threads(threads);
+        let parallel = decide(&net, &din, &target, &config).expect("parallel bnb runs");
+        // Full outcome equality: classification AND witness bytes.
+        prop_assert!(
+            sequential == parallel.outcome,
+            "seed {}: {} threads diverged from the sequential path: {:?} vs {:?}",
+            seed, threads, sequential, parallel.outcome
+        );
+    }
+
+    #[test]
+    fn proved_never_coexists_with_violating_sample(
+        seed in 0u64..100_000,
+        shrink in 0.2f64..1.2,
+    ) {
+        let net = case_net(seed.wrapping_add(1_000_000));
+        let din = unit_box(net.input_dim());
+        let target = swept_target(&net, &din, shrink);
+        let config = BnbConfig::new(DomainKind::Symbolic, 300).with_threads(4);
+        let report = decide(&net, &din, &target, &config).expect("bnb runs");
+        if matches!(report.outcome, Outcome::Proved) {
+            let mut rng = Rng::seeded(seed ^ 0xabcd);
+            for _ in 0..100 {
+                let x = sample_in(&din, &mut rng);
+                let y = net.forward(&x).expect("forward");
+                prop_assert!(
+                    target.dilate(1e-9).contains(&y),
+                    "seed {}: Proved but sample {:?} -> {:?} violates", seed, x, y
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refuted_witness_replays_concretely(
+        seed in 0u64..100_000,
+        shrink in 0.1f64..0.9,
+        slack_heuristic in proptest::bool::ANY,
+    ) {
+        let net = case_net(seed.wrapping_add(2_000_000));
+        let din = unit_box(net.input_dim());
+        let target = swept_target(&net, &din, shrink);
+        let strategy =
+            if slack_heuristic { SplitStrategy::OutputSlack } else { SplitStrategy::WidestDim };
+        let config =
+            BnbConfig::new(DomainKind::Symbolic, 300).with_strategy(strategy).with_threads(3);
+        let report = decide(&net, &din, &target, &config).expect("bnb runs");
+        if let Outcome::Refuted(w) = &report.outcome {
+            prop_assert!(din.contains(w), "seed {}: witness escapes the input domain", seed);
+            let y = net.forward(w).expect("forward");
+            prop_assert!(
+                !target.contains(&y),
+                "seed {}: witness {:?} -> {:?} does not violate", seed, w, y
+            );
+        }
+    }
+
+    #[test]
+    fn heuristics_agree_on_decisive_answers(
+        seed in 0u64..100_000,
+        shrink in 0.2f64..1.2,
+    ) {
+        // Different frontier orders may resolve different budgets, but two
+        // sound engines can never be decisive AND contradictory.
+        let net = case_net(seed.wrapping_add(3_000_000));
+        let din = unit_box(net.input_dim());
+        let target = swept_target(&net, &din, shrink);
+        let base = BnbConfig::new(DomainKind::Symbolic, 300).with_threads(2);
+        let widest = decide(&net, &din, &target, &base).expect("widest runs");
+        let slack = decide(
+            &net,
+            &din,
+            &target,
+            &base.with_strategy(SplitStrategy::OutputSlack),
+        )
+        .expect("slack runs");
+        let contradictory = matches!(
+            (&widest.outcome, &slack.outcome),
+            (Outcome::Proved, Outcome::Refuted(_)) | (Outcome::Refuted(_), Outcome::Proved)
+        );
+        prop_assert!(
+            !contradictory,
+            "seed {}: widest said {:?}, slack said {:?}", seed, widest.outcome, slack.outcome
+        );
+    }
+}
+
+/// The CI smoke gate: one pinned case, 2 workers vs 1 worker, verdicts
+/// (and split accounting) byte-identical.
+#[test]
+fn two_thread_verdicts_equal_one_thread_smoke() {
+    for seed in [5u64, 17, 40] {
+        let net = case_net(seed);
+        let din = unit_box(net.input_dim());
+        for shrink in [0.3, 0.8, 1.1] {
+            let target = swept_target(&net, &din, shrink);
+            let base = BnbConfig::new(DomainKind::Symbolic, 250);
+            let one = decide(&net, &din, &target, &base).expect("1-thread run");
+            let two = decide(&net, &din, &target, &base.with_threads(2)).expect("2-thread run");
+            assert_eq!(one.outcome, two.outcome, "seed {seed} shrink {shrink}: verdict diverged");
+            assert_eq!(one.splits, two.splits, "seed {seed} shrink {shrink}: splits diverged");
+            assert_eq!(one.leaves_proved, two.leaves_proved);
+            assert_eq!(one.frontier_remaining, two.frontier_remaining);
+        }
+    }
+}
+
+/// Anytime behaviour: the deadline budget answers Unknown with partial
+/// progress instead of hanging — and a generous budget then finishes the
+/// same instance.
+#[test]
+fn deadline_is_anytime_not_wrong() {
+    let net = case_net(7);
+    let din = unit_box(net.input_dim());
+    let target = swept_target(&net, &din, 1.05);
+    let strangled = BnbConfig::new(DomainKind::Symbolic, 1_000_000)
+        .with_deadline(Some(std::time::Duration::ZERO));
+    let r = decide(&net, &din, &target, &strangled).expect("bnb runs");
+    assert_eq!(r.outcome, Outcome::Unknown);
+    assert!(r.deadline_hit, "a zero deadline must report deadline_hit");
+    assert!(r.frontier_remaining >= 1, "partial progress must name the open boxes");
+    let unhurried = BnbConfig::new(DomainKind::Symbolic, 100_000).with_threads(2);
+    let r2 = decide(&net, &din, &target, &unhurried).expect("bnb runs");
+    assert!(!matches!(r2.outcome, Outcome::Unknown) || r2.splits >= 100_000);
+}

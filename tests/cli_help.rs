@@ -43,12 +43,21 @@ enlarge — domain-enlargement delta (SVuDC)
   --din F       the enlarged input domain                        [required]
   --store F     artifact store path            [default: covern-state.json]
   --splits N    bisection budget for local checks              [default: 64]
+  --refine-strategy S  local-check engine: widest | slack | portfolio |
+                       milp (B&B frontier heuristics, the refiner-vs-MILP
+                       race, or pure exact MILP)        [default: widest]
+  --deadline-ms N      anytime wall-clock budget per local check; on
+                       expiry the check answers unknown (the milp
+                       strategy is bounded by its node budget instead
+                       and ignores this flag)            [default: none]
 
 update — model-update delta (SVbTV)
   --network F   the fine-tuned network                           [required]
   --din F       optionally enlarge the domain in the same event
   --store F     artifact store path            [default: covern-state.json]
   --splits N    bisection budget for local checks              [default: 64]
+  --refine-strategy S  local-check engine (see enlarge) [default: widest]
+  --deadline-ms N      anytime deadline per local check [default: none]
 
 status — inspect the stored proof state
   --store F     artifact store path            [default: covern-state.json]
@@ -72,6 +81,8 @@ serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --session-threads N  per-session verifier thread budget        [default: 1]
   --inbox N            per-session bounded-inbox capacity       [default: 32]
   --splits N           bisection budget for local checks        [default: 256]
+  --refine-strategy S  local-check engine (see enlarge) [default: widest]
+  --deadline-ms N      anytime deadline per local check [default: none]
 
 exit codes: 0 property proved / clean shutdown; 2 unknown or refuted;
             1 usage, I/O, or protocol error
@@ -109,8 +120,8 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
     // list — and the HELP text — must grow with it.
     let audited: &[(&str, &[&str])] = &[
         ("verify", &["network", "din", "dout", "store", "margin", "splits"]),
-        ("enlarge", &["din", "store", "splits"]),
-        ("update", &["network", "din", "store", "splits"]),
+        ("enlarge", &["din", "store", "splits", "refine-strategy", "deadline-ms"]),
+        ("update", &["network", "din", "store", "splits", "refine-strategy", "deadline-ms"]),
         ("status", &["store"]),
         (
             "campaign",
@@ -127,7 +138,19 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
                 "min-hits",
             ],
         ),
-        ("serve", &["stdio", "tcp", "workers", "session-threads", "inbox", "splits"]),
+        (
+            "serve",
+            &[
+                "stdio",
+                "tcp",
+                "workers",
+                "session-threads",
+                "inbox",
+                "splits",
+                "refine-strategy",
+                "deadline-ms",
+            ],
+        ),
     ];
     for (cmd, flags) in audited {
         let out = cli(&["help", cmd]);

@@ -83,16 +83,50 @@ fn cli_verify_enlarge_update_status() {
         .unwrap();
     assert!(out.status.success(), "update failed: {}", String::from_utf8_lossy(&out.stdout));
 
+    // a further enlargement through the portfolio engine (refiner racing
+    // MILP) with an anytime deadline generous enough to never fire
+    let din3_path = dir.join("din3.json");
+    std::fs::write(&din3_path, "[[-1.0, 1.15], [-1.0, 1.15]]").unwrap();
+    let out = cli()
+        .args([
+            "enlarge",
+            "--store",
+            store.to_str().unwrap(),
+            "--din",
+            din3_path.to_str().unwrap(),
+            "--splits",
+            "4000",
+            "--refine-strategy",
+            "portfolio",
+            "--deadline-ms",
+            "60000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "portfolio enlarge failed: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
     // status reflects a proved, advanced state
     let out = cli().args(["status", "--store", store.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("proof status: proved"), "status said: {stdout}");
-    assert!(stdout.contains("1.1"), "domain did not advance: {stdout}");
+    assert!(stdout.contains("1.15"), "domain did not advance: {stdout}");
 
     // garbage usage exits with failure
     let out = cli().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
+
+    // an unknown refine strategy is a usage error, not a silent default
+    let out = cli()
+        .args(["status", "--store", store.to_str().unwrap(), "--refine-strategy", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--refine-strategy"));
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,150 @@
+//! Differential test: the portfolio local-check method (branch-and-bound
+//! refiner racing exact MILP, `milp::bb::decide_threshold` underneath)
+//! against pure MILP, on every scenario of a seeded campaign corpus.
+//!
+//! Invariants:
+//!
+//! * on every containment instance the corpus produces — each scenario's
+//!   original problem plus the instance after every delta event — the
+//!   portfolio and pure-MILP classifications agree whenever both are
+//!   decisive (two sound engines cannot contradict);
+//! * the portfolio is never *less* decisive than MILP on these instances
+//!   (its MILP lane runs the same query, so a MILP-decidable instance is
+//!   portfolio-decidable);
+//! * every `Refuted` witness — from either method — re-executes
+//!   concretely and actually violates the property.
+
+use covern::absint::BoxDomain;
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::campaign::scenario::{DeltaEvent, Scenario};
+use covern::core::method::{check_local_containment_threads, LocalMethod};
+use covern::core::report::VerifyOutcome;
+use covern::milp::query::DEFAULT_NODE_LIMIT;
+use covern::nn::Network;
+
+fn portfolio(scenario: &Scenario) -> LocalMethod {
+    LocalMethod::Portfolio {
+        domain: scenario.domain,
+        max_splits: 400,
+        node_limit: DEFAULT_NODE_LIMIT,
+        deadline_ms: None,
+    }
+}
+
+const MILP: LocalMethod = LocalMethod::Milp { node_limit: DEFAULT_NODE_LIMIT };
+
+/// Every containment instance a scenario's trajectory visits: the
+/// original `(f, Din, Dout)` plus the instance after each delta.
+fn instances(s: &Scenario) -> Vec<(Network, BoxDomain, BoxDomain)> {
+    let mut net = s.network.clone();
+    let mut din = s.din.clone();
+    let mut dout = s.dout.clone();
+    let mut out = vec![(net.clone(), din.clone(), dout.clone())];
+    for ev in &s.events {
+        match ev {
+            DeltaEvent::DomainEnlarged(d) => din = d.clone(),
+            DeltaEvent::ModelUpdated(n) => net = n.clone(),
+            DeltaEvent::PropertyChanged(d) => dout = d.clone(),
+        }
+        out.push((net.clone(), din.clone(), dout.clone()));
+    }
+    out
+}
+
+fn check_witness(net: &Network, din: &BoxDomain, dout: &BoxDomain, w: &[f64], who: &str) {
+    assert!(din.contains(w), "{who}: witness {w:?} escapes the input domain");
+    let y = net.forward(w).expect("witness replays");
+    assert!(!dout.contains(&y), "{who}: witness {w:?} -> {y:?} does not violate {dout}");
+}
+
+#[test]
+fn portfolio_agrees_with_pure_milp_on_every_corpus_scenario() {
+    let corpus = generate(&CorpusConfig {
+        scenarios: 10,
+        families: 4,
+        events_per_scenario: 3,
+        seed: 20_260_728,
+        include_vehicle: false,
+    })
+    .expect("corpus generates");
+    let mut decisive = 0usize;
+    let mut checked = 0usize;
+    for scenario in &corpus {
+        let pf = portfolio(scenario);
+        for (net, din, dout) in instances(scenario) {
+            checked += 1;
+            let milp = check_local_containment_threads(&net, &din, &dout, &MILP, 1)
+                .expect("pure MILP runs");
+            let port =
+                check_local_containment_threads(&net, &din, &dout, &pf, 2).expect("portfolio runs");
+            if let VerifyOutcome::Refuted(w) = &milp {
+                check_witness(&net, &din, &dout, w, &format!("{} milp", scenario.name));
+            }
+            if let VerifyOutcome::Refuted(w) = &port {
+                check_witness(&net, &din, &dout, w, &format!("{} portfolio", scenario.name));
+            }
+            match (&milp, &port) {
+                (VerifyOutcome::Proved, VerifyOutcome::Refuted(_))
+                | (VerifyOutcome::Refuted(_), VerifyOutcome::Proved) => {
+                    panic!(
+                        "{}: portfolio contradicts exact MILP ({milp:?} vs {port:?})",
+                        scenario.name
+                    );
+                }
+                // The portfolio contains a MILP lane with the same node
+                // budget: where MILP alone decides, the race must too.
+                (VerifyOutcome::Proved | VerifyOutcome::Refuted(_), VerifyOutcome::Unknown) => {
+                    panic!(
+                        "{}: portfolio answered Unknown where pure MILP was decisive ({milp:?})",
+                        scenario.name
+                    );
+                }
+                _ => {}
+            }
+            if !matches!(milp, VerifyOutcome::Unknown) {
+                decisive += 1;
+            }
+        }
+    }
+    // The corpus must actually exercise the agreement, not vacuously pass.
+    assert!(checked >= 40, "corpus too small: {checked} instances");
+    assert!(decisive * 2 >= checked, "too few decisive instances: {decisive}/{checked}");
+}
+
+#[test]
+fn portfolio_verdicts_are_thread_and_rerun_stable() {
+    // Classification stability across thread budgets and reruns: the race
+    // decides *when* an engine answers, never *what* the answer is.
+    let corpus = generate(&CorpusConfig {
+        scenarios: 4,
+        families: 2,
+        events_per_scenario: 2,
+        seed: 99_173,
+        include_vehicle: false,
+    })
+    .expect("corpus generates");
+    let kind = |o: &VerifyOutcome| match o {
+        VerifyOutcome::Proved => 0u8,
+        VerifyOutcome::Refuted(_) => 1,
+        VerifyOutcome::Unknown => 2,
+    };
+    for scenario in &corpus {
+        let pf = portfolio(scenario);
+        for (net, din, dout) in instances(scenario) {
+            let base =
+                check_local_containment_threads(&net, &din, &dout, &pf, 1).expect("portfolio runs");
+            for threads in [2, 4] {
+                for _rerun in 0..2 {
+                    let again = check_local_containment_threads(&net, &din, &dout, &pf, threads)
+                        .expect("portfolio runs");
+                    assert_eq!(
+                        kind(&base),
+                        kind(&again),
+                        "{}: classification flapped across schedules",
+                        scenario.name
+                    );
+                }
+            }
+        }
+    }
+}
