@@ -251,6 +251,11 @@ impl BoxDomain {
 
     /// Image under only the affine part `W x + b` of a layer.
     ///
+    /// Runs on the layer's cached split-weight kernel
+    /// ([`covern_nn::DenseLayer::split_weights`]): both bounds propagate in
+    /// one fused, branch-free pass, bit-identical to the historical
+    /// sign-aware per-neuron interval accumulation.
+    ///
     /// # Errors
     ///
     /// Returns [`AbsintError::DimensionMismatch`] on arity mismatch.
@@ -262,16 +267,19 @@ impl BoxDomain {
                 actual: self.dim(),
             });
         }
-        let w = layer.weights();
-        let mut out = Vec::with_capacity(layer.out_dim());
-        for i in 0..layer.out_dim() {
-            let mut acc = Interval::point(layer.bias()[i]);
-            for (j, iv) in self.dims.iter().enumerate() {
-                acc = acc.add(&iv.scale(w.get(i, j)));
-            }
-            out.push(acc);
-        }
-        Ok(BoxDomain { dims: out })
+        let (lo, hi) = (self.lower(), self.upper());
+        let mut lo_out = vec![0.0; layer.out_dim()];
+        let mut hi_out = vec![0.0; layer.out_dim()];
+        layer.split_weights().fused_interval_matvec(
+            &lo,
+            &hi,
+            layer.bias(),
+            &mut lo_out,
+            &mut hi_out,
+        );
+        let dims =
+            lo_out.into_iter().zip(hi_out).map(|(l, h)| Interval::from_unordered(l, h)).collect();
+        Ok(BoxDomain { dims })
     }
 
     /// Image under a component-wise monotone activation.

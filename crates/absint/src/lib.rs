@@ -29,6 +29,8 @@
 //! round-off. Containment itself is evaluated with plain comparisons. Tests
 //! assert the conservative direction throughout.
 
+#![warn(missing_docs)]
+
 pub mod backward;
 pub mod bnb;
 pub mod box_domain;

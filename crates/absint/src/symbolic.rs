@@ -105,6 +105,13 @@ impl SymbolicState {
 
     /// Pushes the state through the affine part of a layer (exact on the
     /// coefficients).
+    ///
+    /// All three pieces of state ride the layer's cached split-weight kernel
+    /// ([`covern_nn::DenseLayer::split_weights`]): the coefficient matrices
+    /// as one fused interval matmul (row-axpy sweeps instead of per-entry
+    /// `get`/`set`), the constant terms and the concrete clamp as fused
+    /// interval matvecs. Results are bit-identical to the historical scalar
+    /// sign-dispatch loop, which accumulated in the same order.
     fn through_affine(&self, layer: &DenseLayer) -> Result<SymbolicState, AbsintError> {
         if self.dim() != layer.in_dim() {
             return Err(AbsintError::DimensionMismatch {
@@ -113,41 +120,28 @@ impl SymbolicState {
                 actual: self.dim(),
             });
         }
-        let w = layer.weights();
-        let (out_dim, d) = (layer.out_dim(), self.input.dim());
-        let mut lo_coef = Matrix::zeros(out_dim, d);
-        let mut hi_coef = Matrix::zeros(out_dim, d);
+        let split = layer.split_weights();
+        let out_dim = layer.out_dim();
+        // Symbolic coefficients: positive weights keep bound roles,
+        // negative weights swap them — exactly the fused interval product.
+        let (lo_coef, hi_coef) = split.fused_interval_matmul(&self.lo_coef, &self.hi_coef);
+        // Constant terms, seeded with the bias.
         let mut lo_const = vec![0.0; out_dim];
         let mut hi_const = vec![0.0; out_dim];
+        split.fused_interval_matvec(
+            &self.lo_const,
+            &self.hi_const,
+            layer.bias(),
+            &mut lo_const,
+            &mut hi_const,
+        );
         // Interval evaluation of W·clamp + b for the affine clamp.
-        let mut clamp = Vec::with_capacity(out_dim);
-        for i in 0..out_dim {
-            lo_const[i] = layer.bias()[i];
-            hi_const[i] = layer.bias()[i];
-            let mut clamp_acc = Interval::point(layer.bias()[i]);
-            for j in 0..layer.in_dim() {
-                let wij = w.get(i, j);
-                clamp_acc = clamp_acc.add(&self.clamp[j].scale(wij));
-                if wij == 0.0 {
-                    continue;
-                }
-                // Positive weight keeps bound roles, negative swaps them.
-                let (src_lo_coef, src_lo_const, src_hi_coef, src_hi_const) = if wij >= 0.0 {
-                    (self.lo_coef.row(j), self.lo_const[j], self.hi_coef.row(j), self.hi_const[j])
-                } else {
-                    (self.hi_coef.row(j), self.hi_const[j], self.lo_coef.row(j), self.lo_const[j])
-                };
-                for k in 0..d {
-                    let lv = lo_coef.get(i, k) + wij * src_lo_coef[k];
-                    lo_coef.set(i, k, lv);
-                    let hv = hi_coef.get(i, k) + wij * src_hi_coef[k];
-                    hi_coef.set(i, k, hv);
-                }
-                lo_const[i] += wij * src_lo_const;
-                hi_const[i] += wij * src_hi_const;
-            }
-            clamp.push(clamp_acc);
-        }
+        let clamp_lo: Vec<f64> = self.clamp.iter().map(Interval::lo).collect();
+        let clamp_hi: Vec<f64> = self.clamp.iter().map(Interval::hi).collect();
+        let mut clo = vec![0.0; out_dim];
+        let mut chi = vec![0.0; out_dim];
+        split.fused_interval_matvec(&clamp_lo, &clamp_hi, layer.bias(), &mut clo, &mut chi);
+        let clamp = clo.into_iter().zip(chi).map(|(l, h)| Interval::from_unordered(l, h)).collect();
         Ok(SymbolicState { input: self.input.clone(), lo_coef, lo_const, hi_coef, hi_const, clamp })
     }
 

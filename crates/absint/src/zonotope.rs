@@ -10,7 +10,7 @@ use crate::box_domain::BoxDomain;
 use crate::error::AbsintError;
 use crate::interval::Interval;
 use covern_nn::{Activation, DenseLayer};
-use covern_tensor::Matrix;
+use covern_tensor::{kernels, Matrix};
 
 /// A zonotope `{ c + G·e : e ∈ [-1,1]^g }` over `n` neurons, intersected
 /// with a per-neuron concrete clamp interval.
@@ -75,6 +75,12 @@ impl Zonotope {
     }
 
     /// Exact image under the affine part of a layer.
+    ///
+    /// The whole generator matrix propagates as a single cache-blocked
+    /// matrix product ([`kernels::matmul`]) instead of per-generator
+    /// matvecs, and the concrete clamp rides the layer's cached
+    /// split-weight kernel — both bit-identical to the naive loops they
+    /// replace.
     fn through_affine(&self, layer: &DenseLayer) -> Result<Zonotope, AbsintError> {
         if self.dim() != layer.in_dim() {
             return Err(AbsintError::DimensionMismatch {
@@ -87,16 +93,20 @@ impl Zonotope {
         for (c, b) in center.iter_mut().zip(layer.bias().iter()) {
             *c += b;
         }
-        let generators = layer.weights().matmul(&self.generators);
+        let generators = kernels::matmul(layer.weights(), &self.generators);
         // Interval evaluation of W·clamp + b for the affine clamp.
-        let mut clamp = Vec::with_capacity(layer.out_dim());
-        for i in 0..layer.out_dim() {
-            let mut acc = Interval::point(layer.bias()[i]);
-            for (j, c) in self.clamp.iter().enumerate() {
-                acc = acc.add(&c.scale(layer.weights().get(i, j)));
-            }
-            clamp.push(acc);
-        }
+        let clamp_lo: Vec<f64> = self.clamp.iter().map(Interval::lo).collect();
+        let clamp_hi: Vec<f64> = self.clamp.iter().map(Interval::hi).collect();
+        let mut clo = vec![0.0; layer.out_dim()];
+        let mut chi = vec![0.0; layer.out_dim()];
+        layer.split_weights().fused_interval_matvec(
+            &clamp_lo,
+            &clamp_hi,
+            layer.bias(),
+            &mut clo,
+            &mut chi,
+        );
+        let clamp = clo.into_iter().zip(chi).map(|(l, h)| Interval::from_unordered(l, h)).collect();
         Ok(Zonotope { center, generators, clamp })
     }
 
@@ -129,16 +139,15 @@ impl Zonotope {
             let iv = self.concretize_neuron(i);
             let (l, u) = (iv.lo(), iv.hi());
             clamp.push(iv.monotone_image(|z| if z >= 0.0 { z } else { alpha * z }));
+            let src = self.generators.row(i);
             if l >= 0.0 {
                 // Stable active: copy row unchanged.
-                for k in 0..g {
-                    generators.set(i, k, self.generators.get(i, k));
-                }
+                generators.row_mut(i)[..g].copy_from_slice(src);
             } else if u <= 0.0 {
                 // Stable inactive: exact scaling by alpha.
                 *ci *= alpha;
-                for k in 0..g {
-                    generators.set(i, k, alpha * self.generators.get(i, k));
+                for (dst, &v) in generators.row_mut(i)[..g].iter_mut().zip(src) {
+                    *dst = alpha * v;
                 }
             } else {
                 // Unstable: DeepZ relaxation for act(z) = max(alpha·z, z).
@@ -146,8 +155,8 @@ impl Zonotope {
                 let s = (u - alpha * l) / (u - l);
                 let mu = 0.5 * (s - alpha) * (-l);
                 *ci = s * *ci + mu;
-                for k in 0..g {
-                    generators.set(i, k, s * self.generators.get(i, k));
+                for (dst, &v) in generators.row_mut(i)[..g].iter_mut().zip(src) {
+                    *dst = s * v;
                 }
                 let fresh = g + unstable.iter().position(|&j| j == i).expect("indexed above");
                 generators.set(i, fresh, mu);

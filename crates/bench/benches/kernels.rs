@@ -1,0 +1,212 @@
+//! The batched kernel layer versus the naive per-vector paths it replaced
+//! (PR 5): batched network forward, fused deep-net interval propagation,
+//! and the zonotope generator matmul.
+//!
+//! Before any timing the setup asserts the kernel results are **identical**
+//! to the naive reference — these benches double as the cheap differential
+//! gate on the bit-compatibility promise (`tests/kernel_equivalence.rs` is
+//! the thorough one). Speedup summary lines (`kernels/…: Nx`) are printed
+//! so runs can be compared without post-processing; the committed
+//! trajectory lives in `docs/BENCHMARKS.md`.
+
+use covern_absint::{BoxDomain, Interval};
+use covern_nn::{Activation, DenseLayer, Network};
+use covern_tensor::kernels;
+use covern_tensor::{Matrix, Rng};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// Batch size for the forward benchmark — the acceptance bar is ≥ 64
+/// points; campaign replays and B&B waves sit in this range.
+const BATCH: usize = 256;
+
+/// The historical box-transformer affine step (sign-aware `Interval`
+/// accumulation per neuron), kept as the naive baseline.
+fn naive_interval_affine(layer: &DenseLayer, input: &[Interval]) -> Vec<Interval> {
+    let w = layer.weights();
+    let mut out = Vec::with_capacity(layer.out_dim());
+    for i in 0..layer.out_dim() {
+        let mut acc = Interval::point(layer.bias()[i]);
+        for (j, iv) in input.iter().enumerate() {
+            acc = acc.add(&iv.scale(w.get(i, j)));
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Naive whole-network interval propagation (affine + activation image),
+/// without the split-weight kernels.
+fn naive_box_reach(net: &Network, input: &BoxDomain) -> BoxDomain {
+    let mut dims: Vec<Interval> = input.intervals().to_vec();
+    for layer in net.layers() {
+        let pre = naive_interval_affine(layer, &dims);
+        dims = pre.iter().map(|iv| iv.monotone_image(|x| layer.activation().apply(x))).collect();
+    }
+    BoxDomain::new(dims)
+}
+
+fn median_secs(mut f: impl FnMut(), reps: usize) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(3))
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench_batched_forward(c: &mut Criterion) {
+    let mut rng = Rng::seeded(55_2021);
+    let net =
+        Network::random(&[16, 64, 64, 64, 16], Activation::Relu, Activation::Identity, &mut rng);
+    let x = Matrix::from_fn(BATCH, 16, |_, _| rng.uniform(-1.0, 1.0));
+
+    // Gate: batch rows are bit-identical to single forward passes.
+    let batched = net.forward_batch(&x).expect("batch forward");
+    for p in 0..BATCH {
+        assert_eq!(
+            batched.row(p),
+            net.forward(x.row(p)).expect("single forward").as_slice(),
+            "batch row {p} diverged from single forward"
+        );
+    }
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function(format!("forward_naive_{BATCH}pts"), |b| {
+        b.iter(|| {
+            for p in 0..BATCH {
+                black_box(net.forward(x.row(p)).expect("single forward"));
+            }
+        })
+    });
+    group.bench_function(format!("forward_batch_{BATCH}pts"), |b| {
+        b.iter(|| black_box(net.forward_batch(&x).expect("batch forward")))
+    });
+    group.finish();
+
+    let naive = median_secs(
+        || {
+            for p in 0..BATCH {
+                black_box(net.forward(x.row(p)).expect("single forward"));
+            }
+        },
+        9,
+    );
+    let batch = median_secs(|| drop(black_box(net.forward_batch(&x).expect("batch forward"))), 9);
+    println!(
+        "kernels/forward-speedup: {BATCH} pts, naive {:.1} µs, batch {:.1} µs ({:.2}x)",
+        naive * 1e6,
+        batch * 1e6,
+        naive / batch
+    );
+}
+
+fn bench_interval_propagation(c: &mut Criterion) {
+    let mut rng = Rng::seeded(56_2021);
+    let dims: Vec<usize> =
+        std::iter::once(8).chain(std::iter::repeat_n(48, 12)).chain([4]).collect();
+    let net = Network::random(&dims, Activation::Relu, Activation::Identity, &mut rng);
+    let input = BoxDomain::from_bounds(&[(-1.0, 1.0); 8]).expect("input box");
+
+    // Gate: the fused kernel path reproduces the naive bounds exactly.
+    let fused = {
+        let mut b = input.clone();
+        for layer in net.layers() {
+            b = b.through_layer(layer).expect("fused propagation");
+        }
+        b
+    };
+    let naive = naive_box_reach(&net, &input);
+    assert_eq!(fused.lower(), naive.lower(), "fused lower bounds diverged");
+    assert_eq!(fused.upper(), naive.upper(), "fused upper bounds diverged");
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("interval_naive_deepnet", |b| {
+        b.iter(|| black_box(naive_box_reach(&net, &input)))
+    });
+    group.bench_function("interval_fused_deepnet", |b| {
+        b.iter(|| {
+            let mut bx = input.clone();
+            for layer in net.layers() {
+                bx = bx.through_layer(layer).expect("fused propagation");
+            }
+            black_box(bx)
+        })
+    });
+    group.finish();
+
+    let t_naive = median_secs(|| drop(black_box(naive_box_reach(&net, &input))), 15);
+    let t_fused = median_secs(
+        || {
+            let mut bx = input.clone();
+            for layer in net.layers() {
+                bx = bx.through_layer(layer).expect("fused propagation");
+            }
+            drop(black_box(bx));
+        },
+        15,
+    );
+    println!(
+        "kernels/interval-speedup: {} layers, naive {:.1} µs, fused {:.1} µs ({:.2}x)",
+        net.num_layers(),
+        t_naive * 1e6,
+        t_fused * 1e6,
+        t_naive / t_fused
+    );
+}
+
+/// Per-generator propagation: one matvec per generator column, the way a
+/// non-batched zonotope transformer would push noise symbols through a
+/// layer. Kept as the conceptual baseline for the single-matmul path.
+fn per_generator_matvecs(w: &Matrix, gens: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(w.rows(), gens.cols());
+    for j in 0..gens.cols() {
+        let col: Vec<f64> = gens.col_iter(j).collect();
+        for (i, v) in w.matvec(&col).into_iter().enumerate() {
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+fn bench_generator_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seeded(57_2021);
+    // Zonotope-shaped operands: a 64×64 layer acting on a 64×192 generator
+    // matrix (64 box symbols + 128 accumulated ReLU symbols).
+    let w = Matrix::from_fn(64, 64, |_, _| rng.uniform(-1.0, 1.0));
+    let gens = Matrix::from_fn(64, 192, |_, _| rng.uniform(-1.0, 1.0));
+    // Gates: the kernel agrees with both the naive triple loop (bit-exact)
+    // and the per-generator matvec formulation.
+    assert_eq!(kernels::matmul(&w, &gens), w.matmul(&gens), "kernel matmul diverged");
+    let per_gen = per_generator_matvecs(&w, &gens);
+    assert_eq!(kernels::matmul(&w, &gens), per_gen, "per-generator baseline diverged");
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function("generators_per_matvec_64x192", |b| {
+        b.iter(|| black_box(per_generator_matvecs(&w, &gens)))
+    });
+    group.bench_function("generators_matmul_64x192", |b| {
+        b.iter(|| black_box(kernels::matmul(&w, &gens)))
+    });
+    group.finish();
+
+    let t_naive = median_secs(|| drop(black_box(per_generator_matvecs(&w, &gens))), 9);
+    let t_kernel = median_secs(|| drop(black_box(kernels::matmul(&w, &gens))), 9);
+    println!(
+        "kernels/generator-speedup: 64x64 layer, 192 generators, per-matvec {:.1} µs, matmul {:.1} µs ({:.2}x)",
+        t_naive * 1e6,
+        t_kernel * 1e6,
+        t_naive / t_kernel
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_batched_forward,
+    bench_interval_propagation,
+    bench_generator_matmul
+);
+criterion_main!(benches);

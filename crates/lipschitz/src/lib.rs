@@ -15,6 +15,8 @@
 //! * [`sample::sampled_lower_bound`] — an empirical *lower* bound used to
 //!   validate the certified bounds (never for proofs).
 
+#![warn(missing_docs)]
+
 pub mod bound;
 pub mod local;
 pub mod sample;

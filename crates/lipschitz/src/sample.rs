@@ -7,11 +7,17 @@
 use crate::bound::NormKind;
 use covern_absint::box_domain::BoxDomain;
 use covern_nn::Network;
-use covern_tensor::{vector, Rng};
+use covern_tensor::{vector, Matrix, Rng};
 
 /// Empirical lower bound on the Lipschitz constant of `net` over `input`:
 /// the maximum observed `|f(x1) − f(x2)| / |x1 − x2|` over `pairs` random
 /// pairs (plus local finite-difference probes around each sample).
+///
+/// All `3 · pairs` sample points are generated first (one RNG sweep, same
+/// draw order as the historical per-pair loop) and evaluated in a single
+/// [`Network::forward_batch`] call, whose rows are bit-identical to
+/// one-point [`Network::forward`] — so the estimate is unchanged, only the
+/// replay is batched.
 ///
 /// # Panics
 ///
@@ -26,39 +32,51 @@ pub fn sampled_lower_bound(
 ) -> f64 {
     assert_eq!(input.dim(), net.input_dim(), "input box arity mismatch");
     assert!(pairs > 0, "need at least one pair");
+    let dim = input.dim();
     let dist = |a: &[f64], b: &[f64]| match norm {
         NormKind::L1 => a.iter().zip(b.iter()).map(|(x, y)| (x - y).abs()).sum::<f64>(),
         NormKind::L2 => vector::dist_l2(a, b),
         NormKind::Linf => vector::dist_linf(a, b),
     };
-    let sample = |rng: &mut Rng| -> Vec<f64> {
-        input
-            .intervals()
-            .iter()
-            .map(|iv| if iv.width() > 0.0 { rng.uniform(iv.lo(), iv.hi()) } else { iv.lo() })
-            .collect()
+    let sample = |rng: &mut Rng, out: &mut Vec<f64>| {
+        out.extend(input.intervals().iter().map(|iv| {
+            if iv.width() > 0.0 {
+                rng.uniform(iv.lo(), iv.hi())
+            } else {
+                iv.lo()
+            }
+        }));
     };
-    let mut best: f64 = 0.0;
+    // Generation pass: rows 3p / 3p+1 / 3p+2 hold pair p's x1 / x2 / x3.
+    let mut flat = Vec::with_capacity(3 * pairs * dim);
     for _ in 0..pairs {
-        let x1 = sample(rng);
+        let x1_start = flat.len();
+        sample(rng, &mut flat);
         // Pair: an independent point, plus a nearby perturbation (gradients
         // are revealed by close pairs).
-        let x2 = sample(rng);
-        let mut x3 = x1.clone();
-        let d = rng.index(x3.len());
+        sample(rng, &mut flat);
+        let x3_start = flat.len();
+        flat.extend_from_within(x1_start..x1_start + dim);
+        let d = rng.index(dim);
         let iv = input.interval(d);
         if iv.width() > 0.0 {
             let step = (iv.width() * 1e-4).max(1e-9);
-            x3[d] = (x3[d] + step).min(iv.hi());
+            flat[x3_start + d] = (flat[x3_start + d] + step).min(iv.hi());
         }
-        for other in [&x2, &x3] {
-            let dx = dist(&x1, other);
+    }
+    // Replay pass: one batched forward over every probe point.
+    let batch = Matrix::from_vec(3 * pairs, dim, flat);
+    let outputs = net.forward_batch(&batch).expect("dimension checked");
+    let mut best: f64 = 0.0;
+    for p in 0..pairs {
+        let x1 = batch.row(3 * p);
+        let y1 = outputs.row(3 * p);
+        for other in [3 * p + 1, 3 * p + 2] {
+            let dx = dist(x1, batch.row(other));
             if dx == 0.0 {
                 continue;
             }
-            let y1 = net.forward(&x1).expect("dimension checked");
-            let y2 = net.forward(other).expect("dimension checked");
-            let slope = dist(&y1, &y2) / dx;
+            let slope = dist(y1, outputs.row(other)) / dx;
             best = best.max(slope);
         }
     }

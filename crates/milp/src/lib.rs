@@ -35,6 +35,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bb;
 pub mod encode;
 pub mod error;

@@ -2,6 +2,7 @@
 
 use covern_absint::box_domain::BoxDomain;
 use covern_absint::interval::Interval;
+use covern_tensor::Matrix;
 use serde::{Deserialize, Serialize};
 
 /// Verdict of a monitor check for one observation.
@@ -97,6 +98,27 @@ impl BoxMonitor {
         }
     }
 
+    /// Fits over a whole batch of observations at once, one per row.
+    ///
+    /// The batched counterpart of [`observe`](Self::observe) for replaying
+    /// recorded activation traces (e.g. a training set's feature matrix):
+    /// one contiguous sweep over the buffer instead of a bounds-checked call
+    /// per frame. Equivalent to observing each row in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.cols() != self.dim()`.
+    pub fn observe_batch(&mut self, rows: &Matrix) {
+        assert_eq!(rows.cols(), self.dim, "observation arity mismatch");
+        for i in 0..rows.rows() {
+            for (j, &v) in rows.row(i).iter().enumerate() {
+                self.lo[j] = self.lo[j].min(v);
+                self.hi[j] = self.hi[j].max(v);
+            }
+        }
+        self.count += rows.rows();
+    }
+
     /// Finalises fitting, producing a monitor whose bounds include the
     /// buffer. Returns `None` if no observation was made.
     pub fn into_fitted(self) -> Option<FittedMonitor> {
@@ -151,6 +173,32 @@ impl FittedMonitor {
             Verdict::OutOfBounds(violating)
         }
     }
+
+    /// Checks a whole batch of observations (one per row), returning one
+    /// verdict per row.
+    ///
+    /// The batched replay primitive: in-bound rows allocate nothing (the
+    /// common case when replaying nominal traces), and the scan is one
+    /// contiguous sweep. Row `i`'s verdict equals `self.check(rows.row(i))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.cols()` differs from the monitor dimension.
+    pub fn check_batch(&self, rows: &Matrix) -> Vec<Verdict> {
+        assert_eq!(rows.cols(), self.bounds.dim(), "observation arity mismatch");
+        (0..rows.rows())
+            .map(|i| {
+                let row = rows.row(i);
+                let in_bounds =
+                    row.iter().enumerate().all(|(j, &v)| self.bounds.interval(j).contains(v));
+                if in_bounds {
+                    Verdict::Within
+                } else {
+                    self.check(row)
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -192,6 +240,35 @@ mod tests {
         let fitted = mon.into_fitted().unwrap();
         for p in &pts {
             assert!(fitted.check(p).is_within());
+        }
+    }
+
+    #[test]
+    fn observe_batch_matches_sequential_observe() {
+        let rows = Matrix::from_rows(&[&[1.0, -1.0], &[3.0, 2.0], &[-0.5, 0.0]]);
+        let mut batched = BoxMonitor::new(2, 0.25);
+        batched.observe_batch(&rows);
+        let mut sequential = BoxMonitor::new(2, 0.25);
+        for i in 0..rows.rows() {
+            sequential.observe(rows.row(i));
+        }
+        assert_eq!(batched.count(), 3);
+        assert_eq!(
+            batched.into_fitted().unwrap().bounds(),
+            sequential.into_fitted().unwrap().bounds()
+        );
+    }
+
+    #[test]
+    fn check_batch_matches_per_row_check() {
+        let mut mon = BoxMonitor::new(2, 0.0);
+        mon.observe_batch(&Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]));
+        let fitted = mon.into_fitted().unwrap();
+        let probes = Matrix::from_rows(&[&[0.5, 0.5], &[1.5, 0.5], &[-0.5, 2.0]]);
+        let verdicts = fitted.check_batch(&probes);
+        assert_eq!(verdicts.len(), 3);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(*v, fitted.check(probes.row(i)), "row {i}");
         }
     }
 

@@ -13,6 +13,8 @@
 //! ordered sequence of domain-enlargement events that Table I's SVuDC rows
 //! consume.
 
+#![warn(missing_docs)]
+
 pub mod boxmon;
 pub mod multibox;
 pub mod record;

@@ -20,6 +20,8 @@
 //! 4. [`merge::MergePlan::split_group`] — refinement: undo one merge group
 //!    when the abstraction is too coarse (a false positive).
 
+#![warn(missing_docs)]
+
 pub mod classify;
 pub mod cover;
 pub mod error;

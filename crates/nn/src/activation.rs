@@ -48,6 +48,17 @@ impl Activation {
         xs.iter().map(|&x| self.apply(x)).collect()
     }
 
+    /// Applies the activation to every element of a buffer in place.
+    ///
+    /// The allocation-free counterpart of [`apply_vec`](Self::apply_vec)
+    /// used by the batched forward kernels, where the buffer is a whole
+    /// `N × out_dim` matrix of pre-activations.
+    pub fn apply_in_place(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
     /// Derivative at `x` (sub-gradient `0` is used at the ReLU kink).
     #[inline]
     pub fn derivative(&self, x: f64) -> f64 {

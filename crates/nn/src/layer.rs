@@ -2,8 +2,59 @@
 
 use crate::activation::Activation;
 use crate::error::NnError;
+use covern_tensor::kernels::{self, SplitMatrix};
 use covern_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// The compiled kernel forms of one layer's weights: the sign-split matrix
+/// the fused interval transformers run on, and the packed transpose the
+/// batched forward kernel streams.
+#[derive(Debug)]
+struct LayerKernel {
+    split: SplitMatrix,
+    /// `in_dim × out_dim` transpose of the weights.
+    wt: Matrix,
+}
+
+/// Lazily compiled kernel state of a layer ([`LayerKernel`]).
+///
+/// Never serialized (`#[serde(skip)]`), never compared (all caches are
+/// equal), and never cloned (a clone starts empty and recompiles on first
+/// use) — it is a pure derivative of the weight matrix, invalidated by
+/// [`DenseLayer::weights_mut`].
+pub(crate) struct KernelCache(OnceLock<LayerKernel>);
+
+impl Default for KernelCache {
+    fn default() -> Self {
+        Self(OnceLock::new())
+    }
+}
+
+impl Clone for KernelCache {
+    /// Clones start cold: the split weights recompile lazily against the
+    /// (possibly about-to-be-mutated) cloned weights.
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl PartialEq for KernelCache {
+    /// Caches never participate in layer equality.
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.get().is_some() {
+            "KernelCache(compiled)"
+        } else {
+            "KernelCache(cold)"
+        })
+    }
+}
 
 /// One network layer in the paper's decomposition `f = g_n ⊗ … ⊗ g_1`:
 /// an affine transform followed by a component-wise activation.
@@ -24,6 +75,9 @@ pub struct DenseLayer {
     weights: Matrix,
     bias: Vec<f64>,
     activation: Activation,
+    /// Lazily compiled split weights; see [`Self::split_weights`].
+    #[serde(skip)]
+    kernel: KernelCache,
 }
 
 impl DenseLayer {
@@ -41,7 +95,7 @@ impl DenseLayer {
                 actual: bias.len(),
             });
         }
-        Ok(Self { weights, bias, activation })
+        Ok(Self { weights, bias, activation, kernel: KernelCache::default() })
     }
 
     /// Convenience constructor from row slices.
@@ -60,7 +114,7 @@ impl DenseLayer {
     pub fn random(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut Rng) -> Self {
         let std_dev = (2.0 / in_dim.max(1) as f64).sqrt();
         let weights = Matrix::from_fn(out_dim, in_dim, |_, _| rng.normal_with(0.0, std_dev));
-        Self { weights, bias: vec![0.0; out_dim], activation }
+        Self { weights, bias: vec![0.0; out_dim], activation, kernel: KernelCache::default() }
     }
 
     /// Input dimension.
@@ -79,8 +133,31 @@ impl DenseLayer {
     }
 
     /// Mutable weight matrix (used by the trainer).
+    ///
+    /// Invalidates the cached split-weight kernel: the next
+    /// [`split_weights`](Self::split_weights) call recompiles against the
+    /// mutated weights.
     pub fn weights_mut(&mut self) -> &mut Matrix {
+        self.kernel = KernelCache::default();
         &mut self.weights
+    }
+
+    /// The layer's compiled kernel forms, built on first use.
+    fn kernel(&self) -> &LayerKernel {
+        self.kernel.0.get_or_init(|| LayerKernel {
+            split: SplitMatrix::compile(&self.weights),
+            wt: kernels::pack_transpose(&self.weights),
+        })
+    }
+
+    /// The layer's split-weight kernel (`max(W,0)` / `min(W,0)`), compiled
+    /// on first use and cached until the weights are mutated.
+    ///
+    /// This is what the abstract transformers in `covern-absint` run their
+    /// fused interval propagation on; caching it here means branch-and-bound
+    /// pays the split once per layer instead of once per explored subbox.
+    pub fn split_weights(&self) -> &SplitMatrix {
+        &self.kernel().split
     }
 
     /// The bias vector.
@@ -124,6 +201,22 @@ impl DenseLayer {
     /// Panics if `x.len() != self.in_dim()`.
     pub fn forward(&self, x: &[f64]) -> Vec<f64> {
         self.activation.apply_vec(&self.pre_activation(x))
+    }
+
+    /// The layer function applied to a batch of points (one per row of
+    /// `x`): `act(x · Wᵀ + b)` as a single matrix product.
+    ///
+    /// Row `p` of the result is bit-identical to `self.forward(x.row(p))` —
+    /// the batched kernel keeps each output's reduction order unchanged —
+    /// so batching is purely a throughput decision, never a numeric one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.in_dim()`.
+    pub fn forward_batch(&self, x: &Matrix) -> Matrix {
+        let mut y = kernels::batch_affine_packed(x, &self.kernel().wt, &self.bias);
+        self.activation.apply_in_place(y.as_mut_slice());
+        y
     }
 
     /// Largest absolute difference in weights or bias with `other`.

@@ -3,7 +3,7 @@
 use crate::activation::Activation;
 use crate::error::NnError;
 use crate::layer::DenseLayer;
-use covern_tensor::Rng;
+use covern_tensor::{Matrix, Rng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -132,6 +132,56 @@ impl Network {
         let mut v = x.to_vec();
         for layer in &self.layers {
             v = layer.forward(&v);
+        }
+        Ok(v)
+    }
+
+    /// Full forward pass over a batch of points, one per row of `x`, as one
+    /// matrix product per layer.
+    ///
+    /// This is the batched evaluation API every replay hot path runs on —
+    /// branch-and-bound concrete probes, Lipschitz sampling, campaign
+    /// replays. Row `p` of the result is bit-identical to
+    /// `self.forward(x.row(p))` (see [`DenseLayer::forward_batch`]), so
+    /// callers may batch freely without changing any verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `x.cols()` differs from
+    /// [`input_dim`](Self::input_dim).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use covern_nn::{Activation, DenseLayer, Network};
+    /// use covern_tensor::Matrix;
+    ///
+    /// # fn main() -> Result<(), covern_nn::NnError> {
+    /// let net = Network::new(vec![
+    ///     DenseLayer::from_rows(&[&[2.0], &[-1.0]], &[0.0, 0.0], Activation::Relu),
+    ///     DenseLayer::from_rows(&[&[1.0, 1.0]], &[0.0], Activation::Identity),
+    /// ])?;
+    /// let batch = Matrix::from_rows(&[&[3.0], &[-2.0]]);
+    /// let out = net.forward_batch(&batch)?;
+    /// assert_eq!(out.row(0), net.forward(&[3.0])?.as_slice());
+    /// assert_eq!(out.row(1), net.forward(&[-2.0])?.as_slice());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn forward_batch(&self, x: &Matrix) -> Result<Matrix, NnError> {
+        if x.cols() != self.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                context: "Network::forward_batch (input columns)",
+                expected: self.input_dim(),
+                actual: x.cols(),
+            });
+        }
+        // The first layer reads straight off the caller's batch (layers
+        // never mutate their input), so no up-front copy of a potentially
+        // large point matrix; `new` guarantees at least one layer.
+        let mut v = self.layers[0].forward_batch(x);
+        for layer in &self.layers[1..] {
+            v = layer.forward_batch(&v);
         }
         Ok(v)
     }

@@ -1,0 +1,160 @@
+//! In-repo shim for the `criterion` API subset the bench targets use.
+//!
+//! No statistics engine, no plots — each `bench_function` does a short
+//! warm-up, then times a fixed number of batched samples and prints the
+//! per-iteration mean and min. That is enough for the BENCH trajectory to
+//! compare hot-path changes while staying dependency-free; the bench
+//! *sources* remain criterion-compatible so the real crate can be swapped
+//! back in when a registry is available.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point for the opaque-value helper criterion users expect.
+pub use std::hint::black_box;
+
+/// Top-level handle passed to every bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    /// Ten samples by default; the `COVERN_BENCH_SAMPLES` environment
+    /// variable overrides it (CI's bench-smoke job sets it low so bench
+    /// binaries double as cheap regression probes). Explicit
+    /// [`BenchmarkGroup::sample_size`] calls in a bench source still win.
+    fn default() -> Self {
+        let sample_size = std::env::var("COVERN_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(10);
+        Criterion { sample_size }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: self }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    ///
+    /// When `COVERN_BENCH_SAMPLES` is set it acts as a ceiling, so CI's
+    /// reduced-sample smoke runs stay fast even for bench sources that ask
+    /// for large sample counts.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let ceiling = std::env::var("COVERN_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(usize::MAX);
+        self.sample_size = n.max(1).min(ceiling);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; its [`iter`] method
+/// times the workload.
+///
+/// [`iter`]: Bencher::iter
+pub struct Bencher {
+    samples: Vec<Duration>,
+    n_samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per configured sample count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch sizing: aim for samples of at least ~1 ms so
+        // Instant overhead stays negligible for fast workloads.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        for _ in 0..self.n_samples {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        n_samples: sample_size,
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    let per_iter: Vec<f64> =
+        b.samples.iter().map(|d| d.as_secs_f64() / b.iters_per_sample as f64).collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{id}: mean {:.3} µs/iter, min {:.3} µs/iter ({} samples × {} iters)",
+        mean * 1e6,
+        min * 1e6,
+        per_iter.len(),
+        b.iters_per_sample
+    );
+}
+
+/// Declares a group function running the given bench functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -9,8 +9,13 @@
 //! * tuple structs,
 //! * enums whose variants are unit or tuple variants.
 //!
-//! Generics, struct variants, and `#[serde(...)]` attributes are not
-//! supported and produce a compile error pointing here.
+//! Generics and struct variants are not supported and produce a compile
+//! error pointing here. The only `#[serde(...)]` attribute understood is
+//! `#[serde(skip)]` on a named-struct field: the field is omitted from the
+//! serialized object and filled with `Default::default()` on
+//! deserialization (matching real serde's behaviour) — used for derived
+//! caches that must never reach the wire. All other serde attributes are
+//! silently ignored, like every other attribute.
 //!
 //! The generated impls target the shim's JSON-value data model
 //! (`serde::Serialize::to_value` / `serde::Deserialize::from_value`), which
@@ -21,9 +26,19 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The shape of a type we can derive for.
 enum Shape {
-    NamedStruct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<(String, usize)> },
+    /// Named-struct fields carry a `skip` flag (`#[serde(skip)]`).
+    NamedStruct {
+        name: String,
+        fields: Vec<(String, bool)>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
 }
 
 /// Splits a token list on top-level commas. "Top level" means angle-bracket
@@ -80,9 +95,39 @@ fn skip_attrs_and_vis(chunk: &[TokenTree]) -> &[TokenTree] {
     &chunk[i..]
 }
 
-/// The field name of one named-struct field chunk: the last identifier
-/// before the first top-level `:`.
-fn field_name(chunk: &[TokenTree]) -> String {
+/// Whether a field chunk carries a `#[serde(skip)]` attribute.
+fn has_serde_skip(chunk: &[TokenTree]) -> bool {
+    let mut i = 0;
+    while i + 1 < chunk.len() {
+        let is_pound = matches!(&chunk[i], TokenTree::Punct(p) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        if let TokenTree::Group(g) = &chunk[i + 1] {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let is_serde =
+                matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+            if is_serde {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let mentions_skip = args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip"));
+                    if mentions_skip {
+                        return true;
+                    }
+                }
+            }
+        }
+        i += 2;
+    }
+    false
+}
+
+/// The field name of one named-struct field chunk (the last identifier
+/// before the first top-level `:`) plus its `#[serde(skip)]` flag.
+fn field_name(chunk: &[TokenTree]) -> (String, bool) {
+    let skip = has_serde_skip(chunk);
     let chunk = skip_attrs_and_vis(chunk);
     let mut last_ident = None;
     for t in chunk {
@@ -92,7 +137,7 @@ fn field_name(chunk: &[TokenTree]) -> String {
             _ => {}
         }
     }
-    last_ident.expect("serde_derive shim: could not find field name")
+    (last_ident.expect("serde_derive shim: could not find field name"), skip)
 }
 
 /// Variant name and tuple arity (0 for unit variants).
@@ -171,13 +216,14 @@ fn parse_shape(input: TokenStream) -> Shape {
     }
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let code = match parse_shape(input) {
         Shape::NamedStruct { name, fields } => {
             let pushes: String = fields
                 .iter()
-                .map(|f| {
+                .filter(|(_, skip)| !skip)
+                .map(|(f, _)| {
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_value(&self.{f})),"
@@ -245,13 +291,19 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     code.parse().expect("serde_derive shim: generated Serialize impl does not parse")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let code = match parse_shape(input) {
         Shape::NamedStruct { name, fields } => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,"))
+                .map(|(f, skip)| {
+                    if *skip {
+                        format!("{f}: ::std::default::Default::default(),")
+                    } else {
+                        format!("{f}: ::serde::Deserialize::from_value(value.field(\"{f}\")?)?,")
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\

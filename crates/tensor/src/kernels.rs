@@ -1,0 +1,516 @@
+//! Batched, transpose-packed linear-algebra kernels for the reachability
+//! hot paths.
+//!
+//! Every verification path in the workspace — interval / symbolic / zonotope
+//! layer transformers, branch-and-bound concrete probes, Lipschitz sampling,
+//! campaign replay — bottoms out in dense affine maps. This module provides
+//! the shared kernels those paths run on:
+//!
+//! * [`SplitMatrix`] — a weight matrix pre-split into its positive and
+//!   negative parts (both row-major and transpose-packed), the basis of the
+//!   **fused interval matvec/matmul** that propagates lower and upper bounds
+//!   in a single pass with no per-element sign branches;
+//! * [`matmul`] — slice-based axpy matrix product (the zonotope generator
+//!   propagation primitive);
+//! * [`batch_affine_packed`] / [`batch_affine_nt`] — the batched forward
+//!   primitive `X·Wᵀ + b` that turns N-point network evaluation into one
+//!   matrix product per layer.
+//!
+//! # Determinism and bit-compatibility
+//!
+//! Every kernel accumulates each output element along a **fixed, sequential
+//! reduction order** (ascending inner index), independent of batch position
+//! and thread count. Two consequences, both load bearing for the
+//! continuous-verification pipeline:
+//!
+//! 1. repeated calls — on any machine, at any thread count — produce
+//!    byte-identical results, so the branch-and-bound engine's
+//!    schedule-independent-verdict guarantee survives the kernel rewiring;
+//! 2. the results are bit-identical to the naive one-vector-at-a-time loops
+//!    they replace ([`Matrix::matvec`], [`Matrix::matmul`], the historical
+//!    interval transformer), because those used the same reduction order.
+//!    `tests/kernel_equivalence.rs` locks this in with property tests.
+//!
+//! The speed does **not** come from reassociating sums (which would change
+//! results): it comes from the *axpy formulation*. Instead of computing each
+//! output as an isolated dot product — a serial chain of dependent adds that
+//! cannot use SIMD — the kernels broadcast one input element across a
+//! contiguous row of outputs, so the compiler vectorises across *independent*
+//! accumulators while each accumulator still sees its terms in ascending
+//! order. The transpose packing is what makes those output rows contiguous.
+//!
+//! # Numeric domain
+//!
+//! Kernels assume **finite** inputs. A `0.0 · ∞` product (possible when a
+//! zero weight meets an unbounded interval) yields NaN — exactly as in the
+//! naive paths they replace, which multiplied every weight against every
+//! bound as well. Target boxes may be unbounded; propagated states are not.
+
+use crate::matrix::Matrix;
+
+/// Adds `a · src` into `dst` element-wise. The vectorisable inner step all
+/// kernels are built from; each `dst` element receives exactly one add per
+/// call, so reduction order per element is the caller's loop order.
+#[inline(always)]
+fn axpy(dst: &mut [f64], a: f64, src: &[f64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += a * s;
+    }
+}
+
+/// A weight matrix split once into its positive part `max(w, 0)` and
+/// negative part `min(w, 0)`, stored both row-major (for coefficient-matrix
+/// sweeps) and transpose-packed (for the vectorised interval matvec).
+///
+/// The split is what makes interval propagation branch-free: with
+/// `pos + neg = w` and the parts sign-disjoint,
+///
+/// ```text
+/// lo_out = pos·lo + neg·hi        hi_out = pos·hi + neg·lo
+/// ```
+///
+/// are sound and exact for the affine map, and each output accumulates in
+/// plain ascending-index order. Layers cache their split via
+/// `covern_nn::DenseLayer::split_weights`, so the split cost is paid once
+/// per layer *per network*, not once per propagated box — the difference
+/// between O(layers) and O(layers × boxes) splits in branch-and-bound.
+///
+/// # Example
+///
+/// ```
+/// use covern_tensor::{kernels::SplitMatrix, Matrix};
+///
+/// let w = Matrix::from_rows(&[&[1.0, -2.0]]);
+/// let s = SplitMatrix::compile(&w);
+/// let (mut lo, mut hi) = (vec![0.0], vec![0.0]);
+/// s.fused_interval_matvec(&[-1.0, -1.0], &[1.0, 1.0], &[0.0], &mut lo, &mut hi);
+/// assert_eq!((lo[0], hi[0]), (-3.0, 3.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row-major `max(w, 0)`.
+    pos: Vec<f64>,
+    /// Row-major `min(w, 0)`.
+    neg: Vec<f64>,
+    /// Transpose-packed `max(w, 0)`: entry `(j, i)` at `j·rows + i`.
+    pos_t: Vec<f64>,
+    /// Transpose-packed `min(w, 0)`.
+    neg_t: Vec<f64>,
+}
+
+impl SplitMatrix {
+    /// Splits `w` into positive and negative parts and packs both layouts.
+    pub fn compile(w: &Matrix) -> Self {
+        let (rows, cols) = w.shape();
+        let data = w.as_slice();
+        let mut pos = Vec::with_capacity(data.len());
+        let mut neg = Vec::with_capacity(data.len());
+        for &v in data {
+            pos.push(v.max(0.0));
+            neg.push(v.min(0.0));
+        }
+        let mut pos_t = vec![0.0; data.len()];
+        let mut neg_t = vec![0.0; data.len()];
+        for i in 0..rows {
+            for j in 0..cols {
+                pos_t[j * rows + i] = pos[i * cols + j];
+                neg_t[j * rows + i] = neg[i * cols + j];
+            }
+        }
+        Self { rows, cols, pos, neg, pos_t, neg_t }
+    }
+
+    /// Number of rows (output dimension of the affine map).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (input dimension of the affine map).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Fused interval affine map: writes the bounds of `W·[lo, hi] + bias`
+    /// into `lo_out` / `hi_out` in one pass over the transpose-packed split
+    /// weights.
+    ///
+    /// Bit-identical to accumulating `bias[i] + Σ_j w_ij·[lo_j, hi_j]` with
+    /// sign-aware interval scaling in ascending `j` order (the historical
+    /// box-domain transformer): per `j`, one of the two split products is an
+    /// exact `0.0` and adding it is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length disagrees with the matrix shape.
+    pub fn fused_interval_matvec(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        bias: &[f64],
+        lo_out: &mut [f64],
+        hi_out: &mut [f64],
+    ) {
+        assert_eq!(lo.len(), self.cols, "lo length mismatch");
+        assert_eq!(hi.len(), self.cols, "hi length mismatch");
+        assert_eq!(bias.len(), self.rows, "bias length mismatch");
+        assert_eq!(lo_out.len(), self.rows, "lo_out length mismatch");
+        assert_eq!(hi_out.len(), self.rows, "hi_out length mismatch");
+        lo_out.copy_from_slice(bias);
+        hi_out.copy_from_slice(bias);
+        for j in 0..self.cols {
+            let (lj, hj) = (lo[j], hi[j]);
+            let p = &self.pos_t[j * self.rows..(j + 1) * self.rows];
+            let n = &self.neg_t[j * self.rows..(j + 1) * self.rows];
+            // Broadcast input j across all outputs: independent accumulator
+            // per output (vectorisable), ascending-j order per output.
+            for i in 0..self.rows {
+                lo_out[i] += p[i] * lj + n[i] * hj;
+                hi_out[i] += p[i] * hj + n[i] * lj;
+            }
+        }
+    }
+
+    /// Fused interval matrix product: bounds of `W·[Lo, Hi]` where `Lo` and
+    /// `Hi` are element-wise lower/upper coefficient matrices.
+    ///
+    /// This is how the symbolic domain pushes its whole coefficient matrix
+    /// through a layer: row-axpy sweeps over the columns of the coefficient
+    /// matrices instead of per-entry `get`/`set` loops. Accumulation order
+    /// per output entry is ascending `j` (matching the historical scalar
+    /// loop).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo`/`hi` shapes disagree with each other or with
+    /// `self.cols()` rows.
+    pub fn fused_interval_matmul(&self, lo: &Matrix, hi: &Matrix) -> (Matrix, Matrix) {
+        assert_eq!(lo.shape(), hi.shape(), "lo/hi shape mismatch");
+        assert_eq!(lo.rows(), self.cols, "inner dimension mismatch");
+        let d = lo.cols();
+        let mut lo_out = Matrix::zeros(self.rows, d);
+        let mut hi_out = Matrix::zeros(self.rows, d);
+        for i in 0..self.rows {
+            let p = &self.pos[i * self.cols..(i + 1) * self.cols];
+            let n = &self.neg[i * self.cols..(i + 1) * self.cols];
+            for j in 0..self.cols {
+                let (pj, nj) = (p[j], n[j]);
+                if pj == 0.0 && nj == 0.0 {
+                    continue;
+                }
+                let src_lo = lo.row(j);
+                let src_hi = hi.row(j);
+                let dst_lo = lo_out.row_mut(i);
+                for (dst, (&l, &h)) in dst_lo.iter_mut().zip(src_lo.iter().zip(src_hi)) {
+                    *dst += pj * l + nj * h;
+                }
+                let dst_hi = hi_out.row_mut(i);
+                for (dst, (&l, &h)) in dst_hi.iter_mut().zip(src_lo.iter().zip(src_hi)) {
+                    *dst += pj * h + nj * l;
+                }
+            }
+        }
+        (lo_out, hi_out)
+    }
+}
+
+/// Packs the transpose of `w` (entry `(j, i)` of the result is `w[i][j]`)
+/// using the non-allocating [`Matrix::col_iter`] column view.
+///
+/// Forward batching wants weight *columns* contiguous (see
+/// [`batch_affine_packed`]); layers cache this packing next to their split
+/// weights.
+pub fn pack_transpose(w: &Matrix) -> Matrix {
+    let mut data = Vec::with_capacity(w.rows() * w.cols());
+    for j in 0..w.cols() {
+        data.extend(w.col_iter(j));
+    }
+    Matrix::from_vec(w.cols(), w.rows(), data)
+}
+
+/// Matrix product `a · b` as slice-based row axpy sweeps.
+///
+/// Same `i-k-j` loop nest as the naive [`Matrix::matmul`] — so each output
+/// entry reduces over `k` in ascending order and the result is
+/// bit-identical on finite inputs — but the inner axpy runs on borrowed row
+/// slices with no per-element bounds checks, which is what lets it
+/// vectorise. Zero `a`-entries skip their whole sweep, mirroring the naive
+/// loop's skip; note this only pays off for sparse *left* operands (the
+/// zonotope path's left operand is a dense weight matrix — its win comes
+/// from the vectorised sweeps, not the skip).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    let (m, k) = (a.rows(), a.cols());
+    let mut out = Matrix::zeros(m, b.cols());
+    for i in 0..m {
+        let arow = &a.as_slice()[i * k..(i + 1) * k];
+        let orow = out.row_mut(i);
+        // Four `a`-elements per sweep (see `batch_affine_packed` for the
+        // traffic argument); per-element adds stay sequential in ascending
+        // k, and all-zero `a` quads skip their sweep entirely.
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+            if a0 == 0.0 && a1 == 0.0 && a2 == 0.0 && a3 == 0.0 {
+                kk += 4;
+                continue;
+            }
+            let b0 = b.row(kk);
+            let b1 = b.row(kk + 1);
+            let b2 = b.row(kk + 2);
+            let b3 = b.row(kk + 3);
+            for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                let mut t = *o;
+                t += a0 * v0;
+                t += a1 * v1;
+                t += a2 * v2;
+                t += a3 * v3;
+                *o = t;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let av = arow[kk];
+            if av != 0.0 {
+                axpy(orow, av, b.row(kk));
+            }
+            kk += 1;
+        }
+    }
+    out
+}
+
+/// Batched affine map `x · wtᵀ... + bias` against a **pre-packed transposed**
+/// weight matrix `wt` (shape `in_dim × out_dim`, see [`pack_transpose`]):
+/// row `p` of the result is `W·x_p + bias`.
+///
+/// Each output element accumulates over `k` in ascending order — the same
+/// order as [`Matrix::matvec`] — while the inner loop sweeps a contiguous
+/// `wt` row across all outputs of one point, so independent accumulators
+/// vectorise. The bias lands after the sum, exactly like the historical
+/// `pre_activation` (`matvec` then bias add), keeping batch rows
+/// bit-identical to single forward passes.
+///
+/// # Panics
+///
+/// Panics if `x.cols() != wt.rows()` or `bias.len() != wt.cols()`.
+pub fn batch_affine_packed(x: &Matrix, wt: &Matrix, bias: &[f64]) -> Matrix {
+    assert_eq!(x.cols(), wt.rows(), "batch_affine_packed dimension mismatch");
+    assert_eq!(bias.len(), wt.cols(), "bias length mismatch");
+    let (npts, k, odim) = (x.rows(), x.cols(), wt.cols());
+    let mut out = Matrix::zeros(npts, odim);
+    for p in 0..npts {
+        let xrow = &x.as_slice()[p * k..(p + 1) * k];
+        let orow = out.row_mut(p);
+        // Four input elements per sweep: the output row is loaded and
+        // stored once per *four* weight rows instead of once per row. The
+        // four adds into each output element stay sequential statements in
+        // ascending-k order, so the per-element reduction order — and with
+        // it bit-compatibility with `matvec` — is unchanged.
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (x0, x1, x2, x3) = (xrow[kk], xrow[kk + 1], xrow[kk + 2], xrow[kk + 3]);
+            let w0 = wt.row(kk);
+            let w1 = wt.row(kk + 1);
+            let w2 = wt.row(kk + 2);
+            let w3 = wt.row(kk + 3);
+            for ((((o, &a0), &a1), &a2), &a3) in orow.iter_mut().zip(w0).zip(w1).zip(w2).zip(w3) {
+                let mut t = *o;
+                t += x0 * a0;
+                t += x1 * a1;
+                t += x2 * a2;
+                t += x3 * a3;
+                *o = t;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            axpy(orow, xrow[kk], wt.row(kk));
+            kk += 1;
+        }
+        for (o, &b) in orow.iter_mut().zip(bias) {
+            *o += b;
+        }
+    }
+    out
+}
+
+/// Convenience wrapper around [`batch_affine_packed`] for callers holding
+/// the weights in their natural `out_dim × in_dim` layout: packs the
+/// transpose on the fly (one pass, amortised over the whole batch).
+///
+/// Hot layers should cache the packing instead — see
+/// `covern_nn::DenseLayer::forward_batch`.
+///
+/// # Panics
+///
+/// Panics if `x.cols() != w.cols()` or `bias.len() != w.rows()`.
+pub fn batch_affine_nt(x: &Matrix, w: &Matrix, bias: &[f64]) -> Matrix {
+    batch_affine_packed(x, &pack_transpose(w), bias)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn random_matrix(rng: &mut Rng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.uniform(-2.0, 2.0))
+    }
+
+    #[test]
+    fn split_parts_recompose_the_weights() {
+        let mut rng = Rng::seeded(7);
+        let w = random_matrix(&mut rng, 5, 9);
+        let s = SplitMatrix::compile(&w);
+        assert_eq!((s.rows(), s.cols()), (5, 9));
+        for i in 0..5 {
+            for j in 0..9 {
+                let v = s.pos[i * 9 + j] + s.neg[i * 9 + j];
+                assert_eq!(v, w.get(i, j));
+                assert!(s.pos[i * 9 + j] >= 0.0 && s.neg[i * 9 + j] <= 0.0);
+                assert_eq!(s.pos_t[j * 5 + i], s.pos[i * 9 + j]);
+                assert_eq!(s.neg_t[j * 5 + i], s.neg[i * 9 + j]);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matvec_matches_signed_scalar_loop() {
+        let mut rng = Rng::seeded(11);
+        let w = random_matrix(&mut rng, 6, 4);
+        let s = SplitMatrix::compile(&w);
+        let lo = [-1.0, 0.5, -2.0, 0.0];
+        let hi = [1.0, 1.5, -1.0, 3.0];
+        let bias = [0.1, -0.2, 0.0, 1.0, -1.0, 0.5];
+        let mut lo_out = vec![0.0; 6];
+        let mut hi_out = vec![0.0; 6];
+        s.fused_interval_matvec(&lo, &hi, &bias, &mut lo_out, &mut hi_out);
+        for i in 0..6 {
+            // Naive reference: sign-aware accumulation in the same j order.
+            let mut l = bias[i];
+            let mut h = bias[i];
+            for j in 0..4 {
+                let wij = w.get(i, j);
+                if wij >= 0.0 {
+                    l += wij * lo[j];
+                    h += wij * hi[j];
+                } else {
+                    l += wij * hi[j];
+                    h += wij * lo[j];
+                }
+            }
+            assert_eq!(lo_out[i], l, "lo row {i}");
+            assert_eq!(hi_out[i], h, "hi row {i}");
+            assert!(lo_out[i] <= hi_out[i]);
+        }
+    }
+
+    #[test]
+    fn fused_matvec_is_sound_for_interior_points() {
+        let mut rng = Rng::seeded(13);
+        let w = random_matrix(&mut rng, 8, 5);
+        let s = SplitMatrix::compile(&w);
+        let lo = vec![-1.0; 5];
+        let hi = vec![2.0; 5];
+        let bias = vec![0.25; 8];
+        let mut lo_out = vec![0.0; 8];
+        let mut hi_out = vec![0.0; 8];
+        s.fused_interval_matvec(&lo, &hi, &bias, &mut lo_out, &mut hi_out);
+        for _ in 0..100 {
+            let x: Vec<f64> = (0..5).map(|_| rng.uniform(-1.0, 2.0)).collect();
+            let y = w.matvec(&x);
+            for i in 0..8 {
+                let v = y[i] + bias[i];
+                assert!(lo_out[i] - 1e-9 <= v && v <= hi_out[i] + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matmul_reduces_to_matvec_on_single_column() {
+        let mut rng = Rng::seeded(17);
+        let w = random_matrix(&mut rng, 4, 6);
+        let s = SplitMatrix::compile(&w);
+        let lo_col: Vec<f64> = (0..6).map(|i| -1.0 - i as f64 * 0.1).collect();
+        let hi_col: Vec<f64> = (0..6).map(|i| 1.0 + i as f64 * 0.2).collect();
+        let lo_m = Matrix::from_vec(6, 1, lo_col.clone());
+        let hi_m = Matrix::from_vec(6, 1, hi_col.clone());
+        let (lo_out_m, hi_out_m) = s.fused_interval_matmul(&lo_m, &hi_m);
+        let mut lo_out = vec![0.0; 4];
+        let mut hi_out = vec![0.0; 4];
+        s.fused_interval_matvec(&lo_col, &hi_col, &[0.0; 4], &mut lo_out, &mut hi_out);
+        for i in 0..4 {
+            assert!((lo_out_m.get(i, 0) - lo_out[i]).abs() < 1e-12);
+            assert!((hi_out_m.get(i, 0) - hi_out[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pack_transpose_matches_transpose() {
+        let mut rng = Rng::seeded(31);
+        let w = random_matrix(&mut rng, 3, 7);
+        assert_eq!(pack_transpose(&w), w.transpose());
+    }
+
+    #[test]
+    fn axpy_matmul_is_bit_identical_to_naive() {
+        let mut rng = Rng::seeded(19);
+        for (m, k, n) in [(1, 1, 1), (3, 4, 5), (7, 9, 2), (8, 8, 8), (13, 5, 11)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            assert_eq!(matmul(&a, &b), a.matmul(&b), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn batch_affine_rows_are_bit_identical_to_matvec() {
+        let mut rng = Rng::seeded(23);
+        let w = random_matrix(&mut rng, 7, 5);
+        let bias: Vec<f64> = (0..7).map(|i| i as f64 * 0.3 - 1.0).collect();
+        let x = random_matrix(&mut rng, 10, 5);
+        let y = batch_affine_nt(&x, &w, &bias);
+        let y_packed = batch_affine_packed(&x, &pack_transpose(&w), &bias);
+        assert_eq!(y, y_packed);
+        for p in 0..10 {
+            let mut single = w.matvec(x.row(p));
+            for (v, b) in single.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+            assert_eq!(y.row(p), single.as_slice(), "row {p}");
+        }
+    }
+
+    #[test]
+    fn kernels_are_deterministic_across_calls() {
+        let mut rng = Rng::seeded(29);
+        let a = random_matrix(&mut rng, 9, 6);
+        let b = random_matrix(&mut rng, 6, 9);
+        assert_eq!(matmul(&a, &b), matmul(&a, &b));
+        let s = SplitMatrix::compile(&a);
+        let lo = vec![-0.5; 6];
+        let hi = vec![0.5; 6];
+        let bias = vec![0.0; 9];
+        let mut l1 = vec![0.0; 9];
+        let mut h1 = vec![0.0; 9];
+        let mut l2 = vec![0.0; 9];
+        let mut h2 = vec![0.0; 9];
+        s.fused_interval_matvec(&lo, &hi, &bias, &mut l1, &mut h1);
+        s.fused_interval_matvec(&lo, &hi, &bias, &mut l2, &mut h2);
+        assert_eq!(l1, l2);
+        assert_eq!(h1, h2);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -19,6 +19,9 @@
 //! assert_eq!(y, vec![0.0, -1.5, 0.5]);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod kernels;
 pub mod matrix;
 pub mod norms;
 pub mod rng;

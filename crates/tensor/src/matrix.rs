@@ -144,12 +144,39 @@ impl Matrix {
 
     /// Copies column `j` into a new vector.
     ///
+    /// Allocates; hot paths that only need to *traverse* a column should use
+    /// the non-allocating [`col_iter`](Self::col_iter) instead.
+    ///
     /// # Panics
     ///
     /// Panics if `j` is out of bounds.
     pub fn col(&self, j: usize) -> Vec<f64> {
+        self.col_iter(j).collect()
+    }
+
+    /// Non-allocating view of column `j`: iterates the column top to bottom
+    /// by striding the row-major buffer.
+    ///
+    /// This is the allocation-free alternative to [`col`](Self::col) for hot
+    /// paths (operator norms, transpose packing) that walk columns without
+    /// needing an owned buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of bounds.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use covern_tensor::Matrix;
+    ///
+    /// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+    /// assert_eq!(m.col_iter(1).collect::<Vec<_>>(), vec![2.0, 4.0]);
+    /// ```
+    #[inline]
+    pub fn col_iter(&self, j: usize) -> impl ExactSizeIterator<Item = f64> + '_ {
         assert!(j < self.cols, "column {j} out of bounds");
-        (0..self.rows).map(|i| self.get(i, j)).collect()
+        self.data.iter().skip(j).step_by(self.cols.max(1)).copied().take(self.rows)
     }
 
     /// The flat row-major buffer.
@@ -199,6 +226,10 @@ impl Matrix {
     }
 
     /// Matrix product `self * other`.
+    ///
+    /// This is the easy-to-audit naive triple loop, kept as the differential
+    /// baseline for [`crate::kernels::matmul`] (which is bit-identical on
+    /// finite inputs and what the hot paths use).
     ///
     /// # Panics
     ///

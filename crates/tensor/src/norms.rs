@@ -19,7 +19,9 @@ pub fn operator_norm_linf(w: &Matrix) -> f64 {
 
 /// Maximum absolute column sum: the operator norm induced by `‖·‖_1`.
 pub fn operator_norm_l1(w: &Matrix) -> f64 {
-    (0..w.cols()).map(|j| vector::norm_l1(&w.col(j))).fold(0.0, f64::max)
+    // Column traversal via the non-allocating view: this runs once per layer
+    // inside every Lipschitz certificate, so no per-column Vec.
+    (0..w.cols()).map(|j| w.col_iter(j).map(f64::abs).sum::<f64>()).fold(0.0, f64::max)
 }
 
 /// Power-iteration estimate of the spectral norm `‖W‖_2`.

@@ -121,11 +121,14 @@ impl Scenario {
         let perception = perception.with_head(head)?;
 
         // Fit the monitor on the training features (the paper records the
-        // min/max Flatten values over the complete data set).
+        // min/max Flatten values over the complete data set) — one batched
+        // sweep over the whole feature matrix.
         let features = feature_vectors(perception.extractor(), &samples)?;
         let dim = perception.extractor().feature_dim();
         let mut mon = BoxMonitor::new(dim, config.monitor_buffer);
-        mon.observe_all(features.iter().map(Vec::as_slice));
+        let nrows = features.len();
+        let flat: Vec<f64> = features.into_iter().flatten().collect();
+        mon.observe_batch(&covern_tensor::Matrix::from_vec(nrows, dim, flat));
         let monitor = mon
             .into_fitted()
             .ok_or_else(|| VehicleError::InvalidConfig("empty training set".into()))?;

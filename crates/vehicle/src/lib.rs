@@ -21,6 +21,8 @@
 //!   monitor, record domain enlargements, fine-tune — producing exactly
 //!   the model/domain sequences Table I consumes.
 
+#![warn(missing_docs)]
+
 pub mod camera;
 pub mod control;
 pub mod dataset;

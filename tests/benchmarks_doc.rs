@@ -1,0 +1,69 @@
+//! Gate: `docs/BENCHMARKS.md` stays in sync with the bench targets.
+//!
+//! Every file in `crates/bench/benches/` must be mentioned (by target
+//! name, backtick-quoted) in the benchmarks catalog, and every `[[bench]]`
+//! entry in the bench crate's manifest must have a source file. CI runs the
+//! same check as a shell gate in the bench-smoke job; this test makes it
+//! part of tier-1 so a new bench target cannot land undocumented.
+
+use std::fs;
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn every_bench_target_is_documented_in_benchmarks_md() {
+    let doc = fs::read_to_string(repo_root().join("docs/BENCHMARKS.md"))
+        .expect("docs/BENCHMARKS.md exists");
+    let benches_dir = repo_root().join("crates/bench/benches");
+    let mut missing = Vec::new();
+    let mut count = 0usize;
+    for entry in fs::read_dir(&benches_dir).expect("bench dir readable") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        count += 1;
+        let stem = path.file_stem().and_then(|s| s.to_str()).expect("utf8 stem").to_owned();
+        // Require the backtick-quoted target name so the mention is a
+        // deliberate catalog entry, not an incidental substring.
+        if !doc.contains(&format!("`{stem}`")) {
+            missing.push(stem);
+        }
+    }
+    assert!(count > 0, "no bench targets found in {}", benches_dir.display());
+    assert!(
+        missing.is_empty(),
+        "bench targets missing from docs/BENCHMARKS.md: {missing:?} — \
+         add a catalog row (and, if the target tracks a hot path, a trajectory entry)"
+    );
+}
+
+#[test]
+fn every_manifest_bench_entry_has_a_source_file() {
+    let manifest = fs::read_to_string(repo_root().join("crates/bench/Cargo.toml"))
+        .expect("bench manifest exists");
+    let mut declared = Vec::new();
+    let mut lines = manifest.lines().peekable();
+    while let Some(line) = lines.next() {
+        if line.trim() == "[[bench]]" {
+            for follow in lines.by_ref() {
+                let follow = follow.trim();
+                if let Some(name) = follow.strip_prefix("name = ") {
+                    declared.push(name.trim_matches('"').to_owned());
+                    break;
+                }
+                if follow.starts_with('[') {
+                    break;
+                }
+            }
+        }
+    }
+    assert!(!declared.is_empty(), "no [[bench]] entries parsed from the bench manifest");
+    for name in &declared {
+        let src = repo_root().join(format!("crates/bench/benches/{name}.rs"));
+        assert!(src.exists(), "[[bench]] {name} has no source at {}", src.display());
+    }
+}
