@@ -138,7 +138,27 @@ fn eval(
 
 /// Runs the branch-and-bound search. Dimensions are validated by the
 /// caller ([`super::decide_with_stop`]).
+///
+/// Process-wide metrics (`covern_bnb_runs_total`, `covern_bnb_splits_total`)
+/// are recorded on completion; they mirror the report's own deterministic
+/// accounting and are never read back, so they cannot perturb verdicts.
 pub(super) fn run(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    config: &BnbConfig,
+    stop: Stop<'_>,
+) -> Result<BnbReport, AbsintError> {
+    let out = run_inner(net, input, target, config, stop);
+    if let Ok(report) = &out {
+        let m = covern_observe::metrics();
+        m.bnb_runs_total.inc();
+        m.bnb_splits_total.add(report.splits as u64);
+    }
+    out
+}
+
+fn run_inner(
     net: &Network,
     input: &BoxDomain,
     target: &BoxDomain,

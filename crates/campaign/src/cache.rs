@@ -22,6 +22,14 @@
 //! are bit-identical to cache-cold verdicts because the underlying
 //! computation is deterministic in the keyed content (the differential
 //! test suite asserts this end to end).
+//!
+//! **Observability.** Besides the per-instance [`CacheStats`] counters
+//! (which feed canonical campaign reports and must stay
+//! schedule-independent), every instance mirrors hits/misses/entries
+//! into the process-wide [`covern_observe::metrics()`] registry — those
+//! series aggregate over *all* caches in the process and additionally
+//! count single-flight waits, which are schedule-dependent and therefore
+//! never appear in a report.
 
 use covern_absint::box_domain::BoxDomain;
 use covern_absint::DomainKind;
@@ -128,10 +136,14 @@ impl CacheStats {
 
 type Bundle = (VerifyReport, ProofArtifacts);
 
-/// One key's slot. The value lock doubles as the single-flight latch.
+/// One key's slot. The value lock doubles as the single-flight latch;
+/// `computing` is advisory (metrics only): it marks a compute in flight
+/// so a requester about to block can count itself as a single-flight
+/// wait.
 #[derive(Debug, Default)]
 struct Slot {
     value: Mutex<Option<Bundle>>,
+    computing: std::sync::atomic::AtomicBool,
 }
 
 /// The content-addressed artifact store (see module docs). Cheap to share:
@@ -169,7 +181,12 @@ impl ArtifactCache {
 
     fn slot(&self, key: CacheKey) -> Arc<Slot> {
         let mut map = self.slots.lock().expect("cache map lock");
-        Arc::clone(map.entry(key).or_default())
+        let before = map.len();
+        let slot = Arc::clone(map.entry(key).or_default());
+        if map.len() > before {
+            covern_observe::metrics().cache_entries.inc();
+        }
+        slot
     }
 }
 
@@ -182,6 +199,11 @@ impl VerifyCache for ArtifactCache {
         compute: &mut FullVerifyFn<'_>,
     ) -> Result<Bundle, CoreError> {
         let slot = self.slot(full_verify_key(problem, domain, margin));
+        // Advisory wait detection: schedule-dependent by nature, so it
+        // only feeds the process-wide metrics, never a report.
+        if slot.computing.load(Ordering::Relaxed) {
+            covern_observe::metrics().cache_singleflight_waits_total.inc();
+        }
         // Single flight: holding the slot's value lock while computing
         // makes concurrent same-key requesters wait here, then observe the
         // stored bundle. Distinct keys never contend (the map lock above
@@ -189,12 +211,17 @@ impl VerifyCache for ArtifactCache {
         let mut value = slot.value.lock().expect("cache slot lock");
         if let Some(stored) = value.as_ref() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            covern_observe::metrics().cache_hits_total.inc();
             return Ok(stored.clone());
         }
         // Errors propagate without being stored: the next requester
         // re-runs the computation.
-        let bundle = compute()?;
+        slot.computing.store(true, Ordering::Relaxed);
+        let computed = compute();
+        slot.computing.store(false, Ordering::Relaxed);
+        let bundle = computed?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        covern_observe::metrics().cache_misses_total.inc();
         *value = Some(bundle.clone());
         Ok(bundle)
     }

@@ -138,15 +138,21 @@ impl DenseLayer {
     /// [`split_weights`](Self::split_weights) call recompiles against the
     /// mutated weights.
     pub fn weights_mut(&mut self) -> &mut Matrix {
+        if self.kernel.0.get().is_some() {
+            covern_observe::metrics().kernel_invalidations_total.inc();
+        }
         self.kernel = KernelCache::default();
         &mut self.weights
     }
 
     /// The layer's compiled kernel forms, built on first use.
     fn kernel(&self) -> &LayerKernel {
-        self.kernel.0.get_or_init(|| LayerKernel {
-            split: SplitMatrix::compile(&self.weights),
-            wt: kernels::pack_transpose(&self.weights),
+        self.kernel.0.get_or_init(|| {
+            covern_observe::metrics().kernel_compiles_total.inc();
+            LayerKernel {
+                split: SplitMatrix::compile(&self.weights),
+                wt: kernels::pack_transpose(&self.weights),
+            }
         })
     }
 

@@ -1,0 +1,44 @@
+//! Process-wide observability for the covern verification stack.
+//!
+//! Two dependency-free subsystems, shared by every workspace crate that
+//! wants to report what the process is doing:
+//!
+//! * [`mod@metrics`] — a lock-cheap registry of counters, gauges, and
+//!   fixed-bucket latency histograms, rendered in the Prometheus text
+//!   exposition format. One process-wide instance ([`metrics()`])
+//!   declares **every** metric the workspace emits in a single place, so
+//!   the metric catalog in `docs/OPERATIONS.md` can be gated against the
+//!   code (`tests/metrics_doc.rs`) and no series appears undocumented.
+//! * [`log`] — leveled structured logging: one `key=value` line per
+//!   event on stderr, filtered by the `COVERN_LOG` environment variable.
+//!
+//! # Determinism contract
+//!
+//! Metrics are *diagnostics*, never inputs: nothing in the verification
+//! pipeline reads a metric back, so instrumenting a hot path cannot
+//! change a verdict, a witness, or a canonical report byte. Counters
+//! that mirror deterministic quantities (cache misses, B&B splits,
+//! verdict tallies) are themselves schedule-independent; timing
+//! histograms and contention counters (single-flight waits, busy
+//! replies) are explicitly schedule-*dependent* and are excluded from
+//! every canonical report format. `docs/OPERATIONS.md` marks each
+//! metric's class.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use covern_observe::metrics;
+//!
+//! metrics().deltas_applied_total.inc();
+//! metrics().verdict_latency_seconds.observe(0.0042);
+//! let text = metrics().render_prometheus();
+//! assert!(text.contains("covern_deltas_applied_total"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+
+pub use log::Level;
+pub use metrics::{metrics, Counter, Descriptor, Gauge, Histogram, MetricKind, Metrics};

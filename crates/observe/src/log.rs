@@ -1,0 +1,191 @@
+//! Leveled structured logging: one `key=value` line per event.
+//!
+//! The format is fixed and documented (normatively) in
+//! `docs/OPERATIONS.md`:
+//!
+//! ```text
+//! ts_us=1754550000123456 level=info target=covern_service::dispatch event="session opened" session=3 label=prod-lane-keeper
+//! ```
+//!
+//! * `ts_us` — microseconds since the Unix epoch;
+//! * `level` — `error | warn | info | debug | trace`;
+//! * `target` — the emitting module path;
+//! * `event` — what happened, quoted when it contains spaces;
+//! * any number of context keys (`session=`, `conn=`, …), appended by
+//!   the caller.
+//!
+//! Lines go to **stderr**, never stdout — the stdio transport's protocol
+//! stream stays clean. The maximum level is read once from the
+//! `COVERN_LOG` environment variable (`off | error | warn | info |
+//! debug | trace`); absent, it defaults to `warn` for library use, and
+//! the daemon raises it to `info` at startup via [`set_default_level`]
+//! (an explicit `COVERN_LOG` always wins).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The process is in trouble.
+    Error = 1,
+    /// Something surprising that the process absorbed.
+    Warn = 2,
+    /// Lifecycle events (sessions, connections, shutdown).
+    Info = 3,
+    /// Per-request detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn parse(s: &str) -> Option<u8> {
+        Some(match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => 0,
+            "error" => 1,
+            "warn" | "warning" => 2,
+            "info" => 3,
+            "debug" => 4,
+            "trace" => 5,
+            _ => return None,
+        })
+    }
+}
+
+/// 0 = off; otherwise a [`Level`] discriminant. `u8::MAX` = unset.
+static DEFAULT_LEVEL: AtomicU8 = AtomicU8::new(2); // warn
+static MAX_LEVEL: OnceLock<u8> = OnceLock::new();
+
+fn max_level() -> u8 {
+    *MAX_LEVEL.get_or_init(|| {
+        std::env::var("COVERN_LOG")
+            .ok()
+            .and_then(|s| Level::parse(&s))
+            .unwrap_or_else(|| DEFAULT_LEVEL.load(Ordering::Relaxed))
+    })
+}
+
+/// Sets the level used when `COVERN_LOG` is absent. Must be called
+/// before the first log line is emitted (the resolved level is frozen on
+/// first use); the daemon calls it at startup to default to `info`.
+pub fn set_default_level(level: Level) {
+    DEFAULT_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a line at `level` would be emitted (callers use this to skip
+/// formatting cost).
+pub fn enabled(level: Level) -> bool {
+    (level as u8) <= max_level()
+}
+
+/// Quotes a value if it contains whitespace, `=`, or quotes, so lines
+/// stay machine-splittable on spaces.
+pub fn format_value(v: &str) -> String {
+    if !v.is_empty() && v.chars().all(|c| !c.is_whitespace() && c != '"' && c != '=') {
+        v.to_owned()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Emits one structured line to stderr. `context` is the pre-rendered
+/// `key=value …` tail (use [`format_value`] for the values); prefer the
+/// [`obs_info!`](crate::obs_info)-family macros over calling this
+/// directly.
+pub fn emit(level: Level, target: &str, event: &str, context: &str) {
+    if !enabled(level) {
+        return;
+    }
+    let ts_us = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or_default();
+    let event = format_value(event);
+    let sep = if context.is_empty() { "" } else { " " };
+    eprintln!("ts_us={ts_us} level={} target={target} event={event}{sep}{context}", level.as_str());
+}
+
+/// Emits one structured log line: `obs_log!(Level::Info, "event name",
+/// key = value, …)`. Values render through [`Display`](std::fmt::Display)
+/// and are quoted as needed.
+#[macro_export]
+macro_rules! obs_log {
+    ($level:expr, $event:expr $(, $key:ident = $val:expr)* $(,)?) => {
+        if $crate::log::enabled($level) {
+            #[allow(unused_mut)]
+            let mut __ctx = String::new();
+            $(
+                if !__ctx.is_empty() { __ctx.push(' '); }
+                __ctx.push_str(stringify!($key));
+                __ctx.push('=');
+                __ctx.push_str(&$crate::log::format_value(&$val.to_string()));
+            )*
+            $crate::log::emit($level, module_path!(), $event, &__ctx);
+        }
+    };
+}
+
+/// [`obs_log!`] at [`Level::Error`].
+#[macro_export]
+macro_rules! obs_error {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::Level::Error, $($arg)*) };
+}
+
+/// [`obs_log!`] at [`Level::Warn`].
+#[macro_export]
+macro_rules! obs_warn {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::Level::Warn, $($arg)*) };
+}
+
+/// [`obs_log!`] at [`Level::Info`].
+#[macro_export]
+macro_rules! obs_info {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::Level::Info, $($arg)*) };
+}
+
+/// [`obs_log!`] at [`Level::Debug`].
+#[macro_export]
+macro_rules! obs_debug {
+    ($($arg:tt)*) => { $crate::obs_log!($crate::Level::Debug, $($arg)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Level::parse("INFO"), Some(3));
+        assert_eq!(Level::parse("off"), Some(0));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn values_quote_only_when_needed() {
+        assert_eq!(format_value("plain-token_3"), "plain-token_3");
+        assert_eq!(format_value("two words"), "\"two words\"");
+        assert_eq!(format_value("k=v"), "\"k=v\"");
+        assert_eq!(format_value(""), "\"\"");
+    }
+
+    #[test]
+    fn macro_compiles_with_and_without_context() {
+        // Emission goes to stderr (invisible here); this pins the macro
+        // grammar: bare event, trailing comma, mixed value types.
+        crate::obs_debug!("bare event");
+        crate::obs_debug!("with context", session = 3, label = "a b", rate = 0.5,);
+    }
+}

@@ -209,6 +209,20 @@ impl Client {
         }
     }
 
+    /// Fetches the process-wide metrics registry rendered as Prometheus
+    /// text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Remote`] on an error reply, or transport
+    /// failures.
+    pub fn metrics(&mut self) -> Result<crate::protocol::MetricsText, ServiceError> {
+        match self.request(Command::Metrics)? {
+            Reply::Metrics(m) => Ok(m),
+            other => Self::unexpected(other),
+        }
+    }
+
     /// Closes a session and returns its summary.
     ///
     /// # Errors

@@ -20,8 +20,9 @@
 //! verifications are never abandoned.
 
 use crate::protocol::{
-    BusyInfo, CheckpointState, Command, ErrorCode, ErrorInfo, OpenParams, Reply, Request, Response,
-    ResumeParams, ServerInfo, SessionOpened, StatsSnapshot, PROTOCOL_VERSION,
+    BusyInfo, CheckpointState, Command, ErrorCode, ErrorInfo, MetricsText, OpenParams, Reply,
+    Request, Response, ResumeParams, ServerInfo, SessionOpened, StatsSnapshot, METRICS_FORMAT,
+    PROTOCOL_VERSION,
 };
 use crate::session::{Enqueue, QueuedDelta, Session, SessionRegistry};
 use covern_absint::DomainKind;
@@ -31,9 +32,11 @@ use covern_core::method::LocalMethod;
 use covern_core::parallel::WorkerPool;
 use covern_core::pipeline::ContinuousVerifier;
 use covern_core::problem::VerificationProblem;
+use covern_observe::{metrics, obs_debug, obs_info, obs_warn};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
 
 /// Server configuration (host-side; never on the wire).
 #[derive(Debug, Clone)]
@@ -106,11 +109,13 @@ struct Shared {
 impl Shared {
     fn drain_started(&self) {
         *self.drains.lock().expect("drain gauge lock") += 1;
+        metrics().drain_tasks_active.inc();
     }
 
     fn drain_finished(&self) {
         let mut d = self.drains.lock().expect("drain gauge lock");
         *d -= 1;
+        metrics().drain_tasks_active.dec();
         if *d == 0 {
             self.idle.notify_all();
         }
@@ -199,6 +204,9 @@ impl Service {
         match crate::protocol::decode::<Request>(line) {
             Ok(req) => self.handle_request(req, responder),
             Err(e) => {
+                metrics().requests_total.inc();
+                metrics().protocol_errors_total.inc();
+                obs_warn!("malformed request", error = e);
                 // Best effort: salvage the correlation id so the client can
                 // still match the failure to its request.
                 let id = serde_json::parse(line.trim())
@@ -221,8 +229,10 @@ impl Service {
     /// Dispatches one parsed request. `Break` means the transport must
     /// stop serving (shutdown acknowledged).
     pub fn handle_request(&self, req: Request, responder: &Arc<dyn Respond>) -> ControlFlow<()> {
+        metrics().requests_total.inc();
         let id = req.id;
         if req.v != PROTOCOL_VERSION {
+            metrics().protocol_errors_total.inc();
             responder.send(&Response::new(
                 id,
                 Reply::Error(ErrorInfo::new(
@@ -251,8 +261,21 @@ impl Service {
             }
             Command::Checkpoint(r) => self.checkpoint(r.session),
             Command::Stats => Reply::Stats(self.stats()),
+            Command::Metrics => {
+                let m = metrics();
+                m.metrics_scrapes_total.inc();
+                Reply::Metrics(MetricsText {
+                    format: METRICS_FORMAT.to_owned(),
+                    text: m.render_prometheus(),
+                })
+            }
             Command::Close(r) => match self.registry.remove(r.session) {
-                Some(session) => Reply::Closed(session.summary()),
+                Some(session) => {
+                    metrics().sessions_closed_total.inc();
+                    metrics().sessions_open.dec();
+                    obs_info!("session closed", session = r.session, label = session.label());
+                    Reply::Closed(session.summary())
+                }
                 None => unknown_session(r.session),
             },
             Command::Shutdown => {
@@ -263,14 +286,22 @@ impl Service {
                     let _gate = self.admission.write().unwrap_or_else(|p| p.into_inner());
                     self.shutting_down.store(true, Ordering::SeqCst);
                 }
+                obs_info!("shutdown requested, draining", open = self.registry.open_count());
                 // Drain every queued delta before acknowledging: clients
                 // that pipelined deltas get all their verdicts, then the
                 // ack, in order.
                 self.shared.wait_idle();
+                obs_info!("shutdown drain complete");
                 responder.send(&Response::new(id, Reply::ShuttingDown));
                 return ControlFlow::Break(());
             }
         };
+        if matches!(reply, Reply::Error(_)) {
+            metrics().protocol_errors_total.inc();
+        }
+        if matches!(reply, Reply::Busy(_)) {
+            metrics().busy_replies_total.inc();
+        }
         responder.send(&Response::new(id, reply));
         ControlFlow::Continue(())
     }
@@ -285,6 +316,7 @@ impl Service {
         if self.is_shutting_down() {
             return shutting_down();
         }
+        let t0 = Instant::now();
         let problem = match VerificationProblem::new(params.network, params.din, params.dout) {
             Ok(p) => p,
             Err(e) => return invalid_problem(e.to_string()),
@@ -302,6 +334,15 @@ impl Service {
         let outcome = verifier.initial_report().outcome.to_string();
         let wall_us = verifier.initial_report().wall.as_micros() as u64;
         let session = self.registry.insert(params.label, verifier);
+        metrics().open_latency_seconds.observe_duration(t0.elapsed());
+        metrics().sessions_opened_total.inc();
+        metrics().sessions_open.inc();
+        obs_info!(
+            "session opened",
+            session = session.id(),
+            label = session.label(),
+            outcome = outcome
+        );
         Reply::Opened(SessionOpened {
             session: session.id(),
             label: session.label().to_owned(),
@@ -315,6 +356,7 @@ impl Service {
         if self.is_shutting_down() {
             return shutting_down();
         }
+        let t0 = Instant::now();
         let mut verifier = match ContinuousVerifier::from_checkpoint_json(&params.state) {
             Ok(v) => v,
             Err(e) => return invalid_problem(e.to_string()),
@@ -323,6 +365,15 @@ impl Service {
         verifier.set_threads(self.config.session_threads);
         let outcome = verifier.initial_report().outcome.to_string();
         let session = self.registry.insert(params.label, verifier);
+        metrics().open_latency_seconds.observe_duration(t0.elapsed());
+        metrics().sessions_opened_total.inc();
+        metrics().sessions_open.inc();
+        obs_info!(
+            "session resumed",
+            session = session.id(),
+            label = session.label(),
+            outcome = outcome
+        );
         Reply::Opened(SessionOpened {
             session: session.id(),
             label: session.label().to_owned(),
@@ -396,21 +447,43 @@ impl std::fmt::Debug for Service {
 /// zero.
 fn drain_session(shared: &Shared, session: &Arc<Session>) {
     while let Some(item) = session.pop_or_finish() {
+        let t0 = Instant::now();
         let applied = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             session.apply(&item.delta, &shared.method)
         }));
         let reply = match applied {
             Ok(Ok(event)) => {
                 shared.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                let m = metrics();
+                m.deltas_applied_total.inc();
+                m.verdict_latency_seconds.observe_duration(t0.elapsed());
+                match event.record.outcome.as_str() {
+                    "proved" => &m.verdicts_proved_total,
+                    "refuted" => &m.verdicts_refuted_total,
+                    _ => &m.verdicts_unknown_total,
+                }
+                .inc();
+                obs_debug!(
+                    "verdict",
+                    session = event.session,
+                    seq = event.seq,
+                    outcome = event.record.outcome
+                );
                 Reply::Verdict(event)
             }
-            Ok(Err(e)) => Reply::Error(ErrorInfo::new(ErrorCode::DeltaFailed, e.to_string())),
+            Ok(Err(e)) => {
+                metrics().delta_failures_total.inc();
+                obs_warn!("delta failed", session = session.id(), error = e);
+                Reply::Error(ErrorInfo::new(ErrorCode::DeltaFailed, e.to_string()))
+            }
             Err(panic) => {
                 let what = panic
                     .downcast_ref::<&str>()
                     .map(|s| (*s).to_owned())
                     .or_else(|| panic.downcast_ref::<String>().cloned())
                     .unwrap_or_else(|| "non-string panic payload".to_owned());
+                metrics().delta_failures_total.inc();
+                obs_warn!("delta panicked", session = session.id(), panic = what);
                 Reply::Error(ErrorInfo::new(
                     ErrorCode::DeltaFailed,
                     format!("internal panic while applying delta: {what}"),

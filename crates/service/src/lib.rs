@@ -17,8 +17,15 @@
 //! | [`session`] | sessions, bounded inboxes, the process-wide registry |
 //! | [`dispatch`] | the request dispatcher and drain-task scheduler |
 //! | [`transport`] | stdio and TCP line pumps |
+//! | [`metrics_http`] | optional plain-HTTP `/metrics` listener for scrapers |
 //! | [`client`] | blocking client + campaign-corpus replay (load testing) |
+//! | [`loadgen`] | the load generator: concurrent sessions, canonical report |
 //! | [`error`] | client-side error type |
+//!
+//! The daemon is instrumented end-to-end through the process-wide
+//! [`covern_observe`] registry (request/verdict counters, latency
+//! histograms, inbox and drain gauges) — `docs/OPERATIONS.md` documents
+//! every series and the structured log format.
 //!
 //! # Quickstart (in-process)
 //!
@@ -44,6 +51,8 @@
 pub mod client;
 pub mod dispatch;
 pub mod error;
+pub mod loadgen;
+pub mod metrics_http;
 pub mod protocol;
 pub mod session;
 pub mod transport;
@@ -51,6 +60,8 @@ pub mod transport;
 pub use client::{replay_corpus, replay_scenario, Client, ReplayOutcome};
 pub use dispatch::{Service, ServiceConfig};
 pub use error::ServiceError;
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use metrics_http::{serve_metrics_http, MetricsHttpServer};
 pub use protocol::{Command, Reply, Request, Response, PROTOCOL_VERSION};
 pub use session::{Session, SessionRegistry};
 pub use transport::{serve_stdio, serve_tcp, TcpServer};

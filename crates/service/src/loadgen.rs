@@ -1,0 +1,596 @@
+//! The load generator: many concurrent sessions driven over TCP, with a
+//! seeded, canonically-reportable outcome.
+//!
+//! [`run`] drives a seeded campaign corpus (one scenario per session)
+//! through a running daemon from `connections` client threads, in three
+//! phases per session:
+//!
+//! 1. **Open** — every session's original verification (open latency is
+//!    sampled client-side);
+//! 2. **Ordered deltas** — the scenario's event stream, strictly one
+//!    in-flight delta per session (window 1), so per-session verdict
+//!    order — and therefore every verdict — must match a single-session
+//!    replay of the same scenario;
+//! 3. **Burst** — `burst` copies of an *idempotent* delta (re-asserting
+//!    the session's current `Din`, an equal-domain enlargement) pipelined
+//!    back-to-back without waiting. Identical deltas commute, so this
+//!    phase may legally provoke `Busy` bounces and out-of-order retries
+//!    without ever changing a verdict — it exercises the backpressure
+//!    seam while staying inside the determinism contract.
+//!
+//! Closing each session cross-checks the server's lifetime tally against
+//! the client-side count: a lost or duplicated verdict fails the run.
+//!
+//! # Determinism
+//!
+//! The corpus is a pure function of the seed, the per-session verdict
+//! sequence is schedule-independent (the repo's core invariant), and the
+//! totals are sums over sessions — so [`LoadReport::canonical_json`] is
+//! byte-identical for any `connections` count and any interleaving.
+//! Timing (`latency_us`, `wall_us`) and contention (`busy_replies`,
+//! `retries`) are *measurements*, not outcomes; the canonical render
+//! zeroes them and keeps only the schedule-independent remainder.
+
+use crate::client::Client;
+use crate::error::ServiceError;
+use crate::protocol::OpenParams;
+use covern_campaign::corpus::{generate, CorpusConfig};
+use covern_campaign::{DeltaEvent, Scenario};
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Report format tag.
+pub const LOADGEN_REPORT_FORMAT: &str = "covern-loadgen-report-v1";
+
+/// Load-generator shape (echoed verbatim into the report).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadgenConfig {
+    /// Concurrent sessions (one corpus scenario each).
+    pub sessions: usize,
+    /// Client connections (threads); sessions are dealt round-robin.
+    pub connections: usize,
+    /// Ordered delta events per session.
+    pub events_per_session: usize,
+    /// Distinct base-model families in the corpus.
+    pub families: usize,
+    /// Pipelined idempotent deltas per session in the burst phase.
+    pub burst: usize,
+    /// Master seed; the whole run's canonical outcome is a pure function
+    /// of this config.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            sessions: 50,
+            connections: 8,
+            events_per_session: 3,
+            families: 5,
+            burst: 4,
+            seed: 2021,
+        }
+    }
+}
+
+/// Latency percentiles over one kind of sample, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Arithmetic mean.
+    pub mean_us: u64,
+    /// Worst sample.
+    pub max_us: u64,
+    /// Sample count.
+    pub samples: u64,
+}
+
+impl LatencyStats {
+    fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let n = samples.len();
+        let pick = |q: f64| samples[(((n - 1) as f64) * q).round() as usize];
+        Self {
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            mean_us: samples.iter().sum::<u64>() / n as u64,
+            max_us: *samples.last().expect("non-empty"),
+            samples: n as u64,
+        }
+    }
+}
+
+/// Schedule-independent totals over the whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoadTotals {
+    /// Sessions opened and closed.
+    pub sessions: u64,
+    /// Ordered deltas streamed (phase 2).
+    pub ordered_deltas: u64,
+    /// Burst deltas streamed (phase 3).
+    pub burst_deltas: u64,
+    /// Verdicts received (must equal `ordered_deltas + burst_deltas`).
+    pub verdicts: u64,
+    /// Verdicts that proved.
+    pub proved: u64,
+    /// Verdicts that refuted.
+    pub refuted: u64,
+    /// Verdicts that stayed unknown.
+    pub unknown: u64,
+    /// Scenario failures (transport or server errors); nonzero fails the
+    /// run.
+    pub errors: u64,
+}
+
+/// Backpressure accounting (schedule-*dependent* except `recovered`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Backpressure {
+    /// `Busy` replies observed across both delta phases.
+    pub busy_replies: u64,
+    /// Deltas re-sent after a `Busy` bounce.
+    pub retries: u64,
+    /// Whether every bounced delta eventually produced its verdict (and
+    /// no verdict was lost); schedule-independent — `true` on any
+    /// successful run.
+    pub recovered: bool,
+}
+
+/// The load generator's report (`covern-loadgen-report-v1`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadReport {
+    /// Format tag ([`LOADGEN_REPORT_FORMAT`]).
+    pub format: String,
+    /// The configuration that produced this run.
+    pub config: LoadgenConfig,
+    /// Schedule-independent totals.
+    pub totals: LoadTotals,
+    /// Session-open latency (measurement; zeroed in canonical output).
+    pub open_latency: LatencyStats,
+    /// Per-verdict latency as seen by the client (measurement; zeroed in
+    /// canonical output).
+    pub verdict_latency: LatencyStats,
+    /// `Busy`/retry accounting.
+    pub backpressure: Backpressure,
+    /// Wall-clock of the whole run (measurement; zeroed in canonical
+    /// output).
+    pub wall_us: u64,
+    /// One string per corpus scenario, one char per ordered verdict
+    /// (`P`/`R`/`U`), then `.` and one char per burst verdict. Index =
+    /// scenario index, so the vector is partition-independent.
+    pub outcome_codes: Vec<String>,
+}
+
+impl LoadReport {
+    /// The full report as one JSON line (includes measurements).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Encode`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, ServiceError> {
+        serde_json::to_string(self).map_err(|e| ServiceError::Encode(e.to_string()))
+    }
+
+    /// The canonical report: measurements (latency, wall clock, busy and
+    /// retry counts) zeroed, everything schedule-independent kept. The
+    /// `connections` knob is zeroed too — it decides *how* the corpus is
+    /// driven, never what the verdicts are, so it is not part of the
+    /// canonical identity. Byte-identical across connection counts and
+    /// schedules for a fixed seed and corpus shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Encode`] if serialization fails.
+    pub fn canonical_json(&self) -> Result<String, ServiceError> {
+        let mut canonical = self.clone();
+        canonical.config.connections = 0;
+        canonical.open_latency = LatencyStats::default();
+        canonical.verdict_latency = LatencyStats::default();
+        canonical.wall_us = 0;
+        canonical.backpressure.busy_replies = 0;
+        canonical.backpressure.retries = 0;
+        canonical.to_json()
+    }
+
+    /// Whether the run met the load generator's bar: no errors, every
+    /// delta answered (no lost verdicts), and the burst phase recovered.
+    pub fn passed(&self) -> bool {
+        self.totals.errors == 0
+            && self.backpressure.recovered
+            && self.totals.verdicts == self.totals.ordered_deltas + self.totals.burst_deltas
+    }
+}
+
+/// One session's outcome, reported back to the aggregator.
+struct SessionResult {
+    scenario_index: usize,
+    outcome_code: String,
+    ordered: u64,
+    burst: u64,
+    proved: u64,
+    refuted: u64,
+    unknown: u64,
+    busy_replies: u64,
+    retries: u64,
+    open_us: u64,
+    verdict_us: Vec<u64>,
+    /// Server-side summary mismatch or transport failure.
+    error: Option<String>,
+}
+
+fn outcome_char(outcome: &str) -> char {
+    match outcome {
+        "proved" => 'P',
+        "refuted" => 'R',
+        _ => 'U',
+    }
+}
+
+/// The burst phase's idempotent delta: re-assert the domain the session
+/// holds after its ordered events (its last enlargement, or the original
+/// `Din`). An equal-domain enlargement is accepted and commutes with
+/// itself, so any server-side reordering of retries is invisible.
+fn burst_delta(scenario: &Scenario) -> DeltaEvent {
+    let last = scenario
+        .events
+        .iter()
+        .rev()
+        .find_map(|e| match e {
+            DeltaEvent::DomainEnlarged(b) => Some(b.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| scenario.din.clone());
+    DeltaEvent::DomainEnlarged(last)
+}
+
+/// Drives one scenario through `client` (all three phases; see module
+/// docs). Returns per-session accounting; protocol errors are captured
+/// in [`SessionResult::error`] rather than aborting the other sessions
+/// on this connection.
+fn drive_session(
+    client: &mut Client,
+    scenario_index: usize,
+    scenario: &Scenario,
+    burst: usize,
+) -> SessionResult {
+    let mut result = SessionResult {
+        scenario_index,
+        outcome_code: String::new(),
+        ordered: 0,
+        burst: 0,
+        proved: 0,
+        refuted: 0,
+        unknown: 0,
+        busy_replies: 0,
+        retries: 0,
+        open_us: 0,
+        verdict_us: Vec::new(),
+        error: None,
+    };
+    fn tally(outcome: &str, result: &mut SessionResult) {
+        result.outcome_code.push(outcome_char(outcome));
+        match outcome_char(outcome) {
+            'P' => result.proved += 1,
+            'R' => result.refuted += 1,
+            _ => result.unknown += 1,
+        }
+    }
+
+    // Phase 1: open.
+    let t0 = Instant::now();
+    let opened = match client.open(OpenParams {
+        label: scenario.name.clone(),
+        network: scenario.network.clone(),
+        din: scenario.din.clone(),
+        dout: scenario.dout.clone(),
+        domain: scenario.domain,
+        margin: scenario.margin,
+    }) {
+        Ok(o) => o,
+        Err(e) => {
+            result.error = Some(format!("open: {e}"));
+            return result;
+        }
+    };
+    result.open_us = t0.elapsed().as_micros() as u64;
+
+    // Phase 2: ordered deltas, window 1 (never Busy-bounced out of order:
+    // a bounced delta is retried before the next is sent).
+    for event in &scenario.events {
+        let t = Instant::now();
+        match delta_with_retry(client, opened.session, event, &mut result) {
+            Ok(outcome) => {
+                result.verdict_us.push(t.elapsed().as_micros() as u64);
+                result.ordered += 1;
+                tally(&outcome, &mut result);
+            }
+            Err(e) => {
+                result.error = Some(format!("delta: {e}"));
+                return result;
+            }
+        }
+    }
+
+    // Phase 3: pipelined idempotent burst.
+    let delta = burst_delta(scenario);
+    let mut pending = Vec::with_capacity(burst);
+    let t_burst = Instant::now();
+    for _ in 0..burst {
+        match client.send(crate::protocol::Command::Delta(crate::protocol::DeltaParams {
+            session: opened.session,
+            delta: delta.clone(),
+        })) {
+            Ok(id) => pending.push(id),
+            Err(e) => {
+                result.error = Some(format!("burst send: {e}"));
+                return result;
+            }
+        }
+    }
+    for id in pending {
+        match collect_burst_reply(client, id, opened.session, &delta, &mut result) {
+            Ok(outcome) => {
+                result.verdict_us.push(t_burst.elapsed().as_micros() as u64);
+                result.burst += 1;
+                tally(&outcome, &mut result);
+            }
+            Err(e) => {
+                result.error = Some(format!("burst: {e}"));
+                return result;
+            }
+        }
+    }
+
+    // Close and cross-check: the server's lifetime tally must equal what
+    // this client counted, or a verdict was lost or duplicated.
+    match client.close(opened.session) {
+        Ok(summary) => {
+            let expected = result.ordered + result.burst;
+            if summary.deltas != expected
+                || summary.proved != result.proved
+                || summary.refuted != result.refuted
+                || summary.unknown != result.unknown
+            {
+                result.error = Some(format!(
+                    "summary mismatch: server saw {}/{}/{}/{} (deltas/P/R/U), client counted \
+                     {}/{}/{}/{}",
+                    summary.deltas,
+                    summary.proved,
+                    summary.refuted,
+                    summary.unknown,
+                    expected,
+                    result.proved,
+                    result.refuted,
+                    result.unknown
+                ));
+            }
+        }
+        Err(e) => result.error = Some(format!("close: {e}")),
+    }
+    result
+}
+
+/// Sends one delta and waits for its verdict, retrying on `Busy` and
+/// counting the bounces.
+fn delta_with_retry(
+    client: &mut Client,
+    session: u64,
+    event: &DeltaEvent,
+    result: &mut SessionResult,
+) -> Result<String, ServiceError> {
+    loop {
+        let params = crate::protocol::DeltaParams { session, delta: event.clone() };
+        match client.request(crate::protocol::Command::Delta(params))? {
+            crate::protocol::Reply::Verdict(v) => return Ok(v.record.outcome),
+            crate::protocol::Reply::Busy(_) => {
+                result.busy_replies += 1;
+                result.retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            crate::protocol::Reply::Error(e) => return Err(ServiceError::Remote(e)),
+            other => return Err(ServiceError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+}
+
+/// Waits out one burst reply; a `Busy` bounce re-sends the (idempotent)
+/// delta under a fresh id until it lands.
+fn collect_burst_reply(
+    client: &mut Client,
+    id: u64,
+    session: u64,
+    delta: &DeltaEvent,
+    result: &mut SessionResult,
+) -> Result<String, ServiceError> {
+    let mut id = id;
+    loop {
+        match client.wait_for(id)? {
+            crate::protocol::Reply::Verdict(v) => return Ok(v.record.outcome),
+            crate::protocol::Reply::Busy(_) => {
+                result.busy_replies += 1;
+                result.retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                id =
+                    client.send(crate::protocol::Command::Delta(crate::protocol::DeltaParams {
+                        session,
+                        delta: delta.clone(),
+                    }))?;
+            }
+            crate::protocol::Reply::Error(e) => return Err(ServiceError::Remote(e)),
+            other => return Err(ServiceError::UnexpectedReply(format!("{other:?}"))),
+        }
+    }
+}
+
+/// Runs the load generator against a daemon at `addr` (see module docs).
+/// Opens `config.connections` TCP connections and drives
+/// `config.sessions` sessions across them.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] if corpus generation fails or a connection
+/// cannot be established; per-session protocol failures are *recorded*
+/// (`totals.errors`) rather than propagated, so one bad session never
+/// hides the rest of the run.
+pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, ServiceError> {
+    let corpus = generate(&CorpusConfig {
+        scenarios: config.sessions,
+        families: config.families.max(1),
+        events_per_scenario: config.events_per_session,
+        seed: config.seed,
+        include_vehicle: false,
+    })
+    .map_err(|e| ServiceError::Encode(format!("corpus generation: {e}")))?;
+
+    let connections = config.connections.max(1);
+    let t0 = Instant::now();
+    let results: Mutex<Vec<SessionResult>> = Mutex::new(Vec::with_capacity(corpus.len()));
+    let failures: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for worker in 0..connections {
+            let corpus = &corpus;
+            let results = &results;
+            let failures = &failures;
+            scope.spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        failures.lock().expect("failure list").push(format!("connect: {e}"));
+                        return;
+                    }
+                };
+                // Round-robin partition: worker w drives scenarios
+                // w, w+connections, w+2·connections, …
+                for (index, scenario) in corpus.iter().enumerate().skip(worker).step_by(connections)
+                {
+                    let r = drive_session(&mut client, index, scenario, config.burst);
+                    results.lock().expect("result list").push(r);
+                }
+            });
+        }
+    });
+
+    let wall_us = t0.elapsed().as_micros() as u64;
+    let results = results.into_inner().expect("result list");
+    let failures = failures.into_inner().expect("failure list");
+
+    let mut totals = LoadTotals { errors: failures.len() as u64, ..LoadTotals::default() };
+    let mut backpressure = Backpressure { recovered: true, ..Backpressure::default() };
+    let mut open_samples = Vec::with_capacity(results.len());
+    let mut verdict_samples = Vec::new();
+    let mut outcome_codes = vec![String::new(); corpus.len()];
+    for r in &results {
+        totals.sessions += 1;
+        totals.ordered_deltas += r.ordered;
+        totals.burst_deltas += r.burst;
+        totals.verdicts += r.ordered + r.burst;
+        totals.proved += r.proved;
+        totals.refuted += r.refuted;
+        totals.unknown += r.unknown;
+        backpressure.busy_replies += r.busy_replies;
+        backpressure.retries += r.retries;
+        open_samples.push(r.open_us);
+        verdict_samples.extend_from_slice(&r.verdict_us);
+        outcome_codes[r.scenario_index] = format!(
+            "{}.{}",
+            &r.outcome_code[..r.ordered as usize],
+            &r.outcome_code[r.ordered as usize..]
+        );
+        if let Some(e) = &r.error {
+            totals.errors += 1;
+            covern_observe::obs_warn!(
+                "loadgen session failed",
+                scenario = r.scenario_index,
+                error = e
+            );
+        }
+    }
+    backpressure.recovered = totals.errors == 0
+        && totals.verdicts == totals.ordered_deltas + totals.burst_deltas
+        && totals.sessions == corpus.len() as u64;
+
+    Ok(LoadReport {
+        format: LOADGEN_REPORT_FORMAT.to_owned(),
+        config: config.clone(),
+        totals,
+        open_latency: LatencyStats::from_samples(&mut open_samples),
+        verdict_latency: LatencyStats::from_samples(&mut verdict_samples),
+        backpressure,
+        wall_us,
+        outcome_codes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_pick_percentiles() {
+        let mut samples: Vec<u64> = (1..=100).collect();
+        let s = LatencyStats::from_samples(&mut samples);
+        assert_eq!(s.p50_us, 51);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+        assert_eq!(s.samples, 100);
+        let mut empty = Vec::new();
+        assert_eq!(LatencyStats::from_samples(&mut empty), LatencyStats::default());
+    }
+
+    #[test]
+    fn canonical_json_zeroes_measurements_only() {
+        let report = LoadReport {
+            format: LOADGEN_REPORT_FORMAT.into(),
+            config: LoadgenConfig::default(),
+            totals: LoadTotals { sessions: 2, verdicts: 6, ..Default::default() },
+            open_latency: LatencyStats { p50_us: 10, samples: 2, ..Default::default() },
+            verdict_latency: LatencyStats { p99_us: 99, samples: 6, ..Default::default() },
+            backpressure: Backpressure { busy_replies: 3, retries: 3, recovered: true },
+            wall_us: 12345,
+            outcome_codes: vec!["PPU.PP".into(), "PRP.UU".into()],
+        };
+        let canonical = report.canonical_json().unwrap();
+        assert!(!canonical.contains("12345"));
+        let parsed: LoadReport = serde_json::from_str(&canonical).unwrap();
+        assert_eq!(parsed.open_latency, LatencyStats::default());
+        assert_eq!(parsed.config.connections, 0, "parallelism is not canonical identity");
+        assert_eq!(parsed.backpressure.busy_replies, 0);
+        assert!(parsed.backpressure.recovered, "recovered is an outcome, not a measurement");
+        assert_eq!(parsed.totals.verdicts, 6);
+        assert_eq!(parsed.outcome_codes, vec!["PPU.PP".to_owned(), "PRP.UU".to_owned()]);
+    }
+
+    #[test]
+    fn burst_delta_is_last_enlargement_or_din() {
+        let corpus = generate(&CorpusConfig {
+            scenarios: 2,
+            families: 1,
+            events_per_scenario: 4,
+            seed: 7,
+            include_vehicle: false,
+        })
+        .unwrap();
+        for scenario in &corpus {
+            let DeltaEvent::DomainEnlarged(b) = burst_delta(scenario) else {
+                panic!("burst delta must be an enlargement");
+            };
+            let expected = scenario
+                .events
+                .iter()
+                .rev()
+                .find_map(|e| match e {
+                    DeltaEvent::DomainEnlarged(x) => Some(x.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| scenario.din.clone());
+            assert_eq!(b, expected);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! A plain-HTTP `/metrics` endpoint for Prometheus-style scrapers.
+//!
+//! The protocol already exposes the registry via the `Metrics` request,
+//! but a scraper should not have to speak `covern-protocol-v1` to read
+//! counters. This module serves the same render over the smallest
+//! possible HTTP/1.1 surface: `GET /metrics` answers `200` with
+//! `text/plain; version=0.0.4` (the Prometheus text exposition format),
+//! anything else answers `404`, every response closes the connection.
+//!
+//! The listener is **diagnostics-only**: it shares no state with the
+//! protocol transports beyond the process-wide
+//! [`covern_observe::metrics()`] registry and the service's shutdown flag
+//! (it polls the flag and exits once the daemon is draining). It is off
+//! by default and enabled with `covern_cli serve --metrics-http ADDR`.
+
+use crate::dispatch::Service;
+use covern_observe::{metrics, obs_info};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop re-checks the shutdown flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(100);
+
+/// Per-request socket timeout: a scraper that stalls mid-request must not
+/// pin the (single) serving thread past this.
+const REQUEST_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// A running `/metrics` HTTP listener handle.
+#[derive(Debug)]
+pub struct MetricsHttpServer {
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttpServer {
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until the listener has exited (the service shut down).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttpServer {
+    fn drop(&mut self) {
+        // Detach rather than join — the poll loop exits on its own once
+        // the service shuts down.
+        self.accept.take();
+    }
+}
+
+/// Binds `addr` and serves `GET /metrics` until `service` starts
+/// shutting down. Returns immediately.
+///
+/// # Errors
+///
+/// Returns [`std::io::Error`] if binding fails.
+pub fn serve_metrics_http(service: Arc<Service>, addr: &str) -> std::io::Result<MetricsHttpServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    obs_info!("metrics http listening", addr = local_addr);
+    let accept = std::thread::spawn(move || accept_loop(&listener, &service));
+    Ok(MetricsHttpServer { local_addr, accept: Some(accept) })
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<Service>) {
+    loop {
+        if service.is_shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_scrape(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Answers one HTTP request on `stream`. Serial by design: a scrape is a
+/// render-and-write of an in-memory registry, so concurrency would buy
+/// nothing and a thread per scraper is a thread too many.
+fn handle_scrape(stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
+    let _ = stream.set_nonblocking(false);
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain the headers so the client sees a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header.trim().is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut stream = reader.into_inner();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path.starts_with("/metrics?")) {
+        let m = metrics();
+        m.metrics_scrapes_total.inc();
+        let body = m.render_prometheus();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+             charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "covern: only GET /metrics is served here\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; \
+             charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::ServiceConfig;
+    use std::io::Read;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn scrape_returns_prometheus_text() {
+        let service = Service::new(ServiceConfig::default());
+        let server = serve_metrics_http(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let response = http_get(server.local_addr(), "/metrics");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("# TYPE covern_requests_total counter"));
+        assert!(response.contains("covern_sessions_open "));
+    }
+
+    #[test]
+    fn non_metrics_paths_get_404_and_shutdown_stops_the_loop() {
+        let service = Service::new(ServiceConfig::default());
+        let server = serve_metrics_http(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let response = http_get(server.local_addr(), "/health");
+        assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+        // Flip the shutdown flag through the protocol path and confirm the
+        // poll loop exits.
+        use crate::dispatch::Respond;
+        use crate::protocol::{Command, Request, Response};
+        struct Sink;
+        impl Respond for Sink {
+            fn send(&self, _: &Response) {}
+        }
+        let responder: Arc<dyn Respond> = Arc::new(Sink);
+        let _ = service.handle_request(Request::new(1, Command::Shutdown), &responder);
+        server.join();
+    }
+}

@@ -62,6 +62,9 @@ pub enum Command {
     Checkpoint(SessionRef),
     /// Process-wide counters: sessions, deltas, shared-cache hit/miss.
     Stats,
+    /// The full metrics registry rendered in Prometheus text format
+    /// (the in-band twin of the `--metrics-http` scrape endpoint).
+    Metrics,
     /// Close a session and return its summary.
     Close(SessionRef),
     /// Drain every session's in-flight work, then stop the server.
@@ -146,6 +149,8 @@ pub enum Reply {
     Checkpoint(CheckpointState),
     /// Answer to [`Command::Stats`].
     Stats(StatsSnapshot),
+    /// Answer to [`Command::Metrics`].
+    Metrics(MetricsText),
     /// Answer to [`Command::Close`].
     Closed(SessionSummary),
     /// Answer to [`Command::Shutdown`], sent *after* every session's
@@ -227,6 +232,21 @@ pub struct StatsSnapshot {
     /// Distinct content addresses in the shared cache.
     pub cache_entries: u64,
 }
+
+/// A metrics render ([`Reply::Metrics`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsText {
+    /// The exposition format version (`0.0.4`, the Prometheus text
+    /// format).
+    pub format: String,
+    /// The registry rendered as Prometheus text: `# HELP`/`# TYPE`
+    /// comment pairs followed by one sample line per series. Newlines are
+    /// JSON-escaped on the wire; unescape to feed a Prometheus parser.
+    pub text: String,
+}
+
+/// The exposition format tag of [`MetricsText::format`].
+pub const METRICS_FORMAT: &str = "0.0.4";
 
 /// A closed session's tally ([`Reply::Closed`]).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -351,6 +371,7 @@ mod tests {
             Command::Delta(DeltaParams { session: 7, delta: DeltaEvent::DomainEnlarged(b) }),
             Command::Checkpoint(SessionRef { session: 7 }),
             Command::Stats,
+            Command::Metrics,
             Command::Close(SessionRef { session: 7 }),
             Command::Shutdown,
         ];
@@ -385,6 +406,10 @@ mod tests {
                 cache_hits: 4,
                 cache_misses: 5,
                 cache_entries: 5,
+            }),
+            Reply::Metrics(MetricsText {
+                format: METRICS_FORMAT.into(),
+                text: "# TYPE covern_sessions_open gauge\ncovern_sessions_open 1\n".into(),
             }),
             Reply::ShuttingDown,
             Reply::Busy(BusyInfo { session: 1, pending: 32, capacity: 32 }),

@@ -105,6 +105,7 @@ impl Session {
             return Enqueue::Busy { pending: inbox.queue.len() as u64 };
         }
         inbox.queue.push_back(item);
+        covern_observe::metrics().inbox_depth.inc();
         if inbox.running {
             Enqueue::Queued
         } else {
@@ -118,7 +119,10 @@ impl Session {
     pub(crate) fn pop_or_finish(&self) -> Option<QueuedDelta> {
         let mut inbox = self.inbox.lock().expect("inbox lock");
         match inbox.queue.pop_front() {
-            Some(item) => Some(item),
+            Some(item) => {
+                covern_observe::metrics().inbox_depth.dec();
+                Some(item)
+            }
             None => {
                 inbox.running = false;
                 None

@@ -15,15 +15,20 @@
 //!   [`Service`] (and therefore the same process-wide cache).
 
 use crate::dispatch::{Respond, Service, WriterResponder};
+use covern_observe::{metrics, obs_info};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How often a blocked TCP reader re-checks the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Process-wide connection ids for log correlation (never on the wire).
+static NEXT_CONN_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Serves one connection over arbitrary reader/writer halves (the stdio
 /// path, and directly usable by in-process tests).
@@ -115,6 +120,7 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        metrics().connections_accepted_total.inc();
         let service = Arc::clone(service);
         connections.push(std::thread::spawn(move || connection_loop(stream, &service, local_addr)));
     }
@@ -128,8 +134,16 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>) {
 /// accumulated across timeouts are preserved (`read_line` keeps already
 /// read bytes in the buffer on error).
 fn connection_loop(stream: TcpStream, service: &Arc<Service>, local_addr: Option<SocketAddr>) {
+    let conn = NEXT_CONN_ID.fetch_add(1, Ordering::Relaxed);
+    let peer = stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "unknown".to_owned());
+    metrics().connections_active.inc();
+    obs_info!("connection accepted", conn = conn, peer = peer);
     let _ = stream.set_read_timeout(Some(READ_POLL));
-    let Ok(write_half) = stream.try_clone() else { return };
+    let Ok(write_half) = stream.try_clone() else {
+        metrics().connections_active.dec();
+        obs_info!("connection closed", conn = conn, peer = peer);
+        return;
+    };
     let responder: Arc<dyn Respond> = Arc::new(WriterResponder::new(Box::new(write_half)));
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
@@ -163,6 +177,8 @@ fn connection_loop(stream: TcpStream, service: &Arc<Service>, local_addr: Option
             Err(_) => break,
         }
     }
+    metrics().connections_active.dec();
+    obs_info!("connection closed", conn = conn, peer = peer);
 }
 
 /// The address the shutdown self-wake connects to. A daemon bound to a

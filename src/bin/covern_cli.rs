@@ -9,7 +9,8 @@
 //! covern_cli update   --store state.json --network f2.json
 //! covern_cli status   --store state.json
 //! covern_cli campaign --scenarios 20 --threads 4 --seed 42 --out report.json
-//! covern_cli serve    --tcp 127.0.0.1:7071
+//! covern_cli serve    --tcp 127.0.0.1:7071 --metrics-http 127.0.0.1:9464
+//! covern_cli loadgen  --spawn --sessions 200 --connections 8 --out load.json
 //! ```
 //!
 //! `campaign` generates a seeded scenario corpus (see
@@ -23,7 +24,15 @@
 //! `serve` runs the long-lived verification daemon speaking
 //! `covern-protocol-v1` (newline-delimited JSON; spec in
 //! `docs/PROTOCOL.md`) on stdio or TCP; concurrent client sessions share
-//! one process-wide artifact cache.
+//! one process-wide artifact cache. `--metrics-http ADDR` additionally
+//! serves the process metrics as Prometheus text on `GET /metrics`
+//! (catalog in `docs/OPERATIONS.md`).
+//!
+//! `loadgen` drives many concurrent sessions through a daemon — an
+//! external one (`--addr`) or one spawned in-process (`--spawn`) — and
+//! writes a `covern-loadgen-report-v1` JSON report with measured p50/p99
+//! latencies and Busy/backpressure accounting (`--canonical` zeroes the
+//! measurements for a seed-deterministic report).
 //!
 //! Networks use the bit-exact `covern-nn` JSON format
 //! (`covern::nn::serialize`); boxes are JSON arrays of `[lo, hi]` pairs.
@@ -58,6 +67,7 @@ commands:
   status     print the stored proof state
   campaign   run a seeded batch campaign concurrently with the artifact cache
   serve      run the covern-protocol-v1 verification daemon (stdio or TCP)
+  loadgen    drive concurrent sessions through a daemon; measure latency
   help       print this reference (or one command's section)
 
 verify — original verification
@@ -106,6 +116,8 @@ campaign — concurrent batch verification
 serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --stdio              serve stdin/stdout                          [default]
   --tcp ADDR           serve TCP on ADDR (e.g. 127.0.0.1:7071; port 0 picks)
+  --metrics-http ADDR  also serve GET /metrics (Prometheus text) on ADDR
+                       (see docs/OPERATIONS.md)          [default: disabled]
   --workers N          drain-task worker pool size  [default: machine cores]
   --session-threads N  per-session verifier thread budget        [default: 1]
   --inbox N            per-session bounded-inbox capacity       [default: 32]
@@ -113,7 +125,22 @@ serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --refine-strategy S  local-check engine (see enlarge) [default: widest]
   --deadline-ms N      anytime deadline per local check [default: none]
 
-exit codes: 0 property proved / clean shutdown; 2 unknown or refuted;
+loadgen — concurrent-session load generator (report: covern-loadgen-report-v1)
+  --addr ADDR     drive a daemon already listening on ADDR
+  --spawn         spawn an in-process daemon on a loopback port instead
+  --sessions N    concurrent sessions (one corpus scenario each) [default: 50]
+  --connections N client connections (threads)                    [default: 8]
+  --events N      ordered delta events per session                [default: 3]
+  --families N    distinct base-model families                    [default: 5]
+  --burst N       pipelined idempotent deltas per session          [default: 4]
+  --inbox N       (--spawn only) per-session inbox capacity       [default: 32]
+  --workers N     (--spawn only) drain-task pool size  [default: machine cores]
+  --seed N        corpus master seed                            [default: 2021]
+  --out F         write the JSON report here        [default: print to stdout]
+  --canonical     zero timing/contention fields (seed-deterministic report)
+
+exit codes: 0 property proved / clean shutdown / loadgen passed;
+            2 unknown or refuted / loadgen failed its bar;
             1 usage, I/O, or protocol error
 ";
 
@@ -155,7 +182,7 @@ fn print_help(command: Option<&str>) -> Result<(), String> {
 
 /// Flags that take no value; everything else must be followed by one
 /// (a forgotten value stays a usage error, not a silent `"true"`).
-const BOOLEAN_FLAGS: [&str; 5] = ["canonical", "vehicle", "no-cache", "stdio", "help"];
+const BOOLEAN_FLAGS: [&str; 6] = ["canonical", "vehicle", "no-cache", "stdio", "spawn", "help"];
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut flags = HashMap::new();
@@ -361,6 +388,8 @@ fn run() -> Result<bool, String> {
             if flags.contains_key("stdio") && flags.contains_key("tcp") {
                 return Err("serve takes --stdio or --tcp ADDR, not both".into());
             }
+            // Daemons default to lifecycle-level logging; COVERN_LOG wins.
+            covern::observe::log::set_default_level(covern::observe::Level::Info);
             let config = service::ServiceConfig {
                 workers: parse("workers", 0)? as usize,
                 session_threads: parse("session-threads", 1)?.max(1) as usize,
@@ -368,6 +397,14 @@ fn run() -> Result<bool, String> {
                 method: parse_method(&flags, parse("splits", 256)? as usize)?,
             };
             let svc = service::Service::new(config);
+            let metrics_server = flags
+                .get("metrics-http")
+                .map(|addr| service::serve_metrics_http(std::sync::Arc::clone(&svc), addr))
+                .transpose()
+                .map_err(|e| e.to_string())?;
+            if let Some(m) = &metrics_server {
+                eprintln!("covern-service metrics on http://{}/metrics", m.local_addr());
+            }
             match flags.get("tcp") {
                 Some(addr) => {
                     let server = service::serve_tcp(svc, addr).map_err(|e| e.to_string())?;
@@ -380,8 +417,87 @@ fn run() -> Result<bool, String> {
                     service::serve_stdio(&svc).map_err(|e| e.to_string())?;
                 }
             }
+            if let Some(m) = metrics_server {
+                m.join();
+            }
             eprintln!("covern-service stopped");
             Ok(true)
+        }
+        "loadgen" => {
+            let parse = |key: &str, default: u64| parse_u64(&flags, key, default);
+            covern::observe::log::set_default_level(covern::observe::Level::Info);
+            let config = service::LoadgenConfig {
+                sessions: parse("sessions", 50)?.max(1) as usize,
+                connections: parse("connections", 8)?.max(1) as usize,
+                events_per_session: parse("events", 3)? as usize,
+                families: parse("families", 5)?.max(1) as usize,
+                burst: parse("burst", 4)? as usize,
+                seed: parse("seed", 2021)?,
+            };
+            let spawned = match (flags.get("addr"), flags.contains_key("spawn")) {
+                (Some(_), true) => return Err("loadgen takes --addr or --spawn, not both".into()),
+                (None, false) => return Err("loadgen needs --addr ADDR or --spawn".into()),
+                (Some(addr), false) => {
+                    eprintln!("loadgen: driving daemon at {addr}");
+                    None
+                }
+                (None, true) => {
+                    let svc = service::Service::new(service::ServiceConfig {
+                        workers: parse("workers", 0)? as usize,
+                        inbox_capacity: parse("inbox", 32)?.max(1) as usize,
+                        ..service::ServiceConfig::default()
+                    });
+                    let server =
+                        service::serve_tcp(svc, "127.0.0.1:0").map_err(|e| e.to_string())?;
+                    eprintln!("loadgen: spawned in-process daemon on {}", server.local_addr());
+                    Some(server)
+                }
+            };
+            let addr = match &spawned {
+                Some(server) => server.local_addr().to_string(),
+                None => flags.get("addr").cloned().expect("checked above"),
+            };
+            let report = service::loadgen::run(&addr, &config).map_err(|e| e.to_string())?;
+            if let Some(server) = spawned {
+                let mut client = service::Client::connect(&*addr).map_err(|e| e.to_string())?;
+                client.shutdown().map_err(|e| e.to_string())?;
+                server.join();
+            }
+
+            eprintln!(
+                "loadgen: {} sessions over {} connections: {} verdicts ({}P/{}R/{}U), {} errors",
+                report.totals.sessions,
+                report.config.connections,
+                report.totals.verdicts,
+                report.totals.proved,
+                report.totals.refuted,
+                report.totals.unknown,
+                report.totals.errors
+            );
+            eprintln!(
+                "loadgen: open p50/p99 {}/{} us; verdict p50/p99 {}/{} us; busy {} (retries {}, \
+                 recovered {})",
+                report.open_latency.p50_us,
+                report.open_latency.p99_us,
+                report.verdict_latency.p50_us,
+                report.verdict_latency.p99_us,
+                report.backpressure.busy_replies,
+                report.backpressure.retries,
+                report.backpressure.recovered
+            );
+            let json = if flags.contains_key("canonical") {
+                report.canonical_json()
+            } else {
+                report.to_json()
+            }
+            .map_err(|e| e.to_string())?;
+            if let Some(out) = flags.get("out") {
+                std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+                eprintln!("loadgen: report written to {out}");
+            } else {
+                println!("{json}");
+            }
+            Ok(report.passed())
         }
         "status" => {
             let verifier = ContinuousVerifier::resume_from(&store).map_err(|e| e.to_string())?;

@@ -14,6 +14,7 @@
 //!
 //! | Module | Backing crate | Contents |
 //! |--------|---------------|----------|
+//! | [`observe`] | `covern-observe` | process-wide metrics registry (Prometheus text), structured `key=value` logging |
 //! | [`tensor`] | `covern-tensor` | dense matrices, vector kernels, operator norms, seeded RNG |
 //! | [`nn`] | `covern-nn` | dense networks, activations, SGD training/fine-tuning, frozen conv backbone |
 //! | [`absint`] | `covern-absint` | interval / symbolic-interval / zonotope abstract interpretation, state abstractions `S1..Sn` |
@@ -24,7 +25,7 @@
 //! | [`vehicle`] | `covern-vehicle` | simulated 1/10-scale platform (track, camera, control) |
 //! | [`core`] | `covern-core` | SVuDC/SVbTV problems, Propositions 1–6, incremental fixing, pipeline |
 //! | [`campaign`] | `covern-campaign` | batch campaigns: scenario corpora, content-addressed artifact cache, concurrent runner, JSON reports |
-//! | [`service`] | `covern-service` | long-running daemon: `covern-protocol-v1` sessions over stdio/TCP, process-wide artifact cache |
+//! | [`service`] | `covern-service` | long-running daemon: `covern-protocol-v1` sessions over stdio/TCP, process-wide artifact cache, `/metrics`, load generator |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use covern_milp as milp;
 pub use covern_monitor as monitor;
 pub use covern_netabs as netabs;
 pub use covern_nn as nn;
+pub use covern_observe as observe;
 pub use covern_service as service;
 pub use covern_tensor as tensor;
 pub use covern_vehicle as vehicle;

@@ -29,6 +29,7 @@ commands:
   status     print the stored proof state
   campaign   run a seeded batch campaign concurrently with the artifact cache
   serve      run the covern-protocol-v1 verification daemon (stdio or TCP)
+  loadgen    drive concurrent sessions through a daemon; measure latency
   help       print this reference (or one command's section)
 
 verify — original verification
@@ -77,6 +78,8 @@ campaign — concurrent batch verification
 serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --stdio              serve stdin/stdout                          [default]
   --tcp ADDR           serve TCP on ADDR (e.g. 127.0.0.1:7071; port 0 picks)
+  --metrics-http ADDR  also serve GET /metrics (Prometheus text) on ADDR
+                       (see docs/OPERATIONS.md)          [default: disabled]
   --workers N          drain-task worker pool size  [default: machine cores]
   --session-threads N  per-session verifier thread budget        [default: 1]
   --inbox N            per-session bounded-inbox capacity       [default: 32]
@@ -84,7 +87,22 @@ serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --refine-strategy S  local-check engine (see enlarge) [default: widest]
   --deadline-ms N      anytime deadline per local check [default: none]
 
-exit codes: 0 property proved / clean shutdown; 2 unknown or refuted;
+loadgen — concurrent-session load generator (report: covern-loadgen-report-v1)
+  --addr ADDR     drive a daemon already listening on ADDR
+  --spawn         spawn an in-process daemon on a loopback port instead
+  --sessions N    concurrent sessions (one corpus scenario each) [default: 50]
+  --connections N client connections (threads)                    [default: 8]
+  --events N      ordered delta events per session                [default: 3]
+  --families N    distinct base-model families                    [default: 5]
+  --burst N       pipelined idempotent deltas per session          [default: 4]
+  --inbox N       (--spawn only) per-session inbox capacity       [default: 32]
+  --workers N     (--spawn only) drain-task pool size  [default: machine cores]
+  --seed N        corpus master seed                            [default: 2021]
+  --out F         write the JSON report here        [default: print to stdout]
+  --canonical     zero timing/contention fields (seed-deterministic report)
+
+exit codes: 0 property proved / clean shutdown / loadgen passed;
+            2 unknown or refuted / loadgen failed its bar;
             1 usage, I/O, or protocol error
 ";
 
@@ -98,7 +116,7 @@ fn help_output_matches_snapshot() {
 
 #[test]
 fn per_command_help_prints_that_section() {
-    for cmd in ["verify", "enlarge", "update", "status", "campaign", "serve"] {
+    for cmd in ["verify", "enlarge", "update", "status", "campaign", "serve", "loadgen"] {
         let out = cli(&["help", cmd]);
         assert!(out.status.success(), "help {cmd} failed");
         let stdout = String::from_utf8(out.stdout).unwrap();
@@ -143,12 +161,30 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
             &[
                 "stdio",
                 "tcp",
+                "metrics-http",
                 "workers",
                 "session-threads",
                 "inbox",
                 "splits",
                 "refine-strategy",
                 "deadline-ms",
+            ],
+        ),
+        (
+            "loadgen",
+            &[
+                "addr",
+                "spawn",
+                "sessions",
+                "connections",
+                "events",
+                "families",
+                "burst",
+                "inbox",
+                "workers",
+                "seed",
+                "out",
+                "canonical",
             ],
         ),
     ];

@@ -1,0 +1,160 @@
+//! The load generator's determinism contract, held against a live
+//! daemon:
+//!
+//! 1. the canonical report is **byte-identical** across client
+//!    parallelism (`connections` = 1 vs 4) for a fixed seed;
+//! 2. every verdict measured under concurrent load equals the verdict a
+//!    single quiet session gets for the same scenario — load changes
+//!    *when* answers arrive, never *what* they are;
+//! 3. a deliberately tiny inbox provokes `Busy` backpressure, and the
+//!    run still recovers with zero lost or misordered verdicts.
+
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::service::client::Client;
+use covern::service::dispatch::{Service, ServiceConfig};
+use covern::service::loadgen::{run, LoadgenConfig};
+use covern::service::protocol::OpenParams;
+use covern::service::transport::serve_tcp;
+
+fn small_config(connections: usize) -> LoadgenConfig {
+    LoadgenConfig {
+        sessions: 6,
+        connections,
+        events_per_session: 2,
+        families: 2,
+        burst: 3,
+        seed: 2021,
+    }
+}
+
+#[test]
+fn canonical_report_is_byte_identical_across_connection_counts() {
+    let service = Service::new(ServiceConfig { workers: 2, ..Default::default() });
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Same seed and workload, serial then 4-way parallel, against the
+    // same daemon (the second run reuses the artifact cache — reuse is
+    // also not allowed to change outcomes).
+    let serial = run(&addr, &small_config(1)).unwrap();
+    let parallel = run(&addr, &small_config(4)).unwrap();
+    assert!(serial.passed(), "serial run failed: {:?}", serial.totals);
+    assert!(parallel.passed(), "parallel run failed: {:?}", parallel.totals);
+
+    let a = serial.canonical_json().unwrap();
+    let b = parallel.canonical_json().unwrap();
+    assert_eq!(a, b, "canonical report must not depend on client parallelism");
+
+    let mut control = Client::connect(&addr).unwrap();
+    control.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn verdicts_under_load_match_a_quiet_single_session_replay() {
+    let service = Service::new(ServiceConfig { workers: 2, ..Default::default() });
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    let config = small_config(4);
+    let loaded = run(&addr, &config).unwrap();
+    assert!(loaded.passed());
+
+    // Replay the identical corpus one scenario at a time, one in-flight
+    // request in the whole daemon — the least concurrent schedule
+    // possible — and demand the same verdict sequence.
+    let corpus = generate(&CorpusConfig {
+        scenarios: config.sessions,
+        families: config.families,
+        events_per_scenario: config.events_per_session,
+        seed: config.seed,
+        include_vehicle: false,
+    })
+    .unwrap();
+    let mut client = Client::connect(&addr).unwrap();
+    for (index, scenario) in corpus.iter().enumerate() {
+        let opened = client
+            .open(OpenParams {
+                label: scenario.name.clone(),
+                network: scenario.network.clone(),
+                din: scenario.din.clone(),
+                dout: scenario.dout.clone(),
+                domain: scenario.domain,
+                margin: scenario.margin,
+            })
+            .unwrap();
+        let mut quiet = String::new();
+        for event in &scenario.events {
+            let verdict = client.delta(opened.session, event.clone()).unwrap();
+            quiet.push(match verdict.record.outcome.as_str() {
+                "proved" => 'P',
+                "refuted" => 'R',
+                _ => 'U',
+            });
+        }
+        client.close(opened.session).unwrap();
+
+        let code = &loaded.outcome_codes[index];
+        let (ordered, burst) = code.split_once('.').expect("code is `ordered.burst`");
+        assert_eq!(
+            ordered, quiet,
+            "scenario {index} ({}) verdicts changed under load",
+            scenario.name
+        );
+        // The burst re-asserts one idempotent delta: every copy must
+        // land on the same verdict.
+        assert_eq!(burst.len(), config.burst, "scenario {index} lost a burst verdict");
+        assert!(
+            burst.chars().all(|c| c == burst.chars().next().unwrap()),
+            "idempotent burst verdicts diverged for scenario {index}: {code}"
+        );
+    }
+
+    client.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn tiny_inbox_provokes_busy_and_recovers_with_zero_lost_verdicts() {
+    // One drain worker and a one-slot inbox: the pipelined burst phase
+    // must bounce. The report still has to pass — every bounced delta
+    // retried to a verdict, and the server-side session summaries agreed
+    // with the client's own tallies (the cross-check inside the loadgen).
+    let service =
+        Service::new(ServiceConfig { workers: 1, inbox_capacity: 1, ..Default::default() });
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    let config = LoadgenConfig {
+        sessions: 8,
+        connections: 4,
+        events_per_session: 1,
+        families: 2,
+        burst: 6,
+        seed: 9,
+    };
+    let report = run(&addr, &config).unwrap();
+
+    assert_eq!(report.totals.errors, 0, "no session may fail");
+    assert!(report.backpressure.recovered, "every bounced delta must recover");
+    assert_eq!(
+        report.totals.verdicts,
+        report.totals.ordered_deltas + report.totals.burst_deltas,
+        "a verdict was lost: {:?}",
+        report.totals
+    );
+    assert_eq!(report.totals.burst_deltas, (config.sessions * config.burst) as u64);
+    assert!(
+        report.backpressure.busy_replies >= 1,
+        "a one-slot inbox under a 6-deep burst must produce Busy at least once"
+    );
+    assert_eq!(
+        report.backpressure.retries, report.backpressure.busy_replies,
+        "every Busy bounce is answered by exactly one retry"
+    );
+    assert!(report.passed());
+
+    let mut control = Client::connect(&addr).unwrap();
+    control.shutdown().unwrap();
+    server.join();
+}

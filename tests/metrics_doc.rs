@@ -1,0 +1,167 @@
+//! `docs/OPERATIONS.md` never drifts from the metrics registry: every
+//! registered series must be documented (backtick-quoted, with its type)
+//! and every `covern_`-prefixed series the doc mentions must exist in
+//! the registry. A third gate lints the actual Prometheus text render
+//! for exposition-format well-formedness — the same checks a scraper's
+//! parser would apply.
+
+use covern::observe::metrics;
+use std::collections::BTreeSet;
+
+fn doc() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/OPERATIONS.md");
+    std::fs::read_to_string(path).expect("docs/OPERATIONS.md exists")
+}
+
+/// Series names the doc mentions in backticks (`covern_…`), base name
+/// only (label selectors like `{outcome="proved"}` stripped).
+fn documented_names(text: &str) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for (i, _) in text.match_indices("`covern_") {
+        let rest = &text[i + 1..];
+        let Some(end) = rest.find('`') else { continue };
+        let name: String =
+            rest[..end].chars().take_while(|c| *c == '_' || c.is_ascii_alphanumeric()).collect();
+        // Only metric series (snake_case, no ::), not crate names like
+        // `covern_observe` — filter by the registry's naming convention.
+        if name.ends_with("_total")
+            || name.ends_with("_seconds")
+            || name.ends_with("_active")
+            || name.ends_with("_open")
+            || name.ends_with("_depth")
+            || name.ends_with("_entries")
+        {
+            names.insert(name);
+        }
+    }
+    names
+}
+
+#[test]
+fn every_registered_metric_is_documented() {
+    let text = doc();
+    for d in metrics().descriptors() {
+        assert!(
+            text.contains(&format!("`{}`", d.name)),
+            "docs/OPERATIONS.md is missing registered metric `{}`",
+            d.name
+        );
+        // The catalog must state the series type next to the name — scan
+        // the line(s) mentioning it for the kind keyword.
+        let kind = d.kind.as_str();
+        let mentions_with_kind = text
+            .lines()
+            .any(|l| l.contains(&format!("`{}`", d.name)) && l.to_lowercase().contains(kind));
+        assert!(
+            mentions_with_kind,
+            "docs/OPERATIONS.md must state that `{}` is a {kind} on the same line",
+            d.name
+        );
+    }
+}
+
+#[test]
+fn every_documented_metric_is_registered() {
+    let registered: BTreeSet<String> =
+        metrics().descriptors().iter().map(|d| d.name.to_owned()).collect();
+    for name in documented_names(&doc()) {
+        assert!(
+            registered.contains(&name),
+            "docs/OPERATIONS.md documents `{name}` but the registry does not export it"
+        );
+    }
+}
+
+#[test]
+fn registry_and_doc_label_series_consistently() {
+    // Labelled counters (covern_verdicts_total{outcome=…}) must document
+    // their label key.
+    let text = doc();
+    for d in metrics().descriptors() {
+        for (key, _) in d.labels {
+            assert!(
+                text.contains(&format!("{key}=")),
+                "docs/OPERATIONS.md must show the `{key}` label of `{}`",
+                d.name
+            );
+        }
+    }
+}
+
+/// The lint a Prometheus text-format parser would apply, over the real
+/// render: HELP/TYPE pairs precede their samples, histograms carry
+/// cumulative buckets ending at `+Inf` plus `_sum`/`_count`, every
+/// sample line is `name[{labels}] value`.
+#[test]
+fn prometheus_render_is_well_formed() {
+    let m = metrics();
+    // Touch a histogram so bucket lines are exercised with data.
+    m.open_latency_seconds.observe(0.003);
+    let text = m.render_prometheus();
+    assert!(text.ends_with('\n'), "exposition must end with a newline");
+
+    let mut current_type: Option<(String, String)> = None;
+    let mut seen_help = BTreeSet::new();
+    let mut bucket_last: Option<(String, f64, f64)> = None; // (metric, le, cumulative count)
+    for line in text.lines() {
+        assert!(!line.trim().is_empty(), "no blank lines in the exposition");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().expect("HELP names a metric");
+            assert!(seen_help.insert(name.to_owned()), "duplicate HELP for {name}");
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE names a metric").to_owned();
+            let kind = parts.next().expect("TYPE states a kind").to_owned();
+            assert!(
+                ["counter", "gauge", "histogram"].contains(&kind.as_str()),
+                "unknown TYPE kind {kind}"
+            );
+            assert!(seen_help.contains(&name), "TYPE for {name} must follow its HELP");
+            current_type = Some((name, kind));
+            continue;
+        }
+        assert!(!line.starts_with('#'), "only HELP/TYPE comments allowed: {line}");
+        // Sample line: name or name{labels}, then a float.
+        let (series, value) = line.rsplit_once(' ').expect("sample is `series value`");
+        let value: f64 = value.parse().unwrap_or_else(|_| panic!("unparseable value: {line}"));
+        let base = series.split('{').next().expect("series has a name");
+        let (type_name, kind) = current_type.as_ref().expect("samples follow a TYPE");
+        assert!(
+            base == type_name
+                || (kind == "histogram"
+                    && (base == format!("{type_name}_bucket")
+                        || base == format!("{type_name}_sum")
+                        || base == format!("{type_name}_count"))),
+            "sample {base} does not belong to TYPE {type_name}"
+        );
+        if base.ends_with("_bucket") {
+            let le_raw = series
+                .split("le=\"")
+                .nth(1)
+                .and_then(|s| s.split('"').next())
+                .expect("bucket has le");
+            let le = if le_raw == "+Inf" { f64::INFINITY } else { le_raw.parse().unwrap() };
+            if let Some((prev_metric, prev_le, prev_count)) = &bucket_last {
+                if prev_metric == base {
+                    assert!(le > *prev_le, "bucket bounds must ascend: {line}");
+                    assert!(value >= *prev_count, "buckets must be cumulative: {line}");
+                }
+            }
+            bucket_last = Some((base.to_owned(), le, value));
+        } else if base.ends_with("_count") && kind == "histogram" {
+            let last = bucket_last.take().expect("_count follows buckets");
+            assert!(last.1.is_infinite(), "bucket list must end at le=\"+Inf\"");
+            assert_eq!(last.2, value, "+Inf bucket must equal _count");
+        }
+    }
+    // Every registered descriptor appears in the render.
+    for d in metrics().descriptors() {
+        assert!(
+            text.contains(&format!("# TYPE {} ", d.name)),
+            "render is missing TYPE for {}",
+            d.name
+        );
+    }
+}
