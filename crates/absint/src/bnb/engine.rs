@@ -30,7 +30,7 @@
 //! checked only at wave boundaries.
 
 use super::frontier::Frontier;
-use super::{BnbConfig, BnbReport, Stop};
+use super::{BnbCheckpoint, BnbConfig, BnbReport, Stop};
 use crate::box_domain::BoxDomain;
 use crate::error::AbsintError;
 use crate::refine::{output_box, Outcome};
@@ -147,15 +147,81 @@ pub(super) fn run(
     input: &BoxDomain,
     target: &BoxDomain,
     config: &BnbConfig,
+    warm: Option<&BnbCheckpoint>,
     stop: Stop<'_>,
 ) -> Result<BnbReport, AbsintError> {
-    let out = run_inner(net, input, target, config, stop);
+    let out = run_inner(net, input, target, config, warm, stop);
     if let Ok(report) = &out {
         let m = covern_observe::metrics();
         m.bnb_runs_total.inc();
         m.bnb_splits_total.add(report.splits as u64);
+        m.bnb_leaves_revalidated_total.add(report.leaves_revalidated as u64);
+        m.bnb_leaves_reseeded_total.add(report.leaves_reseeded as u64);
     }
     out
+}
+
+/// Deterministic progress accounting of one run, plus the proved-leaf
+/// trail used to assemble checkpoints (only populated when
+/// [`BnbConfig::collect_checkpoint`] is set).
+struct Acc {
+    splits: usize,
+    leaves_proved: usize,
+    leaves_revalidated: usize,
+    leaves_reseeded: usize,
+    warm_started: bool,
+    proved_boxes: Vec<BoxDomain>,
+}
+
+/// What (if anything) cut the search short.
+enum Cut {
+    None,
+    Deadline,
+    Cancelled,
+}
+
+impl Acc {
+    /// Assembles the report; `open` becomes the checkpoint's open set
+    /// (ignored unless collection is on).
+    fn finish(
+        self,
+        config: &BnbConfig,
+        outcome: Outcome,
+        frontier_remaining: usize,
+        cut: Cut,
+        wall: std::time::Duration,
+        open: Vec<BoxDomain>,
+    ) -> BnbReport {
+        let refuted = matches!(outcome, Outcome::Refuted(_));
+        let checkpoint = if config.collect_checkpoint && !refuted {
+            Some(BnbCheckpoint { proved: self.proved_boxes, open })
+        } else {
+            None
+        };
+        BnbReport {
+            outcome,
+            splits: self.splits,
+            leaves_proved: self.leaves_proved,
+            frontier_remaining,
+            deadline_hit: matches!(cut, Cut::Deadline),
+            cancelled: matches!(cut, Cut::Cancelled),
+            wall,
+            checkpoint,
+            leaves_revalidated: self.leaves_revalidated,
+            leaves_reseeded: self.leaves_reseeded,
+            warm_started: self.warm_started,
+        }
+    }
+}
+
+/// Drains the frontier in pop order (its deterministic total order) into
+/// a checkpoint open set.
+fn drain_open(frontier: &mut Frontier) -> Vec<BoxDomain> {
+    let mut open = Vec::with_capacity(frontier.len());
+    while let Some(b) = frontier.pop() {
+        open.push(b);
+    }
+    open
 }
 
 fn run_inner(
@@ -163,6 +229,7 @@ fn run_inner(
     input: &BoxDomain,
     target: &BoxDomain,
     config: &BnbConfig,
+    warm: Option<&BnbCheckpoint>,
     stop: Stop<'_>,
 ) -> Result<BnbReport, AbsintError> {
     let t0 = Instant::now();
@@ -170,9 +237,43 @@ fn run_inner(
     let found = AtomicBool::new(false);
 
     let mut frontier = Frontier::new();
-    frontier.push(config.strategy.score(input, 0.0), input.clone());
-    let mut splits = 0usize;
-    let mut leaves_proved = 0usize;
+    let mut acc = Acc {
+        splits: 0,
+        leaves_proved: 0,
+        leaves_revalidated: 0,
+        leaves_reseeded: 0,
+        warm_started: warm.is_some(),
+        proved_boxes: Vec::new(),
+    };
+    match warm {
+        Some(cp) => {
+            // Warm-start pre-pass, sequential and in stored order (so the
+            // resulting frontier — and everything downstream — is
+            // schedule-independent): every proved seed leaf is
+            // re-validated against the *current* weights with one fused
+            // abstract pass; survivors count as proved leaves, failures
+            // are re-seeded into the frontier with their fresh excess as
+            // the split score, and the checkpoint's open boxes re-enter
+            // the frontier as roots of their own subtrees.
+            for leaf in &cp.proved {
+                let out = output_box(net, leaf, config.domain)?;
+                if target.contains_box(&out) {
+                    acc.leaves_proved += 1;
+                    acc.leaves_revalidated += 1;
+                    if config.collect_checkpoint {
+                        acc.proved_boxes.push(leaf.clone());
+                    }
+                } else {
+                    acc.leaves_reseeded += 1;
+                    frontier.push(config.strategy.score(leaf, excess(&out, target)), leaf.clone());
+                }
+            }
+            for b in &cp.open {
+                frontier.push(config.strategy.score(b, 0.0), b.clone());
+            }
+        }
+        None => frontier.push(config.strategy.score(input, 0.0), input.clone()),
+    }
 
     // One scope for the whole search: workers park on the job channel
     // between waves instead of being respawned per wave — and they are
@@ -187,40 +288,36 @@ fn run_inner(
 
         loop {
             if frontier.is_empty() {
-                return Ok(BnbReport {
-                    outcome: Outcome::Proved,
-                    splits,
-                    leaves_proved,
-                    frontier_remaining: 0,
-                    deadline_hit: false,
-                    cancelled: false,
-                    wall: t0.elapsed(),
-                });
+                return Ok(acc.finish(config, Outcome::Proved, 0, Cut::None, t0.elapsed(), vec![]));
             }
             if let Some(s) = stop {
                 if s.load(Ordering::SeqCst) {
-                    return Ok(BnbReport {
-                        outcome: Outcome::Unknown,
-                        splits,
-                        leaves_proved,
-                        frontier_remaining: frontier.len(),
-                        deadline_hit: false,
-                        cancelled: true,
-                        wall: t0.elapsed(),
-                    });
+                    let remaining = frontier.len();
+                    let open =
+                        if config.collect_checkpoint { drain_open(&mut frontier) } else { vec![] };
+                    return Ok(acc.finish(
+                        config,
+                        Outcome::Unknown,
+                        remaining,
+                        Cut::Cancelled,
+                        t0.elapsed(),
+                        open,
+                    ));
                 }
             }
             if let Some(deadline) = config.deadline {
                 if t0.elapsed() >= deadline {
-                    return Ok(BnbReport {
-                        outcome: Outcome::Unknown,
-                        splits,
-                        leaves_proved,
-                        frontier_remaining: frontier.len(),
-                        deadline_hit: true,
-                        cancelled: false,
-                        wall: t0.elapsed(),
-                    });
+                    let remaining = frontier.len();
+                    let open =
+                        if config.collect_checkpoint { drain_open(&mut frontier) } else { vec![] };
+                    return Ok(acc.finish(
+                        config,
+                        Outcome::Unknown,
+                        remaining,
+                        Cut::Deadline,
+                        t0.elapsed(),
+                        open,
+                    ));
                 }
             }
 
@@ -275,31 +372,35 @@ fn run_inner(
             }
             for r in &results {
                 if let Ok(WaveResult::Violating(w)) = r {
-                    return Ok(BnbReport {
-                        outcome: Outcome::Refuted(w.clone()),
-                        splits,
-                        leaves_proved,
-                        frontier_remaining: frontier.len(),
-                        deadline_hit: false,
-                        cancelled: false,
-                        wall: t0.elapsed(),
-                    });
+                    return Ok(acc.finish(
+                        config,
+                        Outcome::Refuted(w.clone()),
+                        frontier.len(),
+                        Cut::None,
+                        t0.elapsed(),
+                        vec![],
+                    ));
                 }
             }
             // Budget (or float-resolution) exhaustion mid-wave must not
             // drop the rest of the wave from the partial-progress
             // accounting: finish the fold, counting unresolvable boxes,
             // and only then return the anytime answer.
-            let mut unresolved = 0usize;
+            let mut unresolved: Vec<BoxDomain> = Vec::new();
             for (bbox, r) in wave.into_iter().zip(results) {
                 match r.expect("errors returned above") {
-                    WaveResult::Contained => leaves_proved += 1,
+                    WaveResult::Contained => {
+                        acc.leaves_proved += 1;
+                        if config.collect_checkpoint {
+                            acc.proved_boxes.push(bbox);
+                        }
+                    }
                     WaveResult::Open(parent_excess) => {
-                        if splits >= config.max_splits || bbox.max_width() <= f64::EPSILON {
-                            unresolved += 1;
+                        if acc.splits >= config.max_splits || bbox.max_width() <= f64::EPSILON {
+                            unresolved.push(bbox);
                             continue;
                         }
-                        splits += 1;
+                        acc.splits += 1;
                         let (l, rgt) = bbox.bisect_widest();
                         frontier.push(config.strategy.score(&l, parent_excess), l);
                         frontier.push(config.strategy.score(&rgt, parent_excess), rgt);
@@ -308,16 +409,25 @@ fn run_inner(
                     WaveResult::Skipped => unreachable!("skips only happen after a witness"),
                 }
             }
-            if unresolved > 0 {
-                return Ok(BnbReport {
-                    outcome: Outcome::Unknown,
-                    splits,
-                    leaves_proved,
-                    frontier_remaining: frontier.len() + unresolved,
-                    deadline_hit: false,
-                    cancelled: false,
-                    wall: t0.elapsed(),
-                });
+            if !unresolved.is_empty() {
+                let remaining = frontier.len() + unresolved.len();
+                let open = if config.collect_checkpoint {
+                    // Checkpoint open set: frontier in pop order, then the
+                    // wave boxes the budget stranded — both deterministic.
+                    let mut open = drain_open(&mut frontier);
+                    open.append(&mut unresolved);
+                    open
+                } else {
+                    vec![]
+                };
+                return Ok(acc.finish(
+                    config,
+                    Outcome::Unknown,
+                    remaining,
+                    Cut::None,
+                    t0.elapsed(),
+                    open,
+                ));
             }
         }
     })

@@ -43,6 +43,38 @@ use std::time::Duration;
 /// Optional external cancellation flag (used by portfolio racing).
 pub type Stop<'a> = Option<&'a AtomicBool>;
 
+/// The resumable proof state of one branch-and-bound run: the input
+/// subboxes whose abstract image fit the target (proved leaves, in fold
+/// order) and the subboxes still open when the run ended (frontier in
+/// pop order, then any budget-stranded wave boxes).
+///
+/// Both vectors are produced by the deterministic wave fold, so the
+/// checkpoint bytes — like the verdict — are identical for 1 and N
+/// threads. A checkpoint taken against one network snapshot can seed
+/// [`decide_with_checkpoint`] against a *different* snapshot of the same
+/// shape (a fine-tune delta): proved leaves are then re-validated
+/// against the new weights before being trusted, so a stale checkpoint
+/// can cost time but never soundness.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BnbCheckpoint {
+    /// Subboxes proved contained, in deterministic fold order.
+    pub proved: Vec<BoxDomain>,
+    /// Subboxes still open (unresolved) when the run returned.
+    pub open: Vec<BoxDomain>,
+}
+
+impl BnbCheckpoint {
+    /// Total number of boxes carried by the checkpoint.
+    pub fn len(&self) -> usize {
+        self.proved.len() + self.open.len()
+    }
+
+    /// Whether the checkpoint carries no boxes at all.
+    pub fn is_empty(&self) -> bool {
+        self.proved.is_empty() && self.open.is_empty()
+    }
+}
+
 /// Configuration of one branch-and-bound run.
 #[derive(Debug, Clone, Copy)]
 pub struct BnbConfig {
@@ -58,13 +90,32 @@ pub struct BnbConfig {
     /// Worker threads (clamped to at least 1). The verdict under a split
     /// budget does not depend on this; only the wall time does.
     pub threads: usize,
+    /// Whether to capture a [`BnbCheckpoint`] into the report on `Proved`
+    /// and `Unknown` answers (`Refuted` runs never checkpoint — a witness
+    /// makes the proof state moot). Collection never changes the search,
+    /// only records it.
+    pub collect_checkpoint: bool,
 }
 
 impl BnbConfig {
     /// A sequential widest-dim configuration with the given split budget —
     /// the drop-in equivalent of the old sequential refinement loop.
     pub fn new(domain: DomainKind, max_splits: usize) -> Self {
-        Self { domain, strategy: SplitStrategy::WidestDim, max_splits, deadline: None, threads: 1 }
+        Self {
+            domain,
+            strategy: SplitStrategy::WidestDim,
+            max_splits,
+            deadline: None,
+            threads: 1,
+            collect_checkpoint: false,
+        }
+    }
+
+    /// Enables or disables checkpoint capture (see
+    /// [`BnbConfig::collect_checkpoint`]).
+    pub fn with_checkpoint_collection(mut self, collect: bool) -> Self {
+        self.collect_checkpoint = collect;
+        self
     }
 
     /// Sets the frontier heuristic.
@@ -104,6 +155,21 @@ pub struct BnbReport {
     pub cancelled: bool,
     /// Total wall-clock time.
     pub wall: Duration,
+    /// The resumable proof state, captured when
+    /// [`BnbConfig::collect_checkpoint`] is set and the outcome is not
+    /// `Refuted`. Deterministic: byte-identical for 1 and N threads.
+    pub checkpoint: Option<BnbCheckpoint>,
+    /// Warm-start pre-pass: seed leaves that still prove containment
+    /// under the current weights (0 on cold runs).
+    pub leaves_revalidated: usize,
+    /// Warm-start pre-pass: seed leaves that failed re-validation and
+    /// were re-seeded into the frontier (0 on cold runs).
+    pub leaves_reseeded: usize,
+    /// Whether this run was seeded from a checkpoint rather than the
+    /// root box. A warm run that refutes is transparently re-run cold
+    /// (see [`decide_with_checkpoint`]), so `warm_started` is never true
+    /// on a `Refuted` report.
+    pub warm_started: bool,
 }
 
 /// Decides `∀x ∈ input : net(x) ∈ target` by parallel branch-and-bound.
@@ -140,6 +206,43 @@ pub fn decide_with_stop(
     config: &BnbConfig,
     stop: Stop<'_>,
 ) -> Result<BnbReport, AbsintError> {
+    decide_with_checkpoint(net, input, target, config, None, stop)
+}
+
+/// [`decide_with_stop`] warm-started from a [`BnbCheckpoint`] taken on a
+/// previous (possibly differently-weighted) snapshot of the same search:
+/// instead of splitting from the root, the engine re-validates every
+/// proved seed leaf against the *current* network in one deterministic
+/// pre-pass, counts the survivors as proved, re-seeds only the failures
+/// (plus the checkpoint's open boxes) into the priority frontier, and
+/// then runs the ordinary wave loop.
+///
+/// Soundness is unconditional — nothing from the checkpoint is trusted
+/// without re-validation against the current weights. Determinism: the
+/// pre-pass is sequential and the wave loop is unchanged, so the verdict,
+/// split accounting, and any witness stay byte-identical for 1 and N
+/// threads. Verdict canonicality: a warm run that does not end `Proved`
+/// is discarded and transparently re-run cold — `Refuted`, so the witness
+/// is byte-identical to the cold-run witness (refutations early-exit,
+/// making the re-run cheap), and budget-exhausted `Unknown`, so warm ==
+/// cold holds on *every* instance rather than only on re-provable ones.
+/// Deadline/cancellation cuts are returned as-is; the wall clock is the
+/// one documented schedule-dependent budget.
+///
+/// A structurally inapplicable checkpoint (any box of the wrong
+/// dimension, or no boxes at all) is ignored and the run is cold.
+///
+/// # Errors
+///
+/// Same as [`decide`].
+pub fn decide_with_checkpoint(
+    net: &Network,
+    input: &BoxDomain,
+    target: &BoxDomain,
+    config: &BnbConfig,
+    warm: Option<&BnbCheckpoint>,
+    stop: Stop<'_>,
+) -> Result<BnbReport, AbsintError> {
     if input.dim() != net.input_dim() {
         return Err(AbsintError::DimensionMismatch {
             context: "bnb::decide (input box)",
@@ -154,7 +257,31 @@ pub fn decide_with_stop(
             actual: target.dim(),
         });
     }
-    engine::run(net, input, target, config, stop)
+    let warm = warm.filter(|cp| {
+        !cp.is_empty() && cp.proved.iter().chain(cp.open.iter()).all(|b| b.dim() == input.dim())
+    });
+    if let Some(cp) = warm {
+        let report = engine::run(net, input, target, config, Some(cp), stop)?;
+        // The warm start is an optimistic fast path for *re-proving*: any
+        // non-Proved answer falls back to a cold run. Refutations re-run so
+        // the witness is byte-identical to the one a cold run reports
+        // (canonical-report identity; refutations early-exit, so the re-run
+        // is cheap). Budget-exhausted Unknowns re-run because a checkpoint
+        // partition can spend the split budget differently than the root
+        // box would — the cold answer is the canonical one. Deadline and
+        // cancellation cuts return as-is: they are the documented
+        // schedule-dependent budgets and a re-run would double them.
+        let rerun_cold = match &report.outcome {
+            Outcome::Refuted(_) => true,
+            Outcome::Unknown => !report.deadline_hit && !report.cancelled,
+            Outcome::Proved => false,
+        };
+        if rerun_cold {
+            return engine::run(net, input, target, config, None, stop);
+        }
+        return Ok(report);
+    }
+    engine::run(net, input, target, config, None, stop)
 }
 
 #[cfg(test)]

@@ -1,0 +1,104 @@
+//! Proof-level cache reuse ablation: cold branch-and-bound of a
+//! fine-tuned network versus the same search warm-started from the
+//! pre-delta checkpoint (`absint::bnb::decide_with_checkpoint`).
+//!
+//! The setup asserts — before any timing — that the warm run re-proves
+//! the tuned instance with strictly fewer splits than the cold run and
+//! that both report the same verdict; a headline summary line (splits
+//! saved, cold vs warm wall clock) is printed so runs can be compared
+//! without post-processing. The checkpoint is collected once from the
+//! base model, exactly as the campaign cache would store it.
+
+use covern_absint::bnb::{decide_with_checkpoint, BnbConfig};
+use covern_absint::refine::{refined_output_box, Outcome};
+use covern_absint::{BoxDomain, DomainKind};
+use covern_nn::{Activation, Network};
+use covern_tensor::Rng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
+/// A provable-but-hard local check (same family as the `bnb` bench) plus
+/// a small fine-tune delta of the network — the post-delta re-verification
+/// a continuous pipeline pays for on every model update.
+fn fine_tune_case() -> (Network, Network, BoxDomain, BoxDomain) {
+    let mut rng = Rng::seeded(42_2021);
+    let net =
+        Network::random(&[2, 96, 96, 96, 1], Activation::Relu, Activation::Identity, &mut rng);
+    let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).expect("unit box");
+    let hull = refined_output_box(&net, &din, DomainKind::Symbolic, 768).expect("refined hull");
+    let bounds: Vec<(f64, f64)> = (0..hull.dim())
+        .map(|i| {
+            let iv = hull.interval(i);
+            let headroom = 0.002 * iv.width().max(1.0);
+            (iv.lo() - headroom, iv.hi() + headroom)
+        })
+        .collect();
+    let target = BoxDomain::from_bounds(&bounds).expect("target box");
+    let tuned = net.perturbed(1e-6, &mut rng);
+    (net, tuned, din, target)
+}
+
+fn bench_proof_reuse(c: &mut Criterion) {
+    let (net, tuned, din, target) = fine_tune_case();
+    let cfg = BnbConfig::new(DomainKind::Symbolic, 4096).with_checkpoint_collection(true);
+
+    // The checkpoint the campaign cache would hold for this family.
+    let base = decide_with_checkpoint(&net, &din, &target, &cfg, None, None).expect("base run");
+    assert_eq!(base.outcome, Outcome::Proved, "bench case must prove");
+    assert!(base.splits >= 32, "bench case too easy: only {} bisections", base.splits);
+    let checkpoint = base.checkpoint.clone().expect("checkpoint collected");
+
+    // Gate: the warm run replays the cold verdict with strictly fewer
+    // splits — the property the campaign smoke asserts end to end.
+    let cold = decide_with_checkpoint(&tuned, &din, &target, &cfg, None, None).expect("cold run");
+    let warm = decide_with_checkpoint(&tuned, &din, &target, &cfg, Some(&checkpoint), None)
+        .expect("warm run");
+    assert_eq!(cold.outcome, warm.outcome, "warm verdict diverged from cold");
+    assert!(warm.warm_started, "the warm run must consume the checkpoint");
+    assert!(
+        warm.splits < cold.splits,
+        "warm start saved nothing: warm {} vs cold {} splits",
+        warm.splits,
+        cold.splits
+    );
+
+    // Headline numbers for docs/BENCHMARKS.md.
+    let time = |warm_seed: Option<&covern_absint::bnb::BnbCheckpoint>| {
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            decide_with_checkpoint(&tuned, &din, &target, &cfg, warm_seed, None)
+                .expect("timed run");
+        }
+        t0.elapsed() / 3
+    };
+    let (t_cold, t_warm) = (time(None), time(Some(&checkpoint)));
+    println!(
+        "proof_reuse/fine-tune: cold {} splits {:.1} ms, warm {} splits {:.1} ms \
+         ({} revalidated, {} reseeded, {:.2}x)",
+        cold.splits,
+        t_cold.as_secs_f64() * 1e3,
+        warm.splits,
+        t_warm.as_secs_f64() * 1e3,
+        warm.leaves_revalidated,
+        warm.leaves_reseeded,
+        t_cold.as_secs_f64() / t_warm.as_secs_f64().max(1e-12)
+    );
+
+    let mut group = c.benchmark_group("proof_reuse");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            decide_with_checkpoint(&tuned, &din, &target, &cfg, None, None).expect("cold runs")
+        })
+    });
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            decide_with_checkpoint(&tuned, &din, &target, &cfg, Some(&checkpoint), None)
+                .expect("warm runs")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_proof_reuse);
+criterion_main!(benches);

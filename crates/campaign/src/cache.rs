@@ -30,10 +30,23 @@
 //! series aggregate over *all* caches in the process and additionally
 //! count single-flight waits, which are schedule-dependent and therefore
 //! never appear in a report.
+//!
+//! **Proof-level entries.** Alongside the verdict store, the cache keeps a
+//! second map of branch-and-bound checkpoints
+//! ([`covern_core::artifact::BnbProofArtifact`]) addressed by
+//! [`proof_family_key`] — the instance's *fine-tune family*: its layer
+//! architecture (shapes and activations, **not** weight bits), boxes,
+//! domain, and margin. A weight delta changes the verdict address but not
+//! the family address, so the checkpoint from the pre-delta run seeds the
+//! post-delta refinement. Entries are acceleration hints only — the engine
+//! re-validates every proved leaf against the actual weights and re-runs
+//! cold whenever a warm run cannot re-prove — so their hit/miss counters
+//! are schedule-dependent (last write wins under concurrency) and must be
+//! zeroed in canonical reports.
 
 use covern_absint::box_domain::BoxDomain;
 use covern_absint::DomainKind;
-use covern_core::artifact::{Margin, ProofArtifacts};
+use covern_core::artifact::{BnbProofArtifact, Margin, ProofArtifacts};
 use covern_core::cache::{FullVerifyFn, VerifyCache};
 use covern_core::problem::VerificationProblem;
 use covern_core::report::VerifyReport;
@@ -112,6 +125,46 @@ pub fn full_verify_key(
     h.finish()
 }
 
+/// Derives the *fine-tune family* address of a full-verification
+/// instance: everything [`full_verify_key`] covers **except** the weight
+/// and bias bit patterns — per-layer shapes and activations stand in for
+/// the network content. Two networks related by a fine-tune delta (same
+/// architecture, different parameters) map to the same family, which is
+/// what lets a stored branch-and-bound checkpoint outlive the delta.
+pub fn proof_family_key(
+    problem: &VerificationProblem,
+    domain: DomainKind,
+    margin: Margin,
+) -> CacheKey {
+    let mut h = KeyHasher::new("covern-campaign-proof-family-v1");
+    h.write_u64(problem.network().num_layers() as u64);
+    for layer in problem.network().layers() {
+        h.write_u64(layer.out_dim() as u64);
+        h.write_u64(layer.in_dim() as u64);
+        // Activation tag + parameter; parameter bits count (a LeakyRelu
+        // slope change is an architecture change, not a fine-tune).
+        let (tag, param) = match layer.activation() {
+            covern_nn::Activation::Identity => (0u64, 0u64),
+            covern_nn::Activation::Relu => (1, 0),
+            covern_nn::Activation::LeakyRelu(a) => (2, a.to_bits()),
+            covern_nn::Activation::Sigmoid => (3, 0),
+            covern_nn::Activation::Tanh => (4, 0),
+        };
+        h.write_u64(tag);
+        h.write_u64(param);
+    }
+    h.write_box(problem.din());
+    h.write_box(problem.dout());
+    h.write_u64(match domain {
+        DomainKind::Box => 0,
+        DomainKind::Symbolic => 1,
+        DomainKind::Zonotope => 2,
+    });
+    h.write_u64(margin.rel.to_bits());
+    h.write_u64(margin.abs.to_bits());
+    h.finish()
+}
+
 /// Hit/miss counters of an [`ArtifactCache`] (monotone snapshots).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -120,6 +173,14 @@ pub struct CacheStats {
     pub hits: u64,
     /// Requests that ran the underlying computation.
     pub misses: u64,
+    /// Proof-level lookups that found a family checkpoint. Unlike
+    /// `hits`/`misses`, this depends on the schedule (whether an earlier
+    /// scenario already stored the family's checkpoint) and must be
+    /// zeroed in canonical reports.
+    pub proof_hits: u64,
+    /// Proof-level lookups that found nothing (schedule-dependent, like
+    /// `proof_hits`).
+    pub proof_misses: u64,
 }
 
 impl CacheStats {
@@ -148,11 +209,30 @@ struct Slot {
 
 /// The content-addressed artifact store (see module docs). Cheap to share:
 /// wrap in an [`Arc`] and hand clones to every scenario worker.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ArtifactCache {
     slots: Mutex<HashMap<CacheKey, Arc<Slot>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    proofs: Mutex<HashMap<CacheKey, BnbProofArtifact>>,
+    proof_hits: AtomicU64,
+    proof_misses: AtomicU64,
+    proof_reuse: bool,
+}
+
+impl Default for ArtifactCache {
+    /// An empty cache with proof-level reuse enabled.
+    fn default() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            proofs: Mutex::new(HashMap::new()),
+            proof_hits: AtomicU64::new(0),
+            proof_misses: AtomicU64::new(0),
+            proof_reuse: true,
+        }
+    }
 }
 
 impl ArtifactCache {
@@ -161,11 +241,28 @@ impl ArtifactCache {
         Self::default()
     }
 
+    /// Enables or disables the proof-level (checkpoint) store. With it
+    /// off, `load_proof` always misses silently (no counter movement) and
+    /// `store_proof` drops its argument — verdict-level caching is
+    /// unaffected.
+    #[must_use]
+    pub fn with_proof_reuse(mut self, enabled: bool) -> Self {
+        self.proof_reuse = enabled;
+        self
+    }
+
+    /// Whether the proof-level store is enabled.
+    pub fn proof_reuse_enabled(&self) -> bool {
+        self.proof_reuse
+    }
+
     /// Current hit/miss counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            proof_hits: self.proof_hits.load(Ordering::Relaxed),
+            proof_misses: self.proof_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -225,6 +322,46 @@ impl VerifyCache for ArtifactCache {
         *value = Some(bundle.clone());
         Ok(bundle)
     }
+
+    fn load_proof(
+        &self,
+        problem: &VerificationProblem,
+        domain: DomainKind,
+        margin: Margin,
+    ) -> Option<BnbProofArtifact> {
+        if !self.proof_reuse {
+            return None;
+        }
+        let key = proof_family_key(problem, domain, margin);
+        let found = self.proofs.lock().expect("proof map lock").get(&key).cloned();
+        match &found {
+            Some(_) => {
+                self.proof_hits.fetch_add(1, Ordering::Relaxed);
+                covern_observe::metrics().proof_warmstart_hits_total.inc();
+            }
+            None => {
+                self.proof_misses.fetch_add(1, Ordering::Relaxed);
+                covern_observe::metrics().proof_warmstart_misses_total.inc();
+            }
+        }
+        found
+    }
+
+    fn store_proof(
+        &self,
+        problem: &VerificationProblem,
+        domain: DomainKind,
+        margin: Margin,
+        proof: &BnbProofArtifact,
+    ) {
+        if !self.proof_reuse {
+            return;
+        }
+        let key = proof_family_key(problem, domain, margin);
+        // Last write wins: the freshest partition is the best seed for
+        // the family's next delta, and any entry is only a hint anyway.
+        self.proofs.lock().expect("proof map lock").insert(key, proof.clone());
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +418,75 @@ mod tests {
         assert_eq!(stats.hits, 4);
         assert_eq!(cache.len(), 2);
         assert!((stats.hit_rate() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proof_family_key_survives_weight_deltas_only() {
+        let p = tiny_problem(2.0);
+        let base = proof_family_key(&p, DomainKind::Box, Margin::NONE);
+        // A fine-tune delta (same architecture, different weights, same
+        // boxes) stays in the family...
+        let net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.0000000001]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-1.0, 3.0)]).unwrap();
+        let tuned = VerificationProblem::new(net, din, dout.clone()).unwrap();
+        assert_eq!(base, proof_family_key(&tuned, DomainKind::Box, Margin::NONE));
+        // ...but any box, domain, margin, or activation change leaves it.
+        let wider = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.0]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap();
+        let new_din = BoxDomain::from_bounds(&[(-2.0, 1.0)]).unwrap();
+        let moved = VerificationProblem::new(wider, new_din, dout).unwrap();
+        assert_ne!(base, proof_family_key(&moved, DomainKind::Box, Margin::NONE));
+        assert_ne!(base, proof_family_key(&p, DomainKind::Symbolic, Margin::NONE));
+        assert_ne!(base, proof_family_key(&p, DomainKind::Box, Margin::standard()));
+        // And the family key never collides with the verdict key space.
+        assert_ne!(base, full_verify_key(&p, DomainKind::Box, Margin::NONE));
+    }
+
+    #[test]
+    fn proof_store_roundtrips_within_the_family_and_respects_the_knob() {
+        use covern_absint::bnb::BnbCheckpoint;
+        use covern_nn::serialize::layer_hashes;
+
+        let p = tiny_problem(2.0);
+        let cp = BnbCheckpoint {
+            proved: vec![BoxDomain::from_bounds(&[(-1.0, 0.0)]).unwrap()],
+            open: vec![BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap()],
+        };
+        let proof = covern_core::artifact::BnbProofArtifact::new(
+            &layer_hashes(p.network()),
+            p.din().clone(),
+            p.dout().clone(),
+            DomainKind::Box,
+            cp,
+        );
+        let cache = ArtifactCache::new();
+        assert!(cache.load_proof(&p, DomainKind::Box, Margin::NONE).is_none());
+        cache.store_proof(&p, DomainKind::Box, Margin::NONE, &proof);
+        // Another family member (weight delta) sees the checkpoint.
+        let tuned_net = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[2.125]], &[0.0], Activation::Relu)
+            .build()
+            .unwrap();
+        let tuned = VerificationProblem::new(tuned_net, p.din().clone(), p.dout().clone()).unwrap();
+        let loaded = cache.load_proof(&tuned, DomainKind::Box, Margin::NONE);
+        assert_eq!(loaded.as_ref(), Some(&proof));
+        // A different margin does not.
+        assert!(cache.load_proof(&tuned, DomainKind::Box, Margin::standard()).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.proof_hits, 1);
+        assert_eq!(stats.proof_misses, 2);
+        // With the knob off, nothing is stored or served (or counted).
+        let off = ArtifactCache::new().with_proof_reuse(false);
+        off.store_proof(&p, DomainKind::Box, Margin::NONE, &proof);
+        assert!(off.load_proof(&p, DomainKind::Box, Margin::NONE).is_none());
+        assert_eq!(off.stats().proof_hits, 0);
+        assert_eq!(off.stats().proof_misses, 0);
     }
 
     #[test]

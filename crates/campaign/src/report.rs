@@ -5,14 +5,17 @@
 //!
 //! * [`CampaignReport::to_json`] — the full report, wall times included;
 //! * [`CampaignReport::canonical_json`] — the *deterministic* form: all
-//!   timing fields zeroed. Everything else (scenario order, verdicts,
-//!   strategies, witnesses, cache hit/miss counts) is a pure function of
-//!   the corpus under a fixed seed — the cache's single-flight discipline
-//!   keeps even the hit/miss split schedule-independent. Two runs of the
-//!   same campaign configuration produce byte-identical canonical JSON;
-//!   across *different* thread counts only the recorded
-//!   `threads`/`scenario_threads` header fields differ, never the
-//!   verdict or cache sections.
+//!   timing fields zeroed, along with the schedule-dependent
+//!   acceleration counters (proof-cache hits/misses and branch-and-bound
+//!   splits — warm-start availability depends on worker interleaving).
+//!   Everything else (scenario order, verdicts, strategies, witnesses,
+//!   verdict-cache hit/miss counts) is a pure function of the corpus
+//!   under a fixed seed — the cache's single-flight discipline keeps
+//!   even the hit/miss split schedule-independent. Two runs of the same
+//!   campaign configuration produce byte-identical canonical JSON;
+//!   across *different* thread counts — or with proof-level reuse
+//!   toggled — only the recorded `threads`/`scenario_threads` header
+//!   fields differ, never the verdict or canonical cache sections.
 
 use crate::error::CampaignError;
 use covern_core::report::{VerifyOutcome, VerifyReport};
@@ -99,7 +102,7 @@ impl ScenarioReport {
 }
 
 /// Cache counters of the campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CacheSection {
     /// Whether a cache was installed at all.
     pub enabled: bool,
@@ -109,10 +112,39 @@ pub struct CacheSection {
     pub misses: u64,
     /// Distinct content addresses stored.
     pub entries: u64,
+    /// Proof-level (B&B checkpoint) lookups that found a fine-tune-family
+    /// entry. Schedule-dependent — which scenario stores a family's
+    /// checkpoint first depends on worker interleaving — so zeroed in the
+    /// canonical form.
+    pub proof_hits: u64,
+    /// Proof-level lookups that found nothing (schedule-dependent, zeroed
+    /// in the canonical form).
+    pub proof_misses: u64,
+}
+
+impl Deserialize for CacheSection {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            enabled: Deserialize::from_value(value.field("enabled")?)?,
+            hits: Deserialize::from_value(value.field("hits")?)?,
+            misses: Deserialize::from_value(value.field("misses")?)?,
+            entries: Deserialize::from_value(value.field("entries")?)?,
+            // Absent in pre-proof-reuse `covern-campaign-report-v1`
+            // reports; tolerated so stored reports keep parsing.
+            proof_hits: match value.field("proof_hits") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            proof_misses: match value.field("proof_misses") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 /// The campaign report (see module docs for the two JSON forms).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CampaignReport {
     /// Format tag ([`REPORT_FORMAT`]).
     pub format: String,
@@ -142,6 +174,37 @@ pub struct CampaignReport {
     pub unknown: usize,
     /// Scenarios that aborted with an error.
     pub errors: usize,
+    /// Branch-and-bound splits performed across the campaign (delta of
+    /// the process-wide `covern_bnb_splits_total` counter around the
+    /// run). Warm-started refinements skip re-deriving already-proved
+    /// partitions, so a proof-cache-warm campaign reports fewer splits
+    /// than a cold one. Warm-start availability is schedule-dependent, so
+    /// this field is zeroed in the canonical form.
+    pub bnb_splits: u64,
+}
+
+impl Deserialize for CampaignReport {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            format: Deserialize::from_value(value.field("format")?)?,
+            threads: Deserialize::from_value(value.field("threads")?)?,
+            scenario_threads: Deserialize::from_value(value.field("scenario_threads")?)?,
+            scenarios: Deserialize::from_value(value.field("scenarios")?)?,
+            cache: Deserialize::from_value(value.field("cache")?)?,
+            wall_us: Deserialize::from_value(value.field("wall_us")?)?,
+            sequential_us: Deserialize::from_value(value.field("sequential_us")?)?,
+            proved: Deserialize::from_value(value.field("proved")?)?,
+            refuted: Deserialize::from_value(value.field("refuted")?)?,
+            unknown: Deserialize::from_value(value.field("unknown")?)?,
+            errors: Deserialize::from_value(value.field("errors")?)?,
+            // Absent in pre-proof-reuse `covern-campaign-report-v1`
+            // reports; tolerated so stored reports keep parsing.
+            bnb_splits: match value.field("bnb_splits") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+        })
+    }
 }
 
 impl CampaignReport {
@@ -173,11 +236,16 @@ impl CampaignReport {
         Ok(report)
     }
 
-    /// The deterministic form: a copy with every timing field zeroed.
+    /// The deterministic form: a copy with every timing field — and every
+    /// schedule-dependent acceleration counter (proof-cache hits/misses,
+    /// branch-and-bound splits) — zeroed.
     pub fn canonical(&self) -> Self {
         let mut c = self.clone();
         c.wall_us = 0;
         c.sequential_us = 0;
+        c.bnb_splits = 0;
+        c.cache.proof_hits = 0;
+        c.cache.proof_misses = 0;
         for s in &mut c.scenarios {
             s.zero_times();
         }
@@ -222,13 +290,21 @@ mod tests {
                 wall_us: 500,
                 error: None,
             }],
-            cache: CacheSection { enabled: true, hits: 3, misses: 2, entries: 2 },
+            cache: CacheSection {
+                enabled: true,
+                hits: 3,
+                misses: 2,
+                entries: 2,
+                proof_hits: 1,
+                proof_misses: 4,
+            },
             wall_us: 1000,
             sequential_us: 1500,
             proved: 0,
             refuted: 1,
             unknown: 0,
             errors: 0,
+            bnb_splits: 77,
         }
     }
 
@@ -242,7 +318,7 @@ mod tests {
     }
 
     #[test]
-    fn canonical_zeroes_only_times() {
+    fn canonical_zeroes_times_and_schedule_dependent_counters() {
         let report = sample_report();
         let c = report.canonical();
         assert_eq!(c.wall_us, 0);
@@ -250,10 +326,34 @@ mod tests {
         assert_eq!(c.scenarios[0].wall_us, 0);
         assert_eq!(c.scenarios[0].initial_wall_us, 0);
         assert_eq!(c.scenarios[0].events[0].wall_us, 0);
-        // Verdicts and cache counters survive.
-        assert_eq!(c.cache, report.cache);
+        // Schedule-dependent acceleration counters are zeroed...
+        assert_eq!(c.bnb_splits, 0);
+        assert_eq!(c.cache.proof_hits, 0);
+        assert_eq!(c.cache.proof_misses, 0);
+        // ...while verdicts and the deterministic cache counters survive.
+        assert_eq!(c.cache.enabled, report.cache.enabled);
+        assert_eq!(c.cache.hits, report.cache.hits);
+        assert_eq!(c.cache.misses, report.cache.misses);
+        assert_eq!(c.cache.entries, report.cache.entries);
         assert_eq!(c.scenarios[0].events[0].outcome, "refuted");
         assert_eq!(c.refuted, 1);
+    }
+
+    #[test]
+    fn reports_without_proof_reuse_fields_still_parse() {
+        // A pre-proof-reuse v1 report: serialize, strip the new fields,
+        // and re-parse — they must default to zero.
+        let json = sample_report()
+            .to_json()
+            .unwrap()
+            .replace(",\"proof_hits\":1", "")
+            .replace(",\"proof_misses\":4", "")
+            .replace(",\"bnb_splits\":77", "");
+        let back = CampaignReport::from_json(&json).unwrap();
+        assert_eq!(back.cache.proof_hits, 0);
+        assert_eq!(back.cache.proof_misses, 0);
+        assert_eq!(back.bnb_splits, 0);
+        assert_eq!(back.cache.hits, 3);
     }
 
     #[test]

@@ -48,6 +48,11 @@ pub struct CampaignConfig {
     pub method: LocalMethod,
     /// Whether to install the content-addressed artifact cache.
     pub use_cache: bool,
+    /// Whether the cache also keeps proof-level (branch-and-bound
+    /// checkpoint) entries keyed by fine-tune family, warm-starting
+    /// refinements after weight deltas. Acceleration only — verdicts are
+    /// identical either way. Ignored when `use_cache` is off.
+    pub use_proof_reuse: bool,
 }
 
 impl Default for CampaignConfig {
@@ -57,6 +62,7 @@ impl Default for CampaignConfig {
             scenario_threads: 0,
             method: LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: 256 },
             use_cache: true,
+            use_proof_reuse: true,
         }
     }
 }
@@ -74,7 +80,9 @@ pub struct CampaignEngine {
 impl CampaignEngine {
     /// Creates an engine (with a fresh cache when configured).
     pub fn new(config: CampaignConfig) -> Self {
-        let cache = config.use_cache.then(|| Arc::new(ArtifactCache::new()));
+        let cache = config
+            .use_cache
+            .then(|| Arc::new(ArtifactCache::new().with_proof_reuse(config.use_proof_reuse)));
         Self { config, cache }
     }
 
@@ -98,6 +106,10 @@ impl CampaignEngine {
             return Err(CampaignError::InvalidConfig("empty corpus".into()));
         }
         let t0 = Instant::now();
+        // The split accounting is a delta of the process-wide counter, so
+        // concurrent out-of-engine B&B work would leak in; campaigns are
+        // the only B&B driver in the CLI, where this is exact.
+        let splits_before = covern_observe::metrics().bnb_splits_total.get();
         let workers = self.config.threads.clamp(1, corpus.len());
         let scenario_threads = if self.config.scenario_threads > 0 {
             self.config.scenario_threads
@@ -152,9 +164,18 @@ impl CampaignEngine {
                     hits: stats.hits,
                     misses: stats.misses,
                     entries: c.len() as u64,
+                    proof_hits: stats.proof_hits,
+                    proof_misses: stats.proof_misses,
                 }
             }
-            None => CacheSection { enabled: false, hits: 0, misses: 0, entries: 0 },
+            None => CacheSection {
+                enabled: false,
+                hits: 0,
+                misses: 0,
+                entries: 0,
+                proof_hits: 0,
+                proof_misses: 0,
+            },
         };
         Ok(CampaignReport {
             format: REPORT_FORMAT.into(),
@@ -168,6 +189,10 @@ impl CampaignEngine {
             refuted,
             unknown,
             errors,
+            bnb_splits: covern_observe::metrics()
+                .bnb_splits_total
+                .get()
+                .saturating_sub(splits_before),
         })
     }
 }

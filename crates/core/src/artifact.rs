@@ -8,6 +8,7 @@
 
 use crate::error::CoreError;
 use crate::method::CONTAIN_TOL;
+use covern_absint::bnb::BnbCheckpoint;
 use covern_absint::box_domain::BoxDomain;
 use covern_absint::reach::{reach_boxes, LayerAbstraction};
 use covern_absint::transformer::AbstractState;
@@ -72,11 +73,49 @@ impl Margin {
 /// roundtrip may perturb bounds at the final ULP, which is ten orders of
 /// magnitude inside the [`crate::method::CONTAIN_TOL`] every containment
 /// check allows.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct StateAbstractionArtifact {
     layers: LayerAbstraction,
     suffix_ok: Vec<bool>,
     dout: BoxDomain,
+    /// Whether every stored box is exactly the value of the buffered-chain
+    /// recurrence (`S_k = dilate(image(S_{k-1}))`). Only chain-canonical
+    /// prefixes may seed [`rebuild_downstream`](Self::rebuild_downstream):
+    /// the recurrence is Markov in the stored boxes, so reused prefixes are
+    /// bit-identical to a cold rebuild — a §IV-C patched box
+    /// ([`replace_layer_box`](Self::replace_layer_box)) breaks that and
+    /// clears the flag.
+    chain_canonical: bool,
+    /// Per-layer content hashes of the network the chain was built against
+    /// (two `u64` words per layer, layer order — see
+    /// [`covern_nn::serialize::layer_hashes`]). This is the *provenance*
+    /// that makes prefix reuse sound: the delta handlers may advance the
+    /// problem's network via reuse proofs without rebuilding the artifact,
+    /// so "which layers changed" must be answered against the network the
+    /// boxes actually came from, not whatever the problem currently holds.
+    /// Empty = unknown (legacy checkpoints) → no prefix reuse.
+    src_hashes: Vec<u64>,
+}
+
+impl serde::Deserialize for StateAbstractionArtifact {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            layers: serde::Deserialize::from_value(value.field("layers")?)?,
+            suffix_ok: serde::Deserialize::from_value(value.field("suffix_ok")?)?,
+            dout: serde::Deserialize::from_value(value.field("dout")?)?,
+            // Both absent in pre-proof-reuse `covern-verifier-v1`
+            // checkpoints; default to "no prefix reuse" rather than
+            // bumping the format tag.
+            chain_canonical: match value.field("chain_canonical") {
+                Ok(v) => serde::Deserialize::from_value(v)?,
+                Err(_) => false,
+            },
+            src_hashes: match value.field("src_hashes") {
+                Ok(v) => serde::Deserialize::from_value(v)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 impl StateAbstractionArtifact {
@@ -140,7 +179,13 @@ impl StateAbstractionArtifact {
             LayerAbstraction::from_parts(din.clone(), boxes, domain)
         };
         let suffix_ok = suffix_flags(net, &layers, dout, domain, threads)?;
-        Ok(Self { layers, suffix_ok, dout: dout.clone() })
+        Ok(Self {
+            layers,
+            suffix_ok,
+            dout: dout.clone(),
+            chain_canonical: margin != Margin::NONE,
+            src_hashes: flatten_hashes(&covern_nn::serialize::layer_hashes(net)),
+        })
     }
 
     /// Builds the artifact over `din`, recording per-layer boxes, and
@@ -210,6 +255,100 @@ impl StateAbstractionArtifact {
         self.suffix_ok.len()
     }
 
+    /// Whether the stored boxes are exactly the buffered-chain values (the
+    /// precondition for [`rebuild_downstream`](Self::rebuild_downstream)
+    /// prefix reuse). Patched artifacts (§IV-C fixing) and relational
+    /// [`Margin::NONE`] builds are not chain-canonical.
+    pub fn is_chain_canonical(&self) -> bool {
+        self.chain_canonical
+    }
+
+    /// Rebuilds the artifact for an updated network, reusing the stored
+    /// prefix `S1..S_f` where `f` is the 0-based index of the first layer
+    /// whose content hash differs from the network this artifact was built
+    /// against (per [`covern_nn::serialize::first_changed_layer`] over the
+    /// stored provenance hashes), and re-running the buffered chain only
+    /// from layer `f` on. A pure property change (`f = n`) reuses every
+    /// box and pays only the suffix re-checks.
+    ///
+    /// The buffered chain is Markov in the stored boxes — `S_k` depends
+    /// only on `S_{k-1}` and layer `k` — so the result is **bit-identical**
+    /// to a cold [`build_with_margin_threads`](Self::build_with_margin_threads)
+    /// over the same inputs, provided `margin` equals the margin this
+    /// artifact was built with. When prefix reuse does not apply (zero
+    /// margin, non-canonical boxes, unknown provenance, depth change, or a
+    /// first-layer delta) this transparently falls back to a cold build
+    /// over the stored `Din`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn rebuild_downstream(
+        &self,
+        net: &Network,
+        new_dout: &BoxDomain,
+        margin: Margin,
+        threads: usize,
+    ) -> Result<Self, CoreError> {
+        let din = self.layers.input().clone();
+        let domain = self.layers.domain();
+        let first_changed = match self.src_hash_pairs() {
+            Some(src) => covern_nn::serialize::first_changed_layer(
+                &src,
+                &covern_nn::serialize::layer_hashes(net),
+            )
+            .unwrap_or(net.num_layers()),
+            None => 0,
+        };
+        if margin == Margin::NONE
+            || !self.chain_canonical
+            || first_changed == 0
+            || self.num_layers() != net.num_layers()
+        {
+            return Self::build_with_margin_threads(net, &din, new_dout, domain, margin, threads);
+        }
+        if new_dout.dim() != net.output_dim() {
+            return Err(CoreError::DimensionMismatch {
+                context: "StateAbstractionArtifact::rebuild_downstream (dout)",
+                expected: net.output_dim(),
+                actual: new_dout.dim(),
+            });
+        }
+        let n = net.num_layers();
+        let keep = first_changed.min(n);
+        let mut boxes: Vec<BoxDomain> = self.layers.boxes()[..keep].to_vec();
+        let mut current = boxes[keep - 1].clone();
+        for (k, layer) in net.layers().iter().enumerate().skip(keep) {
+            let mut state = AbstractState::from_box(domain, &current);
+            state = state.through_layer(layer)?;
+            // Same buffering schedule as the cold chain: Sn exempt.
+            current = if k + 1 < n {
+                margin.dilate(&state.to_box()).dilate(covern_absint::SOUND_EPS)
+            } else {
+                state.to_box().dilate(covern_absint::SOUND_EPS)
+            };
+            boxes.push(current.clone());
+        }
+        let layers = LayerAbstraction::from_parts(din, boxes, domain);
+        let suffix_ok = suffix_flags(net, &layers, new_dout, domain, threads)?;
+        Ok(Self {
+            layers,
+            suffix_ok,
+            dout: new_dout.clone(),
+            chain_canonical: true,
+            src_hashes: flatten_hashes(&covern_nn::serialize::layer_hashes(net)),
+        })
+    }
+
+    /// The stored provenance hashes as per-layer pairs, or `None` when the
+    /// provenance is unknown (legacy artifacts).
+    fn src_hash_pairs(&self) -> Option<Vec<[u64; 2]>> {
+        if self.src_hashes.is_empty() || !self.src_hashes.len().is_multiple_of(2) {
+            return None;
+        }
+        Some(self.src_hashes.chunks_exact(2).map(|c| [c[0], c[1]]).collect())
+    }
+
     /// Re-targets the artifact at a different safety set, recomputing every
     /// suffix flag against `new_dout` — without re-running the reachability
     /// analysis. This is the artifact-reuse path for *specification
@@ -248,7 +387,13 @@ impl StateAbstractionArtifact {
         }
         let domain = self.layers.domain();
         let suffix_ok = suffix_flags(net, &self.layers, new_dout, domain, threads)?;
-        Ok(Self { layers: self.layers.clone(), suffix_ok, dout: new_dout.clone() })
+        Ok(Self {
+            layers: self.layers.clone(),
+            suffix_ok,
+            dout: new_dout.clone(),
+            chain_canonical: self.chain_canonical,
+            src_hashes: self.src_hashes.clone(),
+        })
     }
 
     /// Replaces the stored abstraction of layer `k` and re-evaluates the
@@ -264,6 +409,9 @@ impl StateAbstractionArtifact {
         replacement: BoxDomain,
     ) -> Result<(), CoreError> {
         self.layers.replace_layer_box(k, replacement)?;
+        // The patched box is sound but no longer the buffered-chain value,
+        // so the artifact may not seed prefix reuse any more.
+        self.chain_canonical = false;
         // Recompute the suffix flag of the replaced layer.
         let domain = self.layers.domain();
         let n = self.num_layers();
@@ -351,8 +499,90 @@ pub struct NetworkAbstractionArtifact {
     pub verified_on: Option<BoxDomain>,
 }
 
+/// Flattens per-layer hash pairs into the wire layout (two `u64` words
+/// per layer, layer order).
+fn flatten_hashes(hashes: &[[u64; 2]]) -> Vec<u64> {
+    hashes.iter().flat_map(|h| [h[0], h[1]]).collect()
+}
+
+/// Wire-format tag of [`BnbProofArtifact`] (versioned in
+/// `docs/PROTOCOL.md`).
+pub const BNB_PROOF_FORMAT: &str = "covern-bnb-proof-v1";
+
+/// A proof-level cache entry: the branch-and-bound partition that proved
+/// (or was still exploring) an instance, addressed by the per-layer
+/// content hashes of the network it was computed against.
+///
+/// Unlike the verdict-level artifact-cache entries, this survives a weight
+/// delta: a warm-started run re-validates the `proved` leaves against the
+/// *new* weights and re-seeds its frontier with only the failures, so the
+/// stored hashes identify provenance (and, via
+/// [`covern_nn::serialize::first_changed_layer`], which layers moved) —
+/// they are **not** a validity precondition. Soundness always comes from
+/// the re-validation pass.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BnbProofArtifact {
+    /// [`BNB_PROOF_FORMAT`].
+    format: String,
+    /// Per-layer content hashes of the source network, flattened to two
+    /// `u64` words per layer in layer order.
+    layer_hashes: Vec<u64>,
+    din: BoxDomain,
+    dout: BoxDomain,
+    domain: DomainKind,
+    checkpoint: BnbCheckpoint,
+}
+
+impl BnbProofArtifact {
+    /// Packs a checkpoint with its provenance.
+    pub fn new(
+        layer_hashes: &[[u64; 2]],
+        din: BoxDomain,
+        dout: BoxDomain,
+        domain: DomainKind,
+        checkpoint: BnbCheckpoint,
+    ) -> Self {
+        Self {
+            format: BNB_PROOF_FORMAT.into(),
+            layer_hashes: flatten_hashes(layer_hashes),
+            din,
+            dout,
+            domain,
+            checkpoint,
+        }
+    }
+
+    /// Whether this proof may warm-start the given instance: same format,
+    /// same input/output boxes and abstract domain, same network depth.
+    /// Weight content is deliberately *not* compared — fine-tune siblings
+    /// are the whole point.
+    pub fn applies_to(
+        &self,
+        net: &Network,
+        din: &BoxDomain,
+        dout: &BoxDomain,
+        domain: DomainKind,
+    ) -> bool {
+        self.format == BNB_PROOF_FORMAT
+            && self.domain == domain
+            && self.layer_hashes.len() == net.num_layers() * 2
+            && &self.din == din
+            && &self.dout == dout
+    }
+
+    /// The checkpointed frontier and proved-leaf partition.
+    pub fn checkpoint(&self) -> &BnbCheckpoint {
+        &self.checkpoint
+    }
+
+    /// The stored per-layer hash words (two per layer, in layer order).
+    pub fn layer_hash_words(&self) -> &[u64] {
+        &self.layer_hashes
+    }
+}
+
 /// The bundle of artifacts from the original verification run.
-#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, serde::Serialize)]
 pub struct ProofArtifacts {
     /// Layer-wise state abstractions with suffix guarantees.
     pub state: Option<StateAbstractionArtifact>,
@@ -360,6 +590,27 @@ pub struct ProofArtifacts {
     pub lipschitz: Option<LipschitzCertificate>,
     /// A verified structural abstraction.
     pub network_abstraction: Option<NetworkAbstractionArtifact>,
+    /// The branch-and-bound partition of the deciding full run, kept for
+    /// proof-level warm starts after the next fine-tune delta.
+    pub bnb_proof: Option<BnbProofArtifact>,
+}
+
+impl serde::Deserialize for ProofArtifacts {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            state: serde::Deserialize::from_value(value.field("state")?)?,
+            lipschitz: serde::Deserialize::from_value(value.field("lipschitz")?)?,
+            network_abstraction: serde::Deserialize::from_value(
+                value.field("network_abstraction")?,
+            )?,
+            // Absent in pre-proof-reuse `covern-verifier-v1` checkpoints;
+            // tolerated so old saves keep resuming.
+            bnb_proof: match value.field("bnb_proof") {
+                Ok(v) => serde::Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl ProofArtifacts {
@@ -463,6 +714,99 @@ mod tests {
         let bad = BoxDomain::from_bounds(&[(0.0, 100.0)]).unwrap();
         art.replace_layer_box(&net, 2, bad).unwrap();
         assert!(!art.suffix_ok(2).unwrap());
+    }
+
+    /// `fig2_net` with only the *second* layer's weights moved — the
+    /// first layer is built from identical literals, so its content bits
+    /// match `fig2_net` exactly.
+    fn fig2_net_finetuned() -> Network {
+        NetworkBuilder::new(2)
+            .dense_from_rows(
+                &[&[1.0, -2.0], &[-2.0, 1.0], &[1.0, -1.0]],
+                &[0.0; 3],
+                Activation::Relu,
+            )
+            .dense_from_rows(&[&[2.25, 2.0, -1.0]], &[0.125], Activation::Relu)
+            .build()
+            .expect("fine-tuned fig2 network")
+    }
+
+    #[test]
+    fn rebuild_downstream_matches_cold_rebuild_bitwise() {
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 14.0)]).unwrap();
+        let margin = Margin::standard();
+        let art = StateAbstractionArtifact::build_with_margin(
+            &fig2_net(),
+            &din,
+            &dout,
+            DomainKind::Box,
+            margin,
+        )
+        .unwrap();
+        assert!(art.is_chain_canonical());
+        let tuned = fig2_net_finetuned();
+        // Only layer 1 changed, so the prefix S1 is reusable.
+        let warm = art.rebuild_downstream(&tuned, &dout, margin, 1).unwrap();
+        let cold = StateAbstractionArtifact::build_with_margin(
+            &tuned,
+            &din,
+            &dout,
+            DomainKind::Box,
+            margin,
+        )
+        .unwrap();
+        assert_eq!(warm, cold, "prefix reuse must be bit-identical to a cold chain");
+        assert!(warm.is_chain_canonical());
+    }
+
+    #[test]
+    fn patched_artifacts_refuse_prefix_reuse_but_still_rebuild() {
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 14.0)]).unwrap();
+        let margin = Margin::standard();
+        let net = fig2_net();
+        let mut art =
+            StateAbstractionArtifact::build_with_margin(&net, &din, &dout, DomainKind::Box, margin)
+                .unwrap();
+        let patched = BoxDomain::from_bounds(&[(-0.1, 13.0)]).unwrap();
+        art.replace_layer_box(&net, 2, patched).unwrap();
+        assert!(!art.is_chain_canonical());
+        // The fallback is a cold build over the stored Din — identical to
+        // building from scratch, no patched box leaks through.
+        let tuned = fig2_net_finetuned();
+        let rebuilt = art.rebuild_downstream(&tuned, &dout, margin, 1).unwrap();
+        let cold = StateAbstractionArtifact::build_with_margin(
+            &tuned,
+            &din,
+            &dout,
+            DomainKind::Box,
+            margin,
+        )
+        .unwrap();
+        assert_eq!(rebuilt, cold);
+    }
+
+    #[test]
+    fn zero_margin_artifacts_are_not_chain_canonical() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap();
+        let art = StateAbstractionArtifact::build(&net, &din, &dout, DomainKind::Symbolic).unwrap();
+        assert!(!art.is_chain_canonical(), "relational boxes are not chain-resumable");
+    }
+
+    #[test]
+    fn artifacts_deserialize_without_the_bnb_proof_field() {
+        // Shape of a pre-proof-reuse `covern-verifier-v1` artifact bundle.
+        let legacy = serde::Value::Object(vec![
+            ("state".into(), serde::Value::Null),
+            ("lipschitz".into(), serde::Value::Null),
+            ("network_abstraction".into(), serde::Value::Null),
+        ]);
+        let a = <ProofArtifacts as serde::Deserialize>::from_value(&legacy).unwrap();
+        assert!(a.bnb_proof.is_none());
+        assert!(a.state.is_none());
     }
 
     #[test]

@@ -49,6 +49,36 @@ pub trait VerifyCache: Send + Sync + std::fmt::Debug {
         margin: Margin,
         compute: &mut FullVerifyFn<'_>,
     ) -> Result<(VerifyReport, ProofArtifacts), CoreError>;
+
+    /// Looks up a proof-level entry (a branch-and-bound checkpoint) for
+    /// this instance's fine-tune family — the same `(Din, Dout, domain,
+    /// margin)` and architecture, *ignoring* weight content, which is what
+    /// lets a checkpoint outlive a weight delta. Returning `Some` is only
+    /// ever an acceleration hint: the engine re-validates every leaf
+    /// against the actual weights, so a stale or even wrong entry can cost
+    /// time but never soundness.
+    ///
+    /// The default implementation stores nothing.
+    fn load_proof(
+        &self,
+        _problem: &VerificationProblem,
+        _domain: DomainKind,
+        _margin: Margin,
+    ) -> Option<crate::artifact::BnbProofArtifact> {
+        None
+    }
+
+    /// Stores a proof-level entry under the instance's fine-tune family
+    /// (last write wins — the freshest partition is the best seed for the
+    /// next delta). The default implementation drops it.
+    fn store_proof(
+        &self,
+        _problem: &VerificationProblem,
+        _domain: DomainKind,
+        _margin: Margin,
+        _proof: &crate::artifact::BnbProofArtifact,
+    ) {
+    }
 }
 
 #[cfg(test)]

@@ -51,18 +51,54 @@ struct SavedVerifier {
     status: crate::report::VerifyOutcome,
 }
 
-/// Runs `problem.verify_full_with_margin_threads`, routed through `cache`
-/// when one is installed (see [`VerifyCache`] for the compute-through
-/// contract).
+/// Runs `problem.verify_full_seeded`, routed through `cache` when one is
+/// installed (see [`VerifyCache`] for the compute-through contract).
+///
+/// Both seeds — the session's own artifacts and the shared proof cache's
+/// checkpoint — preserve bit-identity of the computed bundle's verdict,
+/// witness, and state abstraction (see
+/// [`VerificationProblem::verify_full_seeded`]), so routing a seeded
+/// computation through a content-keyed cache stays sound: a replayed
+/// entry is indistinguishable from what an unseeded compute would store.
 fn full_verify(
     problem: &VerificationProblem,
     domain: DomainKind,
     margin: crate::artifact::Margin,
     threads: usize,
     cache: Option<&dyn VerifyCache>,
+    warm: Option<&ProofArtifacts>,
 ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
-    let mut compute =
-        || problem.verify_full_with_margin_threads(domain, DEFAULT_REFINE_SPLITS, margin, threads);
+    let mut compute = || {
+        // Proof-level warm start: the session's own partition first (it
+        // tracks this verifier's trajectory most closely), else the shared
+        // proof cache's entry for the instance's fine-tune family.
+        let local_proof = warm
+            .and_then(|w| w.bnb_proof.as_ref())
+            .filter(|p| p.applies_to(problem.network(), problem.din(), problem.dout(), domain));
+        let cached_proof = if local_proof.is_none() {
+            cache.and_then(|c| c.load_proof(problem, domain, margin))
+        } else {
+            None
+        };
+        let proof = local_proof.or(cached_proof
+            .as_ref()
+            .filter(|p| p.applies_to(problem.network(), problem.din(), problem.dout(), domain)));
+        // The state seed carries its own provenance and applicability
+        // guards (see `verify_full_seeded`), so it is always offered.
+        let state_seed = warm.and_then(|w| w.state.as_ref());
+        let out = problem.verify_full_seeded(
+            domain,
+            DEFAULT_REFINE_SPLITS,
+            margin,
+            threads,
+            proof,
+            state_seed,
+        )?;
+        if let (Some(c), Some(p)) = (cache, out.1.bnb_proof.as_ref()) {
+            c.store_proof(problem, domain, margin, p);
+        }
+        Ok(out)
+    };
     match cache {
         Some(c) => c.full_verify(problem, domain, margin, &mut compute),
         None => compute(),
@@ -138,7 +174,7 @@ impl ContinuousVerifier {
             threads
         };
         let (initial_report, artifacts) =
-            full_verify(&problem, domain, margin, threads, cache.as_deref())?;
+            full_verify(&problem, domain, margin, threads, cache.as_deref(), None)?;
         Ok(Self {
             problem,
             domain,
@@ -176,12 +212,25 @@ impl ContinuousVerifier {
     }
 
     /// Full verification of `problem` under this verifier's domain,
-    /// margin, thread budget, and cache.
+    /// margin, thread budget, and cache — seeded with this verifier's own
+    /// artifacts. The stored state abstraction carries its own provenance
+    /// (the layer hashes of the network it was built against), so the
+    /// seeded compute decides by itself how much of the chain prefix is
+    /// reusable; the stored B&B partition re-validates every leaf. Both
+    /// are acceleration hints only — verdicts stay bit-identical to an
+    /// unseeded run.
     fn full_verify(
         &self,
         problem: &VerificationProblem,
     ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
-        full_verify(problem, self.domain, self.margin, self.threads, self.cache.as_deref())
+        full_verify(
+            problem,
+            self.domain,
+            self.margin,
+            self.threads,
+            self.cache.as_deref(),
+            Some(&self.artifacts),
+        )
     }
 
     /// The report of the original verification run.
@@ -363,13 +412,19 @@ impl ContinuousVerifier {
                 return Ok(r);
             }
         }
-        // Fallback: full re-verification on the enlarged domain.
+        // Fallback: full re-verification on the enlarged domain. The
+        // stored prefix boxes cover the *old* Din, so no prefix reuse —
+        // the B&B proof seed is also inapplicable (its Din differs) and
+        // filtered out downstream.
         let mut full_problem = self.problem.clone();
         full_problem.set_din(new_din.clone());
         let (report, artifacts) = self.full_verify(&full_problem)?;
         if report.outcome.is_proved() {
             self.artifacts.state = artifacts.state;
             self.artifacts.lipschitz = artifacts.lipschitz;
+        }
+        if artifacts.bnb_proof.is_some() {
+            self.artifacts.bnb_proof = artifacts.bnb_proof;
         }
         Ok(report)
     }
@@ -439,7 +494,11 @@ impl ContinuousVerifier {
                 return Ok(r);
             }
         }
-        // Fallback: full re-verification of the tuned network.
+        // Fallback: full re-verification of the tuned network. The
+        // per-layer content hashes localize the delta, so the state
+        // abstraction rebuilds only downstream of the first changed layer
+        // and the previous B&B partition (session or proof cache)
+        // warm-starts the refinement.
         let mut full_problem = self.problem.clone();
         full_problem.set_network(f_prime.clone());
         full_problem.set_din(din.clone());
@@ -450,6 +509,9 @@ impl ContinuousVerifier {
             // A stored network abstraction no longer covers an arbitrary
             // new model; drop it (it can be rebuilt on demand).
             self.artifacts.network_abstraction = None;
+        }
+        if artifacts.bnb_proof.is_some() {
+            self.artifacts.bnb_proof = artifacts.bnb_proof;
         }
         Ok(report)
     }
@@ -510,7 +572,10 @@ impl ContinuousVerifier {
                 return Ok(report);
             }
         }
-        // Full fallback against the new property.
+        // Full fallback against the new property. The network is
+        // unchanged, so the whole stored prefix is reusable (the boxes are
+        // property-independent): "first changed layer" = n re-runs nothing
+        // of the chain and only pays the suffix re-checks.
         let mut full_problem = self.problem.clone();
         full_problem.set_dout(new_dout.clone());
         let (report, artifacts) = self.full_verify(&full_problem)?;
@@ -518,6 +583,9 @@ impl ContinuousVerifier {
             self.problem.set_dout(new_dout.clone());
             self.artifacts.state = artifacts.state;
             self.artifacts.lipschitz = artifacts.lipschitz;
+        }
+        if artifacts.bnb_proof.is_some() {
+            self.artifacts.bnb_proof = artifacts.bnb_proof;
         }
         self.history.push(report.clone());
         Ok(report)

@@ -1,6 +1,6 @@
 //! The safety-verification problem and full (from-scratch) verification.
 
-use crate::artifact::{ProofArtifacts, StateAbstractionArtifact};
+use crate::artifact::{BnbProofArtifact, Margin, ProofArtifacts, StateAbstractionArtifact};
 use crate::error::CoreError;
 use crate::report::{Strategy, VerifyOutcome, VerifyReport};
 use covern_absint::bnb::{self, BnbConfig};
@@ -128,16 +128,67 @@ impl VerificationProblem {
         &self,
         domain: DomainKind,
         refine_splits: usize,
-        margin: crate::artifact::Margin,
+        margin: Margin,
         threads: usize,
     ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
+        self.verify_full_seeded(domain, refine_splits, margin, threads, None, None)
+    }
+
+    /// The proof-reuse entry point:
+    /// [`verify_full_with_margin_threads`](Self::verify_full_with_margin_threads)
+    /// optionally seeded with artifacts from a previous (fine-tune-related)
+    /// run of the same family.
+    ///
+    /// * `warm` — a [`BnbProofArtifact`] whose checkpoint warm-starts the
+    ///   branch-and-bound fallback ([`bnb::decide_with_checkpoint`]); it is
+    ///   consulted only when [`BnbProofArtifact::applies_to`] holds for
+    ///   this instance, and a warm run that does not re-prove falls back to
+    ///   a cold run, so the verdict and any witness are byte-identical to
+    ///   an unseeded call.
+    /// * `state_seed` — a previous state abstraction of the same family;
+    ///   the buffered chain resumes from the last stored box that is
+    ///   unchanged per the seed's own provenance hashes
+    ///   ([`StateAbstractionArtifact::rebuild_downstream`]), which is
+    ///   bit-identical to the cold chain by the Markov property. Ignored
+    ///   (cold build) whenever prefix reuse does not apply.
+    ///
+    /// Because both seeds preserve bit-identity of the result, a cache may
+    /// key this computation on `(self, domain, margin)` content alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] on dimension mismatches.
+    pub fn verify_full_seeded(
+        &self,
+        domain: DomainKind,
+        refine_splits: usize,
+        margin: Margin,
+        threads: usize,
+        warm: Option<&BnbProofArtifact>,
+        state_seed: Option<&StateAbstractionArtifact>,
+    ) -> Result<(VerifyReport, ProofArtifacts), CoreError> {
         let t0 = Instant::now();
-        let state = StateAbstractionArtifact::build_with_margin_threads(
-            &self.net, &self.din, &self.dout, domain, margin, threads,
-        )?;
+        let state = match state_seed {
+            Some(prev)
+                if margin != Margin::NONE
+                    && prev.is_chain_canonical()
+                    && prev.layers().domain() == domain
+                    && prev.num_layers() == self.net.num_layers()
+                    && prev.layers().input() == &self.din =>
+            {
+                prev.rebuild_downstream(&self.net, &self.dout, margin, threads)?
+            }
+            _ => StateAbstractionArtifact::build_with_margin_threads(
+                &self.net, &self.din, &self.dout, domain, margin, threads,
+            )?,
+        };
         let lipschitz = global_lipschitz(&self.net, NormKind::L2);
-        let mut artifacts =
-            ProofArtifacts { state: None, lipschitz: Some(lipschitz), network_abstraction: None };
+        let mut artifacts = ProofArtifacts {
+            state: None,
+            lipschitz: Some(lipschitz),
+            network_abstraction: None,
+            bnb_proof: None,
+        };
         let outcome = if state.proof_established() {
             artifacts.state = Some(state);
             VerifyOutcome::Proved
@@ -145,9 +196,25 @@ impl VerificationProblem {
             // The single pass failed; pay for refinement to still answer.
             // This is the hottest fallback of the continuous pipeline —
             // the branch-and-bound engine spreads it over the thread
-            // budget.
-            let config = BnbConfig::new(domain, refine_splits).with_threads(threads.max(1));
-            let report = bnb::decide(&self.net, &self.din, &self.dout, &config)?;
+            // budget, warm-started when a previous partition is available.
+            let config = BnbConfig::new(domain, refine_splits)
+                .with_threads(threads.max(1))
+                .with_checkpoint_collection(true);
+            let warm_cp = warm
+                .filter(|p| p.applies_to(&self.net, &self.din, &self.dout, domain))
+                .map(|p| p.checkpoint());
+            let report = bnb::decide_with_checkpoint(
+                &self.net, &self.din, &self.dout, &config, warm_cp, None,
+            )?;
+            if let Some(cp) = report.checkpoint {
+                artifacts.bnb_proof = Some(BnbProofArtifact::new(
+                    &covern_nn::serialize::layer_hashes(&self.net),
+                    self.din.clone(),
+                    self.dout.clone(),
+                    domain,
+                    cp,
+                ));
+            }
             match report.outcome {
                 covern_absint::refine::Outcome::Proved => VerifyOutcome::Proved,
                 covern_absint::refine::Outcome::Refuted(w) => VerifyOutcome::Refuted(w),

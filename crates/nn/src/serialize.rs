@@ -113,10 +113,8 @@ pub fn load(path: impl AsRef<Path>) -> Result<Network, NnError> {
     from_json(&s)
 }
 
-/// 128-bit stable content hash of a network: two independent FNV-1a-64
-/// streams over the canonical parameter encoding (per layer: shape,
-/// activation tag, then every weight and bias as its IEEE-754 bit
-/// pattern).
+/// 128-bit stable content hash of a network, composed from the per-layer
+/// hashes of [`layer_hashes`] via [`compose_layer_hashes`].
 ///
 /// Two networks hash equal iff their serialized forms are identical —
 /// same architecture, same activations, bit-identical parameters. A 1-ULP
@@ -127,29 +125,75 @@ pub fn load(path: impl AsRef<Path>) -> Result<Network, NnError> {
 /// and platform endianness concerns (all words are hashed as explicit
 /// little-endian byte sequences).
 pub fn content_hash(net: &Network) -> [u64; 2] {
+    compose_layer_hashes(&layer_hashes(net))
+}
+
+/// 128-bit content hash of one layer: shape, activation tag + parameter
+/// bits, then every weight and bias as its IEEE-754 bit pattern — the
+/// same canonical field order the monolithic hash has always streamed,
+/// now scoped to a single layer with a fresh hasher state.
+fn layer_hash(layer: &DenseLayer) -> [u64; 2] {
     let mut h = ContentHasher::new();
-    h.write_u64(net.num_layers() as u64);
-    for layer in net.layers() {
-        h.write_u64(layer.weights().rows() as u64);
-        h.write_u64(layer.weights().cols() as u64);
-        // Stable activation tag: variant index plus any parameter bits.
-        let (tag, param) = match layer.activation() {
-            Activation::Identity => (0u64, 0u64),
-            Activation::Relu => (1, 0),
-            Activation::LeakyRelu(alpha) => (2, alpha.to_bits()),
-            Activation::Sigmoid => (3, 0),
-            Activation::Tanh => (4, 0),
-        };
-        h.write_u64(tag);
-        h.write_u64(param);
-        for w in layer.weights().as_slice() {
-            h.write_u64(w.to_bits());
-        }
-        for b in layer.bias() {
-            h.write_u64(b.to_bits());
-        }
+    h.write_u64(layer.weights().rows() as u64);
+    h.write_u64(layer.weights().cols() as u64);
+    // Stable activation tag: variant index plus any parameter bits.
+    let (tag, param) = match layer.activation() {
+        Activation::Identity => (0u64, 0u64),
+        Activation::Relu => (1, 0),
+        Activation::LeakyRelu(alpha) => (2, alpha.to_bits()),
+        Activation::Sigmoid => (3, 0),
+        Activation::Tanh => (4, 0),
+    };
+    h.write_u64(tag);
+    h.write_u64(param);
+    for w in layer.weights().as_slice() {
+        h.write_u64(w.to_bits());
+    }
+    for b in layer.bias() {
+        h.write_u64(b.to_bits());
     }
     h.finish()
+}
+
+/// Per-layer content hashes, one 128-bit value per [`DenseLayer`], in
+/// layer order.
+///
+/// Each entry depends only on that layer's shape, activation, and
+/// bit-exact parameters, so comparing two snapshots of a fine-tuned
+/// network entry-by-entry identifies *exactly which layers changed* —
+/// the delta handlers use [`first_changed_layer`] on these vectors to
+/// recompute only the abstractions downstream of the first edit. The
+/// whole-network address of [`content_hash`] is the fold of this vector
+/// through [`compose_layer_hashes`]; the 1-ULP sensitivity contract is
+/// inherited per layer (a 1-ULP change flips that layer's entry, which
+/// flips the composed address).
+pub fn layer_hashes(net: &Network) -> Vec<[u64; 2]> {
+    net.layers().iter().map(layer_hash).collect()
+}
+
+/// Folds per-layer hashes ([`layer_hashes`]) into the 128-bit network
+/// address: a fresh dual-lane stream over the layer count followed by
+/// each layer's two hash words. [`content_hash`] is exactly
+/// `compose_layer_hashes(&layer_hashes(net))`.
+pub fn compose_layer_hashes(hashes: &[[u64; 2]]) -> [u64; 2] {
+    let mut h = ContentHasher::new();
+    h.write_u64(hashes.len() as u64);
+    for lh in hashes {
+        h.write_u64(lh[0]);
+        h.write_u64(lh[1]);
+    }
+    h.finish()
+}
+
+/// Index of the first layer whose hash differs between two snapshots
+/// (`None` when the vectors are identical). A layer-count change reports
+/// `Some(0)`: structural edits invalidate everything downstream of the
+/// input, which is the conservative answer the delta handlers need.
+pub fn first_changed_layer(old: &[[u64; 2]], new: &[[u64; 2]]) -> Option<usize> {
+    if old.len() != new.len() {
+        return Some(0);
+    }
+    old.iter().zip(new.iter()).position(|(a, b)| a != b)
 }
 
 /// Two FNV-1a-64 lanes with distinct offset bases, fed identical bytes.
@@ -266,6 +310,40 @@ mod tests {
         let mut rng2 = Rng::seeded(8);
         let wider = Network::random(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng2);
         assert_ne!(content_hash(&relu), content_hash(&wider));
+    }
+
+    #[test]
+    fn content_hash_is_the_composed_layer_hash_fold() {
+        let mut rng = Rng::seeded(11);
+        let net = Network::random(&[3, 4, 2], Activation::Relu, Activation::Sigmoid, &mut rng);
+        let per_layer = layer_hashes(&net);
+        assert_eq!(per_layer.len(), net.num_layers());
+        assert_eq!(content_hash(&net), compose_layer_hashes(&per_layer));
+    }
+
+    #[test]
+    fn layer_hashes_localize_a_one_ulp_edit() {
+        let mut rng = Rng::seeded(12);
+        let net = Network::random(&[3, 4, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let mut bumped = net.clone();
+        let b = bumped.layers_mut()[1].bias_mut();
+        b[0] = f64::from_bits(b[0].to_bits() + 1);
+        let old = layer_hashes(&net);
+        let new = layer_hashes(&bumped);
+        assert_eq!(old[0], new[0], "untouched layer 0 must keep its hash");
+        assert_ne!(old[1], new[1], "the edited layer must change");
+        assert_eq!(old[2], new[2], "untouched layer 2 must keep its hash");
+        assert_eq!(first_changed_layer(&old, &new), Some(1));
+        assert_eq!(first_changed_layer(&old, &old), None);
+        assert_ne!(content_hash(&net), content_hash(&bumped));
+    }
+
+    #[test]
+    fn layer_count_change_reports_layer_zero() {
+        let mut rng = Rng::seeded(13);
+        let short = Network::random(&[2, 3, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let long = Network::random(&[2, 3, 3, 1], Activation::Relu, Activation::Identity, &mut rng);
+        assert_eq!(first_changed_layer(&layer_hashes(&short), &layer_hashes(&long)), Some(0));
     }
 
     #[test]

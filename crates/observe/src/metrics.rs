@@ -370,16 +370,26 @@ declare_metrics! {
         "Artifact-cache requests that ran the underlying full verification.";
     counter cache_singleflight_waits_total => "covern_cache_singleflight_waits_total":
         "Cache requests that blocked on another requester computing the same key (schedule-dependent).";
+    counter proof_warmstart_hits_total => "covern_proof_warmstart_hits_total":
+        "Proof-cache lookups that found a reusable B&B checkpoint for the instance's fine-tune family.";
+    counter proof_warmstart_misses_total => "covern_proof_warmstart_misses_total":
+        "Proof-cache lookups that found no checkpoint (the B&B run starts cold from the root box).";
     // -- transports --------------------------------------------------
     counter connections_accepted_total => "covern_connections_accepted_total":
         "TCP connections accepted by the protocol listener.";
     counter metrics_scrapes_total => "covern_metrics_scrapes_total":
         "Metrics renders served (protocol Metrics requests plus HTTP /metrics scrapes).";
+    counter metrics_scrape_errors_total => "covern_metrics_scrape_errors_total":
+        "HTTP /metrics requests answered 400 (malformed request line, oversized or timed-out header block).";
     // -- verification engines ----------------------------------------
     counter bnb_runs_total => "covern_bnb_runs_total":
         "Branch-and-bound refinement runs (one per local check routed to the B&B engine).";
     counter bnb_splits_total => "covern_bnb_splits_total":
         "Input-box bisections performed across all branch-and-bound runs.";
+    counter bnb_leaves_revalidated_total => "covern_bnb_leaves_revalidated_total":
+        "Checkpointed proved leaves that re-validated against the updated weights during warm-started B&B runs.";
+    counter bnb_leaves_reseeded_total => "covern_bnb_leaves_reseeded_total":
+        "Checkpointed proved leaves that failed re-validation and were re-seeded into the warm frontier.";
     counter kernel_compiles_total => "covern_kernel_compiles_total":
         "Layer weight kernels compiled (sign-split + transpose packing; once per layer until invalidated).";
     counter kernel_invalidations_total => "covern_kernel_invalidations_total":

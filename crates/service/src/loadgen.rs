@@ -545,6 +545,23 @@ mod tests {
     }
 
     #[test]
+    fn zero_completed_ops_yield_zero_stats_not_a_panic() {
+        // A run where no operation completed (e.g. every session was
+        // refused) hands an empty sample set to every percentile; the
+        // stats must come back all-zero instead of indexing into nothing.
+        let stats = LatencyStats::from_samples(&mut []);
+        assert_eq!(stats.p50_us, 0);
+        assert_eq!(stats.p99_us, 0);
+        assert_eq!(stats.mean_us, 0);
+        assert_eq!(stats.max_us, 0);
+        assert_eq!(stats.samples, 0);
+        // One completed op is the smallest case where `pick` indexes:
+        // every percentile collapses onto the single sample.
+        let one = LatencyStats::from_samples(&mut [42]);
+        assert_eq!((one.p50_us, one.p99_us, one.max_us, one.samples), (42, 42, 42, 1));
+    }
+
+    #[test]
     fn canonical_json_zeroes_measurements_only() {
         let report = LoadReport {
             format: LOADGEN_REPORT_FORMAT.into(),

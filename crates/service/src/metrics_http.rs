@@ -24,9 +24,16 @@ use std::time::Duration;
 /// How often the accept loop re-checks the shutdown flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(100);
 
-/// Per-request socket timeout: a scraper that stalls mid-request must not
-/// pin the (single) serving thread past this.
+/// Per-request budget: a scraper that stalls mid-request must not pin the
+/// (single) serving thread past this. The budget covers the *whole*
+/// request read — request line and header drain together — not each
+/// individual socket read, so a client trickling headers cannot extend
+/// its welcome indefinitely.
 const REQUEST_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Upper bound on total header bytes accepted per request; past this the
+/// request is answered `400` rather than buffered further.
+const MAX_HEADER_BYTES: usize = 8 * 1024;
 
 /// A running `/metrics` HTTP listener handle.
 #[derive(Debug)]
@@ -91,21 +98,26 @@ fn accept_loop(listener: &TcpListener, service: &Arc<Service>) {
 /// render-and-write of an in-memory registry, so concurrency would buy
 /// nothing and a thread per scraper is a thread too many.
 fn handle_scrape(stream: TcpStream) {
+    let deadline = std::time::Instant::now() + REQUEST_TIMEOUT;
     let _ = stream.set_read_timeout(Some(REQUEST_TIMEOUT));
     let _ = stream.set_write_timeout(Some(REQUEST_TIMEOUT));
     let _ = stream.set_nonblocking(false);
     let mut reader = BufReader::new(stream);
     let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
+    if reader.read_line(&mut request_line).is_err() || request_line.trim().is_empty() {
+        // Timed-out, reset, or empty request: answer 400 (best-effort —
+        // the client may already be gone) and record the failure so it
+        // shows up in the very registry being scraped.
+        respond_bad_request(reader.into_inner());
         return;
     }
-    // Drain the headers so the client sees a clean close.
-    let mut header = String::new();
-    while reader.read_line(&mut header).is_ok() {
-        if header.trim().is_empty() {
-            break;
-        }
-        header.clear();
+    // Drain the headers to the blank line so the client sees a clean
+    // close — bounded by the remaining request budget and by
+    // MAX_HEADER_BYTES, so neither a trickling nor a flooding client can
+    // pin the serving thread.
+    if !drain_headers(&mut reader, deadline) {
+        respond_bad_request(reader.into_inner());
+        return;
     }
     let mut stream = reader.into_inner();
     let mut parts = request_line.split_whitespace();
@@ -133,6 +145,53 @@ fn handle_scrape(stream: TcpStream) {
     let _ = stream.flush();
 }
 
+/// Reads header lines until the blank line that ends the request head.
+/// Returns `false` — malformed — on a read error, on EOF before the blank
+/// line, when the accumulated headers exceed [`MAX_HEADER_BYTES`], or
+/// when `deadline` passes (each socket read's timeout is clamped to the
+/// time remaining, so the whole drain observes the one request budget).
+fn drain_headers(reader: &mut BufReader<TcpStream>, deadline: std::time::Instant) -> bool {
+    let mut header = String::new();
+    let mut total = 0usize;
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return false;
+        }
+        let _ = reader.get_ref().set_read_timeout(Some(remaining));
+        header.clear();
+        match reader.read_line(&mut header) {
+            Err(_) => return false,
+            Ok(0) => return false,
+            Ok(n) => {
+                if header.trim().is_empty() {
+                    return true;
+                }
+                total += n;
+                if total > MAX_HEADER_BYTES {
+                    return false;
+                }
+            }
+        }
+    }
+}
+
+/// Best-effort `400` answer for requests that never parsed (timed out,
+/// truncated, oversized, or empty), counted in the registry as a scrape
+/// error.
+fn respond_bad_request(mut stream: TcpStream) {
+    metrics().metrics_scrape_errors_total.inc();
+    let body = "covern: malformed or timed-out request\n";
+    let response = format!(
+        "HTTP/1.1 400 Bad Request\r\nContent-Type: text/plain; \
+         charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -156,6 +215,54 @@ mod tests {
         assert!(response.contains("text/plain; version=0.0.4"));
         assert!(response.contains("# TYPE covern_requests_total counter"));
         assert!(response.contains("covern_sessions_open "));
+    }
+
+    #[test]
+    fn headers_arriving_in_delayed_chunks_still_get_200() {
+        let service = Service::new(ServiceConfig::default());
+        let server = serve_metrics_http(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // The head split across two writes with a pause well inside the
+        // request budget: the drain must wait for the blank line instead
+        // of serving (or hanging) early.
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: localhost\r\n").unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        write!(stream, "X-Scraper: test\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("\r\nConnection: close\r\n"), "{response}");
+        assert!(response.contains("\r\nContent-Length: "), "{response}");
+        // The advertised length matches the delivered body.
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        let advertised: usize =
+            head.lines().find_map(|l| l.strip_prefix("Content-Length: ")).unwrap().parse().unwrap();
+        assert_eq!(advertised, body.len());
+    }
+
+    #[test]
+    fn truncated_requests_get_400_and_are_counted() {
+        let service = Service::new(ServiceConfig::default());
+        let server = serve_metrics_http(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let errors_before = metrics().metrics_scrape_errors_total.get();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // A head that ends (EOF) before the blank line is malformed.
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: localhost\r\n").unwrap();
+        stream.flush().unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 400 Bad Request\r\n"), "{response}");
+        assert!(response.contains("\r\nConnection: close\r\n"), "{response}");
+        assert!(response.contains("\r\nContent-Length: "), "{response}");
+        // The registry is process-wide (other tests may also err), so
+        // assert the counter moved, not its absolute value.
+        assert!(
+            metrics().metrics_scrape_errors_total.get() > errors_before,
+            "scrape errors must surface in the registry"
+        );
     }
 
     #[test]

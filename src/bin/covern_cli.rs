@@ -111,6 +111,8 @@ campaign — concurrent batch verification
   --canonical     zero all timing fields (byte-deterministic report)
   --vehicle       append the lane-following platform workload
   --no-cache      disable the content-addressed artifact cache
+  --no-proof-reuse  keep the cache but drop its proof-level entries
+                  (B&B checkpoints that warm-start post-delta refinement)
   --min-hits N    fail unless the cache reused ≥ N artifacts     [default: 0]
 
 serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
@@ -182,7 +184,8 @@ fn print_help(command: Option<&str>) -> Result<(), String> {
 
 /// Flags that take no value; everything else must be followed by one
 /// (a forgotten value stays a usage error, not a silent `"true"`).
-const BOOLEAN_FLAGS: [&str; 6] = ["canonical", "vehicle", "no-cache", "stdio", "spawn", "help"];
+const BOOLEAN_FLAGS: [&str; 7] =
+    ["canonical", "vehicle", "no-cache", "no-proof-reuse", "stdio", "spawn", "help"];
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut flags = HashMap::new();
@@ -336,6 +339,7 @@ fn run() -> Result<bool, String> {
             let engine = covern::campaign::CampaignEngine::new(covern::campaign::CampaignConfig {
                 threads,
                 use_cache: !flags.contains_key("no-cache"),
+                use_proof_reuse: !flags.contains_key("no-proof-reuse"),
                 ..covern::campaign::CampaignConfig::default()
             });
             let corpus =
@@ -355,6 +359,10 @@ fn run() -> Result<bool, String> {
             println!(
                 "cache: {} hits, {} misses, {} entries",
                 report.cache.hits, report.cache.misses, report.cache.entries
+            );
+            println!(
+                "proof reuse: {} warm starts, {} cold refinements, {} B&B splits",
+                report.cache.proof_hits, report.cache.proof_misses, report.bnb_splits
             );
             println!(
                 "time: {:.1} ms wall vs {:.1} ms sequential ({:.2}x)",

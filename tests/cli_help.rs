@@ -73,6 +73,8 @@ campaign — concurrent batch verification
   --canonical     zero all timing fields (byte-deterministic report)
   --vehicle       append the lane-following platform workload
   --no-cache      disable the content-addressed artifact cache
+  --no-proof-reuse  keep the cache but drop its proof-level entries
+                  (B&B checkpoints that warm-start post-delta refinement)
   --min-hits N    fail unless the cache reused ≥ N artifacts     [default: 0]
 
 serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
@@ -153,6 +155,7 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
                 "canonical",
                 "vehicle",
                 "no-cache",
+                "no-proof-reuse",
                 "min-hits",
             ],
         ),

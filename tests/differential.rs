@@ -166,5 +166,12 @@ fn cached_campaign_verdicts_are_bit_identical_to_cold() {
         .run(&corpus)
         .expect("warm rerun");
     assert_eq!(warm.canonical().scenarios, warm2.canonical().scenarios);
-    assert_eq!(warm.cache, warm2.cache, "single-flight counters are schedule-independent");
+    // Proof-level hit/miss counters are schedule-dependent (which worker
+    // stores a family's checkpoint first varies), so compare the
+    // canonical cache section, where they are zeroed.
+    assert_eq!(
+        warm.canonical().cache,
+        warm2.canonical().cache,
+        "single-flight counters are schedule-independent"
+    );
 }

@@ -1,0 +1,257 @@
+//! Proof-level cache reuse properties.
+//!
+//! Three contracts keep the warm-start machinery honest:
+//!
+//! * **hash composition** — the composed per-layer content hashes fold to
+//!   exactly the monolithic network address ([`content_hash`]), stay
+//!   stable under clone and serialize/deserialize roundtrips, and react
+//!   to a 1-ULP weight change in precisely the perturbed layer;
+//! * **verdict canonicality** — a branch-and-bound run warm-started from
+//!   a pre-fine-tune checkpoint answers byte-identically (outcome,
+//!   witness, split accounting) to a cold run, at 1 and at 4 threads;
+//! * **re-validation soundness** — a checkpoint whose "proved" leaves are
+//!   lies (stale, or outright poisoned) can never smuggle a `Proved`
+//!   verdict past weights that a concrete sample refutes.
+//!
+//! Plus the acceptance measurement: after a small fine-tune delta, the
+//! warm-started search re-proves with strictly fewer splits than a cold
+//! search of the tuned network.
+
+use covern::absint::bnb::{decide_with_checkpoint, BnbCheckpoint, BnbConfig, BnbReport};
+use covern::absint::refine::Outcome;
+use covern::absint::{reach_boxes, BoxDomain, DomainKind};
+use covern::nn::serialize::{
+    compose_layer_hashes, content_hash, first_changed_layer, layer_hashes,
+};
+use covern::nn::{Activation, Network};
+use covern::tensor::Rng;
+
+const FAMILY_DIMS: [&[usize]; 4] = [&[2, 5, 1], &[3, 6, 1], &[2, 6, 4, 1], &[3, 5, 5, 1]];
+
+fn family_net(seed: u64) -> Network {
+    let dims = FAMILY_DIMS[(seed % FAMILY_DIMS.len() as u64) as usize];
+    let mut rng = Rng::seeded(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1));
+    Network::random(dims, Activation::Relu, Activation::Identity, &mut rng)
+}
+
+fn unit_box(dim: usize) -> BoxDomain {
+    BoxDomain::from_bounds(&vec![(-1.0, 1.0); dim]).expect("unit box")
+}
+
+/// A target between the concrete-sample hull and the (coarser) box-reach
+/// output: tight enough that the root box fails the abstract check and
+/// the search actually splits, wide enough that most instances prove.
+fn splitting_target(net: &Network, din: &BoxDomain, slack: f64, seed: u64) -> BoxDomain {
+    let coarse = reach_boxes(net, din, DomainKind::Box).expect("box reach").output().clone();
+    let mut rng = Rng::seeded(seed ^ 0x5eed);
+    let mut lo = vec![f64::INFINITY; net.output_dim()];
+    let mut hi = vec![f64::NEG_INFINITY; net.output_dim()];
+    for _ in 0..400 {
+        let x: Vec<f64> = din.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect();
+        for (d, y) in net.forward(&x).expect("forward").into_iter().enumerate() {
+            lo[d] = lo[d].min(y);
+            hi[d] = hi[d].max(y);
+        }
+    }
+    let bounds: Vec<(f64, f64)> = (0..net.output_dim())
+        .map(|d| {
+            let iv = coarse.interval(d);
+            // `slack` interpolates from the sampled hull (0.0) to the
+            // box-reach overestimate (1.0).
+            (lo[d] - slack * (lo[d] - iv.lo()), hi[d] + slack * (iv.hi() - hi[d]))
+        })
+        .collect();
+    BoxDomain::from_bounds(&bounds).expect("target box")
+}
+
+/// Strips the schedule-dependent wall clock, leaving everything that must
+/// be byte-identical across thread counts and warm/cold.
+fn canon(report: &BnbReport) -> (Outcome, usize, usize, usize, bool, bool) {
+    (
+        report.outcome.clone(),
+        report.splits,
+        report.leaves_proved,
+        report.frontier_remaining,
+        report.deadline_hit,
+        report.cancelled,
+    )
+}
+
+#[test]
+fn composed_layer_hashes_fold_to_the_monolithic_address() {
+    for seed in 0..24u64 {
+        let net = family_net(seed);
+        let per_layer = layer_hashes(&net);
+        assert_eq!(per_layer.len(), net.num_layers());
+        assert_eq!(
+            compose_layer_hashes(&per_layer),
+            content_hash(&net),
+            "seed {seed}: composed address must equal the monolithic hash"
+        );
+        // Clone stability.
+        assert_eq!(per_layer, layer_hashes(&net.clone()));
+        // Serialize/deserialize roundtrip stability (float formatting is
+        // shortest-roundtrip, so bit patterns survive the JSON detour).
+        let json = serde_json::to_string(&net).expect("network serializes");
+        let back: Network = serde_json::from_str(&json).expect("network parses");
+        assert_eq!(per_layer, layer_hashes(&back), "seed {seed}: roundtrip changed a hash");
+        assert_eq!(content_hash(&net), content_hash(&back));
+    }
+}
+
+#[test]
+fn one_ulp_weight_changes_localize_to_their_layer() {
+    for seed in 0..12u64 {
+        let net = family_net(seed);
+        let base = layer_hashes(&net);
+        for layer in 0..net.num_layers() {
+            let mut tuned = net.clone();
+            let w = tuned.layers_mut()[layer].weights_mut();
+            let old = w.get(0, 0);
+            w.set(0, 0, f64::from_bits(old.to_bits() ^ 1));
+            let new = layer_hashes(&tuned);
+            assert_ne!(content_hash(&net), content_hash(&tuned), "seed {seed} layer {layer}");
+            assert_eq!(first_changed_layer(&base, &new), Some(layer));
+            for (k, (a, b)) in base.iter().zip(new.iter()).enumerate() {
+                assert_eq!(k != layer, a == b, "seed {seed}: only layer {layer} may differ");
+            }
+        }
+        assert_eq!(first_changed_layer(&base, &base), None);
+    }
+}
+
+#[test]
+fn warm_verdicts_and_witnesses_replay_cold_at_one_and_four_threads() {
+    let mut exercised = 0usize;
+    for seed in 0..10u64 {
+        let net = family_net(seed);
+        let din = unit_box(net.input_dim());
+        let target = splitting_target(&net, &din, 0.55, seed);
+        let base_cfg = BnbConfig::new(DomainKind::Box, 3_000).with_checkpoint_collection(true);
+        let cold_base = decide_with_checkpoint(&net, &din, &target, &base_cfg, None, None)
+            .expect("cold base run");
+        let Some(checkpoint) = cold_base.checkpoint.clone() else {
+            continue; // refuted base instances carry no proof state
+        };
+        // Three family members: the base itself, and two fine-tune deltas
+        // of very different magnitude (the larger one breaks most leaves,
+        // stressing the rerun-cold path).
+        let mut members = vec![net.clone()];
+        let mut rng = Rng::seeded(seed ^ 0xf1e7);
+        members.push(net.perturbed(1e-5, &mut rng));
+        members.push(net.perturbed(5e-2, &mut rng));
+        for (m, member) in members.iter().enumerate() {
+            let mut answers = Vec::new();
+            for threads in [1usize, 4] {
+                let cfg = base_cfg.with_threads(threads);
+                let cold = decide_with_checkpoint(member, &din, &target, &cfg, None, None)
+                    .expect("cold run");
+                let warm =
+                    decide_with_checkpoint(member, &din, &target, &cfg, Some(&checkpoint), None)
+                        .expect("warm run");
+                // Warm and cold must agree on the verdict — witness bytes
+                // included — on every instance; split accounting is where
+                // they are *allowed* to differ (saving splits is the
+                // point of the warm start).
+                assert_eq!(
+                    cold.outcome, warm.outcome,
+                    "seed {seed} member {m} threads {threads}: warm verdict must replay cold"
+                );
+                if let Outcome::Refuted(w) = &warm.outcome {
+                    let y = member.forward(w).expect("forward");
+                    assert!(!target.contains(&y), "witness must violate concretely");
+                    assert!(!warm.warm_started, "refutations must come from the cold rerun");
+                }
+                answers.push((canon(&cold), canon(&warm)));
+                exercised += 1;
+            }
+            // Full accounting — splits, proved leaves, frontier — must be
+            // byte-identical across thread counts, cold and warm alike.
+            assert_eq!(answers[0], answers[1], "seed {seed} member {m}: 1 vs 4 threads differ");
+        }
+    }
+    assert!(exercised >= 12, "the family corpus must actually exercise warm runs: {exercised}");
+}
+
+#[test]
+fn warm_start_reproves_fine_tune_deltas_with_fewer_splits() {
+    let mut compared = 0usize;
+    for seed in 0..10u64 {
+        let net = family_net(seed);
+        let din = unit_box(net.input_dim());
+        let target = splitting_target(&net, &din, 0.55, seed);
+        let cfg = BnbConfig::new(DomainKind::Box, 3_000).with_checkpoint_collection(true);
+        let base = decide_with_checkpoint(&net, &din, &target, &cfg, None, None).expect("base");
+        let (Outcome::Proved, Some(checkpoint)) = (&base.outcome, base.checkpoint.clone()) else {
+            continue;
+        };
+        if base.splits == 0 {
+            continue; // nothing to save if the root already proves
+        }
+        let mut rng = Rng::seeded(seed ^ 0x7a57e);
+        let tuned = net.perturbed(1e-5, &mut rng);
+        let cold = decide_with_checkpoint(&tuned, &din, &target, &cfg, None, None).expect("cold");
+        let warm = decide_with_checkpoint(&tuned, &din, &target, &cfg, Some(&checkpoint), None)
+            .expect("warm");
+        if cold.outcome != Outcome::Proved {
+            continue; // the delta tipped the instance; canonicality is covered above
+        }
+        assert_eq!(warm.outcome, Outcome::Proved);
+        assert!(warm.warm_started, "seed {seed}: the warm run must actually use the seed");
+        assert!(
+            warm.splits < cold.splits,
+            "seed {seed}: warm re-proof must save splits (warm {} vs cold {})",
+            warm.splits,
+            cold.splits
+        );
+        assert!(warm.leaves_revalidated > 0, "seed {seed}: some leaves must re-validate");
+        compared += 1;
+    }
+    assert!(compared >= 3, "too few provable fine-tune instances exercised: {compared}");
+}
+
+#[test]
+fn poisoned_proved_leaves_never_survive_concrete_refutation() {
+    let mut refuted_somewhere = 0usize;
+    for seed in 20..32u64 {
+        let net = family_net(seed);
+        let din = unit_box(net.input_dim());
+        // A target strictly inside the sampled reach: concrete samples
+        // refute it by construction.
+        let target = {
+            let hull = splitting_target(&net, &din, 0.0, seed);
+            let bounds: Vec<(f64, f64)> = hull
+                .intervals()
+                .iter()
+                .map(|iv| {
+                    let shrink = 0.25 * iv.width();
+                    (iv.lo() + shrink, iv.hi() - shrink)
+                })
+                .collect();
+            BoxDomain::from_bounds(&bounds).expect("shrunken target")
+        };
+        // The poison: a checkpoint swearing the whole input box (and a
+        // few bisections of it) are already proved.
+        let halves = din.bisect_widest();
+        let poison = BnbCheckpoint {
+            proved: vec![din.clone(), halves.0.clone(), halves.1.clone()],
+            open: vec![halves.0.clone()],
+        };
+        let cfg = BnbConfig::new(DomainKind::Box, 2_000).with_checkpoint_collection(true);
+        let report = decide_with_checkpoint(&net, &din, &target, &cfg, Some(&poison), None)
+            .expect("poisoned run");
+        match &report.outcome {
+            Outcome::Proved => panic!(
+                "seed {seed}: poisoned checkpoint produced Proved against a \
+                 concretely-refutable target"
+            ),
+            Outcome::Refuted(w) => {
+                let y = net.forward(w).expect("forward");
+                assert!(!target.contains(&y), "seed {seed}: witness does not violate");
+                refuted_somewhere += 1;
+            }
+            Outcome::Unknown => {}
+        }
+    }
+    assert!(refuted_somewhere >= 8, "refutations found: {refuted_somewhere}");
+}
