@@ -47,7 +47,7 @@
 use covern_absint::box_domain::BoxDomain;
 use covern_absint::DomainKind;
 use covern_core::artifact::{BnbProofArtifact, Margin, ProofArtifacts};
-use covern_core::cache::{FullVerifyFn, VerifyCache};
+use covern_core::cache::{BlobStore, FullVerifyFn, VerifyCache};
 use covern_core::problem::VerificationProblem;
 use covern_core::report::VerifyReport;
 use covern_core::CoreError;
@@ -59,6 +59,44 @@ use std::sync::{Arc, Mutex};
 /// A 128-bit content address.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey([u64; 2]);
+
+impl CacheKey {
+    /// The two 64-bit lanes of the address (lane order is stable and part
+    /// of the on-disk format of spilled artifacts).
+    pub fn as_words(&self) -> [u64; 2] {
+        self.0
+    }
+
+    /// The address as one 128-bit integer (`lane0` in the high bits) —
+    /// the form consumed by [`covern_core::cache::BlobStore`] and the
+    /// cluster's consistent-hash ring.
+    pub fn to_u128(self) -> u128 {
+        (u128::from(self.0[0]) << 64) | u128::from(self.0[1])
+    }
+
+    /// Rebuilds a key from [`to_u128`](Self::to_u128)'s form.
+    pub fn from_u128(v: u128) -> Self {
+        Self([(v >> 64) as u64, v as u64])
+    }
+
+    /// The address as 32 lowercase hex digits — the file-name form of the
+    /// disk-backed store.
+    pub fn hex(&self) -> String {
+        format!("{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// Addresses an opaque byte string under a domain-separation tag — the
+/// general-purpose entry point for content-addressed storage outside the
+/// two verification key spaces (e.g. the cluster coordinator's session
+/// checkpoints). Distinct tags never collide by construction.
+pub fn content_key(tag: &str, bytes: &[u8]) -> CacheKey {
+    let mut h = KeyHasher::new(tag);
+    for &b in bytes {
+        h.write_byte(b);
+    }
+    h.finish()
+}
 
 /// Two FNV-1a-64 lanes over u64 words (the same construction as
 /// `covern_nn::serialize::content_hash`, seeded differently so network
@@ -218,6 +256,7 @@ pub struct ArtifactCache {
     proof_hits: AtomicU64,
     proof_misses: AtomicU64,
     proof_reuse: bool,
+    blob: Option<Arc<dyn BlobStore>>,
 }
 
 impl Default for ArtifactCache {
@@ -231,6 +270,7 @@ impl Default for ArtifactCache {
             proof_hits: AtomicU64::new(0),
             proof_misses: AtomicU64::new(0),
             proof_reuse: true,
+            blob: None,
         }
     }
 }
@@ -254,6 +294,18 @@ impl ArtifactCache {
     /// Whether the proof-level store is enabled.
     pub fn proof_reuse_enabled(&self) -> bool {
         self.proof_reuse
+    }
+
+    /// Attaches a spill tier: `store_proof` additionally writes each
+    /// checkpoint (serialized) through to `blob`, and `load_proof` falls
+    /// back to it on an in-memory miss, promoting what it finds. This is
+    /// how proof-level entries survive a process restart — a fresh cache
+    /// over the same store warm-starts where the old one left off. A
+    /// no-op tier while `proof_reuse` is off.
+    #[must_use]
+    pub fn with_blob_store(mut self, blob: Arc<dyn BlobStore>) -> Self {
+        self.blob = Some(blob);
+        self
     }
 
     /// Current hit/miss counters.
@@ -333,7 +385,21 @@ impl VerifyCache for ArtifactCache {
             return None;
         }
         let key = proof_family_key(problem, domain, margin);
-        let found = self.proofs.lock().expect("proof map lock").get(&key).cloned();
+        let mut found = self.proofs.lock().expect("proof map lock").get(&key).cloned();
+        if found.is_none() {
+            if let Some(blob) = &self.blob {
+                // Spill-tier fallback: a checkpoint written by an earlier
+                // process (or another cache over the same store). Decode
+                // failures degrade to a miss — spilled bytes are hints.
+                found = blob
+                    .load(key.to_u128())
+                    .and_then(|bytes| String::from_utf8(bytes).ok())
+                    .and_then(|json| serde_json::from_str::<BnbProofArtifact>(&json).ok());
+                if let Some(proof) = &found {
+                    self.proofs.lock().expect("proof map lock").insert(key, proof.clone());
+                }
+            }
+        }
         match &found {
             Some(_) => {
                 self.proof_hits.fetch_add(1, Ordering::Relaxed);
@@ -361,6 +427,11 @@ impl VerifyCache for ArtifactCache {
         // Last write wins: the freshest partition is the best seed for
         // the family's next delta, and any entry is only a hint anyway.
         self.proofs.lock().expect("proof map lock").insert(key, proof.clone());
+        if let Some(blob) = &self.blob {
+            if let Ok(json) = serde_json::to_string(proof) {
+                blob.store(key.to_u128(), json.as_bytes());
+            }
+        }
     }
 }
 
@@ -487,6 +558,77 @@ mod tests {
         assert!(off.load_proof(&p, DomainKind::Box, Margin::NONE).is_none());
         assert_eq!(off.stats().proof_hits, 0);
         assert_eq!(off.stats().proof_misses, 0);
+    }
+
+    #[test]
+    fn key_accessors_roundtrip_and_hex_is_stable() {
+        let p = tiny_problem(2.0);
+        let key = full_verify_key(&p, DomainKind::Box, Margin::NONE);
+        assert_eq!(CacheKey::from_u128(key.to_u128()), key);
+        let [a, b] = key.as_words();
+        assert_eq!(key.to_u128(), (u128::from(a) << 64) | u128::from(b));
+        assert_eq!(key.hex(), format!("{a:016x}{b:016x}"));
+        assert_eq!(key.hex().len(), 32);
+        // content_key is deterministic and tag-separated.
+        assert_eq!(content_key("t1", b"abc"), content_key("t1", b"abc"));
+        assert_ne!(content_key("t1", b"abc"), content_key("t2", b"abc"));
+        assert_ne!(content_key("t1", b"abc"), content_key("t1", b"abd"));
+    }
+
+    /// A toy in-memory spill tier for exercising the blob hooks.
+    #[derive(Debug, Default)]
+    struct MemBlobs {
+        map: Mutex<HashMap<u128, Vec<u8>>>,
+    }
+
+    impl covern_core::cache::BlobStore for MemBlobs {
+        fn load(&self, key: u128) -> Option<Vec<u8>> {
+            self.map.lock().unwrap().get(&key).cloned()
+        }
+
+        fn store(&self, key: u128, bytes: &[u8]) {
+            self.map.lock().unwrap().insert(key, bytes.to_vec());
+        }
+    }
+
+    #[test]
+    fn proof_spill_survives_a_fresh_cache_over_the_same_store() {
+        use covern_absint::bnb::BnbCheckpoint;
+        use covern_nn::serialize::layer_hashes;
+
+        let p = tiny_problem(2.0);
+        let cp = BnbCheckpoint {
+            proved: vec![BoxDomain::from_bounds(&[(-1.0, 0.0)]).unwrap()],
+            open: vec![BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap()],
+        };
+        let proof = covern_core::artifact::BnbProofArtifact::new(
+            &layer_hashes(p.network()),
+            p.din().clone(),
+            p.dout().clone(),
+            DomainKind::Box,
+            cp,
+        );
+        let blobs: Arc<MemBlobs> = Arc::new(MemBlobs::default());
+        let first = ArtifactCache::new().with_blob_store(Arc::clone(&blobs) as _);
+        first.store_proof(&p, DomainKind::Box, Margin::NONE, &proof);
+        assert_eq!(blobs.map.lock().unwrap().len(), 1, "store_proof must write through");
+        // A *fresh* cache (simulated restart) over the same store serves
+        // the checkpoint from the spill tier and counts it as a hit.
+        let second = ArtifactCache::new().with_blob_store(Arc::clone(&blobs) as _);
+        let loaded = second.load_proof(&p, DomainKind::Box, Margin::NONE);
+        assert_eq!(loaded.as_ref(), Some(&proof), "spilled checkpoint must replay bit-exactly");
+        assert_eq!(second.stats().proof_hits, 1);
+        // Corrupt bytes degrade to a miss, never an error.
+        let key = proof_family_key(&p, DomainKind::Box, Margin::NONE).to_u128();
+        blobs.map.lock().unwrap().insert(key, b"not json".to_vec());
+        let third = ArtifactCache::new().with_blob_store(Arc::clone(&blobs) as _);
+        assert!(third.load_proof(&p, DomainKind::Box, Margin::NONE).is_none());
+        // With proof reuse off the spill tier is untouched either way.
+        let off = ArtifactCache::new()
+            .with_blob_store(Arc::new(MemBlobs::default()) as _)
+            .with_proof_reuse(false);
+        off.store_proof(&p, DomainKind::Box, Margin::NONE, &proof);
+        assert!(off.load_proof(&p, DomainKind::Box, Margin::NONE).is_none());
     }
 
     #[test]

@@ -44,9 +44,11 @@ pub mod report;
 pub mod runner;
 pub mod scenario;
 
-pub use cache::{ArtifactCache, CacheStats};
+pub use cache::{
+    content_key, full_verify_key, proof_family_key, ArtifactCache, CacheKey, CacheStats,
+};
 pub use corpus::CorpusConfig;
 pub use error::CampaignError;
 pub use report::CampaignReport;
-pub use runner::{CampaignConfig, CampaignEngine};
+pub use runner::{thread_split, CampaignConfig, CampaignEngine};
 pub use scenario::{DeltaEvent, DeltaKind, Scenario};

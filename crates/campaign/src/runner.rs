@@ -110,12 +110,8 @@ impl CampaignEngine {
         // concurrent out-of-engine B&B work would leak in; campaigns are
         // the only B&B driver in the CLI, where this is exact.
         let splits_before = covern_observe::metrics().bnb_splits_total.get();
-        let workers = self.config.threads.clamp(1, corpus.len());
-        let scenario_threads = if self.config.scenario_threads > 0 {
-            self.config.scenario_threads
-        } else {
-            (self.config.threads / workers).max(1)
-        };
+        let (workers, scenario_threads) =
+            thread_split(self.config.threads, self.config.scenario_threads, corpus.len());
         let method = self.config.method;
         let jobs: Vec<Job<ScenarioReport>> = corpus
             .iter()
@@ -130,30 +126,8 @@ impl CampaignEngine {
         let results = run_jobs(jobs, workers);
 
         let mut scenarios = Vec::with_capacity(results.len());
-        let (mut proved, mut refuted, mut unknown, mut errors) = (0, 0, 0, 0);
-        let mut sequential_us = 0u64;
         for (_, mut report, duration) in results {
             report.wall_us = duration.as_micros() as u64;
-            sequential_us += report.wall_us;
-            if report.error.is_some() {
-                errors += 1;
-            } else {
-                let outcomes = std::iter::once(report.initial_outcome.as_str())
-                    .chain(report.events.iter().map(|e| e.outcome.as_str()));
-                let mut any_refuted = false;
-                let mut any_unknown = false;
-                for o in outcomes {
-                    any_refuted |= o == "refuted";
-                    any_unknown |= o == "unknown";
-                }
-                if any_refuted {
-                    refuted += 1;
-                } else if any_unknown {
-                    unknown += 1;
-                } else {
-                    proved += 1;
-                }
-            }
             scenarios.push(report);
         }
         let cache = match &self.cache {
@@ -177,23 +151,82 @@ impl CampaignEngine {
                 proof_misses: 0,
             },
         };
-        Ok(CampaignReport {
-            format: REPORT_FORMAT.into(),
-            threads: self.config.threads,
+        Ok(assemble_report(
+            self.config.threads,
             scenario_threads,
             scenarios,
             cache,
-            wall_us: t0.elapsed().as_micros() as u64,
-            sequential_us,
-            proved,
-            refuted,
-            unknown,
-            errors,
-            bnb_splits: covern_observe::metrics()
-                .bnb_splits_total
-                .get()
-                .saturating_sub(splits_before),
-        })
+            t0.elapsed().as_micros() as u64,
+            covern_observe::metrics().bnb_splits_total.get().saturating_sub(splits_before),
+        ))
+    }
+}
+
+/// Splits the campaign thread budget: at most one scenario worker per
+/// corpus entry, the rest of the budget divided evenly as each worker's
+/// per-scenario subproblem allowance (`scenario_threads` overrides the
+/// division when nonzero). The cluster coordinator reuses this so its
+/// report header — and the per-scenario budget it hands each worker
+/// daemon — matches the single-process engine exactly.
+pub fn thread_split(threads: usize, scenario_threads: usize, corpus_len: usize) -> (usize, usize) {
+    let workers = threads.clamp(1, corpus_len.max(1));
+    let per_scenario =
+        if scenario_threads > 0 { scenario_threads } else { (threads / workers).max(1) };
+    (workers, per_scenario)
+}
+
+/// Assembles a [`CampaignReport`] from per-scenario trajectories: tallies
+/// proved/refuted/unknown/errors by scanning every verdict (an error
+/// anywhere marks the scenario errored; otherwise one refuted verdict
+/// marks it refuted, one unknown marks it unknown, else proved) and sums
+/// the footnote-3 sequential accounting. Shared between the in-process
+/// engine and the cluster coordinator so both produce byte-identical
+/// canonical reports from identical trajectories.
+pub fn assemble_report(
+    threads: usize,
+    scenario_threads: usize,
+    scenarios: Vec<ScenarioReport>,
+    cache: CacheSection,
+    wall_us: u64,
+    bnb_splits: u64,
+) -> CampaignReport {
+    let (mut proved, mut refuted, mut unknown, mut errors) = (0, 0, 0, 0);
+    let mut sequential_us = 0u64;
+    for report in &scenarios {
+        sequential_us += report.wall_us;
+        if report.error.is_some() {
+            errors += 1;
+        } else {
+            let outcomes = std::iter::once(report.initial_outcome.as_str())
+                .chain(report.events.iter().map(|e| e.outcome.as_str()));
+            let mut any_refuted = false;
+            let mut any_unknown = false;
+            for o in outcomes {
+                any_refuted |= o == "refuted";
+                any_unknown |= o == "unknown";
+            }
+            if any_refuted {
+                refuted += 1;
+            } else if any_unknown {
+                unknown += 1;
+            } else {
+                proved += 1;
+            }
+        }
+    }
+    CampaignReport {
+        format: REPORT_FORMAT.into(),
+        threads,
+        scenario_threads,
+        scenarios,
+        cache,
+        wall_us,
+        sequential_us,
+        proved,
+        refuted,
+        unknown,
+        errors,
+        bnb_splits,
     }
 }
 

@@ -81,6 +81,31 @@ pub trait VerifyCache: Send + Sync + std::fmt::Debug {
     }
 }
 
+/// A byte-level second tier under an in-memory cache: spill serialized
+/// artifacts out by 128-bit content address, load them back in a later
+/// process. The trait is deliberately dumb — bytes in, bytes out, no
+/// serialization policy — so the core pipeline stays free of storage
+/// concerns; the disk-backed implementation lives in `covern-service`
+/// (the cluster coordinator's content-addressed store) and the
+/// `ArtifactCache` wiring in `covern-campaign`.
+///
+/// Implementations must be safe under concurrent `store` calls for the
+/// same key with *different* bytes only when any stored value is an
+/// acceptable answer (proof-level entries are acceleration hints, so
+/// last-write-wins is fine there). A failed or partial store must never
+/// surface as a successful `load` — write-temp-then-rename or
+/// equivalent.
+pub trait BlobStore: Send + Sync + std::fmt::Debug {
+    /// Returns the bytes stored under `key`, or `None` (absent or
+    /// unreadable — a spill tier miss is never an error).
+    fn load(&self, key: u128) -> Option<Vec<u8>>;
+
+    /// Stores `bytes` under `key`, replacing any previous value. Errors
+    /// are swallowed by contract: losing a spill costs a future warm
+    /// start, never correctness.
+    fn store(&self, key: u128, bytes: &[u8]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -394,6 +394,21 @@ declare_metrics! {
         "Layer weight kernels compiled (sign-split + transpose packing; once per layer until invalidated).";
     counter kernel_invalidations_total => "covern_kernel_invalidations_total":
         "Compiled layer kernels invalidated by a weight mutation.";
+    // -- cluster coordinator -----------------------------------------
+    counter cluster_pings_total => "covern_cluster_pings_total":
+        "Health-check pings the cluster coordinator sent to worker daemons (successful or not).";
+    counter cluster_worker_deaths_total => "covern_cluster_worker_deaths_total":
+        "Worker daemons the coordinator declared dead (connection loss, ping failure, or per-request deadline).";
+    counter cluster_reassignments_total => "covern_cluster_reassignments_total":
+        "In-flight sessions reassigned to another worker by checkpoint resume + delta-stream replay.";
+    counter cluster_deadline_reroutes_total => "covern_cluster_deadline_reroutes_total":
+        "Worker requests abandoned at the per-request deadline and rerouted to another worker.";
+    counter cluster_malformed_responses_total => "covern_cluster_malformed_responses_total":
+        "Worker response lines the coordinator could not decode (counted and survived, never a panic).";
+    counter store_spills_total => "covern_store_spills_total":
+        "Blobs written to the coordinator's disk-backed content-addressed store (checkpoints and spilled proofs).";
+    counter store_loads_total => "covern_store_loads_total":
+        "Blobs served from the coordinator's disk-backed content-addressed store.";
     ---
     gauge sessions_open => "covern_sessions_open":
         "Sessions currently registered.";
@@ -405,6 +420,8 @@ declare_metrics! {
         "Distinct content addresses in the process-wide artifact cache (stored or in flight).";
     gauge connections_active => "covern_connections_active":
         "TCP protocol connections currently being served.";
+    gauge cluster_workers_active => "covern_cluster_workers_active":
+        "Worker daemons the cluster coordinator currently considers live.";
     ---
     histogram open_latency_seconds => "covern_open_latency_seconds":
         "Wall time of Open/Resume handling, including the original verification or cache lookup.";

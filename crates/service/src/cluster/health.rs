@@ -1,0 +1,70 @@
+//! Background worker health checks.
+//!
+//! A dedicated thread pings every live worker each interval with a
+//! protocol `Hello` under a short deadline. A failed ping marks the
+//! worker dead (`covern_cluster_worker_deaths_total`,
+//! `covern_cluster_workers_active`); the router's next routing decision
+//! for any key on the dead worker's arcs then falls through to a ring
+//! neighbour. The monitor is advisory — the per-request deadline in the
+//! router catches deaths faster when a scenario is actively talking to
+//! the corpse — but it is what retires *idle* workers, whose death would
+//! otherwise only surface when the final stats sweep reaches them.
+
+use super::worker::{WireClient, WorkerHandle};
+use covern_observe::metrics;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Handle to the ping thread; stop with [`HealthMonitor::stop`] (also
+/// called on drop).
+#[derive(Debug)]
+pub struct HealthMonitor {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HealthMonitor {
+    /// Starts pinging `workers` every `interval`, each ping bounded by
+    /// `deadline`.
+    #[must_use]
+    pub fn start(workers: Arc<Vec<WorkerHandle>>, interval: Duration, deadline: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::SeqCst) {
+                for worker in workers.iter().filter(|w| w.is_alive()) {
+                    metrics().cluster_pings_total.inc();
+                    let ok = WireClient::connect(worker.addr(), deadline)
+                        .and_then(|mut wire| wire.hello())
+                        .is_ok();
+                    if !ok && worker.mark_dead() {
+                        worker.kill();
+                    }
+                }
+                // Sleep in small slices so stop() returns promptly.
+                let mut remaining = interval;
+                while !remaining.is_zero() && !stop_flag.load(Ordering::SeqCst) {
+                    let slice = remaining.min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    remaining = remaining.saturating_sub(slice);
+                }
+            }
+        });
+        Self { stop, thread: Some(thread) }
+    }
+
+    /// Stops the ping thread and joins it.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for HealthMonitor {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -1,0 +1,36 @@
+//! Sharded multi-worker verification cluster.
+//!
+//! One coordinator, N worker daemons (each an ordinary `covern_cli
+//! serve` process), and nothing clever on the wire: the cluster layer is
+//! pure orchestration over `covern-protocol-v1`.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`ring`] | consistent-hash ring (proof-family key → worker) |
+//! | [`store`] | coordinator-level content-addressed disk store |
+//! | [`worker`] | worker daemon handles + the deadline-aware wire client |
+//! | [`health`] | background ping monitor |
+//! | [`router`] | the coordinator: sharding, failover, report assembly |
+//!
+//! Dataflow: `run_campaign` splits its thread budget exactly like the
+//! single-process engine, drivers pull scenarios off a shared queue,
+//! each scenario routes by the consistent hash of its proof-family key
+//! to one worker and runs there as one protocol session (open → deltas →
+//! close), checkpointing into the [`store::DiskStore`] as it goes. A
+//! worker fault (connect refused, reply deadline blown, connection
+//! dropped, garbage bytes) retires the worker and resumes the session
+//! from its checkpoint on the next ring owner. The differential suite
+//! pins the headline invariant: canonical campaign reports are
+//! byte-identical across single-process, 1-worker and N-worker runs.
+
+pub mod health;
+pub mod ring;
+pub mod router;
+pub mod store;
+pub mod worker;
+
+pub use health::HealthMonitor;
+pub use ring::HashRing;
+pub use router::{Cluster, ClusterConfig, KillAfter, CHECKPOINT_EVERY};
+pub use store::DiskStore;
+pub use worker::{WireClient, WireFault, WorkerHandle};

@@ -1,0 +1,192 @@
+//! Consistent-hash ring for scenario → worker placement.
+//!
+//! Placement is keyed by the 128-bit **proof-family key** of a scenario's
+//! original problem (see `covern_campaign::proof_family_key`): every full
+//! verification two scenarios could ever share has equal full-verify keys,
+//! equal full-verify keys imply equal family keys, and equal family keys
+//! land on the same ring point — so family-key routing partitions the
+//! full-verify key space across workers. That is what keeps per-worker
+//! cache hit/miss counts summable to the single-process numbers, and what
+//! keeps fine-tune siblings (the warm-start beneficiaries) on one daemon.
+//!
+//! The ring is the classic virtual-node construction: each worker owns
+//! [`VNODES`] pseudo-random points on a `u64` circle; a key routes to the
+//! owner of the first point clockwise from the key's own position. Adding
+//! or removing one worker therefore remaps only the arcs adjacent to its
+//! points — about `1/n` of the key space (asserted by proptest) — so a
+//! worker death does not reshuffle every surviving worker's cache
+//! locality.
+
+/// Virtual nodes per worker. 64 points keep the per-worker share of the
+/// circle within a few percent of `1/n` for small clusters without making
+/// ring construction measurable.
+pub const VNODES: usize = 64;
+
+/// SplitMix64: a full-period bijective mixer; cheap, and statistically
+/// strong enough that worker points interleave uniformly on the circle.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Position of a placement key on the circle.
+fn key_point(key: u128) -> u64 {
+    mix64((key >> 64) as u64 ^ mix64(key as u64))
+}
+
+/// Position of one virtual node on the circle.
+fn vnode_point(worker: usize, replica: usize) -> u64 {
+    mix64(((worker as u64) << 32) ^ replica as u64 ^ 0x5eed_c0de_u64)
+}
+
+/// A consistent-hash ring over worker indices (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct HashRing {
+    /// `(point, worker)` sorted by point — the circle, flattened.
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    /// An empty ring.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A ring populated with workers `0..n`.
+    #[must_use]
+    pub fn with_workers(n: usize) -> Self {
+        let mut ring = Self::new();
+        for w in 0..n {
+            ring.insert(w);
+        }
+        ring
+    }
+
+    /// Adds a worker's virtual nodes (idempotent).
+    pub fn insert(&mut self, worker: usize) {
+        if self.points.iter().any(|&(_, w)| w == worker) {
+            return;
+        }
+        for replica in 0..VNODES {
+            self.points.push((vnode_point(worker, replica), worker));
+        }
+        // Point collisions across workers are possible in principle; the
+        // sort's (point, worker) order keeps ownership deterministic.
+        self.points.sort_unstable();
+    }
+
+    /// Removes a worker's virtual nodes (idempotent).
+    pub fn remove(&mut self, worker: usize) {
+        self.points.retain(|&(_, w)| w != worker);
+    }
+
+    /// Number of distinct workers on the ring.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        let mut seen: Vec<usize> = self.points.iter().map(|&(_, w)| w).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Whether the ring has no workers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The worker owning `key`: the first virtual node clockwise from the
+    /// key's position. `None` on an empty ring. A pure function of
+    /// `(ring contents, key)` — routing never depends on request order.
+    #[must_use]
+    pub fn route(&self, key: u128) -> Option<usize> {
+        self.route_live(key, |_| true)
+    }
+
+    /// Like [`route`](Self::route), but skips workers for which `alive`
+    /// returns `false`: the key's arc falls through to the next live
+    /// owner clockwise, which is exactly the consistent-hash failover
+    /// property — a dead worker's keys spread over its ring neighbours
+    /// while everyone else's placement is untouched.
+    pub fn route_live(&self, key: u128, alive: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let pos = key_point(key);
+        let start = self.points.partition_point(|&(p, _)| p < pos);
+        // Walk at most one full turn; distinct workers repeat, so remember
+        // what we already rejected only implicitly (alive is cheap).
+        for i in 0..self.points.len() {
+            let (_, w) = self.points[(start + i) % self.points.len()];
+            if alive(w) {
+                return Some(w);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_routes_nowhere() {
+        assert_eq!(HashRing::new().route(42), None);
+        assert!(HashRing::new().is_empty());
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let ring = HashRing::with_workers(1);
+        for k in 0..1000u128 {
+            assert_eq!(ring.route(k * 0x1234_5678_9abc), Some(0));
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_spread() {
+        let ring = HashRing::with_workers(4);
+        let mut counts = [0usize; 4];
+        for k in 0..4000u128 {
+            let w = ring.route(k.wrapping_mul(0x9e37_79b9_7f4a_7c15)).unwrap();
+            assert_eq!(ring.route(k.wrapping_mul(0x9e37_79b9_7f4a_7c15)), Some(w));
+            counts[w] += 1;
+        }
+        for (w, &c) in counts.iter().enumerate() {
+            assert!(c > 400, "worker {w} owns only {c}/4000 keys");
+        }
+    }
+
+    #[test]
+    fn dead_worker_keys_fail_over_but_live_placement_is_stable() {
+        let ring = HashRing::with_workers(3);
+        for k in 0..500u128 {
+            let key = k.wrapping_mul(0x517c_c1b7_2722_0a95);
+            let primary = ring.route(key).unwrap();
+            let rerouted = ring.route_live(key, |w| w != primary).unwrap();
+            assert_ne!(rerouted, primary);
+            // Keys not owned by the dead worker keep their placement.
+            if primary != 0 {
+                assert_eq!(ring.route_live(key, |w| w != 0), Some(primary));
+            }
+        }
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_remove_inverts_it() {
+        let mut ring = HashRing::with_workers(2);
+        let before: Vec<_> = (0..64u128).map(|k| ring.route(k * 7919)).collect();
+        ring.insert(1);
+        let after: Vec<_> = (0..64u128).map(|k| ring.route(k * 7919)).collect();
+        assert_eq!(before, after);
+        ring.insert(2);
+        ring.remove(2);
+        let restored: Vec<_> = (0..64u128).map(|k| ring.route(k * 7919)).collect();
+        assert_eq!(before, restored);
+        assert_eq!(ring.workers(), 2);
+    }
+}

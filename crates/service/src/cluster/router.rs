@@ -1,0 +1,535 @@
+//! The cluster coordinator: sharded campaign execution with failover.
+//!
+//! [`Cluster`] spawns N worker daemons (plain `covern_cli serve`
+//! processes) and runs a campaign corpus across them. Placement, caching
+//! and recovery are all keyed by content:
+//!
+//! * **Routing** — each scenario goes to the ring owner of its original
+//!   problem's *proof-family key* ([`covern_campaign::proof_family_key`]).
+//!   Fine-tune siblings share that key, so they land on one worker and
+//!   keep both full-artifact dedupe and branch-and-bound warm starts
+//!   local. Because equal full-verify keys imply equal family keys, the
+//!   per-worker key populations *partition* the global one — summed
+//!   worker cache counters equal the single-process engine's, which is
+//!   what makes the canonical cluster report byte-identical to the
+//!   single-process report (asserted by `tests/cluster_differential.rs`).
+//! * **Recovery** — the coordinator checkpoints each session against its
+//!   [`DiskStore`] (after open, then every [`CHECKPOINT_EVERY`]
+//!   verdicts). When a request hits a dead, hung or garbage-speaking
+//!   worker, the worker is retired from the ring, the session is resumed
+//!   from its last checkpoint on the next live owner clockwise, and the
+//!   delta stream is replayed from the checkpoint — replayed verdicts
+//!   are cross-checked against the already-recorded ones (determinism
+//!   makes replay idempotent), then the stream continues. Verdict
+//!   streams therefore come out identical with or without faults
+//!   (asserted by `tests/cluster_faults.rs`).
+//!
+//! The final report is assembled by the same
+//! [`covern_campaign::runner::assemble_report`] the in-process engine
+//! uses, with worker `Stats` summed into the cache section. Proof-tier
+//! counters and the B&B split count live inside the worker processes and
+//! are reported as zero — both are zeroed by `CampaignReport::canonical`
+//! anyway, so canonical reports are unaffected. Like the single-process
+//! engine, use a fresh cluster per measured campaign: worker daemons
+//! accumulate cache state across runs.
+
+use super::health::HealthMonitor;
+use super::ring::HashRing;
+use super::store::DiskStore;
+use super::worker::{WireClient, WireFault, WorkerHandle};
+use crate::protocol::{ErrorCode, OpenParams};
+use covern_campaign::report::{CacheSection, CampaignReport, ScenarioReport};
+use covern_campaign::runner::{assemble_report, thread_split};
+use covern_campaign::{proof_family_key, CampaignError, Scenario};
+use covern_core::problem::VerificationProblem;
+use covern_observe::{metrics, obs_info, obs_warn};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Checkpoint cadence: after the open, then every this many verdicts.
+/// Lower = less replay after a death, more checkpoint round-trips.
+pub const CHECKPOINT_EVERY: usize = 2;
+
+/// Fault injection: SIGKILL worker `worker` the moment the cluster-wide
+/// fresh-verdict count reaches `after_verdicts`. The worker is *not*
+/// pre-marked dead — detection must travel the real failure path
+/// (request fault or health ping). Test-facing, but kept in the public
+/// config so operators can drill failover on a live corpus.
+#[derive(Debug, Clone, Copy)]
+pub struct KillAfter {
+    /// Index of the worker to kill.
+    pub worker: usize,
+    /// Fresh (non-replay) verdict count that triggers the kill.
+    pub after_verdicts: u64,
+}
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker daemons to spawn.
+    pub workers: usize,
+    /// Campaign thread budget — reported in the campaign header and split
+    /// into coordinator driver threads exactly like the single-process
+    /// engine's [`thread_split`].
+    pub threads: usize,
+    /// Per-scenario subproblem budget override (`0` divides `threads`).
+    pub scenario_threads: usize,
+    /// Per-request reply deadline; a worker that blows it is retired.
+    pub deadline: Duration,
+    /// Health-check ping interval.
+    pub ping_interval: Duration,
+    /// Branch-and-bound split budget handed to each worker daemon.
+    pub splits: usize,
+    /// Checkpoint/spill directory; `None` uses a per-cluster temp
+    /// directory removed at shutdown.
+    pub store_dir: Option<PathBuf>,
+    /// Worker binary; `None` re-executes the current binary (the CLI's
+    /// own path — workers are `covern_cli serve`).
+    pub binary: Option<PathBuf>,
+    /// Optional fault injection (see [`KillAfter`]).
+    pub kill_after: Option<KillAfter>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            threads: 4,
+            scenario_threads: 0,
+            deadline: Duration::from_secs(30),
+            ping_interval: Duration::from_millis(1000),
+            splits: 256,
+            store_dir: None,
+            binary: None,
+            kill_after: None,
+        }
+    }
+}
+
+/// Uniquifier for unnamed (temp) store directories within one process.
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The cluster coordinator (see module docs).
+#[derive(Debug)]
+pub struct Cluster {
+    config: ClusterConfig,
+    workers: Arc<Vec<WorkerHandle>>,
+    ring: HashRing,
+    store: Arc<DiskStore>,
+    /// Set when the store directory is cluster-owned (temp) and should be
+    /// removed at shutdown.
+    owned_store: bool,
+    health: Option<HealthMonitor>,
+    /// Cluster-wide fresh-verdict counter (drives [`KillAfter`]).
+    verdicts_seen: AtomicU64,
+    stopped: bool,
+}
+
+impl Cluster {
+    /// Spawns `config.workers` daemons and starts health monitoring.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidConfig`] for a zero-worker config, an
+    /// unresolvable worker binary, or a worker that fails to start.
+    pub fn launch(config: ClusterConfig) -> Result<Self, CampaignError> {
+        if config.workers == 0 {
+            return Err(CampaignError::InvalidConfig("cluster needs at least one worker".into()));
+        }
+        let binary = match &config.binary {
+            Some(b) => b.clone(),
+            None => std::env::current_exe().map_err(|e| {
+                CampaignError::InvalidConfig(format!("cannot locate worker binary: {e}"))
+            })?,
+        };
+        let session_threads = if config.scenario_threads > 0 {
+            config.scenario_threads
+        } else {
+            (config.threads / config.workers).max(1)
+        };
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            workers.push(WorkerHandle::spawn(i, &binary, session_threads, config.splits).map_err(
+                |e| CampaignError::InvalidConfig(format!("worker {i} failed to start: {e}")),
+            )?);
+        }
+        Self::assemble(config, workers)
+    }
+
+    /// Builds a coordinator over externally managed workers (the fault
+    /// tests use this to mix real daemons with deliberately slow or
+    /// garbage-speaking fakes).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidConfig`] for an empty worker set or an
+    /// unusable store directory.
+    pub fn with_workers(
+        config: ClusterConfig,
+        workers: Vec<WorkerHandle>,
+    ) -> Result<Self, CampaignError> {
+        if workers.is_empty() {
+            return Err(CampaignError::InvalidConfig("cluster needs at least one worker".into()));
+        }
+        Self::assemble(config, workers)
+    }
+
+    fn assemble(config: ClusterConfig, workers: Vec<WorkerHandle>) -> Result<Self, CampaignError> {
+        let (store_dir, owned_store) = match &config.store_dir {
+            Some(dir) => (dir.clone(), false),
+            None => (
+                std::env::temp_dir().join(format!(
+                    "covern-cluster-{}-{}",
+                    std::process::id(),
+                    STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+                )),
+                true,
+            ),
+        };
+        let store = Arc::new(DiskStore::open(&store_dir).map_err(|e| {
+            CampaignError::InvalidConfig(format!("cannot open store {}: {e}", store_dir.display()))
+        })?);
+        let ring = HashRing::with_workers(workers.len());
+        let workers = Arc::new(workers);
+        metrics().cluster_workers_active.add(workers.len() as i64);
+        let health =
+            HealthMonitor::start(Arc::clone(&workers), config.ping_interval, config.deadline);
+        obs_info!("cluster up", workers = workers.len(), store = store_dir.display().to_string());
+        Ok(Self {
+            config,
+            workers,
+            ring,
+            store,
+            owned_store,
+            health: Some(health),
+            verdicts_seen: AtomicU64::new(0),
+            stopped: false,
+        })
+    }
+
+    /// The coordinator's content-addressed disk store.
+    #[must_use]
+    pub fn store(&self) -> &Arc<DiskStore> {
+        &self.store
+    }
+
+    /// Workers the coordinator currently considers live.
+    #[must_use]
+    pub fn workers_alive(&self) -> usize {
+        self.workers.iter().filter(|w| w.is_alive()).count()
+    }
+
+    /// Runs a campaign corpus across the cluster. Scenario order in the
+    /// report is corpus order; the report is assembled by the same code
+    /// path as the single-process engine, so its canonical form is
+    /// byte-identical to [`covern_campaign::CampaignEngine::run`]'s on
+    /// the same corpus.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidConfig`] for an empty corpus. Worker
+    /// deaths are not errors — scenarios are reassigned, and a scenario
+    /// that exhausts every worker is *recorded* as errored, like any
+    /// other scenario-level failure.
+    pub fn run_campaign(&self, corpus: &[Scenario]) -> Result<CampaignReport, CampaignError> {
+        if corpus.is_empty() {
+            return Err(CampaignError::InvalidConfig("empty corpus".into()));
+        }
+        let t0 = Instant::now();
+        let (drivers, scenario_threads) =
+            thread_split(self.config.threads, self.config.scenario_threads, corpus.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<ScenarioReport>>> =
+            corpus.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..drivers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(scenario) = corpus.get(i) else { break };
+                    let t = Instant::now();
+                    let mut report = self.drive_scenario(scenario);
+                    report.wall_us = t.elapsed().as_micros() as u64;
+                    *slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(report);
+                });
+            }
+        });
+        let scenarios: Vec<ScenarioReport> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .expect("every corpus slot is driven")
+            })
+            .collect();
+        Ok(assemble_report(
+            self.config.threads,
+            scenario_threads,
+            scenarios,
+            self.sum_worker_stats(),
+            t0.elapsed().as_micros() as u64,
+            0,
+        ))
+    }
+
+    /// Sums live workers' cache counters into the report's cache section
+    /// (see module docs for why the sums equal single-process counts).
+    fn sum_worker_stats(&self) -> CacheSection {
+        let (mut hits, mut misses, mut entries) = (0u64, 0u64, 0u64);
+        for worker in self.workers.iter().filter(|w| w.is_alive()) {
+            let snap = WireClient::connect(worker.addr(), self.config.deadline)
+                .and_then(|mut wire| wire.stats());
+            match snap {
+                Ok(s) => {
+                    hits += s.cache_hits;
+                    misses += s.cache_misses;
+                    entries += s.cache_entries;
+                }
+                Err(fault) => self.note_fault(worker.index(), &fault),
+            }
+        }
+        CacheSection { enabled: true, hits, misses, entries, proof_hits: 0, proof_misses: 0 }
+    }
+
+    /// Drives one scenario end to end, surviving worker deaths (see
+    /// module docs for the reassignment walkthrough).
+    fn drive_scenario(&self, scenario: &Scenario) -> ScenarioReport {
+        let mut report = ScenarioReport {
+            name: scenario.name.clone(),
+            initial_outcome: "unknown".into(),
+            initial_wall_us: 0,
+            events: Vec::with_capacity(scenario.events.len()),
+            wall_us: 0,
+            error: None,
+        };
+        // Coordinator-side construction doubles as validation: an invalid
+        // problem records the same `e.to_string()` the single-process
+        // engine records, without a wire round-trip.
+        let problem = match VerificationProblem::new(
+            scenario.network.clone(),
+            scenario.din.clone(),
+            scenario.dout.clone(),
+        ) {
+            Ok(p) => p,
+            Err(e) => {
+                report.error = Some(e.to_string());
+                return report;
+            }
+        };
+        let key = proof_family_key(&problem, scenario.domain, scenario.margin).to_u128();
+        drop(problem);
+
+        // (store key, number of leading events the checkpoint covers).
+        let mut checkpoint: Option<(u128, usize)> = None;
+        let mut opened_once = false;
+        let mut attempts = 0usize;
+        'attempt: loop {
+            attempts += 1;
+            if attempts > self.workers.len() * 2 + 2 {
+                report.error = Some("cluster: retries exhausted".into());
+                return report;
+            }
+            let Some(widx) = self.ring.route_live(key, |w| self.workers[w].is_alive()) else {
+                report.error = Some("cluster: no live worker available".into());
+                return report;
+            };
+            let worker = &self.workers[widx];
+            let mut wire = match WireClient::connect(worker.addr(), self.config.deadline) {
+                Ok(wire) => wire,
+                Err(fault) => {
+                    self.note_fault(widx, &fault);
+                    continue 'attempt;
+                }
+            };
+            // Open fresh, or resume from the last checkpoint.
+            let (session, mut applied) = match &checkpoint {
+                Some((cp_key, cp_events)) => {
+                    let Some(state) =
+                        self.store.get(*cp_key).and_then(|b| String::from_utf8(b).ok())
+                    else {
+                        // A lost checkpoint degrades to a from-scratch
+                        // replay of the whole stream.
+                        checkpoint = None;
+                        continue 'attempt;
+                    };
+                    match wire.resume(&scenario.name, state) {
+                        Ok(opened) => {
+                            metrics().cluster_reassignments_total.inc();
+                            obs_warn!(
+                                "session reassigned",
+                                scenario = scenario.name,
+                                worker = widx,
+                                replay_from = *cp_events
+                            );
+                            (opened.session, *cp_events)
+                        }
+                        Err(WireFault::Remote(e)) => {
+                            report.error = Some(e.message);
+                            return report;
+                        }
+                        Err(fault) => {
+                            self.note_fault(widx, &fault);
+                            continue 'attempt;
+                        }
+                    }
+                }
+                None => match wire.open(OpenParams {
+                    label: scenario.name.clone(),
+                    network: scenario.network.clone(),
+                    din: scenario.din.clone(),
+                    dout: scenario.dout.clone(),
+                    domain: scenario.domain,
+                    margin: scenario.margin,
+                }) {
+                    Ok(opened) => {
+                        report.initial_outcome = opened.outcome;
+                        report.initial_wall_us = opened.wall_us;
+                        if opened_once {
+                            // The previous owner died before the first
+                            // checkpoint landed; this re-open is still a
+                            // reassignment.
+                            metrics().cluster_reassignments_total.inc();
+                        }
+                        opened_once = true;
+                        (opened.session, 0)
+                    }
+                    Err(WireFault::Remote(e)) => {
+                        report.error = Some(e.message);
+                        return report;
+                    }
+                    Err(fault) => {
+                        self.note_fault(widx, &fault);
+                        continue 'attempt;
+                    }
+                },
+            };
+            // Post-open baseline checkpoint, so a death during the very
+            // first delta already resumes instead of re-verifying.
+            if checkpoint.is_none() {
+                match wire.checkpoint(session) {
+                    Ok(state) => {
+                        checkpoint = Some((self.store.put(state.as_bytes()).to_u128(), 0));
+                    }
+                    Err(WireFault::Remote(_)) => {} // keep going checkpoint-less
+                    Err(fault) => {
+                        self.note_fault(widx, &fault);
+                        continue 'attempt;
+                    }
+                }
+            }
+            while applied < scenario.events.len() {
+                let replaying = applied < report.events.len();
+                match wire.delta(session, &scenario.events[applied]) {
+                    Ok(record) => {
+                        if replaying {
+                            if record.outcome != report.events[applied].outcome {
+                                report.error = Some(format!(
+                                    "cluster: replay diverged at event {applied}: {} became {}",
+                                    report.events[applied].outcome, record.outcome
+                                ));
+                                let _ = wire.close(session);
+                                return report;
+                            }
+                        } else {
+                            report.events.push(record);
+                            self.on_fresh_verdict();
+                        }
+                        applied += 1;
+                        let stream_done = applied == scenario.events.len();
+                        if !replaying && !stream_done && applied % CHECKPOINT_EVERY == 0 {
+                            match wire.checkpoint(session) {
+                                Ok(state) => {
+                                    checkpoint =
+                                        Some((self.store.put(state.as_bytes()).to_u128(), applied));
+                                }
+                                Err(WireFault::Remote(_)) => {}
+                                Err(fault) => {
+                                    self.note_fault(widx, &fault);
+                                    continue 'attempt;
+                                }
+                            }
+                        }
+                    }
+                    Err(WireFault::Remote(e)) if e.code == ErrorCode::DeltaFailed => {
+                        // Byte-identical to the single-process engine:
+                        // same message, same index arithmetic.
+                        report.error =
+                            Some(format!("event {}: {}", report.events.len(), e.message));
+                        let _ = wire.close(session);
+                        return report;
+                    }
+                    Err(WireFault::Remote(e)) => {
+                        report.error = Some(e.message);
+                        let _ = wire.close(session);
+                        return report;
+                    }
+                    Err(fault) => {
+                        self.note_fault(widx, &fault);
+                        continue 'attempt;
+                    }
+                }
+            }
+            let _ = wire.close(session);
+            return report;
+        }
+    }
+
+    /// Classifies and counts a worker fault, retires the worker, and
+    /// reaps its process so the next routing decision skips it.
+    fn note_fault(&self, widx: usize, fault: &WireFault) {
+        debug_assert!(fault.is_worker_fault(), "remote errors are session faults");
+        match fault {
+            WireFault::Timeout => metrics().cluster_deadline_reroutes_total.inc(),
+            WireFault::Malformed(_) => metrics().cluster_malformed_responses_total.inc(),
+            _ => {}
+        }
+        obs_warn!("cluster worker fault", worker = widx, fault = fault.to_string());
+        if self.workers[widx].mark_dead() {
+            self.workers[widx].kill();
+        }
+    }
+
+    /// Counts a fresh (non-replay) verdict and fires [`KillAfter`] when
+    /// the threshold is crossed (exactly once — the counter is atomic).
+    fn on_fresh_verdict(&self) {
+        let n = self.verdicts_seen.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(kill) = &self.config.kill_after {
+            if n == kill.after_verdicts {
+                if let Some(worker) = self.workers.get(kill.worker) {
+                    obs_warn!("fault injection: killing worker", worker = kill.worker);
+                    worker.kill();
+                }
+            }
+        }
+    }
+
+    /// Stops health checks, politely shuts down live workers, kills the
+    /// rest, and removes a cluster-owned store directory. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stopped {
+            return;
+        }
+        self.stopped = true;
+        if let Some(mut health) = self.health.take() {
+            health.stop();
+        }
+        for worker in self.workers.iter() {
+            let was_alive = worker.is_alive();
+            worker.shutdown(Duration::from_millis(500));
+            if was_alive {
+                metrics().cluster_workers_active.dec();
+            }
+        }
+        if self.owned_store {
+            let _ = std::fs::remove_dir_all(self.store.dir());
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,186 @@
+//! Coordinator-level content-addressed disk store.
+//!
+//! The cluster's second cache tier: each worker daemon keeps its own
+//! in-memory `ArtifactCache`, and the coordinator keeps this
+//! disk-backed store underneath — session checkpoints land here so a
+//! dead worker's sessions can be replayed elsewhere, and (through the
+//! [`BlobStore`] hook) spilled proof artifacts survive coordinator
+//! restarts and dedupe across workers for free: the file name *is* the
+//! 128-bit content hash, so two workers spilling the same artifact write
+//! the same file.
+//!
+//! Durability discipline: every write goes to a unique temp file in the
+//! store directory and is renamed into place. Rename is atomic on the
+//! same filesystem, so a reader never observes a partial blob — a
+//! crashed write leaves a stray `.tmp`, never a corrupt entry. Loads
+//! that fail for any reason (missing, unreadable) are misses, never
+//! errors, per the [`BlobStore`] contract.
+
+use covern_campaign::{content_key, CacheKey};
+use covern_core::cache::BlobStore;
+use covern_observe::metrics;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Content-address tag for blobs stored via [`DiskStore::put`]; keyed
+/// writes through [`BlobStore`] carry their own caller-computed key.
+const BLOB_TAG: &str = "covern-cluster-blob-v1";
+
+/// A directory of `<32-hex-digits>.blob` files, one per 128-bit key (see
+/// module docs).
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    /// Temp-name uniquifier: pid distinguishes processes, this counter
+    /// distinguishes threads within one.
+    tmp_seq: AtomicU64,
+}
+
+impl DiskStore {
+    /// Opens (creating if needed) a store rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error when the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir, tmp_seq: AtomicU64::new(0) })
+    }
+
+    /// The store's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn blob_path(&self, key: u128) -> PathBuf {
+        self.dir.join(format!("{}.blob", CacheKey::from_u128(key).hex()))
+    }
+
+    /// Stores `bytes` content-addressed (the key is their hash) and
+    /// returns the key. Identical content from any worker lands on one
+    /// file; an existing entry short-circuits the write entirely.
+    pub fn put(&self, bytes: &[u8]) -> CacheKey {
+        let key = content_key(BLOB_TAG, bytes);
+        let path = self.blob_path(key.to_u128());
+        if !path.exists() {
+            self.write_atomic(&path, bytes);
+        }
+        key
+    }
+
+    /// Stores `bytes` under a caller-chosen key, replacing any previous
+    /// value (last write wins). Errors are swallowed per the spill-tier
+    /// contract.
+    pub fn put_keyed(&self, key: u128, bytes: &[u8]) {
+        self.write_atomic(&self.blob_path(key), bytes);
+    }
+
+    /// Returns the bytes under `key`, or `None` (absent or unreadable).
+    #[must_use]
+    pub fn get(&self, key: u128) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.blob_path(key)).ok()?;
+        metrics().store_loads_total.inc();
+        Some(bytes)
+    }
+
+    /// Number of committed blobs on disk (temp files excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "blob"))
+            .count()
+    }
+
+    /// Whether the store holds no committed blobs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Write-temp-then-rename; failures are swallowed (spill-tier
+    /// contract: a lost spill costs a warm start, never correctness) but
+    /// the temp file is cleaned up so crashes don't accumulate garbage.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) {
+        let tmp = self.dir.join(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let committed = fs::File::create(&tmp)
+            .and_then(|mut f| {
+                f.write_all(bytes)?;
+                f.sync_all()
+            })
+            .and_then(|()| fs::rename(&tmp, path))
+            .is_ok();
+        if committed {
+            metrics().store_spills_total.inc();
+        } else {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+}
+
+impl BlobStore for DiskStore {
+    fn load(&self, key: u128) -> Option<Vec<u8>> {
+        self.get(key)
+    }
+
+    fn store(&self, key: u128, bytes: &[u8]) {
+        self.put_keyed(key, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(name: &str) -> DiskStore {
+        let dir =
+            std::env::temp_dir().join(format!("covern-store-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DiskStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn content_addressed_roundtrip_and_dedupe() {
+        let store = temp_store("roundtrip");
+        let key = store.put(b"artifact bytes");
+        assert_eq!(store.get(key.to_u128()).as_deref(), Some(b"artifact bytes".as_slice()));
+        // Identical content is one file, whoever writes it.
+        let again = store.put(b"artifact bytes");
+        assert_eq!(key, again);
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn keyed_writes_replace_and_missing_keys_miss() {
+        let store = temp_store("keyed");
+        store.put_keyed(7, b"v1");
+        store.put_keyed(7, b"v2");
+        assert_eq!(store.get(7).as_deref(), Some(b"v2".as_slice()));
+        assert_eq!(store.get(8), None);
+        assert_eq!(store.len(), 1);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn a_fresh_store_over_the_same_directory_sees_committed_blobs() {
+        let store = temp_store("restart");
+        let key = store.put(b"survives");
+        let dir = store.dir().to_path_buf();
+        drop(store);
+        let reopened = DiskStore::open(&dir).unwrap();
+        assert_eq!(reopened.get(key.to_u128()).as_deref(), Some(b"survives".as_slice()));
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -20,6 +20,7 @@
 //! | [`metrics_http`] | optional plain-HTTP `/metrics` listener for scrapers |
 //! | [`client`] | blocking client + campaign-corpus replay (load testing) |
 //! | [`loadgen`] | the load generator: concurrent sessions, canonical report |
+//! | [`cluster`] | sharded multi-worker coordinator: routing, failover, two-tier cache |
 //! | [`error`] | client-side error type |
 //!
 //! The daemon is instrumented end-to-end through the process-wide
@@ -49,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod dispatch;
 pub mod error;
 pub mod loadgen;
@@ -58,6 +60,7 @@ pub mod session;
 pub mod transport;
 
 pub use client::{replay_corpus, replay_scenario, Client, ReplayOutcome};
+pub use cluster::{Cluster, ClusterConfig, DiskStore, HashRing, KillAfter, WorkerHandle};
 pub use dispatch::{Service, ServiceConfig};
 pub use error::ServiceError;
 pub use loadgen::{LoadReport, LoadgenConfig};

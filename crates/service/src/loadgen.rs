@@ -56,6 +56,11 @@ pub struct LoadgenConfig {
     pub families: usize,
     /// Pipelined idempotent deltas per session in the burst phase.
     pub burst: usize,
+    /// Sustained arrival rate: session `i` is not started before
+    /// `i / qps` seconds into the run, turning the all-at-once stampede
+    /// into open/close churn at a steady rate. `0` disables pacing.
+    /// Pacing decides *when* work arrives, never what the verdicts are.
+    pub qps: u64,
     /// Master seed; the whole run's canonical outcome is a pure function
     /// of this config.
     pub seed: u64,
@@ -69,6 +74,7 @@ impl Default for LoadgenConfig {
             events_per_session: 3,
             families: 5,
             burst: 4,
+            qps: 0,
             seed: 2021,
         }
     }
@@ -104,6 +110,47 @@ impl LatencyStats {
             max_us: *samples.last().expect("non-empty"),
             samples: n as u64,
         }
+    }
+}
+
+/// A per-phase latency histogram in microseconds. Bucket bounds mirror
+/// the process-wide Prometheus histogram
+/// ([`covern_observe::metrics::LATENCY_BUCKETS`], converted to µs):
+/// `counts[i]` holds the samples `≤ bounds_us[i]`, with one final
+/// overflow bucket (`counts.len() == bounds_us.len() + 1`). The counts
+/// are measurements — the canonical report zeroes them but keeps the
+/// phase names and bounds, so the report *shape* stays pinned.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseLatency {
+    /// Which request phase was sampled (`open`, `verdict`, `close`).
+    pub phase: String,
+    /// Inclusive upper bucket bounds, ascending.
+    pub bounds_us: Vec<u64>,
+    /// Per-bucket sample counts (last entry = overflow).
+    pub counts: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (mean = `sum_us / count`).
+    pub sum_us: u64,
+}
+
+impl PhaseLatency {
+    fn from_samples(phase: &str, samples: &[u64]) -> Self {
+        let bounds_us: Vec<u64> = covern_observe::metrics::LATENCY_BUCKETS
+            .iter()
+            .map(|s| (s * 1_000_000.0) as u64)
+            .collect();
+        let mut counts = vec![0u64; bounds_us.len() + 1];
+        let mut sum_us = 0u64;
+        for &sample in samples {
+            sum_us += sample;
+            counts[bounds_us.partition_point(|&b| b < sample)] += 1;
+        }
+        Self { phase: phase.to_owned(), bounds_us, counts, count: samples.len() as u64, sum_us }
+    }
+
+    fn zeroed(&self) -> Self {
+        Self { counts: vec![0; self.counts.len()], count: 0, sum_us: 0, ..self.clone() }
     }
 }
 
@@ -156,6 +203,10 @@ pub struct LoadReport {
     /// Per-verdict latency as seen by the client (measurement; zeroed in
     /// canonical output).
     pub verdict_latency: LatencyStats,
+    /// Per-phase latency histograms, one per request phase in
+    /// open/verdict/close order (measurements; counts zeroed in
+    /// canonical output, phase names and bucket bounds kept).
+    pub phase_latency: Vec<PhaseLatency>,
     /// `Busy`/retry accounting.
     pub backpressure: Backpressure,
     /// Wall-clock of the whole run (measurement; zeroed in canonical
@@ -179,10 +230,11 @@ impl LoadReport {
 
     /// The canonical report: measurements (latency, wall clock, busy and
     /// retry counts) zeroed, everything schedule-independent kept. The
-    /// `connections` knob is zeroed too — it decides *how* the corpus is
-    /// driven, never what the verdicts are, so it is not part of the
-    /// canonical identity. Byte-identical across connection counts and
-    /// schedules for a fixed seed and corpus shape.
+    /// `connections` and `qps` knobs are zeroed too — they decide *how*
+    /// the corpus is driven, never what the verdicts are, so they are
+    /// not part of the canonical identity. Byte-identical across
+    /// connection counts, pacing rates and schedules for a fixed seed
+    /// and corpus shape.
     ///
     /// # Errors
     ///
@@ -190,8 +242,10 @@ impl LoadReport {
     pub fn canonical_json(&self) -> Result<String, ServiceError> {
         let mut canonical = self.clone();
         canonical.config.connections = 0;
+        canonical.config.qps = 0;
         canonical.open_latency = LatencyStats::default();
         canonical.verdict_latency = LatencyStats::default();
+        canonical.phase_latency = self.phase_latency.iter().map(PhaseLatency::zeroed).collect();
         canonical.wall_us = 0;
         canonical.backpressure.busy_replies = 0;
         canonical.backpressure.retries = 0;
@@ -219,6 +273,7 @@ struct SessionResult {
     busy_replies: u64,
     retries: u64,
     open_us: u64,
+    close_us: u64,
     verdict_us: Vec<u64>,
     /// Server-side summary mismatch or transport failure.
     error: Option<String>,
@@ -270,6 +325,7 @@ fn drive_session(
         busy_replies: 0,
         retries: 0,
         open_us: 0,
+        close_us: 0,
         verdict_us: Vec::new(),
         error: None,
     };
@@ -349,6 +405,7 @@ fn drive_session(
 
     // Close and cross-check: the server's lifetime tally must equal what
     // this client counted, or a verdict was lost or duplicated.
+    let t_close = Instant::now();
     match client.close(opened.session) {
         Ok(summary) => {
             let expected = result.ordered + result.burst;
@@ -373,6 +430,7 @@ fn drive_session(
         }
         Err(e) => result.error = Some(format!("close: {e}")),
     }
+    result.close_us = t_close.elapsed().as_micros() as u64;
     result
 }
 
@@ -470,6 +528,17 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, ServiceErro
                 // w, w+connections, w+2·connections, …
                 for (index, scenario) in corpus.iter().enumerate().skip(worker).step_by(connections)
                 {
+                    // Sustained-rate pacing: session i may not start
+                    // before i/qps seconds into the run, whatever
+                    // connection it landed on — arrival order and rate
+                    // are properties of the corpus, not the partition.
+                    if let Some(gap_us) = (1_000_000 * index as u64).checked_div(config.qps) {
+                        let target = std::time::Duration::from_micros(gap_us);
+                        let elapsed = t0.elapsed();
+                        if target > elapsed {
+                            std::thread::sleep(target - elapsed);
+                        }
+                    }
                     let r = drive_session(&mut client, index, scenario, config.burst);
                     results.lock().expect("result list").push(r);
                 }
@@ -484,6 +553,7 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, ServiceErro
     let mut totals = LoadTotals { errors: failures.len() as u64, ..LoadTotals::default() };
     let mut backpressure = Backpressure { recovered: true, ..Backpressure::default() };
     let mut open_samples = Vec::with_capacity(results.len());
+    let mut close_samples = Vec::with_capacity(results.len());
     let mut verdict_samples = Vec::new();
     let mut outcome_codes = vec![String::new(); corpus.len()];
     for r in &results {
@@ -497,6 +567,7 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, ServiceErro
         backpressure.busy_replies += r.busy_replies;
         backpressure.retries += r.retries;
         open_samples.push(r.open_us);
+        close_samples.push(r.close_us);
         verdict_samples.extend_from_slice(&r.verdict_us);
         outcome_codes[r.scenario_index] = format!(
             "{}.{}",
@@ -516,12 +587,18 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, ServiceErro
         && totals.verdicts == totals.ordered_deltas + totals.burst_deltas
         && totals.sessions == corpus.len() as u64;
 
+    let phase_latency = vec![
+        PhaseLatency::from_samples("open", &open_samples),
+        PhaseLatency::from_samples("verdict", &verdict_samples),
+        PhaseLatency::from_samples("close", &close_samples),
+    ];
     Ok(LoadReport {
         format: LOADGEN_REPORT_FORMAT.to_owned(),
         config: config.clone(),
         totals,
         open_latency: LatencyStats::from_samples(&mut open_samples),
         verdict_latency: LatencyStats::from_samples(&mut verdict_samples),
+        phase_latency,
         backpressure,
         wall_us,
         outcome_codes,
@@ -569,6 +646,11 @@ mod tests {
             totals: LoadTotals { sessions: 2, verdicts: 6, ..Default::default() },
             open_latency: LatencyStats { p50_us: 10, samples: 2, ..Default::default() },
             verdict_latency: LatencyStats { p99_us: 99, samples: 6, ..Default::default() },
+            phase_latency: vec![
+                PhaseLatency::from_samples("open", &[150, 2_000]),
+                PhaseLatency::from_samples("verdict", &[90, 90, 90, 400, 400, 400]),
+                PhaseLatency::from_samples("close", &[10, 20]),
+            ],
             backpressure: Backpressure { busy_replies: 3, retries: 3, recovered: true },
             wall_us: 12345,
             outcome_codes: vec!["PPU.PP".into(), "PRP.UU".into()],
@@ -582,6 +664,34 @@ mod tests {
         assert!(parsed.backpressure.recovered, "recovered is an outcome, not a measurement");
         assert_eq!(parsed.totals.verdicts, 6);
         assert_eq!(parsed.outcome_codes, vec!["PPU.PP".to_owned(), "PRP.UU".to_owned()]);
+        assert_eq!(parsed.config.qps, 0, "pacing is not canonical identity");
+        // Histogram *counts* are measurements; the shape stays pinned.
+        assert_eq!(parsed.phase_latency.len(), 3);
+        for (phase, original) in parsed.phase_latency.iter().zip(&report.phase_latency) {
+            assert_eq!(phase.phase, original.phase);
+            assert_eq!(phase.bounds_us, original.bounds_us);
+            assert_eq!(phase.count, 0);
+            assert_eq!(phase.sum_us, 0);
+            assert!(phase.counts.iter().all(|&c| c == 0));
+            assert_eq!(phase.counts.len(), phase.bounds_us.len() + 1);
+        }
+    }
+
+    #[test]
+    fn phase_histograms_bucket_by_upper_bound_with_overflow() {
+        // Bounds start at 100 µs (observe's 1e-4 s bucket); a 100 µs
+        // sample sits in bucket 0 (bounds are inclusive upper limits), a
+        // 101 µs sample in bucket 1, and anything past the last bound
+        // (10 s) lands in the overflow slot.
+        let h = PhaseLatency::from_samples("open", &[100, 101, 50, 20_000_000]);
+        assert_eq!(h.phase, "open");
+        assert_eq!(h.bounds_us[0], 100);
+        assert_eq!(h.counts[0], 2, "50 and 100 are both ≤ the first bound");
+        assert_eq!(h.counts[1], 1);
+        assert_eq!(*h.counts.last().unwrap(), 1, "20 s overflows the 10 s top bound");
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum_us, 100 + 101 + 50 + 20_000_000);
+        assert_eq!(h.counts.iter().sum::<u64>(), h.count, "every sample lands in one bucket");
     }
 
     #[test]

@@ -66,6 +66,7 @@ commands:
   update     SVbTV delta: re-verify after a model fine-tune
   status     print the stored proof state
   campaign   run a seeded batch campaign concurrently with the artifact cache
+  cluster    shard a campaign across spawned worker daemons with failover
   serve      run the covern-protocol-v1 verification daemon (stdio or TCP)
   loadgen    drive concurrent sessions through a daemon; measure latency
   help       print this reference (or one command's section)
@@ -82,9 +83,11 @@ enlarge — domain-enlargement delta (SVuDC)
   --din F       the enlarged input domain                        [required]
   --store F     artifact store path            [default: covern-state.json]
   --splits N    bisection budget for local checks              [default: 64]
-  --refine-strategy S  local-check engine: widest | slack | portfolio |
-                       milp (B&B frontier heuristics, the refiner-vs-MILP
-                       race, or pure exact MILP)        [default: widest]
+  --refine-strategy S  local-check engine: widest | slack | refine |
+                       portfolio | milp (B&B frontier heuristics, plain
+                       bisection-refined symbolic analysis — the campaign
+                       default — the refiner-vs-MILP race, or pure exact
+                       MILP)                             [default: widest]
   --deadline-ms N      anytime wall-clock budget per local check; on
                        expiry the check answers unknown (the milp
                        strategy is bounded by its node budget instead
@@ -114,6 +117,25 @@ campaign — concurrent batch verification
   --no-proof-reuse  keep the cache but drop its proof-level entries
                   (B&B checkpoints that warm-start post-delta refinement)
   --min-hits N    fail unless the cache reused ≥ N artifacts     [default: 0]
+  --cluster N     shard across N spawned worker daemons instead of running
+                  in-process (see the cluster command)          [default: 0]
+
+cluster — sharded multi-worker campaign with failover
+  --workers N     worker daemons to spawn (covern_cli serve)      [default: 2]
+  --scenarios N   synthetic scenarios to generate               [default: 20]
+  --families N    distinct base models (fine-tune families)      [default: 5]
+  --events N      delta events per scenario                      [default: 3]
+  --seed N        corpus master seed                            [default: 42]
+  --threads N     campaign thread budget (report header + drivers) [default: 4]
+  --deadline-ms N per-request reply deadline; a worker that blows it is
+                  retired and its sessions reassigned     [default: 30000]
+  --ping-ms N     worker health-check interval               [default: 1000]
+  --store-dir D   checkpoint/spill directory  [default: temp, removed on exit]
+  --kill-after N  fault drill: SIGKILL worker 0 after the Nth verdict; the
+                  campaign must still finish with an identical canonical
+                  report                                 [default: disabled]
+  --out F         write the JSON report here        [default: print to stdout]
+  --canonical     zero all timing fields (byte-deterministic report)
 
 serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --stdio              serve stdin/stdout                          [default]
@@ -135,6 +157,9 @@ loadgen — concurrent-session load generator (report: covern-loadgen-report-v1)
   --events N      ordered delta events per session                [default: 3]
   --families N    distinct base-model families                    [default: 5]
   --burst N       pipelined idempotent deltas per session          [default: 4]
+  --qps N         sustained arrival rate: pace session starts at N per
+                  second (open/close churn) instead of all-at-once
+                  [default: 0 = unpaced]
   --inbox N       (--spawn only) per-session inbox capacity       [default: 32]
   --workers N     (--spawn only) drain-task pool size  [default: machine cores]
   --seed N        corpus master seed                            [default: 2021]
@@ -213,6 +238,10 @@ fn parse_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result
 ///
 /// * `widest` / `slack` — parallel branch-and-bound refinement with the
 ///   named frontier heuristic;
+/// * `refine` — plain bisection-refined symbolic analysis, the campaign
+///   engine's default method (cluster workers are spawned with this so a
+///   sharded campaign replicates the single-process engine verdict for
+///   verdict; no deadline — its cost is bounded by the split budget);
 /// * `portfolio` — race the refiner against exact MILP, first sound
 ///   answer wins;
 /// * `milp` — pure exact MILP (ignores the deadline: MILP is bounded by
@@ -234,6 +263,7 @@ fn parse_method(flags: &HashMap<String, String>, splits: usize) -> Result<LocalM
             max_splits: splits,
             deadline_ms,
         },
+        "refine" => LocalMethod::Refine { domain: DomainKind::Symbolic, max_splits: splits },
         "portfolio" => LocalMethod::Portfolio {
             domain: DomainKind::Symbolic,
             max_splits: splits,
@@ -243,7 +273,8 @@ fn parse_method(flags: &HashMap<String, String>, splits: usize) -> Result<LocalM
         "milp" => LocalMethod::Milp { node_limit: covern::milp::query::DEFAULT_NODE_LIMIT },
         other => {
             return Err(format!(
-                "--refine-strategy must be widest, slack, portfolio, or milp, got {other:?}"
+                "--refine-strategy must be widest, slack, refine, portfolio, or milp, got \
+                 {other:?}"
             ))
         }
     };
@@ -336,15 +367,34 @@ fn run() -> Result<bool, String> {
                 include_vehicle: flags.contains_key("vehicle"),
             };
             let threads = parse("threads", 4)? as usize;
-            let engine = covern::campaign::CampaignEngine::new(covern::campaign::CampaignConfig {
-                threads,
-                use_cache: !flags.contains_key("no-cache"),
-                use_proof_reuse: !flags.contains_key("no-proof-reuse"),
-                ..covern::campaign::CampaignConfig::default()
-            });
             let corpus =
                 covern::campaign::corpus::generate(&corpus_config).map_err(|e| e.to_string())?;
-            let report = engine.run(&corpus).map_err(|e| e.to_string())?;
+            let cluster_workers = parse("cluster", 0)? as usize;
+            let report = if cluster_workers > 0 {
+                if flags.contains_key("no-cache") || flags.contains_key("no-proof-reuse") {
+                    return Err("campaign --cluster always uses the workers' caches; drop \
+                                --no-cache / --no-proof-reuse"
+                        .into());
+                }
+                let mut cluster = service::Cluster::launch(service::ClusterConfig {
+                    workers: cluster_workers,
+                    threads,
+                    ..service::ClusterConfig::default()
+                })
+                .map_err(|e| e.to_string())?;
+                let report = cluster.run_campaign(&corpus).map_err(|e| e.to_string());
+                cluster.shutdown();
+                report?
+            } else {
+                let engine =
+                    covern::campaign::CampaignEngine::new(covern::campaign::CampaignConfig {
+                        threads,
+                        use_cache: !flags.contains_key("no-cache"),
+                        use_proof_reuse: !flags.contains_key("no-proof-reuse"),
+                        ..covern::campaign::CampaignConfig::default()
+                    });
+                engine.run(&corpus).map_err(|e| e.to_string())?
+            };
 
             println!(
                 "campaign: {} scenarios on {} threads ({} per-scenario)",
@@ -388,6 +438,71 @@ fn run() -> Result<bool, String> {
                     "cache reused {} artifacts, expected at least {min_hits}",
                     report.cache.hits
                 ));
+            }
+            Ok(report.refuted == 0 && report.unknown == 0 && report.errors == 0)
+        }
+        "cluster" => {
+            let parse = |key: &str, default: u64| parse_u64(&flags, key, default);
+            covern::observe::log::set_default_level(covern::observe::Level::Info);
+            let corpus_config = covern::campaign::CorpusConfig {
+                scenarios: parse("scenarios", 20)? as usize,
+                families: parse("families", 5)? as usize,
+                events_per_scenario: parse("events", 3)? as usize,
+                seed: parse("seed", 42)?,
+                include_vehicle: false,
+            };
+            let corpus =
+                covern::campaign::corpus::generate(&corpus_config).map_err(|e| e.to_string())?;
+            let reassigned_before = covern::observe::metrics().cluster_reassignments_total.get();
+            let config = service::ClusterConfig {
+                workers: parse("workers", 2)?.max(1) as usize,
+                threads: parse("threads", 4)?.max(1) as usize,
+                deadline: std::time::Duration::from_millis(parse("deadline-ms", 30_000)?.max(1)),
+                ping_interval: std::time::Duration::from_millis(parse("ping-ms", 1_000)?.max(1)),
+                store_dir: flags.get("store-dir").map(std::path::PathBuf::from),
+                kill_after: match parse("kill-after", 0)? {
+                    0 => None,
+                    n => Some(service::KillAfter { worker: 0, after_verdicts: n }),
+                },
+                ..service::ClusterConfig::default()
+            };
+            let workers = config.workers;
+            let mut cluster = service::Cluster::launch(config).map_err(|e| e.to_string())?;
+            let report = {
+                let run = cluster.run_campaign(&corpus).map_err(|e| e.to_string());
+                let alive = cluster.workers_alive();
+                cluster.shutdown();
+                let report = run?;
+                println!(
+                    "cluster: {} scenarios over {workers} workers ({alive} alive at finish), \
+                     {} reassignments",
+                    report.scenarios.len(),
+                    covern::observe::metrics()
+                        .cluster_reassignments_total
+                        .get()
+                        .saturating_sub(reassigned_before)
+                );
+                report
+            };
+            println!(
+                "verdicts: {} proved, {} refuted, {} unknown, {} errors",
+                report.proved, report.refuted, report.unknown, report.errors
+            );
+            println!(
+                "cache (summed over workers): {} hits, {} misses, {} entries",
+                report.cache.hits, report.cache.misses, report.cache.entries
+            );
+            let json = if flags.contains_key("canonical") {
+                report.canonical_json()
+            } else {
+                report.to_json()
+            }
+            .map_err(|e| e.to_string())?;
+            if let Some(out) = flags.get("out") {
+                std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+                println!("report written to {out}");
+            } else {
+                println!("{json}");
             }
             Ok(report.refuted == 0 && report.unknown == 0 && report.errors == 0)
         }
@@ -440,6 +555,7 @@ fn run() -> Result<bool, String> {
                 events_per_session: parse("events", 3)? as usize,
                 families: parse("families", 5)?.max(1) as usize,
                 burst: parse("burst", 4)? as usize,
+                qps: parse("qps", 0)?,
                 seed: parse("seed", 2021)?,
             };
             let spawned = match (flags.get("addr"), flags.contains_key("spawn")) {

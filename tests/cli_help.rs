@@ -28,6 +28,7 @@ commands:
   update     SVbTV delta: re-verify after a model fine-tune
   status     print the stored proof state
   campaign   run a seeded batch campaign concurrently with the artifact cache
+  cluster    shard a campaign across spawned worker daemons with failover
   serve      run the covern-protocol-v1 verification daemon (stdio or TCP)
   loadgen    drive concurrent sessions through a daemon; measure latency
   help       print this reference (or one command's section)
@@ -44,9 +45,11 @@ enlarge — domain-enlargement delta (SVuDC)
   --din F       the enlarged input domain                        [required]
   --store F     artifact store path            [default: covern-state.json]
   --splits N    bisection budget for local checks              [default: 64]
-  --refine-strategy S  local-check engine: widest | slack | portfolio |
-                       milp (B&B frontier heuristics, the refiner-vs-MILP
-                       race, or pure exact MILP)        [default: widest]
+  --refine-strategy S  local-check engine: widest | slack | refine |
+                       portfolio | milp (B&B frontier heuristics, plain
+                       bisection-refined symbolic analysis — the campaign
+                       default — the refiner-vs-MILP race, or pure exact
+                       MILP)                             [default: widest]
   --deadline-ms N      anytime wall-clock budget per local check; on
                        expiry the check answers unknown (the milp
                        strategy is bounded by its node budget instead
@@ -76,6 +79,25 @@ campaign — concurrent batch verification
   --no-proof-reuse  keep the cache but drop its proof-level entries
                   (B&B checkpoints that warm-start post-delta refinement)
   --min-hits N    fail unless the cache reused ≥ N artifacts     [default: 0]
+  --cluster N     shard across N spawned worker daemons instead of running
+                  in-process (see the cluster command)          [default: 0]
+
+cluster — sharded multi-worker campaign with failover
+  --workers N     worker daemons to spawn (covern_cli serve)      [default: 2]
+  --scenarios N   synthetic scenarios to generate               [default: 20]
+  --families N    distinct base models (fine-tune families)      [default: 5]
+  --events N      delta events per scenario                      [default: 3]
+  --seed N        corpus master seed                            [default: 42]
+  --threads N     campaign thread budget (report header + drivers) [default: 4]
+  --deadline-ms N per-request reply deadline; a worker that blows it is
+                  retired and its sessions reassigned     [default: 30000]
+  --ping-ms N     worker health-check interval               [default: 1000]
+  --store-dir D   checkpoint/spill directory  [default: temp, removed on exit]
+  --kill-after N  fault drill: SIGKILL worker 0 after the Nth verdict; the
+                  campaign must still finish with an identical canonical
+                  report                                 [default: disabled]
+  --out F         write the JSON report here        [default: print to stdout]
+  --canonical     zero all timing fields (byte-deterministic report)
 
 serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --stdio              serve stdin/stdout                          [default]
@@ -97,6 +119,9 @@ loadgen — concurrent-session load generator (report: covern-loadgen-report-v1)
   --events N      ordered delta events per session                [default: 3]
   --families N    distinct base-model families                    [default: 5]
   --burst N       pipelined idempotent deltas per session          [default: 4]
+  --qps N         sustained arrival rate: pace session starts at N per
+                  second (open/close churn) instead of all-at-once
+                  [default: 0 = unpaced]
   --inbox N       (--spawn only) per-session inbox capacity       [default: 32]
   --workers N     (--spawn only) drain-task pool size  [default: machine cores]
   --seed N        corpus master seed                            [default: 2021]
@@ -118,7 +143,8 @@ fn help_output_matches_snapshot() {
 
 #[test]
 fn per_command_help_prints_that_section() {
-    for cmd in ["verify", "enlarge", "update", "status", "campaign", "serve", "loadgen"] {
+    for cmd in ["verify", "enlarge", "update", "status", "campaign", "cluster", "serve", "loadgen"]
+    {
         let out = cli(&["help", cmd]);
         assert!(out.status.success(), "help {cmd} failed");
         let stdout = String::from_utf8(out.stdout).unwrap();
@@ -157,6 +183,24 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
                 "no-cache",
                 "no-proof-reuse",
                 "min-hits",
+                "cluster",
+            ],
+        ),
+        (
+            "cluster",
+            &[
+                "workers",
+                "scenarios",
+                "families",
+                "events",
+                "seed",
+                "threads",
+                "deadline-ms",
+                "ping-ms",
+                "store-dir",
+                "kill-after",
+                "out",
+                "canonical",
             ],
         ),
         (
@@ -183,6 +227,7 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
                 "events",
                 "families",
                 "burst",
+                "qps",
                 "inbox",
                 "workers",
                 "seed",

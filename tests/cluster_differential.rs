@@ -1,0 +1,144 @@
+//! Cluster-vs-single-process differential suite: the sharded
+//! multi-worker coordinator (`covern::service::cluster`) must be an
+//! *invisible* deployment change.
+//!
+//! The headline invariant: for one corpus, the canonical campaign report
+//! is **byte-identical** across
+//!
+//! * the in-process [`CampaignEngine`],
+//! * a cluster of **one** worker daemon, and
+//! * a cluster of **four** worker daemons —
+//!
+//! verdict streams, strategy labels, witnesses, *and* the cache section:
+//! family-key routing partitions the full-verify key space across
+//! workers, so summed per-worker hit/miss/entry counters equal the
+//! single shared cache's. A second test pins that cache arithmetic as
+//! schedule-independent: a fully serial engine and a wide cluster
+//! disagree on every scheduling decision and still report the same
+//! counters.
+//!
+//! Workers are real `covern_cli serve` processes (the test binary's own
+//! companion binary), spoken to over TCP — nothing is mocked.
+
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::campaign::{CampaignConfig, CampaignEngine, CampaignReport, Scenario};
+use covern::service::{Cluster, ClusterConfig};
+use std::path::PathBuf;
+
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_covern_cli"))
+}
+
+fn corpus() -> Vec<Scenario> {
+    generate(&CorpusConfig {
+        scenarios: 6,
+        families: 2,
+        events_per_scenario: 2,
+        seed: 2021,
+        include_vehicle: false,
+    })
+    .expect("corpus generates")
+}
+
+/// Runs the corpus through a fresh cluster of `workers` daemons.
+fn cluster_report(workers: usize, threads: usize, corpus: &[Scenario]) -> CampaignReport {
+    let mut cluster = Cluster::launch(ClusterConfig {
+        workers,
+        threads,
+        binary: Some(worker_binary()),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster launches");
+    let report = cluster.run_campaign(corpus).expect("cluster campaign runs");
+    cluster.shutdown();
+    report
+}
+
+/// Runs the corpus through a fresh in-process engine (same method and
+/// split budget the cluster hands its workers: the config defaults).
+fn engine_report(threads: usize, corpus: &[Scenario]) -> CampaignReport {
+    CampaignEngine::new(CampaignConfig { threads, ..CampaignConfig::default() })
+        .run(corpus)
+        .expect("engine campaign runs")
+}
+
+fn tallies(report: &CampaignReport) -> (usize, usize, usize, usize) {
+    (report.proved, report.refuted, report.unknown, report.errors)
+}
+
+/// Per-session verdict streams, compared field-by-field before the
+/// byte-level check so a divergence names its scenario and event.
+fn assert_verdict_streams_equal(reference: &CampaignReport, candidate: &CampaignReport, who: &str) {
+    assert_eq!(reference.scenarios.len(), candidate.scenarios.len());
+    for (r, c) in reference.scenarios.iter().zip(&candidate.scenarios) {
+        assert_eq!(r.name, c.name, "{who}: scenario order changed");
+        assert_eq!(r.initial_outcome, c.initial_outcome, "{who}: {} initial verdict", r.name);
+        assert_eq!(r.error, c.error, "{who}: {} error state", r.name);
+        assert_eq!(r.events.len(), c.events.len(), "{who}: {} lost events", r.name);
+        for (i, (re, ce)) in r.events.iter().zip(&c.events).enumerate() {
+            assert_eq!(re.kind, ce.kind, "{who}: {} event {i} kind", r.name);
+            assert_eq!(re.outcome, ce.outcome, "{who}: {} event {i} verdict", r.name);
+            assert_eq!(re.strategy, ce.strategy, "{who}: {} event {i} strategy", r.name);
+            assert_eq!(re.witness, ce.witness, "{who}: {} event {i} witness", r.name);
+        }
+    }
+}
+
+#[test]
+fn canonical_report_is_byte_identical_across_single_one_and_four_workers() {
+    let corpus = corpus();
+    let single = engine_report(4, &corpus);
+    let one = cluster_report(1, 4, &corpus);
+    let four = cluster_report(4, 4, &corpus);
+
+    // Structured comparison first — failures here localise the drift.
+    assert_verdict_streams_equal(&single, &one, "1-worker cluster");
+    assert_verdict_streams_equal(&single, &four, "4-worker cluster");
+    for (report, who) in [(&one, "1-worker"), (&four, "4-worker")] {
+        assert_eq!(
+            (report.cache.hits, report.cache.misses, report.cache.entries),
+            (single.cache.hits, single.cache.misses, single.cache.entries),
+            "{who}: summed worker cache counters diverged from the shared cache"
+        );
+        assert_eq!(tallies(report), tallies(&single), "{who}: outcome tallies diverged");
+    }
+
+    // Then the invariant itself, at full strength.
+    let reference = single.canonical_json().expect("reference serializes");
+    assert_eq!(
+        reference,
+        one.canonical_json().unwrap(),
+        "1-worker cluster canonical report is not byte-identical to single-process"
+    );
+    assert_eq!(
+        reference,
+        four.canonical_json().unwrap(),
+        "4-worker cluster canonical report is not byte-identical to single-process"
+    );
+}
+
+#[test]
+fn cache_stats_are_schedule_independent() {
+    // The two most different schedules available: one thread, one
+    // process, one cache — versus three daemons fed by six drivers.
+    let corpus = corpus();
+    let serial = engine_report(1, &corpus);
+    let mut cluster = Cluster::launch(ClusterConfig {
+        workers: 3,
+        threads: 6,
+        binary: Some(worker_binary()),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster launches");
+    let wide = cluster.run_campaign(&corpus).expect("cluster campaign runs");
+    cluster.shutdown();
+
+    assert_verdict_streams_equal(&serial, &wide, "3-worker cluster");
+    assert_eq!(
+        (wide.cache.hits, wide.cache.misses, wide.cache.entries),
+        (serial.cache.hits, serial.cache.misses, serial.cache.entries),
+        "cache counters depended on the schedule"
+    );
+    assert!(serial.cache.hits > 0, "corpus too small to exercise the cache at all");
+    assert_eq!(tallies(&wide), tallies(&serial));
+}

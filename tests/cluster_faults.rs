@@ -1,0 +1,232 @@
+//! Fault-injection suite for the verification cluster: a worker can die,
+//! hang, or speak garbage mid-campaign, and the campaign must finish
+//! with verdict streams identical to the single-process engine's.
+//!
+//! Three fault classes, each through the real failure path (the
+//! coordinator is never told in advance):
+//!
+//! * **death** — [`KillAfter`] SIGKILLs the busiest worker the moment the
+//!   first verdict lands, ten repetitions, every one compared
+//!   field-by-field against the engine reference (the cache section is
+//!   excluded: a kill legitimately loses the dead worker's counters);
+//! * **hang** — a fake worker answers health pings politely and then
+//!   stalls forever on session traffic, so only the per-request deadline
+//!   can catch it (`covern_cluster_deadline_reroutes_total`);
+//! * **garbage** — a fake worker replies with bytes that are not
+//!   protocol JSON (`covern_cluster_malformed_responses_total`); the
+//!   coordinator must count, retire, reroute — and never panic.
+//!
+//! The fakes are placed at the exact ring position that owns the first
+//! scenario's proof-family key, so the fault is guaranteed to be hit
+//! rather than routed around by luck.
+
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::campaign::report::CacheSection;
+use covern::campaign::{
+    proof_family_key, CampaignConfig, CampaignEngine, CampaignReport, Scenario,
+};
+use covern::core::problem::VerificationProblem;
+use covern::observe::metrics;
+use covern::service::cluster::worker::WorkerHandle;
+use covern::service::protocol::{
+    decode, encode, Command, Reply, Request, Response, ServerInfo, PROTOCOL_VERSION,
+};
+use covern::service::{Cluster, ClusterConfig, HashRing, KillAfter};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn worker_binary() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_covern_cli"))
+}
+
+fn corpus(seed: u64) -> Vec<Scenario> {
+    generate(&CorpusConfig {
+        scenarios: 4,
+        families: 2,
+        events_per_scenario: 3,
+        seed,
+        include_vehicle: false,
+    })
+    .expect("corpus generates")
+}
+
+/// The ring owner of a scenario's placement key in an `n`-worker cluster
+/// — where a fault must sit to be guaranteed traffic.
+fn owner_of(scenario: &Scenario, n: usize) -> usize {
+    let problem = VerificationProblem::new(
+        scenario.network.clone(),
+        scenario.din.clone(),
+        scenario.dout.clone(),
+    )
+    .expect("corpus scenarios are valid problems");
+    let key = proof_family_key(&problem, scenario.domain, scenario.margin).to_u128();
+    HashRing::with_workers(n).route(key).expect("non-empty ring routes")
+}
+
+/// Canonical JSON with the cache section neutralised — fault runs lose
+/// the dead worker's counters by design, everything else must survive.
+fn canonical_minus_cache(report: &CampaignReport) -> String {
+    let mut c = report.canonical();
+    c.cache = CacheSection {
+        enabled: true,
+        hits: 0,
+        misses: 0,
+        entries: 0,
+        proof_hits: 0,
+        proof_misses: 0,
+    };
+    c.to_json().expect("report serializes")
+}
+
+#[test]
+fn worker_kill_mid_campaign_is_absorbed_ten_out_of_ten_times() {
+    let corpus = corpus(77);
+    let reference =
+        CampaignEngine::new(CampaignConfig::default()).run(&corpus).expect("engine reference runs");
+    let expected = canonical_minus_cache(&reference);
+    // Kill the worker that owns the first scenario: it is guaranteed to
+    // hold at least one session whose stream is unfinished when the
+    // cluster-wide first verdict triggers the kill.
+    let victim = owner_of(&corpus[0], 2);
+    let deaths_before = metrics().cluster_worker_deaths_total.get();
+    let reassigned_before = metrics().cluster_reassignments_total.get();
+
+    for rep in 0..10 {
+        let mut cluster = Cluster::launch(ClusterConfig {
+            workers: 2,
+            binary: Some(worker_binary()),
+            kill_after: Some(KillAfter { worker: victim, after_verdicts: 1 }),
+            ..ClusterConfig::default()
+        })
+        .expect("cluster launches");
+        let report = cluster.run_campaign(&corpus).expect("faulted campaign still runs");
+        cluster.shutdown();
+
+        assert_eq!(report.errors, 0, "rep {rep}: a scenario was lost to the kill");
+        assert_eq!(
+            canonical_minus_cache(&report),
+            expected,
+            "rep {rep}: verdict stream changed after the worker kill"
+        );
+    }
+    // Every repetition detected the corpse through the real failure path
+    // (`>=`: other tests in this binary may run concurrently and add
+    // their own), and the drill exercised checkpoint-resume reassignment.
+    assert!(
+        metrics().cluster_worker_deaths_total.get() >= deaths_before + 10,
+        "some repetition never detected the killed worker"
+    );
+    assert!(
+        metrics().cluster_reassignments_total.get() > reassigned_before,
+        "the kill drill never exercised session reassignment"
+    );
+}
+
+/// A fake worker: answers `Hello` correctly (so health pings pass and
+/// the per-request deadline — not the monitor — must catch it), then
+/// `misbehave` handles everything else.
+fn fake_worker(misbehave: fn(&mut TcpStream, u64)) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fake worker binds");
+    let addr = listener.local_addr().expect("bound addr").to_string();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            std::thread::spawn(move || {
+                let mut writer = stream.try_clone().expect("clone stream");
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                while {
+                    line.clear();
+                    matches!(reader.read_line(&mut line), Ok(n) if n > 0)
+                } {
+                    let Ok(request) = decode::<Request>(&line) else { return };
+                    if matches!(request.cmd, Command::Hello) {
+                        let info = ServerInfo {
+                            protocol: PROTOCOL_VERSION.into(),
+                            server: "covern-fault-fake/0".into(),
+                            session_threads: 1,
+                            inbox_capacity: 32,
+                        };
+                        let reply = encode(&Response::new(request.id, Reply::Hello(info))).unwrap();
+                        if writeln!(writer, "{reply}").is_err() {
+                            return;
+                        }
+                    } else {
+                        misbehave(&mut writer, request.id);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    addr
+}
+
+/// Stands up a cluster of one fake (at the ring position owning the
+/// first scenario) and one real daemon, with a ping interval long enough
+/// that only request traffic can expose the fake.
+fn mixed_cluster(corpus: &[Scenario], fake_addr: String, deadline: Duration) -> Cluster {
+    let fake_index = owner_of(&corpus[0], 2);
+    let real_index = 1 - fake_index;
+    let real =
+        WorkerHandle::spawn(real_index, &worker_binary(), 1, 256).expect("real worker spawns");
+    let fake = WorkerHandle::external(fake_index, fake_addr);
+    let ordered = if fake_index == 0 { vec![fake, real] } else { vec![real, fake] };
+    Cluster::with_workers(
+        ClusterConfig {
+            workers: 2,
+            deadline,
+            ping_interval: Duration::from_secs(60),
+            ..ClusterConfig::default()
+        },
+        ordered,
+    )
+    .expect("mixed cluster assembles")
+}
+
+#[test]
+fn slow_worker_blows_the_deadline_and_its_sessions_reroute() {
+    let corpus = corpus(9);
+    let reroutes_before = metrics().cluster_deadline_reroutes_total.get();
+
+    // Stall: never answer session traffic; the client's read deadline is
+    // the only way out.
+    let addr = fake_worker(|_writer, _id| {
+        std::thread::sleep(Duration::from_secs(120));
+    });
+    let mut cluster = mixed_cluster(&corpus, addr, Duration::from_secs(5));
+    let report = cluster.run_campaign(&corpus).expect("campaign survives the hang");
+
+    assert_eq!(report.errors, 0, "a scenario died with the slow worker");
+    assert_eq!(report.proved + report.refuted + report.unknown, corpus.len());
+    assert!(
+        metrics().cluster_deadline_reroutes_total.get() > reroutes_before,
+        "no request ever hit the per-request deadline"
+    );
+    assert_eq!(cluster.workers_alive(), 1, "the slow worker was not retired");
+    cluster.shutdown();
+}
+
+#[test]
+fn malformed_replies_are_counted_retired_and_never_panic() {
+    let corpus = corpus(13);
+    let malformed_before = metrics().cluster_malformed_responses_total.get();
+
+    // Garbage: bytes that are not protocol JSON at all.
+    let addr = fake_worker(|writer, _id| {
+        let _ = writeln!(writer, "this is not covern-protocol-v1");
+    });
+    let mut cluster = mixed_cluster(&corpus, addr, Duration::from_secs(10));
+    let report = cluster.run_campaign(&corpus).expect("campaign survives the garbage");
+
+    assert_eq!(report.errors, 0, "a scenario died with the garbage worker");
+    assert_eq!(report.proved + report.refuted + report.unknown, corpus.len());
+    assert!(
+        metrics().cluster_malformed_responses_total.get() > malformed_before,
+        "the garbage reply was never classified as malformed"
+    );
+    assert_eq!(cluster.workers_alive(), 1, "the garbage worker was not retired");
+    cluster.shutdown();
+}

@@ -1,0 +1,174 @@
+//! Property suite for the cluster's consistent-hash ring
+//! (`covern::service::cluster::ring`).
+//!
+//! The properties that make consistent hashing the right placement
+//! structure for the verification cluster, each over proptest-seeded
+//! key populations:
+//!
+//! * **minimal disruption** — growing an `n`-worker ring to `n + 1`
+//!   remaps roughly `1/(n+1)` of the key space, every remapped key lands
+//!   on the *new* worker, and removing that worker restores the original
+//!   placement exactly (so a worker death only spreads the dead worker's
+//!   keys, it never reshuffles survivors);
+//! * **family co-location** — corpus scenarios with equal
+//!   `proof_family_key`s (fine-tune siblings sharing a base model) route
+//!   to the same worker, the invariant that keeps artifact dedupe and
+//!   branch-and-bound warm starts cache-local;
+//! * **purity** — routing is a function of `(ring, key)` alone: rebuilt
+//!   rings agree point-for-point, and failover routing with everyone
+//!   alive equals plain routing.
+
+use covern::campaign::corpus::{generate, CorpusConfig};
+use covern::campaign::proof_family_key;
+use covern::core::problem::VerificationProblem;
+use covern::service::cluster::ring::VNODES;
+use covern::service::HashRing;
+use proptest::prelude::*;
+
+/// A deterministic pseudo-random key population: distinct, well spread,
+/// reproducible from the proptest-drawn seed.
+fn keys(seed: u64, count: usize) -> Vec<u128> {
+    (0..count as u128)
+        .map(|i| {
+            let lo = (seed as u128 ^ i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let hi = (seed as u128).wrapping_add(i.wrapping_mul(0x517c_c1b7_2722_0a95));
+            (hi << 64) | (lo & u128::from(u64::MAX))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn growing_the_ring_remaps_about_one_nth_onto_the_new_worker(
+        seed in 0u64..100_000,
+        n in 1usize..9,
+    ) {
+        let small = HashRing::with_workers(n);
+        let grown = HashRing::with_workers(n + 1);
+        let population = keys(seed, 2000);
+
+        let mut moved = 0usize;
+        for &key in &population {
+            let before = small.route(key).unwrap();
+            let after = grown.route(key).unwrap();
+            if before != after {
+                moved += 1;
+                // Consistent hashing's defining property: a remapped key
+                // may only move TO the newcomer, never between veterans.
+                prop_assert_eq!(
+                    after, n,
+                    "key moved between surviving workers ({} -> {})", before, after
+                );
+            }
+        }
+        // Expected share is 1/(n+1); with 64 vnodes per worker the
+        // realised share stays well inside [0, 2.5/(n+1)].
+        let ceiling = (2000.0 * 2.5 / (n as f64 + 1.0)).ceil() as usize;
+        prop_assert!(
+            moved <= ceiling,
+            "adding 1 worker to {} moved {}/2000 keys (ceiling {})", n, moved, ceiling
+        );
+        prop_assert!(moved > 0, "the new worker took over nothing");
+    }
+
+    #[test]
+    fn removing_a_worker_only_disturbs_its_own_keys(
+        seed in 0u64..100_000,
+        n in 2usize..9,
+        victim_raw in 0usize..9,
+    ) {
+        let victim = victim_raw % n;
+        let full = HashRing::with_workers(n);
+        let mut shrunk = HashRing::with_workers(n);
+        shrunk.remove(victim);
+        prop_assert_eq!(shrunk.workers(), n - 1);
+
+        for &key in &keys(seed, 1500) {
+            let before = full.route(key).unwrap();
+            let after = shrunk.route(key).unwrap();
+            if before == victim {
+                prop_assert!(after != victim, "key still routes to the removed worker");
+                // Removal and liveness-failover agree: the arc falls
+                // through to the same survivor either way.
+                prop_assert_eq!(full.route_live(key, |w| w != victim), Some(after));
+            } else {
+                prop_assert_eq!(after, before, "a survivor's key was reshuffled");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_pure_and_failover_with_all_alive_is_identity(
+        seed in 0u64..100_000,
+        n in 1usize..7,
+    ) {
+        let ring = HashRing::with_workers(n);
+        let rebuilt = HashRing::with_workers(n);
+        for &key in &keys(seed, 600) {
+            let owner = ring.route(key);
+            prop_assert!(owner.is_some());
+            prop_assert_eq!(rebuilt.route(key), owner, "rebuilt ring disagrees");
+            prop_assert_eq!(ring.route_live(key, |_| true), owner);
+            prop_assert_eq!(ring.route(key), owner, "routing mutated state");
+        }
+    }
+
+    #[test]
+    fn fine_tune_siblings_with_equal_family_keys_colocate(
+        seed in 0u64..100_000,
+        workers in 2usize..6,
+    ) {
+        // A corpus with more scenarios than families forces key sharing:
+        // scenarios in one family fine-tune the same base network.
+        let corpus = generate(&CorpusConfig {
+            scenarios: 12,
+            families: 3,
+            events_per_scenario: 1,
+            seed,
+            include_vehicle: false,
+        })
+        .unwrap();
+        let ring = HashRing::with_workers(workers);
+
+        let mut placements: Vec<(u128, usize)> = Vec::new();
+        for scenario in &corpus {
+            let problem = VerificationProblem::new(
+                scenario.network.clone(),
+                scenario.din.clone(),
+                scenario.dout.clone(),
+            )
+            .unwrap();
+            let key = proof_family_key(&problem, scenario.domain, scenario.margin).to_u128();
+            placements.push((key, ring.route(key).unwrap()));
+        }
+        // Every pair agreeing on the key agrees on the worker — and the
+        // corpus really exercises the property (some pair shares a key).
+        let mut shared = false;
+        for (i, &(ka, wa)) in placements.iter().enumerate() {
+            for &(kb, wb) in &placements[i + 1..] {
+                if ka == kb {
+                    shared = true;
+                    prop_assert_eq!(wa, wb, "family siblings split across workers");
+                }
+            }
+        }
+        prop_assert!(shared, "corpus generated no shared family keys");
+    }
+}
+
+#[test]
+fn vnode_count_keeps_small_cluster_shares_near_uniform() {
+    // Not a proptest: one deterministic sanity check that the VNODES
+    // constant actually buys the spread the module docs promise.
+    const { assert!(VNODES >= 32, "too few virtual nodes for a usable spread") };
+    let ring = HashRing::with_workers(4);
+    let mut counts = [0usize; 4];
+    for &key in &keys(7, 8000) {
+        counts[ring.route(key).unwrap()] += 1;
+    }
+    for (w, &c) in counts.iter().enumerate() {
+        assert!((1000..=3000).contains(&c), "worker {w} owns {c}/8000 keys — spread degenerated");
+    }
+}

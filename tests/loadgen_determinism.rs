@@ -23,6 +23,7 @@ fn small_config(connections: usize) -> LoadgenConfig {
         events_per_session: 2,
         families: 2,
         burst: 3,
+        qps: 0,
         seed: 2021,
     }
 }
@@ -44,6 +45,53 @@ fn canonical_report_is_byte_identical_across_connection_counts() {
     let a = serial.canonical_json().unwrap();
     let b = parallel.canonical_json().unwrap();
     assert_eq!(a, b, "canonical report must not depend on client parallelism");
+
+    let mut control = Client::connect(&addr).unwrap();
+    control.shutdown().unwrap();
+    server.join();
+}
+
+#[test]
+fn qps_pacing_changes_when_sessions_start_but_not_the_canonical_report() {
+    let service = Service::new(ServiceConfig { workers: 2, ..Default::default() });
+    let server = serve_tcp(service, "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Paced vs unpaced, serial vs parallel: four schedules, one report.
+    // A high rate keeps the test fast while still exercising the pacing
+    // arithmetic for every session index.
+    let unpaced = run(&addr, &small_config(1)).unwrap();
+    let paced_serial = run(&addr, &LoadgenConfig { qps: 400, ..small_config(1) }).unwrap();
+    let paced_parallel = run(&addr, &LoadgenConfig { qps: 400, ..small_config(3) }).unwrap();
+    for report in [&unpaced, &paced_serial, &paced_parallel] {
+        assert!(report.passed(), "run failed: {:?}", report.totals);
+    }
+
+    let baseline = unpaced.canonical_json().unwrap();
+    assert_eq!(
+        baseline,
+        paced_serial.canonical_json().unwrap(),
+        "qps pacing must not leak into the canonical report"
+    );
+    assert_eq!(
+        baseline,
+        paced_parallel.canonical_json().unwrap(),
+        "qps pacing must not leak into the canonical report (parallel)"
+    );
+
+    // The non-canonical report keeps the knob and the per-phase
+    // histograms: one histogram per protocol phase, buckets conserved.
+    assert_eq!(paced_serial.config.qps, 400);
+    let phases: Vec<&str> = paced_serial.phase_latency.iter().map(|p| p.phase.as_str()).collect();
+    assert_eq!(phases, ["open", "verdict", "close"]);
+    for phase in &paced_serial.phase_latency {
+        assert_eq!(
+            phase.counts.iter().sum::<u64>(),
+            phase.count,
+            "histogram {} lost a sample",
+            phase.phase
+        );
+    }
 
     let mut control = Client::connect(&addr).unwrap();
     control.shutdown().unwrap();
@@ -131,6 +179,7 @@ fn tiny_inbox_provokes_busy_and_recovers_with_zero_lost_verdicts() {
         events_per_session: 1,
         families: 2,
         burst: 6,
+        qps: 0,
         seed: 9,
     };
     let report = run(&addr, &config).unwrap();
