@@ -3,6 +3,7 @@
 use crate::error::AbsintError;
 use crate::interval::Interval;
 use covern_nn::{Activation, DenseLayer};
+use covern_tensor::kernels;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -252,9 +253,13 @@ impl BoxDomain {
     /// Image under only the affine part `W x + b` of a layer.
     ///
     /// Runs on the layer's cached split-weight kernel
-    /// ([`covern_nn::DenseLayer::split_weights`]): both bounds propagate in
-    /// one fused, branch-free pass, bit-identical to the historical
-    /// sign-aware per-neuron interval accumulation.
+    /// ([`covern_nn::DenseLayer::split_weights`]). Under
+    /// [`kernels::KernelMode::Deterministic`] (the default) both bounds
+    /// propagate in one fused, branch-free pass, bit-identical to the
+    /// historical sign-aware per-neuron interval accumulation; under
+    /// [`kernels::KernelMode::Outward`] the midpoint–radius kernel runs at
+    /// half the flops and the result is widened outward by its rounding
+    /// bound, so it contains the Deterministic result.
     ///
     /// # Errors
     ///
@@ -270,13 +275,22 @@ impl BoxDomain {
         let (lo, hi) = (self.lower(), self.upper());
         let mut lo_out = vec![0.0; layer.out_dim()];
         let mut hi_out = vec![0.0; layer.out_dim()];
-        layer.split_weights().fused_interval_matvec(
-            &lo,
-            &hi,
-            layer.bias(),
-            &mut lo_out,
-            &mut hi_out,
-        );
+        match kernels::kernel_mode() {
+            kernels::KernelMode::Deterministic => layer.split_weights().fused_interval_matvec(
+                &lo,
+                &hi,
+                layer.bias(),
+                &mut lo_out,
+                &mut hi_out,
+            ),
+            kernels::KernelMode::Outward => layer.split_weights().fused_interval_matvec_outward(
+                &lo,
+                &hi,
+                layer.bias(),
+                &mut lo_out,
+                &mut hi_out,
+            ),
+        }
         let dims =
             lo_out.into_iter().zip(hi_out).map(|(l, h)| Interval::from_unordered(l, h)).collect();
         Ok(BoxDomain { dims })

@@ -40,12 +40,28 @@ impl Interval {
     }
 
     /// The degenerate interval `[v, v]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is NaN — a NaN bound silently poisons every downstream
+    /// comparison (`NaN <= x` is false), which would let an unsound
+    /// abstraction masquerade as a proof.
     pub fn point(v: f64) -> Self {
+        assert!(!v.is_nan(), "interval bound must not be NaN");
         Self { lo: v, hi: v }
     }
 
     /// Smallest interval containing both `a` and `b` given as unordered pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is NaN: `min`/`max` would silently drop the
+    /// NaN operand and produce an interval that never contains the poisoned
+    /// computation it came from. This guard is always on — it protects a
+    /// soundness invariant, so a release build must fail just as loudly as
+    /// a debug build.
     pub fn from_unordered(a: f64, b: f64) -> Self {
+        assert!(!a.is_nan() && !b.is_nan(), "interval bound must not be NaN");
         Self { lo: a.min(b), hi: a.max(b) }
     }
 
@@ -132,9 +148,12 @@ impl Interval {
     ///
     /// # Panics
     ///
-    /// Panics (debug) if `eps < 0`.
+    /// Panics if `eps < 0` (or NaN). This used to be a `debug_assert!`,
+    /// which meant a negative eps in a `--release` build silently *shrank*
+    /// the interval — an unsound "dilation" that could discard a real
+    /// counterexample. Soundness guards stay on in every profile.
     pub fn dilate(&self, eps: f64) -> Interval {
-        debug_assert!(eps >= 0.0, "dilation must be outward");
+        assert!(eps >= 0.0, "dilation must be outward");
         Interval { lo: self.lo - eps, hi: self.hi + eps }
     }
 
@@ -218,6 +237,28 @@ mod tests {
     fn dilate_grows_both_sides() {
         let a = Interval::new(0.0, 1.0).unwrap().dilate(0.5);
         assert_eq!((a.lo(), a.hi()), (-0.5, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "dilation must be outward")]
+    fn dilate_rejects_negative_eps_in_every_profile() {
+        // Regression for the release-mode soundness hole: this was a
+        // debug_assert!, so `--release` silently shrank the interval.
+        // tests/kernel_rounding.rs re-runs the check via the public API and
+        // CI executes both under `--release`.
+        let _ = Interval::new(0.0, 1.0).unwrap().dilate(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn from_unordered_rejects_nan() {
+        let _ = Interval::from_unordered(0.0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn point_rejects_nan() {
+        let _ = Interval::point(f64::NAN);
     }
 
     fn any_interval() -> impl Strategy<Value = Interval> {

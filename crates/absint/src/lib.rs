@@ -23,11 +23,22 @@
 //!
 //! # Floating-point soundness convention
 //!
-//! We do not use directed rounding; instead every *recorded* abstraction is
-//! dilated outward by [`SOUND_EPS`] (absolute) so that containment checks of
-//! the form "image ⊆ stored abstraction" retain a safety margin against
-//! round-off. Containment itself is evaluated with plain comparisons. Tests
-//! assert the conservative direction throughout.
+//! Two layers of defence, selected by the process-global
+//! [`covern_tensor::kernels::KernelMode`]:
+//!
+//! * Under **Deterministic** kernels (the default) we do not use directed
+//!   rounding; instead every *recorded* abstraction is dilated outward by
+//!   [`SOUND_EPS`] (absolute) so that containment checks of the form
+//!   "image ⊆ stored abstraction" retain a safety margin against round-off.
+//!   Containment itself is evaluated with plain comparisons. Tests assert
+//!   the conservative direction throughout.
+//! * Under **Outward** kernels the interval transformers additionally widen
+//!   every affine image by a per-operation rounding-error bound finished
+//!   with `next_down`/`next_up` — a rounding-aware (relative, reduction-
+//!   depth-proportional) slack rather than the blunt absolute one — which
+//!   makes the abstract domains sound under *any* summation order and
+//!   unlocks the reassociated, cache-blocked fast kernels. The [`SOUND_EPS`]
+//!   dilation of recorded abstractions still applies on top.
 
 #![warn(missing_docs)]
 

@@ -13,7 +13,7 @@ use crate::box_domain::BoxDomain;
 use crate::error::AbsintError;
 use crate::interval::Interval;
 use covern_nn::{Activation, DenseLayer};
-use covern_tensor::Matrix;
+use covern_tensor::{kernels, Matrix};
 
 /// Symbolic bounds for a vector of neurons over a fixed input box.
 ///
@@ -110,8 +110,17 @@ impl SymbolicState {
     /// ([`covern_nn::DenseLayer::split_weights`]): the coefficient matrices
     /// as one fused interval matmul (row-axpy sweeps instead of per-entry
     /// `get`/`set`), the constant terms and the concrete clamp as fused
-    /// interval matvecs. Results are bit-identical to the historical scalar
-    /// sign-dispatch loop, which accumulated in the same order.
+    /// interval matvecs.
+    ///
+    /// Under [`kernels::KernelMode::Deterministic`] results are
+    /// bit-identical to the historical scalar sign-dispatch loop, which
+    /// accumulated in the same order. Under [`kernels::KernelMode::Outward`]
+    /// the blocked, reassociated kernels run instead; the coefficient
+    /// entries are **not** widened (a larger coefficient is not a looser
+    /// affine bound on negative inputs) — the per-row rounding slack the
+    /// outward matmul computes against the input box's magnitudes is folded
+    /// into the constant terms, which keeps the shifted affine bounds sound
+    /// for any summation order.
     fn through_affine(&self, layer: &DenseLayer) -> Result<SymbolicState, AbsintError> {
         if self.dim() != layer.in_dim() {
             return Err(AbsintError::DimensionMismatch {
@@ -122,25 +131,54 @@ impl SymbolicState {
         }
         let split = layer.split_weights();
         let out_dim = layer.out_dim();
+        let outward = kernels::kernel_mode() == kernels::KernelMode::Outward;
         // Symbolic coefficients: positive weights keep bound roles,
         // negative weights swap them — exactly the fused interval product.
-        let (lo_coef, hi_coef) = split.fused_interval_matmul(&self.lo_coef, &self.hi_coef);
+        let (lo_coef, hi_coef, slack) = if outward {
+            let xmax: Vec<f64> =
+                self.input.intervals().iter().map(|iv| iv.lo().abs().max(iv.hi().abs())).collect();
+            split.fused_interval_matmul_outward(&self.lo_coef, &self.hi_coef, &xmax)
+        } else {
+            let (l, h) = split.fused_interval_matmul(&self.lo_coef, &self.hi_coef);
+            (l, h, Vec::new())
+        };
         // Constant terms, seeded with the bias.
         let mut lo_const = vec![0.0; out_dim];
         let mut hi_const = vec![0.0; out_dim];
-        split.fused_interval_matvec(
-            &self.lo_const,
-            &self.hi_const,
-            layer.bias(),
-            &mut lo_const,
-            &mut hi_const,
-        );
         // Interval evaluation of W·clamp + b for the affine clamp.
         let clamp_lo: Vec<f64> = self.clamp.iter().map(Interval::lo).collect();
         let clamp_hi: Vec<f64> = self.clamp.iter().map(Interval::hi).collect();
         let mut clo = vec![0.0; out_dim];
         let mut chi = vec![0.0; out_dim];
-        split.fused_interval_matvec(&clamp_lo, &clamp_hi, layer.bias(), &mut clo, &mut chi);
+        if outward {
+            split.fused_interval_matvec_outward(
+                &self.lo_const,
+                &self.hi_const,
+                layer.bias(),
+                &mut lo_const,
+                &mut hi_const,
+            );
+            for (i, s) in slack.iter().enumerate() {
+                lo_const[i] = (lo_const[i] - s).next_down();
+                hi_const[i] = (hi_const[i] + s).next_up();
+            }
+            split.fused_interval_matvec_outward(
+                &clamp_lo,
+                &clamp_hi,
+                layer.bias(),
+                &mut clo,
+                &mut chi,
+            );
+        } else {
+            split.fused_interval_matvec(
+                &self.lo_const,
+                &self.hi_const,
+                layer.bias(),
+                &mut lo_const,
+                &mut hi_const,
+            );
+            split.fused_interval_matvec(&clamp_lo, &clamp_hi, layer.bias(), &mut clo, &mut chi);
+        }
         let clamp = clo.into_iter().zip(chi).map(|(l, h)| Interval::from_unordered(l, h)).collect();
         Ok(SymbolicState { input: self.input.clone(), lo_coef, lo_const, hi_coef, hi_const, clamp })
     }

@@ -76,11 +76,17 @@ impl Zonotope {
 
     /// Exact image under the affine part of a layer.
     ///
-    /// The whole generator matrix propagates as a single cache-blocked
-    /// matrix product ([`kernels::matmul`]) instead of per-generator
-    /// matvecs, and the concrete clamp rides the layer's cached
-    /// split-weight kernel — both bit-identical to the naive loops they
-    /// replace.
+    /// The whole generator matrix propagates as a single matrix product
+    /// instead of per-generator matvecs, and the concrete clamp rides the
+    /// layer's cached split-weight kernel. Under
+    /// [`kernels::KernelMode::Deterministic`] both are bit-identical to the
+    /// naive loops they replace ([`kernels::matmul`]); under
+    /// [`kernels::KernelMode::Outward`] the four-row-blocked
+    /// [`kernels::matmul_blocked`] streams each generator row once per four
+    /// output neurons and the clamp is outward-widened — generator
+    /// round-off stays covered by the same recorded-abstraction dilation
+    /// convention that covers the deterministic product's round-off (see
+    /// the crate docs).
     fn through_affine(&self, layer: &DenseLayer) -> Result<Zonotope, AbsintError> {
         if self.dim() != layer.in_dim() {
             return Err(AbsintError::DimensionMismatch {
@@ -89,23 +95,38 @@ impl Zonotope {
                 actual: self.dim(),
             });
         }
+        let outward = kernels::kernel_mode() == kernels::KernelMode::Outward;
         let mut center = layer.weights().matvec(&self.center);
         for (c, b) in center.iter_mut().zip(layer.bias().iter()) {
             *c += b;
         }
-        let generators = kernels::matmul(layer.weights(), &self.generators);
+        let generators = if outward {
+            kernels::matmul_blocked(layer.weights(), &self.generators)
+        } else {
+            kernels::matmul(layer.weights(), &self.generators)
+        };
         // Interval evaluation of W·clamp + b for the affine clamp.
         let clamp_lo: Vec<f64> = self.clamp.iter().map(Interval::lo).collect();
         let clamp_hi: Vec<f64> = self.clamp.iter().map(Interval::hi).collect();
         let mut clo = vec![0.0; layer.out_dim()];
         let mut chi = vec![0.0; layer.out_dim()];
-        layer.split_weights().fused_interval_matvec(
-            &clamp_lo,
-            &clamp_hi,
-            layer.bias(),
-            &mut clo,
-            &mut chi,
-        );
+        if outward {
+            layer.split_weights().fused_interval_matvec_outward(
+                &clamp_lo,
+                &clamp_hi,
+                layer.bias(),
+                &mut clo,
+                &mut chi,
+            );
+        } else {
+            layer.split_weights().fused_interval_matvec(
+                &clamp_lo,
+                &clamp_hi,
+                layer.bias(),
+                &mut clo,
+                &mut chi,
+            );
+        }
         let clamp = clo.into_iter().zip(chi).map(|(l, h)| Interval::from_unordered(l, h)).collect();
         Ok(Zonotope { center, generators, clamp })
     }

@@ -2,12 +2,19 @@
 //! (PR 5): batched network forward, fused deep-net interval propagation,
 //! and the zonotope generator matmul.
 //!
-//! Before any timing the setup asserts the kernel results are **identical**
-//! to the naive reference — these benches double as the cheap differential
-//! gate on the bit-compatibility promise (`tests/kernel_equivalence.rs` is
-//! the thorough one). Speedup summary lines (`kernels/…: Nx`) are printed
-//! so runs can be compared without post-processing; the committed
-//! trajectory lives in `docs/BENCHMARKS.md`.
+//! Before any timing the setup asserts each kernel family's contract —
+//! these benches double as the cheap differential gate, one gate per
+//! family:
+//!
+//! * **Deterministic** results must be **identical** to the naive
+//!   reference (`tests/kernel_equivalence.rs` is the thorough suite);
+//! * **Outward** results must **contain** the Deterministic ones (interval
+//!   paths) or sit inside the per-operation rounding budget (concrete
+//!   paths) — `tests/kernel_rounding.rs` is the thorough suite.
+//!
+//! Speedup summary lines (`kernels/…: Nx`) are printed so runs can be
+//! compared without post-processing; the committed trajectory lives in
+//! `docs/BENCHMARKS.md`.
 
 use covern_absint::{BoxDomain, Interval};
 use covern_nn::{Activation, DenseLayer, Network};
@@ -44,6 +51,17 @@ fn naive_box_reach(net: &Network, input: &BoxDomain) -> BoxDomain {
         dims = pre.iter().map(|iv| iv.monotone_image(|x| layer.activation().apply(x))).collect();
     }
     BoxDomain::new(dims)
+}
+
+/// Runs `f` with the process-global kernel mode flipped to Outward,
+/// restoring Deterministic afterwards (the benches run sequentially in
+/// one thread; the flip itself is a relaxed atomic store, far below the
+/// µs-scale work being timed).
+fn with_outward<T>(f: impl FnOnce() -> T) -> T {
+    kernels::set_kernel_mode(kernels::KernelMode::Outward);
+    let out = f();
+    kernels::set_kernel_mode(kernels::KernelMode::Deterministic);
+    out
 }
 
 fn median_secs(mut f: impl FnMut(), reps: usize) -> f64 {
@@ -87,6 +105,26 @@ fn bench_batched_forward(c: &mut Criterion) {
     });
     group.finish();
 
+    // Gate (Outward): the point-blocked fast path must sit inside a
+    // rounding-sized envelope of the deterministic rows before it is
+    // allowed on the clock.
+    let outward = with_outward(|| net.forward_batch(&x).expect("outward batch forward"));
+    for p in 0..BATCH {
+        for (o, d) in outward.row(p).iter().zip(batched.row(p)) {
+            assert!(
+                (o - d).abs() <= 1e-9 * (1.0 + d.abs()),
+                "outward batch row {p} drifted beyond the rounding envelope"
+            );
+        }
+    }
+    println!("kernels/outward-forward-gate: containment ok ({BATCH} pts)");
+
+    let mut group = c.benchmark_group("kernels");
+    group.bench_function(format!("forward_batch_outward_{BATCH}pts"), |b| {
+        b.iter(|| black_box(with_outward(|| net.forward_batch(&x).expect("outward forward"))))
+    });
+    group.finish();
+
     let naive = median_secs(
         || {
             for p in 0..BATCH {
@@ -96,11 +134,21 @@ fn bench_batched_forward(c: &mut Criterion) {
         9,
     );
     let batch = median_secs(|| drop(black_box(net.forward_batch(&x).expect("batch forward"))), 9);
+    let t_out = median_secs(
+        || drop(black_box(with_outward(|| net.forward_batch(&x).expect("outward forward")))),
+        9,
+    );
     println!(
         "kernels/forward-speedup: {BATCH} pts, naive {:.1} µs, batch {:.1} µs ({:.2}x)",
         naive * 1e6,
         batch * 1e6,
         naive / batch
+    );
+    println!(
+        "kernels/outward-forward-speedup: {BATCH} pts, deterministic {:.1} µs, outward {:.1} µs ({:.2}x)",
+        batch * 1e6,
+        t_out * 1e6,
+        batch / t_out
     );
 }
 
@@ -123,6 +171,23 @@ fn bench_interval_propagation(c: &mut Criterion) {
     assert_eq!(fused.lower(), naive.lower(), "fused lower bounds diverged");
     assert_eq!(fused.upper(), naive.upper(), "fused upper bounds diverged");
 
+    // Gate (Outward): the Rump-form fast path must *contain* the
+    // deterministic bounds, layer for layer, before it is timed.
+    let outward_box = with_outward(|| {
+        let mut b = input.clone();
+        for layer in net.layers() {
+            b = b.through_layer(layer).expect("outward propagation");
+        }
+        b
+    });
+    for (i, (o, d)) in outward_box.intervals().iter().zip(fused.intervals()).enumerate() {
+        assert!(
+            o.contains_interval(d),
+            "outward propagation does not contain deterministic bounds at dim {i}"
+        );
+    }
+    println!("kernels/outward-interval-gate: containment ok ({} layers)", net.num_layers());
+
     let mut group = c.benchmark_group("kernels");
     group.bench_function("interval_naive_deepnet", |b| {
         b.iter(|| black_box(naive_box_reach(&net, &input)))
@@ -134,6 +199,17 @@ fn bench_interval_propagation(c: &mut Criterion) {
                 bx = bx.through_layer(layer).expect("fused propagation");
             }
             black_box(bx)
+        })
+    });
+    group.bench_function("interval_outward_deepnet", |b| {
+        b.iter(|| {
+            black_box(with_outward(|| {
+                let mut bx = input.clone();
+                for layer in net.layers() {
+                    bx = bx.through_layer(layer).expect("outward propagation");
+                }
+                bx
+            }))
         })
     });
     group.finish();
@@ -149,12 +225,31 @@ fn bench_interval_propagation(c: &mut Criterion) {
         },
         15,
     );
+    let t_outward = median_secs(
+        || {
+            drop(black_box(with_outward(|| {
+                let mut bx = input.clone();
+                for layer in net.layers() {
+                    bx = bx.through_layer(layer).expect("outward propagation");
+                }
+                bx
+            })));
+        },
+        15,
+    );
     println!(
         "kernels/interval-speedup: {} layers, naive {:.1} µs, fused {:.1} µs ({:.2}x)",
         net.num_layers(),
         t_naive * 1e6,
         t_fused * 1e6,
         t_naive / t_fused
+    );
+    println!(
+        "kernels/outward-interval-speedup: {} layers, deterministic {:.1} µs, outward {:.1} µs ({:.2}x)",
+        net.num_layers(),
+        t_fused * 1e6,
+        t_outward * 1e6,
+        t_fused / t_outward
     );
 }
 
@@ -183,6 +278,23 @@ fn bench_generator_matmul(c: &mut Criterion) {
     assert_eq!(kernels::matmul(&w, &gens), w.matmul(&gens), "kernel matmul diverged");
     let per_gen = per_generator_matvecs(&w, &gens);
     assert_eq!(kernels::matmul(&w, &gens), per_gen, "per-generator baseline diverged");
+    // Gate (Outward): the cache-blocked matmul must stay inside the
+    // per-operation rounding budget of the deterministic result — the
+    // envelope the recorded-abstraction dilation convention absorbs.
+    let blocked = kernels::matmul_blocked(&w, &gens);
+    let absw = Matrix::from_fn(64, 64, |i, j| w.get(i, j).abs());
+    let absg = Matrix::from_fn(64, 192, |i, j| gens.get(i, j).abs());
+    let budget = kernels::matmul(&absw, &absg);
+    let scale = kernels::outward_err_scale(64);
+    for i in 0..64 {
+        for j in 0..192 {
+            assert!(
+                (blocked.get(i, j) - per_gen.get(i, j)).abs() <= scale * (1.0 + budget.get(i, j)),
+                "blocked matmul drifted beyond the rounding budget at ({i}, {j})"
+            );
+        }
+    }
+    println!("kernels/outward-generator-gate: containment ok (64x192)");
 
     let mut group = c.benchmark_group("kernels");
     group.bench_function("generators_per_matvec_64x192", |b| {
@@ -191,15 +303,25 @@ fn bench_generator_matmul(c: &mut Criterion) {
     group.bench_function("generators_matmul_64x192", |b| {
         b.iter(|| black_box(kernels::matmul(&w, &gens)))
     });
+    group.bench_function("generators_blocked_64x192", |b| {
+        b.iter(|| black_box(kernels::matmul_blocked(&w, &gens)))
+    });
     group.finish();
 
     let t_naive = median_secs(|| drop(black_box(per_generator_matvecs(&w, &gens))), 9);
     let t_kernel = median_secs(|| drop(black_box(kernels::matmul(&w, &gens))), 9);
+    let t_blocked = median_secs(|| drop(black_box(kernels::matmul_blocked(&w, &gens))), 9);
     println!(
         "kernels/generator-speedup: 64x64 layer, 192 generators, per-matvec {:.1} µs, matmul {:.1} µs ({:.2}x)",
         t_naive * 1e6,
         t_kernel * 1e6,
         t_naive / t_kernel
+    );
+    println!(
+        "kernels/outward-generator-speedup: 64x64 layer, 192 generators, deterministic {:.1} µs, blocked {:.1} µs ({:.2}x)",
+        t_kernel * 1e6,
+        t_blocked * 1e6,
+        t_kernel / t_blocked
     );
 }
 

@@ -60,20 +60,32 @@ impl VerificationProblem {
     }
 
     /// Replaces the input domain (after a successful SVuDC step).
+    ///
+    /// Always-on dimension check: a mismatched `Din` would make every later
+    /// verdict speak about the wrong input space, so release builds must
+    /// reject it as loudly as debug builds.
     pub(crate) fn set_din(&mut self, din: BoxDomain) {
-        debug_assert_eq!(din.dim(), self.net.input_dim());
+        assert_eq!(din.dim(), self.net.input_dim(), "Din arity must match the network input");
         self.din = din;
     }
 
     /// Replaces the network (after a successful SVbTV step).
+    ///
+    /// Always-on arity check — see [`Self::set_din`].
     pub(crate) fn set_network(&mut self, net: Network) {
-        debug_assert_eq!(net.input_dim(), self.net.input_dim());
+        assert_eq!(
+            net.input_dim(),
+            self.net.input_dim(),
+            "replacement network must keep the input arity"
+        );
         self.net = net;
     }
 
     /// Replaces the safety set (after a specification-evolution step).
+    ///
+    /// Always-on arity check — see [`Self::set_din`].
     pub(crate) fn set_dout(&mut self, dout: BoxDomain) {
-        debug_assert_eq!(dout.dim(), self.net.output_dim());
+        assert_eq!(dout.dim(), self.net.output_dim(), "Dout arity must match the network output");
         self.dout = dout;
     }
 
@@ -252,6 +264,40 @@ mod tests {
         let din = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
         let dout2 = BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap();
         assert!(VerificationProblem::new(net, din, dout2).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "Din arity must match")]
+    fn set_din_rejects_arity_drift_in_every_profile() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(0.0, 12.0)]).unwrap();
+        let mut p = VerificationProblem::new(net, din, dout).unwrap();
+        p.set_din(BoxDomain::from_bounds(&[(0.0, 1.0)]).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "must keep the input arity")]
+    fn set_network_rejects_arity_drift_in_every_profile() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(0.0, 12.0)]).unwrap();
+        let mut p = VerificationProblem::new(net, din, dout).unwrap();
+        let wrong = NetworkBuilder::new(3)
+            .dense_from_rows(&[&[1.0, 0.0, 0.0]], &[0.0], Activation::Identity)
+            .build()
+            .unwrap();
+        p.set_network(wrong);
+    }
+
+    #[test]
+    #[should_panic(expected = "Dout arity must match")]
+    fn set_dout_rejects_arity_drift_in_every_profile() {
+        let net = fig2_net();
+        let din = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)]).unwrap();
+        let dout = BoxDomain::from_bounds(&[(0.0, 12.0)]).unwrap();
+        let mut p = VerificationProblem::new(net, din, dout).unwrap();
+        p.set_dout(BoxDomain::from_bounds(&[(0.0, 1.0), (0.0, 1.0)]).unwrap());
     }
 
     #[test]

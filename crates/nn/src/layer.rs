@@ -212,15 +212,27 @@ impl DenseLayer {
     /// The layer function applied to a batch of points (one per row of
     /// `x`): `act(x · Wᵀ + b)` as a single matrix product.
     ///
-    /// Row `p` of the result is bit-identical to `self.forward(x.row(p))` —
-    /// the batched kernel keeps each output's reduction order unchanged —
-    /// so batching is purely a throughput decision, never a numeric one.
+    /// Under [`kernels::KernelMode::Deterministic`] (the default), row `p`
+    /// of the result is bit-identical to `self.forward(x.row(p))` — the
+    /// batched kernel keeps each output's reduction order unchanged — so
+    /// batching is purely a throughput decision, never a numeric one. Under
+    /// [`kernels::KernelMode::Outward`] the reassociated
+    /// [`kernels::batch_affine_outward`] runs instead: rows differ from
+    /// `forward` by summation-order round-off only, which the probe and
+    /// sampling consumers tolerate.
     ///
     /// # Panics
     ///
     /// Panics if `x.cols() != self.in_dim()`.
     pub fn forward_batch(&self, x: &Matrix) -> Matrix {
-        let mut y = kernels::batch_affine_packed(x, &self.kernel().wt, &self.bias);
+        let mut y = match kernels::kernel_mode() {
+            kernels::KernelMode::Deterministic => {
+                kernels::batch_affine_packed(x, &self.kernel().wt, &self.bias)
+            }
+            kernels::KernelMode::Outward => {
+                kernels::batch_affine_outward(x, &self.kernel().wt, &self.bias)
+            }
+        };
         self.activation.apply_in_place(y.as_mut_slice());
         y
     }

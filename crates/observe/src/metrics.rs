@@ -405,6 +405,8 @@ declare_metrics! {
         "Worker requests abandoned at the per-request deadline and rerouted to another worker.";
     counter cluster_malformed_responses_total => "covern_cluster_malformed_responses_total":
         "Worker response lines the coordinator could not decode (counted and survived, never a panic).";
+    counter cluster_worker_respawns_total => "covern_cluster_worker_respawns_total":
+        "Replacement worker daemons launched by the health monitor for dead coordinator-spawned slots.";
     counter store_spills_total => "covern_store_spills_total":
         "Blobs written to the coordinator's disk-backed content-addressed store (checkpoints and spilled proofs).";
     counter store_loads_total => "covern_store_loads_total":
@@ -422,6 +424,8 @@ declare_metrics! {
         "TCP protocol connections currently being served.";
     gauge cluster_workers_active => "covern_cluster_workers_active":
         "Worker daemons the cluster coordinator currently considers live.";
+    gauge kernel_mode_outward => "covern_kernel_mode_outward":
+        "1 when the process-global kernel mode is Outward (fast, containment-sound), 0 for Deterministic.";
     ---
     histogram open_latency_seconds => "covern_open_latency_seconds":
         "Wall time of Open/Resume handling, including the original verification or cache lookup.";

@@ -1,17 +1,29 @@
-//! Background worker health checks.
+//! Background worker health checks and bounded auto-respawn.
 //!
 //! A dedicated thread pings every live worker each interval with a
 //! protocol `Hello` under a short deadline. A failed ping marks the
 //! worker dead (`covern_cluster_worker_deaths_total`,
 //! `covern_cluster_workers_active`); the router's next routing decision
 //! for any key on the dead worker's arcs then falls through to a ring
-//! neighbour. The monitor is advisory — the per-request deadline in the
-//! router catches deaths faster when a scenario is actively talking to
-//! the corpse — but it is what retires *idle* workers, whose death would
-//! otherwise only surface when the final stats sweep reaches them.
+//! neighbour. The monitor is advisory for *detection* — the per-request
+//! deadline in the router catches deaths faster when a scenario is
+//! actively talking to the corpse — but it is what retires *idle*
+//! workers, whose death would otherwise only surface when the final
+//! stats sweep reaches them.
+//!
+//! The same thread owns **auto-respawn**: after each ping sweep it scans
+//! for retired, coordinator-spawned workers and launches a replacement
+//! daemon for each ([`WorkerHandle::respawn`],
+//! `covern_cluster_worker_respawns_total`), bounded by a cluster-wide
+//! respawn budget so a crash-looping binary degrades to the old
+//! stay-dead behaviour instead of forking forever. External workers
+//! (fault-injection fakes, operator-managed daemons) are never
+//! respawned. A respawned slot re-enters the `HashRing` implicitly:
+//! routing consults a liveness predicate per arc, so flipping the
+//! handle back to alive re-admits every arc the slot already owned.
 
 use super::worker::{WireClient, WorkerHandle};
-use covern_observe::metrics;
+use covern_observe::{metrics, obs_warn};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,20 +38,45 @@ pub struct HealthMonitor {
 
 impl HealthMonitor {
     /// Starts pinging `workers` every `interval`, each ping bounded by
-    /// `deadline`.
+    /// `deadline`; dead spawned workers are replaced until
+    /// `respawn_budget` replacements have been spent (`0` disables
+    /// auto-respawn).
     #[must_use]
-    pub fn start(workers: Arc<Vec<WorkerHandle>>, interval: Duration, deadline: Duration) -> Self {
+    pub fn start(
+        workers: Arc<Vec<WorkerHandle>>,
+        interval: Duration,
+        deadline: Duration,
+        respawn_budget: usize,
+    ) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::spawn(move || {
+            let mut budget = respawn_budget;
             while !stop_flag.load(Ordering::SeqCst) {
                 for worker in workers.iter().filter(|w| w.is_alive()) {
                     metrics().cluster_pings_total.inc();
-                    let ok = WireClient::connect(worker.addr(), deadline)
+                    let ok = WireClient::connect(&worker.addr(), deadline)
                         .and_then(|mut wire| wire.hello())
                         .is_ok();
                     if !ok && worker.mark_dead() {
                         worker.kill();
+                    }
+                }
+                // Replace retirements detected by anyone — this sweep or a
+                // faulted request in the router — while budget lasts. A
+                // failed spawn attempt is charged too: a crash-looping
+                // binary must degrade to stay-dead, not fork forever.
+                for worker in workers.iter().filter(|w| !w.is_alive() && w.respawnable()) {
+                    if stop_flag.load(Ordering::SeqCst) || budget == 0 {
+                        break;
+                    }
+                    budget -= 1;
+                    if let Err(e) = worker.respawn() {
+                        obs_warn!(
+                            "cluster worker respawn failed",
+                            worker = worker.index(),
+                            error = e
+                        );
                     }
                 }
                 // Sleep in small slices so stop() returns promptly.

@@ -80,6 +80,13 @@ pub struct ClusterConfig {
     pub deadline: Duration,
     /// Health-check ping interval.
     pub ping_interval: Duration,
+    /// Cluster-wide budget of worker respawns: after a spawned worker is
+    /// retired, the health monitor launches a replacement daemon (fresh
+    /// port, same ring slot) until this many respawns — successful or
+    /// failed — have been spent. `0` disables auto-respawn (a dead worker
+    /// then stays dead for the campaign's remainder). External workers are
+    /// never respawned.
+    pub respawn_budget: usize,
     /// Branch-and-bound split budget handed to each worker daemon.
     pub splits: usize,
     /// Checkpoint/spill directory; `None` uses a per-cluster temp
@@ -100,6 +107,7 @@ impl Default for ClusterConfig {
             scenario_threads: 0,
             deadline: Duration::from_secs(30),
             ping_interval: Duration::from_millis(1000),
+            respawn_budget: 2,
             splits: 256,
             store_dir: None,
             binary: None,
@@ -194,8 +202,12 @@ impl Cluster {
         let ring = HashRing::with_workers(workers.len());
         let workers = Arc::new(workers);
         metrics().cluster_workers_active.add(workers.len() as i64);
-        let health =
-            HealthMonitor::start(Arc::clone(&workers), config.ping_interval, config.deadline);
+        let health = HealthMonitor::start(
+            Arc::clone(&workers),
+            config.ping_interval,
+            config.deadline,
+            config.respawn_budget,
+        );
         obs_info!("cluster up", workers = workers.len(), store = store_dir.display().to_string());
         Ok(Self {
             config,
@@ -278,7 +290,7 @@ impl Cluster {
     fn sum_worker_stats(&self) -> CacheSection {
         let (mut hits, mut misses, mut entries) = (0u64, 0u64, 0u64);
         for worker in self.workers.iter().filter(|w| w.is_alive()) {
-            let snap = WireClient::connect(worker.addr(), self.config.deadline)
+            let snap = WireClient::connect(&worker.addr(), self.config.deadline)
                 .and_then(|mut wire| wire.stats());
             match snap {
                 Ok(s) => {
@@ -335,7 +347,7 @@ impl Cluster {
                 return report;
             };
             let worker = &self.workers[widx];
-            let mut wire = match WireClient::connect(worker.addr(), self.config.deadline) {
+            let mut wire = match WireClient::connect(&worker.addr(), self.config.deadline) {
                 Ok(wire) => wire,
                 Err(fault) => {
                     self.note_fault(widx, &fault);

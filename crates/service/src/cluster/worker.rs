@@ -69,15 +69,78 @@ impl std::fmt::Display for WireFault {
     }
 }
 
+/// Everything needed to spawn (or re-spawn) a worker daemon process.
+///
+/// Kept by [`WorkerHandle::spawn`]ed workers so the health monitor can
+/// launch a replacement after a retirement; external workers carry none
+/// and are never respawned.
+#[derive(Debug, Clone)]
+pub struct SpawnSpec {
+    binary: std::path::PathBuf,
+    session_threads: usize,
+    splits: usize,
+}
+
 /// One worker daemon as the coordinator sees it: an address, a liveness
-/// flag, and — when the coordinator spawned it — the child process.
+/// flag, and — when the coordinator spawned it — the child process plus
+/// the spec needed to spawn a replacement.
 #[derive(Debug)]
 pub struct WorkerHandle {
     index: usize,
-    addr: String,
+    /// Current TCP address; replaced wholesale on respawn (the daemon
+    /// binds port 0, so every incarnation gets a fresh port).
+    addr: Mutex<String>,
     alive: AtomicBool,
     child: Mutex<Option<Child>>,
     stderr_drain: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// `Some` for coordinator-spawned workers (respawnable), `None` for
+    /// external ones.
+    spawn_spec: Option<SpawnSpec>,
+}
+
+/// Launches one `serve` daemon and parses its bound address, returning the
+/// pieces a [`WorkerHandle`] tracks.
+fn launch_daemon(
+    index: usize,
+    spec: &SpawnSpec,
+) -> std::io::Result<(Child, String, std::thread::JoinHandle<()>)> {
+    let mut child = ProcessCommand::new(&spec.binary)
+        .args([
+            "serve",
+            "--tcp",
+            "127.0.0.1:0",
+            "--refine-strategy",
+            "refine",
+            "--splits",
+            &spec.splits.to_string(),
+            "--session-threads",
+            &spec.session_threads.to_string(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()?;
+    let stderr = child.stderr.take().expect("stderr was piped");
+    let mut reader = BufReader::new(stderr);
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                format!("worker {index} exited before announcing its address"),
+            ));
+        }
+        if let Some(rest) = line.trim().strip_prefix("covern-service listening on ") {
+            break rest.to_owned();
+        }
+    };
+    let drain = std::thread::spawn(move || {
+        let mut sink = [0u8; 4096];
+        while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
+    });
+    Ok((child, addr, drain))
 }
 
 impl WorkerHandle {
@@ -96,62 +159,30 @@ impl WorkerHandle {
         session_threads: usize,
         splits: usize,
     ) -> std::io::Result<Self> {
-        let mut child = ProcessCommand::new(binary)
-            .args([
-                "serve",
-                "--tcp",
-                "127.0.0.1:0",
-                "--refine-strategy",
-                "refine",
-                "--splits",
-                &splits.to_string(),
-                "--session-threads",
-                &session_threads.to_string(),
-            ])
-            .stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .stderr(Stdio::piped())
-            .spawn()?;
-        let stderr = child.stderr.take().expect("stderr was piped");
-        let mut reader = BufReader::new(stderr);
-        let addr = loop {
-            let mut line = String::new();
-            if reader.read_line(&mut line)? == 0 {
-                let _ = child.kill();
-                let _ = child.wait();
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::UnexpectedEof,
-                    format!("worker {index} exited before announcing its address"),
-                ));
-            }
-            if let Some(rest) = line.trim().strip_prefix("covern-service listening on ") {
-                break rest.to_owned();
-            }
-        };
-        let drain = std::thread::spawn(move || {
-            let mut sink = [0u8; 4096];
-            while matches!(reader.read(&mut sink), Ok(n) if n > 0) {}
-        });
+        let spec = SpawnSpec { binary: binary.to_path_buf(), session_threads, splits };
+        let (child, addr, drain) = launch_daemon(index, &spec)?;
         obs_info!("cluster worker spawned", worker = index, addr = addr);
         Ok(Self {
             index,
-            addr,
+            addr: Mutex::new(addr),
             alive: AtomicBool::new(true),
             child: Mutex::new(Some(child)),
             stderr_drain: Mutex::new(Some(drain)),
+            spawn_spec: Some(spec),
         })
     }
 
-    /// Wraps an externally managed worker address (nothing to spawn or
-    /// kill; liveness tracking still applies).
+    /// Wraps an externally managed worker address (nothing to spawn, kill,
+    /// or respawn; liveness tracking still applies).
     #[must_use]
     pub fn external(index: usize, addr: impl Into<String>) -> Self {
         Self {
             index,
-            addr: addr.into(),
+            addr: Mutex::new(addr.into()),
             alive: AtomicBool::new(true),
             child: Mutex::new(None),
             stderr_drain: Mutex::new(None),
+            spawn_spec: None,
         }
     }
 
@@ -161,16 +192,23 @@ impl WorkerHandle {
         self.index
     }
 
-    /// The worker's TCP address.
+    /// The worker's current TCP address (owned: a respawn replaces it).
     #[must_use]
-    pub fn addr(&self) -> &str {
-        &self.addr
+    pub fn addr(&self) -> String {
+        self.addr.lock().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
     /// Whether the coordinator still considers this worker live.
     #[must_use]
     pub fn is_alive(&self) -> bool {
         self.alive.load(Ordering::SeqCst)
+    }
+
+    /// Whether a replacement daemon can be spawned for this slot (the
+    /// coordinator spawned the original; external workers stay dead).
+    #[must_use]
+    pub fn respawnable(&self) -> bool {
+        self.spawn_spec.is_some()
     }
 
     /// Marks the worker dead. Returns `true` on the first transition —
@@ -181,9 +219,47 @@ impl WorkerHandle {
         if first {
             metrics().cluster_worker_deaths_total.inc();
             metrics().cluster_workers_active.dec();
-            obs_warn!("cluster worker marked dead", worker = self.index, addr = self.addr);
+            obs_warn!("cluster worker marked dead", worker = self.index, addr = self.addr());
         }
         first
+    }
+
+    /// Spawns a replacement daemon for a retired slot and swings the
+    /// handle over to it: new child, new address, liveness back on. The
+    /// ring needs no mutation — routing goes through an `is_alive`
+    /// predicate, so flipping liveness re-admits the slot to every arc it
+    /// already owns. The replacement daemon starts with empty sessions;
+    /// in-flight work was already replayed elsewhere from checkpoints, and
+    /// future scenarios routed here open fresh sessions.
+    ///
+    /// No-op (returns `Ok(false)`) for external workers and for workers
+    /// that are still alive.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the replacement cannot be spawned; the
+    /// worker stays dead and the caller's respawn budget should still be
+    /// charged (a crash-looping binary must not retry forever).
+    pub fn respawn(&self) -> std::io::Result<bool> {
+        let Some(spec) = &self.spawn_spec else {
+            return Ok(false);
+        };
+        if self.is_alive() {
+            return Ok(false);
+        }
+        // Reap the corpse (and its stderr drain) before replacing it.
+        self.kill();
+        let (child, addr, drain) = launch_daemon(self.index, spec)?;
+        *self.addr.lock().unwrap_or_else(|p| p.into_inner()) = addr.clone();
+        *self.child.lock().unwrap_or_else(|p| p.into_inner()) = Some(child);
+        *self.stderr_drain.lock().unwrap_or_else(|p| p.into_inner()) = Some(drain);
+        // Liveness flips last: nobody routes here until the address and
+        // child are in place.
+        self.alive.store(true, Ordering::SeqCst);
+        metrics().cluster_worker_respawns_total.inc();
+        metrics().cluster_workers_active.inc();
+        obs_info!("cluster worker respawned", worker = self.index, addr = addr);
+        Ok(true)
     }
 
     /// SIGKILLs the spawned child, if any (no-op for external workers).
@@ -201,7 +277,7 @@ impl WorkerHandle {
     /// then the kill.
     pub fn shutdown(&self, deadline: Duration) {
         if self.is_alive() {
-            if let Ok(mut wire) = WireClient::connect(&self.addr, deadline) {
+            if let Ok(mut wire) = WireClient::connect(&self.addr(), deadline) {
                 let _ = wire.shutdown();
             }
         }

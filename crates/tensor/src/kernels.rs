@@ -16,28 +16,51 @@
 //!   primitive `X·Wᵀ + b` that turns N-point network evaluation into one
 //!   matrix product per layer.
 //!
-//! # Determinism and bit-compatibility
+//! # Two kernel families: Deterministic and Outward
 //!
-//! Every kernel accumulates each output element along a **fixed, sequential
-//! reduction order** (ascending inner index), independent of batch position
-//! and thread count. Two consequences, both load bearing for the
-//! continuous-verification pipeline:
+//! The module exports two contracts, selected per process via
+//! [`KernelMode`]:
 //!
-//! 1. repeated calls — on any machine, at any thread count — produce
-//!    byte-identical results, so the branch-and-bound engine's
-//!    schedule-independent-verdict guarantee survives the kernel rewiring;
-//! 2. the results are bit-identical to the naive one-vector-at-a-time loops
-//!    they replace ([`Matrix::matvec`], [`Matrix::matmul`], the historical
-//!    interval transformer), because those used the same reduction order.
-//!    `tests/kernel_equivalence.rs` locks this in with property tests.
+//! * **Deterministic** (the default) — every kernel accumulates each output
+//!   element along a **fixed, sequential reduction order** (ascending inner
+//!   index), independent of batch position and thread count. Two
+//!   consequences, both load bearing for the continuous-verification
+//!   pipeline:
 //!
-//! The speed does **not** come from reassociating sums (which would change
-//! results): it comes from the *axpy formulation*. Instead of computing each
-//! output as an isolated dot product — a serial chain of dependent adds that
-//! cannot use SIMD — the kernels broadcast one input element across a
-//! contiguous row of outputs, so the compiler vectorises across *independent*
-//! accumulators while each accumulator still sees its terms in ascending
-//! order. The transpose packing is what makes those output rows contiguous.
+//!   1. repeated calls — on any machine, at any thread count — produce
+//!      byte-identical results, so the branch-and-bound engine's
+//!      schedule-independent-verdict guarantee survives the kernel rewiring;
+//!   2. the results are bit-identical to the naive one-vector-at-a-time
+//!      loops they replace ([`Matrix::matvec`], [`Matrix::matmul`], the
+//!      historical interval transformer), because those used the same
+//!      reduction order. `tests/kernel_equivalence.rs` locks this in.
+//!
+//!   The speed does **not** come from reassociating sums (which would change
+//!   results): it comes from the *axpy formulation*. Instead of computing
+//!   each output as an isolated dot product — a serial chain of dependent
+//!   adds that cannot use SIMD — the kernels broadcast one input element
+//!   across a contiguous row of outputs, so the compiler vectorises across
+//!   *independent* accumulators while each accumulator still sees its terms
+//!   in ascending order. The transpose packing is what makes those output
+//!   rows contiguous.
+//!
+//! * **Outward** (sound-with-slack) — the fast path for probe batches,
+//!   Lipschitz sampling, and any propagation whose result only needs to
+//!   *contain* the truth, not reproduce historical bits. These kernels are
+//!   free to reassociate: hand-unrolled 4-wide multi-accumulator lanes
+//!   ([`SplitMatrix::fused_interval_matvec_outward`] runs Rump
+//!   midpoint–radius form at half the flops of the split form),
+//!   cache-blocked matrix products ([`matmul_blocked`],
+//!   [`batch_affine_outward`] reuse each streamed row across several
+//!   outputs). Soundness is restored *a posteriori*: every interval result
+//!   is widened outward by a per-operation rounding-error bound
+//!   proportional to the reduction depth (see [`outward_err_scale`]),
+//!   finished with [`f64::next_down`]/[`f64::next_up`], so **any**
+//!   summation order is sound and the Outward interval provably contains
+//!   both the exact real result and the Deterministic family's result
+//!   (`tests/kernel_rounding.rs` property-tests this containment).
+//!   Canonical reports, proof reuse, and the cluster differential suites
+//!   pin Deterministic; Outward never feeds a byte-compared artifact.
 //!
 //! # Numeric domain
 //!
@@ -47,6 +70,61 @@
 //! bound as well. Target boxes may be unbounded; propagated states are not.
 
 use crate::matrix::Matrix;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which kernel family the reachability hot paths run on.
+///
+/// Selected once per process via [`set_kernel_mode`] (the CLI's
+/// `--kernel-mode` flag); consumers read it through [`kernel_mode`] at each
+/// dispatch point. The default is [`KernelMode::Deterministic`], which every
+/// byte-identity guarantee in the workspace is pinned against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Fixed-lane-order kernels: bit-identical across calls, machines, and
+    /// thread counts, and bit-compatible with the historical naive loops.
+    Deterministic,
+    /// Reassociated, cache-blocked kernels whose interval results are
+    /// widened outward by a rounding-error bound — sound under any
+    /// summation order, not byte-stable across kernel revisions.
+    Outward,
+}
+
+/// Process-global kernel mode; `0 = Deterministic`, `1 = Outward`.
+static KERNEL_MODE: AtomicU8 = AtomicU8::new(0);
+
+/// Selects the process-global kernel family.
+///
+/// Takes effect for every subsequent kernel dispatch in the process
+/// (abstract transformers, batched forward passes). Verdict streams stay
+/// schedule-independent in either mode; only Deterministic additionally
+/// guarantees byte-identity with historical reports.
+pub fn set_kernel_mode(mode: KernelMode) {
+    KERNEL_MODE.store(mode as u8, Ordering::Relaxed);
+}
+
+/// The process-global kernel family selected by [`set_kernel_mode`].
+pub fn kernel_mode() -> KernelMode {
+    if KERNEL_MODE.load(Ordering::Relaxed) == 0 {
+        KernelMode::Deterministic
+    } else {
+        KernelMode::Outward
+    }
+}
+
+/// Scale of the outward rounding compensation for a reduction of `terms`
+/// summands: `8·(terms + 4)·ε`.
+///
+/// Standard floating-point summation analysis bounds the error of *any*
+/// summation order of `n` terms by `γ_n · Σ|termᵢ|` with
+/// `γ_n ≈ n·ε`. The Outward kernels widen by `outward_err_scale(n) · magsum`
+/// where `magsum` upper-bounds the sum of term magnitudes — the `8·(n+4)`
+/// factor leaves a ≥ 4× margin over the *combined* error of the Outward
+/// computation and the Deterministic computation it must contain, plus the
+/// midpoint/radius conversion round-off, so containment of both the real
+/// result and the Deterministic result holds with room to spare.
+pub fn outward_err_scale(terms: usize) -> f64 {
+    8.0 * (terms as f64 + 4.0) * f64::EPSILON
+}
 
 /// Adds `a · src` into `dst` element-wise. The vectorisable inner step all
 /// kernels are built from; each `dst` element receives exactly one add per
@@ -98,6 +176,14 @@ pub struct SplitMatrix {
     pos_t: Vec<f64>,
     /// Transpose-packed `min(w, 0)`.
     neg_t: Vec<f64>,
+    /// Transpose-packed original weights `w` (for the Outward
+    /// midpoint–radius matvec).
+    w_t: Vec<f64>,
+    /// Transpose-packed absolute weights `|w|`.
+    abs_t: Vec<f64>,
+    /// Per-row `Σ_j |w_ij|` — the magnitude budget the Outward kernels
+    /// scale their rounding compensation by.
+    rowabs: Vec<f64>,
 }
 
 impl SplitMatrix {
@@ -113,13 +199,21 @@ impl SplitMatrix {
         }
         let mut pos_t = vec![0.0; data.len()];
         let mut neg_t = vec![0.0; data.len()];
+        let mut w_t = vec![0.0; data.len()];
+        let mut abs_t = vec![0.0; data.len()];
+        let mut rowabs = vec![0.0; rows];
         for i in 0..rows {
             for j in 0..cols {
-                pos_t[j * rows + i] = pos[i * cols + j];
-                neg_t[j * rows + i] = neg[i * cols + j];
+                let p = pos[i * cols + j];
+                let n = neg[i * cols + j];
+                pos_t[j * rows + i] = p;
+                neg_t[j * rows + i] = n;
+                w_t[j * rows + i] = p + n;
+                abs_t[j * rows + i] = p - n;
+                rowabs[i] += p - n;
             }
         }
-        Self { rows, cols, pos, neg, pos_t, neg_t }
+        Self { rows, cols, pos, neg, pos_t, neg_t, w_t, abs_t, rowabs }
     }
 
     /// Number of rows (output dimension of the affine map).
@@ -213,6 +307,197 @@ impl SplitMatrix {
         }
         (lo_out, hi_out)
     }
+
+    /// Outward-family interval affine map: a sound enclosure of
+    /// `W·[lo, hi] + bias` computed in Rump midpoint–radius form and widened
+    /// by a rounding-error bound.
+    ///
+    /// Per column the kernel runs `yc += w·c` and `yr += |w|·r` with
+    /// `c = (lo+hi)/2`, `r = (hi−lo)/2` — **half the flops** of the
+    /// sign-split form (2 mul + 2 add per entry instead of 4 + 4) — in
+    /// hand-unrolled 4-wide column lanes that are free to reassociate. The
+    /// result `[yc − yr, yc + yr]` is then dilated by
+    /// [`outward_err_scale`]`(cols) · (rowabs_i·M + |bias_i|)` (where `M`
+    /// bounds the input magnitudes) and finished with
+    /// [`f64::next_down`]/[`f64::next_up`], which makes it a superset of
+    /// the exact real interval *and* of [`Self::fused_interval_matvec`]'s
+    /// result under any summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice length disagrees with the matrix shape.
+    pub fn fused_interval_matvec_outward(
+        &self,
+        lo: &[f64],
+        hi: &[f64],
+        bias: &[f64],
+        lo_out: &mut [f64],
+        hi_out: &mut [f64],
+    ) {
+        assert_eq!(lo.len(), self.cols, "lo length mismatch");
+        assert_eq!(hi.len(), self.cols, "hi length mismatch");
+        assert_eq!(bias.len(), self.rows, "bias length mismatch");
+        assert_eq!(lo_out.len(), self.rows, "lo_out length mismatch");
+        assert_eq!(hi_out.len(), self.rows, "hi_out length mismatch");
+        let rows = self.rows;
+        // lo_out accumulates the midpoint image yc (seeded with the exact
+        // bias), hi_out the radius image yr.
+        lo_out.copy_from_slice(bias);
+        hi_out.fill(0.0);
+        let mut mmax = 0.0f64;
+        let mut j = 0;
+        while j + 4 <= self.cols {
+            let (c0, r0) = (0.5 * (lo[j] + hi[j]), 0.5 * (hi[j] - lo[j]));
+            let (c1, r1) = (0.5 * (lo[j + 1] + hi[j + 1]), 0.5 * (hi[j + 1] - lo[j + 1]));
+            let (c2, r2) = (0.5 * (lo[j + 2] + hi[j + 2]), 0.5 * (hi[j + 2] - lo[j + 2]));
+            let (c3, r3) = (0.5 * (lo[j + 3] + hi[j + 3]), 0.5 * (hi[j + 3] - lo[j + 3]));
+            mmax = mmax.max(c0.abs() + r0).max(c1.abs() + r1).max(c2.abs() + r2).max(c3.abs() + r3);
+            let w0 = &self.w_t[j * rows..(j + 1) * rows];
+            let w1 = &self.w_t[(j + 1) * rows..(j + 2) * rows];
+            let w2 = &self.w_t[(j + 2) * rows..(j + 3) * rows];
+            let w3 = &self.w_t[(j + 3) * rows..(j + 4) * rows];
+            let a0 = &self.abs_t[j * rows..(j + 1) * rows];
+            let a1 = &self.abs_t[(j + 1) * rows..(j + 2) * rows];
+            let a2 = &self.abs_t[(j + 2) * rows..(j + 3) * rows];
+            let a3 = &self.abs_t[(j + 3) * rows..(j + 4) * rows];
+            // Four columns per sweep: each accumulator is loaded and stored
+            // once per four inputs, and the single-expression adds let the
+            // compiler fuse/reassociate freely — the widening below absorbs
+            // whatever order it picks.
+            for i in 0..rows {
+                lo_out[i] += w0[i] * c0 + w1[i] * c1 + w2[i] * c2 + w3[i] * c3;
+                hi_out[i] += a0[i] * r0 + a1[i] * r1 + a2[i] * r2 + a3[i] * r3;
+            }
+            j += 4;
+        }
+        while j < self.cols {
+            let (c, r) = (0.5 * (lo[j] + hi[j]), 0.5 * (hi[j] - lo[j]));
+            mmax = mmax.max(c.abs() + r);
+            let w = &self.w_t[j * rows..(j + 1) * rows];
+            let a = &self.abs_t[j * rows..(j + 1) * rows];
+            for i in 0..rows {
+                lo_out[i] += w[i] * c;
+                hi_out[i] += a[i] * r;
+            }
+            j += 1;
+        }
+        let scale = outward_err_scale(self.cols);
+        for i in 0..rows {
+            let err = scale * (self.rowabs[i] * mmax + bias[i].abs());
+            let (yc, yr) = (lo_out[i], hi_out[i]);
+            lo_out[i] = (yc - yr - err).next_down();
+            hi_out[i] = (yc + yr + err).next_up();
+        }
+    }
+
+    /// Outward-family fused interval matrix product, plus the per-output-row
+    /// constant slack that makes its reassociated coefficients sound.
+    ///
+    /// Same contract as [`Self::fused_interval_matmul`], but the row sweeps
+    /// are blocked two output rows at a time (each source row streams once
+    /// per *two* outputs) and may reassociate. Because the result columns
+    /// are **coefficients of affine functions**, widening the entries
+    /// themselves would be unsound (a larger coefficient is not a looser
+    /// bound when the input is negative); instead the kernel returns a
+    /// per-output-row slack computed against `xmax` — the per-input-
+    /// dimension magnitude bound `max(|x_d|)` of the box the coefficients
+    /// will be evaluated over — which the caller folds into its constant
+    /// terms (`lo_const − slack`, `hi_const + slack`). The slack bounds the
+    /// value error of *any* summation order (including the Deterministic
+    /// family's), so the shifted affine bounds stay sound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo`/`hi` shapes disagree with each other or with
+    /// `self.cols()` rows, or if `xmax.len() != lo.cols()`.
+    pub fn fused_interval_matmul_outward(
+        &self,
+        lo: &Matrix,
+        hi: &Matrix,
+        xmax: &[f64],
+    ) -> (Matrix, Matrix, Vec<f64>) {
+        assert_eq!(lo.shape(), hi.shape(), "lo/hi shape mismatch");
+        assert_eq!(lo.rows(), self.cols, "inner dimension mismatch");
+        assert_eq!(xmax.len(), lo.cols(), "xmax length mismatch");
+        let d = lo.cols();
+        let mut lo_out = Matrix::zeros(self.rows, d);
+        let mut hi_out = Matrix::zeros(self.rows, d);
+        // Per-column magnitude bound over both coefficient matrices: the
+        // rounding magnitude budget of one output entry in column `k` is
+        // `rowabs_i · cmax_k`.
+        let mut cmax = vec![0.0f64; d];
+        for (l, h) in lo.as_slice().chunks_exact(d).zip(hi.as_slice().chunks_exact(d)) {
+            for (m, (&lv, &hv)) in cmax.iter_mut().zip(l.iter().zip(h)) {
+                *m = m.max(lv.abs()).max(hv.abs());
+            }
+        }
+        // Two output rows per sweep: the source coefficient rows stream
+        // once per pair instead of once per row.
+        let mut i = 0;
+        while i + 2 <= self.rows {
+            let (lo0, lo1) = split_two_rows(&mut lo_out, i, d);
+            let (hi0, hi1) = split_two_rows(&mut hi_out, i, d);
+            let p0 = &self.pos[i * self.cols..(i + 1) * self.cols];
+            let n0 = &self.neg[i * self.cols..(i + 1) * self.cols];
+            let p1 = &self.pos[(i + 1) * self.cols..(i + 2) * self.cols];
+            let n1 = &self.neg[(i + 1) * self.cols..(i + 2) * self.cols];
+            for j in 0..self.cols {
+                let (p0j, n0j, p1j, n1j) = (p0[j], n0[j], p1[j], n1[j]);
+                if p0j == 0.0 && n0j == 0.0 && p1j == 0.0 && n1j == 0.0 {
+                    continue;
+                }
+                let src_lo = lo.row(j);
+                let src_hi = hi.row(j);
+                for ((((dl0, dh0), dl1), dh1), (&l, &h)) in lo0
+                    .iter_mut()
+                    .zip(hi0.iter_mut())
+                    .zip(lo1.iter_mut())
+                    .zip(hi1.iter_mut())
+                    .zip(src_lo.iter().zip(src_hi))
+                {
+                    *dl0 += p0j * l + n0j * h;
+                    *dh0 += p0j * h + n0j * l;
+                    *dl1 += p1j * l + n1j * h;
+                    *dh1 += p1j * h + n1j * l;
+                }
+            }
+            i += 2;
+        }
+        if i < self.rows {
+            let p = &self.pos[i * self.cols..(i + 1) * self.cols];
+            let n = &self.neg[i * self.cols..(i + 1) * self.cols];
+            for j in 0..self.cols {
+                let (pj, nj) = (p[j], n[j]);
+                if pj == 0.0 && nj == 0.0 {
+                    continue;
+                }
+                let src_lo = lo.row(j);
+                let src_hi = hi.row(j);
+                for ((dl, dh), (&l, &h)) in lo_out
+                    .row_mut(i)
+                    .iter_mut()
+                    .zip(hi_out.row_mut(i).iter_mut())
+                    .zip(src_lo.iter().zip(src_hi))
+                {
+                    *dl += pj * l + nj * h;
+                    *dh += pj * h + nj * l;
+                }
+            }
+        }
+        // Value-error slack of any summation order, evaluated against the
+        // input box: Σ_k err_entry(i,k)·xmax_k ≤ scale·rowabs_i·Σ_k cmax_k·xmax_k.
+        let s: f64 = cmax.iter().zip(xmax).map(|(&c, &x)| c * x).sum();
+        let scale = outward_err_scale(self.cols);
+        let slack = self.rowabs.iter().map(|&ra| (scale * ra * s).next_up()).collect();
+        (lo_out, hi_out, slack)
+    }
+}
+
+/// Borrows rows `i` and `i+1` of `m` (each `width` wide) as disjoint
+/// mutable slices.
+fn split_two_rows(m: &mut Matrix, i: usize, width: usize) -> (&mut [f64], &mut [f64]) {
+    let (a, b) = m.as_mut_slice()[i * width..(i + 2) * width].split_at_mut(width);
+    (a, b)
 }
 
 /// Packs the transpose of `w` (entry `(j, i)` of the result is `w[i][j]`)
@@ -285,6 +570,95 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// Outward-family matrix product `a · b`: cache-blocked `4×4` tiles —
+/// four output rows share four streamed `b` rows — free to reassociate.
+///
+/// Each inner sweep retires sixteen multiply-adds against eight loads and
+/// four stores, versus the Deterministic [`matmul`]'s four multiply-adds
+/// per five loads and one store: the tile amortises the read-modify-write
+/// of the output rows across four `b` rows, and each output element is a
+/// four-term independent sum the compiler can evaluate as an FMA tree. On
+/// the zonotope generator shapes (`64×64` weights against `64×192`
+/// generators) `b` traffic also drops 4×. Entry values differ from
+/// [`matmul`] only by summation-order round-off (the standard
+/// `γ_n·Σ|terms|` bound); callers on the Outward path absorb that under
+/// the same slack conventions that already cover the Deterministic
+/// product's own round-off (`covern-absint`'s recorded abstractions are
+/// dilated outward — see its crate docs).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_blocked(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul dimension mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    let mut i = 0;
+    while i + 4 <= m {
+        let a0 = &a.as_slice()[i * k..(i + 1) * k];
+        let a1 = &a.as_slice()[(i + 1) * k..(i + 2) * k];
+        let a2 = &a.as_slice()[(i + 2) * k..(i + 3) * k];
+        let a3 = &a.as_slice()[(i + 3) * k..(i + 4) * k];
+        let block = &mut out.as_mut_slice()[i * n..(i + 4) * n];
+        let (o0, rest) = block.split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (b0, b1, b2, b3) = (b.row(kk), b.row(kk + 1), b.row(kk + 2), b.row(kk + 3));
+            let (a00, a01, a02, a03) = (a0[kk], a0[kk + 1], a0[kk + 2], a0[kk + 3]);
+            let (a10, a11, a12, a13) = (a1[kk], a1[kk + 1], a1[kk + 2], a1[kk + 3]);
+            let (a20, a21, a22, a23) = (a2[kk], a2[kk + 1], a2[kk + 2], a2[kk + 3]);
+            let (a30, a31, a32, a33) = (a3[kk], a3[kk + 1], a3[kk + 2], a3[kk + 3]);
+            for (((((((&v0, &v1), &v2), &v3), e0), e1), e2), e3) in b0
+                .iter()
+                .zip(b1)
+                .zip(b2)
+                .zip(b3)
+                .zip(o0.iter_mut())
+                .zip(o1.iter_mut())
+                .zip(o2.iter_mut())
+                .zip(o3.iter_mut())
+            {
+                *e0 += a00 * v0 + a01 * v1 + a02 * v2 + a03 * v3;
+                *e1 += a10 * v0 + a11 * v1 + a12 * v2 + a13 * v3;
+                *e2 += a20 * v0 + a21 * v1 + a22 * v2 + a23 * v3;
+                *e3 += a30 * v0 + a31 * v1 + a32 * v2 + a33 * v3;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let (v0, v1, v2, v3) = (a0[kk], a1[kk], a2[kk], a3[kk]);
+            let brow = b.row(kk);
+            for ((((&bv, e0), e1), e2), e3) in brow
+                .iter()
+                .zip(o0.iter_mut())
+                .zip(o1.iter_mut())
+                .zip(o2.iter_mut())
+                .zip(o3.iter_mut())
+            {
+                *e0 += v0 * bv;
+                *e1 += v1 * bv;
+                *e2 += v2 * bv;
+                *e3 += v3 * bv;
+            }
+            kk += 1;
+        }
+        i += 4;
+    }
+    while i < m {
+        let arow = &a.as_slice()[i * k..(i + 1) * k];
+        let orow = out.row_mut(i);
+        for (kk, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                axpy(orow, av, b.row(kk));
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Batched affine map `x · wtᵀ... + bias` against a **pre-packed transposed**
 /// weight matrix `wt` (shape `in_dim × out_dim`, see [`pack_transpose`]):
 /// row `p` of the result is `W·x_p + bias`.
@@ -352,6 +726,91 @@ pub fn batch_affine_packed(x: &Matrix, wt: &Matrix, bias: &[f64]) -> Matrix {
 /// Panics if `x.cols() != w.cols()` or `bias.len() != w.rows()`.
 pub fn batch_affine_nt(x: &Matrix, w: &Matrix, bias: &[f64]) -> Matrix {
     batch_affine_packed(x, &pack_transpose(w), bias)
+}
+
+/// Outward-family batched affine map: same contract and shapes as
+/// [`batch_affine_packed`], blocked two points at a time and free to
+/// reassociate.
+///
+/// Each `wt` row streams once per *two* batch points, and the four adds of
+/// a quad sit in one expression so the compiler can build FMA trees instead
+/// of the Deterministic family's serial add chain. Results are concrete
+/// point evaluations (no widening): each row differs from
+/// [`batch_affine_packed`]'s by summation-order round-off only, which the
+/// probe/sampling consumers tolerate — a probe hit is always re-checked
+/// against the abstract domain, and sampled Lipschitz bounds are heuristic
+/// lower bounds by construction. Row `p` depends only on point `p` and its
+/// batch parity, never on neighbouring values, so identical batches give
+/// identical results at any thread count.
+///
+/// # Panics
+///
+/// Panics if `x.cols() != wt.rows()` or `bias.len() != wt.cols()`.
+pub fn batch_affine_outward(x: &Matrix, wt: &Matrix, bias: &[f64]) -> Matrix {
+    assert_eq!(x.cols(), wt.rows(), "batch_affine_outward dimension mismatch");
+    assert_eq!(bias.len(), wt.cols(), "bias length mismatch");
+    let (npts, k, odim) = (x.rows(), x.cols(), wt.cols());
+    let mut out = Matrix::zeros(npts, odim);
+    let mut p = 0;
+    while p + 2 <= npts {
+        let x0 = &x.as_slice()[p * k..(p + 1) * k];
+        let x1 = &x.as_slice()[(p + 1) * k..(p + 2) * k];
+        let block = &mut out.as_mut_slice()[p * odim..(p + 2) * odim];
+        let (o0, o1) = block.split_at_mut(odim);
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (u0, u1, u2, u3) = (x0[kk], x0[kk + 1], x0[kk + 2], x0[kk + 3]);
+            let (v0, v1, v2, v3) = (x1[kk], x1[kk + 1], x1[kk + 2], x1[kk + 3]);
+            let w0 = wt.row(kk);
+            let w1 = wt.row(kk + 1);
+            let w2 = wt.row(kk + 2);
+            let w3 = wt.row(kk + 3);
+            for (((((e0, e1), &a0), &a1), &a2), &a3) in
+                o0.iter_mut().zip(o1.iter_mut()).zip(w0).zip(w1).zip(w2).zip(w3)
+            {
+                *e0 += u0 * a0 + u1 * a1 + u2 * a2 + u3 * a3;
+                *e1 += v0 * a0 + v1 * a1 + v2 * a2 + v3 * a3;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            let (u, v) = (x0[kk], x1[kk]);
+            for ((e0, e1), &a) in o0.iter_mut().zip(o1.iter_mut()).zip(wt.row(kk)) {
+                *e0 += u * a;
+                *e1 += v * a;
+            }
+            kk += 1;
+        }
+        for ((e0, e1), &b) in o0.iter_mut().zip(o1.iter_mut()).zip(bias) {
+            *e0 += b;
+            *e1 += b;
+        }
+        p += 2;
+    }
+    if p < npts {
+        let xrow = &x.as_slice()[p * k..(p + 1) * k];
+        let orow = out.row_mut(p);
+        let mut kk = 0;
+        while kk + 4 <= k {
+            let (u0, u1, u2, u3) = (xrow[kk], xrow[kk + 1], xrow[kk + 2], xrow[kk + 3]);
+            let w0 = wt.row(kk);
+            let w1 = wt.row(kk + 1);
+            let w2 = wt.row(kk + 2);
+            let w3 = wt.row(kk + 3);
+            for ((((o, &a0), &a1), &a2), &a3) in orow.iter_mut().zip(w0).zip(w1).zip(w2).zip(w3) {
+                *o += u0 * a0 + u1 * a1 + u2 * a2 + u3 * a3;
+            }
+            kk += 4;
+        }
+        while kk < k {
+            axpy(orow, xrow[kk], wt.row(kk));
+            kk += 1;
+        }
+        for (o, &b) in orow.iter_mut().zip(bias) {
+            *o += b;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -512,5 +971,143 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         let _ = matmul(&a, &b);
+    }
+
+    #[test]
+    fn kernel_mode_roundtrips() {
+        assert_eq!(kernel_mode(), KernelMode::Deterministic);
+        set_kernel_mode(KernelMode::Outward);
+        assert_eq!(kernel_mode(), KernelMode::Outward);
+        set_kernel_mode(KernelMode::Deterministic);
+        assert_eq!(kernel_mode(), KernelMode::Deterministic);
+    }
+
+    #[test]
+    fn outward_matvec_contains_deterministic_and_truth() {
+        let mut rng = Rng::seeded(41);
+        for (rows, cols) in [(1, 1), (3, 5), (7, 13), (16, 16), (33, 9)] {
+            let w = random_matrix(&mut rng, rows, cols);
+            let s = SplitMatrix::compile(&w);
+            let lo: Vec<f64> = (0..cols).map(|_| rng.uniform(-3.0, 1.0)).collect();
+            let hi: Vec<f64> = lo.iter().map(|&l| l + rng.uniform(0.0, 2.0)).collect();
+            let bias: Vec<f64> = (0..rows).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let (mut dl, mut dh) = (vec![0.0; rows], vec![0.0; rows]);
+            let (mut ol, mut oh) = (vec![0.0; rows], vec![0.0; rows]);
+            s.fused_interval_matvec(&lo, &hi, &bias, &mut dl, &mut dh);
+            s.fused_interval_matvec_outward(&lo, &hi, &bias, &mut ol, &mut oh);
+            for i in 0..rows {
+                assert!(
+                    ol[i] <= dl[i] && dh[i] <= oh[i],
+                    "outward [{}, {}] does not contain deterministic [{}, {}] at row {i}",
+                    ol[i],
+                    oh[i],
+                    dl[i],
+                    dh[i]
+                );
+            }
+            // Interior points land inside the outward enclosure too.
+            for _ in 0..20 {
+                let x: Vec<f64> = lo
+                    .iter()
+                    .zip(&hi)
+                    .map(|(&l, &h)| rng.uniform(0.0, 1.0).mul_add(h - l, l))
+                    .collect();
+                let y = w.matvec(&x);
+                for i in 0..rows {
+                    let v = y[i] + bias[i];
+                    assert!(ol[i] <= v && v <= oh[i], "point escaped outward enclosure");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outward_matvec_widens_even_on_degenerate_inputs() {
+        // Zero weights, zero bias: the next_down/next_up finish still has to
+        // produce a genuine (one-ulp) enclosure, never an inverted interval.
+        let s = SplitMatrix::compile(&Matrix::zeros(2, 3));
+        let (mut lo, mut hi) = (vec![0.0; 2], vec![0.0; 2]);
+        s.fused_interval_matvec_outward(&[1.0; 3], &[1.0; 3], &[0.0; 2], &mut lo, &mut hi);
+        for i in 0..2 {
+            assert!(lo[i] < 0.0 && 0.0 < hi[i]);
+            assert!(lo[i] >= -1e-300 && hi[i] <= 1e-300);
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_stays_within_rounding_of_deterministic() {
+        let mut rng = Rng::seeded(43);
+        for (m, k, n) in [(1, 1, 1), (4, 4, 4), (5, 7, 3), (13, 9, 17), (64, 64, 192)] {
+            let a = random_matrix(&mut rng, m, k);
+            let b = random_matrix(&mut rng, k, n);
+            let exact = matmul(&a, &b);
+            let blocked = matmul_blocked(&a, &b);
+            assert_eq!(blocked.shape(), exact.shape());
+            // Per-entry magnitude budget Σ|a|·|b|: the γ_n bound both
+            // summation orders obey is relative to it.
+            let absa = Matrix::from_fn(m, k, |i, j| a.get(i, j).abs());
+            let absb = Matrix::from_fn(k, n, |i, j| b.get(i, j).abs());
+            let mag = matmul(&absa, &absb);
+            let scale = outward_err_scale(k);
+            for i in 0..m {
+                for j in 0..n {
+                    let diff = (blocked.get(i, j) - exact.get(i, j)).abs();
+                    let tol = scale * (1.0 + mag.get(i, j));
+                    assert!(diff <= tol, "({i},{j}) diverged by {diff} on {m}x{k}x{n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outward_batch_affine_stays_within_rounding_of_deterministic() {
+        let mut rng = Rng::seeded(47);
+        for (npts, k, odim) in [(1, 3, 2), (2, 4, 4), (7, 13, 5), (16, 8, 8)] {
+            let w = random_matrix(&mut rng, odim, k);
+            let wt = pack_transpose(&w);
+            let bias: Vec<f64> = (0..odim).map(|_| rng.uniform(-1.0, 1.0)).collect();
+            let x = random_matrix(&mut rng, npts, k);
+            let det = batch_affine_packed(&x, &wt, &bias);
+            let out = batch_affine_outward(&x, &wt, &bias);
+            let absx = Matrix::from_fn(npts, k, |i, j| x.get(i, j).abs());
+            let abswt = Matrix::from_fn(k, odim, |i, j| wt.get(i, j).abs());
+            let absbias: Vec<f64> = bias.iter().map(|b| b.abs()).collect();
+            let mag = batch_affine_packed(&absx, &abswt, &absbias);
+            let scale = outward_err_scale(k);
+            for p in 0..npts {
+                for j in 0..odim {
+                    let diff = (out.get(p, j) - det.get(p, j)).abs();
+                    let tol = scale * (1.0 + mag.get(p, j));
+                    assert!(diff <= tol, "row {p} col {j}: {diff}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outward_interval_matmul_slack_covers_the_deterministic_gap() {
+        let mut rng = Rng::seeded(53);
+        for (rows, cols, d) in [(3, 4, 2), (8, 8, 8), (5, 11, 7)] {
+            let w = random_matrix(&mut rng, rows, cols);
+            let s = SplitMatrix::compile(&w);
+            let lo_in = random_matrix(&mut rng, cols, d);
+            let hi_in = Matrix::from_fn(cols, d, |i, j| lo_in.get(i, j) + rng.uniform(0.0, 1.0));
+            let xmax: Vec<f64> = (0..d).map(|_| rng.uniform(0.5, 2.0)).collect();
+            let (det_lo, det_hi) = s.fused_interval_matmul(&lo_in, &hi_in);
+            let (out_lo, out_hi, slack) = s.fused_interval_matmul_outward(&lo_in, &hi_in, &xmax);
+            for (i, &si) in slack.iter().enumerate() {
+                assert!(si >= 0.0);
+                // Worst-case value gap between the two coefficient rows over
+                // any |x_d| ≤ xmax_d must be covered by the slack.
+                let mut gap_lo = 0.0;
+                let mut gap_hi = 0.0;
+                for (j, &xm) in xmax.iter().enumerate() {
+                    gap_lo += (out_lo.get(i, j) - det_lo.get(i, j)).abs() * xm;
+                    gap_hi += (out_hi.get(i, j) - det_hi.get(i, j)).abs() * xm;
+                }
+                assert!(gap_lo <= si, "row {i}: lo gap {gap_lo} > slack {si}");
+                assert!(gap_hi <= si, "row {i}: hi gap {gap_hi} > slack {si}");
+            }
+        }
     }
 }

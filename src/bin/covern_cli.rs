@@ -78,6 +78,10 @@ verify — original verification
   --store F     artifact store path            [default: covern-state.json]
   --margin REL  relative artifact buffer (e.g. 0.05)          [default: 0.0]
   --splits N    bisection budget for local checks              [default: 64]
+  --kernel-mode M  affine-kernel family: deterministic (fixed-lane-order,
+                bit-identical canonical reports) or outward (unrolled,
+                cache-blocked fast kernels, every interval soundly
+                widened outward)                  [default: deterministic]
 
 enlarge — domain-enlargement delta (SVuDC)
   --din F       the enlarged input domain                        [required]
@@ -119,6 +123,7 @@ campaign — concurrent batch verification
   --min-hits N    fail unless the cache reused ≥ N artifacts     [default: 0]
   --cluster N     shard across N spawned worker daemons instead of running
                   in-process (see the cluster command)          [default: 0]
+  --kernel-mode M deterministic | outward (see verify) [default: deterministic]
 
 cluster — sharded multi-worker campaign with failover
   --workers N     worker daemons to spawn (covern_cli serve)      [default: 2]
@@ -134,6 +139,8 @@ cluster — sharded multi-worker campaign with failover
   --kill-after N  fault drill: SIGKILL worker 0 after the Nth verdict; the
                   campaign must still finish with an identical canonical
                   report                                 [default: disabled]
+  --respawn-budget N  replacement daemons the health monitor may launch for
+                  dead spawned workers (0 disables auto-respawn) [default: 2]
   --out F         write the JSON report here        [default: print to stdout]
   --canonical     zero all timing fields (byte-deterministic report)
 
@@ -148,6 +155,8 @@ serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --splits N           bisection budget for local checks        [default: 256]
   --refine-strategy S  local-check engine (see enlarge) [default: widest]
   --deadline-ms N      anytime deadline per local check [default: none]
+  --kernel-mode M      deterministic | outward (see verify)
+                       [default: deterministic]
 
 loadgen — concurrent-session load generator (report: covern-loadgen-report-v1)
   --addr ADDR     drive a daemon already listening on ADDR
@@ -281,6 +290,23 @@ fn parse_method(flags: &HashMap<String, String>, splits: usize) -> Result<LocalM
     Ok(method)
 }
 
+/// Applies `--kernel-mode` to the process-global kernel dispatch and
+/// mirrors the choice into the `covern_kernel_mode_outward` gauge so a
+/// scrape can tell which family produced the numbers it is looking at.
+fn apply_kernel_mode(flags: &HashMap<String, String>) -> Result<(), String> {
+    use covern::tensor::kernels::{set_kernel_mode, KernelMode};
+    let mode = match flags.get("kernel-mode").map(String::as_str) {
+        None | Some("deterministic") => KernelMode::Deterministic,
+        Some("outward") => KernelMode::Outward,
+        Some(other) => {
+            return Err(format!("--kernel-mode must be deterministic or outward, got {other:?}"))
+        }
+    };
+    set_kernel_mode(mode);
+    covern::observe::metrics().kernel_mode_outward.set(i64::from(mode == KernelMode::Outward));
+    Ok(())
+}
+
 fn load_box(path: &str) -> Result<BoxDomain, String> {
     let s = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let pairs: Vec<(f64, f64)> =
@@ -312,6 +338,7 @@ fn run() -> Result<bool, String> {
 
     match cmd.as_str() {
         "verify" => {
+            apply_kernel_mode(&flags)?;
             let network = flags.get("network").ok_or("verify needs --network")?;
             let din = load_box(flags.get("din").ok_or("verify needs --din")?)?;
             let dout = load_box(flags.get("dout").ok_or("verify needs --dout")?)?;
@@ -358,6 +385,7 @@ fn run() -> Result<bool, String> {
             Ok(report.outcome.is_proved())
         }
         "campaign" => {
+            apply_kernel_mode(&flags)?;
             let parse = |key: &str, default: u64| parse_u64(&flags, key, default);
             let corpus_config = covern::campaign::CorpusConfig {
                 scenarios: parse("scenarios", 20)? as usize,
@@ -464,6 +492,7 @@ fn run() -> Result<bool, String> {
                     0 => None,
                     n => Some(service::KillAfter { worker: 0, after_verdicts: n }),
                 },
+                respawn_budget: parse("respawn-budget", 2)? as usize,
                 ..service::ClusterConfig::default()
             };
             let workers = config.workers;
@@ -507,6 +536,7 @@ fn run() -> Result<bool, String> {
             Ok(report.refuted == 0 && report.unknown == 0 && report.errors == 0)
         }
         "serve" => {
+            apply_kernel_mode(&flags)?;
             let parse = |key: &str, default: u64| parse_u64(&flags, key, default);
             if flags.contains_key("stdio") && flags.contains_key("tcp") {
                 return Err("serve takes --stdio or --tcp ADDR, not both".into());

@@ -40,6 +40,10 @@ verify — original verification
   --store F     artifact store path            [default: covern-state.json]
   --margin REL  relative artifact buffer (e.g. 0.05)          [default: 0.0]
   --splits N    bisection budget for local checks              [default: 64]
+  --kernel-mode M  affine-kernel family: deterministic (fixed-lane-order,
+                bit-identical canonical reports) or outward (unrolled,
+                cache-blocked fast kernels, every interval soundly
+                widened outward)                  [default: deterministic]
 
 enlarge — domain-enlargement delta (SVuDC)
   --din F       the enlarged input domain                        [required]
@@ -81,6 +85,7 @@ campaign — concurrent batch verification
   --min-hits N    fail unless the cache reused ≥ N artifacts     [default: 0]
   --cluster N     shard across N spawned worker daemons instead of running
                   in-process (see the cluster command)          [default: 0]
+  --kernel-mode M deterministic | outward (see verify) [default: deterministic]
 
 cluster — sharded multi-worker campaign with failover
   --workers N     worker daemons to spawn (covern_cli serve)      [default: 2]
@@ -96,6 +101,8 @@ cluster — sharded multi-worker campaign with failover
   --kill-after N  fault drill: SIGKILL worker 0 after the Nth verdict; the
                   campaign must still finish with an identical canonical
                   report                                 [default: disabled]
+  --respawn-budget N  replacement daemons the health monitor may launch for
+                  dead spawned workers (0 disables auto-respawn) [default: 2]
   --out F         write the JSON report here        [default: print to stdout]
   --canonical     zero all timing fields (byte-deterministic report)
 
@@ -110,6 +117,8 @@ serve — the verification daemon (covern-protocol-v1, see docs/PROTOCOL.md)
   --splits N           bisection budget for local checks        [default: 256]
   --refine-strategy S  local-check engine (see enlarge) [default: widest]
   --deadline-ms N      anytime deadline per local check [default: none]
+  --kernel-mode M      deterministic | outward (see verify)
+                       [default: deterministic]
 
 loadgen — concurrent-session load generator (report: covern-loadgen-report-v1)
   --addr ADDR     drive a daemon already listening on ADDR
@@ -165,7 +174,7 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
     // src/bin/covern_cli.rs. If a match arm grows a `flags.get("x")`, this
     // list — and the HELP text — must grow with it.
     let audited: &[(&str, &[&str])] = &[
-        ("verify", &["network", "din", "dout", "store", "margin", "splits"]),
+        ("verify", &["network", "din", "dout", "store", "margin", "splits", "kernel-mode"]),
         ("enlarge", &["din", "store", "splits", "refine-strategy", "deadline-ms"]),
         ("update", &["network", "din", "store", "splits", "refine-strategy", "deadline-ms"]),
         ("status", &["store"]),
@@ -184,6 +193,7 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
                 "no-proof-reuse",
                 "min-hits",
                 "cluster",
+                "kernel-mode",
             ],
         ),
         (
@@ -199,6 +209,7 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
                 "ping-ms",
                 "store-dir",
                 "kill-after",
+                "respawn-budget",
                 "out",
                 "canonical",
             ],
@@ -215,6 +226,7 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
                 "splits",
                 "refine-strategy",
                 "deadline-ms",
+                "kernel-mode",
             ],
         ),
         (

@@ -19,6 +19,12 @@
 //! The fakes are placed at the exact ring position that owns the first
 //! scenario's proof-family key, so the fault is guaranteed to be hit
 //! rather than routed around by luck.
+//!
+//! The death class additionally drills **auto-respawn**: after a kill,
+//! the health monitor must restore the worker count within its respawn
+//! budget (`covern_cluster_worker_respawns_total`) and the recovered
+//! cluster — replacement daemon, empty caches — must still reproduce the
+//! single-process verdict stream byte for byte.
 
 use covern::campaign::corpus::{generate, CorpusConfig};
 use covern::campaign::report::CacheSection;
@@ -121,6 +127,60 @@ fn worker_kill_mid_campaign_is_absorbed_ten_out_of_ten_times() {
     assert!(
         metrics().cluster_reassignments_total.get() > reassigned_before,
         "the kill drill never exercised session reassignment"
+    );
+}
+
+#[test]
+fn killed_worker_is_respawned_and_the_recovered_cluster_stays_byte_identical() {
+    let corpus = corpus(21);
+    let reference =
+        CampaignEngine::new(CampaignConfig::default()).run(&corpus).expect("engine reference runs");
+    let expected = canonical_minus_cache(&reference);
+    let victim = owner_of(&corpus[0], 2);
+    let respawns_before = metrics().cluster_worker_respawns_total.get();
+
+    // A short ping interval so the monitor notices the corpse (and
+    // respawns) promptly even once campaign traffic has stopped.
+    let mut cluster = Cluster::launch(ClusterConfig {
+        workers: 2,
+        binary: Some(worker_binary()),
+        ping_interval: Duration::from_millis(100),
+        kill_after: Some(KillAfter { worker: victim, after_verdicts: 1 }),
+        ..ClusterConfig::default()
+    })
+    .expect("cluster launches");
+
+    let first = cluster.run_campaign(&corpus).expect("faulted campaign still runs");
+    assert_eq!(first.errors, 0, "a scenario was lost to the kill");
+    assert_eq!(
+        canonical_minus_cache(&first),
+        expected,
+        "verdict stream changed after the worker kill"
+    );
+
+    // The health monitor must bring the worker count back to full
+    // strength within its budget. Poll: detection (ping or request
+    // fault) and the replacement launch both happen on its thread.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while cluster.workers_alive() < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(cluster.workers_alive(), 2, "the killed worker was never respawned");
+    assert!(
+        metrics().cluster_worker_respawns_total.get() > respawns_before,
+        "recovery did not go through the respawn path"
+    );
+
+    // The recovered cluster — replacement daemon live on the victim's
+    // ring slot, empty caches and all — must reproduce the reference
+    // verdict stream byte for byte.
+    let second = cluster.run_campaign(&corpus).expect("recovered cluster runs");
+    cluster.shutdown();
+    assert_eq!(second.errors, 0, "a scenario was lost on the recovered cluster");
+    assert_eq!(
+        canonical_minus_cache(&second),
+        expected,
+        "verdict stream changed on the respawned worker"
     );
 }
 

@@ -1,0 +1,258 @@
+//! Containment properties of the Outward kernel family.
+//!
+//! The Deterministic family (see `tests/kernel_equivalence.rs`) is pinned
+//! bit-for-bit against scalar references. The Outward family deliberately
+//! reassociates its reductions for speed, so bit-identity is the wrong
+//! contract; the right one — proved here over random shapes — is
+//! *containment*:
+//!
+//! * every Outward interval result contains the Deterministic result for
+//!   the same operands (raw kernel level);
+//! * Outward box reachability contains Deterministic box reachability,
+//!   layer by layer (monotone activations preserve interval nesting);
+//! * Outward reachability in all three domains still contains concrete
+//!   forward traces (end-to-end soundness);
+//! * branch-and-bound verdict bytes stay identical between 1 and N worker
+//!   threads with Outward kernels on the probe path;
+//! * the always-on soundness guards promoted from `debug_assert!` fire in
+//!   **every** profile — this integration binary is compiled with the
+//!   workspace profile, so running it under `--release` (CI does) proves
+//!   the guards did not compile away.
+//!
+//! `KernelMode` is process-global, and the tests in this binary run
+//! concurrently, so every test that flips the mode serializes on
+//! [`MODE_LOCK`] and restores Deterministic before releasing it. Tests
+//! that call the Outward kernels *directly* need no lock — the raw entry
+//! points do not consult the global.
+
+use covern::absint::bnb::{decide, BnbConfig};
+use covern::absint::{BoxDomain, DomainKind, Interval};
+use covern::nn::{Activation, Network};
+use covern::tensor::kernels::{self, KernelMode, SplitMatrix};
+use covern::tensor::{Matrix, Rng};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use std::sync::{Mutex, PoisonError};
+
+/// Serializes every test that touches the process-global kernel mode.
+static MODE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the global kernel mode set to `mode`, holding the lock
+/// for the whole closure and restoring Deterministic afterwards. A
+/// poisoned lock is recovered (the poisoning test already failed; the
+/// mode is re-asserted here before use, so the state is clean).
+fn with_mode<T>(mode: KernelMode, f: impl FnOnce() -> T) -> T {
+    let _lock = MODE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    kernels::set_kernel_mode(mode);
+    let out = f();
+    kernels::set_kernel_mode(KernelMode::Deterministic);
+    out
+}
+
+fn seeded_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = Rng::seeded(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-3.0, 3.0))
+}
+
+proptest! {
+    /// Raw kernel containment: the Outward fused interval matvec encloses
+    /// the Deterministic result *and* exact images of sampled interior
+    /// points, across shapes covering every unroll remainder.
+    #[test]
+    fn prop_outward_matvec_contains_deterministic(
+        seed in 0u64..10_000,
+        rows in 1usize..24,
+        cols in 1usize..24,
+    ) {
+        let w = seeded_matrix(seed, rows, cols);
+        let mut rng = Rng::seeded(seed.wrapping_add(7));
+        let lo: Vec<f64> = (0..cols).map(|_| rng.uniform(-2.0, 1.0)).collect();
+        let hi: Vec<f64> = lo.iter().map(|&l| l + rng.uniform(0.0, 3.0)).collect();
+        let bias: Vec<f64> = (0..rows).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let split = SplitMatrix::compile(&w);
+        let (mut dl, mut dh) = (vec![0.0; rows], vec![0.0; rows]);
+        split.fused_interval_matvec(&lo, &hi, &bias, &mut dl, &mut dh);
+        let (mut ol, mut oh) = (vec![0.0; rows], vec![0.0; rows]);
+        split.fused_interval_matvec_outward(&lo, &hi, &bias, &mut ol, &mut oh);
+        for i in 0..rows {
+            prop_assert!(ol[i] <= dl[i], "row {}: outward lo above deterministic", i);
+            prop_assert!(dh[i] <= oh[i], "row {}: outward hi below deterministic", i);
+        }
+        // Exact images of interior points stay enclosed too.
+        for _ in 0..10 {
+            let x: Vec<f64> =
+                lo.iter().zip(&hi).map(|(&l, &h)| rng.uniform(l, h)).collect();
+            for i in 0..rows {
+                let y: f64 =
+                    bias[i] + (0..cols).map(|j| w.get(i, j) * x[j]).sum::<f64>();
+                prop_assert!(
+                    ol[i] <= y && y <= oh[i],
+                    "row {}: image {} escaped [{}, {}]", i, y, ol[i], oh[i]
+                );
+            }
+        }
+    }
+
+    /// The per-row slack returned by the Outward interval matmul covers
+    /// the coefficient-wise gap to the Deterministic result over the
+    /// declared input-magnitude box — the exact contract the symbolic
+    /// domain relies on when it folds the slack into its constant terms.
+    #[test]
+    fn prop_outward_matmul_slack_covers_coefficient_gap(
+        seed in 0u64..10_000,
+        rows in 1usize..10,
+        cols in 1usize..10,
+        d in 1usize..8,
+    ) {
+        let w = seeded_matrix(seed, rows, cols);
+        let lo_m = seeded_matrix(seed.wrapping_add(11), cols, d);
+        let mut rng = Rng::seeded(seed.wrapping_add(13));
+        let hi_m = Matrix::from_fn(cols, d, |i, j| lo_m.get(i, j) + rng.uniform(0.0, 2.0));
+        let xmax: Vec<f64> = (0..d).map(|_| rng.uniform(0.0, 2.0)).collect();
+        let split = SplitMatrix::compile(&w);
+        let (dlo, dhi) = split.fused_interval_matmul(&lo_m, &hi_m);
+        let (olo, ohi, slack) = split.fused_interval_matmul_outward(&lo_m, &hi_m, &xmax);
+        for (i, &s) in slack.iter().enumerate() {
+            let gap_lo: f64 =
+                (0..d).map(|c| (olo.get(i, c) - dlo.get(i, c)).abs() * xmax[c]).sum();
+            let gap_hi: f64 =
+                (0..d).map(|c| (ohi.get(i, c) - dhi.get(i, c)).abs() * xmax[c]).sum();
+            prop_assert!(gap_lo <= s, "row {}: lo gap {} > slack {}", i, gap_lo, s);
+            prop_assert!(gap_hi <= s, "row {}: hi gap {} > slack {}", i, gap_hi, s);
+        }
+    }
+
+    /// Whole-network box reachability under Outward kernels contains the
+    /// Deterministic reachability layer by layer: the dispatch point is
+    /// `BoxDomain::through_affine`, and monotone activations preserve the
+    /// interval nesting the kernel establishes.
+    #[test]
+    fn prop_outward_box_reach_contains_deterministic_reach(
+        seed in 0u64..2_000,
+        width in 2usize..9,
+    ) {
+        let mut rng = Rng::seeded(seed);
+        let net =
+            Network::random(&[3, width, width, 2], Activation::Relu, Activation::Tanh, &mut rng);
+        let input = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).expect("well-formed box");
+        let (det, out) = with_mode(KernelMode::Outward, || {
+            kernels::set_kernel_mode(KernelMode::Deterministic);
+            let det = covern::absint::reach_boxes(&net, &input, DomainKind::Box);
+            kernels::set_kernel_mode(KernelMode::Outward);
+            let out = covern::absint::reach_boxes(&net, &input, DomainKind::Box);
+            (det, out)
+        });
+        let det = det.map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let out = out.map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for k in 1..=3 {
+            let d = det.layer_box(k).expect("deterministic layer box");
+            let o = out.layer_box(k).expect("outward layer box");
+            for (i, (di, oi)) in d.intervals().iter().zip(o.intervals()).enumerate() {
+                prop_assert!(
+                    oi.contains_interval(di),
+                    "S{} neuron {}: outward [{}, {}] does not contain deterministic [{}, {}]",
+                    k, i, oi.lo(), oi.hi(), di.lo(), di.hi()
+                );
+            }
+        }
+    }
+
+    /// B&B verdict bytes are identical for 1 and 4 worker threads with the
+    /// Outward kernels live on the probe / box-propagation path — the
+    /// Outward family trades lane order for speed but must stay
+    /// schedule-independent.
+    #[test]
+    fn prop_bnb_verdict_bytes_thread_independent_outward(
+        seed in 0u64..150,
+        cap in 0.5f64..8.0,
+    ) {
+        let mut rng = Rng::seeded(seed);
+        let net = Network::random(&[2, 6, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let input = BoxDomain::from_bounds(&[(-1.0, 1.0), (-1.0, 1.0)])
+            .expect("well-formed box");
+        let target = BoxDomain::from_bounds(&[(-cap, cap)]).expect("well-formed target");
+        let base = BnbConfig::new(DomainKind::Box, 64);
+        let (seq, par) = with_mode(KernelMode::Outward, || {
+            let seq = decide(&net, &input, &target, &base.with_threads(1));
+            let par = decide(&net, &input, &target, &base.with_threads(4));
+            (seq, par)
+        });
+        let seq = seq.map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let par = par.map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(&seq.outcome, &par.outcome, "verdict changed with thread count");
+        prop_assert_eq!(seq.splits, par.splits, "split accounting changed");
+        prop_assert_eq!(seq.leaves_proved, par.leaves_proved, "leaf accounting changed");
+        prop_assert_eq!(seq.frontier_remaining, par.frontier_remaining, "frontier changed");
+    }
+}
+
+/// End-to-end soundness with Outward kernels live: reachability in all
+/// three domains still contains concrete forward traces (the Outward
+/// mirror of `fused_path_reach_still_contains_samples`).
+#[test]
+fn outward_reach_contains_samples_in_all_domains() {
+    let mut rng = Rng::seeded(212_121);
+    let net = Network::random(&[3, 8, 6, 2], Activation::Relu, Activation::Tanh, &mut rng);
+    let input = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).expect("well-formed box");
+    with_mode(KernelMode::Outward, || {
+        for kind in DomainKind::ALL {
+            let abs = covern::absint::reach_boxes(&net, &input, kind).expect("reach");
+            for _ in 0..50 {
+                let x: Vec<f64> =
+                    input.intervals().iter().map(|iv| rng.uniform(iv.lo(), iv.hi())).collect();
+                let trace = net.forward_trace(&x).expect("trace");
+                for (k, vals) in trace.iter().enumerate() {
+                    assert!(
+                        abs.layer_box(k + 1).expect("layer box").contains(vals),
+                        "{kind}: sample escaped S{} under Outward kernels",
+                        k + 1
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The canonical byte-identity surfaces must be oblivious to a *past*
+/// Outward phase: flipping to Outward and back leaves the Deterministic
+/// kernels producing the exact same bytes (no cached state leaks across
+/// the mode switch).
+#[test]
+fn deterministic_results_unchanged_after_outward_phase() {
+    let mut rng = Rng::seeded(77);
+    let net = Network::random(&[3, 7, 4, 2], Activation::Relu, Activation::Identity, &mut rng);
+    let x = Matrix::from_fn(5, 3, |_, _| rng.uniform(-2.0, 2.0));
+    let before = with_mode(KernelMode::Deterministic, || net.forward_batch(&x).expect("forward"));
+    let after = with_mode(KernelMode::Outward, || {
+        let _ = net.forward_batch(&x).expect("forward under Outward");
+        kernels::set_kernel_mode(KernelMode::Deterministic);
+        net.forward_batch(&x).expect("forward")
+    });
+    assert_eq!(before, after, "deterministic bytes changed after an Outward phase");
+}
+
+// ---- release-profile guard regressions --------------------------------
+//
+// These guards were `debug_assert!`s once — compiled away under
+// `--release`, which made `dilate(-eps)` silently *shrink* a supposedly
+// outward dilation. They are hard `assert!`s now; this binary runs under
+// `--release` in CI, so these three tests prove the promotion stuck.
+
+#[test]
+#[should_panic(expected = "dilation must be outward")]
+fn dilate_rejects_negative_eps_in_release_builds() {
+    let iv = Interval::new(0.0, 1.0).expect("well-formed");
+    let _ = iv.dilate(-1e-9);
+}
+
+#[test]
+#[should_panic(expected = "must not be NaN")]
+fn interval_point_rejects_nan_in_release_builds() {
+    let _ = Interval::point(f64::NAN);
+}
+
+#[test]
+#[should_panic(expected = "must not be NaN")]
+fn interval_from_unordered_rejects_nan_in_release_builds() {
+    let _ = Interval::from_unordered(0.0, f64::NAN);
+}
