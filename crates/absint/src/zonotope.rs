@@ -39,6 +39,37 @@ impl Zonotope {
         Self { center, generators, clamp: b.intervals().to_vec() }
     }
 
+    /// Builds a zonotope from raw parts (center, `n × g` generator matrix,
+    /// per-neuron clamp). This is the seam the closed-loop reach-tube
+    /// propagation uses to stack a state zonotope and a control zonotope
+    /// over a *shared* noise-symbol space before a joint plant step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AbsintError::DimensionMismatch`] when the generator row
+    /// count or the clamp arity disagrees with the center length.
+    pub fn from_parts(
+        center: Vec<f64>,
+        generators: Matrix,
+        clamp: Vec<Interval>,
+    ) -> Result<Self, AbsintError> {
+        if generators.rows() != center.len() {
+            return Err(AbsintError::DimensionMismatch {
+                context: "Zonotope::from_parts generators",
+                expected: center.len(),
+                actual: generators.rows(),
+            });
+        }
+        if clamp.len() != center.len() {
+            return Err(AbsintError::DimensionMismatch {
+                context: "Zonotope::from_parts clamp",
+                expected: center.len(),
+                actual: clamp.len(),
+            });
+        }
+        Ok(Self { center, generators, clamp })
+    }
+
     /// Number of neurons bounded.
     pub fn dim(&self) -> usize {
         self.center.len()
@@ -47,6 +78,85 @@ impl Zonotope {
     /// Number of noise symbols.
     pub fn num_generators(&self) -> usize {
         self.generators.cols()
+    }
+
+    /// The affine-form center, one entry per neuron.
+    pub fn center(&self) -> &[f64] {
+        &self.center
+    }
+
+    /// The `n × g` generator matrix (row `i` = neuron `i`'s coefficients).
+    pub fn generators(&self) -> &Matrix {
+        &self.generators
+    }
+
+    /// The per-neuron concrete clamp intervals.
+    pub fn clamp(&self) -> &[Interval] {
+        &self.clamp
+    }
+
+    /// Girard order reduction: caps the number of noise symbols at
+    /// `max_generators` by boxing the least-informative columns.
+    ///
+    /// Columns are scored by `‖g_j‖₁ − ‖g_j‖∞` (how far from an axis-aligned
+    /// box each generator is); the highest-scoring
+    /// `max_generators − dim` columns are kept verbatim and the rest are
+    /// folded into one diagonal generator per neuron whose entry is the sum
+    /// of the folded columns' absolute values — so every per-neuron
+    /// concretisation radius is preserved (up to round-off, which the
+    /// recorded-abstraction [`crate::SOUND_EPS`] dilation convention
+    /// absorbs) while cross-neuron correlation is given up only for the
+    /// folded columns.
+    ///
+    /// **Determinism:** ties in the score are broken by ascending column
+    /// index, kept columns stay in their original relative order, and the
+    /// folded absolute values are summed in ascending column order — the
+    /// reduction is a pure function of the input bits, so multi-step tubes
+    /// stay byte-identical across runs and thread counts.
+    ///
+    /// When the zonotope already has at most `max_generators` columns it is
+    /// returned unchanged. When `max_generators < dim + 1` the result still
+    /// carries `dim` diagonal columns (a box is the coarsest this reduction
+    /// gets).
+    pub fn reduce_order(&self, max_generators: usize) -> Zonotope {
+        let n = self.dim();
+        let g = self.num_generators();
+        if g <= max_generators {
+            return self.clone();
+        }
+        let keep = max_generators.saturating_sub(n).min(g);
+        let mut scored: Vec<(f64, usize)> = (0..g)
+            .map(|j| {
+                let (mut l1, mut linf) = (0.0_f64, 0.0_f64);
+                for i in 0..n {
+                    let v = self.generators.get(i, j).abs();
+                    l1 += v;
+                    linf = linf.max(v);
+                }
+                (l1 - linf, j)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1))
+        });
+        let mut kept: Vec<usize> = scored[..keep].iter().map(|&(_, j)| j).collect();
+        kept.sort_unstable();
+        let mut folded: Vec<usize> = scored[keep..].iter().map(|&(_, j)| j).collect();
+        folded.sort_unstable();
+        let mut generators = Matrix::zeros(n, keep + n);
+        for (dst, &j) in kept.iter().enumerate() {
+            for i in 0..n {
+                generators.set(i, dst, self.generators.get(i, j));
+            }
+        }
+        for i in 0..n {
+            let mut r = 0.0;
+            for &j in &folded {
+                r += self.generators.get(i, j).abs();
+            }
+            generators.set(i, keep + i, r);
+        }
+        Zonotope { center: self.center.clone(), generators, clamp: self.clamp.clone() }
     }
 
     /// Radius (sum of absolute generator entries) of neuron `i`.
@@ -319,5 +429,77 @@ mod tests {
         let z = Zonotope::from_box(&b);
         let layer = DenseLayer::from_rows(&[&[1.0, 2.0]], &[0.0], Activation::Relu);
         assert!(z.through_layer(&layer).is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_arity() {
+        let center = vec![0.0, 0.0];
+        let gens = Matrix::zeros(2, 3);
+        let clamp = vec![Interval::from_unordered(-1.0, 1.0); 2];
+        assert!(Zonotope::from_parts(center.clone(), gens.clone(), clamp.clone()).is_ok());
+        assert!(Zonotope::from_parts(vec![0.0], gens.clone(), clamp.clone()).is_err());
+        assert!(Zonotope::from_parts(center, gens, vec![]).is_err());
+    }
+
+    #[test]
+    fn reduce_order_caps_generators_and_preserves_radii() {
+        let mut rng = Rng::seeded(41);
+        let net = Network::random(&[3, 8, 8, 3], Activation::Relu, Activation::Identity, &mut rng);
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0); 3]).unwrap();
+        let mut z = Zonotope::from_box(&b);
+        for layer in net.layers() {
+            z = z.through_layer(layer).unwrap();
+        }
+        assert!(z.num_generators() > 6, "test needs growth to reduce");
+        let r = z.reduce_order(6);
+        assert!(r.num_generators() <= 6);
+        let before = z.to_box();
+        let after = r.to_box();
+        for i in 0..3 {
+            assert!(
+                (before.interval(i).lo() - after.interval(i).lo()).abs() < 1e-9,
+                "reduction must preserve concretised lower bounds"
+            );
+            assert!(
+                (before.interval(i).hi() - after.interval(i).hi()).abs() < 1e-9,
+                "reduction must preserve concretised upper bounds"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_order_below_dim_falls_back_to_box() {
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0), (-2.0, 2.0)]).unwrap();
+        let z = Zonotope::from_box(&b);
+        let layer =
+            DenseLayer::from_rows(&[&[1.0, 0.5], &[0.5, 1.0]], &[0.0, 0.0], Activation::Relu);
+        let grown = z.through_layer(&layer).unwrap();
+        let r = grown.reduce_order(1);
+        assert_eq!(r.num_generators(), grown.dim());
+    }
+
+    #[test]
+    fn reduce_order_tie_break_is_deterministic() {
+        // Four identical columns: every score ties, so selection must fall
+        // back to the fixed index order and reproduce bit-identically.
+        let mut gens = Matrix::zeros(2, 4);
+        for j in 0..4 {
+            gens.set(0, j, 0.25);
+            gens.set(1, j, 0.5);
+        }
+        let clamp = vec![Interval::from_unordered(-10.0, 10.0); 2];
+        let z = Zonotope::from_parts(vec![0.0, 0.0], gens, clamp).unwrap();
+        let a = z.reduce_order(3);
+        let b = z.reduce_order(3);
+        assert_eq!(a, b);
+        assert_eq!(a.num_generators(), 3);
+        // Ties keep the lowest-indexed column verbatim.
+        assert_eq!(a.generators().get(0, 0), 0.25);
+        assert_eq!(a.generators().get(1, 0), 0.5);
+        // The folded remainder lands on the per-neuron diagonal columns.
+        assert_eq!(a.generators().get(0, 1), 0.75);
+        assert_eq!(a.generators().get(1, 1), 0.0);
+        assert_eq!(a.generators().get(0, 2), 0.0);
+        assert_eq!(a.generators().get(1, 2), 1.5);
     }
 }

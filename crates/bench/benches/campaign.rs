@@ -21,6 +21,7 @@ fn corpus_config() -> CorpusConfig {
         events_per_scenario: 3,
         seed: 4242,
         include_vehicle: false,
+        include_closed_loop: false,
     }
 }
 

@@ -1,0 +1,101 @@
+//! Closed-loop reach-tube propagation: horizon sweep on the lane-keeping
+//! workload, and the tube-cache ablation (cold re-verification of a
+//! fine-tuned controller versus the same tube warm-started from the
+//! pre-delta per-step checkpoints).
+//!
+//! The setup asserts — before any timing — that the safe case proves at
+//! every swept horizon, that the warm run reproduces the cold canonical
+//! report byte-for-byte, and that it recomputes strictly fewer controller
+//! layer passes; a headline summary line (steps/layers saved, cold vs
+//! warm wall clock) is printed so runs can be compared without
+//! post-processing.
+
+use covern_absint::DomainKind;
+use covern_closedloop::{LoopVerifier, TubeCache};
+use covern_vehicle::lateral;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let case = lateral::safe_case();
+
+    let mut group = c.benchmark_group("closed_loop");
+    group.sample_size(10);
+
+    // Horizon sweep: tube cost grows linearly in the horizon (one
+    // controller pass + one plant step + one order reduction per step).
+    for horizon in [4usize, 8, 12, 24] {
+        let mut spec = case.spec.clone();
+        spec.horizon = horizon;
+        let verifier = LoopVerifier::new(spec, case.controller.clone(), DomainKind::Zonotope)
+            .expect("lane-keeping case validates");
+        let report = verifier.verify().expect("verification runs");
+        assert_eq!(report.outcome, "proved", "safe case must prove at horizon {horizon}");
+        group.bench_function(format!("horizon_{horizon}"), |b| {
+            b.iter(|| verifier.verify().expect("verification runs"))
+        });
+    }
+
+    // Tube-cache ablation: fine-tune the output layer, then re-verify
+    // cold (no cache) versus warm (per-step checkpoints of the base
+    // controller's tube already stored).
+    let cache = Arc::new(TubeCache::new());
+    let mut warm_verifier =
+        LoopVerifier::new(case.spec.clone(), case.controller.clone(), DomainKind::Zonotope)
+            .expect("lane-keeping case validates");
+    warm_verifier.set_cache(Some(Arc::clone(&cache)));
+    warm_verifier.verify().expect("base tube propagates");
+
+    let mut tuned = case.controller.clone();
+    let last = tuned.num_layers() - 1;
+    tuned.layers_mut()[last].bias_mut()[0] += 1e-6;
+    warm_verifier.set_controller(tuned.clone()).expect("tuned controller validates");
+    let warm = warm_verifier.verify().expect("warm re-verification runs");
+
+    let cold_verifier = LoopVerifier::new(case.spec.clone(), tuned, DomainKind::Zonotope)
+        .expect("tuned case validates");
+    let cold = cold_verifier.verify().expect("cold verification runs");
+
+    // Gate: warm replays the cold tube exactly while recomputing less —
+    // the property tests/closed_loop_differential.rs pins end to end.
+    assert_eq!(warm.canonical(), cold.canonical(), "warm tube diverged from cold");
+    assert!(
+        warm.layers_computed < cold.layers_computed,
+        "warm start saved nothing: warm {} vs cold {} layer passes",
+        warm.layers_computed,
+        cold.layers_computed
+    );
+
+    group.bench_function("fine_tune_cold", |b| {
+        b.iter(|| cold_verifier.verify().expect("cold verification runs"))
+    });
+    group.bench_function("fine_tune_warm", |b| {
+        b.iter(|| warm_verifier.verify().expect("warm re-verification runs"))
+    });
+    group.finish();
+
+    // Headline numbers for docs/BENCHMARKS.md.
+    let time = |v: &LoopVerifier| {
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            v.verify().expect("timed run");
+        }
+        t0.elapsed() / 10
+    };
+    let (t_cold, t_warm) = (time(&cold_verifier), time(&warm_verifier));
+    println!(
+        "closed_loop/fine-tune: cold {} steps + {} layer passes {:.2} ms, \
+         warm {} steps + {} layer passes {:.2} ms ({:.2}x)",
+        cold.steps_computed,
+        cold.layers_computed,
+        t_cold.as_secs_f64() * 1e3,
+        warm.steps_computed,
+        warm.layers_computed,
+        t_warm.as_secs_f64() * 1e3,
+        t_cold.as_secs_f64() / t_warm.as_secs_f64().max(1e-12),
+    );
+}
+
+criterion_group!(benches, bench_closed_loop);
+criterion_main!(benches);

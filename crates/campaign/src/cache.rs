@@ -203,6 +203,59 @@ pub fn proof_family_key(
     h.finish()
 }
 
+/// Derives the *fine-tune family* address of a **closed-loop** scenario:
+/// the controller's layer architecture (shapes and activations, **not**
+/// weight bits), the plant's exact affine map (plant bits *do* count — a
+/// plant change is a different control problem, not a fine-tune), the
+/// initial set, the unsafe region, the horizon and generator budget, and
+/// the abstract domain. Two controllers related by a fine-tune delta map
+/// to the same family, so the cluster routes them to the same worker and
+/// the worker's tube cache warm-starts from the first changed layer.
+///
+/// Uses a tag distinct from [`proof_family_key`] so a closed-loop
+/// scenario can never alias an open-loop family even when boxes and
+/// architecture coincide.
+pub fn loop_family_key(
+    spec: &covern_closedloop::ClosedLoopSpec,
+    controller: &covern_nn::Network,
+    domain: DomainKind,
+) -> CacheKey {
+    let mut h = KeyHasher::new("covern-campaign-loop-family-v1");
+    h.write_u64(controller.num_layers() as u64);
+    for layer in controller.layers() {
+        h.write_u64(layer.out_dim() as u64);
+        h.write_u64(layer.in_dim() as u64);
+        let (tag, param) = match layer.activation() {
+            covern_nn::Activation::Identity => (0u64, 0u64),
+            covern_nn::Activation::Relu => (1, 0),
+            covern_nn::Activation::LeakyRelu(a) => (2, a.to_bits()),
+            covern_nn::Activation::Sigmoid => (3, 0),
+            covern_nn::Activation::Tanh => (4, 0),
+        };
+        h.write_u64(tag);
+        h.write_u64(param);
+    }
+    let plant = spec.plant.layer();
+    h.write_u64(plant.out_dim() as u64);
+    h.write_u64(plant.in_dim() as u64);
+    for &w in plant.weights().as_slice() {
+        h.write_u64(w.to_bits());
+    }
+    for &b in plant.bias() {
+        h.write_u64(b.to_bits());
+    }
+    h.write_box(&spec.init);
+    h.write_box(&spec.unsafe_region);
+    h.write_u64(spec.horizon as u64);
+    h.write_u64(spec.max_generators as u64);
+    h.write_u64(match domain {
+        DomainKind::Box => 0,
+        DomainKind::Symbolic => 1,
+        DomainKind::Zonotope => 2,
+    });
+    h.finish()
+}
+
 /// Hit/miss counters of an [`ArtifactCache`] (monotone snapshots).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
@@ -517,6 +570,49 @@ mod tests {
         assert_ne!(base, proof_family_key(&p, DomainKind::Box, Margin::standard()));
         // And the family key never collides with the verdict key space.
         assert_ne!(base, full_verify_key(&p, DomainKind::Box, Margin::NONE));
+    }
+
+    #[test]
+    fn loop_family_key_survives_controller_fine_tunes_only() {
+        use covern_closedloop::{AffinePlant, ClosedLoopSpec};
+        use covern_tensor::Matrix;
+
+        let spec = ClosedLoopSpec {
+            plant: AffinePlant::new(
+                &Matrix::from_rows(&[&[0.5]]),
+                &Matrix::from_rows(&[&[0.25]]),
+                &[0.0],
+            )
+            .unwrap(),
+            init: BoxDomain::from_bounds(&[(-0.5, 0.5)]).unwrap(),
+            unsafe_region: BoxDomain::from_bounds(&[(0.9, 10.0)]).unwrap(),
+            horizon: 10,
+            max_generators: 12,
+            sample_limit: 16,
+        };
+        let controller = |gain: f64| -> Network {
+            NetworkBuilder::new(1)
+                .dense_from_rows(&[&[1.0], &[-1.0]], &[0.0, 0.0], Activation::Relu)
+                .dense_from_rows(&[&[gain, -gain]], &[0.0], Activation::Identity)
+                .build()
+                .unwrap()
+        };
+        let base = loop_family_key(&spec, &controller(0.5), DomainKind::Zonotope);
+        // Weight-only controller deltas stay in the family.
+        assert_eq!(base, loop_family_key(&spec, &controller(0.5000001), DomainKind::Zonotope));
+        // Domain, plant bits, horizon, and region changes leave it.
+        assert_ne!(base, loop_family_key(&spec, &controller(0.5), DomainKind::Box));
+        let mut longer = spec.clone();
+        longer.horizon = 11;
+        assert_ne!(base, loop_family_key(&longer, &controller(0.5), DomainKind::Zonotope));
+        let mut moved = spec.clone();
+        moved.unsafe_region = BoxDomain::from_bounds(&[(0.8, 10.0)]).unwrap();
+        assert_ne!(base, loop_family_key(&moved, &controller(0.5), DomainKind::Zonotope));
+        let mut replanted = spec.clone();
+        replanted.plant =
+            AffinePlant::new(&Matrix::from_rows(&[&[0.6]]), &Matrix::from_rows(&[&[0.25]]), &[0.0])
+                .unwrap();
+        assert_ne!(base, loop_family_key(&replanted, &controller(0.5), DomainKind::Zonotope));
     }
 
     #[test]

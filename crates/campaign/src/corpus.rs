@@ -44,6 +44,9 @@ pub struct CorpusConfig {
     /// Append the lane-following platform scenario (trains a small
     /// perception head — noticeably slower than the synthetic scenarios).
     pub include_vehicle: bool,
+    /// Append the two closed-loop lane-keeping scenarios (safe reach-tube
+    /// proof and seeded-unsafe refutation; see [`closed_loop_scenarios`]).
+    pub include_closed_loop: bool,
 }
 
 impl Default for CorpusConfig {
@@ -54,6 +57,7 @@ impl Default for CorpusConfig {
             events_per_scenario: 3,
             seed: 2021,
             include_vehicle: false,
+            include_closed_loop: false,
         }
     }
 }
@@ -104,7 +108,7 @@ fn family_base(config: &CorpusConfig, family: usize) -> (Network, BoxDomain, Box
 /// Returns [`CampaignError::InvalidConfig`] for an empty shape, and
 /// substrate errors from the vehicle platform.
 pub fn generate(config: &CorpusConfig) -> Result<Vec<Scenario>, CampaignError> {
-    if config.scenarios == 0 && !config.include_vehicle {
+    if config.scenarios == 0 && !config.include_vehicle && !config.include_closed_loop {
         return Err(CampaignError::InvalidConfig("corpus has no scenarios".into()));
     }
     if config.families == 0 {
@@ -150,13 +154,67 @@ pub fn generate(config: &CorpusConfig) -> Result<Vec<Scenario>, CampaignError> {
             dout,
             domain: DomainKind::Box,
             margin: Margin::standard(),
+            closed_loop: None,
             events,
         });
     }
     if config.include_vehicle {
         corpus.push(vehicle_scenario(config.seed)?);
     }
+    if config.include_closed_loop {
+        corpus.extend(closed_loop_scenarios(config.seed));
+    }
     Ok(corpus)
+}
+
+/// The two canonical closed-loop lane-keeping scenarios
+/// ([`covern_vehicle::lateral`]), each with a delta stream covering all
+/// three kinds:
+///
+/// * **safe** — the stabilizing loop proves, then absorbs a slightly
+///   enlarged initial set, a tiny controller fine-tune, and a tightened
+///   unsafe band (still proved throughout);
+/// * **unsafe** — the positive-feedback loop refutes with a replayable
+///   witness, then a `ModelUpdated` delta swaps in the stabilizing
+///   controller (the verdict flips to proved — the closed-loop analogue
+///   of a fine-tune fixing a violation) before the same enlargement.
+///
+/// Both run in the zonotope domain — the only one whose plant step keeps
+/// the `x`–`u` feedback correlation. Deterministic in `seed`.
+pub fn closed_loop_scenarios(seed: u64) -> Vec<Scenario> {
+    let safe = covern_vehicle::lateral::safe_case();
+    let unsafe_ = covern_vehicle::lateral::unsafe_case();
+    let mut rng = Rng::seeded(seed ^ 0x636c_6f73_6564_6c70); // "closedlp"
+    let tuned = safe.controller.perturbed(1e-5, &mut rng);
+    let tightened = BoxDomain::from_bounds(&[(0.45, 5.0), (-3.2, 3.2)]).expect("static bounds");
+    let safe_scenario = Scenario {
+        name: "closedloop-lane-keeping-safe".into(),
+        network: safe.controller.clone(),
+        din: safe.spec.init.clone(),
+        dout: safe.spec.unsafe_region.clone(),
+        domain: DomainKind::Zonotope,
+        margin: Margin::NONE,
+        closed_loop: Some(safe.spec.clone()),
+        events: vec![
+            DeltaEvent::DomainEnlarged(safe.spec.init.dilate(0.01)),
+            DeltaEvent::ModelUpdated(tuned),
+            DeltaEvent::PropertyChanged(tightened),
+        ],
+    };
+    let unsafe_scenario = Scenario {
+        name: "closedloop-lane-keeping-unsafe".into(),
+        network: unsafe_.controller.clone(),
+        din: unsafe_.spec.init.clone(),
+        dout: unsafe_.spec.unsafe_region.clone(),
+        domain: DomainKind::Zonotope,
+        margin: Margin::NONE,
+        closed_loop: Some(unsafe_.spec.clone()),
+        events: vec![
+            DeltaEvent::ModelUpdated(safe.controller.clone()),
+            DeltaEvent::DomainEnlarged(unsafe_.spec.init.dilate(0.01)),
+        ],
+    };
+    vec![safe_scenario, unsafe_scenario]
 }
 
 /// Builds the lane-following workload scenario: a (small) trained
@@ -210,6 +268,7 @@ pub fn vehicle_scenario(seed: u64) -> Result<Scenario, CampaignError> {
         dout,
         domain: DomainKind::Box,
         margin: Margin::standard(),
+        closed_loop: None,
         events,
     })
 }
@@ -290,6 +349,37 @@ mod tests {
         assert!(matches!(generate(&config), Err(CampaignError::InvalidConfig(_))));
         let config = CorpusConfig { families: 0, ..CorpusConfig::default() };
         assert!(matches!(generate(&config), Err(CampaignError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn closed_loop_scenarios_are_wired_and_consistent() {
+        let pair = closed_loop_scenarios(7);
+        assert_eq!(pair.len(), 2);
+        for s in &pair {
+            let spec = s.closed_loop.as_ref().expect("closed-loop scenarios carry a spec");
+            spec.validate(&s.network).expect("generated spec must match its controller");
+            assert_eq!(s.din, spec.init, "din mirrors the initial set");
+            assert_eq!(s.dout, spec.unsafe_region, "dout mirrors the unsafe region");
+            assert!(!s.events.is_empty());
+        }
+        // Deterministic under a fixed seed.
+        let again = closed_loop_scenarios(7);
+        for (a, b) in pair.iter().zip(&again) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                covern_nn::serialize::content_hash(&a.network),
+                covern_nn::serialize::content_hash(&b.network)
+            );
+        }
+        // And included in generate() only on request.
+        let config = CorpusConfig {
+            scenarios: 2,
+            include_vehicle: false,
+            include_closed_loop: true,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate(&config).unwrap();
+        assert_eq!(corpus.iter().filter(|s| s.closed_loop.is_some()).count(), 2);
     }
 
     #[test]

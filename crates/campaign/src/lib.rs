@@ -45,10 +45,14 @@ pub mod runner;
 pub mod scenario;
 
 pub use cache::{
-    content_key, full_verify_key, proof_family_key, ArtifactCache, CacheKey, CacheStats,
+    content_key, full_verify_key, loop_family_key, proof_family_key, ArtifactCache, CacheKey,
+    CacheStats,
 };
-pub use corpus::CorpusConfig;
+pub use corpus::{closed_loop_scenarios, CorpusConfig};
 pub use error::CampaignError;
 pub use report::CampaignReport;
-pub use runner::{thread_split, CampaignConfig, CampaignEngine};
+pub use runner::{
+    apply_loop_event, execute_scenario, execute_scenario_cached, thread_split, CampaignConfig,
+    CampaignEngine,
+};
 pub use scenario::{DeltaEvent, DeltaKind, Scenario};

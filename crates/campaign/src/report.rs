@@ -65,6 +65,25 @@ impl EventRecord {
         }
     }
 
+    /// Builds a record from a closed-loop report: strategy `closed-loop`,
+    /// the witness is the refuting *initial state* (concretely
+    /// replayable), and `subproblems` counts the tube's steps.
+    pub fn from_loop_report(
+        kind: &crate::scenario::DeltaKind,
+        report: &covern_closedloop::ClosedLoopReport,
+    ) -> Self {
+        Self {
+            kind: kind.to_string(),
+            strategy: "closed-loop".into(),
+            outcome: report.outcome.clone(),
+            witness: report.witness.clone(),
+            wall_us: report.wall_us,
+            parallel_us: report.wall_us,
+            sequential_us: report.wall_us,
+            subproblems: report.steps.len() as u64,
+        }
+    }
+
     fn zero_times(&mut self) {
         self.wall_us = 0;
         self.parallel_us = 0;
@@ -120,6 +139,13 @@ pub struct CacheSection {
     /// Proof-level lookups that found nothing (schedule-dependent, zeroed
     /// in the canonical form).
     pub proof_misses: u64,
+    /// Closed-loop tube-cache step lookups served from a per-step
+    /// checkpoint. Warmth- and schedule-dependent (the tube cache has no
+    /// single-flight discipline), so zeroed in the canonical form.
+    pub tube_step_hits: u64,
+    /// Closed-loop tube-cache step lookups that recomputed their step
+    /// (schedule-dependent, zeroed in the canonical form).
+    pub tube_step_misses: u64,
 }
 
 impl Deserialize for CacheSection {
@@ -136,6 +162,16 @@ impl Deserialize for CacheSection {
                 Err(_) => 0,
             },
             proof_misses: match value.field("proof_misses") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            // Absent in pre-closed-loop `covern-campaign-report-v1`
+            // reports; tolerated so stored reports keep parsing.
+            tube_step_hits: match value.field("tube_step_hits") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => 0,
+            },
+            tube_step_misses: match value.field("tube_step_misses") {
                 Ok(v) => Deserialize::from_value(v)?,
                 Err(_) => 0,
             },
@@ -246,6 +282,8 @@ impl CampaignReport {
         c.bnb_splits = 0;
         c.cache.proof_hits = 0;
         c.cache.proof_misses = 0;
+        c.cache.tube_step_hits = 0;
+        c.cache.tube_step_misses = 0;
         for s in &mut c.scenarios {
             s.zero_times();
         }
@@ -297,6 +335,8 @@ mod tests {
                 entries: 2,
                 proof_hits: 1,
                 proof_misses: 4,
+                tube_step_hits: 6,
+                tube_step_misses: 2,
             },
             wall_us: 1000,
             sequential_us: 1500,
@@ -330,6 +370,8 @@ mod tests {
         assert_eq!(c.bnb_splits, 0);
         assert_eq!(c.cache.proof_hits, 0);
         assert_eq!(c.cache.proof_misses, 0);
+        assert_eq!(c.cache.tube_step_hits, 0);
+        assert_eq!(c.cache.tube_step_misses, 0);
         // ...while verdicts and the deterministic cache counters survive.
         assert_eq!(c.cache.enabled, report.cache.enabled);
         assert_eq!(c.cache.hits, report.cache.hits);
@@ -348,10 +390,14 @@ mod tests {
             .unwrap()
             .replace(",\"proof_hits\":1", "")
             .replace(",\"proof_misses\":4", "")
+            .replace(",\"tube_step_hits\":6", "")
+            .replace(",\"tube_step_misses\":2", "")
             .replace(",\"bnb_splits\":77", "");
         let back = CampaignReport::from_json(&json).unwrap();
         assert_eq!(back.cache.proof_hits, 0);
         assert_eq!(back.cache.proof_misses, 0);
+        assert_eq!(back.cache.tube_step_hits, 0);
+        assert_eq!(back.cache.tube_step_misses, 0);
         assert_eq!(back.bnb_splits, 0);
         assert_eq!(back.cache.hits, 3);
     }

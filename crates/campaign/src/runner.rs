@@ -24,6 +24,9 @@ use crate::error::CampaignError;
 use crate::report::{CacheSection, CampaignReport, EventRecord, ScenarioReport, REPORT_FORMAT};
 use crate::scenario::{DeltaEvent, Scenario};
 use covern_absint::DomainKind;
+use covern_closedloop::{
+    ClosedLoopError, ClosedLoopReport, ClosedLoopSpec, LoopVerifier, TubeCache,
+};
 use covern_core::cache::VerifyCache;
 use covern_core::method::LocalMethod;
 use covern_core::parallel::{run_jobs, Job};
@@ -75,6 +78,7 @@ impl Default for CampaignConfig {
 pub struct CampaignEngine {
     config: CampaignConfig,
     cache: Option<Arc<ArtifactCache>>,
+    tube_cache: Option<Arc<TubeCache>>,
 }
 
 impl CampaignEngine {
@@ -83,12 +87,18 @@ impl CampaignEngine {
         let cache = config
             .use_cache
             .then(|| Arc::new(ArtifactCache::new().with_proof_reuse(config.use_proof_reuse)));
-        Self { config, cache }
+        let tube_cache = config.use_cache.then(|| Arc::new(TubeCache::new()));
+        Self { config, cache, tube_cache }
     }
 
     /// The engine's cache, when enabled.
     pub fn cache(&self) -> Option<&Arc<ArtifactCache>> {
         self.cache.as_ref()
+    }
+
+    /// The engine's closed-loop tube cache, when caching is enabled.
+    pub fn tube_cache(&self) -> Option<&Arc<TubeCache>> {
+        self.tube_cache.as_ref()
     }
 
     /// Executes the corpus and assembles the report (scenario order =
@@ -118,8 +128,9 @@ impl CampaignEngine {
             .map(|scenario| {
                 let scenario = scenario.clone();
                 let cache = self.cache.as_ref().map(|c| Arc::clone(c) as Arc<dyn VerifyCache>);
+                let tube_cache = self.tube_cache.clone();
                 Job::new(scenario.name.clone(), move || {
-                    execute_scenario(&scenario, &method, scenario_threads, cache)
+                    execute_scenario_cached(&scenario, &method, scenario_threads, cache, tube_cache)
                 })
             })
             .collect();
@@ -130,6 +141,7 @@ impl CampaignEngine {
             report.wall_us = duration.as_micros() as u64;
             scenarios.push(report);
         }
+        let tube_stats = self.tube_cache.as_ref().map(|c| c.stats()).unwrap_or_default();
         let cache = match &self.cache {
             Some(c) => {
                 let stats = c.stats();
@@ -140,6 +152,8 @@ impl CampaignEngine {
                     entries: c.len() as u64,
                     proof_hits: stats.proof_hits,
                     proof_misses: stats.proof_misses,
+                    tube_step_hits: tube_stats.step_hits,
+                    tube_step_misses: tube_stats.step_misses,
                 }
             }
             None => CacheSection {
@@ -149,6 +163,8 @@ impl CampaignEngine {
                 entries: 0,
                 proof_hits: 0,
                 proof_misses: 0,
+                tube_step_hits: 0,
+                tube_step_misses: 0,
             },
         };
         Ok(assemble_report(
@@ -247,16 +263,101 @@ pub fn apply_event(
     }
 }
 
+/// Feeds one delta event to a closed-loop verifier, returning the
+/// re-verification report: `DomainEnlarged` replaces the initial state
+/// set, `ModelUpdated` swaps the controller, `PropertyChanged` replaces
+/// the unsafe region, then the tube is re-propagated (warm-started from
+/// the verifier's tube cache when one is installed).
+///
+/// # Errors
+///
+/// Returns [`ClosedLoopError`] when the delta is structurally
+/// inapplicable (arity mismatch) or the propagation fails.
+pub fn apply_loop_event(
+    verifier: &mut LoopVerifier,
+    event: &DeltaEvent,
+) -> Result<ClosedLoopReport, ClosedLoopError> {
+    match event {
+        DeltaEvent::DomainEnlarged(init) => verifier.set_init(init.clone())?,
+        DeltaEvent::ModelUpdated(net) => verifier.set_controller(net.clone())?,
+        DeltaEvent::PropertyChanged(region) => verifier.set_unsafe_region(region.clone())?,
+    }
+    verifier.verify()
+}
+
+/// Runs one closed-loop scenario: initial tube propagation, then the
+/// delta stream (each delta re-verifies the whole tube, warm-started from
+/// the shared cache). Same failure discipline as the open-loop executor.
+fn execute_loop_scenario(
+    scenario: &Scenario,
+    spec: &ClosedLoopSpec,
+    tube_cache: Option<Arc<TubeCache>>,
+) -> ScenarioReport {
+    let mut report = ScenarioReport {
+        name: scenario.name.clone(),
+        initial_outcome: "unknown".into(),
+        initial_wall_us: 0,
+        events: Vec::with_capacity(scenario.events.len()),
+        wall_us: 0,
+        error: None,
+    };
+    let mut verifier =
+        match LoopVerifier::new(spec.clone(), scenario.network.clone(), scenario.domain) {
+            Ok(v) => v,
+            Err(e) => {
+                report.error = Some(e.to_string());
+                return report;
+            }
+        };
+    verifier.set_cache(tube_cache);
+    match verifier.verify() {
+        Ok(r) => {
+            report.initial_outcome = r.outcome;
+            report.initial_wall_us = r.wall_us;
+        }
+        Err(e) => {
+            report.error = Some(e.to_string());
+            return report;
+        }
+    }
+    for event in &scenario.events {
+        match apply_loop_event(&mut verifier, event) {
+            Ok(r) => report.events.push(EventRecord::from_loop_report(&event.kind(), &r)),
+            Err(e) => {
+                report.error = Some(format!("event {}: {e}", report.events.len()));
+                break;
+            }
+        }
+    }
+    report
+}
+
 /// Runs one scenario start to finish: original verification (through the
 /// cache when given), then the delta stream. Failures abort the scenario
 /// and are recorded in [`ScenarioReport::error`]; verdicts up to the
-/// failure are kept.
+/// failure are kept. Closed-loop scenarios run without a tube cache here
+/// — use [`execute_scenario_cached`] to warm-start them.
 pub fn execute_scenario(
     scenario: &Scenario,
     method: &LocalMethod,
     threads: usize,
     cache: Option<Arc<dyn VerifyCache>>,
 ) -> ScenarioReport {
+    execute_scenario_cached(scenario, method, threads, cache, None)
+}
+
+/// [`execute_scenario`] with an optional closed-loop tube cache (ignored
+/// by open-loop scenarios).
+pub fn execute_scenario_cached(
+    scenario: &Scenario,
+    method: &LocalMethod,
+    threads: usize,
+    cache: Option<Arc<dyn VerifyCache>>,
+    tube_cache: Option<Arc<TubeCache>>,
+) -> ScenarioReport {
+    if let Some(spec) = &scenario.closed_loop {
+        return execute_loop_scenario(scenario, spec, tube_cache);
+    }
     let mut report = ScenarioReport {
         name: scenario.name.clone(),
         initial_outcome: "unknown".into(),

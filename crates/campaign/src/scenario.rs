@@ -9,6 +9,7 @@
 
 use covern_absint::box_domain::BoxDomain;
 use covern_absint::DomainKind;
+use covern_closedloop::ClosedLoopSpec;
 use covern_core::artifact::Margin;
 use covern_nn::Network;
 use std::fmt;
@@ -78,6 +79,16 @@ pub struct Scenario {
     pub domain: DomainKind,
     /// Artifact buffering margin.
     pub margin: Margin,
+    /// When set, this is a **closed-loop** scenario: `network` is the
+    /// controller, and verification propagates a reach tube through
+    /// controller + plant per `spec` instead of running the open-loop
+    /// pipeline. The delta stream reinterprets naturally —
+    /// `DomainEnlarged` replaces the initial state set, `ModelUpdated`
+    /// swaps the controller, `PropertyChanged` replaces the unsafe
+    /// region. By convention `din = spec.init` and
+    /// `dout = spec.unsafe_region` at generation time (they are carried
+    /// for labelling and routing; the spec is authoritative).
+    pub closed_loop: Option<ClosedLoopSpec>,
     /// The ordered delta stream.
     pub events: Vec<DeltaEvent>,
 }
@@ -145,6 +156,7 @@ mod tests {
             dout: din.clone(),
             domain: DomainKind::Box,
             margin: Margin::NONE,
+            closed_loop: None,
             events: vec![
                 DeltaEvent::DomainEnlarged(din.clone()),
                 DeltaEvent::PropertyChanged(din.clone()),

@@ -13,6 +13,7 @@ fn corpus_config() -> CorpusConfig {
         events_per_scenario: 3,
         seed: 42,
         include_vehicle: false,
+        include_closed_loop: false,
     }
 }
 

@@ -1,0 +1,222 @@
+//! The in-memory tube cache: per-step checkpoints plus mid-controller
+//! layer-prefix snapshots, both content-addressed.
+//!
+//! Two entry classes share one map:
+//!
+//! * **step entries** — keyed by (domain, generator cap, plant bits, whole
+//!   controller hash, incoming state bits) → the step's outgoing abstract
+//!   state, control box, and generator accounting. A delta that leaves the
+//!   controller untouched (property change, or a re-verification) replays
+//!   every step from here.
+//! * **prefix entries** — keyed by (domain, incoming state bits, composed
+//!   per-layer hashes `0..=j` *including weights*) → the mid-controller
+//!   abstract state after layer `j`. After a fine-tune delta that edits
+//!   layer `j`, step 1's pass warm-starts from layer `j` (its incoming
+//!   state — the initial set — is unchanged, and every prefix below the
+//!   edit still matches), which is exactly "resume from the first step
+//!   whose controller layer changed".
+//!
+//! Cached values are the bit-exact results of the deterministic
+//! computation they replace, so warm and cold runs produce byte-identical
+//! reports; only the hit/miss **counters** are warmth- and
+//! schedule-dependent, and those are zeroed in every canonical report
+//! form.
+
+use crate::verifier::LoopState;
+use covern_absint::transformer::AbstractState;
+use covern_absint::zonotope::Zonotope;
+use covern_absint::BoxDomain;
+use covern_observe::metrics;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Two FNV-1a-64 lanes over identical bytes (the same construction the
+/// campaign artifact cache and `covern-nn`'s content hashes use): 128 bits
+/// keeps accidental collisions out of reach, which matters because a
+/// collision would silently alias two tube checkpoints.
+pub(crate) struct KeyHasher {
+    a: u64,
+    b: u64,
+}
+
+impl KeyHasher {
+    const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+    pub(crate) fn new(tag: &str) -> Self {
+        let mut h =
+            Self { a: 0xcbf2_9ce4_8422_2325, b: 0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15 };
+        for &byte in tag.as_bytes() {
+            h.write_byte(byte);
+        }
+        h
+    }
+
+    fn write_byte(&mut self, byte: u8) {
+        self.a = (self.a ^ u64::from(byte)).wrapping_mul(Self::FNV_PRIME);
+        self.b = (self.b ^ u64::from(byte).rotate_left(17)).wrapping_mul(Self::FNV_PRIME);
+    }
+
+    pub(crate) fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.write_byte(byte);
+        }
+    }
+
+    pub(crate) fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    pub(crate) fn write_box(&mut self, b: &BoxDomain) {
+        self.write_u64(b.dim() as u64);
+        for iv in b.intervals() {
+            self.write_f64(iv.lo());
+            self.write_f64(iv.hi());
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u128 {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+/// A cached step result: the outgoing abstract state plus the record
+/// ingredients that do *not* depend on the unsafe region (overlap is
+/// re-checked on every reuse, so a property delta can replay the tube).
+#[derive(Debug, Clone)]
+pub(crate) struct StepOut {
+    pub(crate) state: LoopState,
+    pub(crate) control: BoxDomain,
+    pub(crate) generators_before: u64,
+    pub(crate) generators_after: u64,
+}
+
+/// A cached mid-controller state after some layer prefix.
+#[derive(Debug, Clone)]
+pub(crate) enum PrefixState {
+    /// Box / symbolic controller pass.
+    Abstract(AbstractState),
+    /// Zonotope controller pass, with the symbol-alignment flag (whether
+    /// the leading generator columns still refer to the incoming state's
+    /// noise symbols).
+    Zono {
+        /// The hidden-layer zonotope.
+        state: Zonotope,
+        /// Symbol alignment with the incoming state zonotope.
+        aligned: bool,
+    },
+}
+
+#[derive(Debug)]
+enum Entry {
+    Step(StepOut),
+    Prefix(PrefixState),
+}
+
+/// Deterministic snapshot of a cache's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TubeCacheStats {
+    /// Step lookups served from a checkpoint.
+    pub step_hits: u64,
+    /// Step lookups that computed (and stored) their step.
+    pub step_misses: u64,
+    /// Entries currently stored (steps + prefixes).
+    pub entries: u64,
+}
+
+/// The process- or engine-wide tube cache (see module docs).
+#[derive(Debug, Default)]
+pub struct TubeCache {
+    entries: Mutex<HashMap<u128, Entry>>,
+    step_hits: AtomicU64,
+    step_misses: AtomicU64,
+}
+
+impl TubeCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> TubeCacheStats {
+        TubeCacheStats {
+            step_hits: self.step_hits.load(Ordering::Relaxed),
+            step_misses: self.step_misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("tube cache lock").len() as u64,
+        }
+    }
+
+    pub(crate) fn get_step(&self, key: u128) -> Option<StepOut> {
+        let entries = self.entries.lock().expect("tube cache lock");
+        match entries.get(&key) {
+            Some(Entry::Step(out)) => {
+                self.step_hits.fetch_add(1, Ordering::Relaxed);
+                metrics().closedloop_step_cache_hits_total.inc();
+                Some(out.clone())
+            }
+            _ => {
+                self.step_misses.fetch_add(1, Ordering::Relaxed);
+                metrics().closedloop_step_cache_misses_total.inc();
+                None
+            }
+        }
+    }
+
+    pub(crate) fn put_step(&self, key: u128, out: StepOut) {
+        self.entries.lock().expect("tube cache lock").insert(key, Entry::Step(out));
+    }
+
+    pub(crate) fn get_prefix(&self, key: u128) -> Option<PrefixState> {
+        let entries = self.entries.lock().expect("tube cache lock");
+        match entries.get(&key) {
+            Some(Entry::Prefix(state)) => {
+                metrics().closedloop_layer_cache_hits_total.inc();
+                Some(state.clone())
+            }
+            _ => None,
+        }
+    }
+
+    pub(crate) fn put_prefix(&self, key: u128, state: PrefixState) {
+        self.entries.lock().expect("tube cache lock").insert(key, Entry::Prefix(state));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_hasher_separates_tags_and_bytes() {
+        let a = KeyHasher::new("tag-a").finish();
+        let b = KeyHasher::new("tag-b").finish();
+        assert_ne!(a, b);
+        let mut h1 = KeyHasher::new("t");
+        h1.write_f64(1.0);
+        let mut h2 = KeyHasher::new("t");
+        h2.write_f64(1.0 + f64::EPSILON);
+        assert_ne!(h1.finish(), h2.finish(), "a 1-ULP change must change the key");
+    }
+
+    #[test]
+    fn step_roundtrip_and_stats() {
+        let cache = TubeCache::new();
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        assert!(cache.get_step(7).is_none());
+        cache.put_step(
+            7,
+            StepOut {
+                state: LoopState::Box(b.clone()),
+                control: b,
+                generators_before: 0,
+                generators_after: 0,
+            },
+        );
+        assert!(cache.get_step(7).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.step_hits, 1);
+        assert_eq!(stats.step_misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for closed-loop verification.
+
+use covern_absint::AbsintError;
+use covern_nn::NnError;
+use std::fmt;
+
+/// Everything that can go wrong while building or running a closed-loop
+/// verification.
+#[derive(Debug)]
+pub enum ClosedLoopError {
+    /// An abstract transformer rejected its input (arity mismatch).
+    Absint(AbsintError),
+    /// The controller network rejected a concrete evaluation.
+    Nn(NnError),
+    /// The specification is structurally inconsistent (dimension clash,
+    /// zero horizon, plant/controller arity mismatch).
+    Invalid(String),
+    /// Checkpoint encoding or decoding failed.
+    Serialization(String),
+}
+
+impl fmt::Display for ClosedLoopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClosedLoopError::Absint(e) => write!(f, "abstract transformer: {e}"),
+            ClosedLoopError::Nn(e) => write!(f, "controller: {e}"),
+            ClosedLoopError::Invalid(msg) => write!(f, "invalid closed-loop spec: {msg}"),
+            ClosedLoopError::Serialization(msg) => write!(f, "checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClosedLoopError {}
+
+impl From<AbsintError> for ClosedLoopError {
+    fn from(e: AbsintError) -> Self {
+        ClosedLoopError::Absint(e)
+    }
+}
+
+impl From<NnError> for ClosedLoopError {
+    fn from(e: NnError) -> Self {
+        ClosedLoopError::Nn(e)
+    }
+}

@@ -1,0 +1,52 @@
+//! Closed-loop neural-network control verification.
+//!
+//! The rest of the workspace verifies *open-loop* properties: one network,
+//! one input box, one output safety set. This crate closes the loop the way
+//! "Reachability Analysis of Neural Network Control Systems" and Bak et
+//! al.'s continuous-time verification line do (NNV is the reference tool
+//! shape): a controller network `u_k = f(x_k)` feeds a discrete-time plant
+//! `x_{k+1} = A·x_k + B·u_k + c`, and the question becomes whether any
+//! trajectory from an initial state set enters an unsafe region within a
+//! horizon `T`.
+//!
+//! The answer is computed by **reach-tube propagation**: the current state
+//! set (a box, or a zonotope with shared noise symbols) is pushed through
+//! the controller with the existing `covern-absint` transformers, the
+//! resulting control set is composed with the state set through the plant's
+//! affine step, and the per-step reach sets — the *tube* — are checked
+//! against the unsafe region. In the zonotope domain the state and control
+//! halves of the plant step share one noise-symbol space whenever the
+//! controller uses piecewise-linear activations, so the feedback
+//! correlation (`u` contracting `x`) survives the composition; generator
+//! growth across steps is capped by deterministic Girard order reduction
+//! ([`covern_absint::zonotope::Zonotope::reduce_order`]).
+//!
+//! Verdicts follow the workspace convention: **Proved** when no step's
+//! reach set meets the unsafe region, **Refuted** with a concretely
+//! replayable witness trajectory when a sampled initial state demonstrably
+//! reaches it, **Unknown** otherwise (the tube overlaps but no sampled
+//! trajectory confirms).
+//!
+//! Fine-tune deltas reuse work through the [`cache::TubeCache`]: per-step
+//! tube checkpoints are keyed by the *content* of the incoming state set,
+//! the controller's per-layer hashes, and the plant bits, so a sibling
+//! verification after a weight delta warm-starts from the first step whose
+//! controller layer actually changed — and a pure property delta replays
+//! the whole tube from cache.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod plant;
+pub mod spec;
+pub mod verifier;
+
+pub use cache::{TubeCache, TubeCacheStats};
+pub use error::ClosedLoopError;
+pub use plant::{AffinePlant, PlantStep};
+pub use spec::ClosedLoopSpec;
+pub use verifier::{
+    is_loop_checkpoint, propagate_box_tube, ClosedLoopReport, LoopVerifier, StepRecord,
+    CHECKPOINT_FORMAT, REPORT_FORMAT,
+};

@@ -1,0 +1,201 @@
+//! Discrete-time plant models.
+//!
+//! The serialized, wire-facing plant is [`AffinePlant`] — the linear/affine
+//! step `x' = A·x + B·u + c`, stored as a single identity-activation
+//! [`DenseLayer`] over the stacked `(x, u)` vector so every abstract domain
+//! reuses the exact `through_affine` kernels the open-loop verifier runs
+//! (box interval matvec, zonotope generator matmul). Nonlinear plants hook
+//! in through the [`PlantStep`] trait: any implementation that can give a
+//! sound interval enclosure of its step image participates in box-domain
+//! tube propagation via [`crate::verifier::propagate_box_tube`].
+
+use crate::error::ClosedLoopError;
+use covern_absint::BoxDomain;
+use covern_nn::{Activation, DenseLayer};
+use covern_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A discrete-time plant step: maps a state set and a control set to a
+/// sound enclosure of the successor state set. Implementations must be
+/// deterministic (same inputs, same bits) — the closed-loop verdict and
+/// witness discipline inherits it.
+pub trait PlantStep {
+    /// State dimension `n` of `x`.
+    fn state_dim(&self) -> usize;
+    /// Control dimension `m` of `u`.
+    fn control_dim(&self) -> usize;
+    /// Sound interval enclosure of `{ step(x, u) : x ∈ state, u ∈ control }`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError`] on arity mismatch.
+    fn step_box(
+        &self,
+        state: &BoxDomain,
+        control: &BoxDomain,
+    ) -> Result<BoxDomain, ClosedLoopError>;
+    /// The concrete step (used for trajectory simulation and witness
+    /// replay).
+    fn step_concrete(&self, state: &[f64], control: &[f64]) -> Vec<f64>;
+}
+
+/// The affine plant `x' = A·x + B·u + c`, stored as one identity-activation
+/// dense layer over the stacked `(x, u)` input: weights `[A | B]`, bias `c`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AffinePlant {
+    layer: DenseLayer,
+}
+
+impl AffinePlant {
+    /// Builds a plant from the state matrix `A` (`n × n`), input matrix `B`
+    /// (`n × m`), and offset `c` (`n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Invalid`] when the shapes disagree.
+    pub fn new(a: &Matrix, b: &Matrix, c: &[f64]) -> Result<Self, ClosedLoopError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(ClosedLoopError::Invalid(format!(
+                "state matrix A must be square, got {}x{}",
+                a.rows(),
+                a.cols()
+            )));
+        }
+        if b.rows() != n {
+            return Err(ClosedLoopError::Invalid(format!(
+                "input matrix B has {} rows, state dimension is {n}",
+                b.rows()
+            )));
+        }
+        if c.len() != n {
+            return Err(ClosedLoopError::Invalid(format!(
+                "offset c has {} entries, state dimension is {n}",
+                c.len()
+            )));
+        }
+        let m = b.cols();
+        let stacked =
+            Matrix::from_fn(n, n + m, |i, j| if j < n { a.get(i, j) } else { b.get(i, j - n) });
+        let layer = DenseLayer::new(stacked, c.to_vec(), Activation::Identity)
+            .map_err(|e| ClosedLoopError::Invalid(e.to_string()))?;
+        Ok(Self { layer })
+    }
+
+    /// The stacked `[A | B]` identity layer the abstract transformers run.
+    pub fn layer(&self) -> &DenseLayer {
+        &self.layer
+    }
+
+    /// Validates a deserialized plant (the wire can carry anything).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Invalid`] when the stacked layer is not a
+    /// plausible `[A | B]` identity layer.
+    pub fn validate(&self) -> Result<(), ClosedLoopError> {
+        if self.layer.activation() != Activation::Identity {
+            return Err(ClosedLoopError::Invalid(
+                "plant layer must have identity activation".into(),
+            ));
+        }
+        if self.layer.in_dim() <= self.layer.out_dim() {
+            return Err(ClosedLoopError::Invalid(format!(
+                "plant layer must stack state+control inputs ({} in, {} out)",
+                self.layer.in_dim(),
+                self.layer.out_dim()
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl PlantStep for AffinePlant {
+    fn state_dim(&self) -> usize {
+        self.layer.out_dim()
+    }
+
+    fn control_dim(&self) -> usize {
+        self.layer.in_dim() - self.layer.out_dim()
+    }
+
+    fn step_box(
+        &self,
+        state: &BoxDomain,
+        control: &BoxDomain,
+    ) -> Result<BoxDomain, ClosedLoopError> {
+        if state.dim() != self.state_dim() || control.dim() != self.control_dim() {
+            return Err(ClosedLoopError::Invalid(format!(
+                "plant step arity: got state {} / control {}, expected {} / {}",
+                state.dim(),
+                control.dim(),
+                self.state_dim(),
+                self.control_dim()
+            )));
+        }
+        let stacked = BoxDomain::new(
+            state.intervals().iter().chain(control.intervals().iter()).copied().collect(),
+        );
+        Ok(stacked.through_layer(&self.layer)?)
+    }
+
+    fn step_concrete(&self, state: &[f64], control: &[f64]) -> Vec<f64> {
+        let mut stacked = Vec::with_capacity(state.len() + control.len());
+        stacked.extend_from_slice(state);
+        stacked.extend_from_slice(control);
+        self.layer.forward(&stacked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_plant() -> AffinePlant {
+        // x' = x + 0.1·u, 1-d state, 1-d control.
+        AffinePlant::new(&Matrix::from_rows(&[&[1.0]]), &Matrix::from_rows(&[&[0.1]]), &[0.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn shapes_are_validated() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0]]);
+        let b = Matrix::from_rows(&[&[0.1]]);
+        assert!(AffinePlant::new(&a, &b, &[0.0]).is_err(), "non-square A");
+        let a = Matrix::from_rows(&[&[1.0]]);
+        assert!(AffinePlant::new(&a, &b, &[0.0, 0.0]).is_err(), "offset arity");
+        assert!(simple_plant().validate().is_ok());
+    }
+
+    #[test]
+    fn concrete_and_box_steps_agree_on_points() {
+        let p = simple_plant();
+        let x = [0.5];
+        let u = [-1.0];
+        let next = p.step_concrete(&x, &u);
+        assert!((next[0] - 0.4).abs() < 1e-15);
+        let bx = p.step_box(&BoxDomain::from_point(&x), &BoxDomain::from_point(&u)).unwrap();
+        assert!(bx.contains(&next));
+    }
+
+    #[test]
+    fn box_step_encloses_extremes() {
+        let p = AffinePlant::new(
+            &Matrix::from_rows(&[&[1.0, 0.5], &[0.0, 1.0]]),
+            &Matrix::from_rows(&[&[0.0], &[0.25]]),
+            &[0.1, -0.1],
+        )
+        .unwrap();
+        let state = BoxDomain::from_bounds(&[(-1.0, 1.0), (-0.5, 0.5)]).unwrap();
+        let control = BoxDomain::from_bounds(&[(-2.0, 2.0)]).unwrap();
+        let image = p.step_box(&state, &control).unwrap();
+        for x0 in [-1.0, 1.0] {
+            for x1 in [-0.5, 0.5] {
+                for u in [-2.0, 2.0] {
+                    let y = p.step_concrete(&[x0, x1], &[u]);
+                    assert!(image.contains(&y), "corner escaped the box step");
+                }
+            }
+        }
+    }
+}

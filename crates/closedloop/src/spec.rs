@@ -1,0 +1,130 @@
+//! The closed-loop scenario specification.
+
+use crate::error::ClosedLoopError;
+use crate::plant::{AffinePlant, PlantStep};
+use covern_absint::BoxDomain;
+use covern_nn::Network;
+use serde::{Deserialize, Serialize};
+
+/// Everything that defines one closed-loop verification besides the
+/// controller network itself: the plant, the initial state set, the unsafe
+/// region, the horizon, and the tube-propagation budgets.
+///
+/// The controller is carried separately (scenario / `OpenParams` field)
+/// because the fine-tune delta stream swaps it mid-session while the spec
+/// stays fixed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopSpec {
+    /// The affine plant `x' = A·x + B·u + c`.
+    pub plant: AffinePlant,
+    /// Initial state set `X_0`.
+    pub init: BoxDomain,
+    /// The unsafe region; any reach set meeting it blocks a Proved.
+    pub unsafe_region: BoxDomain,
+    /// Number of closed-loop steps to propagate.
+    pub horizon: usize,
+    /// Zonotope generator cap per step (Girard order reduction); ignored
+    /// by the box and symbolic domains.
+    pub max_generators: usize,
+    /// Witness-search budget: how many deterministic samples of `init`
+    /// (center + corners) to simulate when the tube meets the unsafe
+    /// region.
+    pub sample_limit: usize,
+}
+
+impl ClosedLoopSpec {
+    /// Checks internal consistency and compatibility with a controller.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Invalid`] naming the first mismatch.
+    pub fn validate(&self, controller: &Network) -> Result<(), ClosedLoopError> {
+        self.plant.validate()?;
+        let n = self.plant.state_dim();
+        let m = self.plant.control_dim();
+        if self.init.dim() != n {
+            return Err(ClosedLoopError::Invalid(format!(
+                "initial set has dimension {}, plant state dimension is {n}",
+                self.init.dim()
+            )));
+        }
+        if self.unsafe_region.dim() != n {
+            return Err(ClosedLoopError::Invalid(format!(
+                "unsafe region has dimension {}, plant state dimension is {n}",
+                self.unsafe_region.dim()
+            )));
+        }
+        if controller.input_dim() != n {
+            return Err(ClosedLoopError::Invalid(format!(
+                "controller consumes {} inputs, plant state dimension is {n}",
+                controller.input_dim()
+            )));
+        }
+        if controller.output_dim() != m {
+            return Err(ClosedLoopError::Invalid(format!(
+                "controller emits {} outputs, plant control dimension is {m}",
+                controller.output_dim()
+            )));
+        }
+        if self.horizon == 0 {
+            return Err(ClosedLoopError::Invalid("horizon must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_nn::{Activation, NetworkBuilder};
+    use covern_tensor::Matrix;
+
+    fn spec() -> ClosedLoopSpec {
+        ClosedLoopSpec {
+            plant: AffinePlant::new(
+                &Matrix::from_rows(&[&[1.0]]),
+                &Matrix::from_rows(&[&[0.1]]),
+                &[0.0],
+            )
+            .unwrap(),
+            init: BoxDomain::from_bounds(&[(-0.1, 0.1)]).unwrap(),
+            unsafe_region: BoxDomain::from_bounds(&[(0.9, 2.0)]).unwrap(),
+            horizon: 5,
+            max_generators: 16,
+            sample_limit: 32,
+        }
+    }
+
+    fn controller(out_gain: f64) -> Network {
+        NetworkBuilder::new(1)
+            .dense_from_rows(&[&[1.0], &[-1.0]], &[0.0, 0.0], Activation::Relu)
+            .dense_from_rows(&[&[out_gain, -out_gain]], &[0.0], Activation::Identity)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_spec_passes_and_mismatches_are_named() {
+        let s = spec();
+        assert!(s.validate(&controller(-0.5)).is_ok());
+        let mut wrong_init = s.clone();
+        wrong_init.init = BoxDomain::from_bounds(&[(-0.1, 0.1), (0.0, 1.0)]).unwrap();
+        assert!(wrong_init.validate(&controller(-0.5)).is_err());
+        let mut zero_h = s.clone();
+        zero_h.horizon = 0;
+        assert!(zero_h.validate(&controller(-0.5)).is_err());
+        let two_out = NetworkBuilder::new(1)
+            .dense_from_rows(&[&[1.0], &[2.0]], &[0.0, 0.0], Activation::Identity)
+            .build()
+            .unwrap();
+        assert!(s.validate(&two_out).is_err(), "control arity mismatch");
+    }
+
+    #[test]
+    fn spec_roundtrips_through_serde() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ClosedLoopSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

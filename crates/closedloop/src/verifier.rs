@@ -1,0 +1,860 @@
+//! Reach-tube propagation and the closed-loop verdict.
+//!
+//! One [`LoopVerifier`] holds a [`ClosedLoopSpec`], a controller
+//! [`Network`], and an abstract domain. [`LoopVerifier::verify`] propagates
+//! the tube:
+//!
+//! * **box / symbolic** — the controller's control set is computed with the
+//!   per-domain [`AbstractState`] transformers from the current state box;
+//!   the plant step runs on the stacked `(x, u)` box (the `x`–`u`
+//!   correlation is given up, which is sound but loose);
+//! * **zonotope** — the state zonotope's noise symbols flow *through* the
+//!   controller (piecewise-linear activations preserve the leading
+//!   generator columns; unstable ReLUs append fresh symbols), so the
+//!   control zonotope shares the state's symbol space and the stacked
+//!   `(x, u)` plant step keeps the feedback correlation. Smooth
+//!   activations (sigmoid/tanh) concretise per neuron and drop the
+//!   alignment; the step then falls back to the sound block-diagonal
+//!   stacking. Generator growth is capped by deterministic Girard
+//!   reduction after every step.
+//!
+//! Every recorded step box is dilated outward by
+//! [`covern_absint::SOUND_EPS`], the workspace's recorded-abstraction
+//! convention, before the unsafe-region check and before being reported.
+
+use crate::cache::{KeyHasher, PrefixState, StepOut, TubeCache};
+use crate::error::ClosedLoopError;
+use crate::plant::PlantStep;
+use crate::spec::ClosedLoopSpec;
+use covern_absint::transformer::AbstractState;
+use covern_absint::zonotope::Zonotope;
+use covern_absint::{BoxDomain, DomainKind, Interval, SOUND_EPS};
+use covern_nn::serialize::{compose_layer_hashes, layer_hashes};
+use covern_nn::{Activation, Network};
+use covern_observe::metrics;
+use covern_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Format tag of the closed-loop report JSON.
+pub const REPORT_FORMAT: &str = "covern-closedloop-report-v1";
+
+/// Format tag of the loop-verifier checkpoint JSON (distinct from the
+/// open-loop `ContinuousVerifier` checkpoint, so a resume endpoint can
+/// route by tag).
+pub const CHECKPOINT_FORMAT: &str = "covern-closedloop-checkpoint-v1";
+
+/// The abstract state carried between plant steps.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoopState {
+    /// Interval state (the box and symbolic domains re-enter the next
+    /// controller pass from a box).
+    Box(BoxDomain),
+    /// Zonotope state with live noise symbols.
+    Zono(Zonotope),
+}
+
+impl LoopState {
+    /// Concretises the state to a box.
+    pub fn to_box(&self) -> BoxDomain {
+        match self {
+            LoopState::Box(b) => b.clone(),
+            LoopState::Zono(z) => z.to_box(),
+        }
+    }
+
+    fn generator_count(&self) -> u64 {
+        match self {
+            LoopState::Box(_) => 0,
+            LoopState::Zono(z) => z.num_generators() as u64,
+        }
+    }
+
+    /// Streams the state's content bits into a cache key.
+    fn write_key(&self, h: &mut KeyHasher) {
+        match self {
+            LoopState::Box(b) => {
+                h.write_u64(0);
+                h.write_box(b);
+            }
+            LoopState::Zono(z) => {
+                h.write_u64(1);
+                h.write_u64(z.dim() as u64);
+                h.write_u64(z.num_generators() as u64);
+                for &c in z.center() {
+                    h.write_f64(c);
+                }
+                for &g in z.generators().as_slice() {
+                    h.write_f64(g);
+                }
+                for iv in z.clamp() {
+                    h.write_f64(iv.lo());
+                    h.write_f64(iv.hi());
+                }
+            }
+        }
+    }
+}
+
+/// One step of the reach tube, as reported.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// Step index (`0` is the initial set).
+    pub step: u64,
+    /// The recorded (outward-dilated) state reach box after this step.
+    pub state: BoxDomain,
+    /// The control reach box that produced this step (`None` at step 0).
+    pub control: Option<BoxDomain>,
+    /// Zonotope generator count before order reduction (0 in box/symbolic).
+    pub generators_before: u64,
+    /// Zonotope generator count after order reduction (0 in box/symbolic).
+    pub generators_after: u64,
+    /// Whether the recorded state box meets the unsafe region.
+    pub unsafe_overlap: bool,
+}
+
+/// The closed-loop verification report: verdict, witness, and the per-step
+/// reach-tube accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClosedLoopReport {
+    /// Format tag ([`REPORT_FORMAT`]).
+    pub format: String,
+    /// Abstract domain that propagated the tube.
+    pub domain: String,
+    /// Horizon `T` (the tube has `T + 1` steps including step 0).
+    pub horizon: u64,
+    /// `proved` | `refuted` | `unknown`.
+    pub outcome: String,
+    /// Refuting initial state, concretely replayable (its simulated
+    /// trajectory enters the unsafe region at `witness_step`).
+    pub witness: Option<Vec<f64>>,
+    /// Step at which the witness trajectory enters the unsafe region.
+    pub witness_step: Option<u64>,
+    /// The reach tube, step by step.
+    pub steps: Vec<StepRecord>,
+    /// Steps recomputed this run (warmth-dependent; zeroed in canonical
+    /// forms).
+    pub steps_computed: u64,
+    /// Steps replayed from the tube cache (warmth-dependent; zeroed in
+    /// canonical forms).
+    pub steps_reused: u64,
+    /// Controller layer passes computed this run (warmth-dependent;
+    /// zeroed in canonical forms).
+    pub layers_computed: u64,
+    /// Controller layer passes skipped via cached prefixes
+    /// (warmth-dependent; zeroed in canonical forms).
+    pub layers_reused: u64,
+    /// Wall-clock time (µs); zeroed in canonical forms.
+    pub wall_us: u64,
+}
+
+impl ClosedLoopReport {
+    /// The deterministic form: timing and warmth-dependent reuse counters
+    /// zeroed. Two runs of the same spec + controller produce
+    /// byte-identical canonical reports regardless of cache warmth or
+    /// thread count.
+    pub fn canonical(&self) -> Self {
+        let mut c = self.clone();
+        c.wall_us = 0;
+        c.steps_computed = 0;
+        c.steps_reused = 0;
+        c.layers_computed = 0;
+        c.layers_reused = 0;
+        c
+    }
+}
+
+/// Per-run reuse accounting.
+#[derive(Debug, Default)]
+struct Accounting {
+    steps_computed: u64,
+    steps_reused: u64,
+    layers_computed: u64,
+    layers_reused: u64,
+}
+
+/// Checkpoint document (see [`LoopVerifier::checkpoint_json`]).
+#[derive(Serialize, Deserialize)]
+struct CheckpointDoc {
+    format: String,
+    domain: DomainKind,
+    spec: ClosedLoopSpec,
+    controller: Network,
+}
+
+/// Whether a checkpoint string is a closed-loop checkpoint (routes the
+/// resume endpoint; the open-loop verifier has its own tag).
+pub fn is_loop_checkpoint(state: &str) -> bool {
+    state.contains(CHECKPOINT_FORMAT)
+}
+
+/// The closed-loop verifier (see module docs).
+#[derive(Debug, Clone)]
+pub struct LoopVerifier {
+    spec: ClosedLoopSpec,
+    controller: Network,
+    domain: DomainKind,
+    cache: Option<Arc<TubeCache>>,
+}
+
+impl LoopVerifier {
+    /// Builds a verifier, validating spec/controller compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Invalid`] naming the first mismatch.
+    pub fn new(
+        spec: ClosedLoopSpec,
+        controller: Network,
+        domain: DomainKind,
+    ) -> Result<Self, ClosedLoopError> {
+        spec.validate(&controller)?;
+        Ok(Self { spec, controller, domain, cache: None })
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &ClosedLoopSpec {
+        &self.spec
+    }
+
+    /// The current controller.
+    pub fn controller(&self) -> &Network {
+        &self.controller
+    }
+
+    /// The abstract domain.
+    pub fn domain(&self) -> DomainKind {
+        self.domain
+    }
+
+    /// Installs (or removes) the shared tube cache.
+    pub fn set_cache(&mut self, cache: Option<Arc<TubeCache>>) {
+        self.cache = cache;
+    }
+
+    /// Swaps the controller (a fine-tune delta).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Invalid`] if the new controller's arity
+    /// does not fit the plant.
+    pub fn set_controller(&mut self, controller: Network) -> Result<(), ClosedLoopError> {
+        self.spec.validate(&controller)?;
+        self.controller = controller;
+        Ok(())
+    }
+
+    /// Replaces the initial state set (a domain delta).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Invalid`] on dimension mismatch.
+    pub fn set_init(&mut self, init: BoxDomain) -> Result<(), ClosedLoopError> {
+        if init.dim() != self.spec.plant.state_dim() {
+            return Err(ClosedLoopError::Invalid(format!(
+                "initial set has dimension {}, plant state dimension is {}",
+                init.dim(),
+                self.spec.plant.state_dim()
+            )));
+        }
+        self.spec.init = init;
+        Ok(())
+    }
+
+    /// Replaces the unsafe region (a property delta).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Invalid`] on dimension mismatch.
+    pub fn set_unsafe_region(&mut self, unsafe_region: BoxDomain) -> Result<(), ClosedLoopError> {
+        if unsafe_region.dim() != self.spec.plant.state_dim() {
+            return Err(ClosedLoopError::Invalid(format!(
+                "unsafe region has dimension {}, plant state dimension is {}",
+                unsafe_region.dim(),
+                self.spec.plant.state_dim()
+            )));
+        }
+        self.spec.unsafe_region = unsafe_region;
+        Ok(())
+    }
+
+    /// Propagates the reach tube and decides the verdict.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError`] when a transformer rejects its input
+    /// (cannot happen for a validated spec unless the plant layer was
+    /// mutated out from under it).
+    pub fn verify(&self) -> Result<ClosedLoopReport, ClosedLoopError> {
+        let t0 = Instant::now();
+        let m = metrics();
+        m.closedloop_tubes_total.inc();
+        let hashes = layer_hashes(&self.controller);
+        let net_hash = compose_layer_hashes(&hashes);
+        let plant_key = self.plant_key();
+        let mut acct = Accounting::default();
+        let mut state = match self.domain {
+            DomainKind::Zonotope => LoopState::Zono(Zonotope::from_box(&self.spec.init)),
+            _ => LoopState::Box(self.spec.init.clone()),
+        };
+        let mut steps = Vec::with_capacity(self.spec.horizon + 1);
+        let init_recorded = self.spec.init.dilate(SOUND_EPS);
+        steps.push(StepRecord {
+            step: 0,
+            state: init_recorded.clone(),
+            control: None,
+            generators_before: state.generator_count(),
+            generators_after: state.generator_count(),
+            unsafe_overlap: overlaps(&init_recorded, &self.spec.unsafe_region),
+        });
+        for k in 1..=self.spec.horizon {
+            m.closedloop_steps_total.inc();
+            let out = self.step(&state, &hashes, net_hash, plant_key, &mut acct)?;
+            let recorded = out.state.to_box().dilate(SOUND_EPS);
+            steps.push(StepRecord {
+                step: k as u64,
+                state: recorded.clone(),
+                control: Some(out.control.clone()),
+                generators_before: out.generators_before,
+                generators_after: out.generators_after,
+                unsafe_overlap: overlaps(&recorded, &self.spec.unsafe_region),
+            });
+            state = out.state;
+        }
+        let any_overlap = steps.iter().any(|s| s.unsafe_overlap);
+        let (outcome, witness, witness_step) = if any_overlap {
+            match self.find_witness()? {
+                Some((x0, step)) => ("refuted", Some(x0), Some(step)),
+                None => ("unknown", None, None),
+            }
+        } else {
+            ("proved", None, None)
+        };
+        Ok(ClosedLoopReport {
+            format: REPORT_FORMAT.into(),
+            domain: self.domain.to_string(),
+            horizon: self.spec.horizon as u64,
+            outcome: outcome.into(),
+            witness,
+            witness_step,
+            steps,
+            steps_computed: acct.steps_computed,
+            steps_reused: acct.steps_reused,
+            layers_computed: acct.layers_computed,
+            layers_reused: acct.layers_reused,
+            wall_us: t0.elapsed().as_micros() as u64,
+        })
+    }
+
+    /// Simulates one concrete trajectory (`x_0` included, horizon steps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError`] on arity mismatch.
+    pub fn simulate(&self, x0: &[f64]) -> Result<Vec<Vec<f64>>, ClosedLoopError> {
+        if x0.len() != self.spec.plant.state_dim() {
+            return Err(ClosedLoopError::Invalid(format!(
+                "trajectory start has dimension {}, plant state dimension is {}",
+                x0.len(),
+                self.spec.plant.state_dim()
+            )));
+        }
+        let mut x = x0.to_vec();
+        let mut trajectory = Vec::with_capacity(self.spec.horizon + 1);
+        trajectory.push(x.clone());
+        for _ in 0..self.spec.horizon {
+            let u = self.controller.forward(&x)?;
+            x = self.spec.plant.step_concrete(&x, &u);
+            trajectory.push(x.clone());
+        }
+        Ok(trajectory)
+    }
+
+    /// Replays a witness candidate: simulates its trajectory and returns
+    /// the first step at which it enters the unsafe region, with the
+    /// violating state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError`] on arity mismatch.
+    pub fn replay_witness(&self, x0: &[f64]) -> Result<Option<(u64, Vec<f64>)>, ClosedLoopError> {
+        let trajectory = self.simulate(x0)?;
+        for (k, x) in trajectory.iter().enumerate() {
+            if self.spec.unsafe_region.contains(x) {
+                return Ok(Some((k as u64, x.clone())));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Serializes the verifier (spec + current controller + domain) for
+    /// checkpoint/resume; bit-exact by the serde shim's float contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Serialization`] on encoding failure.
+    pub fn checkpoint_json(&self) -> Result<String, ClosedLoopError> {
+        let doc = CheckpointDoc {
+            format: CHECKPOINT_FORMAT.to_owned(),
+            domain: self.domain,
+            spec: self.spec.clone(),
+            controller: self.controller.clone(),
+        };
+        serde_json::to_string(&doc).map_err(|e| ClosedLoopError::Serialization(e.to_string()))
+    }
+
+    /// Restores a verifier from [`checkpoint_json`](Self::checkpoint_json)
+    /// output, re-validating the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClosedLoopError::Serialization`] on malformed JSON or a
+    /// wrong format tag, and [`ClosedLoopError::Invalid`] if the restored
+    /// spec fails validation.
+    pub fn from_checkpoint_json(state: &str) -> Result<Self, ClosedLoopError> {
+        let doc: CheckpointDoc = serde_json::from_str(state)
+            .map_err(|e| ClosedLoopError::Serialization(e.to_string()))?;
+        if doc.format != CHECKPOINT_FORMAT {
+            return Err(ClosedLoopError::Serialization(format!(
+                "unknown checkpoint format {:?}",
+                doc.format
+            )));
+        }
+        Self::new(doc.spec, doc.controller, doc.domain)
+    }
+
+    fn find_witness(&self) -> Result<Option<(Vec<f64>, u64)>, ClosedLoopError> {
+        for x0 in self.spec.init.sample_points(self.spec.sample_limit) {
+            if let Some((step, _)) = self.replay_witness(&x0)? {
+                return Ok(Some((x0, step)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// One plant step from `state`, through the step-level cache.
+    fn step(
+        &self,
+        state: &LoopState,
+        hashes: &[[u64; 2]],
+        net_hash: [u64; 2],
+        plant_key: [u64; 2],
+        acct: &mut Accounting,
+    ) -> Result<StepOut, ClosedLoopError> {
+        let key = self.step_key(state, net_hash, plant_key);
+        if let Some(cache) = &self.cache {
+            if let Some(hit) = cache.get_step(key) {
+                acct.steps_reused += 1;
+                return Ok(hit);
+            }
+        }
+        let out = match state {
+            LoopState::Box(b) => self.step_from_box(b, state, hashes, acct)?,
+            LoopState::Zono(z) => self.step_from_zono(z, state, hashes, acct)?,
+        };
+        acct.steps_computed += 1;
+        if let Some(cache) = &self.cache {
+            cache.put_step(key, out.clone());
+        }
+        Ok(out)
+    }
+
+    fn step_from_box(
+        &self,
+        b: &BoxDomain,
+        state: &LoopState,
+        hashes: &[[u64; 2]],
+        acct: &mut Accounting,
+    ) -> Result<StepOut, ClosedLoopError> {
+        let layers = self.controller.layers();
+        let keys = self.prefix_keys(state, hashes);
+        let (mut st, start) = self.warm_abstract(b, &keys);
+        for (j, layer) in layers.iter().enumerate().skip(start) {
+            st = st.through_layer(layer)?;
+            if let Some(cache) = &self.cache {
+                cache.put_prefix(keys[j], PrefixState::Abstract(st.clone()));
+            }
+        }
+        acct.layers_reused += start as u64;
+        acct.layers_computed += (layers.len() - start) as u64;
+        let control = st.to_box();
+        let next = self.spec.plant.step_box(b, &control)?;
+        Ok(StepOut {
+            state: LoopState::Box(next),
+            control,
+            generators_before: 0,
+            generators_after: 0,
+        })
+    }
+
+    fn warm_abstract(&self, b: &BoxDomain, keys: &[u128]) -> (AbstractState, usize) {
+        if let Some(cache) = &self.cache {
+            for j in (0..keys.len()).rev() {
+                if let Some(PrefixState::Abstract(st)) = cache.get_prefix(keys[j]) {
+                    return (st, j + 1);
+                }
+            }
+        }
+        (AbstractState::from_box(self.domain, b), 0)
+    }
+
+    fn step_from_zono(
+        &self,
+        z: &Zonotope,
+        state: &LoopState,
+        hashes: &[[u64; 2]],
+        acct: &mut Accounting,
+    ) -> Result<StepOut, ClosedLoopError> {
+        let layers = self.controller.layers();
+        let keys = self.prefix_keys(state, hashes);
+        let (mut h, mut aligned, start) = self.warm_zono(z, &keys);
+        for (j, layer) in layers.iter().enumerate().skip(start) {
+            h = h.through_layer(layer)?;
+            if matches!(layer.activation(), Activation::Sigmoid | Activation::Tanh) {
+                aligned = false;
+            }
+            if let Some(cache) = &self.cache {
+                cache.put_prefix(keys[j], PrefixState::Zono { state: h.clone(), aligned });
+            }
+        }
+        acct.layers_reused += start as u64;
+        acct.layers_computed += (layers.len() - start) as u64;
+        let control = h.to_box();
+        let (nx, nu) = (z.dim(), h.dim());
+        let (gx, gh) = (z.num_generators(), h.num_generators());
+        // Stack (x, u) over one symbol space. When the controller pass kept
+        // the leading columns aligned with the state's symbols, the control
+        // rows ride the same columns and the feedback correlation survives
+        // the plant step; otherwise the sound fallback is block-diagonal
+        // (independent symbol blocks).
+        let generators = if aligned {
+            let mut g = Matrix::zeros(nx + nu, gh);
+            for i in 0..nx {
+                g.row_mut(i)[..gx].copy_from_slice(z.generators().row(i));
+            }
+            for i in 0..nu {
+                g.row_mut(nx + i).copy_from_slice(h.generators().row(i));
+            }
+            g
+        } else {
+            let mut g = Matrix::zeros(nx + nu, gx + gh);
+            for i in 0..nx {
+                g.row_mut(i)[..gx].copy_from_slice(z.generators().row(i));
+            }
+            for i in 0..nu {
+                g.row_mut(nx + i)[gx..].copy_from_slice(h.generators().row(i));
+            }
+            g
+        };
+        let center: Vec<f64> = z.center().iter().chain(h.center().iter()).copied().collect();
+        let clamp: Vec<Interval> = z.clamp().iter().chain(h.clamp().iter()).copied().collect();
+        let joint = Zonotope::from_parts(center, generators, clamp)?;
+        let full = joint.through_layer(self.spec.plant.layer())?;
+        let generators_before = full.num_generators() as u64;
+        let next = full.reduce_order(self.spec.max_generators);
+        if next.num_generators() < full.num_generators() {
+            metrics().closedloop_order_reductions_total.inc();
+        }
+        let generators_after = next.num_generators() as u64;
+        Ok(StepOut { state: LoopState::Zono(next), control, generators_before, generators_after })
+    }
+
+    fn warm_zono(&self, z: &Zonotope, keys: &[u128]) -> (Zonotope, bool, usize) {
+        if let Some(cache) = &self.cache {
+            for j in (0..keys.len()).rev() {
+                if let Some(PrefixState::Zono { state, aligned }) = cache.get_prefix(keys[j]) {
+                    return (state, aligned, j + 1);
+                }
+            }
+        }
+        (z.clone(), true, 0)
+    }
+
+    /// Prefix keys: `keys[j]` addresses the mid-controller state after
+    /// layers `0..=j` (weights included), from this incoming state.
+    fn prefix_keys(&self, state: &LoopState, hashes: &[[u64; 2]]) -> Vec<u128> {
+        let mut h = KeyHasher::new("covern-closedloop-prefix-v1");
+        h.write_u64(domain_tag(self.domain));
+        state.write_key(&mut h);
+        let mut keys = Vec::with_capacity(hashes.len());
+        for lh in hashes {
+            h.write_u64(lh[0]);
+            h.write_u64(lh[1]);
+            keys.push(h.finish());
+        }
+        keys
+    }
+
+    fn step_key(&self, state: &LoopState, net_hash: [u64; 2], plant_key: [u64; 2]) -> u128 {
+        let mut h = KeyHasher::new("covern-closedloop-step-v1");
+        h.write_u64(domain_tag(self.domain));
+        h.write_u64(self.spec.max_generators as u64);
+        h.write_u64(plant_key[0]);
+        h.write_u64(plant_key[1]);
+        h.write_u64(net_hash[0]);
+        h.write_u64(net_hash[1]);
+        state.write_key(&mut h);
+        h.finish()
+    }
+
+    /// Content key of the plant's stacked layer (shape + exact bits).
+    fn plant_key(&self) -> [u64; 2] {
+        let layer = self.spec.plant.layer();
+        let mut h = KeyHasher::new("covern-closedloop-plant-v1");
+        h.write_u64(layer.weights().rows() as u64);
+        h.write_u64(layer.weights().cols() as u64);
+        for &w in layer.weights().as_slice() {
+            h.write_f64(w);
+        }
+        for &b in layer.bias() {
+            h.write_f64(b);
+        }
+        let k = h.finish();
+        [(k >> 64) as u64, k as u64]
+    }
+}
+
+fn domain_tag(domain: DomainKind) -> u64 {
+    match domain {
+        DomainKind::Box => 0,
+        DomainKind::Symbolic => 1,
+        DomainKind::Zonotope => 2,
+    }
+}
+
+fn overlaps(a: &BoxDomain, b: &BoxDomain) -> bool {
+    a.intersect_box(b).is_some()
+}
+
+/// Box-domain reach tube for an arbitrary plant hook — the seam for
+/// nonlinear dynamics: any [`PlantStep`] that encloses its step image in
+/// intervals participates, with the controller pass still run in the
+/// chosen abstract domain. Returns the recorded (outward-dilated) tube,
+/// `horizon + 1` boxes including the initial set.
+///
+/// # Errors
+///
+/// Returns [`ClosedLoopError`] on arity mismatch between the plant,
+/// controller, and initial set.
+pub fn propagate_box_tube(
+    plant: &dyn PlantStep,
+    controller: &Network,
+    domain: DomainKind,
+    init: &BoxDomain,
+    horizon: usize,
+) -> Result<Vec<BoxDomain>, ClosedLoopError> {
+    if init.dim() != plant.state_dim() || controller.input_dim() != plant.state_dim() {
+        return Err(ClosedLoopError::Invalid(format!(
+            "tube arity: init {} / controller in {} / plant state {}",
+            init.dim(),
+            controller.input_dim(),
+            plant.state_dim()
+        )));
+    }
+    if controller.output_dim() != plant.control_dim() {
+        return Err(ClosedLoopError::Invalid(format!(
+            "tube arity: controller out {} / plant control {}",
+            controller.output_dim(),
+            plant.control_dim()
+        )));
+    }
+    let mut tube = Vec::with_capacity(horizon + 1);
+    tube.push(init.dilate(SOUND_EPS));
+    let mut state = init.clone();
+    for _ in 0..horizon {
+        let mut st = AbstractState::from_box(domain, &state);
+        for layer in controller.layers() {
+            st = st.through_layer(layer)?;
+        }
+        let next = plant.step_box(&state, &st.to_box())?;
+        tube.push(next.dilate(SOUND_EPS));
+        state = next;
+    }
+    Ok(tube)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plant::AffinePlant;
+    use covern_nn::NetworkBuilder;
+
+    /// `u = -gain·x` realized exactly through ReLU: relu(x) − relu(−x) = x.
+    fn feedback_controller(gain: f64) -> Network {
+        NetworkBuilder::new(1)
+            .dense_from_rows(&[&[1.0], &[-1.0]], &[0.0, 0.0], Activation::Relu)
+            .dense_from_rows(&[&[-gain, gain]], &[0.0], Activation::Identity)
+            .build()
+            .unwrap()
+    }
+
+    /// `x' = 0.5·x + 0.25·u` — open-loop stable, so even the box domain's
+    /// decorrelated `(x, u)` stacking contracts; feedback `u = -gain·x`
+    /// tightens (small positive gain) or destabilizes (gain ≤ −2) it.
+    fn scalar_spec(horizon: usize) -> ClosedLoopSpec {
+        ClosedLoopSpec {
+            plant: AffinePlant::new(
+                &Matrix::from_rows(&[&[0.5]]),
+                &Matrix::from_rows(&[&[0.25]]),
+                &[0.0],
+            )
+            .unwrap(),
+            init: BoxDomain::from_bounds(&[(-0.5, 0.5)]).unwrap(),
+            unsafe_region: BoxDomain::from_bounds(&[(0.9, 10.0)]).unwrap(),
+            horizon,
+            max_generators: 12,
+            sample_limit: 16,
+        }
+    }
+
+    #[test]
+    fn contracting_loop_proves_in_every_domain() {
+        for domain in DomainKind::ALL {
+            let v = LoopVerifier::new(scalar_spec(10), feedback_controller(1.0), domain).unwrap();
+            let report = v.verify().unwrap();
+            assert_eq!(report.outcome, "proved", "domain {domain}");
+            assert_eq!(report.steps.len(), 11);
+            // The tube contracts: the final box is inside the initial one.
+            let last = &report.steps[10].state;
+            assert!(report.steps[0].state.dilate(1e-9).contains_box(last));
+        }
+    }
+
+    #[test]
+    fn destabilized_loop_refutes_with_replayable_witness() {
+        // gain −4 gives x' = 1.5·x: the loop expands away from 0 and the
+        // unsafe band at [0.9, 10] is reached from the positive corner.
+        for domain in DomainKind::ALL {
+            let v = LoopVerifier::new(scalar_spec(10), feedback_controller(-4.0), domain).unwrap();
+            let report = v.verify().unwrap();
+            assert_eq!(report.outcome, "refuted", "domain {domain}");
+            let x0 = report.witness.clone().expect("witness");
+            let (step, state) = v.replay_witness(&x0).unwrap().expect("witness must replay");
+            assert_eq!(Some(step), report.witness_step);
+            assert!(v.spec().unsafe_region.contains(&state));
+        }
+    }
+
+    #[test]
+    fn tube_contains_simulated_trajectories() {
+        let mut rng = covern_tensor::Rng::seeded(17);
+        for domain in DomainKind::ALL {
+            let v = LoopVerifier::new(scalar_spec(8), feedback_controller(0.7), domain).unwrap();
+            let report = v.verify().unwrap();
+            for _ in 0..50 {
+                let x0 = vec![rng.uniform(-0.5, 0.5)];
+                let traj = v.simulate(&x0).unwrap();
+                for (k, x) in traj.iter().enumerate() {
+                    assert!(
+                        report.steps[k].state.contains(x),
+                        "domain {domain}: trajectory escaped tube at step {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_cache_reuses_steps_and_reports_identically() {
+        let cache = Arc::new(TubeCache::new());
+        let mut v =
+            LoopVerifier::new(scalar_spec(10), feedback_controller(1.0), DomainKind::Zonotope)
+                .unwrap();
+        v.set_cache(Some(Arc::clone(&cache)));
+        let cold = v.verify().unwrap();
+        assert_eq!(cold.steps_reused, 0);
+        assert_eq!(cold.steps_computed, 10);
+        let warm = v.verify().unwrap();
+        assert_eq!(warm.steps_reused, 10);
+        assert_eq!(warm.steps_computed, 0);
+        assert_eq!(warm.canonical(), cold.canonical(), "warm must be byte-identical to cold");
+    }
+
+    #[test]
+    fn fine_tune_delta_warm_starts_below_the_changed_layer() {
+        let cache = Arc::new(TubeCache::new());
+        let mut v =
+            LoopVerifier::new(scalar_spec(10), feedback_controller(1.0), DomainKind::Zonotope)
+                .unwrap();
+        v.set_cache(Some(Arc::clone(&cache)));
+        let cold = v.verify().unwrap();
+        let cold_layers = cold.layers_computed;
+        // Nudge only the OUTPUT layer: the first-layer prefix stays valid
+        // at step 1 (same incoming state), so at least one layer pass is
+        // reused and strictly fewer layers recompute than a cold run.
+        let mut tuned = v.controller().clone();
+        tuned.layers_mut()[1].bias_mut()[0] += 1e-6;
+        v.set_controller(tuned.clone()).unwrap();
+        let warm = v.verify().unwrap();
+        assert!(warm.layers_reused >= 1, "first-layer prefix must warm-start");
+        assert!(
+            warm.layers_computed < cold_layers,
+            "fine-tune re-verification must recompute strictly fewer layer passes \
+             ({} vs cold {cold_layers})",
+            warm.layers_computed
+        );
+        // And it matches a cold run of the tuned controller byte-for-byte.
+        let v_cold = LoopVerifier::new(scalar_spec(10), tuned, DomainKind::Zonotope).unwrap();
+        assert_eq!(warm.canonical(), v_cold.verify().unwrap().canonical());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_the_verdict() {
+        let v = LoopVerifier::new(scalar_spec(6), feedback_controller(1.0), DomainKind::Symbolic)
+            .unwrap();
+        let state = v.checkpoint_json().unwrap();
+        assert!(is_loop_checkpoint(&state));
+        let back = LoopVerifier::from_checkpoint_json(&state).unwrap();
+        assert_eq!(
+            v.verify().unwrap().canonical(),
+            back.verify().unwrap().canonical(),
+            "resume must reproduce the tube bit-for-bit"
+        );
+        assert!(LoopVerifier::from_checkpoint_json("{\"format\":\"other\"}").is_err());
+    }
+
+    #[test]
+    fn nonlinear_plant_hook_propagates_a_sound_box_tube() {
+        /// `x' = x + 0.5·u − 0.1·x²` — nonlinear, enclosed by interval
+        /// arithmetic on the square term.
+        struct Damped;
+        impl PlantStep for Damped {
+            fn state_dim(&self) -> usize {
+                1
+            }
+            fn control_dim(&self) -> usize {
+                1
+            }
+            fn step_box(
+                &self,
+                state: &BoxDomain,
+                control: &BoxDomain,
+            ) -> Result<BoxDomain, ClosedLoopError> {
+                let x = state.interval(0);
+                let u = control.interval(0);
+                let sq = x.mul(&x);
+                let next = x.add(&u.scale(0.5)).add(&sq.scale(-0.1));
+                Ok(BoxDomain::new(vec![next]))
+            }
+            fn step_concrete(&self, state: &[f64], control: &[f64]) -> Vec<f64> {
+                let x = state[0];
+                vec![x + 0.5 * control[0] - 0.1 * x * x]
+            }
+        }
+        let plant = Damped;
+        let controller = feedback_controller(0.5);
+        let init = BoxDomain::from_bounds(&[(-0.4, 0.4)]).unwrap();
+        let tube = propagate_box_tube(&plant, &controller, DomainKind::Box, &init, 6).unwrap();
+        assert_eq!(tube.len(), 7);
+        let mut rng = covern_tensor::Rng::seeded(23);
+        for _ in 0..100 {
+            let mut x = vec![rng.uniform(-0.4, 0.4)];
+            for step in &tube {
+                assert!(step.contains(&x), "trajectory escaped nonlinear tube");
+                let u = controller.forward(&x).unwrap();
+                x = plant.step_concrete(&x, &u);
+            }
+        }
+    }
+}

@@ -411,6 +411,19 @@ declare_metrics! {
         "Blobs written to the coordinator's disk-backed content-addressed store (checkpoints and spilled proofs).";
     counter store_loads_total => "covern_store_loads_total":
         "Blobs served from the coordinator's disk-backed content-addressed store.";
+    // -- closed-loop verification ------------------------------------
+    counter closedloop_tubes_total => "covern_closedloop_tubes_total":
+        "Closed-loop reach tubes propagated (one per initial verification or delta re-verification).";
+    counter closedloop_steps_total => "covern_closedloop_steps_total":
+        "Closed-loop plant steps propagated across all tubes, cache-served steps included.";
+    counter closedloop_step_cache_hits_total => "covern_closedloop_step_cache_hits_total":
+        "Tube-cache step lookups served from a per-step checkpoint (warmth- and schedule-dependent).";
+    counter closedloop_step_cache_misses_total => "covern_closedloop_step_cache_misses_total":
+        "Tube-cache step lookups that recomputed (and stored) their step (warmth- and schedule-dependent).";
+    counter closedloop_layer_cache_hits_total => "covern_closedloop_layer_cache_hits_total":
+        "Mid-controller layer-prefix snapshots reused during tube propagation (warmth- and schedule-dependent).";
+    counter closedloop_order_reductions_total => "covern_closedloop_order_reductions_total":
+        "Zonotope order reductions applied to cap generator growth across plant steps.";
     ---
     gauge sessions_open => "covern_sessions_open":
         "Sessions currently registered.";

@@ -299,6 +299,7 @@ pub fn replay_scenario(
         dout: scenario.dout.clone(),
         domain: scenario.domain,
         margin: scenario.margin,
+        closed_loop: scenario.closed_loop.clone(),
     })?;
     let mut outcome = ReplayOutcome { scenarios: 1, ..ReplayOutcome::default() };
     for event in &scenario.events {

@@ -40,7 +40,7 @@ use super::worker::{WireClient, WireFault, WorkerHandle};
 use crate::protocol::{ErrorCode, OpenParams};
 use covern_campaign::report::{CacheSection, CampaignReport, ScenarioReport};
 use covern_campaign::runner::{assemble_report, thread_split};
-use covern_campaign::{proof_family_key, CampaignError, Scenario};
+use covern_campaign::{loop_family_key, proof_family_key, CampaignError, Scenario};
 use covern_core::problem::VerificationProblem;
 use covern_observe::{metrics, obs_info, obs_warn};
 use std::path::PathBuf;
@@ -301,7 +301,19 @@ impl Cluster {
                 Err(fault) => self.note_fault(worker.index(), &fault),
             }
         }
-        CacheSection { enabled: true, hits, misses, entries, proof_hits: 0, proof_misses: 0 }
+        CacheSection {
+            enabled: true,
+            hits,
+            misses,
+            entries,
+            proof_hits: 0,
+            proof_misses: 0,
+            // Tube-cache counters live inside the worker processes and
+            // are warmth-dependent anyway; like the proof tier, they are
+            // reported as zero (and zeroed by `canonical` regardless).
+            tube_step_hits: 0,
+            tube_step_misses: 0,
+        }
     }
 
     /// Drives one scenario end to end, surviving worker deaths (see
@@ -317,20 +329,34 @@ impl Cluster {
         };
         // Coordinator-side construction doubles as validation: an invalid
         // problem records the same `e.to_string()` the single-process
-        // engine records, without a wire round-trip.
-        let problem = match VerificationProblem::new(
-            scenario.network.clone(),
-            scenario.din.clone(),
-            scenario.dout.clone(),
-        ) {
-            Ok(p) => p,
-            Err(e) => {
-                report.error = Some(e.to_string());
-                return report;
+        // engine records, without a wire round-trip. Closed-loop
+        // scenarios validate spec-against-controller instead (their
+        // controller arity usually cannot form an open-loop problem) and
+        // route by the loop family key, so fine-tune siblings co-locate
+        // on one worker's tube cache.
+        let key = match &scenario.closed_loop {
+            Some(spec) => {
+                if let Err(e) = spec.validate(&scenario.network) {
+                    report.error = Some(e.to_string());
+                    return report;
+                }
+                loop_family_key(spec, &scenario.network, scenario.domain).to_u128()
+            }
+            None => {
+                let problem = match VerificationProblem::new(
+                    scenario.network.clone(),
+                    scenario.din.clone(),
+                    scenario.dout.clone(),
+                ) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        report.error = Some(e.to_string());
+                        return report;
+                    }
+                };
+                proof_family_key(&problem, scenario.domain, scenario.margin).to_u128()
             }
         };
-        let key = proof_family_key(&problem, scenario.domain, scenario.margin).to_u128();
-        drop(problem);
 
         // (store key, number of leading events the checkpoint covers).
         let mut checkpoint: Option<(u128, usize)> = None;
@@ -393,6 +419,7 @@ impl Cluster {
                     dout: scenario.dout.clone(),
                     domain: scenario.domain,
                     margin: scenario.margin,
+                    closed_loop: scenario.closed_loop.clone(),
                 }) {
                     Ok(opened) => {
                         report.initial_outcome = opened.outcome;

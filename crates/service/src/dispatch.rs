@@ -24,9 +24,10 @@ use crate::protocol::{
     Request, Response, ResumeParams, ServerInfo, SessionOpened, StatsSnapshot, METRICS_FORMAT,
     PROTOCOL_VERSION,
 };
-use crate::session::{Enqueue, QueuedDelta, Session, SessionRegistry};
+use crate::session::{Enqueue, QueuedDelta, Session, SessionRegistry, SessionVerifier};
 use covern_absint::DomainKind;
 use covern_campaign::ArtifactCache;
+use covern_closedloop::{is_loop_checkpoint, LoopVerifier, TubeCache};
 use covern_core::cache::VerifyCache;
 use covern_core::method::LocalMethod;
 use covern_core::parallel::WorkerPool;
@@ -133,6 +134,11 @@ impl Shared {
 pub struct Service {
     config: ServiceConfig,
     cache: Arc<ArtifactCache>,
+    /// The process-wide closed-loop tube cache: per-step checkpoints and
+    /// controller layer prefixes shared by every closed-loop session, so
+    /// fine-tune siblings warm-start across clients just like open-loop
+    /// sessions dedupe through the artifact cache.
+    tube_cache: Arc<TubeCache>,
     registry: SessionRegistry,
     pool: WorkerPool,
     shared: Arc<Shared>,
@@ -163,6 +169,7 @@ impl Service {
             }),
             config,
             cache: Arc::new(ArtifactCache::new()),
+            tube_cache: Arc::new(TubeCache::new()),
             registry: SessionRegistry::new(),
             pool: WorkerPool::new(workers),
             admission: RwLock::new(()),
@@ -173,6 +180,11 @@ impl Service {
     /// The process-wide artifact cache.
     pub fn cache(&self) -> &Arc<ArtifactCache> {
         &self.cache
+    }
+
+    /// The process-wide closed-loop tube cache.
+    pub fn tube_cache(&self) -> &Arc<TubeCache> {
+        &self.tube_cache
     }
 
     /// The live-session registry.
@@ -317,6 +329,9 @@ impl Service {
             return shutting_down();
         }
         let t0 = Instant::now();
+        if let Some(spec) = params.closed_loop {
+            return self.open_loop_session(params.label, spec, params.network, params.domain, t0);
+        }
         let problem = match VerificationProblem::new(params.network, params.din, params.dout) {
             Ok(p) => p,
             Err(e) => return invalid_problem(e.to_string()),
@@ -333,7 +348,7 @@ impl Service {
         };
         let outcome = verifier.initial_report().outcome.to_string();
         let wall_us = verifier.initial_report().wall.as_micros() as u64;
-        let session = self.registry.insert(params.label, verifier);
+        let session = self.registry.insert(params.label, SessionVerifier::Continuous(verifier));
         metrics().open_latency_seconds.observe_duration(t0.elapsed());
         metrics().sessions_opened_total.inc();
         metrics().sessions_open.inc();
@@ -351,12 +366,81 @@ impl Service {
         })
     }
 
+    /// Opens a **closed-loop** session: validates the spec against the
+    /// controller, runs the initial tube propagation through the
+    /// process-wide tube cache, and registers the session.
+    fn open_loop_session(
+        &self,
+        label: String,
+        spec: covern_closedloop::ClosedLoopSpec,
+        controller: covern_nn::Network,
+        domain: DomainKind,
+        t0: Instant,
+    ) -> Reply {
+        let mut verifier = match LoopVerifier::new(spec, controller, domain) {
+            Ok(v) => v,
+            Err(e) => return invalid_problem(e.to_string()),
+        };
+        verifier.set_cache(Some(Arc::clone(&self.tube_cache)));
+        let report = match verifier.verify() {
+            Ok(r) => r,
+            Err(e) => return invalid_problem(e.to_string()),
+        };
+        let session = self.registry.insert(label, SessionVerifier::Loop(verifier));
+        metrics().open_latency_seconds.observe_duration(t0.elapsed());
+        metrics().sessions_opened_total.inc();
+        metrics().sessions_open.inc();
+        obs_info!(
+            "closed-loop session opened",
+            session = session.id(),
+            label = session.label(),
+            outcome = report.outcome
+        );
+        Reply::Opened(SessionOpened {
+            session: session.id(),
+            label: session.label().to_owned(),
+            outcome: report.outcome,
+            wall_us: report.wall_us,
+        })
+    }
+
     fn resume(&self, params: ResumeParams) -> Reply {
         let _gate = self.admission.read().unwrap_or_else(|p| p.into_inner());
         if self.is_shutting_down() {
             return shutting_down();
         }
         let t0 = Instant::now();
+        if is_loop_checkpoint(&params.state) {
+            let mut verifier = match LoopVerifier::from_checkpoint_json(&params.state) {
+                Ok(v) => v,
+                Err(e) => return invalid_problem(e.to_string()),
+            };
+            verifier.set_cache(Some(Arc::clone(&self.tube_cache)));
+            // A loop checkpoint carries no stored report; re-propagating
+            // through the shared tube cache restores the outcome (and is
+            // step-for-step warm when this server verified the tube
+            // before).
+            let report = match verifier.verify() {
+                Ok(r) => r,
+                Err(e) => return invalid_problem(e.to_string()),
+            };
+            let session = self.registry.insert(params.label, SessionVerifier::Loop(verifier));
+            metrics().open_latency_seconds.observe_duration(t0.elapsed());
+            metrics().sessions_opened_total.inc();
+            metrics().sessions_open.inc();
+            obs_info!(
+                "closed-loop session resumed",
+                session = session.id(),
+                label = session.label(),
+                outcome = report.outcome
+            );
+            return Reply::Opened(SessionOpened {
+                session: session.id(),
+                label: session.label().to_owned(),
+                outcome: report.outcome,
+                wall_us: 0,
+            });
+        }
         let mut verifier = match ContinuousVerifier::from_checkpoint_json(&params.state) {
             Ok(v) => v,
             Err(e) => return invalid_problem(e.to_string()),
@@ -364,7 +448,7 @@ impl Service {
         verifier.set_cache(Some(Arc::clone(&self.cache) as Arc<dyn VerifyCache>));
         verifier.set_threads(self.config.session_threads);
         let outcome = verifier.initial_report().outcome.to_string();
-        let session = self.registry.insert(params.label, verifier);
+        let session = self.registry.insert(params.label, SessionVerifier::Continuous(verifier));
         metrics().open_latency_seconds.observe_duration(t0.elapsed());
         metrics().sessions_opened_total.inc();
         metrics().sessions_open.inc();
@@ -474,7 +558,7 @@ fn drain_session(shared: &Shared, session: &Arc<Session>) {
             Ok(Err(e)) => {
                 metrics().delta_failures_total.inc();
                 obs_warn!("delta failed", session = session.id(), error = e);
-                Reply::Error(ErrorInfo::new(ErrorCode::DeltaFailed, e.to_string()))
+                Reply::Error(ErrorInfo::new(ErrorCode::DeltaFailed, e))
             }
             Err(panic) => {
                 let what = panic
@@ -547,6 +631,7 @@ mod tests {
             dout: BoxDomain::from_bounds(&[(-0.5, 12.0)]).unwrap(),
             domain: DomainKind::Box,
             margin: Margin::NONE,
+            closed_loop: None,
         }
     }
 
@@ -596,6 +681,91 @@ mod tests {
         assert_eq!(v.seq, 0);
         assert_eq!(v.record.outcome, "proved");
         assert_eq!(v.record.kind, "domain-enlarged");
+    }
+
+    #[test]
+    fn closed_loop_session_opens_deltas_and_resumes() {
+        use covern_closedloop::{AffinePlant, ClosedLoopSpec};
+        use covern_tensor::Matrix;
+
+        // `x' = 0.5·x + 0.25·u`, `u = -gain·x` realized as
+        // relu(x) − relu(−x): contracting for gain 1, divergent for −4.
+        let controller = |gain: f64| -> Network {
+            NetworkBuilder::new(1)
+                .dense_from_rows(&[&[1.0], &[-1.0]], &[0.0, 0.0], Activation::Relu)
+                .dense_from_rows(&[&[-gain, gain]], &[0.0], Activation::Identity)
+                .build()
+                .unwrap()
+        };
+        let spec = ClosedLoopSpec {
+            plant: AffinePlant::new(
+                &Matrix::from_rows(&[&[0.5]]),
+                &Matrix::from_rows(&[&[0.25]]),
+                &[0.0],
+            )
+            .unwrap(),
+            init: BoxDomain::from_bounds(&[(-0.5, 0.5)]).unwrap(),
+            unsafe_region: BoxDomain::from_bounds(&[(0.9, 10.0)]).unwrap(),
+            horizon: 8,
+            max_generators: 12,
+            sample_limit: 16,
+        };
+        let service = Service::new(ServiceConfig::default());
+        let rec = Arc::new(RecordingResponder::default());
+        let responder: Arc<dyn Respond> = rec.clone();
+        let params = OpenParams {
+            label: "loop".into(),
+            network: controller(1.0),
+            din: spec.init.clone(),
+            dout: spec.unsafe_region.clone(),
+            domain: DomainKind::Zonotope,
+            margin: Margin::NONE,
+            closed_loop: Some(spec),
+        };
+        let _ = service.handle_request(Request::new(1, Command::Open(params)), &responder);
+        let session = {
+            let rs = rec.responses.lock().unwrap();
+            let Reply::Opened(o) = &rs[0].reply else { panic!("{:?}", rs[0]) };
+            assert_eq!(o.outcome, "proved");
+            o.session
+        };
+        // A destabilizing fine-tune delta flips the verdict to refuted.
+        let _ = service.handle_request(
+            Request::new(
+                2,
+                Command::Delta(crate::protocol::DeltaParams {
+                    session,
+                    delta: DeltaEvent::ModelUpdated(controller(-4.0)),
+                }),
+            ),
+            &responder,
+        );
+        wait_for_responses(&rec, 2);
+        {
+            let rs = rec.responses.lock().unwrap();
+            let Reply::Verdict(v) = &rs[1].reply else { panic!("{:?}", rs[1]) };
+            assert_eq!(v.record.outcome, "refuted");
+            assert_eq!(v.record.strategy, "closed-loop");
+            assert!(v.record.witness.is_some(), "refutations carry a witness");
+        }
+        // Checkpoint → resume restores the tuned controller's verdict.
+        let _ = service.handle_request(
+            Request::new(3, Command::Checkpoint(crate::protocol::SessionRef { session })),
+            &responder,
+        );
+        let state = {
+            let rs = rec.responses.lock().unwrap();
+            let Reply::Checkpoint(c) = &rs[2].reply else { panic!("{:?}", rs[2]) };
+            assert!(covern_closedloop::is_loop_checkpoint(&c.state));
+            c.state.clone()
+        };
+        let _ = service.handle_request(
+            Request::new(4, Command::Resume(ResumeParams { label: "loop-2".into(), state })),
+            &responder,
+        );
+        let rs = rec.responses.lock().unwrap();
+        let Reply::Opened(o) = &rs[3].reply else { panic!("{:?}", rs[3]) };
+        assert_eq!(o.outcome, "refuted", "resume re-propagates the tuned tube");
     }
 
     #[test]

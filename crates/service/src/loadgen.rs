@@ -347,6 +347,7 @@ fn drive_session(
         dout: scenario.dout.clone(),
         domain: scenario.domain,
         margin: scenario.margin,
+        closed_loop: scenario.closed_loop.clone(),
     }) {
         Ok(o) => o,
         Err(e) => {
@@ -503,6 +504,7 @@ pub fn run(addr: &str, config: &LoadgenConfig) -> Result<LoadReport, ServiceErro
         events_per_scenario: config.events_per_session,
         seed: config.seed,
         include_vehicle: false,
+        include_closed_loop: false,
     })
     .map_err(|e| ServiceError::Encode(format!("corpus generation: {e}")))?;
 
@@ -702,6 +704,7 @@ mod tests {
             events_per_scenario: 4,
             seed: 7,
             include_vehicle: false,
+            include_closed_loop: false,
         })
         .unwrap();
         for scenario in &corpus {

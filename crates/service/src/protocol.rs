@@ -45,6 +45,13 @@ impl Request {
 }
 
 /// The commands of `covern-protocol-v1`.
+//
+// `Open` carries the whole problem (network + boxes + optional
+// closed-loop spec) inline, which dwarfs the other variants. A command
+// is decoded once per request line and consumed immediately — it is
+// never stored in bulk — and the wire shim does not model smart
+// pointers, so boxing the payload would buy nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Command {
     /// Identify the server; the canonical first message of a connection.
@@ -72,21 +79,46 @@ pub enum Command {
 }
 
 /// Parameters of [`Command::Open`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 pub struct OpenParams {
     /// Client-side label, echoed in replies and summaries.
     pub label: String,
-    /// The network `f` of the original verification, in the bit-exact
+    /// The network `f` of the original verification — or, when
+    /// `closed_loop` is set, the **controller** — in the bit-exact
     /// `covern-nn` JSON form.
     pub network: Network,
-    /// The input domain `Din`.
+    /// The input domain `Din` (closed loop: mirrors the initial set).
     pub din: BoxDomain,
-    /// The safety set `Dout`.
+    /// The safety set `Dout` (closed loop: mirrors the unsafe region).
     pub dout: BoxDomain,
     /// Abstract domain for artifact construction.
     pub domain: DomainKind,
     /// Artifact buffering margin (`{"rel": 0.0, "abs": 0.0}` for none).
     pub margin: Margin,
+    /// When non-`null`, the session is **closed-loop**: the server
+    /// propagates a reach tube through controller + plant per this spec
+    /// instead of running the open-loop pipeline. Absent (pre-closed-loop
+    /// clients) decodes as `null`.
+    pub closed_loop: Option<covern_closedloop::ClosedLoopSpec>,
+}
+
+impl Deserialize for OpenParams {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            label: Deserialize::from_value(value.field("label")?)?,
+            network: Deserialize::from_value(value.field("network")?)?,
+            din: Deserialize::from_value(value.field("din")?)?,
+            dout: Deserialize::from_value(value.field("dout")?)?,
+            domain: Deserialize::from_value(value.field("domain")?)?,
+            margin: Deserialize::from_value(value.field("margin")?)?,
+            // Absent on pre-closed-loop clients; tolerated so their
+            // `covern-protocol-v1` Open lines keep decoding.
+            closed_loop: match value.field("closed_loop") {
+                Ok(v) => Deserialize::from_value(v)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// Parameters of [`Command::Resume`].
@@ -366,6 +398,7 @@ mod tests {
                 dout: b.clone(),
                 domain: DomainKind::Box,
                 margin: Margin::NONE,
+                closed_loop: None,
             }),
             Command::Resume(ResumeParams { label: "r".into(), state: "{}".into() }),
             Command::Delta(DeltaParams { session: 7, delta: DeltaEvent::DomainEnlarged(b) }),
@@ -428,6 +461,56 @@ mod tests {
         assert_eq!(ErrorCode::ShuttingDown.to_string(), "shutting-down");
         // The wire form is the variant name (externally tagged).
         assert_eq!(encode(&ErrorCode::UnknownSession).unwrap(), "\"UnknownSession\"");
+    }
+
+    #[test]
+    fn open_params_tolerate_missing_closed_loop_and_roundtrip_specs() {
+        // A pre-closed-loop client's Open line (no `closed_loop` key)
+        // still decodes, as None.
+        let b = BoxDomain::from_bounds(&[(-1.0, 1.0)]).unwrap();
+        let legacy = Command::Open(OpenParams {
+            label: "legacy".into(),
+            network: tiny_net(),
+            din: b.clone(),
+            dout: b.clone(),
+            domain: DomainKind::Box,
+            margin: Margin::NONE,
+            closed_loop: None,
+        });
+        let line = encode(&Request::new(1, legacy)).unwrap();
+        let stripped = line.replace(",\"closed_loop\":null", "");
+        assert_ne!(stripped, line, "the optional field is always present on the wire");
+        let back: Request = decode(&stripped).unwrap();
+        let Command::Open(p) = back.cmd else { panic!("kind changed in flight") };
+        assert!(p.closed_loop.is_none());
+
+        // A closed-loop spec survives the wire bit-exactly.
+        let spec = covern_closedloop::ClosedLoopSpec {
+            plant: covern_closedloop::AffinePlant::new(
+                &covern_tensor::Matrix::from_rows(&[&[0.5]]),
+                &covern_tensor::Matrix::from_rows(&[&[0.25]]),
+                &[0.0],
+            )
+            .unwrap(),
+            init: BoxDomain::from_bounds(&[(-0.5, 0.5)]).unwrap(),
+            unsafe_region: BoxDomain::from_bounds(&[(0.9, 10.0)]).unwrap(),
+            horizon: 10,
+            max_generators: 12,
+            sample_limit: 16,
+        };
+        let looped = Command::Open(OpenParams {
+            label: "loop".into(),
+            network: tiny_net(),
+            din: spec.init.clone(),
+            dout: spec.unsafe_region.clone(),
+            domain: DomainKind::Zonotope,
+            margin: Margin::NONE,
+            closed_loop: Some(spec.clone()),
+        });
+        let line = encode(&Request::new(2, looped)).unwrap();
+        let back: Request = decode(&line).unwrap();
+        let Command::Open(p) = back.cmd else { panic!("kind changed in flight") };
+        assert_eq!(p.closed_loop.as_ref(), Some(&spec));
     }
 
     #[test]

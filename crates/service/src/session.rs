@@ -18,6 +18,7 @@ use crate::dispatch::Respond;
 use crate::protocol::{SessionSummary, VerdictEvent};
 use covern_campaign::report::EventRecord;
 use covern_campaign::DeltaEvent;
+use covern_closedloop::LoopVerifier;
 use covern_core::pipeline::ContinuousVerifier;
 use covern_core::CoreError;
 use std::collections::{HashMap, VecDeque};
@@ -57,6 +58,17 @@ pub(crate) enum Enqueue {
     },
 }
 
+/// The two verifier kinds a session can host: the open-loop
+/// continuous-engineering pipeline, or the closed-loop reach-tube
+/// verifier (controller + plant). The delta stream is shared — both
+/// absorb [`DeltaEvent`]s, reinterpreted per kind.
+pub enum SessionVerifier {
+    /// Open-loop `φ(f, Din, Dout)` pipeline.
+    Continuous(ContinuousVerifier),
+    /// Closed-loop reach-tube propagation.
+    Loop(LoopVerifier),
+}
+
 /// A live verification session (see module docs).
 pub struct Session {
     id: u64,
@@ -64,7 +76,7 @@ pub struct Session {
     /// The session's verifier. Locked by the drain task for the duration
     /// of each delta (deltas of one session are sequential by design) and
     /// briefly by `Checkpoint`, which therefore snapshots between deltas.
-    verifier: Mutex<ContinuousVerifier>,
+    verifier: Mutex<SessionVerifier>,
     inbox: Mutex<Inbox>,
     seq: AtomicU64,
     deltas: AtomicU64,
@@ -74,7 +86,7 @@ pub struct Session {
 }
 
 impl Session {
-    fn new(id: u64, label: String, verifier: ContinuousVerifier) -> Self {
+    fn new(id: u64, label: String, verifier: SessionVerifier) -> Self {
         Self {
             id,
             label,
@@ -141,18 +153,31 @@ impl Session {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError`] when the delta is structurally inapplicable
-    /// (architecture change, non-enlargement, arity mismatch); the session
-    /// state is unchanged and stays usable.
+    /// Returns the failure message when the delta is structurally
+    /// inapplicable (architecture change, non-enlargement, arity or
+    /// dimension mismatch); the session state is unchanged and stays
+    /// usable. The message is the underlying error's display form — the
+    /// same string a single-process campaign records — so cluster and
+    /// local reports stay byte-comparable.
     pub(crate) fn apply(
         &self,
         delta: &DeltaEvent,
         method: &covern_core::LocalMethod,
-    ) -> Result<VerdictEvent, CoreError> {
-        let mut verifier = self.verifier.lock().map_err(|_| poisoned())?;
-        let report = covern_campaign::runner::apply_event(&mut verifier, delta, method)?;
+    ) -> Result<VerdictEvent, String> {
+        let mut verifier = self.verifier.lock().map_err(|_| poisoned().to_string())?;
+        let record = match &mut *verifier {
+            SessionVerifier::Continuous(v) => {
+                let report = covern_campaign::runner::apply_event(v, delta, method)
+                    .map_err(|e| e.to_string())?;
+                EventRecord::from_report(&delta.kind(), &report)
+            }
+            SessionVerifier::Loop(v) => {
+                let report = covern_campaign::runner::apply_loop_event(v, delta)
+                    .map_err(|e| e.to_string())?;
+                EventRecord::from_loop_report(&delta.kind(), &report)
+            }
+        };
         drop(verifier);
-        let record = EventRecord::from_report(&delta.kind(), &report);
         self.deltas.fetch_add(1, Ordering::Relaxed);
         match record.outcome.as_str() {
             "proved" => &self.proved,
@@ -170,7 +195,12 @@ impl Session {
     ///
     /// Returns [`CoreError::Substrate`] on encoding failure.
     pub fn checkpoint(&self) -> Result<String, CoreError> {
-        self.verifier.lock().map_err(|_| poisoned())?.checkpoint_json()
+        match &*self.verifier.lock().map_err(|_| poisoned())? {
+            SessionVerifier::Continuous(v) => v.checkpoint_json(),
+            SessionVerifier::Loop(v) => {
+                v.checkpoint_json().map_err(|e| CoreError::Substrate(e.to_string()))
+            }
+        }
     }
 
     /// The session's lifetime tally.
@@ -226,7 +256,7 @@ impl SessionRegistry {
     }
 
     /// Registers a fresh session around `verifier` and returns it.
-    pub fn insert(&self, label: String, verifier: ContinuousVerifier) -> Arc<Session> {
+    pub fn insert(&self, label: String, verifier: SessionVerifier) -> Arc<Session> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let session = Arc::new(Session::new(id, label, verifier));
         self.sessions.lock().expect("registry lock").insert(id, Arc::clone(&session));

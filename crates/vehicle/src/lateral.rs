@@ -1,0 +1,250 @@
+//! Linearized lateral (lane-keeping) dynamics for closed-loop
+//! verification.
+//!
+//! The full platform drives the kinematic bicycle model with pure pursuit
+//! on the DNN waypoint ([`crate::control`]); that loop is nonlinear
+//! (`tan`, `sin`) and perception-in-the-loop. For reach-tube verification
+//! the standard move — and the one the closed-loop NN-control literature
+//! verifies against — is the small-angle linearization about the lane
+//! centre:
+//!
+//! ```text
+//! y_{k+1} = y_k + v·dt · θ_k            (lateral offset, m)
+//! θ_{k+1} = θ_k + (v·dt / L) · u_k      (heading error, rad; u = steering)
+//! ```
+//!
+//! i.e. `x' = A·x + B·u` with `A = [[1, v·dt], [0, 1]]`,
+//! `B = [[0], [v·dt/L]]`. The linear state feedback
+//! `u = −k_y·y − k_θ·θ` is the linearization of pure pursuit about
+//! `vout = 0.5` (the waypoint-to-steering map of
+//! [`PurePursuit::steering`](crate::control::PurePursuit::steering) is
+//! affine in the lateral error near the centre), and it is realized as an
+//! *exact* ReLU network via the shifted activation `relu(z + 1) − 1 = z`
+//! (see [`feedback_network`]), so the verified controller is a genuine
+//! two-layer [`Network`] taking the same transformer path as any trained
+//! head — not a special-cased linear map.
+//!
+//! [`safe_case`] and [`unsafe_case`] package the two canonical workloads:
+//! a stabilizing loop (closed-loop eigenvalues {0.6, 0.4}) that the
+//! correlation-carrying zonotope domain proves over a 12-step horizon —
+//! box and symbolic lose the `x`–`u` correlation at the plant boundary
+//! and soundly report unknown, the classic interval wrapping effect —
+//! and a sign-flipped (positive-feedback) loop that demonstrably escapes
+//! into the unsafe lane band with a concretely replayable corner witness.
+
+use crate::error::VehicleError;
+use covern_absint::BoxDomain;
+use covern_closedloop::{AffinePlant, ClosedLoopSpec};
+use covern_nn::{Activation, Network, NetworkBuilder};
+use covern_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the linearized lateral loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LateralParams {
+    /// Forward speed `v` (m/s).
+    pub speed: f64,
+    /// Discretization step `dt` (s).
+    pub dt: f64,
+    /// Wheelbase `L` (m).
+    pub wheelbase: f64,
+    /// Feedback gain on the lateral offset (`u = −k_y·y − k_θ·θ`).
+    pub k_y: f64,
+    /// Feedback gain on the heading error.
+    pub k_theta: f64,
+}
+
+impl Default for LateralParams {
+    /// The 1/10-scale platform at cruise: `v = 2 m/s`, `dt = 0.1 s`,
+    /// `L = 0.25 m`, gains placing the closed-loop eigenvalues at
+    /// `{0.6, 0.4}`.
+    fn default() -> Self {
+        Self { speed: 2.0, dt: 0.1, wheelbase: 0.25, k_y: 1.5, k_theta: 1.25 }
+    }
+}
+
+impl LateralParams {
+    /// The discrete-time plant `x' = A·x + B·u` for these parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VehicleError::InvalidConfig`] for non-positive `speed`, `dt`, or
+    /// `wheelbase`.
+    pub fn plant(&self) -> Result<AffinePlant, VehicleError> {
+        if self.speed <= 0.0 || self.dt <= 0.0 || self.wheelbase <= 0.0 {
+            return Err(VehicleError::InvalidConfig(format!(
+                "lateral plant needs positive speed/dt/wheelbase, got {}/{}/{}",
+                self.speed, self.dt, self.wheelbase
+            )));
+        }
+        let a = self.speed * self.dt;
+        let b = a / self.wheelbase;
+        AffinePlant::new(
+            &Matrix::from_rows(&[&[1.0, a], &[0.0, 1.0]]),
+            &Matrix::from_rows(&[&[0.0], &[b]]),
+            &[0.0, 0.0],
+        )
+        .map_err(|e| VehicleError::InvalidConfig(e.to_string()))
+    }
+
+    /// The feedback controller `u = −k_y·y − k_θ·θ` as an exact two-layer
+    /// ReLU network (shifted activation; see [`feedback_network`]).
+    pub fn controller(&self) -> Network {
+        feedback_network(self.k_y, self.k_theta)
+    }
+}
+
+/// Builds `u = −k_y·y − k_θ·θ` as a dense-ReLU-dense network that computes
+/// the linear map exactly on the operating region via the shifted
+/// activation `relu(z + 1) − 1 = z` (valid while `y, θ > −1`, which the
+/// lane-keeping tube respects by an order of magnitude).
+///
+/// The shift matters for verification, not just exactness: it keeps both
+/// hidden neurons *stably active* over the whole reach tube, so the
+/// zonotope and symbolic controller passes stay exact (an unstable neuron
+/// would inject relaxation slack proportional to the control magnitude
+/// every step — enough to outrun the loop's contraction). A trained
+/// controller pays that slack; this hand-built one demonstrates the
+/// exact-propagation baseline.
+pub fn feedback_network(k_y: f64, k_theta: f64) -> Network {
+    NetworkBuilder::new(2)
+        .dense_from_rows(&[&[1.0, 0.0], &[0.0, 1.0]], &[1.0, 1.0], Activation::Relu)
+        .dense_from_rows(&[&[-k_y, -k_theta]], &[k_y + k_theta], Activation::Identity)
+        .build()
+        .expect("static feedback network shapes are consistent")
+}
+
+/// A packaged closed-loop verification workload: the spec plus its
+/// controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LateralCase {
+    /// The plant / init / unsafe-region / horizon spec.
+    pub spec: ClosedLoopSpec,
+    /// The feedback controller under verification.
+    pub controller: Network,
+}
+
+/// Initial set shared by both canonical cases: the vehicle starts within
+/// ±0.15 m of the lane centre with up to ±0.1 rad heading error.
+fn lateral_init() -> BoxDomain {
+    BoxDomain::from_bounds(&[(-0.15, 0.15), (-0.1, 0.1)]).expect("static bounds are ordered")
+}
+
+/// Unsafe region shared by both canonical cases: the right lane edge — a
+/// lateral offset of 0.5 m or more (any heading).
+fn lane_departure() -> BoxDomain {
+    BoxDomain::from_bounds(&[(0.5, 5.0), (-3.2, 3.2)]).expect("static bounds are ordered")
+}
+
+/// The stabilizing lane-keeping workload (default [`LateralParams`]): the
+/// reach tube contracts toward the lane centre and stays clear of the
+/// 0.5 m departure band over a 12-step horizon. The zonotope domain
+/// proves it (its noise symbols carry the `x`–`u` feedback correlation
+/// through the plant step); box and symbolic concretize the control set
+/// to intervals at the plant boundary and soundly diverge to unknown —
+/// the expected interval wrapping effect.
+pub fn safe_case() -> LateralCase {
+    let params = LateralParams::default();
+    LateralCase {
+        spec: ClosedLoopSpec {
+            plant: params.plant().expect("default parameters are valid"),
+            init: lateral_init(),
+            unsafe_region: lane_departure(),
+            horizon: 12,
+            max_generators: 24,
+            sample_limit: 32,
+        },
+        controller: params.controller(),
+    }
+}
+
+/// The seeded-unsafe workload: the same plant with the feedback sign
+/// flipped (positive feedback, closed-loop eigenvalues {1.2, −0.2}). The
+/// loop expands away from the lane centre and the corner of the initial
+/// set concretely reaches the 0.5 m departure band within the horizon, so
+/// verification refutes with a replayable witness.
+pub fn unsafe_case() -> LateralCase {
+    let params = LateralParams { k_y: -1.5, ..LateralParams::default() };
+    LateralCase {
+        spec: ClosedLoopSpec {
+            plant: params.plant().expect("default parameters are valid"),
+            init: lateral_init(),
+            unsafe_region: lane_departure(),
+            horizon: 12,
+            max_generators: 24,
+            sample_limit: 32,
+        },
+        controller: params.controller(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use covern_absint::DomainKind;
+    use covern_closedloop::LoopVerifier;
+
+    #[test]
+    fn feedback_network_computes_the_linear_map_exactly() {
+        let net = feedback_network(1.5, 1.25);
+        for (y, th) in [(0.1, -0.05), (-0.2, 0.3), (0.0, 0.0), (1.0, -1.0)] {
+            let u = net.forward(&[y, th]).unwrap();
+            let expected = -1.5 * y - 1.25 * th;
+            assert!((u[0] - expected).abs() < 1e-12, "u({y},{th}) = {} ≠ {expected}", u[0]);
+        }
+    }
+
+    #[test]
+    fn default_loop_contracts_concretely() {
+        let p = LateralParams::default();
+        let plant = p.plant().unwrap();
+        let net = p.controller();
+        let mut x = vec![0.15, 0.1];
+        for _ in 0..12 {
+            let u = net.forward(&x).unwrap();
+            let next = {
+                use covern_closedloop::PlantStep;
+                plant.step_concrete(&x, &u)
+            };
+            x = next;
+        }
+        assert!(x[0].abs() < 0.05 && x[1].abs() < 0.05, "loop did not contract: {x:?}");
+    }
+
+    #[test]
+    fn safe_case_proves_in_the_zonotope_domain() {
+        let case = safe_case();
+        let v = LoopVerifier::new(case.spec.clone(), case.controller.clone(), DomainKind::Zonotope)
+            .unwrap();
+        let report = v.verify().unwrap();
+        assert_eq!(report.outcome, "proved");
+        // Box and symbolic re-enter each plant step from an interval
+        // concretization of the control set, so the feedback correlation —
+        // the only thing keeping this marginally-stable integrator chain
+        // contracting — is lost and their tubes (soundly) blow up to
+        // "unknown". The zonotope's shared noise symbols are the point.
+        for domain in [DomainKind::Box, DomainKind::Symbolic] {
+            let v = LoopVerifier::new(case.spec.clone(), case.controller.clone(), domain).unwrap();
+            assert_eq!(v.verify().unwrap().outcome, "unknown", "domain {domain}");
+        }
+    }
+
+    #[test]
+    fn unsafe_case_refutes_with_replayable_witness() {
+        let case = unsafe_case();
+        let v = LoopVerifier::new(case.spec.clone(), case.controller.clone(), DomainKind::Zonotope)
+            .unwrap();
+        let report = v.verify().unwrap();
+        assert_eq!(report.outcome, "refuted");
+        let x0 = report.witness.expect("witness");
+        let (step, state) = v.replay_witness(&x0).unwrap().expect("witness replays");
+        assert_eq!(Some(step), report.witness_step);
+        assert!(case.spec.unsafe_region.contains(&state));
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let p = LateralParams { dt: 0.0, ..LateralParams::default() };
+        assert!(p.plant().is_err());
+    }
+}

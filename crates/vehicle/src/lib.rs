@@ -16,6 +16,10 @@
 //!   (reconstructed as `(int(224·vout), 75)` exactly as in the paper);
 //! * [`control`] — a kinematic bicycle model steered by pure pursuit on
 //!   the waypoint;
+//! * [`lateral`] — the small-angle linearization of the lane-keeping loop
+//!   with an exact-ReLU feedback controller: the closed-loop verification
+//!   workload (`covern-closedloop` consumes it as plant + controller +
+//!   spec);
 //! * [`dataset`] — driving-data collection and feature-space labelling;
 //! * [`experiment`] — the continuous-engineering scenario: train, deploy,
 //!   monitor, record domain enlargements, fine-tune — producing exactly
@@ -28,11 +32,13 @@ pub mod control;
 pub mod dataset;
 pub mod error;
 pub mod experiment;
+pub mod lateral;
 pub mod perception;
 pub mod track;
 
 pub use camera::{Camera, Conditions};
 pub use control::{PurePursuit, VehicleState};
 pub use error::VehicleError;
+pub use lateral::{LateralCase, LateralParams};
 pub use perception::Perception;
 pub use track::Track;

@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         events_per_scenario: 4,
         seed: 2021,
         include_vehicle: true,
+        include_closed_loop: false,
     })?;
     println!("corpus: {} scenarios (incl. lane-following workload)\n", corpus.len());
 

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         events_per_scenario: 3,
         seed: 2021,
         include_vehicle: false,
+        include_closed_loop: false,
     })?;
     let (left, right) = corpus.split_at(4);
 

@@ -62,6 +62,7 @@ usage: covern_cli <COMMAND> [FLAGS]
 
 commands:
   verify     original verification of a problem, storing proof artifacts
+  verify-loop  closed-loop reach-tube verification (controller + plant)
   enlarge    SVuDC delta: re-verify after an input-domain enlargement
   update     SVbTV delta: re-verify after a model fine-tune
   status     print the stored proof state
@@ -82,6 +83,21 @@ verify — original verification
                 bit-identical canonical reports) or outward (unrolled,
                 cache-blocked fast kernels, every interval soundly
                 widened outward)                  [default: deterministic]
+
+verify-loop — closed-loop reach-tube verification (controller + plant)
+  --case C      built-in lane-keeping workload: safe (stabilizing feedback,
+                proved) or unsafe (flipped feedback sign, refuted with a
+                replayable witness); overrides --spec/--controller
+  --spec F      closed-loop spec JSON: plant, initial set, unsafe region,
+                horizon, generator cap, sample budget [required unless --case]
+  --controller F  controller network JSON (bit-exact covern-nn format)
+                [required unless --case]
+  --domain D    abstract domain: box | symbolic | zonotope — only zonotope
+                carries the x–u feedback correlation through the plant
+                step; box/symbolic soundly widen     [default: zonotope]
+  --out F       write the closed-loop report JSON   [default: print to stdout]
+  --canonical   zero wall time and reuse counters (byte-deterministic report)
+  --kernel-mode M  deterministic | outward (see verify) [default: deterministic]
 
 enlarge — domain-enlargement delta (SVuDC)
   --din F       the enlarged input domain                        [required]
@@ -117,6 +133,8 @@ campaign — concurrent batch verification
   --out F         write the JSON report here        [default: print to stdout]
   --canonical     zero all timing fields (byte-deterministic report)
   --vehicle       append the lane-following platform workload
+  --closed-loop   append the closed-loop lane-keeping scenarios (reach tubes
+                  through controller + plant, warmed by the tube cache)
   --no-cache      disable the content-addressed artifact cache
   --no-proof-reuse  keep the cache but drop its proof-level entries
                   (B&B checkpoints that warm-start post-delta refinement)
@@ -218,8 +236,8 @@ fn print_help(command: Option<&str>) -> Result<(), String> {
 
 /// Flags that take no value; everything else must be followed by one
 /// (a forgotten value stays a usage error, not a silent `"true"`).
-const BOOLEAN_FLAGS: [&str; 7] =
-    ["canonical", "vehicle", "no-cache", "no-proof-reuse", "stdio", "spawn", "help"];
+const BOOLEAN_FLAGS: [&str; 8] =
+    ["canonical", "vehicle", "closed-loop", "no-cache", "no-proof-reuse", "stdio", "spawn", "help"];
 
 fn parse_flags(args: &[String]) -> Option<HashMap<String, String>> {
     let mut flags = HashMap::new();
@@ -362,6 +380,78 @@ fn run() -> Result<bool, String> {
             println!("state saved to {store}");
             Ok(verifier.initial_report().outcome.is_proved())
         }
+        "verify-loop" => {
+            apply_kernel_mode(&flags)?;
+            use covern::closedloop::{ClosedLoopSpec, LoopVerifier, TubeCache};
+            let domain = match flags.get("domain").map(String::as_str) {
+                None | Some("zonotope") => DomainKind::Zonotope,
+                Some("box") => DomainKind::Box,
+                Some("symbolic") => DomainKind::Symbolic,
+                Some(other) => {
+                    return Err(format!(
+                        "--domain must be box, symbolic, or zonotope, got {other:?}"
+                    ))
+                }
+            };
+            let (spec, controller) = match flags.get("case").map(String::as_str) {
+                Some("safe") => {
+                    let case = covern::vehicle::lateral::safe_case();
+                    (case.spec, case.controller)
+                }
+                Some("unsafe") => {
+                    let case = covern::vehicle::lateral::unsafe_case();
+                    (case.spec, case.controller)
+                }
+                Some(other) => return Err(format!("--case must be safe or unsafe, got {other:?}")),
+                None => {
+                    let spec_path =
+                        flags.get("spec").ok_or("verify-loop needs --case or --spec")?;
+                    let text = std::fs::read_to_string(spec_path)
+                        .map_err(|e| format!("{spec_path}: {e}"))?;
+                    let spec: ClosedLoopSpec = serde_json::from_str(&text)
+                        .map_err(|e| format!("{spec_path}: not a closed-loop spec: {e}"))?;
+                    let ctrl_path = flags
+                        .get("controller")
+                        .ok_or("verify-loop needs --controller with --spec")?;
+                    let net = covern::nn::serialize::load(ctrl_path).map_err(|e| e.to_string())?;
+                    (spec, net)
+                }
+            };
+            let mut verifier =
+                LoopVerifier::new(spec, controller, domain).map_err(|e| e.to_string())?;
+            verifier.set_cache(Some(std::sync::Arc::new(TubeCache::new())));
+            let report = verifier.verify().map_err(|e| e.to_string())?;
+            println!(
+                "closed-loop: {} over horizon {} in the {} domain ({} steps computed)",
+                report.outcome, report.horizon, report.domain, report.steps_computed
+            );
+            // A refutation's witness is replayed concretely so CI (and a
+            // suspicious operator) can see the violation is real, not an
+            // abstraction artifact.
+            if let (Some(witness), Some(step)) = (&report.witness, report.witness_step) {
+                match verifier.replay_witness(witness).map_err(|e| e.to_string())? {
+                    Some((at, state)) => println!(
+                        "witness replay: init {witness:?} concretely reaches unsafe state \
+                         {state:?} at step {at} (tube flagged step {step})"
+                    ),
+                    None => {
+                        return Err(format!(
+                            "witness {witness:?} failed to replay into the unsafe region"
+                        ))
+                    }
+                }
+            }
+            let to_write =
+                if flags.contains_key("canonical") { report.canonical() } else { report.clone() };
+            let json = serde_json::to_string(&to_write).map_err(|e| e.to_string())?;
+            if let Some(out) = flags.get("out") {
+                std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+                println!("report written to {out}");
+            } else {
+                println!("{json}");
+            }
+            Ok(report.outcome == "proved")
+        }
         "enlarge" => {
             let din = load_box(flags.get("din").ok_or("enlarge needs --din")?)?;
             let mut verifier =
@@ -393,6 +483,7 @@ fn run() -> Result<bool, String> {
                 events_per_scenario: parse("events", 3)? as usize,
                 seed: parse("seed", 42)?,
                 include_vehicle: flags.contains_key("vehicle"),
+                include_closed_loop: flags.contains_key("closed-loop"),
             };
             let threads = parse("threads", 4)? as usize;
             let corpus =
@@ -478,6 +569,7 @@ fn run() -> Result<bool, String> {
                 events_per_scenario: parse("events", 3)? as usize,
                 seed: parse("seed", 42)?,
                 include_vehicle: false,
+                include_closed_loop: false,
             };
             let corpus =
                 covern::campaign::corpus::generate(&corpus_config).map_err(|e| e.to_string())?;

@@ -35,6 +35,7 @@
 
 pub use covern_absint as absint;
 pub use covern_campaign as campaign;
+pub use covern_closedloop as closedloop;
 pub use covern_core as core;
 pub use covern_lipschitz as lipschitz;
 pub use covern_milp as milp;

@@ -22,6 +22,7 @@ fn corpus_config() -> CorpusConfig {
         events_per_scenario: 6,
         seed: 31415,
         include_vehicle: false,
+        include_closed_loop: false,
     }
 }
 

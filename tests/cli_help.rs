@@ -24,6 +24,7 @@ usage: covern_cli <COMMAND> [FLAGS]
 
 commands:
   verify     original verification of a problem, storing proof artifacts
+  verify-loop  closed-loop reach-tube verification (controller + plant)
   enlarge    SVuDC delta: re-verify after an input-domain enlargement
   update     SVbTV delta: re-verify after a model fine-tune
   status     print the stored proof state
@@ -44,6 +45,21 @@ verify — original verification
                 bit-identical canonical reports) or outward (unrolled,
                 cache-blocked fast kernels, every interval soundly
                 widened outward)                  [default: deterministic]
+
+verify-loop — closed-loop reach-tube verification (controller + plant)
+  --case C      built-in lane-keeping workload: safe (stabilizing feedback,
+                proved) or unsafe (flipped feedback sign, refuted with a
+                replayable witness); overrides --spec/--controller
+  --spec F      closed-loop spec JSON: plant, initial set, unsafe region,
+                horizon, generator cap, sample budget [required unless --case]
+  --controller F  controller network JSON (bit-exact covern-nn format)
+                [required unless --case]
+  --domain D    abstract domain: box | symbolic | zonotope — only zonotope
+                carries the x–u feedback correlation through the plant
+                step; box/symbolic soundly widen     [default: zonotope]
+  --out F       write the closed-loop report JSON   [default: print to stdout]
+  --canonical   zero wall time and reuse counters (byte-deterministic report)
+  --kernel-mode M  deterministic | outward (see verify) [default: deterministic]
 
 enlarge — domain-enlargement delta (SVuDC)
   --din F       the enlarged input domain                        [required]
@@ -79,6 +95,8 @@ campaign — concurrent batch verification
   --out F         write the JSON report here        [default: print to stdout]
   --canonical     zero all timing fields (byte-deterministic report)
   --vehicle       append the lane-following platform workload
+  --closed-loop   append the closed-loop lane-keeping scenarios (reach tubes
+                  through controller + plant, warmed by the tube cache)
   --no-cache      disable the content-addressed artifact cache
   --no-proof-reuse  keep the cache but drop its proof-level entries
                   (B&B checkpoints that warm-start post-delta refinement)
@@ -152,8 +170,17 @@ fn help_output_matches_snapshot() {
 
 #[test]
 fn per_command_help_prints_that_section() {
-    for cmd in ["verify", "enlarge", "update", "status", "campaign", "cluster", "serve", "loadgen"]
-    {
+    for cmd in [
+        "verify",
+        "verify-loop",
+        "enlarge",
+        "update",
+        "status",
+        "campaign",
+        "cluster",
+        "serve",
+        "loadgen",
+    ] {
         let out = cli(&["help", cmd]);
         assert!(out.status.success(), "help {cmd} failed");
         let stdout = String::from_utf8(out.stdout).unwrap();
@@ -175,6 +202,10 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
     // list — and the HELP text — must grow with it.
     let audited: &[(&str, &[&str])] = &[
         ("verify", &["network", "din", "dout", "store", "margin", "splits", "kernel-mode"]),
+        (
+            "verify-loop",
+            &["case", "spec", "controller", "domain", "out", "canonical", "kernel-mode"],
+        ),
         ("enlarge", &["din", "store", "splits", "refine-strategy", "deadline-ms"]),
         ("update", &["network", "din", "store", "splits", "refine-strategy", "deadline-ms"]),
         ("status", &["store"]),
@@ -189,6 +220,7 @@ fn every_documented_flag_has_its_section_and_no_stray_commands() {
                 "out",
                 "canonical",
                 "vehicle",
+                "closed-loop",
                 "no-cache",
                 "no-proof-reuse",
                 "min-hits",

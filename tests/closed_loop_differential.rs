@@ -1,0 +1,249 @@
+//! Differential properties of the closed-loop reach-tube propagation.
+//!
+//! Three relations tie the closed-loop verifier to ground it cannot fake:
+//!
+//! * **Domain ordering** — the zonotope tube is step-wise inside the box
+//!   tube. The box domain decorrelates state and control at the plant
+//!   boundary (the wrapping effect); the zonotope keeps the feedback
+//!   correlation through shared noise symbols, so it may only ever be
+//!   *tighter*, never displaced.
+//! * **Witness honesty** — every `refuted` verdict carries an initial
+//!   state whose *concrete* simulation enters the unsafe region at the
+//!   reported step. A refutation is a replayable counterexample, not an
+//!   abstract overlap.
+//! * **Warm/cold equivalence** — re-verification through the tube cache
+//!   after a fine-tune delta is byte-identical to a cold run of the tuned
+//!   controller, while recomputing strictly less; a pure property delta
+//!   replays the whole tube from cache.
+
+use covern::absint::{BoxDomain, DomainKind, SOUND_EPS};
+use covern::closedloop::{AffinePlant, ClosedLoopSpec, LoopVerifier, TubeCache};
+use covern::nn::{Activation, Network};
+use covern::tensor::{Matrix, Rng};
+use covern::vehicle::lateral;
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+use proptest::TestCaseError;
+use std::sync::Arc;
+
+/// A seeded closed-loop case mirroring `closed_loop_soundness`: an
+/// open-loop-stable random plant under a random controller, so every
+/// domain's tube stays finite over the horizon.
+fn seeded_case(seed: u64) -> (ClosedLoopSpec, Network) {
+    let mut rng = Rng::seeded(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let n = 1 + (seed % 3) as usize;
+    let a =
+        Matrix::from_fn(
+            n,
+            n,
+            |i, j| {
+                if i == j {
+                    rng.uniform(-0.7, 0.7)
+                } else {
+                    rng.uniform(-0.1, 0.1)
+                }
+            },
+        );
+    let b = Matrix::from_fn(n, 1, |_, _| rng.uniform(-0.4, 0.4));
+    let c: Vec<f64> = (0..n).map(|_| rng.uniform(-0.05, 0.05)).collect();
+    let plant = AffinePlant::new(&a, &b, &c).expect("square stable plant");
+    let out = [Activation::Identity, Activation::Relu, Activation::Sigmoid, Activation::Tanh]
+        [((seed / 5) % 4) as usize];
+    let controller = Network::random(&[n, 4, 1], Activation::Relu, out, &mut rng);
+    let init_bounds: Vec<(f64, f64)> = (0..n)
+        .map(|_| {
+            let c0 = rng.uniform(-0.3, 0.3);
+            (c0 - 0.25, c0 + 0.25)
+        })
+        .collect();
+    let shift = rng.uniform(0.0, 2.0);
+    let unsafe_bounds: Vec<(f64, f64)> = (0..n).map(|_| (shift, shift + 1.0)).collect();
+    let spec = ClosedLoopSpec {
+        plant,
+        init: BoxDomain::from_bounds(&init_bounds).expect("ordered bounds"),
+        unsafe_region: BoxDomain::from_bounds(&unsafe_bounds).expect("ordered bounds"),
+        horizon: 6,
+        max_generators: 12,
+        sample_limit: 16,
+    };
+    (spec, controller)
+}
+
+/// Asserts the zonotope tube sits step-wise inside the box tube (both
+/// recorded boxes carry the same `SOUND_EPS` dilation; one more epsilon
+/// of slack absorbs the differing summation orders).
+fn assert_zonotope_inside_box(
+    spec: &ClosedLoopSpec,
+    controller: &Network,
+    who: &str,
+) -> Result<(), TestCaseError> {
+    let boxed = LoopVerifier::new(spec.clone(), controller.clone(), DomainKind::Box)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?
+        .verify()
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    let zono = LoopVerifier::new(spec.clone(), controller.clone(), DomainKind::Zonotope)
+        .map_err(|e| TestCaseError::fail(e.to_string()))?
+        .verify()
+        .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    prop_assert_eq!(boxed.steps.len(), zono.steps.len(), "{}: tube lengths differ", who);
+    for (b, z) in boxed.steps.iter().zip(&zono.steps) {
+        for (i, (bi, zi)) in b.state.intervals().iter().zip(z.state.intervals()).enumerate() {
+            prop_assert!(
+                zi.lo() >= bi.lo() - SOUND_EPS && zi.hi() <= bi.hi() + SOUND_EPS,
+                "{}: step {} dim {}: zonotope [{}, {}] escapes box [{}, {}]",
+                who,
+                b.step,
+                i,
+                zi.lo(),
+                zi.hi(),
+                bi.lo(),
+                bi.hi()
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(Config::with_cases(32))]
+
+    /// Step-wise domain ordering on seeded random loops.
+    #[test]
+    fn prop_zonotope_tube_inside_box_tube(seed in 0u64..10_000) {
+        let (spec, controller) = seeded_case(seed);
+        assert_zonotope_inside_box(&spec, &controller, "seeded")?;
+    }
+
+    /// Every refuted seeded loop hands out a concretely replayable
+    /// witness, in every domain.
+    #[test]
+    fn prop_refuted_witnesses_replay_concretely(seed in 0u64..10_000) {
+        let (spec, controller) = seeded_case(seed);
+        for kind in DomainKind::ALL {
+            let verifier = LoopVerifier::new(spec.clone(), controller.clone(), kind)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+            let report = verifier.verify().map_err(|e| TestCaseError::fail(e.to_string()))?;
+            if report.outcome != "refuted" {
+                continue;
+            }
+            let witness = report.witness.as_ref().expect("refuted carries a witness");
+            let step = report.witness_step.expect("refuted carries a witness step");
+            let (hit, state) = verifier
+                .replay_witness(witness)
+                .map_err(|e| TestCaseError::fail(e.to_string()))?
+                .expect("witness must concretely reach the unsafe region");
+            prop_assert_eq!(hit, step, "{}: replay disagrees on the violation step", kind);
+            prop_assert!(
+                spec.unsafe_region.contains(&state),
+                "{}: replayed state {:?} is not in the unsafe region",
+                kind,
+                state
+            );
+            prop_assert!(
+                report.steps[hit as usize].unsafe_overlap,
+                "{}: the tube did not flag the step its own witness violates",
+                kind
+            );
+        }
+    }
+}
+
+/// Domain ordering on the lane-keeping workload, both cases.
+#[test]
+fn vehicle_zonotope_tube_inside_box_tube() {
+    for (case, name) in [(lateral::safe_case(), "safe"), (lateral::unsafe_case(), "unsafe")] {
+        assert_zonotope_inside_box(&case.spec, &case.controller, name)
+            .unwrap_or_else(|e| panic!("vehicle {name}: {e:?}"));
+    }
+}
+
+/// The unsafe lane-keeping case refutes in every domain, and its witness
+/// replays into the unsafe region exactly where the report says.
+#[test]
+fn vehicle_unsafe_witness_replays_in_every_domain() {
+    let case = lateral::unsafe_case();
+    for kind in DomainKind::ALL {
+        let verifier = LoopVerifier::new(case.spec.clone(), case.controller.clone(), kind)
+            .expect("vehicle case validates");
+        let report = verifier.verify().expect("verification runs");
+        assert_eq!(report.outcome, "refuted", "{kind}: unsafe vehicle case must refute");
+        let witness = report.witness.as_ref().expect("witness present");
+        let (step, state) = verifier
+            .replay_witness(witness)
+            .expect("replay runs")
+            .expect("witness reaches the unsafe region");
+        assert_eq!(Some(step), report.witness_step, "{kind}: replay step");
+        assert!(case.spec.unsafe_region.contains(&state), "{kind}: replayed state escapes");
+    }
+}
+
+/// Warm re-verification after a fine-tune delta is **byte-identical** to
+/// a cold run of the tuned controller — compared on the serialized
+/// canonical report — while recomputing strictly fewer controller layer
+/// passes than the cold run pays.
+#[test]
+fn warm_reverification_after_fine_tune_matches_cold_bytes() {
+    let case = lateral::safe_case();
+    let cache = Arc::new(TubeCache::new());
+    let mut warm_verifier =
+        LoopVerifier::new(case.spec.clone(), case.controller.clone(), DomainKind::Zonotope)
+            .expect("vehicle case validates");
+    warm_verifier.set_cache(Some(Arc::clone(&cache)));
+    warm_verifier.verify().expect("initial verification runs");
+
+    // Fine-tune only the output layer: the first-layer prefixes stay
+    // valid, so the warm run reuses them.
+    let mut tuned = case.controller.clone();
+    let last = tuned.num_layers() - 1;
+    tuned.layers_mut()[last].bias_mut()[0] += 1e-6;
+    warm_verifier.set_controller(tuned.clone()).expect("tuned controller validates");
+    let warm = warm_verifier.verify().expect("warm re-verification runs");
+
+    let cold = LoopVerifier::new(case.spec.clone(), tuned, DomainKind::Zonotope)
+        .expect("tuned case validates")
+        .verify()
+        .expect("cold verification runs");
+
+    let warm_bytes = serde_json::to_string(&warm.canonical()).expect("warm serializes");
+    let cold_bytes = serde_json::to_string(&cold.canonical()).expect("cold serializes");
+    assert_eq!(warm_bytes, cold_bytes, "warm tube diverged from the cold tube");
+    assert!(warm.layers_reused >= 1, "fine-tune warm start reused no layer prefixes");
+    assert!(
+        warm.layers_computed < cold.layers_computed,
+        "warm re-verification must recompute strictly fewer layer passes ({} vs cold {})",
+        warm.layers_computed,
+        cold.layers_computed
+    );
+}
+
+/// A pure property delta (new unsafe region, same loop) replays the whole
+/// tube from cache — zero steps recomputed — and still matches a cold run
+/// against the new region byte for byte.
+#[test]
+fn property_delta_replays_the_whole_tube_from_cache() {
+    let case = lateral::safe_case();
+    let cache = Arc::new(TubeCache::new());
+    let mut warm_verifier =
+        LoopVerifier::new(case.spec.clone(), case.controller.clone(), DomainKind::Zonotope)
+            .expect("vehicle case validates");
+    warm_verifier.set_cache(Some(Arc::clone(&cache)));
+    warm_verifier.verify().expect("initial verification runs");
+
+    let tightened = BoxDomain::from_bounds(&[(0.45, 5.0), (-3.2, 3.2)]).expect("static bounds");
+    warm_verifier.set_unsafe_region(tightened.clone()).expect("region validates");
+    let warm = warm_verifier.verify().expect("warm re-verification runs");
+    assert_eq!(warm.steps_computed, 0, "a property delta must not recompute any step");
+    assert_eq!(warm.steps_reused, case.spec.horizon as u64, "every step replays from cache");
+
+    let mut cold_spec = case.spec.clone();
+    cold_spec.unsafe_region = tightened;
+    let cold = LoopVerifier::new(cold_spec, case.controller.clone(), DomainKind::Zonotope)
+        .expect("tightened case validates")
+        .verify()
+        .expect("cold verification runs");
+    assert_eq!(
+        serde_json::to_string(&warm.canonical()).expect("warm serializes"),
+        serde_json::to_string(&cold.canonical()).expect("cold serializes"),
+        "cached tube replay diverged from a cold run against the new region"
+    );
+}

@@ -17,6 +17,10 @@
 //! disagree on every scheduling decision and still report the same
 //! counters.
 //!
+//! A third test repeats the headline invariant on a mixed corpus that
+//! interleaves closed-loop lane-keeping scenarios (reach-tube sessions,
+//! routed by the loop family key) with ordinary open-loop ones.
+//!
 //! Workers are real `covern_cli serve` processes (the test binary's own
 //! companion binary), spoken to over TCP — nothing is mocked.
 
@@ -36,6 +40,22 @@ fn corpus() -> Vec<Scenario> {
         events_per_scenario: 2,
         seed: 2021,
         include_vehicle: false,
+        include_closed_loop: false,
+    })
+    .expect("corpus generates")
+}
+
+/// A mixed corpus: open-loop scenarios interleaved with the closed-loop
+/// lane-keeping pair, so the coordinator has to route reach-tube sessions
+/// (keyed by the loop family key) next to ordinary ones.
+fn mixed_corpus() -> Vec<Scenario> {
+    generate(&CorpusConfig {
+        scenarios: 2,
+        families: 1,
+        events_per_scenario: 2,
+        seed: 2021,
+        include_vehicle: false,
+        include_closed_loop: true,
     })
     .expect("corpus generates")
 }
@@ -114,6 +134,46 @@ fn canonical_report_is_byte_identical_across_single_one_and_four_workers() {
         reference,
         four.canonical_json().unwrap(),
         "4-worker cluster canonical report is not byte-identical to single-process"
+    );
+}
+
+#[test]
+fn closed_loop_canonical_report_is_byte_identical_across_deployments() {
+    let corpus = mixed_corpus();
+    let single = engine_report(4, &corpus);
+    let one = cluster_report(1, 4, &corpus);
+    let four = cluster_report(4, 4, &corpus);
+
+    assert_verdict_streams_equal(&single, &one, "1-worker cluster (closed-loop)");
+    assert_verdict_streams_equal(&single, &four, "4-worker cluster (closed-loop)");
+
+    // The closed-loop pair must contribute real verdicts — one tube
+    // proved, one refuted with a witness — or the byte comparison below
+    // says nothing about reach-tube routing.
+    let loop_reports: Vec<_> =
+        single.scenarios.iter().filter(|s| s.name.starts_with("closedloop-")).collect();
+    assert_eq!(loop_reports.len(), 2, "closed-loop scenarios missing from the report");
+    let safe = loop_reports
+        .iter()
+        .find(|s| s.name.ends_with("-safe"))
+        .expect("safe lane-keeping scenario present");
+    assert_eq!(safe.initial_outcome, "proved", "safe lane-keeping tube must prove");
+    let unsafe_ = loop_reports
+        .iter()
+        .find(|s| s.name.ends_with("-unsafe"))
+        .expect("unsafe lane-keeping scenario present");
+    assert_eq!(unsafe_.initial_outcome, "refuted", "unsafe lane-keeping tube must refute");
+
+    let reference = single.canonical_json().expect("reference serializes");
+    assert_eq!(
+        reference,
+        one.canonical_json().unwrap(),
+        "1-worker cluster closed-loop canonical report is not byte-identical to single-process"
+    );
+    assert_eq!(
+        reference,
+        four.canonical_json().unwrap(),
+        "4-worker cluster closed-loop canonical report is not byte-identical to single-process"
     );
 }
 

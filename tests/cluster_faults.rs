@@ -54,6 +54,7 @@ fn corpus(seed: u64) -> Vec<Scenario> {
         events_per_scenario: 3,
         seed,
         include_vehicle: false,
+        include_closed_loop: false,
     })
     .expect("corpus generates")
 }
@@ -82,6 +83,8 @@ fn canonical_minus_cache(report: &CampaignReport) -> String {
         entries: 0,
         proof_hits: 0,
         proof_misses: 0,
+        tube_step_hits: 0,
+        tube_step_misses: 0,
     };
     c.to_json().expect("report serializes")
 }

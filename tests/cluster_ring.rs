@@ -128,6 +128,7 @@ proptest! {
             events_per_scenario: 1,
             seed,
             include_vehicle: false,
+            include_closed_loop: false,
         })
         .unwrap();
         let ring = HashRing::with_workers(workers);

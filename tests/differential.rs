@@ -146,6 +146,7 @@ fn cached_campaign_verdicts_are_bit_identical_to_cold() {
         events_per_scenario: 4,
         seed: 777,
         include_vehicle: false,
+        include_closed_loop: false,
     })
     .expect("corpus generates");
     let warm = CampaignEngine::new(CampaignConfig { threads: 3, ..CampaignConfig::default() })

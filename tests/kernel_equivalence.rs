@@ -21,6 +21,7 @@
 //! implementation.
 
 use covern::absint::bnb::{decide, BnbConfig, SplitStrategy};
+use covern::absint::zonotope::Zonotope;
 use covern::absint::{BoxDomain, DomainKind, Interval};
 use covern::nn::{Activation, Network};
 use covern::tensor::kernels::{self, SplitMatrix};
@@ -154,6 +155,45 @@ proptest! {
             kernels::batch_affine_nt(&x, &a, &bias),
             kernels::batch_affine_nt(&x, &a, &bias)
         );
+    }
+
+    /// Girard order reduction is a pure function of the input bits: repeated
+    /// calls are byte-identical, the generator cap holds, and every
+    /// per-neuron concretisation radius survives the fold up to the
+    /// `SOUND_EPS` round-off convention. Multi-step closed-loop tubes lean
+    /// on exactly this (the reduction runs once per plant step, so any
+    /// nondeterminism would compound across the horizon).
+    #[test]
+    fn prop_reduce_order_deterministic_and_radius_preserving(
+        seed in 0u64..10_000,
+        n in 1usize..6,
+        g in 1usize..24,
+        max in 1usize..16,
+    ) {
+        let generators = seeded_matrix(seed, n, g);
+        let mut rng = Rng::seeded(seed.wrapping_add(17));
+        let center: Vec<f64> = (0..n).map(|_| rng.uniform(-2.0, 2.0)).collect();
+        let clamp = vec![Interval::new(-1e12, 1e12).expect("ordered"); n];
+        let z = Zonotope::from_parts(center, generators, clamp)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let a = z.reduce_order(max);
+        let b = z.reduce_order(max);
+        prop_assert_eq!(&a, &b, "order reduction is not deterministic");
+        prop_assert!(
+            a.num_generators() <= max.max(n) && a.num_generators() <= g.max(n),
+            "generator cap violated: {} after reduce_order({}) on {}x{}",
+            a.num_generators(), max, n, g
+        );
+        for i in 0..n {
+            let before = z.concretize_neuron(i);
+            let after = a.concretize_neuron(i);
+            prop_assert!(
+                after.lo() <= before.lo() + covern::absint::SOUND_EPS
+                    && after.hi() >= before.hi() - covern::absint::SOUND_EPS,
+                "neuron {} radius shrank: [{}, {}] -> [{}, {}]",
+                i, before.lo(), before.hi(), after.lo(), after.hi()
+            );
+        }
     }
 
     /// Full B&B verdict bytes — outcome (including any witness), split

@@ -117,6 +117,7 @@ fn verdicts_under_load_match_a_quiet_single_session_replay() {
         events_per_scenario: config.events_per_session,
         seed: config.seed,
         include_vehicle: false,
+        include_closed_loop: false,
     })
     .unwrap();
     let mut client = Client::connect(&addr).unwrap();
@@ -129,6 +130,7 @@ fn verdicts_under_load_match_a_quiet_single_session_replay() {
                 dout: scenario.dout.clone(),
                 domain: scenario.domain,
                 margin: scenario.margin,
+                closed_loop: scenario.closed_loop.clone(),
             })
             .unwrap();
         let mut quiet = String::new();

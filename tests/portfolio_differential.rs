@@ -65,6 +65,7 @@ fn portfolio_agrees_with_pure_milp_on_every_corpus_scenario() {
         events_per_scenario: 3,
         seed: 20_260_728,
         include_vehicle: false,
+        include_closed_loop: false,
     })
     .expect("corpus generates");
     let mut decisive = 0usize;
@@ -121,6 +122,7 @@ fn portfolio_verdicts_are_thread_and_rerun_stable() {
         events_per_scenario: 2,
         seed: 99_173,
         include_vehicle: false,
+        include_closed_loop: false,
     })
     .expect("corpus generates");
     let kind = |o: &VerifyOutcome| match o {

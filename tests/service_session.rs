@@ -26,6 +26,7 @@ fn shared_base_corpus() -> Vec<covern::campaign::Scenario> {
         events_per_scenario: 3,
         seed: 77,
         include_vehicle: false,
+        include_closed_loop: false,
     })
     .unwrap();
     assert_eq!(
@@ -44,6 +45,7 @@ fn open_params(s: &covern::campaign::Scenario) -> OpenParams {
         dout: s.dout.clone(),
         domain: s.domain,
         margin: s.margin,
+        closed_loop: s.closed_loop.clone(),
     }
 }
 
@@ -170,6 +172,7 @@ fn stats_are_monotone_under_two_concurrent_replaying_clients() {
             events_per_scenario: 2,
             seed,
             include_vehicle: false,
+            include_closed_loop: false,
         })
         .unwrap()
     };

@@ -36,6 +36,7 @@ fn stdio_daemon_serves_a_session_with_a_cache_hit() {
         events_per_scenario: 2,
         seed: 5,
         include_vehicle: false,
+        include_closed_loop: false,
     })
     .unwrap();
     let mut sessions = Vec::new();
@@ -48,6 +49,7 @@ fn stdio_daemon_serves_a_session_with_a_cache_hit() {
                 dout: scenario.dout.clone(),
                 domain: scenario.domain,
                 margin: scenario.margin,
+                closed_loop: scenario.closed_loop.clone(),
             })
             .expect("open");
         assert_eq!(opened.outcome, "proved");
